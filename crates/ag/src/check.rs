@@ -1,0 +1,235 @@
+//! Well-formedness: the completeness condition of §I.
+//!
+//! "The semantic functions of a production MUST define EXACTLY the
+//! right-hand-side occurrences of inherited attributes and all synthesized
+//! attributes of the left-hand symbol" (plus, in LINGUIST-86, all limb
+//! attributes). Each required occurrence must be defined exactly once; no
+//! other occurrence may be defined; intrinsic attributes may never be
+//! defined ("No semantic function can define an intrinsic attribute",
+//! §IV). This check runs *after* implicit copy-rule insertion — gaps the
+//! implicit mechanism could not fill are errors.
+
+use crate::grammar::Grammar;
+use crate::ids::{AttrOcc, ProdId};
+use std::fmt;
+
+/// One completeness violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// A required occurrence has no defining rule.
+    Undefined {
+        /// The production.
+        prod: ProdId,
+        /// Rendered occurrence, e.g. `S.VAL at lhs`.
+        occ: String,
+    },
+    /// An occurrence is defined more than once.
+    MultiplyDefined {
+        /// The production.
+        prod: ProdId,
+        /// Rendered occurrence.
+        occ: String,
+        /// Number of defining rules.
+        count: usize,
+    },
+    /// A rule defines an occurrence that must not be defined here (a
+    /// synthesized attribute of a RHS symbol, an inherited attribute of
+    /// the LHS, or an intrinsic attribute anywhere).
+    IllegalTarget {
+        /// The production.
+        prod: ProdId,
+        /// Rendered occurrence.
+        occ: String,
+        /// Why it is illegal.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Undefined { prod, occ } => {
+                write!(f, "production {}: `{}` is never defined", prod.0, occ)
+            }
+            CheckError::MultiplyDefined { prod, occ, count } => {
+                write!(f, "production {}: `{}` defined {} times", prod.0, occ, count)
+            }
+            CheckError::IllegalTarget { prod, occ, reason } => {
+                write!(f, "production {}: `{}` must not be defined here ({})", prod.0, occ, reason)
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+fn render_occ(g: &Grammar, prod: ProdId, occ: AttrOcc) -> String {
+    let sym = g
+        .symbol_at(prod, occ.pos)
+        .map(|s| g.symbol_name(s).to_owned())
+        .unwrap_or_else(|| "?".to_owned());
+    format!("{}.{} at {}", sym, g.attr_name(occ.attr), occ.pos)
+}
+
+/// Check the completeness condition for every production.
+///
+/// # Errors
+///
+/// Returns every violation found (empty result means well-formed).
+pub fn check_completeness(g: &Grammar) -> Result<(), Vec<CheckError>> {
+    use crate::grammar::AttrClass;
+    let mut errors = Vec::new();
+
+    for (pi, _prod) in g.productions().iter().enumerate() {
+        let prod = ProdId(pi as u32);
+        let required = g.required_targets(prod);
+        let defined = g.defined_targets(prod);
+
+        for &occ in &required {
+            let count = defined.iter().filter(|&&d| d == occ).count();
+            match count {
+                0 => errors.push(CheckError::Undefined {
+                    prod,
+                    occ: render_occ(g, prod, occ),
+                }),
+                1 => {}
+                n => errors.push(CheckError::MultiplyDefined {
+                    prod,
+                    occ: render_occ(g, prod, occ),
+                    count: n,
+                }),
+            }
+        }
+
+        for &occ in &defined {
+            if required.contains(&occ) {
+                continue;
+            }
+            let reason = match g.attr(occ.attr).class {
+                AttrClass::Intrinsic => "intrinsic attributes are set by the parser",
+                AttrClass::Synthesized => {
+                    "synthesized attributes are defined by their LHS production"
+                }
+                AttrClass::Inherited => {
+                    "inherited attributes are defined by their RHS production"
+                }
+                AttrClass::Limb => "limb attribute of a different production",
+            };
+            errors.push(CheckError::IllegalTarget {
+                prod,
+                occ: render_occ(g, prod, occ),
+                reason,
+            });
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::grammar::AgBuilder;
+    use crate::ids::AttrOcc;
+
+    #[test]
+    fn complete_grammar_passes() {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let v = b.synthesized(s, "V", "int");
+        let p = b.production(s, vec![], None);
+        b.rule(p, vec![AttrOcc::lhs(v)], Expr::Int(1));
+        b.start(s);
+        let g = b.build().unwrap();
+        assert!(check_completeness(&g).is_ok());
+    }
+
+    #[test]
+    fn missing_synthesized_reported() {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        b.synthesized(s, "V", "int");
+        b.production(s, vec![], None);
+        b.start(s);
+        let g = b.build().unwrap();
+        let errs = check_completeness(&g).unwrap_err();
+        assert!(matches!(errs[0], CheckError::Undefined { .. }));
+        assert!(errs[0].to_string().contains("S.V"));
+    }
+
+    #[test]
+    fn missing_inherited_of_rhs_reported() {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let sv = b.synthesized(s, "V", "int");
+        let t = b.nonterminal("T");
+        let tv = b.synthesized(t, "V", "int");
+        b.inherited(t, "CTX", "env"); // never defined, name differs from S's attrs
+        let p = b.production(s, vec![t], None);
+        b.rule(p, vec![AttrOcc::lhs(sv)], Expr::Occ(AttrOcc::rhs(0, tv)));
+        let pt = b.production(t, vec![], None);
+        b.rule(pt, vec![AttrOcc::lhs(tv)], Expr::Int(0));
+        b.start(s);
+        let g = b.build().unwrap();
+        let errs = check_completeness(&g).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].to_string().contains("T.CTX"));
+    }
+
+    #[test]
+    fn double_definition_reported() {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let v = b.synthesized(s, "V", "int");
+        let p = b.production(s, vec![], None);
+        b.rule(p, vec![AttrOcc::lhs(v)], Expr::Int(1));
+        b.rule(p, vec![AttrOcc::lhs(v)], Expr::Int(2));
+        b.start(s);
+        let g = b.build().unwrap();
+        let errs = check_completeness(&g).unwrap_err();
+        assert!(matches!(errs[0], CheckError::MultiplyDefined { count: 2, .. }));
+    }
+
+    #[test]
+    fn defining_intrinsic_is_illegal() {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let v = b.synthesized(s, "V", "int");
+        let x = b.terminal("x");
+        let obj = b.intrinsic(x, "OBJ", "int");
+        let p = b.production(s, vec![x], None);
+        b.rule(p, vec![AttrOcc::lhs(v)], Expr::Int(0));
+        b.rule(p, vec![AttrOcc::rhs(0, obj)], Expr::Int(9));
+        b.start(s);
+        let g = b.build().unwrap();
+        let errs = check_completeness(&g).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, CheckError::IllegalTarget { reason, .. } if reason.contains("intrinsic"))));
+    }
+
+    #[test]
+    fn defining_rhs_synthesized_is_illegal() {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let sv = b.synthesized(s, "V", "int");
+        let t = b.nonterminal("T");
+        let tv = b.synthesized(t, "V", "int");
+        let p = b.production(s, vec![t], None);
+        b.rule(p, vec![AttrOcc::lhs(sv)], Expr::Int(0));
+        b.rule(p, vec![AttrOcc::rhs(0, tv)], Expr::Int(1)); // illegal
+        let pt = b.production(t, vec![], None);
+        b.rule(pt, vec![AttrOcc::lhs(tv)], Expr::Int(0));
+        b.start(s);
+        let g = b.build().unwrap();
+        let errs = check_completeness(&g).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, CheckError::IllegalTarget { .. })));
+    }
+}

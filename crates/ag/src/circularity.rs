@@ -1,0 +1,347 @@
+//! Non-circularity: the polynomial sufficient test.
+//!
+//! §I: "it is an exponentially hard problem \[JOR\] to determine that an
+//! attribute grammar is non-circular … Fortunately there are several
+//! interesting and widely applicable sufficient conditions that can be
+//! checked in polynomial time". This module implements the classic
+//! *uniform* (strong) test: one induced inherited→synthesized dependency
+//! relation per symbol, iterated to a fixed point, then a cycle check of
+//! every production graph augmented with those relations. No cycle ⇒ the
+//! grammar is certainly non-circular; a cycle here is reported as
+//! (potential) circularity.
+
+use crate::grammar::{AttrClass, Grammar, SymbolKind};
+use crate::ids::{AttrId, AttrOcc, OccPos, ProdId};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A potential circularity: a dependency cycle in a production graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Circularity {
+    /// The production whose augmented graph has the cycle.
+    pub prod: ProdId,
+    /// The cycle, as rendered occurrences.
+    pub cycle: Vec<String>,
+}
+
+impl fmt::Display for Circularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "potential circularity in production {}: {}",
+            self.prod.0,
+            self.cycle.join(" -> ")
+        )
+    }
+}
+
+impl std::error::Error for Circularity {}
+
+/// Induced dependency relations per symbol: `(inherited, synthesized)`
+/// pairs meaning the synthesized attribute may depend on the inherited one
+/// at the same node.
+pub type IoRelations = HashMap<u32, HashSet<(AttrId, AttrId)>>;
+
+/// Run the sufficient non-circularity test.
+///
+/// Returns the per-symbol induced IO relations on success (useful to
+/// inspect information flow), or the first cycle found.
+///
+/// # Errors
+///
+/// Returns [`Circularity`] describing a dependency cycle if the uniform
+/// test cannot prove the grammar non-circular.
+pub fn check_noncircular(g: &Grammar) -> Result<IoRelations, Circularity> {
+    let mut io: IoRelations = HashMap::new();
+
+    // Fixed point over productions: propagate child IO through production
+    // graphs into LHS IO.
+    loop {
+        let mut changed = false;
+        for (pi, prod) in g.productions().iter().enumerate() {
+            let prod_id = ProdId(pi as u32);
+            let (nodes, edges) = production_graph(g, prod_id, &io);
+            let reach = transitive_closure(&nodes, &edges);
+            // New IO pairs for the LHS symbol.
+            for (&from, tos) in &reach {
+                let focc = nodes[from as usize];
+                if focc.pos != OccPos::Lhs || g.attr(focc.attr).class != AttrClass::Inherited {
+                    continue;
+                }
+                for &to in tos {
+                    let tocc = nodes[to as usize];
+                    if tocc.pos == OccPos::Lhs
+                        && g.attr(tocc.attr).class == AttrClass::Synthesized
+                    {
+                        changed |= io
+                            .entry(prod.lhs.0)
+                            .or_default()
+                            .insert((focc.attr, tocc.attr));
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Cycle check with the final relations.
+    for (pi, _) in g.productions().iter().enumerate() {
+        let prod_id = ProdId(pi as u32);
+        let (nodes, edges) = production_graph(g, prod_id, &io);
+        if let Some(cycle) = find_cycle(&nodes, &edges) {
+            return Err(Circularity {
+                prod: prod_id,
+                cycle: cycle
+                    .into_iter()
+                    .map(|ix| {
+                        let occ = nodes[ix as usize];
+                        let sym = g.symbol_at(prod_id, occ.pos).expect("valid occurrence");
+                        format!("{}.{} ({})", g.symbol_name(sym), g.attr_name(occ.attr), occ.pos)
+                    })
+                    .collect(),
+            });
+        }
+    }
+    Ok(io)
+}
+
+/// Build the dependency graph of one production: nodes are all attribute
+/// occurrences; edges are rule argument→target dependencies plus, for each
+/// nonterminal RHS occurrence, the child's induced inherited→synthesized
+/// edges.
+fn production_graph(
+    g: &Grammar,
+    prod_id: ProdId,
+    io: &IoRelations,
+) -> (Vec<AttrOcc>, Vec<(u32, u32)>) {
+    let prod = g.production(prod_id);
+    let mut nodes: Vec<AttrOcc> = Vec::new();
+    let mut index: HashMap<AttrOcc, u32> = HashMap::new();
+    let push = |occ: AttrOcc, nodes: &mut Vec<AttrOcc>, index: &mut HashMap<AttrOcc, u32>| {
+        *index.entry(occ).or_insert_with(|| {
+            nodes.push(occ);
+            nodes.len() as u32 - 1
+        })
+    };
+
+    for &a in &g.symbol(prod.lhs).attrs {
+        push(AttrOcc::lhs(a), &mut nodes, &mut index);
+    }
+    for (i, &s) in prod.rhs.iter().enumerate() {
+        for &a in &g.symbol(s).attrs {
+            push(AttrOcc::rhs(i as u16, a), &mut nodes, &mut index);
+        }
+    }
+    if let Some(l) = prod.limb {
+        for &a in &g.symbol(l).attrs {
+            push(AttrOcc::limb(a), &mut nodes, &mut index);
+        }
+    }
+
+    let mut edges = Vec::new();
+    for &r in &prod.rules {
+        let rule = g.rule(r);
+        for arg in rule.arguments() {
+            let from = index[&arg];
+            for &t in &rule.targets {
+                edges.push((from, index[&t]));
+            }
+        }
+    }
+    // Child IO edges.
+    for (i, &s) in prod.rhs.iter().enumerate() {
+        if g.symbol(s).kind != SymbolKind::Nonterminal {
+            continue;
+        }
+        if let Some(pairs) = io.get(&s.0) {
+            for &(inh, syn) in pairs {
+                edges.push((
+                    index[&AttrOcc::rhs(i as u16, inh)],
+                    index[&AttrOcc::rhs(i as u16, syn)],
+                ));
+            }
+        }
+    }
+    (nodes, edges)
+}
+
+fn transitive_closure(nodes: &[AttrOcc], edges: &[(u32, u32)]) -> HashMap<u32, HashSet<u32>> {
+    let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
+    for &(a, b) in edges {
+        adj.entry(a).or_default().push(b);
+    }
+    let mut reach: HashMap<u32, HashSet<u32>> = HashMap::new();
+    for start in 0..nodes.len() as u32 {
+        let mut seen: HashSet<u32> = HashSet::new();
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            if let Some(nexts) = adj.get(&n) {
+                for &m in nexts {
+                    if seen.insert(m) {
+                        stack.push(m);
+                    }
+                }
+            }
+        }
+        reach.insert(start, seen);
+    }
+    reach
+}
+
+/// Find any cycle; returns the node indices along it.
+fn find_cycle(nodes: &[AttrOcc], edges: &[(u32, u32)]) -> Option<Vec<u32>> {
+    let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
+    for &(a, b) in edges {
+        adj.entry(a).or_default().push(b);
+    }
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    let mut state = vec![0u8; nodes.len()];
+    let mut parent: Vec<Option<u32>> = vec![None; nodes.len()];
+
+    fn dfs(
+        n: u32,
+        adj: &HashMap<u32, Vec<u32>>,
+        state: &mut [u8],
+        parent: &mut [Option<u32>],
+    ) -> Option<(u32, u32)> {
+        state[n as usize] = 1;
+        if let Some(nexts) = adj.get(&n) {
+            for &m in nexts {
+                match state[m as usize] {
+                    0 => {
+                        parent[m as usize] = Some(n);
+                        if let Some(hit) = dfs(m, adj, state, parent) {
+                            return Some(hit);
+                        }
+                    }
+                    1 => return Some((n, m)),
+                    _ => {}
+                }
+            }
+        }
+        state[n as usize] = 2;
+        None
+    }
+
+    for s in 0..nodes.len() as u32 {
+        if state[s as usize] == 0 {
+            if let Some((from, to)) = dfs(s, &adj, &mut state, &mut parent) {
+                // Walk back from `from` to `to` along parents.
+                let mut path = vec![from];
+                let mut cur = from;
+                while cur != to {
+                    cur = parent[cur as usize].expect("on-stack node has parent");
+                    path.push(cur);
+                }
+                path.reverse();
+                path.push(to); // close the loop for display
+                return Some(path);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::grammar::AgBuilder;
+
+    #[test]
+    fn simple_grammar_is_noncircular() {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let v = b.synthesized(s, "V", "int");
+        let p = b.production(s, vec![], None);
+        b.rule(p, vec![AttrOcc::lhs(v)], Expr::Int(1));
+        b.start(s);
+        let g = b.build().unwrap();
+        assert!(check_noncircular(&g).is_ok());
+    }
+
+    #[test]
+    fn direct_cycle_within_production_detected() {
+        // S.A depends on S.B and S.B on S.A (both limb-free LHS syn).
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let a = b.synthesized(s, "A", "int");
+        let c = b.synthesized(s, "B", "int");
+        let p = b.production(s, vec![], None);
+        b.rule(p, vec![AttrOcc::lhs(a)], Expr::Occ(AttrOcc::lhs(c)));
+        b.rule(p, vec![AttrOcc::lhs(c)], Expr::Occ(AttrOcc::lhs(a)));
+        b.start(s);
+        let g = b.build().unwrap();
+        let err = check_noncircular(&g).unwrap_err();
+        assert_eq!(err.prod, ProdId(0));
+        assert!(err.to_string().contains("circularity"));
+    }
+
+    #[test]
+    fn cycle_through_child_io_detected() {
+        // root -> T ; T -> x.
+        // In root: T.I = T.S (parent feeds child's syn back as inherited).
+        // In T -> x: T.S = T.I. Induced IO of T: I -> S; root's graph then
+        // has T.I -> T.S -> T.I : a cycle.
+        let mut b = AgBuilder::new();
+        let root = b.nonterminal("root");
+        let rv = b.synthesized(root, "V", "int");
+        let t = b.nonterminal("T");
+        let ti = b.inherited(t, "I", "int");
+        let ts = b.synthesized(t, "S", "int");
+        let x = b.terminal("x");
+        let p0 = b.production(root, vec![t], None);
+        b.rule(p0, vec![AttrOcc::rhs(0, ti)], Expr::Occ(AttrOcc::rhs(0, ts)));
+        b.rule(p0, vec![AttrOcc::lhs(rv)], Expr::Occ(AttrOcc::rhs(0, ts)));
+        let p1 = b.production(t, vec![x], None);
+        b.rule(p1, vec![AttrOcc::lhs(ts)], Expr::Occ(AttrOcc::lhs(ti)));
+        b.start(root);
+        let g = b.build().unwrap();
+        let err = check_noncircular(&g).unwrap_err();
+        assert_eq!(err.prod, ProdId(0));
+    }
+
+    #[test]
+    fn io_relations_capture_information_flow() {
+        // T.S = T.I through T -> x, so IO(T) = {(I, S)}.
+        let mut b = AgBuilder::new();
+        let root = b.nonterminal("root");
+        let rv = b.synthesized(root, "V", "int");
+        let t = b.nonterminal("T");
+        let ti = b.inherited(t, "I", "int");
+        let ts = b.synthesized(t, "S", "int");
+        let x = b.terminal("x");
+        let p0 = b.production(root, vec![t], None);
+        b.rule(p0, vec![AttrOcc::rhs(0, ti)], Expr::Int(1));
+        b.rule(p0, vec![AttrOcc::lhs(rv)], Expr::Occ(AttrOcc::rhs(0, ts)));
+        let p1 = b.production(t, vec![x], None);
+        b.rule(p1, vec![AttrOcc::lhs(ts)], Expr::Occ(AttrOcc::lhs(ti)));
+        b.start(root);
+        let g = b.build().unwrap();
+        let io = check_noncircular(&g).unwrap();
+        let t_id = g.symbol_by_name("T").unwrap();
+        assert!(io.get(&t_id.0).unwrap().contains(&(ti, ts)));
+    }
+
+    #[test]
+    fn chain_grammar_noncircular_with_deep_nesting() {
+        // S -> S x | x with S.V = inner S.V + 1: no cycles.
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let v = b.synthesized(s, "V", "int");
+        let x = b.terminal("x");
+        let p0 = b.production(s, vec![s, x], None);
+        b.rule(
+            p0,
+            vec![AttrOcc::lhs(v)],
+            Expr::binop(crate::expr::BinOp::Add, Expr::Occ(AttrOcc::rhs(0, v)), Expr::Int(1)),
+        );
+        let p1 = b.production(s, vec![x], None);
+        b.rule(p1, vec![AttrOcc::lhs(v)], Expr::Int(0));
+        b.start(s);
+        let g = b.build().unwrap();
+        assert!(check_noncircular(&g).is_ok());
+    }
+}

@@ -1,0 +1,299 @@
+//! Semantic-function expressions.
+//!
+//! Per §IV of the paper, the right-hand side of a semantic function may
+//! contain: attribute occurrences; uninterpreted constants and calls of
+//! uninterpreted external functions; "some standard infix operators
+//! (+, -, AND, OR, =, <>, >, <)"; integer/boolean constants; and a
+//! value-producing `if … then … elsif … else … endif` construct. Control
+//! flow constructs may nest in the arms but "can not occur within the
+//! operands of infix operators, or arguments to external functions" — the
+//! front end enforces that shape; this module represents it.
+//!
+//! Multi-target semantic functions (Figure 5) carry one *arm list* per
+//! branch: an [`Expr::If`] whose arms are lists assigns pairwise to the
+//! target list.
+
+use crate::ids::AttrOcc;
+use linguist_support::intern::Name;
+use std::fmt;
+
+/// The standard infix operators of §IV.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Gt => ">",
+            BinOp::Lt => "<",
+        };
+        write!(f, "{}", s)
+    }
+}
+
+/// A semantic-function expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// An attribute occurrence of the production.
+    Occ(AttrOcc),
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// String literal.
+    Str(String),
+    /// An uninterpreted constant (an identifier that is not a symbol,
+    /// attribute, or type — §IV).
+    Const(Name),
+    /// A call of an uninterpreted external function.
+    Call {
+        /// Function name.
+        func: Name,
+        /// Arguments (control-flow-free per the paper's restriction).
+        args: Vec<Expr>,
+    },
+    /// An infix operator application.
+    Binop {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `if c1 then e1 elsif c2 then e2 … else eN endif`. Each arm is a
+    /// *list* of expressions: length 1 for single-target functions, equal
+    /// to the target count for multi-target functions (Figure 5).
+    If {
+        /// `(condition, arm)` pairs: the `if` and every `elsif`.
+        branches: Vec<(Expr, Vec<Expr>)>,
+        /// The `else` arm.
+        otherwise: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience: binary operation.
+    pub fn binop(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binop {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Convenience: two-way if with single-expression arms.
+    pub fn ite(cond: Expr, then: Expr, otherwise: Expr) -> Expr {
+        Expr::If {
+            branches: vec![(cond, vec![then])],
+            otherwise: vec![otherwise],
+        }
+    }
+
+    /// Collect every attribute occurrence referenced (the rule's argument
+    /// occurrences), in depth-first order with duplicates removed.
+    pub fn arguments(&self) -> Vec<AttrOcc> {
+        let mut out = Vec::new();
+        self.collect_args(&mut out);
+        out
+    }
+
+    fn collect_args(&self, out: &mut Vec<AttrOcc>) {
+        match self {
+            Expr::Occ(o) => {
+                if !out.contains(o) {
+                    out.push(*o);
+                }
+            }
+            Expr::Int(_) | Expr::Bool(_) | Expr::Str(_) | Expr::Const(_) => {}
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.collect_args(out);
+                }
+            }
+            Expr::Binop { lhs, rhs, .. } => {
+                lhs.collect_args(out);
+                rhs.collect_args(out);
+            }
+            Expr::If {
+                branches,
+                otherwise,
+            } => {
+                for (c, arm) in branches {
+                    c.collect_args(out);
+                    for e in arm {
+                        e.collect_args(out);
+                    }
+                }
+                for e in otherwise {
+                    e.collect_args(out);
+                }
+            }
+        }
+    }
+
+    /// If this expression is a bare occurrence, return it. A single-target
+    /// rule whose expression is a bare occurrence is a *copy-rule* — "a
+    /// semantic function that copies attribute values around the APT
+    /// without changing them".
+    pub fn as_copy_source(&self) -> Option<AttrOcc> {
+        match self {
+            Expr::Occ(o) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// Arm width: how many targets this expression can define. Non-`if`
+    /// expressions define 1; an `if` defines the common arm length.
+    pub fn arm_width(&self) -> usize {
+        match self {
+            Expr::If {
+                branches,
+                otherwise,
+            } => branches
+                .first()
+                .map(|(_, arm)| arm.len())
+                .unwrap_or(otherwise.len()),
+            _ => 1,
+        }
+    }
+
+    /// Whether this expression can define `width` targets. An `if` must
+    /// have arms of exactly that length; any other expression "is
+    /// interpreted as the common value of all attribute-occurrences on the
+    /// left-hand-side" (§IV) and fits any width.
+    pub fn arms_consistent(&self, width: usize) -> bool {
+        match self {
+            Expr::If {
+                branches,
+                otherwise,
+            } => {
+                branches.iter().all(|(_, arm)| arm.len() == width)
+                    && otherwise.len() == width
+            }
+            _ => width >= 1,
+        }
+    }
+
+    /// Approximate "code size" of the expression in output-code bytes —
+    /// the unit used by the pass-size and subsumption experiments. The
+    /// estimate mirrors the rendered Pascal form: identifiers, operators
+    /// and punctuation all count their textual length.
+    pub fn code_size(&self) -> usize {
+        match self {
+            Expr::Occ(_) => 12, // NODE.ATTRNAME
+            Expr::Int(i) => i.to_string().len(),
+            Expr::Bool(_) => 5,
+            Expr::Str(s) => s.len() + 2,
+            Expr::Const(_) => 10,
+            Expr::Call { args, .. } => {
+                10 + 2 + args.iter().map(Expr::code_size).sum::<usize>() + 2 * args.len()
+            }
+            Expr::Binop { op, lhs, rhs } => {
+                lhs.code_size() + rhs.code_size() + op.to_string().len() + 2
+            }
+            Expr::If {
+                branches,
+                otherwise,
+            } => {
+                let mut n = 6; // if/endif keywords amortized
+                for (c, arm) in branches {
+                    n += 8 + c.code_size();
+                    n += arm.iter().map(Expr::code_size).sum::<usize>();
+                }
+                n += 6 + otherwise.iter().map(Expr::code_size).sum::<usize>();
+                n
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{AttrId, AttrOcc};
+
+    fn occ(i: u32) -> AttrOcc {
+        AttrOcc::lhs(AttrId(i))
+    }
+
+    #[test]
+    fn arguments_deduplicate() {
+        let e = Expr::binop(
+            BinOp::Add,
+            Expr::Occ(occ(1)),
+            Expr::binop(BinOp::Add, Expr::Occ(occ(1)), Expr::Occ(occ(2))),
+        );
+        assert_eq!(e.arguments(), vec![occ(1), occ(2)]);
+    }
+
+    #[test]
+    fn copy_source_detection() {
+        assert_eq!(Expr::Occ(occ(5)).as_copy_source(), Some(occ(5)));
+        assert_eq!(Expr::Int(1).as_copy_source(), None);
+        let call = Expr::Call {
+            func: linguist_support::intern::Name::from_index(0),
+            args: vec![Expr::Occ(occ(5))],
+        };
+        assert_eq!(call.as_copy_source(), None, "a call is not a copy");
+    }
+
+    #[test]
+    fn if_collects_all_arms() {
+        let e = Expr::If {
+            branches: vec![(Expr::Occ(occ(1)), vec![Expr::Occ(occ(2))])],
+            otherwise: vec![Expr::Occ(occ(3))],
+        };
+        assert_eq!(e.arguments(), vec![occ(1), occ(2), occ(3)]);
+    }
+
+    #[test]
+    fn arm_width_and_consistency() {
+        let multi = Expr::If {
+            branches: vec![(Expr::Bool(true), vec![Expr::Int(1), Expr::Int(2)])],
+            otherwise: vec![Expr::Int(3), Expr::Int(4)],
+        };
+        assert_eq!(multi.arm_width(), 2);
+        assert!(multi.arms_consistent(2));
+        assert!(!multi.arms_consistent(1));
+        assert!(Expr::Int(0).arms_consistent(1));
+        // A non-if expression is the common value of all targets.
+        assert!(Expr::Int(0).arms_consistent(2));
+    }
+
+    #[test]
+    fn code_size_monotone_in_structure() {
+        let small = Expr::Occ(occ(1));
+        let big = Expr::binop(BinOp::Add, Expr::Occ(occ(1)), Expr::Occ(occ(2)));
+        assert!(big.code_size() > small.code_size());
+    }
+
+    #[test]
+    fn binop_display() {
+        assert_eq!(BinOp::Ne.to_string(), "<>");
+        assert_eq!(BinOp::And.to_string(), "AND");
+    }
+}

@@ -1,0 +1,103 @@
+//! Dense ids and attribute-occurrence positions.
+//!
+//! Everything in the attribute-grammar core is addressed by small dense
+//! ids so analyses can be arrays instead of maps. An *attribute occurrence*
+//! ([`AttrOcc`]) is an attribute at a position of one production — the
+//! paper's unit of account ("1202 attribute-occurrences").
+
+use std::fmt;
+
+/// A grammar symbol (terminal, nonterminal, or limb).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolId(pub u32);
+
+/// An attribute of one symbol (symbol × attribute-name).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u32);
+
+/// A production.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProdId(pub u32);
+
+/// A semantic function (grammar-wide dense id).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RuleId(pub u32);
+
+/// Where within a production an occurrence sits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OccPos {
+    /// The left-hand-side symbol.
+    Lhs,
+    /// The `i`-th right-hand-side symbol (0-based).
+    Rhs(u16),
+    /// The production's limb symbol.
+    Limb,
+}
+
+impl fmt::Display for OccPos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OccPos::Lhs => write!(f, "lhs"),
+            OccPos::Rhs(i) => write!(f, "rhs[{}]", i),
+            OccPos::Limb => write!(f, "limb"),
+        }
+    }
+}
+
+/// An attribute occurrence: `attr` at `pos` of some production (the
+/// production is implied by context — occurrences only appear inside a
+/// production's semantic functions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrOcc {
+    /// Position within the production.
+    pub pos: OccPos,
+    /// The attribute (of the symbol at that position).
+    pub attr: AttrId,
+}
+
+impl AttrOcc {
+    /// Occurrence of `attr` on the left-hand side.
+    pub fn lhs(attr: AttrId) -> AttrOcc {
+        AttrOcc {
+            pos: OccPos::Lhs,
+            attr,
+        }
+    }
+
+    /// Occurrence of `attr` on right-hand-side position `i`.
+    pub fn rhs(i: u16, attr: AttrId) -> AttrOcc {
+        AttrOcc {
+            pos: OccPos::Rhs(i),
+            attr,
+        }
+    }
+
+    /// Occurrence of `attr` on the limb.
+    pub fn limb(attr: AttrId) -> AttrOcc {
+        AttrOcc {
+            pos: OccPos::Limb,
+            attr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occ_constructors() {
+        let a = AttrId(3);
+        assert_eq!(AttrOcc::lhs(a).pos, OccPos::Lhs);
+        assert_eq!(AttrOcc::rhs(2, a).pos, OccPos::Rhs(2));
+        assert_eq!(AttrOcc::limb(a).pos, OccPos::Limb);
+        assert_eq!(AttrOcc::lhs(a).attr, a);
+    }
+
+    #[test]
+    fn pos_display() {
+        assert_eq!(OccPos::Lhs.to_string(), "lhs");
+        assert_eq!(OccPos::Rhs(1).to_string(), "rhs[1]");
+        assert_eq!(OccPos::Limb.to_string(), "limb");
+    }
+}

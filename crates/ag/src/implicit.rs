@@ -1,0 +1,232 @@
+//! Implicit copy-rule insertion (§IV).
+//!
+//! "Our formula for inserting these implicit copy-rules has two flavors:
+//! one for synthesized attributes of the left-hand-side and one for
+//! inherited attributes of the right-hand-side":
+//!
+//! * If `R.A` is an inherited attribute of RHS symbol `R` not defined by
+//!   any semantic function of the production, and the LHS symbol `L` has
+//!   an attribute named `A`, insert `R.A = L.A`.
+//! * If `L.B` is a synthesized attribute of the LHS not defined by any
+//!   semantic function, and exactly one RHS *symbol* `R` has a synthesized
+//!   attribute named `B`, and `R` occurs exactly once in the RHS, insert
+//!   `L.B = R.B`.
+//!
+//! This is the paper's implicit analogue of GAG's explicit `TRANSFER`.
+
+use crate::expr::Expr;
+use crate::grammar::{AttrClass, Grammar, RuleOrigin, SemRule};
+use crate::ids::{AttrOcc, ProdId};
+
+/// Statistics from one insertion run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ImplicitStats {
+    /// Inherited-flavor rules inserted (`R.A = L.A`).
+    pub inherited_inserted: usize,
+    /// Synthesized-flavor rules inserted (`L.B = R.B`).
+    pub synthesized_inserted: usize,
+}
+
+impl ImplicitStats {
+    /// Total rules inserted.
+    pub fn total(&self) -> usize {
+        self.inherited_inserted + self.synthesized_inserted
+    }
+}
+
+/// Insert implicit copy-rules into `g` wherever the §IV formula applies.
+/// Returns how many rules of each flavor were added. Idempotent: running
+/// twice adds nothing the second time.
+pub fn insert_implicit_copies(g: &mut Grammar) -> ImplicitStats {
+    let mut stats = ImplicitStats::default();
+    let mut new_rules: Vec<SemRule> = Vec::new();
+
+    for (pi, prod) in g.productions().iter().enumerate() {
+        let prod_id = ProdId(pi as u32);
+        let defined = g.defined_targets(prod_id);
+
+        // Inherited flavor: every undefined inherited occurrence of every
+        // RHS symbol.
+        for (i, &rsym) in prod.rhs.iter().enumerate() {
+            for &ra in &g.symbol(rsym).attrs {
+                if g.attr(ra).class != AttrClass::Inherited {
+                    continue;
+                }
+                let occ = AttrOcc::rhs(i as u16, ra);
+                if defined.contains(&occ) {
+                    continue;
+                }
+                // LHS attribute with the same name, any class.
+                let aname = g.resolve(g.attr(ra).name).to_owned();
+                if let Some(la) = g.attr_by_name(prod.lhs, &aname) {
+                    new_rules.push(SemRule {
+                        prod: prod_id,
+                        targets: vec![occ],
+                        expr: Expr::Occ(AttrOcc::lhs(la)),
+                        origin: RuleOrigin::Implicit,
+                    });
+                    stats.inherited_inserted += 1;
+                }
+            }
+        }
+
+        // Synthesized flavor: every undefined synthesized occurrence of the
+        // LHS.
+        for &la in &g.symbol(prod.lhs).attrs {
+            if g.attr(la).class != AttrClass::Synthesized {
+                continue;
+            }
+            let occ = AttrOcc::lhs(la);
+            if defined.contains(&occ) {
+                continue;
+            }
+            let bname = g.resolve(g.attr(la).name).to_owned();
+            // Distinct RHS symbols having a synthesized attribute named B.
+            let mut candidates: Vec<(usize, crate::ids::AttrId)> = Vec::new();
+            let mut symbols_with_b = Vec::new();
+            for (i, &rsym) in prod.rhs.iter().enumerate() {
+                if let Some(ra) = g.attr_by_name(rsym, &bname) {
+                    if g.attr(ra).class == AttrClass::Synthesized {
+                        candidates.push((i, ra));
+                        if !symbols_with_b.contains(&rsym) {
+                            symbols_with_b.push(rsym);
+                        }
+                    }
+                }
+            }
+            // "exactly one symbol R … such that R has a synthesized
+            // attribute named B, and … only one occurrence of R".
+            if symbols_with_b.len() == 1 && candidates.len() == 1 {
+                let (i, ra) = candidates[0];
+                new_rules.push(SemRule {
+                    prod: prod_id,
+                    targets: vec![occ],
+                    expr: Expr::Occ(AttrOcc::rhs(i as u16, ra)),
+                    origin: RuleOrigin::Implicit,
+                });
+                stats.synthesized_inserted += 1;
+            }
+        }
+    }
+
+    for rule in new_rules {
+        g.push_rule(rule);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::AgBuilder;
+    use crate::ids::RuleId;
+
+    /// root -> S ; S -> S x | x, with an inherited ENV and synthesized VAL
+    /// everywhere, no explicit copy rules.
+    fn skeleton() -> Grammar {
+        let mut b = AgBuilder::new();
+        let root = b.nonterminal("root");
+        let rv = b.synthesized(root, "VAL", "int");
+        let s = b.nonterminal("S");
+        let sv = b.synthesized(s, "VAL", "int");
+        let se = b.inherited(s, "ENV", "env");
+        let x = b.terminal("x");
+        b.intrinsic(x, "OBJ", "int");
+
+        let p_root = b.production(root, vec![s], None);
+        // ENV of S must be seeded explicitly at the root (no same-name LHS
+        // attribute to copy from).
+        b.rule(p_root, vec![AttrOcc::rhs(0, se)], Expr::Int(0));
+        // VAL: left implicit (root.VAL = S.VAL expected).
+        let _ = rv;
+
+        let _p_rec = b.production(s, vec![s, x], None);
+        let _p_base = b.production(s, vec![x], None);
+        // S.VAL in p_base has no synthesized source: define explicitly.
+        let p_base = ProdId(2);
+        b.rule(p_base, vec![AttrOcc::lhs(sv)], Expr::Int(7));
+        b.start(root);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn inserts_both_flavors() {
+        let mut g = skeleton();
+        let before = g.rules().len();
+        let stats = insert_implicit_copies(&mut g);
+        // Inherited: S.ENV in p_rec (rhs S). Synthesized: root.VAL in
+        // p_root, S.VAL in p_rec (from inner S).
+        assert_eq!(stats.inherited_inserted, 1);
+        assert_eq!(stats.synthesized_inserted, 2);
+        assert_eq!(g.rules().len(), before + 3);
+        for r in g.rules().iter().skip(before) {
+            assert_eq!(r.origin, RuleOrigin::Implicit);
+            assert!(r.is_copy());
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut g = skeleton();
+        insert_implicit_copies(&mut g);
+        let n = g.rules().len();
+        let stats = insert_implicit_copies(&mut g);
+        assert_eq!(stats.total(), 0);
+        assert_eq!(g.rules().len(), n);
+    }
+
+    #[test]
+    fn synthesized_flavor_requires_unique_source() {
+        // S -> T T : T.VAL exists on both occurrences, so no implicit rule
+        // for S.VAL may be inserted.
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        b.synthesized(s, "VAL", "int");
+        let t = b.nonterminal("T");
+        let tv = b.synthesized(t, "VAL", "int");
+        b.production(s, vec![t, t], None);
+        let pt = b.production(t, vec![], None);
+        b.rule(pt, vec![AttrOcc::lhs(tv)], Expr::Int(0));
+        b.start(s);
+        let mut g = b.build().unwrap();
+        let stats = insert_implicit_copies(&mut g);
+        assert_eq!(stats.synthesized_inserted, 0);
+    }
+
+    #[test]
+    fn does_not_override_explicit_rules() {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let sv = b.synthesized(s, "VAL", "int");
+        let t = b.nonterminal("T");
+        let tv = b.synthesized(t, "VAL", "int");
+        let p = b.production(s, vec![t], None);
+        b.rule(p, vec![AttrOcc::lhs(sv)], Expr::Int(42)); // explicit
+        let pt = b.production(t, vec![], None);
+        b.rule(pt, vec![AttrOcc::lhs(tv)], Expr::Int(0));
+        b.start(s);
+        let mut g = b.build().unwrap();
+        let stats = insert_implicit_copies(&mut g);
+        assert_eq!(stats.total(), 0);
+        assert_eq!(g.rule(RuleId(0)).origin, RuleOrigin::Explicit);
+    }
+
+    #[test]
+    fn inherited_flavor_requires_same_name_on_lhs() {
+        // S has no ENV, T wants one: no implicit rule possible.
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let sv = b.synthesized(s, "VAL", "int");
+        let t = b.nonterminal("T");
+        let tv = b.synthesized(t, "VAL", "int");
+        b.inherited(t, "ENV", "env");
+        let p = b.production(s, vec![t], None);
+        b.rule(p, vec![AttrOcc::lhs(sv)], Expr::Occ(AttrOcc::rhs(0, tv)));
+        let pt = b.production(t, vec![], None);
+        b.rule(pt, vec![AttrOcc::lhs(tv)], Expr::Int(0));
+        b.start(s);
+        let mut g = b.build().unwrap();
+        let stats = insert_implicit_copies(&mut g);
+        assert_eq!(stats.inherited_inserted, 0);
+    }
+}

@@ -1,0 +1,654 @@
+//! Alternating-pass evaluability analysis (§II).
+//!
+//! LINGUIST-86 "generates evaluators only for those attribute grammars that
+//! can be evaluated in alternating passes" \[J\] \[JW\] \[PJ1\]. This module
+//! assigns every attribute a pass number under a sequence of passes with
+//! alternating directions, by the classical greatest-fixpoint candidate
+//! removal: assume every still-unassigned attribute belongs to the current
+//! pass, then repeatedly eject attributes whose defining rules cannot be
+//! evaluated at their required point in the pass, until stable.
+//!
+//! Availability is modelled exactly as the Figure-3 paradigm dictates. In
+//! a left-to-right pass over `X0 ::= X1 … Xn`, at the moment the inherited
+//! attributes of `Xi` are evaluated the procedure can see: `X0`'s record
+//! (its inherited attributes of this pass and everything from earlier
+//! passes), the records of `X1 … Xi` that have been read, and the
+//! synthesized results of the already-visited `X1 … Xi−1`. Crucially, a
+//! value sitting at `Xj` for `j > i` is **not** reachable even if it was
+//! computed in an earlier pass — its record has not been read yet. That is
+//! precisely why alternating the direction between passes enables grammars
+//! pure multi-pass left-to-right evaluation cannot handle.
+//!
+//! Intrinsic attributes are "evaluated before any pass" (§IV) and live in
+//! pass 0.
+
+use crate::grammar::{AttrClass, Grammar};
+use crate::ids::{AttrId, AttrOcc, OccPos, ProdId, RuleId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Direction of one pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Children visited left to right.
+    LeftToRight,
+    /// Children visited right to left.
+    RightToLeft,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flipped(self) -> Direction {
+        match self {
+            Direction::LeftToRight => Direction::RightToLeft,
+            Direction::RightToLeft => Direction::LeftToRight,
+        }
+    }
+
+    /// Visit-order index of RHS position `j` among `n` children.
+    pub fn order(self, j: usize, n: usize) -> usize {
+        match self {
+            Direction::LeftToRight => j,
+            Direction::RightToLeft => n - 1 - j,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::LeftToRight => write!(f, "left-to-right"),
+            Direction::RightToLeft => write!(f, "right-to-left"),
+        }
+    }
+}
+
+/// Configuration of the pass analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct PassConfig {
+    /// Direction of the first pass. The paper's strategy 1 (parser emits
+    /// nodes bottom-up) makes the first pass right-to-left; strategy 2
+    /// (prefix emission) makes it left-to-right. LINGUIST-86 itself uses
+    /// strategy 1.
+    pub first_direction: Direction,
+    /// Upper bound on the number of passes before giving up.
+    pub max_passes: usize,
+}
+
+impl Default for PassConfig {
+    fn default() -> PassConfig {
+        PassConfig {
+            first_direction: Direction::RightToLeft,
+            max_passes: 32,
+        }
+    }
+}
+
+/// The computed pass assignment.
+#[derive(Clone, Debug)]
+pub struct PassAssignment {
+    /// Per attribute: 0 for intrinsic, otherwise the 1-based pass number.
+    pass_of_attr: Vec<u16>,
+    /// Per rule: the pass in which it is evaluated.
+    rule_pass: Vec<u16>,
+    /// Direction of each pass (index 0 = pass 1).
+    directions: Vec<Direction>,
+}
+
+impl PassAssignment {
+    /// Pass number of an attribute (0 = intrinsic / pre-pass).
+    pub fn pass_of(&self, a: AttrId) -> u16 {
+        self.pass_of_attr[a.0 as usize]
+    }
+
+    /// Pass in which a rule runs.
+    pub fn rule_pass(&self, r: RuleId) -> u16 {
+        self.rule_pass[r.0 as usize]
+    }
+
+    /// Number of passes.
+    pub fn num_passes(&self) -> usize {
+        self.directions.len()
+    }
+
+    /// Direction of pass `k` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or greater than [`PassAssignment::num_passes`].
+    pub fn direction(&self, k: u16) -> Direction {
+        self.directions[k as usize - 1]
+    }
+
+    /// All pass directions in order.
+    pub fn directions(&self) -> &[Direction] {
+        &self.directions
+    }
+}
+
+/// Why pass assignment failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PassError {
+    /// Two consecutive passes assigned nothing while attributes remained —
+    /// the grammar is not alternating-pass evaluable.
+    NotEvaluable {
+        /// Rendered names of the stuck attributes.
+        stuck: Vec<String>,
+    },
+    /// The pass budget was exhausted.
+    TooManyPasses {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassError::NotEvaluable { stuck } => write!(
+                f,
+                "grammar is not evaluable in alternating passes; stuck attributes: {}",
+                stuck.join(", ")
+            ),
+            PassError::TooManyPasses { limit } => {
+                write!(f, "pass assignment exceeded {} passes", limit)
+            }
+        }
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// The scheduling deadline of a rule within a pass: the latest zone of the
+/// production-procedure where it may run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Deadline {
+    /// Must run before visiting the child at visit-order index `i`.
+    PreVisit(usize),
+    /// May run any time up to the synthesized-evaluation zone at the end.
+    End,
+}
+
+/// Assign every attribute to a pass.
+///
+/// # Errors
+///
+/// See [`PassError`].
+pub fn assign_passes(g: &Grammar, cfg: &PassConfig) -> Result<PassAssignment, PassError> {
+    let num_attrs = g.attrs().len();
+    // None = unassigned; Some(0) = intrinsic.
+    let mut assigned: Vec<Option<u16>> = g
+        .attrs()
+        .iter()
+        .map(|a| (a.class == AttrClass::Intrinsic).then_some(0))
+        .collect();
+
+    let mut directions = Vec::new();
+    let mut dir = cfg.first_direction;
+    let mut consecutive_empty = 0usize;
+    let mut k: u16 = 1;
+
+    while assigned.iter().any(|p| p.is_none()) {
+        if (k as usize) > cfg.max_passes {
+            return Err(PassError::TooManyPasses {
+                limit: cfg.max_passes,
+            });
+        }
+        let mut candidates: HashSet<AttrId> = (0..num_attrs as u32)
+            .map(AttrId)
+            .filter(|a| assigned[a.0 as usize].is_none())
+            .collect();
+
+        // Greatest fixpoint: eject attributes whose rules cannot run.
+        loop {
+            let mut removed = false;
+            for (ri, rule) in g.rules().iter().enumerate() {
+                let _ = ri;
+                // Skip rules entirely assigned to earlier passes.
+                if rule
+                    .targets
+                    .iter()
+                    .all(|t| assigned[t.attr.0 as usize].is_some())
+                {
+                    continue;
+                }
+                // All targets must be candidates (they are assigned
+                // together, since a rule runs exactly once).
+                let all_candidates = rule
+                    .targets
+                    .iter()
+                    .all(|t| candidates.contains(&t.attr));
+                let ok = all_candidates
+                    && rule_evaluable(g, rule.prod, rule, k, dir, &assigned, &candidates);
+                if !ok {
+                    for t in &rule.targets {
+                        removed |= candidates.remove(&t.attr);
+                    }
+                }
+            }
+            if !removed {
+                break;
+            }
+        }
+
+        if candidates.is_empty() {
+            consecutive_empty += 1;
+            if consecutive_empty >= 2 {
+                let stuck = (0..num_attrs as u32)
+                    .map(AttrId)
+                    .filter(|a| assigned[a.0 as usize].is_none())
+                    .map(|a| {
+                        format!(
+                            "{}.{}",
+                            g.symbol_name(g.attr(a).symbol),
+                            g.attr_name(a)
+                        )
+                    })
+                    .collect();
+                return Err(PassError::NotEvaluable { stuck });
+            }
+        } else {
+            consecutive_empty = 0;
+            for a in candidates {
+                assigned[a.0 as usize] = Some(k);
+            }
+        }
+        directions.push(dir);
+        dir = dir.flipped();
+        k += 1;
+    }
+
+    let pass_of_attr: Vec<u16> = assigned.into_iter().map(|p| p.expect("assigned")).collect();
+    let rule_pass: Vec<u16> = g
+        .rules()
+        .iter()
+        .map(|r| {
+            r.targets
+                .iter()
+                .map(|t| pass_of_attr[t.attr.0 as usize])
+                .max()
+                .expect("rules have targets")
+        })
+        .collect();
+
+    Ok(PassAssignment {
+        pass_of_attr,
+        rule_pass,
+        directions,
+    })
+}
+
+/// The deadline of a rule: the earliest of its targets' deadlines.
+fn rule_deadline(g: &Grammar, prod: ProdId, rule: &crate::grammar::SemRule, dir: Direction) -> Deadline {
+    let n = g.production(prod).rhs.len();
+    rule.targets
+        .iter()
+        .map(|t| match t.pos {
+            OccPos::Rhs(j) => Deadline::PreVisit(dir.order(j as usize, n)),
+            OccPos::Lhs | OccPos::Limb => Deadline::End,
+        })
+        .min()
+        .unwrap_or(Deadline::End)
+}
+
+fn rule_evaluable(
+    g: &Grammar,
+    prod: ProdId,
+    rule: &crate::grammar::SemRule,
+    k: u16,
+    dir: Direction,
+    assigned: &[Option<u16>],
+    candidates: &HashSet<AttrId>,
+) -> bool {
+    let deadline = rule_deadline(g, prod, rule, dir);
+    let mut visiting = HashSet::new();
+    rule.arguments().into_iter().all(|arg| {
+        occ_available(
+            g,
+            prod,
+            arg,
+            deadline,
+            k,
+            dir,
+            assigned,
+            candidates,
+            &mut visiting,
+        )
+    })
+}
+
+/// Whether occurrence `b`'s value is available before `deadline` in pass
+/// `k` with direction `dir`, given current (tentative) pass assignments.
+#[allow(clippy::too_many_arguments)]
+fn occ_available(
+    g: &Grammar,
+    prod: ProdId,
+    b: AttrOcc,
+    deadline: Deadline,
+    k: u16,
+    dir: Direction,
+    assigned: &[Option<u16>],
+    candidates: &HashSet<AttrId>,
+    visiting: &mut HashSet<AttrId>,
+) -> bool {
+    let pass = match assigned[b.attr.0 as usize] {
+        Some(p) => p,
+        None if candidates.contains(&b.attr) => k,
+        None => return false, // will land in a later pass
+    };
+    if pass > k {
+        return false;
+    }
+    let class = g.attr(b.attr).class;
+    let n = g.production(prod).rhs.len();
+    match b.pos {
+        OccPos::Lhs => {
+            if pass < k || class == AttrClass::Inherited || class == AttrClass::Intrinsic {
+                // The LHS record is the procedure's parameter; this-pass
+                // inherited values were set by the parent before the visit.
+                true
+            } else {
+                // Same-pass synthesized of the LHS: defined somewhere in
+                // this very procedure; usable only in the End zone
+                // (ordered topologically there).
+                deadline == Deadline::End
+            }
+        }
+        OccPos::Rhs(j) => {
+            let oj = dir.order(j as usize, n);
+            match deadline {
+                Deadline::End => true, // all children read and visited
+                Deadline::PreVisit(oi) => {
+                    if oj < oi {
+                        // Child already read and visited.
+                        true
+                    } else if oj == oi {
+                        // Child's record has been read (GetNode precedes
+                        // the pre-visit zone) but not visited: earlier-pass
+                        // values and intrinsics are in the record;
+                        // same-pass inherited siblingattributes are being
+                        // evaluated in this same zone (ordered
+                        // topologically); same-pass synthesized values do
+                        // not exist yet.
+                        pass < k || matches!(class, AttrClass::Inherited | AttrClass::Intrinsic)
+                    } else {
+                        // Child to the "right" in visit order: its record
+                        // has not even been read yet.
+                        false
+                    }
+                }
+            }
+        }
+        OccPos::Limb => {
+            if pass < k {
+                return true; // stored in the limb record, read at entry
+            }
+            // Same-pass limb attribute: available where its own defining
+            // rule can run. Recurse through its arguments (cycles among
+            // limb attributes make them unavailable).
+            if !visiting.insert(b.attr) {
+                return false;
+            }
+            let ok = g
+                .production(prod)
+                .rules
+                .iter()
+                .filter(|&&r| g.rule(r).targets.contains(&b))
+                .all(|&r| {
+                    g.rule(r).arguments().into_iter().all(|arg| {
+                        occ_available(
+                            g, prod, arg, deadline, k, dir, assigned, candidates, visiting,
+                        )
+                    })
+                });
+            visiting.remove(&b.attr);
+            ok
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Expr};
+    use crate::grammar::AgBuilder;
+
+    fn lr_config() -> PassConfig {
+        PassConfig {
+            first_direction: Direction::LeftToRight,
+            max_passes: 8,
+        }
+    }
+
+    /// Purely synthesized grammar: one pass regardless of direction.
+    #[test]
+    fn synthesized_only_needs_one_pass() {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let v = b.synthesized(s, "V", "int");
+        let x = b.terminal("x");
+        let obj = b.intrinsic(x, "OBJ", "int");
+        let p0 = b.production(s, vec![s, x], None);
+        b.rule(
+            p0,
+            vec![AttrOcc::lhs(v)],
+            Expr::binop(
+                BinOp::Add,
+                Expr::Occ(AttrOcc::rhs(0, v)),
+                Expr::Occ(AttrOcc::rhs(1, obj)),
+            ),
+        );
+        let p1 = b.production(s, vec![x], None);
+        b.rule(p1, vec![AttrOcc::lhs(v)], Expr::Occ(AttrOcc::rhs(0, obj)));
+        b.start(s);
+        let g = b.build().unwrap();
+        let pa = assign_passes(&g, &lr_config()).unwrap();
+        assert_eq!(pa.num_passes(), 1);
+        assert_eq!(pa.pass_of(v), 1);
+        assert_eq!(pa.pass_of(obj), 0, "intrinsics are pre-pass");
+    }
+
+    /// Left-to-right inherited chain: one L-R pass.
+    #[test]
+    fn l2r_inherited_chain_is_single_pass() {
+        // root -> S; S -> S x | x. S.POS flows down-left; S.V up.
+        let mut b = AgBuilder::new();
+        let root = b.nonterminal("root");
+        let rv = b.synthesized(root, "V", "int");
+        let s = b.nonterminal("S");
+        let sv = b.synthesized(s, "V", "int");
+        let sp = b.inherited(s, "POS", "int");
+        let x = b.terminal("x");
+        let p0 = b.production(root, vec![s], None);
+        b.rule(p0, vec![AttrOcc::rhs(0, sp)], Expr::Int(0));
+        b.rule(p0, vec![AttrOcc::lhs(rv)], Expr::Occ(AttrOcc::rhs(0, sv)));
+        let p1 = b.production(s, vec![s, x], None);
+        b.rule(
+            p1,
+            vec![AttrOcc::rhs(0, sp)],
+            Expr::binop(BinOp::Add, Expr::Occ(AttrOcc::lhs(sp)), Expr::Int(1)),
+        );
+        b.rule(p1, vec![AttrOcc::lhs(sv)], Expr::Occ(AttrOcc::rhs(0, sv)));
+        let p2 = b.production(s, vec![x], None);
+        b.rule(p2, vec![AttrOcc::lhs(sv)], Expr::Occ(AttrOcc::lhs(sp)));
+        b.start(root);
+        let g = b.build().unwrap();
+        let pa = assign_passes(&g, &lr_config()).unwrap();
+        assert_eq!(pa.num_passes(), 1);
+        assert_eq!(pa.direction(1), Direction::LeftToRight);
+    }
+
+    /// Right-to-left flow with an L-R first pass: information must wait for
+    /// pass 2 (the R-L pass).
+    #[test]
+    fn right_to_left_flow_needs_second_pass_under_lr_start() {
+        // S -> A B ; A.I = B.V (A's inherited comes from its right sibling).
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let sv = b.synthesized(s, "V", "int");
+        let a = b.nonterminal("A");
+        let ai = b.inherited(a, "I", "int");
+        let av = b.synthesized(a, "V", "int");
+        let bb = b.nonterminal("B");
+        let bv = b.synthesized(bb, "V", "int");
+        let x = b.terminal("x");
+        let obj = b.intrinsic(x, "OBJ", "int");
+        let p0 = b.production(s, vec![a, bb], None);
+        b.rule(p0, vec![AttrOcc::rhs(0, ai)], Expr::Occ(AttrOcc::rhs(1, bv)));
+        b.rule(p0, vec![AttrOcc::lhs(sv)], Expr::Occ(AttrOcc::rhs(0, av)));
+        let p1 = b.production(a, vec![x], None);
+        b.rule(p1, vec![AttrOcc::lhs(av)], Expr::Occ(AttrOcc::lhs(ai)));
+        let p2 = b.production(bb, vec![x], None);
+        b.rule(p2, vec![AttrOcc::lhs(bv)], Expr::Occ(AttrOcc::rhs(0, obj)));
+        b.start(s);
+        let g = b.build().unwrap();
+
+        let pa = assign_passes(&g, &lr_config()).unwrap();
+        // B.V computable in pass 1 (L-R). A.I needs B.V from the right:
+        // only available in the R-L pass 2. A.V same pass as A.I. S.V needs
+        // A.V: End-zone argument, so also pass 2.
+        assert_eq!(pa.pass_of(bv), 1);
+        assert_eq!(pa.pass_of(ai), 2);
+        assert_eq!(pa.pass_of(av), 2);
+        assert_eq!(pa.direction(2), Direction::RightToLeft);
+        assert_eq!(pa.num_passes(), 2);
+
+        // With a R-L first pass the same grammar needs… pass 1 computes
+        // B.V (no dependencies) and A.I, A.V immediately: 1 pass? A.I needs
+        // B.V with B to the right of A, i.e. *earlier* in R-L visit order:
+        // available in pass 1. S.V end-zone: pass 1. So everything in one
+        // pass.
+        let pa2 = assign_passes(
+            &g,
+            &PassConfig {
+                first_direction: Direction::RightToLeft,
+                max_passes: 8,
+            },
+        )
+        .unwrap();
+        assert_eq!(pa2.num_passes(), 1);
+    }
+
+    /// An attribute pair that bounces information both ways forever is not
+    /// alternating-pass evaluable.
+    #[test]
+    fn non_evaluable_grammar_rejected() {
+        // S -> A B with A.I = B.V, B.I = A.V, A.V = A.I, B.V = B.I:
+        // a genuine circular flow through siblings.
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let sv = b.synthesized(s, "V", "int");
+        let a = b.nonterminal("A");
+        let ai = b.inherited(a, "I", "int");
+        let av = b.synthesized(a, "V", "int");
+        let bb = b.nonterminal("B");
+        let bi = b.inherited(bb, "I", "int");
+        let bv = b.synthesized(bb, "V", "int");
+        let x = b.terminal("x");
+        let p0 = b.production(s, vec![a, bb], None);
+        b.rule(p0, vec![AttrOcc::rhs(0, ai)], Expr::Occ(AttrOcc::rhs(1, bv)));
+        b.rule(p0, vec![AttrOcc::rhs(1, bi)], Expr::Occ(AttrOcc::rhs(0, av)));
+        b.rule(p0, vec![AttrOcc::lhs(sv)], Expr::Int(0));
+        let p1 = b.production(a, vec![x], None);
+        b.rule(p1, vec![AttrOcc::lhs(av)], Expr::Occ(AttrOcc::lhs(ai)));
+        let p2 = b.production(bb, vec![x], None);
+        b.rule(p2, vec![AttrOcc::lhs(bv)], Expr::Occ(AttrOcc::lhs(bi)));
+        b.start(s);
+        let g = b.build().unwrap();
+        let err = assign_passes(&g, &lr_config()).unwrap_err();
+        assert!(matches!(err, PassError::NotEvaluable { .. }));
+        assert!(err.to_string().contains("A.I") || err.to_string().contains("B.I"));
+    }
+
+    /// Limb attributes take the pass of their definition and are usable in
+    /// the same pass by the rules that consume them.
+    #[test]
+    fn limb_attribute_shares_pass_with_consumers() {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let v = b.synthesized(s, "V", "int");
+        let w = b.synthesized(s, "W", "int");
+        let x = b.terminal("x");
+        let obj = b.intrinsic(x, "OBJ", "int");
+        let l = b.limb("P");
+        let tmp = b.limb_attr(l, "TMP", "int");
+        let p = b.production(s, vec![x], Some(l));
+        b.rule(
+            p,
+            vec![AttrOcc::limb(tmp)],
+            Expr::binop(BinOp::Add, Expr::Occ(AttrOcc::rhs(0, obj)), Expr::Int(1)),
+        );
+        b.rule(p, vec![AttrOcc::lhs(v)], Expr::Occ(AttrOcc::limb(tmp)));
+        b.rule(p, vec![AttrOcc::lhs(w)], Expr::Occ(AttrOcc::limb(tmp)));
+        b.start(s);
+        let g = b.build().unwrap();
+        let pa = assign_passes(&g, &lr_config()).unwrap();
+        assert_eq!(pa.num_passes(), 1);
+        assert_eq!(pa.pass_of(tmp), 1);
+        assert_eq!(pa.pass_of(v), 1);
+    }
+
+    /// Multi-target rules keep their targets in one pass.
+    #[test]
+    fn multi_target_rule_lands_in_one_pass() {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let a = b.synthesized(s, "A", "int");
+        let c = b.synthesized(s, "B", "int");
+        let p = b.production(s, vec![], None);
+        b.rule(p, vec![AttrOcc::lhs(a), AttrOcc::lhs(c)], Expr::Int(1));
+        b.start(s);
+        let g = b.build().unwrap();
+        let pa = assign_passes(&g, &lr_config()).unwrap();
+        assert_eq!(pa.pass_of(a), pa.pass_of(c));
+        assert_eq!(pa.rule_pass(RuleId(0)), 1);
+    }
+
+    /// Information that bounces right-to-left then left-to-right settles
+    /// in exactly two alternating passes under an R-L start.
+    #[test]
+    fn bouncing_grammar_needs_two_passes() {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let sv = b.synthesized(s, "V", "int");
+        let a = b.nonterminal("A");
+        let a1 = b.synthesized(s, "R1", "int"); // on S for simplicity
+        let _ = a1;
+        let av = b.synthesized(a, "V", "int");
+        let ai = b.inherited(a, "I", "int");
+        let aj = b.inherited(a, "J", "int");
+        let x = b.terminal("x");
+        let obj = b.intrinsic(x, "OBJ", "int");
+        // S -> A A
+        let p0 = b.production(s, vec![a, a], None);
+        // Pass 1 (R-L): right A's V computable bottom-up… make left A's I
+        // depend on right A's V (needs R-L), then right A's J depend on
+        // left A's… that needs L-R (pass 2), and S.V depend on right A's
+        // J-derived value (pass 3).
+        b.rule(p0, vec![AttrOcc::rhs(0, ai)], Expr::Occ(AttrOcc::rhs(1, av))); // L.I = R.V
+        b.rule(p0, vec![AttrOcc::rhs(1, ai)], Expr::Int(0)); // R.I = 0
+        b.rule(p0, vec![AttrOcc::rhs(1, aj)], Expr::Occ(AttrOcc::rhs(0, ai))); // R.J = L.I  (L-R flow)
+        b.rule(p0, vec![AttrOcc::rhs(0, aj)], Expr::Int(0)); // L.J = 0
+        b.rule(p0, vec![AttrOcc::lhs(sv)], Expr::Occ(AttrOcc::rhs(1, aj))); // uses R.J
+        b.rule(p0, vec![AttrOcc::lhs(a1)], Expr::Int(0));
+        // A -> x
+        let p1 = b.production(a, vec![x], None);
+        b.rule(p1, vec![AttrOcc::lhs(av)], Expr::Occ(AttrOcc::rhs(0, obj)));
+        b.start(s);
+        let g = b.build().unwrap();
+        let pa = assign_passes(
+            &g,
+            &PassConfig {
+                first_direction: Direction::RightToLeft,
+                max_passes: 8,
+            },
+        )
+        .unwrap();
+        assert_eq!(pa.pass_of(av), 1);
+        assert_eq!(pa.pass_of(ai), 1, "L.I = R.V works in the first R-L pass");
+        assert_eq!(pa.pass_of(aj), 2, "R.J = L.I needs the L-R pass");
+        // S.V uses R.J in the End zone, so it could be pass 2 as well.
+        assert_eq!(pa.pass_of(sv), 2);
+        assert_eq!(pa.num_passes(), 2);
+    }
+}

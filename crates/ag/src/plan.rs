@@ -1,0 +1,456 @@
+//! Per-pass, per-production evaluation plans.
+//!
+//! A plan is the body of one *production-procedure* (§II): the ordered
+//! sequence of `GetNode` / evaluate / `Visit` / `PutNode` steps that one
+//! pass executes at one production. The runtime interpreter
+//! (`linguist-eval`) and the source generator (`linguist-codegen`) both
+//! consume these plans, so the measured evaluator and the emitted code are
+//! the same program by construction.
+//!
+//! Scheduling is *eager*, implementing the paper's second optimization:
+//! "there is nothing to prevent us from evaluating a synthesized
+//! attribute-instance of the left-hand-side, X, before visiting some
+//! right-hand-side sub-APT so long as all the attribute-instances that X
+//! depends on have already been evaluated … LINGUIST-86 will evaluate some
+//! attributes earlier than the 'ordered ASE' of \[JP1\]." Each rule is
+//! placed at the earliest point where its arguments are available; the
+//! hard deadline — inherited attributes of a child must exist before that
+//! child is visited — is checked and violations reported.
+//!
+//! Every pass visits every node (the traversal is the pass's "husk"), so a
+//! production with no rules in some pass still gets the full
+//! Get/Visit/Put skeleton; this is why "for a given grammar the size of
+//! the husk is the same for every pass" (§V).
+
+use crate::grammar::{AttrClass, Grammar, SymbolKind};
+use crate::ids::{AttrOcc, OccPos, ProdId, RuleId};
+use crate::passes::PassAssignment;
+use std::collections::HashSet;
+use std::fmt;
+
+/// One step of a production-procedure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Read the record of RHS child `i` from the input APT file.
+    Get(u16),
+    /// Evaluate a semantic function into the frame's values.
+    Eval(RuleId),
+    /// Recursively visit the sub-APT rooted at nonterminal child `i`.
+    Visit(u16),
+    /// Write child `i`'s record to the output APT file.
+    Put(u16),
+}
+
+/// The plan for one production in one pass.
+#[derive(Clone, Debug)]
+pub struct ProcPlan {
+    /// The production.
+    pub prod: ProdId,
+    /// The pass (1-based).
+    pub pass: u16,
+    /// Ordered steps.
+    pub steps: Vec<Step>,
+}
+
+impl ProcPlan {
+    /// The rules evaluated by this plan, in execution order.
+    pub fn rules(&self) -> impl Iterator<Item = RuleId> + '_ {
+        self.steps.iter().filter_map(|s| match s {
+            Step::Eval(r) => Some(*r),
+            _ => None,
+        })
+    }
+}
+
+/// All plans of an analyzed grammar: indexed by pass (1-based) and
+/// production.
+#[derive(Clone, Debug)]
+pub struct Plans {
+    per_pass: Vec<Vec<ProcPlan>>, // [pass-1][prod]
+}
+
+impl Plans {
+    /// The plan for `prod` in pass `k` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or out of range.
+    pub fn plan(&self, k: u16, prod: ProdId) -> &ProcPlan {
+        &self.per_pass[k as usize - 1][prod.0 as usize]
+    }
+
+    /// Number of passes planned.
+    pub fn num_passes(&self) -> usize {
+        self.per_pass.len()
+    }
+
+    /// All plans of pass `k` (1-based).
+    pub fn pass_plans(&self, k: u16) -> &[ProcPlan] {
+        &self.per_pass[k as usize - 1]
+    }
+}
+
+/// A scheduling failure (should not occur for grammars accepted by the
+/// pass analysis; reported rather than panicking because plans can also be
+/// built for hand-modified assignments).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanError {
+    /// The production being planned.
+    pub prod: ProdId,
+    /// The pass being planned.
+    pub pass: u16,
+    /// Rendered description of the stuck rules.
+    pub stuck: Vec<String>,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot schedule production {} in pass {}: {}",
+            self.prod.0,
+            self.pass,
+            self.stuck.join("; ")
+        )
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Build every pass's plans.
+///
+/// # Errors
+///
+/// Returns [`PlanError`] if some rule cannot be placed before its deadline
+/// (cyclic same-zone dependencies or an inconsistent hand-made
+/// assignment).
+pub fn build_plans(g: &Grammar, passes: &PassAssignment) -> Result<Plans, PlanError> {
+    let mut per_pass = Vec::new();
+    for k in 1..=passes.num_passes() as u16 {
+        let mut plans = Vec::with_capacity(g.productions().len());
+        for (pi, _) in g.productions().iter().enumerate() {
+            plans.push(plan_production(g, passes, ProdId(pi as u32), k)?);
+        }
+        per_pass.push(plans);
+    }
+    Ok(Plans { per_pass })
+}
+
+fn plan_production(
+    g: &Grammar,
+    passes: &PassAssignment,
+    prod_id: ProdId,
+    k: u16,
+) -> Result<ProcPlan, PlanError> {
+    let prod = g.production(prod_id);
+    let dir = passes.direction(k);
+    let n = prod.rhs.len();
+
+    // Rules this pass must evaluate here.
+    let mut unscheduled: Vec<RuleId> = prod
+        .rules
+        .iter()
+        .copied()
+        .filter(|&r| passes.rule_pass(r) == k)
+        .collect();
+
+    // Occurrences whose values are available.
+    let mut available: HashSet<AttrOcc> = HashSet::new();
+    for &a in &g.symbol(prod.lhs).attrs {
+        let p = passes.pass_of(a);
+        if p < k || (p == k && g.attr(a).class == AttrClass::Inherited) {
+            available.insert(AttrOcc::lhs(a));
+        }
+    }
+    if let Some(l) = prod.limb {
+        for &a in &g.symbol(l).attrs {
+            if passes.pass_of(a) < k {
+                available.insert(AttrOcc::limb(a));
+            }
+        }
+    }
+
+    let mut steps = Vec::new();
+
+    // Schedule every rule whose arguments are ready.
+    let schedule_ready = |steps: &mut Vec<Step>,
+                          unscheduled: &mut Vec<RuleId>,
+                          available: &mut HashSet<AttrOcc>| {
+        loop {
+            let ready = unscheduled.iter().position(|&r| {
+                g.rule(r)
+                    .arguments()
+                    .iter()
+                    .all(|a| available.contains(a))
+            });
+            match ready {
+                None => break,
+                Some(ix) => {
+                    let r = unscheduled.remove(ix);
+                    steps.push(Step::Eval(r));
+                    for t in &g.rule(r).targets {
+                        available.insert(*t);
+                    }
+                }
+            }
+        }
+    };
+
+    schedule_ready(&mut steps, &mut unscheduled, &mut available);
+
+    // Children in visit order.
+    let visit_sequence: Vec<usize> = (0..n).map(|o| dir.position_at(o, n)).collect();
+    for &j in &visit_sequence {
+        steps.push(Step::Get(j as u16));
+        for &a in &g.symbol(prod.rhs[j]).attrs {
+            if passes.pass_of(a) < k {
+                available.insert(AttrOcc::rhs(j as u16, a));
+            }
+        }
+        schedule_ready(&mut steps, &mut unscheduled, &mut available);
+
+        // Deadline: this-pass inherited attributes of child j must exist.
+        let missing: Vec<String> = unscheduled
+            .iter()
+            .flat_map(|&r| g.rule(r).targets.iter().map(move |t| (r, *t)))
+            .filter(|(_, t)| {
+                t.pos == OccPos::Rhs(j as u16)
+                    && matches!(g.attr(t.attr).class, AttrClass::Inherited)
+            })
+            .map(|(r, t)| {
+                format!(
+                    "rule {} (defines {}.{}) blocked before visiting child {}",
+                    r.0,
+                    g.symbol_name(prod.rhs[j]),
+                    g.attr_name(t.attr),
+                    j
+                )
+            })
+            .collect();
+        if !missing.is_empty() {
+            return Err(PlanError {
+                prod: prod_id,
+                pass: k,
+                stuck: missing,
+            });
+        }
+
+        if g.symbol(prod.rhs[j]).kind == SymbolKind::Nonterminal {
+            steps.push(Step::Visit(j as u16));
+            for &a in &g.symbol(prod.rhs[j]).attrs {
+                if passes.pass_of(a) == k
+                    && g.attr(a).class == AttrClass::Synthesized
+                {
+                    available.insert(AttrOcc::rhs(j as u16, a));
+                }
+            }
+            schedule_ready(&mut steps, &mut unscheduled, &mut available);
+        }
+        steps.push(Step::Put(j as u16));
+    }
+
+    schedule_ready(&mut steps, &mut unscheduled, &mut available);
+    if !unscheduled.is_empty() {
+        let stuck = unscheduled
+            .iter()
+            .map(|&r| format!("rule {} has unsatisfiable arguments", r.0))
+            .collect();
+        return Err(PlanError {
+            prod: prod_id,
+            pass: k,
+            stuck,
+        });
+    }
+
+    Ok(ProcPlan {
+        prod: prod_id,
+        pass: k,
+        steps,
+    })
+}
+
+impl crate::passes::Direction {
+    /// The RHS position visited at order index `o` among `n` children.
+    pub fn position_at(self, o: usize, n: usize) -> usize {
+        match self {
+            crate::passes::Direction::LeftToRight => o,
+            crate::passes::Direction::RightToLeft => n - 1 - o,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Expr};
+    use crate::grammar::AgBuilder;
+    use crate::passes::{assign_passes, Direction, PassConfig};
+
+    fn lr() -> PassConfig {
+        PassConfig {
+            first_direction: Direction::LeftToRight,
+            max_passes: 8,
+        }
+    }
+
+    /// root -> S; S -> S x | x with downward POS and upward V.
+    fn chain() -> (Grammar, PassAssignment) {
+        let mut b = AgBuilder::new();
+        let root = b.nonterminal("root");
+        let rv = b.synthesized(root, "V", "int");
+        let s = b.nonterminal("S");
+        let sv = b.synthesized(s, "V", "int");
+        let sp = b.inherited(s, "POS", "int");
+        let x = b.terminal("x");
+        let p0 = b.production(root, vec![s], None);
+        b.rule(p0, vec![AttrOcc::rhs(0, sp)], Expr::Int(0));
+        b.rule(p0, vec![AttrOcc::lhs(rv)], Expr::Occ(AttrOcc::rhs(0, sv)));
+        let p1 = b.production(s, vec![s, x], None);
+        b.rule(
+            p1,
+            vec![AttrOcc::rhs(0, sp)],
+            Expr::binop(BinOp::Add, Expr::Occ(AttrOcc::lhs(sp)), Expr::Int(1)),
+        );
+        b.rule(p1, vec![AttrOcc::lhs(sv)], Expr::Occ(AttrOcc::rhs(0, sv)));
+        let p2 = b.production(s, vec![x], None);
+        b.rule(p2, vec![AttrOcc::lhs(sv)], Expr::Occ(AttrOcc::lhs(sp)));
+        b.start(root);
+        let g = b.build().unwrap();
+        let pa = assign_passes(&g, &lr()).unwrap();
+        (g, pa)
+    }
+
+    #[test]
+    fn skeleton_orders_get_visit_put() {
+        let (g, pa) = chain();
+        let plans = build_plans(&g, &pa).unwrap();
+        let plan = plans.plan(1, ProdId(1)); // S -> S x
+        let skeleton: Vec<Step> = plan
+            .steps
+            .iter()
+            .copied()
+            .filter(|s| !matches!(s, Step::Eval(_)))
+            .collect();
+        assert_eq!(
+            skeleton,
+            vec![Step::Get(0), Step::Visit(0), Step::Put(0), Step::Get(1), Step::Put(1)]
+        );
+    }
+
+    #[test]
+    fn inherited_rule_precedes_visit() {
+        let (g, pa) = chain();
+        let plans = build_plans(&g, &pa).unwrap();
+        let plan = plans.plan(1, ProdId(1));
+        let eval_pos = plan
+            .steps
+            .iter()
+            .position(|s| matches!(s, Step::Eval(r) if g.rule(*r).targets[0].pos == OccPos::Rhs(0)))
+            .expect("inherited rule scheduled");
+        let visit_pos = plan
+            .steps
+            .iter()
+            .position(|s| matches!(s, Step::Visit(0)))
+            .unwrap();
+        assert!(eval_pos < visit_pos);
+    }
+
+    #[test]
+    fn eager_scheduling_runs_argless_rules_first() {
+        // The POS seed (Int 0) in root -> S has no arguments: eager
+        // placement puts it before even Get(0) — earlier than the
+        // "ordered ASE" canonical point just before Visit.
+        let (g, pa) = chain();
+        let plans = build_plans(&g, &pa).unwrap();
+        let plan = plans.plan(1, ProdId(0));
+        assert!(
+            matches!(plan.steps[0], Step::Eval(_)),
+            "steps: {:?}",
+            plan.steps
+        );
+    }
+
+    #[test]
+    fn terminal_children_are_not_visited() {
+        let (g, pa) = chain();
+        let plans = build_plans(&g, &pa).unwrap();
+        let plan = plans.plan(1, ProdId(2)); // S -> x
+        assert!(plan.steps.iter().all(|s| !matches!(s, Step::Visit(_))));
+        assert!(plan.steps.contains(&Step::Get(0)));
+        assert!(plan.steps.contains(&Step::Put(0)));
+    }
+
+    #[test]
+    fn synthesized_uses_child_value_after_visit() {
+        let (g, pa) = chain();
+        let plans = build_plans(&g, &pa).unwrap();
+        let plan = plans.plan(1, ProdId(1));
+        let visit_pos = plan
+            .steps
+            .iter()
+            .position(|s| matches!(s, Step::Visit(0)))
+            .unwrap();
+        let syn_pos = plan
+            .steps
+            .iter()
+            .position(|s| matches!(s, Step::Eval(r) if g.rule(*r).targets[0].pos == OccPos::Lhs))
+            .expect("synthesized rule scheduled");
+        assert!(syn_pos > visit_pos);
+    }
+
+    #[test]
+    fn every_pass_has_full_husk() {
+        // Two-pass grammar: in the pass with no rules for a production the
+        // husk is still complete.
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let sv = b.synthesized(s, "V", "int");
+        let a = b.nonterminal("A");
+        let ai = b.inherited(a, "I", "int");
+        let av = b.synthesized(a, "V", "int");
+        let bb = b.nonterminal("B");
+        let bv = b.synthesized(bb, "V", "int");
+        let x = b.terminal("x");
+        let obj = b.intrinsic(x, "OBJ", "int");
+        let p0 = b.production(s, vec![a, bb], None);
+        b.rule(p0, vec![AttrOcc::rhs(0, ai)], Expr::Occ(AttrOcc::rhs(1, bv)));
+        b.rule(p0, vec![AttrOcc::lhs(sv)], Expr::Occ(AttrOcc::rhs(0, av)));
+        let p1 = b.production(a, vec![x], None);
+        b.rule(p1, vec![AttrOcc::lhs(av)], Expr::Occ(AttrOcc::lhs(ai)));
+        let p2 = b.production(bb, vec![x], None);
+        b.rule(p2, vec![AttrOcc::lhs(bv)], Expr::Occ(AttrOcc::rhs(0, obj)));
+        b.start(s);
+        let g = b.build().unwrap();
+        let pa = assign_passes(&g, &lr()).unwrap();
+        assert_eq!(pa.num_passes(), 2);
+        let plans = build_plans(&g, &pa).unwrap();
+        // B -> x has its rule in pass 1 and nothing in pass 2, but the
+        // husk remains.
+        let p2_pass2 = plans.plan(2, ProdId(2));
+        assert_eq!(p2_pass2.rules().count(), 0);
+        assert!(p2_pass2.steps.contains(&Step::Get(0)));
+        assert!(p2_pass2.steps.contains(&Step::Put(0)));
+        // Pass 2 is right-to-left: in S -> A B the skeleton visits B (rhs
+        // index 1) first.
+        let p0_pass2 = plans.plan(2, ProdId(0));
+        let first_get = p0_pass2
+            .steps
+            .iter()
+            .find_map(|s| match s {
+                Step::Get(i) => Some(*i),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(first_get, 1, "right-to-left pass reads rightmost child first");
+    }
+
+    #[test]
+    fn plans_exist_for_every_pass_and_production() {
+        let (g, pa) = chain();
+        let plans = build_plans(&g, &pa).unwrap();
+        assert_eq!(plans.num_passes(), pa.num_passes());
+        for k in 1..=pa.num_passes() as u16 {
+            assert_eq!(plans.pass_plans(k).len(), g.productions().len());
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Grammar statistics — the §IV profile.
+//!
+//! The paper characterizes LINGUIST-86's own grammar as: "159 symbols, 318
+//! attributes, 72 productions, 1202 attribute-occurrences, and 584
+//! semantic functions. 302 of the semantic functions are copy-rules, a
+//! little more than 50%" with 276 of the copy-rules implicit, evaluable in
+//! 4 alternating passes. [`GrammarStats`] computes the same row for any
+//! grammar; the E7 bench prints it next to the paper's numbers.
+
+use crate::grammar::{AttrClass, Grammar, RuleOrigin};
+use crate::passes::PassAssignment;
+use std::fmt;
+
+/// The statistics row of §IV.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GrammarStats {
+    /// Grammar symbols (terminals + nonterminals + limbs).
+    pub symbols: usize,
+    /// Terminals.
+    pub terminals: usize,
+    /// Nonterminals.
+    pub nonterminals: usize,
+    /// Limb symbols.
+    pub limbs: usize,
+    /// Declared attributes.
+    pub attributes: usize,
+    /// Synthesized attributes.
+    pub synthesized: usize,
+    /// Inherited attributes.
+    pub inherited: usize,
+    /// Intrinsic attributes.
+    pub intrinsic: usize,
+    /// Limb attributes.
+    pub limb_attrs: usize,
+    /// Productions.
+    pub productions: usize,
+    /// Attribute occurrences (every attribute of every symbol occurrence
+    /// of every production).
+    pub occurrences: usize,
+    /// Semantic functions, explicit + implicit.
+    pub semantic_functions: usize,
+    /// Copy-rules among them.
+    pub copy_rules: usize,
+    /// Implicitly inserted copy-rules.
+    pub implicit_copy_rules: usize,
+    /// Alternating passes needed (0 if pass analysis was not run).
+    pub passes: usize,
+}
+
+impl GrammarStats {
+    /// Compute the row for `g`; pass the assignment to fill the pass count.
+    pub fn compute(g: &Grammar, passes: Option<&PassAssignment>) -> GrammarStats {
+        let mut s = GrammarStats {
+            symbols: g.symbols().len(),
+            attributes: g.attrs().len(),
+            productions: g.productions().len(),
+            occurrences: g.num_occurrences(),
+            semantic_functions: g.rules().len(),
+            passes: passes.map(|p| p.num_passes()).unwrap_or(0),
+            ..GrammarStats::default()
+        };
+        for sym in g.symbols() {
+            match sym.kind {
+                crate::grammar::SymbolKind::Terminal => s.terminals += 1,
+                crate::grammar::SymbolKind::Nonterminal => s.nonterminals += 1,
+                crate::grammar::SymbolKind::Limb => s.limbs += 1,
+            }
+        }
+        for a in g.attrs() {
+            match a.class {
+                AttrClass::Synthesized => s.synthesized += 1,
+                AttrClass::Inherited => s.inherited += 1,
+                AttrClass::Intrinsic => s.intrinsic += 1,
+                AttrClass::Limb => s.limb_attrs += 1,
+            }
+        }
+        for r in g.rules() {
+            if r.is_copy() {
+                s.copy_rules += 1;
+                if r.origin == RuleOrigin::Implicit {
+                    s.implicit_copy_rules += 1;
+                }
+            }
+        }
+        s
+    }
+
+    /// Fraction of semantic functions that are copy-rules (the paper's
+    /// "between 40 and 60 percent" observation).
+    pub fn copy_fraction(&self) -> f64 {
+        if self.semantic_functions == 0 {
+            0.0
+        } else {
+            self.copy_rules as f64 / self.semantic_functions as f64
+        }
+    }
+}
+
+impl fmt::Display for GrammarStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "symbols:              {}", self.symbols)?;
+        writeln!(
+            f,
+            "  (terminals {} / nonterminals {} / limbs {})",
+            self.terminals, self.nonterminals, self.limbs
+        )?;
+        writeln!(f, "attributes:           {}", self.attributes)?;
+        writeln!(
+            f,
+            "  (syn {} / inh {} / intrinsic {} / limb {})",
+            self.synthesized, self.inherited, self.intrinsic, self.limb_attrs
+        )?;
+        writeln!(f, "productions:          {}", self.productions)?;
+        writeln!(f, "attribute-occurrences: {}", self.occurrences)?;
+        writeln!(f, "semantic functions:   {}", self.semantic_functions)?;
+        writeln!(
+            f,
+            "copy-rules:           {} ({:.0}%), {} implicit",
+            self.copy_rules,
+            100.0 * self.copy_fraction(),
+            self.implicit_copy_rules
+        )?;
+        write!(f, "alternating passes:   {}", self.passes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::grammar::AgBuilder;
+    use crate::ids::AttrOcc;
+    use crate::implicit::insert_implicit_copies;
+    use crate::passes::{assign_passes, Direction, PassConfig};
+
+    #[test]
+    fn counts_are_consistent() {
+        let mut b = AgBuilder::new();
+        let root = b.nonterminal("root");
+        b.synthesized(root, "VAL", "int");
+        let s = b.nonterminal("S");
+        let sv = b.synthesized(s, "VAL", "int");
+        let x = b.terminal("x");
+        let obj = b.intrinsic(x, "OBJ", "int");
+        b.production(root, vec![s], None);
+        let p1 = b.production(s, vec![x], None);
+        b.rule(p1, vec![AttrOcc::lhs(sv)], Expr::Occ(AttrOcc::rhs(0, obj)));
+        b.start(root);
+        let mut g = b.build().unwrap();
+        let implicit = insert_implicit_copies(&mut g);
+        assert_eq!(implicit.total(), 1); // root.VAL = S.VAL
+
+        let pa = assign_passes(
+            &g,
+            &PassConfig {
+                first_direction: Direction::LeftToRight,
+                max_passes: 8,
+            },
+        )
+        .unwrap();
+        let stats = GrammarStats::compute(&g, Some(&pa));
+        assert_eq!(stats.symbols, 3);
+        assert_eq!(stats.terminals, 1);
+        assert_eq!(stats.nonterminals, 2);
+        assert_eq!(stats.attributes, 3);
+        assert_eq!(stats.productions, 2);
+        assert_eq!(stats.semantic_functions, 2);
+        assert_eq!(stats.copy_rules, 2);
+        assert_eq!(stats.implicit_copy_rules, 1);
+        assert_eq!(stats.passes, 1);
+        assert!((stats.copy_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let v = b.synthesized(s, "V", "int");
+        let p = b.production(s, vec![], None);
+        b.rule(p, vec![AttrOcc::lhs(v)], Expr::Int(1));
+        b.start(s);
+        let g = b.build().unwrap();
+        let text = GrammarStats::compute(&g, None).to_string();
+        for needle in ["symbols", "attributes", "productions", "copy-rules", "passes"] {
+            assert!(text.contains(needle), "missing {}: {}", needle, text);
+        }
+    }
+}

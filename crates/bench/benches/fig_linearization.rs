@@ -1,0 +1,95 @@
+//! E3 — the §II linearization diagram, measured.
+//!
+//! The output file of a left-to-right pass read backwards is the input
+//! of a right-to-left pass. This bench verifies the reversal property on
+//! trees of growing size and times forward vs backward record streaming
+//! (criterion), since backward reads are the paradigm's hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linguist_ag::ids::{AttrId, ProdId, SymbolId};
+use linguist_eval::aptfile::{AptReader, AptWriter, ReadDir, Record, RecordBody, TempAptDir};
+use linguist_eval::value::Value;
+use std::hint::black_box;
+
+fn records(n: usize) -> Vec<Record> {
+    (0..n)
+        .map(|i| Record {
+            body: if i % 3 == 0 {
+                RecordBody::Prod(ProdId(i as u32))
+            } else {
+                RecordBody::Sym(SymbolId(i as u32))
+            },
+            values: vec![
+                (AttrId(0), Value::Int(i as i64)),
+                (AttrId(1), Value::str("attribute-instance")),
+            ],
+        })
+        .collect()
+}
+
+fn verify_reversal(n: usize) {
+    let recs = records(n);
+    let dir = TempAptDir::new().unwrap();
+    let path = dir.boundary(0);
+    let mut w = AptWriter::create(&path).unwrap();
+    for r in &recs {
+        w.write(r).unwrap();
+    }
+    w.finish().unwrap();
+    let mut back = Vec::new();
+    let mut rd = AptReader::open(&path, ReadDir::Backward).unwrap();
+    while let Some(rec) = rd.next().unwrap() {
+        back.push(rec);
+    }
+    back.reverse();
+    assert_eq!(back, recs, "backward stream is the exact reverse");
+}
+
+fn bench_streams(c: &mut Criterion) {
+    // Correctness across sizes first (the figure's property).
+    for n in [10, 100, 1000] {
+        verify_reversal(n);
+    }
+    println!("E3: reversal property verified for 10/100/1000-record files");
+
+    let mut group = c.benchmark_group("apt_stream");
+    for n in [100usize, 1000] {
+        let recs = records(n);
+        let dir = TempAptDir::new().unwrap();
+        let path = dir.boundary(0);
+        let mut w = AptWriter::create(&path).unwrap();
+        for r in &recs {
+            w.write(r).unwrap();
+        }
+        w.finish().unwrap();
+
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rd = AptReader::open(&path, ReadDir::Forward).unwrap();
+                let mut count = 0;
+                while let Some(rec) = rd.next().unwrap() {
+                    count += black_box(rec).values.len();
+                }
+                count
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("backward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rd = AptReader::open(&path, ReadDir::Backward).unwrap();
+                let mut count = 0;
+                while let Some(rec) = rd.next().unwrap() {
+                    count += black_box(rec).values.len();
+                }
+                count
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_streams
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each bench target regenerates one table or figure of the paper's
+//! evaluation (see DESIGN.md's experiment index E3–E14) and prints it in
+//! the paper's format next to the original numbers, so EXPERIMENTS.md can
+//! record paper-vs-measured side by side.
+
+use linguist_frontend::driver::{run, DriverOptions, DriverOutput};
+use std::time::{Duration, Instant};
+
+/// Run the driver, panicking with the error text on failure (bench
+/// workloads are known-good).
+pub fn analyze(source: &str, opts: &DriverOptions) -> DriverOutput {
+    run(source, opts).unwrap_or_else(|e| panic!("bench grammar failed: {}", e))
+}
+
+/// Median wall-clock duration of `f` over `n` runs.
+pub fn median_time(n: usize, mut f: impl FnMut()) -> Duration {
+    let mut times: Vec<Duration> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// Format a duration in microseconds with thousands separators.
+pub fn us(d: Duration) -> String {
+    let micros = d.as_micros();
+    format!("{} us", micros)
+}
+
+/// Print a rule line.
+pub fn rule(title: &str) {
+    println!("\n==== {} {}", title, "=".repeat(60usize.saturating_sub(title.len())));
+}

@@ -1,0 +1,633 @@
+//! The evaluator source emitter.
+//!
+//! Walks the same per-pass plans the runtime interprets and renders one
+//! production-procedure per (production, pass) in the shape of the paper's
+//! p.165 figure: read the limb record, then for each child in visit order
+//! read it, evaluate its inherited attributes, recursively visit it, and
+//! write it back; synthesized attributes are evaluated where the plan
+//! scheduled them; the limb record is written last.
+//!
+//! Subsumed copy-rules are emitted as comments — `{ S1.A := S.A }` — just
+//! as in the paper's §III example, and statically allocated attributes
+//! read and write global variables with the `_QZP` save / `_ZQP`
+//! new-value temporaries around child visits.
+//!
+//! Every emitted line is classified [`LineKind::Husk`] (traversal
+//! skeleton), [`LineKind::Semantic`] (semantic-function code, including
+//! save/restore), or [`LineKind::Comment`] (subsumed rules; zero code
+//! bytes), which is what the pass-size and subsumption experiments count.
+
+use crate::names;
+use linguist_ag::analysis::Analysis;
+use linguist_ag::expr::Expr;
+use linguist_ag::grammar::{AttrClass, SymbolKind};
+use linguist_ag::ids::{AttrOcc, OccPos, ProdId, RuleId, SymbolId};
+use linguist_ag::plan::Step;
+use std::collections::HashMap;
+
+/// Output language flavour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// The paper's Pascal-like surface.
+    Pascal,
+    /// A Rust-like surface.
+    Rust,
+}
+
+/// Classification of an emitted line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineKind {
+    /// Traversal skeleton: procedure declaration, Get/Put/visit calls,
+    /// begin/end.
+    Husk,
+    /// Semantic-function code, including global save/set/restore.
+    Semantic,
+    /// Subsumed copy-rules and annotations: zero code bytes.
+    Comment,
+}
+
+/// One generated procedure with its size split.
+#[derive(Clone, Debug)]
+pub struct ProcSource {
+    /// Procedure name.
+    pub name: String,
+    /// Full source text.
+    pub source: String,
+    /// Bytes of husk lines.
+    pub husk_bytes: usize,
+    /// Bytes of semantic lines.
+    pub semantic_bytes: usize,
+    /// Bytes of semantic lines that are save/set/restore of globals.
+    pub save_restore_bytes: usize,
+    /// Number of subsumed (commented-out) rules.
+    pub subsumed_rules: usize,
+}
+
+struct Emitter<'a> {
+    analysis: &'a Analysis,
+    target: Target,
+    lines: Vec<(String, LineKind)>,
+    save_restore_bytes: usize,
+    subsumed_rules: usize,
+    indent: usize,
+}
+
+impl<'a> Emitter<'a> {
+    fn push(&mut self, kind: LineKind, text: impl Into<String>) {
+        let text = text.into();
+        if kind == LineKind::Semantic {
+            // save/restore tracked separately by caller via push_sr
+        }
+        self.lines
+            .push((format!("{}{}", "  ".repeat(self.indent), text), kind));
+    }
+
+    fn push_sr(&mut self, text: impl Into<String>) {
+        let text = text.into();
+        self.save_restore_bytes += text.len() + 1;
+        self.push(LineKind::Semantic, text);
+    }
+
+    fn comment(&mut self, text: &str) {
+        let line = match self.target {
+            Target::Pascal => format!("{{ {} }}", text),
+            Target::Rust => format!("// {}", text),
+        };
+        self.push(LineKind::Comment, line);
+    }
+}
+
+/// Generate the production-procedure for `prod` in pass `k`.
+pub fn emit_procedure(
+    analysis: &Analysis,
+    prod: ProdId,
+    pass: u16,
+    target: Target,
+) -> ProcSource {
+    let g = &analysis.grammar;
+    let p = g.production(prod);
+    let plan = analysis.plans.plan(pass, prod);
+    let mut e = Emitter {
+        analysis,
+        target,
+        lines: Vec::new(),
+        save_restore_bytes: 0,
+        subsumed_rules: 0,
+        indent: 0,
+    };
+
+    let name = names::proc_name(g, prod, pass);
+    let lhs_var = names::occ_var(g, prod, OccPos::Lhs);
+    match target {
+        Target::Pascal => {
+            e.push(
+                LineKind::Husk,
+                format!(
+                    "procedure {} (VAR {} : {});",
+                    name,
+                    lhs_var,
+                    names::node_type(g, p.lhs)
+                ),
+            );
+            e.push(LineKind::Husk, "VAR");
+            e.indent = 1;
+            if let Some(l) = p.limb {
+                e.push(
+                    LineKind::Husk,
+                    format!("{} : {};", names::occ_var(g, prod, OccPos::Limb), names::node_type(g, l)),
+                );
+            }
+            for (i, &c) in p.rhs.iter().enumerate() {
+                e.push(
+                    LineKind::Husk,
+                    format!(
+                        "{} : {};",
+                        names::occ_var(g, prod, OccPos::Rhs(i as u16)),
+                        names::node_type(g, c)
+                    ),
+                );
+            }
+        }
+        Target::Rust => {
+            e.push(
+                LineKind::Husk,
+                format!(
+                    "fn {}(ctx: &mut Apt, {}: &mut {}) {{",
+                    name.to_ascii_lowercase(),
+                    lhs_var.to_ascii_lowercase(),
+                    names::node_type(g, p.lhs)
+                ),
+            );
+            e.indent = 1;
+        }
+    }
+
+    // Temp declarations for static save/new temporaries are gathered while
+    // walking; collect the body first, then splice declarations.
+    let decl_mark = e.lines.len();
+
+    if target == Target::Pascal {
+        e.indent = 0;
+        e.push(LineKind::Husk, "begin");
+        e.indent = 1;
+    }
+
+    if let Some(_l) = p.limb {
+        let lv = names::occ_var(g, prod, OccPos::Limb);
+        e.push(LineKind::Husk, get_call(target, &lv));
+    } else {
+        e.comment("production record read (no limb declared)");
+    }
+
+    // occurrence → rendered temp override (the PRE2_ZQP values).
+    let mut temp_of: HashMap<AttrOcc, String> = HashMap::new();
+    // (child, group-name) pending save/set before that child's visit.
+    let mut pending: Vec<(u16, String)> = Vec::new();
+    let mut temps: Vec<String> = Vec::new();
+
+    for step in &plan.steps {
+        match *step {
+            Step::Get(i) => {
+                let v = names::occ_var(g, prod, OccPos::Rhs(i));
+                e.push(LineKind::Husk, get_call(target, &v));
+            }
+            Step::Eval(r) => {
+                emit_rule(&mut e, prod, pass, r, &mut temp_of, &mut pending, &mut temps);
+            }
+            Step::Visit(i) => {
+                // Flush save/set pairs for this child.
+                let mine: Vec<String> = pending
+                    .iter()
+                    .filter(|(c, _)| *c == i)
+                    .map(|(_, gname)| gname.clone())
+                    .collect();
+                for gname in &mine {
+                    let sv = names::save_var(gname);
+                    let gv = names::global_var(gname);
+                    let nv = names::new_var(gname, i);
+                    e.push_sr(assign(target, &sv, &gv));
+                    e.push_sr(assign(target, &gv, &nv));
+                }
+                let child_sym = p.rhs[i as usize];
+                let v = names::occ_var(g, prod, OccPos::Rhs(i));
+                e.push(
+                    LineKind::Husk,
+                    visit_call(target, &names::dispatcher_name(g, child_sym, pass), &v),
+                );
+            }
+            Step::Put(i) => {
+                let v = names::occ_var(g, prod, OccPos::Rhs(i));
+                e.push(LineKind::Husk, put_call(target, &v));
+                // Restores after the write.
+                let mine: Vec<String> = pending
+                    .iter()
+                    .filter(|(c, _)| *c == i)
+                    .map(|(_, gname)| gname.clone())
+                    .collect();
+                for gname in mine.iter().rev() {
+                    let sv = names::save_var(gname);
+                    let gv = names::global_var(gname);
+                    e.push_sr(assign(target, &gv, &sv));
+                }
+                pending.retain(|(c, _)| *c != i);
+            }
+        }
+    }
+
+    if p.limb.is_some() {
+        let lv = names::occ_var(g, prod, OccPos::Limb);
+        e.push(LineKind::Husk, put_call(target, &lv));
+    }
+
+    match target {
+        Target::Pascal => {
+            e.indent = 0;
+            e.push(LineKind::Husk, format!("end; {{ {} }}", name));
+        }
+        Target::Rust => {
+            e.indent = 0;
+            e.push(LineKind::Husk, "}");
+        }
+    }
+
+    // Splice temp declarations (semantic bytes: they exist only because of
+    // static allocation and vary per pass).
+    if !temps.is_empty() {
+        let decls: Vec<(String, LineKind)> = temps
+            .iter()
+            .map(|t| {
+                let line = match target {
+                    Target::Pascal => format!("  {} : attrib_type;", t),
+                    Target::Rust => format!("  let mut {}: Value;", t.to_ascii_lowercase()),
+                };
+                (line, LineKind::Semantic)
+            })
+            .collect();
+        let tail = e.lines.split_off(decl_mark);
+        e.lines.extend(decls);
+        e.lines.extend(tail);
+    }
+
+    finish(e, name)
+}
+
+fn finish(e: Emitter<'_>, name: String) -> ProcSource {
+    let mut husk = 0;
+    let mut semantic = 0;
+    let mut source = String::new();
+    for (line, kind) in &e.lines {
+        match kind {
+            LineKind::Husk => husk += line.len() + 1,
+            LineKind::Semantic => semantic += line.len() + 1,
+            LineKind::Comment => {}
+        }
+        source.push_str(line);
+        source.push('\n');
+    }
+    ProcSource {
+        name,
+        source,
+        husk_bytes: husk,
+        semantic_bytes: semantic,
+        save_restore_bytes: e.save_restore_bytes,
+        subsumed_rules: e.subsumed_rules,
+    }
+}
+
+fn emit_rule(
+    e: &mut Emitter<'_>,
+    prod: ProdId,
+    pass: u16,
+    r: RuleId,
+    temp_of: &mut HashMap<AttrOcc, String>,
+    pending: &mut Vec<(u16, String)>,
+    temps: &mut Vec<String>,
+) {
+    let analysis = e.analysis;
+    let g = &analysis.grammar;
+    let rule = g.rule(r);
+    let sub = &analysis.subsumption;
+
+    if analysis.subsumption.is_subsumed(r) {
+        let t = rule.targets[0];
+        let s = rule.copy_source().expect("subsumed rules are copies");
+        e.comment(&format!(
+            "{} := {}",
+            occ_field(analysis, prod, t),
+            occ_field(analysis, prod, s)
+        ));
+        e.subsumed_rules += 1;
+        return;
+    }
+
+    // Destination renderer per target.
+    let dest = |e: &mut Emitter<'_>,
+                temp_of: &mut HashMap<AttrOcc, String>,
+                pending: &mut Vec<(u16, String)>,
+                temps: &mut Vec<String>,
+                t: AttrOcc|
+     -> String {
+        let is_static = sub.is_static(t.attr) && analysis.passes.pass_of(t.attr) == pass;
+        if is_static {
+            let gname = sub.group_name(sub.group_of(t.attr)).to_owned();
+            match t.pos {
+                OccPos::Rhs(j) => {
+                    // New-value temporary; save/set deferred to the visit.
+                    let nv = names::new_var(&gname, j);
+                    if !temps.contains(&nv) {
+                        temps.push(nv.clone());
+                        temps.push(names::save_var(&gname));
+                    }
+                    if g.symbol(g.production(prod).rhs[j as usize]).kind
+                        == SymbolKind::Nonterminal
+                    {
+                        pending.push((j, gname));
+                    } else {
+                        // Terminal child: no visit, assign the global
+                        // directly after computing (value flows into the
+                        // record at Put).
+                        let _ = &e;
+                    }
+                    temp_of.insert(t, nv.clone());
+                    nv
+                }
+                OccPos::Lhs => names::global_var(&gname),
+                OccPos::Limb => occ_field(analysis, prod, t),
+            }
+        } else {
+            occ_field(analysis, prod, t)
+        }
+    };
+
+    match (&rule.expr, rule.targets.len()) {
+        (
+            Expr::If {
+                branches,
+                otherwise,
+            },
+            n,
+        ) if n > 1 => {
+            // Figure-5 multi-target conditional: a statement-level if with
+            // pairwise assignments in each arm.
+            for (bi, (cond, arm)) in branches.iter().enumerate() {
+                let kw = if bi == 0 { kw_if(e.target) } else { kw_elsif(e.target) };
+                let cline = format!("{} {} {}", kw, render_expr(analysis, prod, pass, cond, temp_of), kw_then(e.target));
+                e.push(LineKind::Semantic, cline);
+                e.indent += 1;
+                for (t, ex) in rule.targets.iter().zip(arm.iter()) {
+                    let d = dest(e, temp_of, pending, temps, *t);
+                    let rhs = render_expr(analysis, prod, pass, ex, temp_of);
+                    e.push(LineKind::Semantic, assign(e.target, &d, &rhs));
+                }
+                e.indent -= 1;
+            }
+            e.push(LineKind::Semantic, kw_else(e.target).to_owned());
+            e.indent += 1;
+            for (t, ex) in rule.targets.iter().zip(otherwise.iter()) {
+                let d = dest(e, temp_of, pending, temps, *t);
+                let rhs = render_expr(analysis, prod, pass, ex, temp_of);
+                e.push(LineKind::Semantic, assign(e.target, &d, &rhs));
+            }
+            e.indent -= 1;
+            e.push(LineKind::Semantic, kw_endif(e.target).to_owned());
+        }
+        (expr, n) => {
+            let first = dest(e, temp_of, pending, temps, rule.targets[0]);
+            let rhs = render_expr(analysis, prod, pass, expr, temp_of);
+            e.push(LineKind::Semantic, assign(e.target, &first, &rhs));
+            for t in rule.targets.iter().skip(1).take(n - 1) {
+                let d = dest(e, temp_of, pending, temps, *t);
+                e.push(LineKind::Semantic, assign(e.target, &d, &first));
+            }
+        }
+    }
+}
+
+/// Render an argument/target occurrence as a record-field reference.
+fn occ_field(analysis: &Analysis, prod: ProdId, occ: AttrOcc) -> String {
+    let g = &analysis.grammar;
+    format!(
+        "{}.{}",
+        names::occ_var(g, prod, occ.pos),
+        g.attr_name(occ.attr).to_ascii_uppercase()
+    )
+}
+
+/// Render an expression; static same-pass occurrences read globals (or the
+/// new-value temporaries registered in `temp_of`).
+pub fn render_expr(
+    analysis: &Analysis,
+    prod: ProdId,
+    pass: u16,
+    expr: &Expr,
+    temp_of: &HashMap<AttrOcc, String>,
+) -> String {
+    let g = &analysis.grammar;
+    let sub = &analysis.subsumption;
+    match expr {
+        Expr::Occ(o) => {
+            if let Some(t) = temp_of.get(o) {
+                return t.clone();
+            }
+            let is_static = sub.is_static(o.attr) && analysis.passes.pass_of(o.attr) == pass;
+            let cls = g.attr(o.attr).class;
+            // Same-pass static flow reads the global: LHS inherited comes
+            // from the parent, child synthesized comes back from the visit.
+            let via_global = is_static
+                && matches!(
+                    (o.pos, cls),
+                    (OccPos::Lhs, AttrClass::Inherited) | (OccPos::Rhs(_), AttrClass::Synthesized)
+                );
+            if via_global {
+                names::global_var(sub.group_name(sub.group_of(o.attr)))
+            } else {
+                occ_field(analysis, prod, *o)
+            }
+        }
+        Expr::Int(i) => i.to_string(),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Str(s) => format!("'{}'", s),
+        Expr::Const(n) => g.resolve(*n).to_ascii_uppercase(),
+        Expr::Call { func, args } => {
+            let rendered: Vec<String> = args
+                .iter()
+                .map(|a| render_expr(analysis, prod, pass, a, temp_of))
+                .collect();
+            format!(
+                "{}({})",
+                g.resolve(*func).to_ascii_uppercase(),
+                rendered.join(", ")
+            )
+        }
+        Expr::Binop { op, lhs, rhs } => format!(
+            "({} {} {})",
+            render_expr(analysis, prod, pass, lhs, temp_of),
+            op,
+            render_expr(analysis, prod, pass, rhs, temp_of)
+        ),
+        Expr::If {
+            branches,
+            otherwise,
+        } => {
+            // Value-position conditional (single-width arms).
+            let mut out = String::new();
+            for (cond, arm) in branches {
+                out.push_str(&format!(
+                    "IF({}, {}, ",
+                    render_expr(analysis, prod, pass, cond, temp_of),
+                    render_expr(analysis, prod, pass, &arm[0], temp_of)
+                ));
+            }
+            out.push_str(&render_expr(analysis, prod, pass, &otherwise[0], temp_of));
+            for _ in branches {
+                out.push(')');
+            }
+            out
+        }
+    }
+}
+
+fn get_call(t: Target, var: &str) -> String {
+    match t {
+        Target::Pascal => format!("GetNode{}({});", var, var),
+        Target::Rust => format!("let mut {} = ctx.get_node();", var.to_ascii_lowercase()),
+    }
+}
+
+fn put_call(t: Target, var: &str) -> String {
+    match t {
+        Target::Pascal => format!("PutNode{}({});", var, var),
+        Target::Rust => format!("ctx.put_node(&{});", var.to_ascii_lowercase()),
+    }
+}
+
+fn visit_call(t: Target, dispatcher: &str, var: &str) -> String {
+    match t {
+        Target::Pascal => format!("{}({});", dispatcher, var),
+        Target::Rust => format!(
+            "{}(ctx, &mut {});",
+            dispatcher.to_ascii_lowercase(),
+            var.to_ascii_lowercase()
+        ),
+    }
+}
+
+fn assign(t: Target, dst: &str, src: &str) -> String {
+    match t {
+        Target::Pascal => format!("{} := {};", dst, src),
+        Target::Rust => format!("{} = {};", dst.to_ascii_lowercase(), src),
+    }
+}
+
+fn kw_if(t: Target) -> &'static str {
+    match t {
+        Target::Pascal => "if",
+        Target::Rust => "if",
+    }
+}
+fn kw_elsif(t: Target) -> &'static str {
+    match t {
+        Target::Pascal => "elsif",
+        Target::Rust => "} else if",
+    }
+}
+fn kw_then(t: Target) -> &'static str {
+    match t {
+        Target::Pascal => "then",
+        Target::Rust => "{",
+    }
+}
+fn kw_else(t: Target) -> &'static str {
+    match t {
+        Target::Pascal => "else",
+        Target::Rust => "} else {",
+    }
+}
+fn kw_endif(t: Target) -> &'static str {
+    match t {
+        Target::Pascal => "endif;",
+        Target::Rust => "}",
+    }
+}
+
+/// Generate the per-symbol dispatcher ("the parser of the stream": reads
+/// the production tag and calls the production-procedure).
+pub fn emit_dispatcher(
+    analysis: &Analysis,
+    sym: SymbolId,
+    pass: u16,
+    target: Target,
+) -> ProcSource {
+    let g = &analysis.grammar;
+    let mut e = Emitter {
+        analysis,
+        target,
+        lines: Vec::new(),
+        save_restore_bytes: 0,
+        subsumed_rules: 0,
+        indent: 0,
+    };
+    let name = names::dispatcher_name(g, sym, pass);
+    let prods: Vec<ProdId> = g
+        .productions()
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.lhs == sym)
+        .map(|(i, _)| ProdId(i as u32))
+        .collect();
+    match target {
+        Target::Pascal => {
+            e.push(
+                LineKind::Husk,
+                format!(
+                    "procedure {} (VAR NODE : {});",
+                    name,
+                    names::node_type(g, sym)
+                ),
+            );
+            e.push(LineKind::Husk, "begin");
+            e.indent = 1;
+            e.push(LineKind::Husk, "case PeekProduction() of");
+            e.indent = 2;
+            for p in &prods {
+                e.push(
+                    LineKind::Husk,
+                    format!("{}: {}(NODE);", p.0, names::proc_name(g, *p, pass)),
+                );
+            }
+            e.indent = 1;
+            e.push(LineKind::Husk, "end;");
+            e.indent = 0;
+            e.push(LineKind::Husk, "end;");
+        }
+        Target::Rust => {
+            e.push(
+                LineKind::Husk,
+                format!(
+                    "fn {}(ctx: &mut Apt, node: &mut {}) {{",
+                    name.to_ascii_lowercase(),
+                    names::node_type(g, sym)
+                ),
+            );
+            e.indent = 1;
+            e.push(LineKind::Husk, "match ctx.peek_production() {");
+            e.indent = 2;
+            for p in &prods {
+                e.push(
+                    LineKind::Husk,
+                    format!(
+                        "{} => {}(ctx, node),",
+                        p.0,
+                        names::proc_name(g, *p, pass).to_ascii_lowercase()
+                    ),
+                );
+            }
+            e.push(LineKind::Husk, "_ => unreachable!(),");
+            e.indent = 1;
+            e.push(LineKind::Husk, "}");
+            e.indent = 0;
+            e.push(LineKind::Husk, "}");
+        }
+    }
+    finish(e, name)
+}

@@ -1,0 +1,148 @@
+//! Name mangling for generated evaluators.
+//!
+//! The paper's generated code names occurrences `FUNCTIONLIST0` (the LHS)
+//! and `FUNCTIONLIST1` (a RHS occurrence of the same symbol), leaves
+//! singly-occurring symbols unsuffixed (`FUNCTION`, `COMMA`), names
+//! production-procedures after the limb (`FUNCTIONLISTLIMBPP2` for pass
+//! 2), and decorates generated types with the `_PQZ_` infix. This module
+//! reproduces those conventions.
+
+use linguist_ag::grammar::Grammar;
+use linguist_ag::ids::{OccPos, ProdId, SymbolId};
+
+/// Uppercased symbol name (the paper's generated code is shouty Pascal).
+pub fn sym_upper(g: &Grammar, s: SymbolId) -> String {
+    g.symbol_name(s)
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_uppercase() } else { '_' })
+        .collect()
+}
+
+/// The local-variable name of an occurrence position within a production.
+///
+/// Symbols occurring more than once (counting the LHS) get `0`, `1`, …
+/// suffixes in LHS-then-left-to-right order, matching `FUNCTIONLIST0` /
+/// `FUNCTIONLIST1` in the paper's figure.
+pub fn occ_var(g: &Grammar, prod: ProdId, pos: OccPos) -> String {
+    let p = g.production(prod);
+    match pos {
+        OccPos::Limb => {
+            let l = p.limb.expect("occ_var(Limb) requires a limb");
+            sym_upper(g, l)
+        }
+        OccPos::Lhs | OccPos::Rhs(_) => {
+            let sym = match pos {
+                OccPos::Lhs => p.lhs,
+                OccPos::Rhs(i) => p.rhs[i as usize],
+                OccPos::Limb => unreachable!(),
+            };
+            let mut count = usize::from(p.lhs == sym);
+            count += p.rhs.iter().filter(|&&r| r == sym).count();
+            let base = sym_upper(g, sym);
+            if count <= 1 {
+                return base;
+            }
+            // Ordinal of this occurrence among same-symbol positions.
+            let ordinal = match pos {
+                OccPos::Lhs => 0,
+                OccPos::Rhs(i) => {
+                    let mut n = usize::from(p.lhs == sym);
+                    n += p.rhs[..i as usize].iter().filter(|&&r| r == sym).count();
+                    n
+                }
+                OccPos::Limb => unreachable!(),
+            };
+            format!("{}{}", base, ordinal)
+        }
+    }
+}
+
+/// Production-procedure name for one pass: `<LIMB>PP<k>`, falling back to
+/// `PROD<i>PP<k>` for limb-less productions.
+pub fn proc_name(g: &Grammar, prod: ProdId, pass: u16) -> String {
+    match g.production(prod).limb {
+        Some(l) => format!("{}PP{}", sym_upper(g, l), pass),
+        None => format!("PROD{}PP{}", prod.0, pass),
+    }
+}
+
+/// Per-symbol dispatcher procedure name: `<SYM>PP<k>`.
+pub fn dispatcher_name(g: &Grammar, sym: SymbolId, pass: u16) -> String {
+    format!("{}PP{}", sym_upper(g, sym), pass)
+}
+
+/// The `_PQZ_type` record type of a symbol.
+pub fn node_type(g: &Grammar, sym: SymbolId) -> String {
+    format!("{}_PQZ_type", sym_upper(g, sym))
+}
+
+/// Global variable of a subsumption group.
+pub fn global_var(name: &str) -> String {
+    format!("G_{}", name.to_ascii_uppercase())
+}
+
+/// Save-temporary of a group (the paper's `PRE_QZP`).
+pub fn save_var(name: &str) -> String {
+    format!("{}_QZP", name.to_ascii_uppercase())
+}
+
+/// New-value temporary of a group at one child (the paper's `PRE2_ZQP`).
+pub fn new_var(name: &str, child: u16) -> String {
+    format!("{}{}_ZQP", name.to_ascii_uppercase(), child)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linguist_ag::grammar::AgBuilder;
+    use linguist_ag::ids::AttrOcc;
+
+    fn fixture() -> (Grammar, ProdId) {
+        let mut b = AgBuilder::new();
+        let fl = b.nonterminal("function_list");
+        let flv = b.synthesized(fl, "FUNCTS", "set");
+        let f = b.nonterminal("function");
+        let fv = b.synthesized(f, "OBJ", "name");
+        let comma = b.terminal("comma");
+        let limb = b.limb("FunctionListLimb");
+        // function_list0 = function comma function_list1
+        let p = b.production(fl, vec![f, comma, fl], Some(limb));
+        b.rule(
+            p,
+            vec![AttrOcc::lhs(flv)],
+            linguist_ag::expr::Expr::Occ(AttrOcc::rhs(2, flv)),
+        );
+        let pf = b.production(f, vec![], None);
+        b.rule(pf, vec![AttrOcc::lhs(fv)], linguist_ag::expr::Expr::Int(0));
+        b.start(fl);
+        (b.build().unwrap(), p)
+    }
+
+    #[test]
+    fn repeated_symbols_get_ordinals() {
+        let (g, p) = fixture();
+        assert_eq!(occ_var(&g, p, OccPos::Lhs), "FUNCTION_LIST0");
+        assert_eq!(occ_var(&g, p, OccPos::Rhs(2)), "FUNCTION_LIST1");
+        assert_eq!(occ_var(&g, p, OccPos::Rhs(0)), "FUNCTION");
+        assert_eq!(occ_var(&g, p, OccPos::Rhs(1)), "COMMA");
+        assert_eq!(occ_var(&g, p, OccPos::Limb), "FUNCTIONLISTLIMB");
+    }
+
+    #[test]
+    fn procedure_names_follow_the_limb() {
+        let (g, p) = fixture();
+        assert_eq!(proc_name(&g, p, 2), "FUNCTIONLISTLIMBPP2");
+        assert_eq!(proc_name(&g, ProdId(1), 2), "PROD1PP2");
+    }
+
+    #[test]
+    fn auxiliary_names() {
+        let (g, _) = fixture();
+        let fl = g.symbol_by_name("function_list").unwrap();
+        assert_eq!(dispatcher_name(&g, fl, 3), "FUNCTION_LISTPP3");
+        assert_eq!(node_type(&g, fl), "FUNCTION_LIST_PQZ_type");
+        assert_eq!(global_var("pre"), "G_PRE");
+        assert_eq!(save_var("pre"), "PRE_QZP");
+        assert_eq!(new_var("pre", 2), "PRE2_ZQP");
+    }
+}

@@ -1,0 +1,555 @@
+//! The linearized APT intermediate files.
+//!
+//! "The evaluation strategy calls for storing a linearized version of the
+//! APT in an intermediate file … Two intermediate files are used per pass;
+//! APT nodes are read from one intermediate file and written to the other"
+//! (§II). The key trick is directional: "if the output file of a
+//! left-to-right pass is read backwards it can be the input file for a
+//! right-to-left pass". To make a byte file readable in both directions,
+//! every record is framed with its length on *both* sides:
+//!
+//! ```text
+//! [len: u32][payload: len bytes][len: u32]
+//! ```
+//!
+//! A forward reader consumes the leading length; a backward reader seeks
+//! from the end and consumes the trailing one. Records carry either a
+//! symbol node (leaf or interior) or a production node (the paper's limb
+//! record, which also tells the visiting procedure *which* production
+//! applies — "to synchronize the identification of productions with the
+//! parser").
+
+use crate::value::{DecodeError, Value};
+use linguist_ag::ids::{AttrId, ProdId, SymbolId};
+use std::cell::RefCell;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+/// A memory-resident intermediate "file" — the paper's closing question
+/// made concrete: "would some form of virtual memory system significantly
+/// speed up the evaluators?" Backing the same record format with RAM
+/// instead of disk is that hypothetical; the `ablation_virtual_memory`
+/// bench measures the difference.
+pub type MemFile = Rc<RefCell<Vec<u8>>>;
+
+/// What a record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordBody {
+    /// A node labelled with a grammar symbol (terminal leaf or
+    /// nonterminal interior node).
+    Sym(SymbolId),
+    /// A production/limb record: identifies the production applying at an
+    /// interior node and carries limb-attribute instances.
+    Prod(ProdId),
+}
+
+/// One record of an intermediate APT file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// Node or production tag.
+    pub body: RecordBody,
+    /// Attribute instances travelling with the record, sorted by attribute
+    /// id (self-describing layout).
+    pub values: Vec<(AttrId, Value)>,
+}
+
+impl Record {
+    /// Serialized payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self.body {
+            RecordBody::Sym(s) => {
+                out.push(0u8);
+                out.extend_from_slice(&s.0.to_le_bytes());
+            }
+            RecordBody::Prod(p) => {
+                out.push(1u8);
+                out.extend_from_slice(&p.0.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.values.len() as u16).to_le_bytes());
+        for (a, v) in &self.values {
+            out.extend_from_slice(&a.0.to_le_bytes());
+            v.encode(&mut out);
+        }
+        out
+    }
+
+    /// Decode a payload produced by [`Record::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AptError::Decode`] on malformed payloads.
+    pub fn decode(buf: &[u8]) -> Result<Record, AptError> {
+        let mut pos = 0usize;
+        let err = |at| AptError::Decode(DecodeError { at });
+        let tag = *buf.first().ok_or(err(0))?;
+        pos += 1;
+        let id_bytes: [u8; 4] = buf.get(pos..pos + 4).ok_or(err(pos))?.try_into().expect("sized");
+        pos += 4;
+        let id = u32::from_le_bytes(id_bytes);
+        let body = match tag {
+            0 => RecordBody::Sym(SymbolId(id)),
+            1 => RecordBody::Prod(ProdId(id)),
+            _ => return Err(err(0)),
+        };
+        let n_bytes: [u8; 2] = buf.get(pos..pos + 2).ok_or(err(pos))?.try_into().expect("sized");
+        pos += 2;
+        let n = u16::from_le_bytes(n_bytes) as usize;
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a_bytes: [u8; 4] =
+                buf.get(pos..pos + 4).ok_or(err(pos))?.try_into().expect("sized");
+            pos += 4;
+            let v = Value::decode(buf, &mut pos).map_err(AptError::Decode)?;
+            values.push((AttrId(u32::from_le_bytes(a_bytes)), v));
+        }
+        if pos != buf.len() {
+            return Err(err(pos));
+        }
+        Ok(Record { body, values })
+    }
+
+    /// Look up an attribute instance in the record.
+    pub fn value_of(&self, a: AttrId) -> Option<&Value> {
+        self.values
+            .iter()
+            .find(|(attr, _)| *attr == a)
+            .map(|(_, v)| v)
+    }
+
+    /// Approximate on-disk size (payload + both length frames).
+    pub fn byte_size(&self) -> usize {
+        self.encode().len() + 8
+    }
+}
+
+/// I/O or format failure on an APT file.
+#[derive(Debug)]
+pub enum AptError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// Malformed record payload.
+    Decode(DecodeError),
+    /// A record frame is inconsistent (leading/trailing length mismatch or
+    /// truncated file).
+    Frame {
+        /// Byte offset of the bad frame.
+        at: u64,
+    },
+}
+
+impl fmt::Display for AptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AptError::Io(e) => write!(f, "APT file I/O error: {}", e),
+            AptError::Decode(e) => write!(f, "APT record: {}", e),
+            AptError::Frame { at } => write!(f, "APT file frame corrupt at byte {}", at),
+        }
+    }
+}
+
+impl std::error::Error for AptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AptError::Io(e) => Some(e),
+            AptError::Decode(e) => Some(e),
+            AptError::Frame { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for AptError {
+    fn from(e: io::Error) -> AptError {
+        AptError::Io(e)
+    }
+}
+
+/// Sequential writer of an intermediate APT file (disk- or RAM-backed).
+#[derive(Debug)]
+pub struct AptWriter {
+    sink: Sink,
+    bytes: u64,
+    records: u64,
+}
+
+#[derive(Debug)]
+enum Sink {
+    File(BufWriter<File>),
+    Mem(MemFile),
+}
+
+impl AptWriter {
+    /// Create (truncate) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: &Path) -> Result<AptWriter, AptError> {
+        Ok(AptWriter {
+            sink: Sink::File(BufWriter::new(File::create(path)?)),
+            bytes: 0,
+            records: 0,
+        })
+    }
+
+    /// Create a writer over a memory buffer (truncating it).
+    pub fn create_mem(buf: MemFile) -> AptWriter {
+        buf.borrow_mut().clear();
+        AptWriter {
+            sink: Sink::Mem(buf),
+            bytes: 0,
+            records: 0,
+        }
+    }
+
+    /// Append one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (memory writers are infallible).
+    pub fn write(&mut self, rec: &Record) -> Result<(), AptError> {
+        let payload = rec.encode();
+        let len = (payload.len() as u32).to_le_bytes();
+        match &mut self.sink {
+            Sink::File(f) => {
+                f.write_all(&len)?;
+                f.write_all(&payload)?;
+                f.write_all(&len)?;
+            }
+            Sink::Mem(m) => {
+                let mut b = m.borrow_mut();
+                b.extend_from_slice(&len);
+                b.extend_from_slice(&payload);
+                b.extend_from_slice(&len);
+            }
+        }
+        self.bytes += payload.len() as u64 + 8;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Flush and report `(bytes, records)` written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the final flush failure.
+    pub fn finish(self) -> Result<(u64, u64), AptError> {
+        if let Sink::File(mut f) = self.sink {
+            f.flush()?;
+        }
+        Ok((self.bytes, self.records))
+    }
+}
+
+/// Read direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadDir {
+    /// First record first.
+    Forward,
+    /// Last record first — "the output file of a left-to-right pass …
+    /// read backwards".
+    Backward,
+}
+
+/// Sequential (possibly backwards) reader of an intermediate APT file
+/// (disk- or RAM-backed).
+#[derive(Debug)]
+pub struct AptReader {
+    src: Source,
+    pos: u64,
+    end: u64,
+    dir: ReadDir,
+    bytes: u64,
+    records: u64,
+}
+
+#[derive(Debug)]
+enum Source {
+    File(File),
+    Mem(MemFile),
+}
+
+impl Source {
+    fn read_at(&mut self, pos: u64, out: &mut [u8]) -> Result<(), AptError> {
+        match self {
+            Source::File(f) => {
+                f.seek(SeekFrom::Start(pos))?;
+                f.read_exact(out)?;
+                Ok(())
+            }
+            Source::Mem(m) => {
+                let b = m.borrow();
+                let start = pos as usize;
+                let slice = b
+                    .get(start..start + out.len())
+                    .ok_or(AptError::Frame { at: pos })?;
+                out.copy_from_slice(slice);
+                Ok(())
+            }
+        }
+    }
+}
+
+impl AptReader {
+    /// Open `path` for reading in `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open(path: &Path, dir: ReadDir) -> Result<AptReader, AptError> {
+        let file = File::open(path)?;
+        let end = file.metadata()?.len();
+        Ok(AptReader {
+            src: Source::File(file),
+            pos: match dir {
+                ReadDir::Forward => 0,
+                ReadDir::Backward => end,
+            },
+            end,
+            dir,
+            bytes: 0,
+            records: 0,
+        })
+    }
+
+    /// Open a memory buffer for reading in `dir`.
+    pub fn open_mem(buf: MemFile, dir: ReadDir) -> AptReader {
+        let end = buf.borrow().len() as u64;
+        AptReader {
+            src: Source::Mem(buf),
+            pos: match dir {
+                ReadDir::Forward => 0,
+                ReadDir::Backward => end,
+            },
+            end,
+            dir,
+            bytes: 0,
+            records: 0,
+        }
+    }
+
+    /// Read the next record, or `None` at the end (beginning, for
+    /// backward readers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AptError::Frame`] on corrupt framing and propagates I/O
+    /// and decode failures.
+    #[allow(clippy::should_implement_trait)] // fallible, not an Iterator
+    pub fn next(&mut self) -> Result<Option<Record>, AptError> {
+        match self.dir {
+            ReadDir::Forward => {
+                if self.pos >= self.end {
+                    return Ok(None);
+                }
+                let mut len4 = [0u8; 4];
+                self.src.read_at(self.pos, &mut len4)?;
+                let len = u32::from_le_bytes(len4) as u64;
+                if self.pos + 8 + len > self.end {
+                    return Err(AptError::Frame { at: self.pos });
+                }
+                let mut payload = vec![0u8; len as usize];
+                self.src.read_at(self.pos + 4, &mut payload)?;
+                let mut trail = [0u8; 4];
+                self.src.read_at(self.pos + 4 + len, &mut trail)?;
+                if trail != len4 {
+                    return Err(AptError::Frame { at: self.pos });
+                }
+                self.pos += 8 + len;
+                self.bytes += 8 + len;
+                self.records += 1;
+                Ok(Some(Record::decode(&payload)?))
+            }
+            ReadDir::Backward => {
+                if self.pos == 0 {
+                    return Ok(None);
+                }
+                if self.pos < 8 {
+                    return Err(AptError::Frame { at: self.pos });
+                }
+                let mut len4 = [0u8; 4];
+                self.src.read_at(self.pos - 4, &mut len4)?;
+                let len = u32::from_le_bytes(len4) as u64;
+                if self.pos < 8 + len {
+                    return Err(AptError::Frame { at: self.pos });
+                }
+                let mut lead = [0u8; 4];
+                self.src.read_at(self.pos - 8 - len, &mut lead)?;
+                if lead != len4 {
+                    return Err(AptError::Frame { at: self.pos });
+                }
+                let mut payload = vec![0u8; len as usize];
+                self.src.read_at(self.pos - 4 - len, &mut payload)?;
+                self.pos -= 8 + len;
+                self.bytes += 8 + len;
+                self.records += 1;
+                Ok(Some(Record::decode(&payload)?))
+            }
+        }
+    }
+
+    /// Bytes consumed so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Records consumed so far.
+    pub fn records_read(&self) -> u64 {
+        self.records
+    }
+}
+
+/// A self-cleaning directory for one evaluation's intermediate files.
+#[derive(Debug)]
+pub struct TempAptDir {
+    dir: PathBuf,
+}
+
+impl TempAptDir {
+    /// Create a fresh private directory under the system temp dir.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn new() -> Result<TempAptDir, AptError> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "linguist86-apt-{}-{}",
+            std::process::id(),
+            n
+        ));
+        std::fs::create_dir_all(&dir)?;
+        Ok(TempAptDir { dir })
+    }
+
+    /// Path of the file holding the boundary-`k` snapshot (boundary 0 is
+    /// the parser-built initial file).
+    pub fn boundary(&self, k: u16) -> PathBuf {
+        self.dir.join(format!("boundary_{}.apt", k))
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Drop for TempAptDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: u32) -> Record {
+        Record {
+            body: if i.is_multiple_of(2) {
+                RecordBody::Sym(SymbolId(i))
+            } else {
+                RecordBody::Prod(ProdId(i))
+            },
+            values: vec![
+                (AttrId(0), Value::Int(i as i64)),
+                (AttrId(7), Value::str(&format!("v{}", i))),
+            ],
+        }
+    }
+
+    #[test]
+    fn record_encoding_round_trips() {
+        for i in 0..5 {
+            let r = rec(i);
+            assert_eq!(Record::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn forward_read_returns_written_order() {
+        let dir = TempAptDir::new().unwrap();
+        let path = dir.boundary(0);
+        let mut w = AptWriter::create(&path).unwrap();
+        for i in 0..10 {
+            w.write(&rec(i)).unwrap();
+        }
+        let (bytes, records) = w.finish().unwrap();
+        assert_eq!(records, 10);
+        assert!(bytes > 0);
+
+        let mut r = AptReader::open(&path, ReadDir::Forward).unwrap();
+        for i in 0..10 {
+            assert_eq!(r.next().unwrap().unwrap(), rec(i));
+        }
+        assert!(r.next().unwrap().is_none());
+        assert_eq!(r.records_read(), 10);
+        assert_eq!(r.bytes_read(), bytes);
+    }
+
+    #[test]
+    fn backward_read_reverses_order() {
+        let dir = TempAptDir::new().unwrap();
+        let path = dir.boundary(1);
+        let mut w = AptWriter::create(&path).unwrap();
+        for i in 0..7 {
+            w.write(&rec(i)).unwrap();
+        }
+        w.finish().unwrap();
+
+        let mut r = AptReader::open(&path, ReadDir::Backward).unwrap();
+        for i in (0..7).rev() {
+            assert_eq!(r.next().unwrap().unwrap(), rec(i));
+        }
+        assert!(r.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_file_reads_none_both_ways() {
+        let dir = TempAptDir::new().unwrap();
+        let path = dir.boundary(2);
+        AptWriter::create(&path).unwrap().finish().unwrap();
+        for d in [ReadDir::Forward, ReadDir::Backward] {
+            let mut r = AptReader::open(&path, d).unwrap();
+            assert!(r.next().unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn corrupt_frame_detected() {
+        let dir = TempAptDir::new().unwrap();
+        let path = dir.boundary(3);
+        let mut w = AptWriter::create(&path).unwrap();
+        w.write(&rec(0)).unwrap();
+        w.finish().unwrap();
+        // Truncate one byte off the end.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 1]).unwrap();
+        let mut r = AptReader::open(&path, ReadDir::Forward).unwrap();
+        assert!(r.next().is_err());
+    }
+
+    #[test]
+    fn temp_dir_cleans_up() {
+        let path;
+        {
+            let dir = TempAptDir::new().unwrap();
+            path = dir.path().to_path_buf();
+            assert!(path.exists());
+        }
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn value_of_finds_attrs() {
+        let r = rec(4);
+        assert_eq!(r.value_of(AttrId(0)), Some(&Value::Int(4)));
+        assert!(r.value_of(AttrId(99)).is_none());
+    }
+}

@@ -1,0 +1,892 @@
+//! The alternating-pass evaluation machine.
+//!
+//! This is the Figure-3 paradigm as an interpreter of the analysis plans:
+//! each pass streams the APT from one intermediate file to another,
+//! keeping only the current spine of the tree on the stack. "When an APT
+//! node, N, is encountered … it is read from the intermediate file onto a
+//! stack in memory. N is kept on the stack while the sub-tree descended
+//! from N is visited … When the evaluation pass over N's subtree is
+//! finished node N is written to the intermediate file."
+//!
+//! The machine also *executes the static-subsumption protocol* alongside
+//! reference evaluation: it maintains the global variables, performs the
+//! save/set/restore dance around child visits for non-subsumed definitions
+//! of static attributes, and — for every subsumed copy-rule — **checks**
+//! that the value already sitting in the global equals the reference
+//! value. [`EvalStats::globals_checked`] counts those verifications;
+//! [`EvalStats::globals_repaired`] counts the places where a clobbered
+//! global had to be re-captured (the paper's `POST2_ZQP`-style temporaries
+//! pay for exactly these sites in generated code).
+
+use crate::aptfile::{
+    AptError, AptReader, AptWriter, MemFile, ReadDir, Record, RecordBody, TempAptDir,
+};
+use crate::funcs::{FuncError, Funcs};
+use crate::tree::{PTree, TreeError};
+use crate::value::Value;
+use linguist_ag::analysis::Analysis;
+use linguist_ag::expr::{BinOp, Expr};
+use linguist_ag::grammar::AttrClass;
+use linguist_ag::ids::{AttrId, AttrOcc, OccPos, ProdId, RuleId, SymbolId};
+use linguist_ag::passes::Direction;
+use linguist_ag::plan::Step;
+use linguist_ag::subsumption::GroupId;
+use linguist_support::size::Meter;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How the initial linearized APT file is produced (§II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Bottom-up (shift/reduce) emission; first pass is right-to-left.
+    /// "LINGUIST-86 itself uses the first method."
+    BottomUp,
+    /// Prefix (recursive-descent) emission; first pass is left-to-right.
+    Prefix,
+}
+
+/// Where the intermediate APT lives.
+///
+/// [`Backing::Disk`] is the paper's configuration (real temporary files);
+/// [`Backing::Memory`] answers its closing question — "would some form of
+/// virtual memory system significantly speed up the evaluators?" — by
+/// backing the identical record format with RAM.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backing {
+    /// Temporary files on disk (the paper's paradigm).
+    #[default]
+    Disk,
+    /// RAM-resident buffers with the same record format.
+    Memory,
+}
+
+/// Evaluation options.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalOptions {
+    /// Initial-file strategy; must match the pass analysis's first
+    /// direction.
+    pub strategy: Strategy,
+    /// Run the static-subsumption global-variable protocol and verify it
+    /// against reference values.
+    pub check_globals: bool,
+    /// Dynamic-memory budget in bytes (the paper's machine allows 48 KB);
+    /// exceeding it is recorded, not fatal.
+    pub budget: Option<usize>,
+    /// Disk files (default, as in the paper) or RAM buffers.
+    pub backing: Backing,
+}
+
+impl Default for EvalOptions {
+    fn default() -> EvalOptions {
+        EvalOptions {
+            strategy: Strategy::BottomUp,
+            check_globals: true,
+            budget: Some(48 * 1024),
+            backing: Backing::Disk,
+        }
+    }
+}
+
+/// Per-pass measurements.
+#[derive(Clone, Debug, Default)]
+pub struct PassStats {
+    /// Wall-clock time of the pass.
+    pub duration: Duration,
+    /// Bytes read from the input intermediate file.
+    pub bytes_read: u64,
+    /// Bytes written to the output intermediate file.
+    pub bytes_written: u64,
+    /// Records read.
+    pub records_read: u64,
+    /// Records written.
+    pub records_written: u64,
+    /// Semantic functions evaluated.
+    pub rules_evaluated: u64,
+}
+
+/// Whole-evaluation measurements.
+#[derive(Clone, Debug, Default)]
+pub struct EvalStats {
+    /// Per-pass breakdown.
+    pub passes: Vec<PassStats>,
+    /// Stack-residency meter (peak is what must fit in the 48 KB window).
+    pub meter: Meter,
+    /// Deepest production-procedure recursion reached.
+    pub max_depth: usize,
+    /// Subsumption verifications performed.
+    pub globals_checked: u64,
+    /// Subsumption verifications that found a clobbered global and
+    /// repaired it (capture sites).
+    pub globals_repaired: u64,
+}
+
+impl EvalStats {
+    /// Total bytes moved through intermediate files.
+    pub fn total_io_bytes(&self) -> u64 {
+        self.passes
+            .iter()
+            .map(|p| p.bytes_read + p.bytes_written)
+            .sum()
+    }
+
+    /// Total semantic functions evaluated.
+    pub fn total_rules(&self) -> u64 {
+        self.passes.iter().map(|p| p.rules_evaluated).sum()
+    }
+}
+
+/// The result of an evaluation.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// Values of the root's synthesized attributes — "the result of the
+    /// translation" (§I).
+    pub outputs: Vec<(AttrId, Value)>,
+    /// Measurements.
+    pub stats: EvalStats,
+}
+
+impl Evaluation {
+    /// Output value by attribute name.
+    pub fn output(&self, analysis: &Analysis, name: &str) -> Option<&Value> {
+        self.outputs
+            .iter()
+            .find(|(a, _)| analysis.grammar.attr_name(*a) == name)
+            .map(|(_, v)| v)
+    }
+}
+
+/// An evaluation failure.
+#[derive(Debug)]
+pub enum EvalError {
+    /// Intermediate-file failure.
+    Apt(AptError),
+    /// Semantic-function failure.
+    Func(FuncError),
+    /// The input tree does not fit the grammar.
+    Tree(TreeError),
+    /// The strategy's first direction disagrees with the pass analysis.
+    StrategyMismatch {
+        /// The strategy requested.
+        strategy: Strategy,
+        /// The analysis's first direction.
+        first_direction: Direction,
+    },
+    /// The file stream disagrees with the grammar (wrong record kind or
+    /// symbol).
+    Corrupt(String),
+    /// A needed attribute instance was absent (indicates an analysis or
+    /// interpreter bug).
+    Missing(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Apt(e) => write!(f, "{}", e),
+            EvalError::Func(e) => write!(f, "{}", e),
+            EvalError::Tree(e) => write!(f, "{}", e),
+            EvalError::StrategyMismatch {
+                strategy,
+                first_direction,
+            } => write!(
+                f,
+                "strategy {:?} incompatible with first pass direction {}",
+                strategy, first_direction
+            ),
+            EvalError::Corrupt(m) => write!(f, "APT stream corrupt: {}", m),
+            EvalError::Missing(m) => write!(f, "missing attribute instance: {}", m),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<AptError> for EvalError {
+    fn from(e: AptError) -> EvalError {
+        EvalError::Apt(e)
+    }
+}
+impl From<FuncError> for EvalError {
+    fn from(e: FuncError) -> EvalError {
+        EvalError::Func(e)
+    }
+}
+impl From<TreeError> for EvalError {
+    fn from(e: TreeError) -> EvalError {
+        EvalError::Tree(e)
+    }
+}
+
+/// Evaluate `tree` under `analysis` with the external functions in
+/// `funcs`.
+///
+/// # Errors
+///
+/// See [`EvalError`].
+///
+/// # Example
+///
+/// See the crate-level documentation for a complete walk-through.
+pub fn evaluate(
+    analysis: &Analysis,
+    funcs: &Funcs,
+    tree: &PTree,
+    opts: &EvalOptions,
+) -> Result<Evaluation, EvalError> {
+    tree.validate(&analysis.grammar)?;
+    let first = analysis.passes.direction(1);
+    let compatible = matches!(
+        (opts.strategy, first),
+        (Strategy::BottomUp, Direction::RightToLeft) | (Strategy::Prefix, Direction::LeftToRight)
+    );
+    if !compatible {
+        return Err(EvalError::StrategyMismatch {
+            strategy: opts.strategy,
+            first_direction: first,
+        });
+    }
+
+    let store = Store::new(opts.backing)?;
+    // Boundary 0: the parser-built file.
+    {
+        let mut w = store.writer(0)?;
+        match opts.strategy {
+            Strategy::BottomUp => tree.write_postfix(&analysis.grammar, &analysis.lifetimes, &mut w)?,
+            Strategy::Prefix => tree.write_prefix(&analysis.grammar, &analysis.lifetimes, &mut w)?,
+        }
+        w.finish()?;
+    }
+
+    let mut machine = Machine {
+        analysis,
+        funcs,
+        globals: HashMap::new(),
+        stats: EvalStats {
+            meter: Meter::with_budget(opts.budget),
+            ..EvalStats::default()
+        },
+        check_globals: opts.check_globals,
+        pass: 0,
+        depth: 0,
+        rules_this_pass: 0,
+    };
+
+    let num_passes = analysis.passes.num_passes() as u16;
+    let mut root_state: Option<NodeState> = None;
+    for k in 1..=num_passes {
+        let read_dir = match (k, opts.strategy) {
+            (1, Strategy::Prefix) => ReadDir::Forward,
+            _ => ReadDir::Backward,
+        };
+        let started = Instant::now();
+        machine.pass = k;
+        machine.globals.clear();
+        machine.rules_this_pass = 0;
+
+        let mut reader = store.reader(k - 1, read_dir)?;
+        let mut writer = store.writer(k)?;
+        let root = machine.run_pass(&mut reader, &mut writer)?;
+        let (bytes_written, records_written) = writer.finish()?;
+        machine.stats.passes.push(PassStats {
+            duration: started.elapsed(),
+            bytes_read: reader.bytes_read(),
+            bytes_written,
+            records_read: reader.records_read(),
+            records_written,
+            rules_evaluated: machine.rules_this_pass,
+        });
+        root_state = Some(root);
+    }
+
+    let root = root_state.ok_or_else(|| {
+        EvalError::Corrupt("grammar evaluates in zero passes; nothing to do".to_owned())
+    })?;
+    let g = &analysis.grammar;
+    let mut outputs = Vec::new();
+    for &a in &g.symbol(g.start()).attrs {
+        if g.attr(a).class == AttrClass::Synthesized {
+            let v = root.values.get(&a).ok_or_else(|| {
+                EvalError::Missing(format!("root output {}", g.attr_name(a)))
+            })?;
+            outputs.push((a, v.clone()));
+        }
+    }
+    Ok(Evaluation {
+        outputs,
+        stats: machine.stats,
+    })
+}
+
+/// An APT node held on the stack: its symbol plus every attribute instance
+/// currently materialized.
+#[derive(Clone, Debug)]
+struct NodeState {
+    sym: SymbolId,
+    values: HashMap<AttrId, Value>,
+    charged: usize,
+}
+
+impl NodeState {
+    fn from_record(rec: Record) -> Result<NodeState, EvalError> {
+        let charged = rec.byte_size();
+        match rec.body {
+            RecordBody::Sym(sym) => Ok(NodeState {
+                sym,
+                values: rec.values.into_iter().collect(),
+                charged,
+            }),
+            RecordBody::Prod(p) => Err(EvalError::Corrupt(format!(
+                "expected a symbol record, found production {}",
+                p.0
+            ))),
+        }
+    }
+}
+
+struct Machine<'a> {
+    analysis: &'a Analysis,
+    funcs: &'a Funcs,
+    globals: HashMap<GroupId, Value>,
+    stats: EvalStats,
+    check_globals: bool,
+    pass: u16,
+    depth: usize,
+    rules_this_pass: u64,
+}
+
+impl<'a> Machine<'a> {
+    fn run_pass(
+        &mut self,
+        reader: &mut AptReader,
+        writer: &mut AptWriter,
+    ) -> Result<NodeState, EvalError> {
+        let g = &self.analysis.grammar;
+        let rec = reader
+            .next()?
+            .ok_or_else(|| EvalError::Corrupt("empty APT file".to_owned()))?;
+        let mut root = NodeState::from_record(rec)?;
+        if root.sym != g.start() {
+            return Err(EvalError::Corrupt(format!(
+                "root record is {}, expected start symbol {}",
+                g.symbol_name(root.sym),
+                g.symbol_name(g.start())
+            )));
+        }
+        self.stats.meter.charge(root.charged);
+        self.visit(&mut root, reader, writer)?;
+        writer.write(&self.to_record(&root))?;
+        self.stats.meter.release(root.charged);
+        Ok(root)
+    }
+
+    fn to_record(&self, state: &NodeState) -> Record {
+        let g = &self.analysis.grammar;
+        let lt = &self.analysis.lifetimes;
+        let mut values: Vec<(AttrId, Value)> = g
+            .symbol(state.sym)
+            .attrs
+            .iter()
+            .filter(|&&a| lt.alive_across(a, self.pass))
+            .filter_map(|&a| state.values.get(&a).map(|v| (a, v.clone())))
+            .collect();
+        values.sort_by_key(|(a, _)| *a);
+        Record {
+            body: RecordBody::Sym(state.sym),
+            values,
+        }
+    }
+
+    fn visit(
+        &mut self,
+        state: &mut NodeState,
+        reader: &mut AptReader,
+        writer: &mut AptWriter,
+    ) -> Result<(), EvalError> {
+        self.depth += 1;
+        if self.depth > self.stats.max_depth {
+            self.stats.max_depth = self.depth;
+        }
+        let g = &self.analysis.grammar;
+        let lt = &self.analysis.lifetimes;
+
+        // The production record drives dispatch (the limb's role of
+        // "synchronizing the identification of productions").
+        let prod_rec = reader
+            .next()?
+            .ok_or_else(|| EvalError::Corrupt("APT file ended inside a visit".to_owned()))?;
+        let (prod, mut limb_vals, prod_charged) = match prod_rec.body {
+            RecordBody::Prod(p) => {
+                let charged = prod_rec.byte_size();
+                let vals: HashMap<AttrId, Value> = prod_rec.values.into_iter().collect();
+                (p, vals, charged)
+            }
+            RecordBody::Sym(s) => {
+                return Err(EvalError::Corrupt(format!(
+                    "expected a production record, found symbol {}",
+                    g.symbol_name(s)
+                )))
+            }
+        };
+        if g.production(prod).lhs != state.sym {
+            return Err(EvalError::Corrupt(format!(
+                "production {} does not derive {}",
+                prod.0,
+                g.symbol_name(state.sym)
+            )));
+        }
+        self.stats.meter.charge(prod_charged);
+
+        let rhs_len = g.production(prod).rhs.len();
+        let mut children: Vec<Option<NodeState>> = (0..rhs_len).map(|_| None).collect();
+        let mut locals: HashMap<AttrOcc, Value> = HashMap::new();
+        let plan = self.analysis.plans.plan(self.pass, prod);
+        let mut charged_children = 0usize;
+
+        for step in &plan.steps {
+            match *step {
+                Step::Get(i) => {
+                    let rec = reader.next()?.ok_or_else(|| {
+                        EvalError::Corrupt("APT file ended before child record".to_owned())
+                    })?;
+                    let child = NodeState::from_record(rec)?;
+                    let want = g.production(prod).rhs[i as usize];
+                    if child.sym != want {
+                        return Err(EvalError::Corrupt(format!(
+                            "child {} of production {}: expected {}, found {}",
+                            i,
+                            prod.0,
+                            g.symbol_name(want),
+                            g.symbol_name(child.sym)
+                        )));
+                    }
+                    self.stats.meter.charge(child.charged);
+                    charged_children += child.charged;
+                    children[i as usize] = Some(child);
+                }
+                Step::Eval(r) => {
+                    self.eval_rule(r, prod, state, &children, &limb_vals, &mut locals)?;
+                }
+                Step::Visit(i) => {
+                    let saves = if self.check_globals {
+                        self.pre_visit_globals(prod, i, state, &children, &locals)?
+                    } else {
+                        Vec::new()
+                    };
+                    let mut child = children[i as usize]
+                        .take()
+                        .ok_or_else(|| EvalError::Missing(format!("child {} state", i)))?;
+                    // This-pass inherited definitions must be visible to
+                    // the child's procedure (the paradigm's "eval inherited
+                    // attribs of Xi" happens before the visit).
+                    for (occ, v) in &locals {
+                        if occ.pos == OccPos::Rhs(i) {
+                            child.values.insert(occ.attr, v.clone());
+                        }
+                    }
+                    self.visit(&mut child, reader, writer)?;
+                    children[i as usize] = Some(child);
+                    if self.check_globals {
+                        self.post_visit_globals(prod, i, &children, saves);
+                    }
+                }
+                Step::Put(i) => {
+                    let child = children[i as usize]
+                        .as_mut()
+                        .ok_or_else(|| EvalError::Missing(format!("child {} state", i)))?;
+                    // Merge this frame's definitions for the child into its
+                    // record before writing.
+                    for (occ, v) in &locals {
+                        if occ.pos == OccPos::Rhs(i) {
+                            child.values.insert(occ.attr, v.clone());
+                        }
+                    }
+                    let rec = {
+                        let mut values: Vec<(AttrId, Value)> = g
+                            .symbol(child.sym)
+                            .attrs
+                            .iter()
+                            .filter(|&&a| lt.alive_across(a, self.pass))
+                            .filter_map(|&a| child.values.get(&a).map(|v| (a, v.clone())))
+                            .collect();
+                        values.sort_by_key(|(a, _)| *a);
+                        Record {
+                            body: RecordBody::Sym(child.sym),
+                            values,
+                        }
+                    };
+                    writer.write(&rec)?;
+                }
+            }
+        }
+
+        // End zone: merge LHS and limb definitions, run the synthesized
+        // global protocol, write the production record.
+        for (occ, v) in &locals {
+            match occ.pos {
+                OccPos::Lhs => {
+                    state.values.insert(occ.attr, v.clone());
+                }
+                OccPos::Limb => {
+                    limb_vals.insert(occ.attr, v.clone());
+                }
+                OccPos::Rhs(_) => {}
+            }
+        }
+        if self.check_globals {
+            self.end_globals(prod, state);
+        }
+        {
+            let mut values: Vec<(AttrId, Value)> = g
+                .production(prod)
+                .limb
+                .map(|l| {
+                    g.symbol(l)
+                        .attrs
+                        .iter()
+                        .filter(|&&a| lt.alive_across(a, self.pass))
+                        .filter_map(|&a| limb_vals.get(&a).map(|v| (a, v.clone())))
+                        .collect()
+                })
+                .unwrap_or_default();
+            values.sort_by_key(|(a, _)| *a);
+            writer.write(&Record {
+                body: RecordBody::Prod(prod),
+                values,
+            })?;
+        }
+
+        self.stats.meter.release(charged_children + prod_charged);
+        self.depth -= 1;
+        Ok(())
+    }
+
+    fn resolve(
+        &self,
+        occ: AttrOcc,
+        state: &NodeState,
+        children: &[Option<NodeState>],
+        limb_vals: &HashMap<AttrId, Value>,
+        locals: &HashMap<AttrOcc, Value>,
+    ) -> Result<Value, EvalError> {
+        if let Some(v) = locals.get(&occ) {
+            return Ok(v.clone());
+        }
+        let g = &self.analysis.grammar;
+        let found = match occ.pos {
+            OccPos::Lhs => state.values.get(&occ.attr),
+            OccPos::Rhs(i) => children
+                .get(i as usize)
+                .and_then(|c| c.as_ref())
+                .and_then(|c| c.values.get(&occ.attr)),
+            OccPos::Limb => limb_vals.get(&occ.attr),
+        };
+        found.cloned().ok_or_else(|| {
+            EvalError::Missing(format!(
+                "{} at {} (pass {})",
+                g.attr_name(occ.attr),
+                occ.pos,
+                self.pass
+            ))
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn eval_rule(
+        &mut self,
+        rule: RuleId,
+        _prod: ProdId,
+        state: &NodeState,
+        children: &[Option<NodeState>],
+        limb_vals: &HashMap<AttrId, Value>,
+        locals: &mut HashMap<AttrOcc, Value>,
+    ) -> Result<(), EvalError> {
+        let r = self.analysis.grammar.rule(rule);
+        let width = r.targets.len();
+        let vals: Vec<Value> = match &r.expr {
+            Expr::If {
+                branches,
+                otherwise,
+            } if width > 1 => {
+                let arm = self.select_arm(branches, otherwise, state, children, limb_vals, locals)?;
+                let mut out = Vec::with_capacity(width);
+                for e in arm {
+                    out.push(self.eval_expr(e, state, children, limb_vals, locals)?);
+                }
+                out
+            }
+            expr => {
+                let v = self.eval_expr(expr, state, children, limb_vals, locals)?;
+                vec![v; width]
+            }
+        };
+        for (t, v) in r.targets.iter().zip(vals) {
+            locals.insert(*t, v);
+        }
+        self.rules_this_pass += 1;
+        Ok(())
+    }
+
+    fn select_arm<'e>(
+        &mut self,
+        branches: &'e [(Expr, Vec<Expr>)],
+        otherwise: &'e [Expr],
+        state: &NodeState,
+        children: &[Option<NodeState>],
+        limb_vals: &HashMap<AttrId, Value>,
+        locals: &HashMap<AttrOcc, Value>,
+    ) -> Result<&'e [Expr], EvalError> {
+        for (cond, arm) in branches {
+            let c = self.eval_expr(cond, state, children, limb_vals, locals)?;
+            match c {
+                Value::Bool(true) => return Ok(arm),
+                Value::Bool(false) => continue,
+                other => {
+                    return Err(EvalError::Func(FuncError::Type {
+                        name: "if".to_owned(),
+                        expected: "bool",
+                        got: other.type_name(),
+                    }))
+                }
+            }
+        }
+        Ok(otherwise)
+    }
+
+    fn eval_expr(
+        &mut self,
+        expr: &Expr,
+        state: &NodeState,
+        children: &[Option<NodeState>],
+        limb_vals: &HashMap<AttrId, Value>,
+        locals: &HashMap<AttrOcc, Value>,
+    ) -> Result<Value, EvalError> {
+        match expr {
+            Expr::Occ(o) => self.resolve(*o, state, children, limb_vals, locals),
+            Expr::Int(i) => Ok(Value::Int(*i)),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Str(s) => Ok(Value::str(s)),
+            Expr::Const(n) => Ok(Value::Sym(*n)),
+            Expr::Call { func, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval_expr(a, state, children, limb_vals, locals)?);
+                }
+                let name = self.analysis.grammar.resolve(*func).to_owned();
+                Ok(self.funcs.call(&name, &vals)?)
+            }
+            Expr::Binop { op, lhs, rhs } => {
+                let a = self.eval_expr(lhs, state, children, limb_vals, locals)?;
+                let b = self.eval_expr(rhs, state, children, limb_vals, locals)?;
+                self.apply_binop(*op, a, b)
+            }
+            Expr::If {
+                branches,
+                otherwise,
+            } => {
+                let arm =
+                    self.select_arm(branches, otherwise, state, children, limb_vals, locals)?;
+                match arm {
+                    [single] => self.eval_expr(single, state, children, limb_vals, locals),
+                    _ => Err(EvalError::Corrupt(
+                        "multi-expression arm outside a multi-target rule".to_owned(),
+                    )),
+                }
+            }
+        }
+    }
+
+    fn apply_binop(&self, op: BinOp, a: Value, b: Value) -> Result<Value, EvalError> {
+        let int = |v: &Value| -> Result<i64, EvalError> {
+            match v {
+                Value::Int(i) => Ok(*i),
+                other => Err(EvalError::Func(FuncError::Type {
+                    name: op.to_string(),
+                    expected: "int",
+                    got: other.type_name(),
+                })),
+            }
+        };
+        let boolean = |v: &Value| -> Result<bool, EvalError> {
+            match v {
+                Value::Bool(b) => Ok(*b),
+                other => Err(EvalError::Func(FuncError::Type {
+                    name: op.to_string(),
+                    expected: "bool",
+                    got: other.type_name(),
+                })),
+            }
+        };
+        Ok(match op {
+            BinOp::Add => Value::Int(int(&a)?.wrapping_add(int(&b)?)),
+            BinOp::Sub => Value::Int(int(&a)?.wrapping_sub(int(&b)?)),
+            BinOp::And => Value::Bool(boolean(&a)? && boolean(&b)?),
+            BinOp::Or => Value::Bool(boolean(&a)? || boolean(&b)?),
+            BinOp::Eq => Value::Bool(a == b),
+            BinOp::Ne => Value::Bool(a != b),
+            BinOp::Gt => Value::Bool(int(&a)? > int(&b)?),
+            BinOp::Lt => Value::Bool(int(&a)? < int(&b)?),
+        })
+    }
+
+    // ---- static-subsumption global protocol ---------------------------
+
+    /// Before visiting child `i`: install this-pass inherited static
+    /// values in the globals. Subsumed copies must already be there
+    /// (verified); other definitions save the old value and set the new
+    /// one.
+    fn pre_visit_globals(
+        &mut self,
+        prod: ProdId,
+        i: u16,
+        state: &NodeState,
+        children: &[Option<NodeState>],
+        locals: &HashMap<AttrOcc, Value>,
+    ) -> Result<Vec<(GroupId, Option<Value>)>, EvalError> {
+        let g = &self.analysis.grammar;
+        let sub = &self.analysis.subsumption;
+        let child_sym = g.production(prod).rhs[i as usize];
+        let mut saves = Vec::new();
+        for &a in &g.symbol(child_sym).attrs {
+            if g.attr(a).class != AttrClass::Inherited
+                || self.analysis.passes.pass_of(a) != self.pass
+                || !sub.is_static(a)
+            {
+                continue;
+            }
+            let occ = AttrOcc::rhs(i, a);
+            let val = self.resolve(occ, state, children, &HashMap::new(), locals)?;
+            let group = sub.group_of(a);
+            let def_subsumed = g
+                .production(prod)
+                .rules
+                .iter()
+                .find(|&&r| g.rule(r).targets.contains(&occ))
+                .is_some_and(|&r| sub.is_subsumed(r));
+            if def_subsumed {
+                self.stats.globals_checked += 1;
+                if self.globals.get(&group) != Some(&val) {
+                    self.stats.globals_repaired += 1;
+                    self.globals.insert(group, val);
+                }
+            } else {
+                saves.push((group, self.globals.insert(group, val)));
+            }
+        }
+        Ok(saves)
+    }
+
+    /// After visiting child `i`: verify the child's this-pass synthesized
+    /// static values arrived in the globals, then restore what we saved.
+    fn post_visit_globals(
+        &mut self,
+        prod: ProdId,
+        i: u16,
+        children: &[Option<NodeState>],
+        saves: Vec<(GroupId, Option<Value>)>,
+    ) {
+        let g = &self.analysis.grammar;
+        let sub = &self.analysis.subsumption;
+        let child_sym = g.production(prod).rhs[i as usize];
+        if let Some(child) = children[i as usize].as_ref() {
+            for &a in &g.symbol(child_sym).attrs {
+                if g.attr(a).class != AttrClass::Synthesized
+                    || self.analysis.passes.pass_of(a) != self.pass
+                    || !sub.is_static(a)
+                {
+                    continue;
+                }
+                if let Some(val) = child.values.get(&a) {
+                    let group = sub.group_of(a);
+                    self.stats.globals_checked += 1;
+                    if self.globals.get(&group) != Some(val) {
+                        self.stats.globals_repaired += 1;
+                        self.globals.insert(group, val.clone());
+                    }
+                }
+            }
+        }
+        for (group, old) in saves.into_iter().rev() {
+            match old {
+                Some(v) => self.globals.insert(group, v),
+                None => self.globals.remove(&group),
+            };
+        }
+    }
+
+    /// Procedure end: leave this node's this-pass synthesized static
+    /// values in the globals for the parent. A subsumed upward copy means
+    /// the value should already be there (verified).
+    fn end_globals(&mut self, prod: ProdId, state: &NodeState) {
+        let g = &self.analysis.grammar;
+        let sub = &self.analysis.subsumption;
+        for &a in &g.symbol(state.sym).attrs {
+            if g.attr(a).class != AttrClass::Synthesized
+                || self.analysis.passes.pass_of(a) != self.pass
+                || !sub.is_static(a)
+            {
+                continue;
+            }
+            let Some(val) = state.values.get(&a) else { continue };
+            let group = sub.group_of(a);
+            let occ = AttrOcc::lhs(a);
+            let def_subsumed = g
+                .production(prod)
+                .rules
+                .iter()
+                .find(|&&r| g.rule(r).targets.contains(&occ))
+                .is_some_and(|&r| sub.is_subsumed(r));
+            if def_subsumed {
+                self.stats.globals_checked += 1;
+                if self.globals.get(&group) != Some(val) {
+                    self.stats.globals_repaired += 1;
+                    self.globals.insert(group, val.clone());
+                }
+            } else {
+                self.globals.insert(group, val.clone());
+            }
+        }
+    }
+}
+
+
+/// Per-evaluation intermediate storage: a temp directory of real files
+/// (the paper) or a set of RAM buffers (the "virtual memory" ablation).
+enum Store {
+    Disk(TempAptDir),
+    Memory(std::cell::RefCell<HashMap<u16, MemFile>>),
+}
+
+impl Store {
+    fn new(backing: Backing) -> Result<Store, AptError> {
+        Ok(match backing {
+            Backing::Disk => Store::Disk(TempAptDir::new()?),
+            Backing::Memory => Store::Memory(std::cell::RefCell::new(HashMap::new())),
+        })
+    }
+
+    fn buffer(&self, k: u16) -> MemFile {
+        match self {
+            Store::Memory(m) => m
+                .borrow_mut()
+                .entry(k)
+                .or_insert_with(|| std::rc::Rc::new(std::cell::RefCell::new(Vec::new())))
+                .clone(),
+            Store::Disk(_) => unreachable!("buffer() is memory-only"),
+        }
+    }
+
+    fn writer(&self, k: u16) -> Result<AptWriter, AptError> {
+        match self {
+            Store::Disk(dir) => AptWriter::create(&dir.boundary(k)),
+            Store::Memory(_) => Ok(AptWriter::create_mem(self.buffer(k))),
+        }
+    }
+
+    fn reader(&self, k: u16, dir_: ReadDir) -> Result<AptReader, AptError> {
+        match self {
+            Store::Disk(dir) => AptReader::open(&dir.boundary(k), dir_),
+            Store::Memory(_) => Ok(AptReader::open_mem(self.buffer(k), dir_)),
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Parse trees and their linearization into the initial APT file.
+//!
+//! §II gives two ways to build the first linearized APT file:
+//!
+//! 1. "for the parser to emit tree nodes in bottom-up order. This creates
+//!    an intermediate APT file that is identical to what would have been
+//!    created by a left-to-right attribute evaluator … the first attribute
+//!    evaluation pass is right-to-left." ([`PTree::write_postfix`])
+//! 2. "for the parser to emit nodes in prefix order, like a recursive
+//!    descent parser … the first semantic pass is a left-to-right pass."
+//!    ([`PTree::write_prefix`])
+//!
+//! LINGUIST-86 itself uses the first method; both are supported here and
+//! must produce identical results (experiment E14).
+
+use crate::aptfile::{AptError, AptWriter, Record, RecordBody};
+use crate::value::Value;
+use linguist_ag::grammar::Grammar;
+use linguist_ag::ids::{AttrId, ProdId, SymbolId};
+use linguist_ag::lifetime::Lifetimes;
+use std::fmt;
+
+/// An explicit parse tree, used to seed an evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PTree {
+    /// A terminal leaf with its parser-set intrinsic attributes.
+    Leaf {
+        /// The terminal symbol.
+        sym: SymbolId,
+        /// Intrinsic attribute values (the paper's name-table indices,
+        /// source locations, …).
+        intrinsics: Vec<(AttrId, Value)>,
+    },
+    /// An interior node: a production applied to children.
+    Node {
+        /// The production.
+        prod: ProdId,
+        /// Children, left to right, matching the production's RHS.
+        children: Vec<PTree>,
+    },
+}
+
+impl PTree {
+    /// Leaf constructor.
+    pub fn leaf(sym: SymbolId, intrinsics: Vec<(AttrId, Value)>) -> PTree {
+        PTree::Leaf { sym, intrinsics }
+    }
+
+    /// Interior-node constructor.
+    pub fn node(prod: ProdId, children: Vec<PTree>) -> PTree {
+        PTree::Node { prod, children }
+    }
+
+    /// Total number of nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            PTree::Leaf { .. } => 1,
+            PTree::Node { children, .. } => {
+                1 + children.iter().map(PTree::size).sum::<usize>()
+            }
+        }
+    }
+
+    /// Height of the tree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            PTree::Leaf { .. } => 1,
+            PTree::Node { children, .. } => {
+                1 + children.iter().map(PTree::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// The grammar symbol labelling this node.
+    pub fn symbol(&self, g: &Grammar) -> SymbolId {
+        match self {
+            PTree::Leaf { sym, .. } => *sym,
+            PTree::Node { prod, .. } => g.production(*prod).lhs,
+        }
+    }
+
+    /// Check the tree is structurally valid for `g`: each node's children
+    /// match its production's RHS symbols.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered description of the first mismatch.
+    pub fn validate(&self, g: &Grammar) -> Result<(), TreeError> {
+        match self {
+            PTree::Leaf { .. } => Ok(()),
+            PTree::Node { prod, children } => {
+                let p = g.production(*prod);
+                if p.rhs.len() != children.len() {
+                    return Err(TreeError {
+                        message: format!(
+                            "production {} expects {} children, tree node has {}",
+                            prod.0,
+                            p.rhs.len(),
+                            children.len()
+                        ),
+                    });
+                }
+                for (i, (child, &want)) in children.iter().zip(p.rhs.iter()).enumerate() {
+                    let got = child.symbol(g);
+                    if got != want {
+                        return Err(TreeError {
+                            message: format!(
+                                "child {} of production {}: expected {}, found {}",
+                                i,
+                                prod.0,
+                                g.symbol_name(want),
+                                g.symbol_name(got)
+                            ),
+                        });
+                    }
+                    child.validate(g)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn sym_record(&self, g: &Grammar, lt: &Lifetimes) -> Record {
+        match self {
+            PTree::Leaf { sym, intrinsics } => {
+                let mut values: Vec<(AttrId, Value)> = intrinsics
+                    .iter()
+                    .filter(|(a, _)| lt.alive_across(*a, 0))
+                    .cloned()
+                    .collect();
+                values.sort_by_key(|(a, _)| *a);
+                Record {
+                    body: RecordBody::Sym(*sym),
+                    values,
+                }
+            }
+            PTree::Node { prod, .. } => Record {
+                body: RecordBody::Sym(g.production(*prod).lhs),
+                values: Vec::new(),
+            },
+        }
+    }
+
+    /// Strategy 1: write the bottom-up (postfix) initial file — exactly the
+    /// stream a shift/reduce parser emits. Returns `(bytes, records)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AptError`] I/O failures.
+    pub fn write_postfix(
+        &self,
+        g: &Grammar,
+        lt: &Lifetimes,
+        w: &mut AptWriter,
+    ) -> Result<(), AptError> {
+        if let PTree::Node { prod, children } = self {
+            for c in children {
+                c.write_postfix(g, lt, w)?;
+            }
+            w.write(&Record {
+                body: RecordBody::Prod(*prod),
+                values: Vec::new(),
+            })?;
+        }
+        w.write(&self.sym_record(g, lt))
+    }
+
+    /// Strategy 2: write the prefix initial file (recursive-descent
+    /// emission order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AptError`] I/O failures.
+    pub fn write_prefix(
+        &self,
+        g: &Grammar,
+        lt: &Lifetimes,
+        w: &mut AptWriter,
+    ) -> Result<(), AptError> {
+        w.write(&self.sym_record(g, lt))?;
+        if let PTree::Node { prod, children } = self {
+            w.write(&Record {
+                body: RecordBody::Prod(*prod),
+                values: Vec::new(),
+            })?;
+            for c in children {
+                c.write_prefix(g, lt, w)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A structural mismatch between a tree and its grammar.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed parse tree: {}", self.message)
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aptfile::{AptReader, ReadDir, TempAptDir};
+    use linguist_ag::expr::Expr;
+    use linguist_ag::grammar::AgBuilder;
+    use linguist_ag::ids::AttrOcc;
+    use linguist_ag::passes::{assign_passes, Direction, PassConfig};
+
+    /// S -> S x | x with S.V summing x.OBJ.
+    fn grammar() -> (Grammar, Lifetimes) {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let v = b.synthesized(s, "V", "int");
+        let x = b.terminal("x");
+        let obj = b.intrinsic(x, "OBJ", "int");
+        let p0 = b.production(s, vec![s, x], None);
+        b.rule(
+            p0,
+            vec![AttrOcc::lhs(v)],
+            Expr::binop(
+                linguist_ag::expr::BinOp::Add,
+                Expr::Occ(AttrOcc::rhs(0, v)),
+                Expr::Occ(AttrOcc::rhs(1, obj)),
+            ),
+        );
+        let p1 = b.production(s, vec![x], None);
+        b.rule(p1, vec![AttrOcc::lhs(v)], Expr::Occ(AttrOcc::rhs(0, obj)));
+        b.start(s);
+        let g = b.build().unwrap();
+        let pa = assign_passes(
+            &g,
+            &PassConfig {
+                first_direction: Direction::RightToLeft,
+                max_passes: 4,
+            },
+        )
+        .unwrap();
+        let lt = Lifetimes::compute(&g, &pa);
+        (g, lt)
+    }
+
+    fn sample_tree(g: &Grammar) -> PTree {
+        let x = g.symbol_by_name("x").unwrap();
+        let obj = g.attr_by_name(x, "OBJ").unwrap();
+        let leaf = |v: i64| PTree::leaf(x, vec![(obj, Value::Int(v))]);
+        // S( S(x1), x2 )
+        PTree::node(
+            ProdId(0),
+            vec![PTree::node(ProdId(1), vec![leaf(1)]), leaf(2)],
+        )
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let (g, _) = grammar();
+        let t = sample_tree(&g);
+        assert_eq!(t.size(), 4);
+        assert_eq!(t.depth(), 3);
+        t.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_wrong_child() {
+        let (g, _) = grammar();
+        let x = g.symbol_by_name("x").unwrap();
+        // Production 0 expects (S, x) but gets (x, x).
+        let bad = PTree::node(
+            ProdId(0),
+            vec![PTree::leaf(x, vec![]), PTree::leaf(x, vec![])],
+        );
+        let err = bad.validate(&g).unwrap_err();
+        assert!(err.to_string().contains("expected S"));
+    }
+
+    #[test]
+    fn postfix_stream_matches_shift_reduce_order() {
+        let (g, lt) = grammar();
+        let t = sample_tree(&g);
+        let dir = TempAptDir::new().unwrap();
+        let mut w = AptWriter::create(&dir.boundary(0)).unwrap();
+        t.write_postfix(&g, &lt, &mut w).unwrap();
+        w.finish().unwrap();
+
+        let mut r = AptReader::open(&dir.boundary(0), ReadDir::Forward).unwrap();
+        let mut tags = Vec::new();
+        while let Some(rec) = r.next().unwrap() {
+            tags.push(rec.body);
+        }
+        // shift x1; reduce S->x (prod1, S); shift x2; reduce S->Sx (prod0, S)
+        let x = g.symbol_by_name("x").unwrap();
+        let s = g.symbol_by_name("S").unwrap();
+        assert_eq!(
+            tags,
+            vec![
+                RecordBody::Sym(x),
+                RecordBody::Prod(ProdId(1)),
+                RecordBody::Sym(s),
+                RecordBody::Sym(x),
+                RecordBody::Prod(ProdId(0)),
+                RecordBody::Sym(s),
+            ]
+        );
+    }
+
+    #[test]
+    fn prefix_stream_is_preorder() {
+        let (g, lt) = grammar();
+        let t = sample_tree(&g);
+        let dir = TempAptDir::new().unwrap();
+        let mut w = AptWriter::create(&dir.boundary(0)).unwrap();
+        t.write_prefix(&g, &lt, &mut w).unwrap();
+        w.finish().unwrap();
+
+        let mut r = AptReader::open(&dir.boundary(0), ReadDir::Forward).unwrap();
+        let mut tags = Vec::new();
+        while let Some(rec) = r.next().unwrap() {
+            tags.push(rec.body);
+        }
+        let x = g.symbol_by_name("x").unwrap();
+        let s = g.symbol_by_name("S").unwrap();
+        assert_eq!(
+            tags,
+            vec![
+                RecordBody::Sym(s),
+                RecordBody::Prod(ProdId(0)),
+                RecordBody::Sym(s),
+                RecordBody::Prod(ProdId(1)),
+                RecordBody::Sym(x),
+                RecordBody::Sym(x),
+            ]
+        );
+    }
+
+    #[test]
+    fn postfix_backwards_equals_prefix_mirrored() {
+        // The paper's diagram: an L-R postfix file read backwards is an
+        // R-L prefix traversal. For our stream that means: reading the
+        // postfix file backwards visits each node before its children,
+        // with children in right-to-left order.
+        let (g, lt) = grammar();
+        let t = sample_tree(&g);
+        let dir = TempAptDir::new().unwrap();
+        let mut w = AptWriter::create(&dir.boundary(0)).unwrap();
+        t.write_postfix(&g, &lt, &mut w).unwrap();
+        w.finish().unwrap();
+
+        let mut r = AptReader::open(&dir.boundary(0), ReadDir::Backward).unwrap();
+        let mut tags = Vec::new();
+        while let Some(rec) = r.next().unwrap() {
+            tags.push(rec.body);
+        }
+        let x = g.symbol_by_name("x").unwrap();
+        let s = g.symbol_by_name("S").unwrap();
+        // Root sym, root prod, right child (x2), left child (S), its prod,
+        // its leaf.
+        assert_eq!(
+            tags,
+            vec![
+                RecordBody::Sym(s),
+                RecordBody::Prod(ProdId(0)),
+                RecordBody::Sym(x),
+                RecordBody::Sym(s),
+                RecordBody::Prod(ProdId(1)),
+                RecordBody::Sym(x),
+            ]
+        );
+    }
+
+    #[test]
+    fn dead_intrinsics_are_not_written() {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let v = b.synthesized(s, "V", "int");
+        let x = b.terminal("x");
+        let obj = b.intrinsic(x, "OBJ", "int");
+        let dead = b.intrinsic(x, "UNUSED", "int");
+        let p = b.production(s, vec![x], None);
+        b.rule(p, vec![AttrOcc::lhs(v)], Expr::Occ(AttrOcc::rhs(0, obj)));
+        b.start(s);
+        let g = b.build().unwrap();
+        let pa = assign_passes(&g, &PassConfig::default()).unwrap();
+        let lt = Lifetimes::compute(&g, &pa);
+
+        let t = PTree::node(
+            ProdId(0),
+            vec![PTree::leaf(
+                x,
+                vec![(obj, Value::Int(1)), (dead, Value::Int(9))],
+            )],
+        );
+        let dir = TempAptDir::new().unwrap();
+        let mut w = AptWriter::create(&dir.boundary(0)).unwrap();
+        t.write_postfix(&g, &lt, &mut w).unwrap();
+        w.finish().unwrap();
+        let mut r = AptReader::open(&dir.boundary(0), ReadDir::Forward).unwrap();
+        let leaf = r.next().unwrap().unwrap();
+        assert!(leaf.value_of(obj).is_some());
+        assert!(
+            leaf.value_of(dead).is_none(),
+            "never-referenced intrinsic must not be written (§III dead-attribute optimization)"
+        );
+    }
+}

@@ -1,0 +1,400 @@
+//! Attribute values and their on-disk encoding.
+//!
+//! Attribute types in LINGUIST-86 are "uninterpreted identifiers" (§IV);
+//! the values flowing through semantic functions at run time are the kinds
+//! the paper's own grammar uses: integers, booleans, interned names,
+//! strings, and the list-package shapes (lists, sets, partial functions).
+//! Uninterpreted constants (`no$msg`, `bottom`, …) evaluate to symbolic
+//! [`Value::Sym`] atoms.
+//!
+//! Values serialize to a compact tagged binary form — the payload of the
+//! intermediate-APT-file records, so [`Value::byte_size`] doubles as the
+//! record-size accounting the memory experiments charge against the 48 KB
+//! budget.
+
+use linguist_support::intern::Name;
+use linguist_support::list::List;
+use linguist_support::pfunc::PartialFn;
+use linguist_support::set::LSet;
+use std::fmt;
+use std::rc::Rc;
+
+/// A run-time attribute value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Interned identifier (name-table index).
+    Sym(Name),
+    /// String (shared).
+    Str(Rc<str>),
+    /// Sequence.
+    List(List<Value>),
+    /// Set.
+    Set(LSet<Value>),
+    /// Partial function.
+    Map(PartialFn<Value, Value>),
+}
+
+impl Value {
+    /// String value helper.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Rc::from(s))
+    }
+
+    /// The empty list.
+    pub fn nil() -> Value {
+        Value::List(List::nil())
+    }
+
+    /// The empty set.
+    pub fn empty_set() -> Value {
+        Value::Set(LSet::empty())
+    }
+
+    /// The everywhere-undefined partial function.
+    pub fn empty_map() -> Value {
+        Value::Map(PartialFn::empty())
+    }
+
+    /// Type tag name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Bool(_) => "bool",
+            Value::Sym(_) => "name",
+            Value::Str(_) => "string",
+            Value::List(_) => "list",
+            Value::Set(_) => "set",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// Approximate serialized size in bytes (used for stack/file
+    /// accounting).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Value::Int(_) => 9,
+            Value::Bool(_) => 2,
+            Value::Sym(_) => 5,
+            Value::Str(s) => 5 + s.len(),
+            Value::List(l) => 5 + l.iter().map(Value::byte_size).sum::<usize>(),
+            Value::Set(s) => 5 + s.iter().map(Value::byte_size).sum::<usize>(),
+            Value::Map(m) => {
+                5 + m
+                    .iter()
+                    .map(|(k, v)| k.byte_size() + v.byte_size())
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// Append the binary encoding to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Int(i) => {
+                out.push(0);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Bool(b) => {
+                out.push(1);
+                out.push(*b as u8);
+            }
+            Value::Sym(n) => {
+                out.push(2);
+                out.extend_from_slice(&(n.index() as u32).to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(3);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::List(l) => {
+                out.push(4);
+                let items: Vec<&Value> = l.iter().collect();
+                out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                for v in items {
+                    v.encode(out);
+                }
+            }
+            Value::Set(s) => {
+                out.push(5);
+                let items: Vec<&Value> = s.iter().collect();
+                out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                for v in items {
+                    v.encode(out);
+                }
+            }
+            Value::Map(m) => {
+                out.push(6);
+                let items: Vec<(&Value, &Value)> = m.iter().map(|(k, v)| (k, v)).collect();
+                out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                for (k, v) in items {
+                    k.encode(out);
+                    v.encode(out);
+                }
+            }
+        }
+    }
+
+    /// Decode one value from `buf` starting at `*pos`, advancing `*pos`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated or malformed input.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Value, DecodeError> {
+        let tag = *buf.get(*pos).ok_or(DecodeError { at: *pos })?;
+        *pos += 1;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], DecodeError> {
+            let s = buf.get(*pos..*pos + n).ok_or(DecodeError { at: *pos })?;
+            *pos += n;
+            Ok(s)
+        };
+        match tag {
+            0 => {
+                let b: [u8; 8] = take(pos, 8)?.try_into().expect("sized");
+                Ok(Value::Int(i64::from_le_bytes(b)))
+            }
+            1 => {
+                let b = take(pos, 1)?[0];
+                Ok(Value::Bool(b != 0))
+            }
+            2 => {
+                let b: [u8; 4] = take(pos, 4)?.try_into().expect("sized");
+                Ok(Value::Sym(Name::from_index(u32::from_le_bytes(b) as usize)))
+            }
+            3 => {
+                let b: [u8; 4] = take(pos, 4)?.try_into().expect("sized");
+                let n = u32::from_le_bytes(b) as usize;
+                let bytes = take(pos, n)?;
+                let s = std::str::from_utf8(bytes).map_err(|_| DecodeError { at: *pos })?;
+                Ok(Value::str(s))
+            }
+            4..=6 => {
+                let b: [u8; 4] = take(pos, 4)?.try_into().expect("sized");
+                let n = u32::from_le_bytes(b) as usize;
+                match tag {
+                    4 => {
+                        let mut items = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            items.push(Value::decode(buf, pos)?);
+                        }
+                        Ok(Value::List(items.into_iter().collect()))
+                    }
+                    5 => {
+                        // Sets encode newest-first; rebuild preserving
+                        // membership (order is irrelevant for equality).
+                        let mut items = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            items.push(Value::decode(buf, pos)?);
+                        }
+                        Ok(Value::Set(items.into_iter().collect()))
+                    }
+                    _ => {
+                        let mut pairs = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            let k = Value::decode(buf, pos)?;
+                            let v = Value::decode(buf, pos)?;
+                            pairs.push((k, v));
+                        }
+                        // Iteration order is newest-binding-first; rebind in
+                        // reverse so shadowing is preserved.
+                        let mut m = PartialFn::empty();
+                        for (k, v) in pairs.into_iter().rev() {
+                            m = m.bind(k, v);
+                        }
+                        Ok(Value::Map(m))
+                    }
+                }
+            }
+            _ => Err(DecodeError { at: *pos - 1 }),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Sym(a), Value::Sym(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::List(a), Value::List(b)) => a == b,
+            (Value::Set(a), Value::Set(b)) => a == b,
+            (Value::Map(a), Value::Map(b)) => {
+                // Extensional equality over effective bindings.
+                let da = a.domain();
+                let db = b.domain();
+                da.len() == db.len()
+                    && da.iter().all(|k| a.eval(k) == b.eval(k))
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{}", i),
+            Value::Bool(b) => write!(f, "{}", b),
+            Value::Sym(n) => write!(f, "#{}", n.index()),
+            Value::Str(s) => write!(f, "{:?}", s),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", v)?;
+                }
+                write!(f, "]")
+            }
+            Value::Set(s) => {
+                write!(f, "{{")?;
+                for (i, v) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", v)?;
+                }
+                write!(f, "}}")
+            }
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, k) in m.domain().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{} -> {}", k, m.eval(k).expect("domain key"))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Malformed or truncated value encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset of the problem.
+    pub at: usize,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed value encoding at byte {}", self.at)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) -> Value {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut pos = 0;
+        let out = Value::decode(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len(), "decoded exactly the encoding");
+        out
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Int(0),
+            Value::Int(-123456789),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Sym(Name::from_index(42)),
+            Value::str(""),
+            Value::str("hello world"),
+        ] {
+            assert_eq!(round_trip(&v), v);
+        }
+    }
+
+    #[test]
+    fn nested_collections_round_trip() {
+        let list: Value = Value::List(
+            [Value::Int(1), Value::str("x"), Value::nil()]
+                .into_iter()
+                .collect(),
+        );
+        assert_eq!(round_trip(&list), list);
+
+        let set: Value = Value::Set([Value::Int(1), Value::Int(2)].into_iter().collect());
+        assert_eq!(round_trip(&set), set);
+
+        let map = Value::Map(
+            PartialFn::empty()
+                .bind(Value::str("k1"), Value::Int(1))
+                .bind(Value::str("k2"), list.clone()),
+        );
+        assert_eq!(round_trip(&map), map);
+    }
+
+    #[test]
+    fn map_shadowing_survives_round_trip() {
+        let m = Value::Map(
+            PartialFn::empty()
+                .bind(Value::Int(1), Value::str("old"))
+                .bind(Value::Int(1), Value::str("new")),
+        );
+        let rt = round_trip(&m);
+        if let Value::Map(m2) = rt {
+            assert_eq!(m2.eval(&Value::Int(1)), Some(&Value::str("new")));
+        } else {
+            panic!("not a map");
+        }
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let a: Value = Value::Set([Value::Int(1), Value::Int(2)].into_iter().collect());
+        let b: Value = Value::Set([Value::Int(2), Value::Int(1)].into_iter().collect());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cross_type_not_equal() {
+        assert_ne!(Value::Int(1), Value::Bool(true));
+        assert_ne!(Value::str("1"), Value::Int(1));
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = Vec::new();
+        Value::Int(7).encode(&mut buf);
+        buf.truncate(4);
+        let mut pos = 0;
+        assert!(Value::decode(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn bad_tag_errors() {
+        let buf = vec![99u8];
+        let mut pos = 0;
+        assert!(Value::decode(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn byte_size_tracks_structure() {
+        assert!(Value::Int(1).byte_size() < Value::str("a long string here").byte_size());
+        let deep: Value = Value::List((0..10).map(Value::Int).collect());
+        assert!(deep.byte_size() > 10 * Value::Int(0).byte_size() / 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v: Value = Value::List([Value::Int(1), Value::Bool(true)].into_iter().collect());
+        assert_eq!(v.to_string(), "[1, true]");
+    }
+}

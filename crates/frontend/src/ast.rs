@@ -1,0 +1,195 @@
+//! Abstract syntax of the LINGUIST input language.
+//!
+//! §IV: "The input to LINGUIST-86 is an attribute grammar. This includes:
+//! a list of grammar symbols, a list of attributes for each symbol, a list
+//! of productions, and a list of semantic functions associated with each
+//! production." This AST mirrors that structure; see [`crate::lang`] for
+//! the concrete syntax.
+
+use linguist_support::pos::Span;
+
+/// A whole source file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AgFile {
+    /// Grammar name from the `grammar` header.
+    pub name: String,
+    /// Symbol declarations in order.
+    pub symbols: Vec<SymDecl>,
+    /// The declared start symbol.
+    pub start: String,
+    /// Where the start symbol was named.
+    pub start_span: Span,
+    /// Productions in order.
+    pub productions: Vec<ProdDecl>,
+}
+
+/// Which section a symbol was declared in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SymKind {
+    /// `terminals` section.
+    Terminal,
+    /// `nonterminals` section.
+    Nonterminal,
+    /// `limbs` section.
+    Limb,
+}
+
+/// One symbol declaration with its attributes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SymDecl {
+    /// Section.
+    pub kind: SymKind,
+    /// Symbol name.
+    pub name: String,
+    /// Where it was declared.
+    pub span: Span,
+    /// Attribute declarations.
+    pub attrs: Vec<AttrDecl>,
+}
+
+/// Attribute class keywords.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttrKind {
+    /// `syn`
+    Synthesized,
+    /// `inh`
+    Inherited,
+    /// `intrinsic`
+    Intrinsic,
+    /// `local` (limb attribute)
+    Local,
+}
+
+/// One attribute declaration: `syn NAME type`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttrDecl {
+    /// Class keyword.
+    pub kind: AttrKind,
+    /// Attribute name.
+    pub name: String,
+    /// Uninterpreted type identifier.
+    pub type_name: String,
+    /// Declaration site.
+    pub span: Span,
+}
+
+/// One production: `prod lhs = rhs… -> Limb : rules end`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProdDecl {
+    /// LHS occurrence name (may carry an occurrence index suffix).
+    pub lhs: String,
+    /// RHS occurrence names in order.
+    pub rhs: Vec<String>,
+    /// Optional limb symbol name.
+    pub limb: Option<String>,
+    /// Site of the production header.
+    pub span: Span,
+    /// Semantic functions.
+    pub rules: Vec<RuleDecl>,
+}
+
+/// One semantic function: `targets = expr ;`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleDecl {
+    /// Defined occurrences (`&`-separated in the source).
+    pub targets: Vec<TargetRef>,
+    /// Right-hand side.
+    pub expr: ExprAst,
+    /// Site of the rule.
+    pub span: Span,
+}
+
+/// A target: `occ.ATTR`, or a bare limb-attribute name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TargetRef {
+    /// `occurrence.ATTRIBUTE`
+    Qualified {
+        /// Occurrence name (symbol name, maybe with index suffix).
+        occ: String,
+        /// Attribute name.
+        attr: String,
+        /// Site.
+        span: Span,
+    },
+    /// Bare identifier: a limb attribute of this production.
+    Bare {
+        /// Attribute name.
+        name: String,
+        /// Site.
+        span: Span,
+    },
+}
+
+/// Expression AST (names unresolved).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExprAst {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// String literal.
+    Str(String),
+    /// `occ.ATTR` reference.
+    Qualified {
+        /// Occurrence name.
+        occ: String,
+        /// Attribute name.
+        attr: String,
+        /// Site.
+        span: Span,
+    },
+    /// Bare identifier: a limb attribute or an uninterpreted constant.
+    Ident {
+        /// The identifier.
+        name: String,
+        /// Site.
+        span: Span,
+    },
+    /// External function call.
+    Call {
+        /// Function name.
+        func: String,
+        /// Arguments.
+        args: Vec<ExprAst>,
+        /// Site.
+        span: Span,
+    },
+    /// Infix operation (`+ - AND OR = <> > <`).
+    Binop {
+        /// Operator text.
+        op: BinOpAst,
+        /// Left operand.
+        lhs: Box<ExprAst>,
+        /// Right operand.
+        rhs: Box<ExprAst>,
+    },
+    /// `if … then … (elsif … then …)* else … endif` with expression-list
+    /// arms.
+    If {
+        /// `(condition, arm)` pairs.
+        branches: Vec<(ExprAst, Vec<ExprAst>)>,
+        /// The `else` arm.
+        otherwise: Vec<ExprAst>,
+    },
+}
+
+/// Operator tokens of §IV.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOpAst {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+}

@@ -1,0 +1,137 @@
+//! The `linguist` command: the translator-writing system as a CLI.
+//!
+//! ```text
+//! linguist GRAMMAR.lg [options]
+//!
+//!   --listing            print the overlay-6 listing file
+//!   --stats              print the §IV statistics block (default)
+//!   --timings            print the per-overlay timing table
+//!   --emit pascal|rust   print the generated evaluator source
+//!   --first-pass rl|lr   bootstrap strategy (default rl, like the paper)
+//!   --no-subsumption     disable static subsumption
+//!   --coalesce           use the cross-name coalescing extension
+//! ```
+//!
+//! Exit status: 0 on success, 1 on any syntax/semantic/analysis error
+//! (reported the way the failing overlay saw it).
+
+use linguist_ag::analysis::Config;
+use linguist_ag::passes::{Direction, PassConfig};
+use linguist_ag::subsumption::GroupMode;
+use linguist_frontend::driver::{run, DriverOptions, TargetOpt};
+use std::process::ExitCode;
+
+struct Cli {
+    path: String,
+    listing: bool,
+    stats: bool,
+    timings: bool,
+    emit: Option<TargetOpt>,
+    first: Direction,
+    no_subsumption: bool,
+    coalesce: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: linguist GRAMMAR.lg [--listing] [--stats] [--timings] \
+         [--emit pascal|rust] [--first-pass rl|lr] [--no-subsumption] [--coalesce]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli {
+        path: String::new(),
+        listing: false,
+        stats: false,
+        timings: false,
+        emit: None,
+        first: Direction::RightToLeft,
+        no_subsumption: false,
+        coalesce: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--listing" => cli.listing = true,
+            "--stats" => cli.stats = true,
+            "--timings" => cli.timings = true,
+            "--no-subsumption" => cli.no_subsumption = true,
+            "--coalesce" => cli.coalesce = true,
+            "--emit" => match args.next().as_deref() {
+                Some("pascal") => cli.emit = Some(TargetOpt::Pascal),
+                Some("rust") => cli.emit = Some(TargetOpt::Rust),
+                _ => usage(),
+            },
+            "--first-pass" => match args.next().as_deref() {
+                Some("rl") => cli.first = Direction::RightToLeft,
+                Some("lr") => cli.first = Direction::LeftToRight,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ if cli.path.is_empty() && !a.starts_with('-') => cli.path = a,
+            _ => usage(),
+        }
+    }
+    if cli.path.is_empty() {
+        usage();
+    }
+    if !cli.listing && !cli.timings && cli.emit.is_none() {
+        cli.stats = true;
+    }
+    cli
+}
+
+fn main() -> ExitCode {
+    let cli = parse_args();
+    let source = match std::fs::read_to_string(&cli.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("linguist: cannot read {}: {}", cli.path, e);
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = DriverOptions {
+        config: Config {
+            pass: PassConfig {
+                first_direction: cli.first,
+                max_passes: 32,
+            },
+            disable_subsumption: cli.no_subsumption,
+            group_mode: if cli.coalesce {
+                GroupMode::CoalesceCopies
+            } else {
+                GroupMode::SameName
+            },
+            ..Config::default()
+        },
+        target: cli.emit,
+    };
+    let out = match run(&source, &opts) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("linguist: {}: {}", cli.path, e);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if cli.stats {
+        println!("{}", out.stats);
+        let sub = out.analysis.subsumption.stats(&out.analysis.grammar);
+        println!(
+            "static subsumption:   {} attrs static, {}/{} copy-rules subsumed",
+            sub.static_attrs, sub.subsumed_rules, sub.copy_rules
+        );
+    }
+    if cli.timings {
+        println!("{}", out.timings);
+    }
+    if cli.listing {
+        println!("{}", out.listing);
+    }
+    if cli.emit.is_some() {
+        print!("{}", out.generated.full_source());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,287 @@
+//! The overlay driver (§V).
+//!
+//! "LINGUIST-86 is an overlayed, pass-structured program consisting of
+//! seven overlays and six passes":
+//!
+//! 1. scan and parse the input (build the name table, emit the
+//!    right-parse, collect syntactic errors);
+//! 2. (and 3.) semantic analysis: build the dictionary of symbols,
+//!    attributes and semantic functions; insert implicit copy-rules;
+//!    check completeness;
+//! 4. analyze attribute dependencies for alternating-pass evaluability
+//!    (plus non-circularity, lifetimes, and static subsumption);
+//! 5. collect the sequence of semantic messages;
+//! 6. create the listing file;
+//! 7. generate one pass of the output evaluator — "rerun once for each
+//!    pass of the output evaluator".
+//!
+//! Each overlay is timed individually so the §V timing table (E10) can be
+//! regenerated.
+
+use crate::lang::{parse, SyntaxError};
+use crate::listing::render_listing;
+use crate::lower::{lower, LowerError};
+use linguist_ag::analysis::{Analysis, AnalysisError, Config};
+use linguist_ag::check::check_completeness;
+use linguist_ag::circularity::check_noncircular;
+use linguist_ag::implicit::insert_implicit_copies;
+use linguist_ag::lifetime::Lifetimes;
+use linguist_ag::passes::assign_passes;
+use linguist_ag::plan::build_plans;
+use linguist_ag::stats::GrammarStats;
+use linguist_ag::subsumption::Subsumption;
+use linguist_codegen::{GeneratedEvaluator, GeneratedPass, Target};
+use linguist_support::diag::Diagnostics;
+use linguist_support::pos::Span;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-overlay wall-clock times, matching the §V table rows.
+#[derive(Clone, Debug, Default)]
+pub struct OverlayTimings {
+    /// Overlay 1: scanner + parser.
+    pub parser: Duration,
+    /// Overlay 2: first semantic-analysis pass (dictionary building).
+    pub semantic1: Duration,
+    /// Overlay 3: second semantic-analysis pass (implicit copies,
+    /// completeness).
+    pub semantic2: Duration,
+    /// Overlay 4: evaluability test (circularity, passes, lifetimes,
+    /// subsumption).
+    pub evaluability: Duration,
+    /// Overlay 5: semantic-message collection.
+    pub messages: Duration,
+    /// Overlay 6: listing generation.
+    pub listing: Duration,
+    /// Overlay 7, run once per output pass: evaluator generation.
+    pub generation: Vec<Duration>,
+}
+
+impl OverlayTimings {
+    /// Total time, the paper's TOTAL row.
+    pub fn total(&self) -> Duration {
+        self.parser
+            + self.semantic1
+            + self.semantic2
+            + self.evaluability
+            + self.messages
+            + self.listing
+            + self.generation.iter().sum::<Duration>()
+    }
+
+    /// Total excluding generation — the paper excludes the
+    /// production-procedure generation time from its lines-per-minute
+    /// figure "because it will depend directly on the number of passes".
+    pub fn total_excluding_generation(&self) -> Duration {
+        self.parser + self.semantic1 + self.semantic2 + self.evaluability + self.messages + self.listing
+    }
+}
+
+impl fmt::Display for OverlayTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "          parser overlay - {:?}", self.parser)?;
+        writeln!(f, " first attrib eval overlay - {:?}", self.semantic1)?;
+        writeln!(f, "second attrib eval overlay - {:?}", self.semantic2)?;
+        writeln!(f, " evaluability test overlay - {:?}", self.evaluability)?;
+        writeln!(f, "  message collection overlay - {:?}", self.messages)?;
+        writeln!(f, "listing generation overlay - {:?}", self.listing)?;
+        for (i, g) in self.generation.iter().enumerate() {
+            writeln!(f, "  evaluator gen (pass {}) - {:?}", i + 1, g)?;
+        }
+        write!(f, "                     TOTAL - {:?}", self.total())
+    }
+}
+
+/// Options for a driver run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DriverOptions {
+    /// Analysis configuration (first direction, subsumption settings…).
+    pub config: Config,
+    /// Code-generation target.
+    pub target: Option<TargetOpt>,
+}
+
+/// Wrapper so [`DriverOptions`] can derive `Default` (Pascal by default).
+#[derive(Clone, Copy, Debug)]
+pub enum TargetOpt {
+    /// Pascal-like output.
+    Pascal,
+    /// Rust-like output.
+    Rust,
+}
+
+/// Everything a successful run produces.
+#[derive(Debug)]
+pub struct DriverOutput {
+    /// The analyzed grammar.
+    pub analysis: Analysis,
+    /// The overlay-6 listing file.
+    pub listing: String,
+    /// The overlay-7 generated evaluator.
+    pub generated: GeneratedEvaluator,
+    /// Per-overlay times.
+    pub timings: OverlayTimings,
+    /// The §IV statistics row.
+    pub stats: GrammarStats,
+    /// Source lines processed (for lines-per-minute).
+    pub source_lines: usize,
+}
+
+impl DriverOutput {
+    /// Lines per minute excluding generation time, the paper's throughput
+    /// metric.
+    pub fn lines_per_minute(&self) -> f64 {
+        let secs = self.timings.total_excluding_generation().as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.source_lines as f64 * 60.0 / secs
+        }
+    }
+}
+
+/// A driver failure, tagged with the overlay that detected it.
+#[derive(Debug)]
+pub enum DriverError {
+    /// Overlay 1 rejected the input.
+    Syntax(SyntaxError),
+    /// Overlays 2–3 rejected the input.
+    Lower(Vec<LowerError>),
+    /// Overlays 3–4 rejected the grammar.
+    Analysis(AnalysisError),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Syntax(e) => write!(f, "{}", e),
+            DriverError::Lower(errs) => {
+                writeln!(f, "{} semantic error(s):", errs.len())?;
+                for e in errs {
+                    writeln!(f, "  {}", e)?;
+                }
+                Ok(())
+            }
+            DriverError::Analysis(e) => write!(f, "{}", e),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// Run the full seven-overlay pipeline on LINGUIST source text.
+///
+/// # Errors
+///
+/// See [`DriverError`]; the failing overlay aborts the run, as in the
+/// original (a grammar with syntax errors never reaches evaluator
+/// generation).
+pub fn run(source: &str, opts: &DriverOptions) -> Result<DriverOutput, DriverError> {
+    let mut timings = OverlayTimings::default();
+    let mut diags = Diagnostics::new();
+
+    // Overlay 1: scan + parse.
+    let t = Instant::now();
+    let file = match parse(source) {
+        Ok(f) => f,
+        Err(e) => {
+            return Err(DriverError::Syntax(e));
+        }
+    };
+    timings.parser = t.elapsed();
+
+    // Overlay 2: dictionary building (lowering).
+    let t = Instant::now();
+    let mut grammar = lower(&file).map_err(DriverError::Lower)?;
+    timings.semantic1 = t.elapsed();
+
+    // Overlay 3: implicit copy-rules + completeness.
+    let t = Instant::now();
+    let implicit = if opts.config.skip_implicit {
+        linguist_ag::implicit::ImplicitStats::default()
+    } else {
+        insert_implicit_copies(&mut grammar)
+    };
+    check_completeness(&grammar)
+        .map_err(|e| DriverError::Analysis(AnalysisError::Check(e)))?;
+    timings.semantic2 = t.elapsed();
+
+    // Overlay 4: evaluability.
+    let t = Instant::now();
+    let io = check_noncircular(&grammar)
+        .map_err(|e| DriverError::Analysis(AnalysisError::Circular(e)))?;
+    let passes = assign_passes(&grammar, &opts.config.pass)
+        .map_err(|e| DriverError::Analysis(AnalysisError::Pass(e)))?;
+    let lifetimes = Lifetimes::compute(&grammar, &passes);
+    let subsumption = if opts.config.disable_subsumption {
+        Subsumption::disabled(&grammar)
+    } else {
+        Subsumption::compute(&grammar, opts.config.group_mode, opts.config.costs, Some(&passes))
+    };
+    let plans = build_plans(&grammar, &passes)
+        .map_err(|e| DriverError::Analysis(AnalysisError::Plan(e)))?;
+    let analysis = Analysis {
+        grammar,
+        implicit,
+        io,
+        passes,
+        lifetimes,
+        subsumption,
+        plans,
+    };
+    timings.evaluability = t.elapsed();
+
+    // Overlay 5: message collection.
+    let t = Instant::now();
+    if analysis.implicit.total() > 0 {
+        diags.note(
+            Span::default(),
+            5,
+            format!("{} implicit copy-rules inserted", analysis.implicit.total()),
+        );
+    }
+    let sub_stats = analysis.subsumption.stats(&analysis.grammar);
+    if sub_stats.subsumed_rules > 0 {
+        diags.note(
+            Span::default(),
+            5,
+            format!(
+                "static subsumption eliminated {} of {} copy-rules",
+                sub_stats.subsumed_rules, sub_stats.copy_rules
+            ),
+        );
+    }
+    timings.messages = t.elapsed();
+
+    // Overlay 6: listing generation.
+    let t = Instant::now();
+    let listing = render_listing(source, &analysis, &diags);
+    timings.listing = t.elapsed();
+
+    // Overlay 7: evaluator generation, rerun once per pass.
+    let target = match opts.target {
+        Some(TargetOpt::Rust) => Target::Rust,
+        _ => Target::Pascal,
+    };
+    let mut passes_src: Vec<GeneratedPass> = Vec::new();
+    for k in 1..=analysis.passes.num_passes() as u16 {
+        let t = Instant::now();
+        passes_src.push(linguist_codegen::generate_pass(&analysis, k, target));
+        timings.generation.push(t.elapsed());
+    }
+    let generated = GeneratedEvaluator {
+        passes: passes_src,
+        globals_decl: linguist_codegen::generate_globals(&analysis, target),
+        target,
+    };
+
+    let stats = analysis.stats();
+    Ok(DriverOutput {
+        analysis,
+        listing,
+        generated,
+        timings,
+        stats,
+        source_lines: source.lines().count(),
+    })
+}

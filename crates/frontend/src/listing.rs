@@ -1,0 +1,224 @@
+//! Listing-file generation (overlay 6).
+//!
+//! "The sixth overlay creates the listing output file." The listing shows
+//! the numbered source interleaved with diagnostics, then each production
+//! with its semantic functions annotated `# pass N` (as in the paper's
+//! p.165 reproduction of a LINGUIST-86 production), with "each implicit
+//! copy-rule … listed immediately after all of the explicit semantic
+//! functions of the production", an attribute table (class, type, pass,
+//! temporary/significant, static), and the §IV statistics block.
+
+use linguist_ag::analysis::Analysis;
+use linguist_ag::expr::Expr;
+use linguist_ag::grammar::{AttrClass, RuleOrigin};
+use linguist_ag::ids::{AttrId, AttrOcc, ProdId, RuleId};
+use linguist_support::diag::Diagnostics;
+use std::fmt::Write as _;
+
+/// Render the complete listing.
+pub fn render_listing(source: &str, analysis: &Analysis, diags: &Diagnostics) -> String {
+    let mut out = String::new();
+    let g = &analysis.grammar;
+
+    out.push_str("LINGUIST-86 LISTING\n");
+    out.push_str("===================\n\n");
+
+    // Source with interleaved diagnostics.
+    let sorted = diags.sorted_for_listing();
+    let mut diag_ix = 0;
+    for (ln, line) in source.lines().enumerate() {
+        let ln = ln as u32 + 1;
+        let _ = writeln!(out, "{:5} | {}", ln, line);
+        while diag_ix < sorted.len() && sorted[diag_ix].span.start.line == ln {
+            let d = sorted[diag_ix];
+            let _ = writeln!(out, "      | **** {}: {}", d.severity, d.message);
+            diag_ix += 1;
+        }
+    }
+    for d in &sorted[diag_ix..] {
+        let _ = writeln!(out, "      | **** {}: {}", d.severity, d.message);
+    }
+
+    // Productions with pass-annotated semantic functions.
+    out.push_str("\nPRODUCTIONS\n-----------\n");
+    for (pi, prod) in g.productions().iter().enumerate() {
+        let prod_id = ProdId(pi as u32);
+        let mut head = format!("p{}: {} =", pi, g.symbol_name(prod.lhs));
+        for &r in &prod.rhs {
+            head.push(' ');
+            head.push_str(g.symbol_name(r));
+        }
+        if let Some(l) = prod.limb {
+            head.push_str(" -> ");
+            head.push_str(g.symbol_name(l));
+        }
+        let _ = writeln!(out, "\n{}", head);
+        // Explicit rules first, then implicit (the paper's ordering).
+        for phase in [RuleOrigin::Explicit, RuleOrigin::Implicit] {
+            for &r in &prod.rules {
+                let rule = g.rule(r);
+                if rule.origin != phase {
+                    continue;
+                }
+                let marker = if phase == RuleOrigin::Implicit {
+                    " (implicit)"
+                } else {
+                    ""
+                };
+                let subsumed = if analysis.subsumption.is_subsumed(r) {
+                    " (subsumed)"
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    out,
+                    "    {}   # pass {}{}{}",
+                    render_rule(analysis, prod_id, r),
+                    analysis.passes.rule_pass(r),
+                    marker,
+                    subsumed,
+                );
+            }
+        }
+    }
+
+    // Attribute table.
+    out.push_str("\nATTRIBUTES\n----------\n");
+    let _ = writeln!(
+        out,
+        "{:<28} {:<11} {:<10} {:>4}  {:<11} {:<6}",
+        "attribute", "class", "type", "pass", "lifetime", "static"
+    );
+    for (ai, attr) in g.attrs().iter().enumerate() {
+        let a = AttrId(ai as u32);
+        let name = format!("{}.{}", g.symbol_name(attr.symbol), g.attr_name(a));
+        let class = match attr.class {
+            AttrClass::Synthesized => "synthesized",
+            AttrClass::Inherited => "inherited",
+            AttrClass::Intrinsic => "intrinsic",
+            AttrClass::Limb => "limb",
+        };
+        let lifetime = if analysis.lifetimes.is_significant(a) {
+            "significant"
+        } else {
+            "temporary"
+        };
+        let is_static = if analysis.subsumption.is_static(a) {
+            "yes"
+        } else {
+            "no"
+        };
+        let _ = writeln!(
+            out,
+            "{:<28} {:<11} {:<10} {:>4}  {:<11} {:<6}",
+            name,
+            class,
+            g.resolve(attr.type_name),
+            analysis.passes.pass_of(a),
+            lifetime,
+            is_static
+        );
+    }
+
+    // Pass directions.
+    out.push_str("\nPASSES\n------\n");
+    for (k, d) in analysis.passes.directions().iter().enumerate() {
+        let _ = writeln!(out, "pass {}: {}", k + 1, d);
+    }
+
+    // Statistics (§IV block).
+    out.push_str("\nSTATISTICS\n----------\n");
+    let _ = writeln!(out, "{}", analysis.stats());
+    out
+}
+
+/// Render one semantic function like `S1.A = IncrIfZero(T.B, S0.A)`.
+pub fn render_rule(analysis: &Analysis, prod: ProdId, r: RuleId) -> String {
+    let g = &analysis.grammar;
+    let rule = g.rule(r);
+    let targets: Vec<String> = rule
+        .targets
+        .iter()
+        .map(|t| render_occ(analysis, prod, *t))
+        .collect();
+    format!(
+        "{} = {}",
+        targets.join(" & "),
+        render_expr(analysis, prod, &rule.expr)
+    )
+}
+
+fn render_occ(analysis: &Analysis, prod: ProdId, occ: AttrOcc) -> String {
+    let g = &analysis.grammar;
+    let sym = g.symbol_at(prod, occ.pos).expect("valid occurrence");
+    // Use the occurrence-suffix convention when the symbol repeats.
+    let p = g.production(prod);
+    let count = usize::from(p.lhs == sym) + p.rhs.iter().filter(|&&r| r == sym).count();
+    let base = g.symbol_name(sym);
+    let prefix = if count > 1 {
+        let ord = match occ.pos {
+            linguist_ag::ids::OccPos::Lhs => 0,
+            linguist_ag::ids::OccPos::Rhs(i) => {
+                usize::from(p.lhs == sym)
+                    + p.rhs[..i as usize].iter().filter(|&&r| r == sym).count()
+            }
+            linguist_ag::ids::OccPos::Limb => 0,
+        };
+        format!("{}{}", base, ord)
+    } else {
+        base.to_owned()
+    };
+    match occ.pos {
+        linguist_ag::ids::OccPos::Limb => g.attr_name(occ.attr).to_owned(),
+        _ => format!("{}.{}", prefix, g.attr_name(occ.attr)),
+    }
+}
+
+/// Unparse an expression back to (near-)surface syntax.
+pub fn render_expr(analysis: &Analysis, prod: ProdId, e: &Expr) -> String {
+    let g = &analysis.grammar;
+    match e {
+        Expr::Occ(o) => render_occ(analysis, prod, *o),
+        Expr::Int(i) => i.to_string(),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Str(s) => format!("'{}'", s),
+        Expr::Const(n) => g.resolve(*n).to_owned(),
+        Expr::Call { func, args } => {
+            let rendered: Vec<String> = args
+                .iter()
+                .map(|a| render_expr(analysis, prod, a))
+                .collect();
+            format!("{}({})", g.resolve(*func), rendered.join(", "))
+        }
+        Expr::Binop { op, lhs, rhs } => format!(
+            "{} {} {}",
+            render_expr(analysis, prod, lhs),
+            op,
+            render_expr(analysis, prod, rhs)
+        ),
+        Expr::If {
+            branches,
+            otherwise,
+        } => {
+            let mut out = String::new();
+            for (i, (c, arm)) in branches.iter().enumerate() {
+                let kw = if i == 0 { "if" } else { " elsif" };
+                let arm_s: Vec<String> =
+                    arm.iter().map(|x| render_expr(analysis, prod, x)).collect();
+                let _ = write!(
+                    out,
+                    "{} {} then {}",
+                    kw,
+                    render_expr(analysis, prod, c),
+                    arm_s.join(", ")
+                );
+            }
+            let else_s: Vec<String> = otherwise
+                .iter()
+                .map(|x| render_expr(analysis, prod, x))
+                .collect();
+            let _ = write!(out, " else {} endif", else_s.join(", "));
+            out
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! Lowering: AST → the attribute-grammar core.
+//!
+//! Resolves symbol and attribute names, decodes the Figure-1 occurrence
+//! convention (`S0` = the LHS occurrence of `S`, `S1` the next, …;
+//! unsuffixed names are allowed only for symbols occurring once in the
+//! production), classifies bare identifiers as limb attributes or
+//! uninterpreted constants (§IV), and hands a [`linguist_ag::Grammar`] to
+//! the analysis pipeline.
+
+use crate::ast::*;
+use linguist_ag::expr::{BinOp, Expr};
+use linguist_ag::grammar::{AgBuilder, BuildError, Grammar};
+use linguist_ag::ids::{AttrId, AttrOcc, OccPos, SymbolId};
+use linguist_support::pos::Span;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A name-resolution failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LowerError {
+    /// Where in the source.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span.start, self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+impl From<BuildError> for LowerError {
+    fn from(e: BuildError) -> LowerError {
+        LowerError {
+            span: Span::default(),
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Lower a parsed file into a structural grammar.
+///
+/// # Errors
+///
+/// Returns every resolution error found (the grammar is only built if all
+/// names resolve).
+pub fn lower(file: &AgFile) -> Result<Grammar, Vec<LowerError>> {
+    let mut errors: Vec<LowerError> = Vec::new();
+    let mut b = AgBuilder::new();
+
+    // Pass 1: symbols and attributes (the paper's dictionary).
+    let mut sym_of: HashMap<String, SymbolId> = HashMap::new();
+    let mut attr_of: HashMap<(SymbolId, String), AttrId> = HashMap::new();
+    for decl in &file.symbols {
+        if sym_of.contains_key(&decl.name) {
+            errors.push(LowerError {
+                span: decl.span,
+                message: format!("symbol `{}` declared twice", decl.name),
+            });
+            continue;
+        }
+        let id = match decl.kind {
+            SymKind::Terminal => b.terminal(&decl.name),
+            SymKind::Nonterminal => b.nonterminal(&decl.name),
+            SymKind::Limb => b.limb(&decl.name),
+        };
+        sym_of.insert(decl.name.clone(), id);
+        for a in &decl.attrs {
+            let allowed = matches!(
+                (decl.kind, a.kind),
+                (SymKind::Terminal, AttrKind::Intrinsic)
+                    | (SymKind::Terminal, AttrKind::Inherited)
+                    | (SymKind::Nonterminal, AttrKind::Synthesized)
+                    | (SymKind::Nonterminal, AttrKind::Inherited)
+                    | (SymKind::Limb, AttrKind::Local)
+            );
+            if !allowed {
+                errors.push(LowerError {
+                    span: a.span,
+                    message: format!(
+                        "attribute `{}` has class {:?}, not allowed on a {:?} symbol",
+                        a.name, a.kind, decl.kind
+                    ),
+                });
+                continue;
+            }
+            let aid = match a.kind {
+                AttrKind::Synthesized => b.synthesized(id, &a.name, &a.type_name),
+                AttrKind::Inherited => b.inherited(id, &a.name, &a.type_name),
+                AttrKind::Intrinsic => b.intrinsic(id, &a.name, &a.type_name),
+                AttrKind::Local => b.limb_attr(id, &a.name, &a.type_name),
+            };
+            attr_of.insert((id, a.name.clone()), aid);
+        }
+    }
+
+    // Start symbol.
+    match sym_of.get(&file.start) {
+        Some(&s) => b.start(s),
+        None => errors.push(LowerError {
+            span: file.start_span,
+            message: format!("start symbol `{}` is not declared", file.start),
+        }),
+    }
+
+    // Pass 2: productions and semantic functions.
+    for pd in &file.productions {
+        let Some((lhs_sym, lhs_ord)) = resolve_occ_name(&pd.lhs, &sym_of) else {
+            errors.push(LowerError {
+                span: pd.span,
+                message: format!("unknown symbol in occurrence `{}`", pd.lhs),
+            });
+            continue;
+        };
+        let mut rhs_syms: Vec<SymbolId> = Vec::new();
+        let mut bad = false;
+        let mut rhs_resolved: Vec<(SymbolId, Option<usize>)> = Vec::new();
+        for occ in &pd.rhs {
+            match resolve_occ_name(occ, &sym_of) {
+                Some((s, ord)) => {
+                    rhs_syms.push(s);
+                    rhs_resolved.push((s, ord));
+                }
+                None => {
+                    errors.push(LowerError {
+                        span: pd.span,
+                        message: format!("unknown symbol in occurrence `{}`", occ),
+                    });
+                    bad = true;
+                }
+            }
+        }
+        let limb_sym = match &pd.limb {
+            None => None,
+            Some(l) => match sym_of.get(l) {
+                Some(&s) => Some(s),
+                None => {
+                    errors.push(LowerError {
+                        span: pd.span,
+                        message: format!("unknown limb symbol `{}`", l),
+                    });
+                    bad = true;
+                    None
+                }
+            },
+        };
+        if bad {
+            continue;
+        }
+
+        // Verify the occurrence ordinals: each symbol's occurrences,
+        // counted LHS-first then left to right, must match any explicit
+        // suffixes; unsuffixed occurrences require a unique position.
+        let mut occ_pos: HashMap<String, OccPos> = HashMap::new();
+        {
+            let count_of = |s: SymbolId| -> usize {
+                usize::from(lhs_sym == s) + rhs_syms.iter().filter(|&&r| r == s).count()
+            };
+            let mut check = |name: &str,
+                             sym: SymbolId,
+                             ord: Option<usize>,
+                             actual_ord: usize,
+                             pos: OccPos,
+                             errors: &mut Vec<LowerError>| {
+                let n = count_of(sym);
+                match ord {
+                    None if n > 1 => errors.push(LowerError {
+                        span: pd.span,
+                        message: format!(
+                            "occurrence `{}` is ambiguous: symbol occurs {} times; use numeric suffixes",
+                            name, n
+                        ),
+                    }),
+                    Some(o) if o != actual_ord => errors.push(LowerError {
+                        span: pd.span,
+                        message: format!(
+                            "occurrence `{}` has suffix {} but is occurrence {} of its symbol",
+                            name, o, actual_ord
+                        ),
+                    }),
+                    _ => {
+                        occ_pos.insert(name.to_owned(), pos);
+                    }
+                }
+            };
+            check(&pd.lhs, lhs_sym, lhs_ord, 0, OccPos::Lhs, &mut errors);
+            let mut seen: HashMap<SymbolId, usize> = HashMap::new();
+            for (i, ((sym, ord), name)) in rhs_resolved.iter().zip(pd.rhs.iter()).enumerate() {
+                let base = usize::from(lhs_sym == *sym);
+                let k = seen.entry(*sym).or_insert(0);
+                let actual = base + *k;
+                *k += 1;
+                check(name, *sym, *ord, actual, OccPos::Rhs(i as u16), &mut errors);
+            }
+        }
+
+        let prod = b.production(lhs_sym, rhs_syms.clone(), limb_sym);
+
+        // Rules.
+        for rd in &pd.rules {
+            let ctx = OccCtx {
+                occ_pos: &occ_pos,
+                lhs_sym,
+                rhs_syms: &rhs_syms,
+                limb_sym,
+                attr_of: &attr_of,
+                sym_of: &sym_of,
+            };
+            let mut ok = true;
+            let mut targets = Vec::new();
+            for t in &rd.targets {
+                match resolve_target(t, &ctx) {
+                    Ok(occ) => targets.push(occ),
+                    Err(e) => {
+                        errors.push(e);
+                        ok = false;
+                    }
+                }
+            }
+            let expr = match lower_expr(&rd.expr, &ctx, &mut b) {
+                Ok(e) => e,
+                Err(e) => {
+                    errors.push(e);
+                    ok = false;
+                    Expr::Int(0)
+                }
+            };
+            if ok {
+                b.rule(prod, targets, expr);
+            }
+        }
+    }
+
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+    b.build().map_err(|e| vec![e.into()])
+}
+
+/// Resolve an occurrence name like `expr1` to `(symbol, Some(1))`, or a
+/// bare `term` to `(symbol, None)`.
+fn resolve_occ_name(
+    name: &str,
+    sym_of: &HashMap<String, SymbolId>,
+) -> Option<(SymbolId, Option<usize>)> {
+    if let Some(&s) = sym_of.get(name) {
+        return Some((s, None));
+    }
+    let trimmed = name.trim_end_matches(|c: char| c.is_ascii_digit());
+    if trimmed.len() < name.len() {
+        if let Some(&s) = sym_of.get(trimmed) {
+            let ord: usize = name[trimmed.len()..].parse().ok()?;
+            return Some((s, Some(ord)));
+        }
+    }
+    None
+}
+
+struct OccCtx<'a> {
+    occ_pos: &'a HashMap<String, OccPos>,
+    lhs_sym: SymbolId,
+    rhs_syms: &'a [SymbolId],
+    limb_sym: Option<SymbolId>,
+    attr_of: &'a HashMap<(SymbolId, String), AttrId>,
+    sym_of: &'a HashMap<String, SymbolId>,
+}
+
+impl<'a> OccCtx<'a> {
+    fn symbol_at(&self, pos: OccPos) -> SymbolId {
+        match pos {
+            OccPos::Lhs => self.lhs_sym,
+            OccPos::Rhs(i) => self.rhs_syms[i as usize],
+            OccPos::Limb => self.limb_sym.expect("limb occurrence requires a limb"),
+        }
+    }
+
+    fn resolve_qualified(&self, occ: &str, attr: &str, span: Span) -> Result<AttrOcc, LowerError> {
+        let pos = self.occ_pos.get(occ).copied().ok_or_else(|| LowerError {
+            span,
+            message: if self.sym_of.contains_key(occ)
+                || resolve_occ_name(occ, self.sym_of).is_some()
+            {
+                format!("`{}` does not occur in this production", occ)
+            } else {
+                format!("unknown occurrence `{}`", occ)
+            },
+        })?;
+        let sym = self.symbol_at(pos);
+        let aid = self
+            .attr_of
+            .get(&(sym, attr.to_owned()))
+            .copied()
+            .ok_or_else(|| LowerError {
+                span,
+                message: format!("`{}` has no attribute `{}`", occ, attr),
+            })?;
+        Ok(AttrOcc { pos, attr: aid })
+    }
+
+    fn resolve_limb_attr(&self, name: &str) -> Option<AttrOcc> {
+        let limb = self.limb_sym?;
+        let aid = self.attr_of.get(&(limb, name.to_owned())).copied()?;
+        Some(AttrOcc::limb(aid))
+    }
+}
+
+fn resolve_target(t: &TargetRef, ctx: &OccCtx<'_>) -> Result<AttrOcc, LowerError> {
+    match t {
+        TargetRef::Qualified { occ, attr, span } => ctx.resolve_qualified(occ, attr, *span),
+        TargetRef::Bare { name, span } => ctx.resolve_limb_attr(name).ok_or_else(|| LowerError {
+            span: *span,
+            message: format!(
+                "`{}` is not a limb attribute of this production (only limb attributes may be bare targets)",
+                name
+            ),
+        }),
+    }
+}
+
+fn lower_expr(e: &ExprAst, ctx: &OccCtx<'_>, b: &mut AgBuilder) -> Result<Expr, LowerError> {
+    Ok(match e {
+        ExprAst::Int(i) => Expr::Int(*i),
+        ExprAst::Bool(v) => Expr::Bool(*v),
+        ExprAst::Str(s) => Expr::Str(s.clone()),
+        ExprAst::Qualified { occ, attr, span } => {
+            Expr::Occ(ctx.resolve_qualified(occ, attr, *span)?)
+        }
+        ExprAst::Ident { name, .. } => match ctx.resolve_limb_attr(name) {
+            Some(occ) => Expr::Occ(occ),
+            // "any identifier that is not a grammar symbol, attribute, or
+            // attribute type is treated as an uninterpreted constant".
+            None => Expr::Const(b.name(name)),
+        },
+        ExprAst::Call { func, args, .. } => {
+            let mut lowered = Vec::with_capacity(args.len());
+            for a in args {
+                lowered.push(lower_expr(a, ctx, b)?);
+            }
+            Expr::Call {
+                func: b.name(func),
+                args: lowered,
+            }
+        }
+        ExprAst::Binop { op, lhs, rhs } => Expr::Binop {
+            op: match op {
+                BinOpAst::Add => BinOp::Add,
+                BinOpAst::Sub => BinOp::Sub,
+                BinOpAst::And => BinOp::And,
+                BinOpAst::Or => BinOp::Or,
+                BinOpAst::Eq => BinOp::Eq,
+                BinOpAst::Ne => BinOp::Ne,
+                BinOpAst::Gt => BinOp::Gt,
+                BinOpAst::Lt => BinOp::Lt,
+            },
+            lhs: Box::new(lower_expr(lhs, ctx, b)?),
+            rhs: Box::new(lower_expr(rhs, ctx, b)?),
+        },
+        ExprAst::If {
+            branches,
+            otherwise,
+        } => {
+            let mut lb = Vec::with_capacity(branches.len());
+            for (c, arm) in branches {
+                let mut larm = Vec::with_capacity(arm.len());
+                for x in arm {
+                    larm.push(lower_expr(x, ctx, b)?);
+                }
+                lb.push((lower_expr(c, ctx, b)?, larm));
+            }
+            let mut lo = Vec::with_capacity(otherwise.len());
+            for x in otherwise {
+                lo.push(lower_expr(x, ctx, b)?);
+            }
+            Expr::If {
+                branches: lb,
+                otherwise: lo,
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse;
+    use linguist_ag::grammar::{AttrClass, RuleOrigin};
+
+    const CALC: &str = r#"
+grammar Calc ;
+terminals
+  NUMBER : intrinsic VAL int ;
+  PLUS ;
+nonterminals
+  expr : syn V int ;
+  term : syn V int ;
+limbs
+  AddLimb : local TMP int ;
+start expr ;
+productions
+prod expr0 = expr1 PLUS term -> AddLimb :
+  TMP = term.V ;
+  expr0.V = expr1.V + TMP ;
+end
+prod expr0 = term :
+  expr0.V = term.V ;
+end
+prod term = NUMBER :
+  term.V = NUMBER.VAL ;
+end
+end
+"#;
+
+    #[test]
+    fn calc_lowers_to_grammar() {
+        let g = lower(&parse(CALC).unwrap()).unwrap();
+        assert_eq!(g.productions().len(), 3);
+        assert_eq!(g.symbols().len(), 5);
+        assert_eq!(g.rules().len(), 4);
+        let expr = g.symbol_by_name("expr").unwrap();
+        let v = g.attr_by_name(expr, "V").unwrap();
+        assert_eq!(g.attr(v).class, AttrClass::Synthesized);
+        // The copy rule term.V -> expr.V is explicit here.
+        assert!(g.rules().iter().all(|r| r.origin == RuleOrigin::Explicit));
+    }
+
+    #[test]
+    fn occurrence_suffixes_resolve_positions() {
+        let g = lower(&parse(CALC).unwrap()).unwrap();
+        // Production 0: expr0 = expr1 PLUS term. Rule expr0.V = expr1.V + TMP.
+        let rule = &g.rules()[1];
+        assert_eq!(rule.targets[0].pos, OccPos::Lhs);
+        let args = rule.arguments();
+        assert!(args.contains(&AttrOcc {
+            pos: OccPos::Rhs(0),
+            attr: rule.targets[0].attr, // expr.V (same attribute, child occurrence)
+        }));
+    }
+
+    #[test]
+    fn ambiguous_bare_occurrence_rejected() {
+        let src = r#"
+grammar T ;
+terminals x ;
+nonterminals s : syn V int ;
+start s ;
+productions
+prod s = s x :
+  s.V = 1 ;
+end
+end
+"#;
+        let errs = lower(&parse(src).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("ambiguous")), "{:?}", errs);
+    }
+
+    #[test]
+    fn wrong_suffix_rejected() {
+        let src = r#"
+grammar T ;
+terminals x ;
+nonterminals s : syn V int ;
+start s ;
+productions
+prod s0 = s2 x :
+  s0.V = 1 ;
+end
+prod s0 = x :
+  s0.V = 0 ;
+end
+end
+"#;
+        let errs = lower(&parse(src).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("suffix")), "{:?}", errs);
+    }
+
+    #[test]
+    fn unknown_attribute_reported_with_position() {
+        let src = r#"
+grammar T ;
+nonterminals s : syn V int ;
+start s ;
+productions
+prod s = :
+  s.MISSING = 1 ;
+end
+end
+"#;
+        let errs = lower(&parse(src).unwrap()).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("MISSING"));
+        assert!(errs[0].span.start.line >= 6);
+    }
+
+    #[test]
+    fn bare_identifiers_become_constants_or_limb_attrs() {
+        let src = r#"
+grammar T ;
+nonterminals s : syn V name, syn W int ;
+limbs L : local TMP int ;
+start s ;
+productions
+prod s = -> L :
+  TMP = 2 ;
+  s.V = no$msg ;
+  s.W = TMP ;
+end
+end
+"#;
+        let g = lower(&parse(src).unwrap()).unwrap();
+        // s.V = no$msg is an uninterpreted constant…
+        let v_rule = &g.rules()[1];
+        assert!(matches!(v_rule.expr, Expr::Const(_)));
+        // …while TMP is a limb attribute occurrence.
+        let w_rule = &g.rules()[2];
+        assert!(matches!(w_rule.expr, Expr::Occ(o) if o.pos == OccPos::Limb));
+    }
+
+    #[test]
+    fn unknown_start_symbol_reported() {
+        let src = "grammar T ;\nnonterminals s ;\nstart missing ;\nproductions\nend";
+        let errs = lower(&parse(src).unwrap()).unwrap_err();
+        assert!(errs[0].message.contains("start symbol"));
+    }
+
+    #[test]
+    fn misclassified_attribute_reported() {
+        let src = r#"
+grammar T ;
+terminals x : syn BAD int ;
+nonterminals s ;
+start s ;
+productions
+prod s = x : end
+end
+"#;
+        let errs = lower(&parse(src).unwrap()).unwrap_err();
+        assert!(errs[0].message.contains("not allowed"), "{:?}", errs);
+    }
+}

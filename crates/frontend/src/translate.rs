@@ -1,0 +1,326 @@
+//! Running generated translators on concrete input.
+//!
+//! §IV: "The input to LINGUIST-86 is also the input to our LALR
+//! parse-table builder … we submit exactly the same input file to both."
+//! [`UserParser`] is that shared view: it extracts the underlying
+//! context-free grammar of an analyzed attribute grammar, builds LALR(1)
+//! tables for it, and turns the parser's bottom-up event stream into the
+//! evaluator's [`PTree`] — with the parser setting intrinsic attributes on
+//! the leaves, just as the paper's parser "builds the table of all
+//! identifiers encountered" and stamps name-table indices and source
+//! locations into the APT.
+//!
+//! [`Translator`] bundles a scanner on top: scanner token kinds are
+//! matched to terminal symbols *by name*, so one definition file's names
+//! serve both tools.
+
+use linguist_ag::analysis::Analysis;
+use linguist_ag::grammar::{AttrClass, Grammar, SymbolKind};
+use linguist_ag::ids::{AttrId, ProdId, SymbolId};
+use linguist_eval::funcs::Funcs;
+use linguist_eval::machine::{evaluate, EvalOptions, Evaluation};
+use linguist_eval::tree::PTree;
+use linguist_eval::value::Value;
+use linguist_lalr::grammar::{GrammarBuilder, NonTermId, Sym, TermId};
+use linguist_lalr::parser::{ParseEvent, Parser};
+use linguist_lalr::table::{LalrTable, TableError};
+use linguist_lexgen::Scanner;
+use linguist_support::intern::NameTable;
+use linguist_support::pos::Span;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Context handed to the intrinsic-attribute callback for each leaf.
+#[derive(Debug)]
+pub struct LeafCtx<'a> {
+    /// The terminal symbol of the leaf.
+    pub sym: SymbolId,
+    /// The lexeme text.
+    pub text: &'a str,
+    /// Source span of the lexeme.
+    pub span: Span,
+    /// The run's identifier name table (intern lexemes here).
+    pub names: &'a mut NameTable,
+}
+
+/// Computes a leaf's intrinsic attribute values. The default
+/// ([`standard_intrinsics`]) understands the conventional attribute names
+/// the paper mentions: a name-table index and a source location.
+pub type IntrinsicFn<'g> = dyn Fn(&Grammar, &mut LeafCtx<'_>) -> Vec<(AttrId, Value)> + 'g;
+
+/// The paper's convention: `LINE` gets the 1-based source line; any other
+/// intrinsic gets the interned lexeme (its "name-table-index"). Integer
+/// parsing is applied when the attribute's declared type is `int`.
+pub fn standard_intrinsics(g: &Grammar, ctx: &mut LeafCtx<'_>) -> Vec<(AttrId, Value)> {
+    let mut out = Vec::new();
+    for &a in &g.symbol(ctx.sym).attrs {
+        if g.attr(a).class != AttrClass::Intrinsic {
+            continue;
+        }
+        let name = g.attr_name(a);
+        let ty = g.resolve(g.attr(a).type_name);
+        let v = if name.eq_ignore_ascii_case("line") {
+            Value::Int(ctx.span.start.line as i64)
+        } else if ty == "int" {
+            ctx.text
+                .parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or_else(|_| Value::Sym(ctx.names.intern(ctx.text)))
+        } else if ty == "string" {
+            Value::str(ctx.text)
+        } else {
+            Value::Sym(ctx.names.intern(ctx.text))
+        };
+        out.push((a, v));
+    }
+    out
+}
+
+/// Errors from building or running a translator.
+#[derive(Debug)]
+pub enum TranslateError {
+    /// The underlying CFG is not LALR(1).
+    Table(TableError),
+    /// Input failed to scan.
+    Scan(linguist_lexgen::ScanError),
+    /// A scanner token kind has no matching terminal symbol.
+    UnboundToken {
+        /// The token kind name.
+        kind: String,
+    },
+    /// Input failed to parse.
+    Parse(linguist_lalr::parser::ParseError),
+    /// Evaluation failed.
+    Eval(linguist_eval::machine::EvalError),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::Table(e) => write!(f, "{}", e),
+            TranslateError::Scan(e) => write!(f, "{}", e),
+            TranslateError::UnboundToken { kind } => write!(
+                f,
+                "scanner token `{}` does not name a terminal of the grammar",
+                kind
+            ),
+            TranslateError::Parse(e) => write!(f, "{}", e),
+            TranslateError::Eval(e) => write!(f, "{}", e),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+impl From<TableError> for TranslateError {
+    fn from(e: TableError) -> TranslateError {
+        TranslateError::Table(e)
+    }
+}
+impl From<linguist_eval::machine::EvalError> for TranslateError {
+    fn from(e: linguist_eval::machine::EvalError) -> TranslateError {
+        TranslateError::Eval(e)
+    }
+}
+
+/// LALR tables for the underlying CFG of an attribute grammar, plus the
+/// id mappings needed to rebuild [`PTree`]s from parse events.
+#[derive(Debug)]
+pub struct UserParser {
+    table: LalrTable,
+    term_of_sym: HashMap<SymbolId, TermId>,
+}
+
+impl UserParser {
+    /// Build LALR(1) tables from the grammar's phrase structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError`] with the full conflict report if the CFG is
+    /// not LALR(1).
+    pub fn build(g: &Grammar) -> Result<UserParser, TableError> {
+        let mut b = GrammarBuilder::new();
+        let mut term_of_sym = HashMap::new();
+        let mut nt_of_sym: HashMap<SymbolId, NonTermId> = HashMap::new();
+        for (si, sym) in g.symbols().iter().enumerate() {
+            let sid = SymbolId(si as u32);
+            match sym.kind {
+                SymbolKind::Terminal => {
+                    let t = b.terminal(g.symbol_name(sid));
+                    term_of_sym.insert(sid, t);
+                }
+                SymbolKind::Nonterminal => {
+                    let n = b.nonterminal(g.symbol_name(sid));
+                    nt_of_sym.insert(sid, n);
+                }
+                SymbolKind::Limb => {}
+            }
+        }
+        // Productions in the same order → identical dense ids.
+        for p in g.productions() {
+            let rhs: Vec<Sym> = p
+                .rhs
+                .iter()
+                .map(|&s| match g.symbol(s).kind {
+                    SymbolKind::Terminal => Sym::T(term_of_sym[&s]),
+                    _ => Sym::N(nt_of_sym[&s]),
+                })
+                .collect();
+            b.production(nt_of_sym[&p.lhs], rhs);
+        }
+        let cfg = b.start(nt_of_sym[&g.start()]).build().expect("grammar is valid");
+        let table = LalrTable::build(&cfg)?;
+        Ok(UserParser {
+            table,
+            term_of_sym,
+        })
+    }
+
+    /// The LALR terminal for a grammar terminal.
+    pub fn term_of(&self, sym: SymbolId) -> Option<TermId> {
+        self.term_of_sym.get(&sym).copied()
+    }
+
+    /// Number of parser states (for table-size reporting).
+    pub fn num_states(&self) -> usize {
+        self.table.num_states()
+    }
+
+    /// Approximate table size in bytes.
+    pub fn table_bytes(&self) -> usize {
+        self.table.byte_size()
+    }
+
+    /// Parse a stream of `(terminal symbol, intrinsic values)` tokens into
+    /// a [`PTree`] — "the parser ... emits tree nodes in bottom-up order".
+    ///
+    /// # Errors
+    ///
+    /// Returns the parser's error on invalid input.
+    pub fn parse_tree<I>(&self, tokens: I) -> Result<PTree, linguist_lalr::parser::ParseError>
+    where
+        I: IntoIterator<Item = (SymbolId, Vec<(AttrId, Value)>)>,
+    {
+        let stream = tokens.into_iter().map(|(sym, intrinsics)| {
+            (
+                self.term_of_sym[&sym],
+                (sym, intrinsics),
+            )
+        });
+        let parser = Parser::new(&self.table);
+        let mut stack: Vec<PTree> = Vec::new();
+        parser.parse_with(stream, |event| match event {
+            ParseEvent::Shift {
+                payload: (sym, intrinsics),
+                ..
+            } => stack.push(PTree::leaf(sym, intrinsics)),
+            ParseEvent::Reduce {
+                production, arity, ..
+            } => {
+                let children = stack.split_off(stack.len() - arity);
+                stack.push(PTree::node(ProdId(production.0), children));
+            }
+        })?;
+        Ok(stack.pop().expect("accepting parse leaves the root"))
+    }
+}
+
+/// A complete translator: scanner + parser + analyzed attribute grammar.
+pub struct Translator {
+    /// The analyzed grammar.
+    pub analysis: Analysis,
+    parser: UserParser,
+    scanner: Scanner,
+    kind_to_sym: Vec<Option<SymbolId>>,
+}
+
+impl fmt::Debug for Translator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Translator")
+            .field("states", &self.parser.num_states())
+            .finish()
+    }
+}
+
+impl Translator {
+    /// Assemble a translator. Scanner token kinds are bound to terminals
+    /// by name; kinds with no same-named terminal are rejected.
+    ///
+    /// # Errors
+    ///
+    /// [`TranslateError::Table`] if the CFG is not LALR(1);
+    /// [`TranslateError::UnboundToken`] for an unmatched token kind.
+    pub fn new(analysis: Analysis, scanner: Scanner) -> Result<Translator, TranslateError> {
+        let parser = UserParser::build(&analysis.grammar)?;
+        let mut kind_to_sym = Vec::with_capacity(scanner.num_kinds());
+        for k in 0..scanner.num_kinds() as u32 {
+            let name = scanner.kind_name(k);
+            match analysis.grammar.symbol_by_name(name) {
+                Some(s) if analysis.grammar.symbol(s).kind == SymbolKind::Terminal => {
+                    kind_to_sym.push(Some(s))
+                }
+                _ if name.starts_with("<skip") => kind_to_sym.push(None),
+                _ => {
+                    return Err(TranslateError::UnboundToken {
+                        kind: name.to_owned(),
+                    })
+                }
+            }
+        }
+        Ok(Translator {
+            analysis,
+            parser,
+            scanner,
+            kind_to_sym,
+        })
+    }
+
+    /// Scan and parse `input` into an APT seed.
+    ///
+    /// # Errors
+    ///
+    /// Scanner and parser failures; see [`TranslateError`].
+    pub fn parse_input(
+        &self,
+        input: &str,
+        intrinsics: &IntrinsicFn<'_>,
+        names: &mut NameTable,
+    ) -> Result<PTree, TranslateError> {
+        let tokens = self.scanner.scan(input).map_err(TranslateError::Scan)?;
+        let g = &self.analysis.grammar;
+        let mut stream = Vec::with_capacity(tokens.len());
+        for t in tokens {
+            let sym = self.kind_to_sym[t.kind as usize].expect("skip kinds never reach here");
+            let mut ctx = LeafCtx {
+                sym,
+                text: t.text(input),
+                span: t.span,
+                names,
+            };
+            let vals = intrinsics(g, &mut ctx);
+            stream.push((sym, vals));
+        }
+        self.parser.parse_tree(stream).map_err(TranslateError::Parse)
+    }
+
+    /// Scan, parse, and evaluate `input` — the whole translator.
+    ///
+    /// # Errors
+    ///
+    /// See [`TranslateError`].
+    pub fn translate(
+        &self,
+        input: &str,
+        funcs: &Funcs,
+        opts: &EvalOptions,
+    ) -> Result<Evaluation, TranslateError> {
+        let mut names = NameTable::new();
+        let tree = self.parse_input(input, &standard_intrinsics, &mut names)?;
+        Ok(evaluate(&self.analysis, funcs, &tree, opts)?)
+    }
+
+    /// Parser-state count (reported by examples).
+    pub fn parser_states(&self) -> usize {
+        self.parser.num_states()
+    }
+}

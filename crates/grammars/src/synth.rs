@@ -1,0 +1,199 @@
+//! Synthetic attribute-grammar families with controlled copy density.
+//!
+//! The paper observes that "between 40 and 60 percent of the semantic
+//! functions are copy-rules" in typical attribute grammars and that
+//! static subsumption's payoff depends on that fraction. This module
+//! generates list-shaped grammars where the fraction is a dial, driving
+//! the E13 ablation (cost-model sweep, same-name vs coalescing grouping).
+
+use linguist_ag::expr::{BinOp, Expr};
+use linguist_ag::grammar::{AgBuilder, Grammar};
+use linguist_ag::ids::{AttrOcc, ProdId, SymbolId};
+use linguist_eval::tree::PTree;
+use linguist_eval::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic grammar.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthParams {
+    /// Number of inherited "context" attributes on the list symbol.
+    pub inherited_attrs: usize,
+    /// Number of recursive list productions.
+    pub list_productions: usize,
+    /// Probability that a context attribute flows through a production by
+    /// a pure copy (left implicit) rather than being recomputed.
+    pub copy_density: f64,
+    /// RNG seed (the same seed yields the same grammar).
+    pub seed: u64,
+}
+
+impl Default for SynthParams {
+    fn default() -> SynthParams {
+        SynthParams {
+            inherited_attrs: 6,
+            list_productions: 8,
+            copy_density: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated grammar plus the handles needed to build input trees.
+#[derive(Debug)]
+pub struct SynthGrammar {
+    /// The grammar (not yet analyzed).
+    pub grammar: Grammar,
+    /// The list nonterminal's leaf production.
+    pub leaf_prod: ProdId,
+    /// The recursive productions.
+    pub list_prods: Vec<ProdId>,
+    /// The leaf terminal.
+    pub leaf_term: SymbolId,
+    /// The leaf terminal's intrinsic attribute.
+    pub leaf_attr: linguist_ag::ids::AttrId,
+}
+
+/// Generate a grammar from `params`.
+pub fn generate(params: &SynthParams) -> SynthGrammar {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut b = AgBuilder::new();
+
+    let root = b.nonterminal("root");
+    let out_root = b.synthesized(root, "OUT", "int");
+    let s = b.nonterminal("S");
+    let out_s = b.synthesized(s, "OUT", "int");
+    let mut ctx_attrs = Vec::new();
+    for i in 0..params.inherited_attrs {
+        ctx_attrs.push(b.inherited(s, &format!("CTX{}", i), "int"));
+    }
+    let x = b.terminal("x");
+    let leaf_attr = b.intrinsic(x, "OBJ", "int");
+
+    // root -> S : seed every context attribute; OUT copied up implicitly.
+    let p_root = b.production(root, vec![s], None);
+    for (i, &a) in ctx_attrs.iter().enumerate() {
+        b.rule(p_root, vec![AttrOcc::rhs(0, a)], Expr::Int(i as i64));
+    }
+    let _ = out_root;
+
+    // Recursive list productions: S -> S t_k. Context attributes either
+    // copy through (implicitly) or get recomputed.
+    let mut list_prods = Vec::new();
+    for k in 0..params.list_productions {
+        let t = b.terminal(&format!("t{}", k));
+        let p = b.production(s, vec![s, t], None);
+        for &a in &ctx_attrs {
+            if rng.gen::<f64>() >= params.copy_density {
+                // Recompute: CTX_i of the child = CTX_i of this node + 1.
+                b.rule(
+                    p,
+                    vec![AttrOcc::rhs(0, a)],
+                    Expr::binop(BinOp::Add, Expr::Occ(AttrOcc::lhs(a)), Expr::Int(1)),
+                );
+            }
+            // else: left to the implicit copy-rule mechanism.
+        }
+        // OUT copied up implicitly.
+        list_prods.push(p);
+    }
+
+    // Leaf: S -> x, OUT sums every context attribute with the intrinsic.
+    let leaf_prod = b.production(s, vec![x], None);
+    let mut sum = Expr::Occ(AttrOcc::rhs(0, leaf_attr));
+    for &a in &ctx_attrs {
+        sum = Expr::binop(BinOp::Add, sum, Expr::Occ(AttrOcc::lhs(a)));
+    }
+    b.rule(leaf_prod, vec![AttrOcc::lhs(out_s)], sum);
+
+    b.start(root);
+    SynthGrammar {
+        grammar: b.build().expect("synthetic grammar is structurally valid"),
+        leaf_prod,
+        list_prods,
+        leaf_term: x,
+        leaf_attr,
+    }
+}
+
+impl SynthGrammar {
+    /// Build an input chain of `len` list nodes (deterministic from
+    /// `seed`), cycling through the list productions.
+    pub fn chain(&self, len: usize, seed: u64) -> PTree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let leaf = |rng: &mut StdRng, this: &SynthGrammar| {
+            PTree::leaf(
+                this.leaf_term,
+                vec![(this.leaf_attr, Value::Int(rng.gen_range(0..100)))],
+            )
+        };
+        let mut t = PTree::node(self.leaf_prod, vec![leaf(&mut rng, self)]);
+        for i in 0..len {
+            let p = self.list_prods[i % self.list_prods.len()];
+            // The terminal of production p is its second RHS symbol.
+            let term = self.grammar.production(p).rhs[1];
+            t = PTree::node(p, vec![t, PTree::leaf(term, vec![])]);
+        }
+        // Wrap in root -> S (production 0).
+        PTree::node(ProdId(0), vec![t])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linguist_ag::analysis::{Analysis, Config};
+    use linguist_ag::stats::GrammarStats;
+    use linguist_eval::funcs::Funcs;
+    use linguist_eval::machine::{evaluate, EvalOptions};
+
+    #[test]
+    fn copy_density_controls_copy_fraction() {
+        let low = generate(&SynthParams {
+            copy_density: 0.1,
+            ..SynthParams::default()
+        });
+        let high = generate(&SynthParams {
+            copy_density: 0.9,
+            ..SynthParams::default()
+        });
+        let mut gl = low.grammar.clone();
+        let mut gh = high.grammar.clone();
+        linguist_ag::implicit::insert_implicit_copies(&mut gl);
+        linguist_ag::implicit::insert_implicit_copies(&mut gh);
+        let sl = GrammarStats::compute(&gl, None);
+        let sh = GrammarStats::compute(&gh, None);
+        assert!(
+            sh.copy_fraction() > sl.copy_fraction(),
+            "high {:.2} vs low {:.2}",
+            sh.copy_fraction(),
+            sl.copy_fraction()
+        );
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let a = generate(&SynthParams::default());
+        let b = generate(&SynthParams::default());
+        assert_eq!(a.grammar.rules().len(), b.grammar.rules().len());
+    }
+
+    #[test]
+    fn synthetic_grammars_analyze_and_evaluate() {
+        let sg = generate(&SynthParams::default());
+        let analysis = Analysis::run(sg.grammar.clone(), &Config::default()).unwrap();
+        assert_eq!(analysis.passes.num_passes(), 1);
+        let tree = sg.chain(30, 7);
+        let r = evaluate(
+            &analysis,
+            &Funcs::standard(),
+            &tree,
+            &EvalOptions::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            r.output(&analysis, "OUT"),
+            Some(Value::Int(_))
+        ));
+    }
+}

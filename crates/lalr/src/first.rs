@@ -1,0 +1,262 @@
+//! Nullable and FIRST-set computation.
+//!
+//! Standard fixed-point computation over the grammar; FIRST sets are stored
+//! as bit vectors indexed by [`TermId`] so closure inner loops stay cheap.
+
+use crate::grammar::{Grammar, NonTermId, Sym, TermId};
+
+/// A set of terminals as a bit vector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TermSet {
+    bits: Vec<u64>,
+}
+
+impl TermSet {
+    /// The empty set sized for `num_terms` terminals.
+    pub fn empty(num_terms: usize) -> TermSet {
+        TermSet {
+            bits: vec![0; num_terms.div_ceil(64)],
+        }
+    }
+
+    /// Insert `t`; returns true if newly added.
+    pub fn insert(&mut self, t: TermId) -> bool {
+        let (w, b) = (t.0 as usize / 64, t.0 as usize % 64);
+        let old = self.bits[w];
+        self.bits[w] |= 1 << b;
+        self.bits[w] != old
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: TermId) -> bool {
+        self.bits[t.0 as usize / 64] & (1 << (t.0 as usize % 64)) != 0
+    }
+
+    /// Union `other` into `self`; returns true if anything changed.
+    pub fn union_from(&mut self, other: &TermSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            let old = *a;
+            *a |= b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// Iterate members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = TermId> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64)
+                .filter(move |b| word & (1 << b) != 0)
+                .map(move |b| TermId((w * 64 + b) as u32))
+        })
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+}
+
+/// Precomputed nullable flags and FIRST sets for a grammar.
+#[derive(Clone, Debug)]
+pub struct FirstSets {
+    nullable: Vec<bool>,
+    first: Vec<TermSet>,
+    num_terms: usize,
+}
+
+impl FirstSets {
+    /// Compute nullable and FIRST for every nonterminal.
+    pub fn compute(g: &Grammar) -> FirstSets {
+        let nn = g.num_nonterms();
+        let nt = g.num_terms();
+        let mut nullable = vec![false; nn];
+        let mut first: Vec<TermSet> = (0..nn).map(|_| TermSet::empty(nt)).collect();
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for p in g.productions() {
+                let lhs = p.lhs.0 as usize;
+                // nullable
+                if !nullable[lhs] && p.rhs.iter().all(|s| match s {
+                    Sym::T(_) => false,
+                    Sym::N(n) => nullable[n.0 as usize],
+                }) {
+                    nullable[lhs] = true;
+                    changed = true;
+                }
+                // first
+                for s in &p.rhs {
+                    match s {
+                        Sym::T(t) => {
+                            changed |= first[lhs].insert(*t);
+                            break;
+                        }
+                        Sym::N(n) => {
+                            if *n != p.lhs {
+                                let (a, b) = split_two(&mut first, lhs, n.0 as usize);
+                                changed |= a.union_from(b);
+                            }
+                            if !nullable[n.0 as usize] {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        FirstSets {
+            nullable,
+            first,
+            num_terms: nt,
+        }
+    }
+
+    /// Whether nonterminal `n` derives ε.
+    pub fn nullable(&self, n: NonTermId) -> bool {
+        self.nullable[n.0 as usize]
+    }
+
+    /// FIRST set of nonterminal `n`.
+    pub fn first(&self, n: NonTermId) -> &TermSet {
+        &self.first[n.0 as usize]
+    }
+
+    /// FIRST of a symbol string `syms`, returned together with whether the
+    /// whole string is nullable.
+    pub fn first_of_string(&self, syms: &[Sym]) -> (TermSet, bool) {
+        let mut out = TermSet::empty(self.num_terms);
+        for s in syms {
+            match s {
+                Sym::T(t) => {
+                    out.insert(*t);
+                    return (out, false);
+                }
+                Sym::N(n) => {
+                    out.union_from(self.first(*n));
+                    if !self.nullable(*n) {
+                        return (out, false);
+                    }
+                }
+            }
+        }
+        (out, true)
+    }
+}
+
+/// Borrow two distinct elements of a slice mutably/immutably.
+fn split_two(v: &mut [TermSet], a: usize, b: usize) -> (&mut TermSet, &TermSet) {
+    debug_assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = v.split_at_mut(b);
+        (&mut lo[a], &hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(a);
+        (&mut hi[0], &lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+
+    /// E -> T E' ; E' -> '+' T E' | ε ; T -> 'id'
+    fn expr_grammar() -> Grammar {
+        let mut b = GrammarBuilder::new();
+        let e = b.nonterminal("E");
+        let ep = b.nonterminal("Ep");
+        let t = b.nonterminal("T");
+        let plus = b.terminal("+");
+        let id = b.terminal("id");
+        b.production(e, vec![Sym::N(t), Sym::N(ep)]);
+        b.production(ep, vec![Sym::T(plus), Sym::N(t), Sym::N(ep)]);
+        b.production(ep, vec![]);
+        b.production(t, vec![Sym::T(id)]);
+        b.start(e).build().unwrap()
+    }
+
+    #[test]
+    fn nullable_detects_epsilon_chains() {
+        let g = expr_grammar();
+        let f = FirstSets::compute(&g);
+        let ep = g.nonterm_by_name("Ep").unwrap();
+        let e = g.nonterm_by_name("E").unwrap();
+        assert!(f.nullable(ep));
+        assert!(!f.nullable(e));
+    }
+
+    #[test]
+    fn first_sets_are_classic() {
+        let g = expr_grammar();
+        let f = FirstSets::compute(&g);
+        let id = g.term_by_name("id").unwrap();
+        let plus = g.term_by_name("+").unwrap();
+        let e = g.nonterm_by_name("E").unwrap();
+        let ep = g.nonterm_by_name("Ep").unwrap();
+        assert!(f.first(e).contains(id));
+        assert!(!f.first(e).contains(plus));
+        assert!(f.first(ep).contains(plus));
+        assert_eq!(f.first(ep).len(), 1);
+    }
+
+    #[test]
+    fn first_of_string_respects_nullability() {
+        let g = expr_grammar();
+        let f = FirstSets::compute(&g);
+        let ep = g.nonterm_by_name("Ep").unwrap();
+        let id = g.term_by_name("id").unwrap();
+        let plus = g.term_by_name("+").unwrap();
+
+        let (set, nullable) = f.first_of_string(&[Sym::N(ep), Sym::T(id)]);
+        assert!(set.contains(plus));
+        assert!(set.contains(id), "id visible through nullable Ep");
+        assert!(!nullable);
+
+        let (set, nullable) = f.first_of_string(&[Sym::N(ep)]);
+        assert!(set.contains(plus));
+        assert!(nullable);
+
+        let (set, nullable) = f.first_of_string(&[]);
+        assert!(set.is_empty());
+        assert!(nullable);
+    }
+
+    #[test]
+    fn termset_basic_ops() {
+        let mut s = TermSet::empty(70);
+        assert!(s.insert(TermId(0)));
+        assert!(s.insert(TermId(69)));
+        assert!(!s.insert(TermId(69)));
+        assert!(s.contains(TermId(69)));
+        assert_eq!(s.len(), 2);
+        let collected: Vec<u32> = s.iter().map(|t| t.0).collect();
+        assert_eq!(collected, vec![0, 69]);
+        let mut t = TermSet::empty(70);
+        assert!(t.union_from(&s));
+        assert!(!t.union_from(&s));
+    }
+
+    #[test]
+    fn left_recursive_first_terminates() {
+        // S -> S 'a' | 'b'
+        let mut b = GrammarBuilder::new();
+        let s = b.nonterminal("S");
+        let a = b.terminal("a");
+        let bb = b.terminal("b");
+        b.production(s, vec![Sym::N(s), Sym::T(a)]);
+        b.production(s, vec![Sym::T(bb)]);
+        let g = b.start(s).build().unwrap();
+        let f = FirstSets::compute(&g);
+        let s = g.nonterm_by_name("S").unwrap();
+        assert!(f.first(s).contains(g.term_by_name("b").unwrap()));
+        assert!(!f.first(s).contains(g.term_by_name("a").unwrap()));
+    }
+}

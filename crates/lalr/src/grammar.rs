@@ -1,0 +1,353 @@
+//! Context-free grammars: the input to the table builder.
+//!
+//! Symbols are interned into two dense id spaces — [`TermId`] and
+//! [`NonTermId`] — so the analyses can index arrays by symbol. Building
+//! adds an augmented start production `S' → S` and a reserved end-of-input
+//! terminal, as every LR construction requires.
+
+use linguist_support::intern::{Name, NameTable};
+use std::fmt;
+
+/// A terminal symbol id (dense, grammar-local).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+/// A nonterminal symbol id (dense, grammar-local).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NonTermId(pub u32);
+
+/// A production id (index into [`Grammar::productions`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProdId(pub u32);
+
+/// A grammar symbol: terminal or nonterminal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Sym {
+    /// Terminal.
+    T(TermId),
+    /// Nonterminal.
+    N(NonTermId),
+}
+
+/// One production `lhs → rhs`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Production {
+    /// Left-hand-side nonterminal.
+    pub lhs: NonTermId,
+    /// Right-hand-side symbols, left to right.
+    pub rhs: Vec<Sym>,
+}
+
+/// Errors from [`GrammarBuilder::build`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GrammarError {
+    /// No start symbol was set.
+    NoStart,
+    /// A nonterminal has no productions.
+    UselessNonterminal(String),
+    /// The grammar has no productions at all.
+    Empty,
+}
+
+impl fmt::Display for GrammarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrammarError::NoStart => write!(f, "no start symbol set"),
+            GrammarError::UselessNonterminal(n) => {
+                write!(f, "nonterminal `{}` has no productions", n)
+            }
+            GrammarError::Empty => write!(f, "grammar has no productions"),
+        }
+    }
+}
+
+impl std::error::Error for GrammarError {}
+
+/// Incrementally assembles a [`Grammar`].
+#[derive(Debug, Default, Clone)]
+pub struct GrammarBuilder {
+    names: NameTable,
+    terms: Vec<Name>,
+    nonterms: Vec<Name>,
+    productions: Vec<Production>,
+    start: Option<NonTermId>,
+}
+
+impl GrammarBuilder {
+    /// An empty builder.
+    pub fn new() -> GrammarBuilder {
+        GrammarBuilder::default()
+    }
+
+    /// Declare (or fetch) the terminal named `name`.
+    pub fn terminal(&mut self, name: &str) -> TermId {
+        let n = self.names.intern(name);
+        if let Some(ix) = self.terms.iter().position(|&t| t == n) {
+            return TermId(ix as u32);
+        }
+        self.terms.push(n);
+        TermId(self.terms.len() as u32 - 1)
+    }
+
+    /// Declare (or fetch) the nonterminal named `name`.
+    pub fn nonterminal(&mut self, name: &str) -> NonTermId {
+        let n = self.names.intern(name);
+        if let Some(ix) = self.nonterms.iter().position(|&t| t == n) {
+            return NonTermId(ix as u32);
+        }
+        self.nonterms.push(n);
+        NonTermId(self.nonterms.len() as u32 - 1)
+    }
+
+    /// Add a production; returns its id. Production ids are dense and in
+    /// declaration order (the augmented production is appended last by
+    /// [`GrammarBuilder::build`]).
+    pub fn production(&mut self, lhs: NonTermId, rhs: Vec<Sym>) -> ProdId {
+        self.productions.push(Production { lhs, rhs });
+        ProdId(self.productions.len() as u32 - 1)
+    }
+
+    /// Set the start symbol.
+    pub fn start(mut self, start: NonTermId) -> GrammarBuilder {
+        self.start = Some(start);
+        self
+    }
+
+    /// Finish: augment with `S' → S` and the end-of-input terminal.
+    ///
+    /// # Errors
+    ///
+    /// [`GrammarError::NoStart`] if no start symbol was set,
+    /// [`GrammarError::Empty`] for a production-less grammar, and
+    /// [`GrammarError::UselessNonterminal`] if some nonterminal never
+    /// appears as a left-hand side.
+    pub fn build(mut self) -> Result<Grammar, GrammarError> {
+        let start = self.start.ok_or(GrammarError::NoStart)?;
+        if self.productions.is_empty() {
+            return Err(GrammarError::Empty);
+        }
+        for (ix, &name) in self.nonterms.iter().enumerate() {
+            if !self
+                .productions
+                .iter()
+                .any(|p| p.lhs == NonTermId(ix as u32))
+            {
+                return Err(GrammarError::UselessNonterminal(
+                    self.names.resolve(name).to_owned(),
+                ));
+            }
+        }
+        let eof = self.terminal("<eof>");
+        let aug_start = {
+            // The augmented symbol is synthetic; pick a name no user symbol
+            // can collide with.
+            let n = self.names.intern("<start'>");
+            self.nonterms.push(n);
+            NonTermId(self.nonterms.len() as u32 - 1)
+        };
+        let aug_prod = ProdId(self.productions.len() as u32);
+        self.productions.push(Production {
+            lhs: aug_start,
+            rhs: vec![Sym::N(start)],
+        });
+        Ok(Grammar {
+            names: self.names,
+            terms: self.terms,
+            nonterms: self.nonterms,
+            productions: self.productions,
+            start,
+            aug_start,
+            aug_prod,
+            eof,
+        })
+    }
+}
+
+/// A validated, augmented context-free grammar.
+#[derive(Debug, Clone)]
+pub struct Grammar {
+    names: NameTable,
+    terms: Vec<Name>,
+    nonterms: Vec<Name>,
+    productions: Vec<Production>,
+    start: NonTermId,
+    aug_start: NonTermId,
+    aug_prod: ProdId,
+    eof: TermId,
+}
+
+impl Grammar {
+    /// All productions, including the augmented one (last).
+    pub fn productions(&self) -> &[Production] {
+        &self.productions
+    }
+
+    /// The production with the given id.
+    pub fn production(&self, id: ProdId) -> &Production {
+        &self.productions[id.0 as usize]
+    }
+
+    /// Ids of the productions whose left-hand side is `nt`.
+    pub fn productions_of(&self, nt: NonTermId) -> impl Iterator<Item = ProdId> + '_ {
+        self.productions
+            .iter()
+            .enumerate()
+            .filter(move |(_, p)| p.lhs == nt)
+            .map(|(i, _)| ProdId(i as u32))
+    }
+
+    /// The user's start symbol.
+    pub fn start(&self) -> NonTermId {
+        self.start
+    }
+
+    /// The synthetic augmented start symbol `S'`.
+    pub fn aug_start(&self) -> NonTermId {
+        self.aug_start
+    }
+
+    /// The synthetic production `S' → S`.
+    pub fn aug_prod(&self) -> ProdId {
+        self.aug_prod
+    }
+
+    /// The reserved end-of-input terminal.
+    pub fn eof(&self) -> TermId {
+        self.eof
+    }
+
+    /// Number of terminals (including end-of-input).
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Number of nonterminals (including the augmented start).
+    pub fn num_nonterms(&self) -> usize {
+        self.nonterms.len()
+    }
+
+    /// Terminal name.
+    pub fn term_name(&self, t: TermId) -> &str {
+        self.names.resolve(self.terms[t.0 as usize])
+    }
+
+    /// Nonterminal name.
+    pub fn nonterm_name(&self, n: NonTermId) -> &str {
+        self.names.resolve(self.nonterms[n.0 as usize])
+    }
+
+    /// Display a symbol.
+    pub fn sym_name(&self, s: Sym) -> &str {
+        match s {
+            Sym::T(t) => self.term_name(t),
+            Sym::N(n) => self.nonterm_name(n),
+        }
+    }
+
+    /// Render a production like `expr -> expr PLUS term`.
+    pub fn prod_display(&self, id: ProdId) -> String {
+        let p = self.production(id);
+        let mut out = format!("{} ->", self.nonterm_name(p.lhs));
+        if p.rhs.is_empty() {
+            out.push_str(" <empty>");
+        }
+        for &s in &p.rhs {
+            out.push(' ');
+            out.push_str(self.sym_name(s));
+        }
+        out
+    }
+
+    /// Find a terminal by name.
+    pub fn term_by_name(&self, name: &str) -> Option<TermId> {
+        let n = self.names.get(name)?;
+        self.terms
+            .iter()
+            .position(|&t| t == n)
+            .map(|i| TermId(i as u32))
+    }
+
+    /// Find a nonterminal by name.
+    pub fn nonterm_by_name(&self, name: &str) -> Option<NonTermId> {
+        let n = self.names.get(name)?;
+        self.nonterms
+            .iter()
+            .position(|&t| t == n)
+            .map(|i| NonTermId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Grammar {
+        let mut b = GrammarBuilder::new();
+        let s = b.nonterminal("S");
+        let a = b.terminal("a");
+        b.production(s, vec![Sym::T(a)]);
+        b.start(s).build().unwrap()
+    }
+
+    #[test]
+    fn build_adds_augmentation() {
+        let g = tiny();
+        assert_eq!(g.productions().len(), 2);
+        let aug = g.production(g.aug_prod());
+        assert_eq!(aug.lhs, g.aug_start());
+        assert_eq!(aug.rhs, vec![Sym::N(g.start())]);
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut b = GrammarBuilder::new();
+        let s1 = b.nonterminal("S");
+        let s2 = b.nonterminal("S");
+        assert_eq!(s1, s2);
+        let t1 = b.terminal("x");
+        let t2 = b.terminal("x");
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn missing_start_is_error() {
+        let mut b = GrammarBuilder::new();
+        let s = b.nonterminal("S");
+        let a = b.terminal("a");
+        b.production(s, vec![Sym::T(a)]);
+        assert_eq!(b.build().unwrap_err(), GrammarError::NoStart);
+    }
+
+    #[test]
+    fn useless_nonterminal_is_error() {
+        let mut b = GrammarBuilder::new();
+        let s = b.nonterminal("S");
+        let dead = b.nonterminal("Dead");
+        b.production(s, vec![Sym::N(dead)]);
+        let err = b.start(s).build().unwrap_err();
+        assert_eq!(err, GrammarError::UselessNonterminal("Dead".into()));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let g = tiny();
+        assert_eq!(g.term_by_name("a"), Some(TermId(0)));
+        assert!(g.term_by_name("zzz").is_none());
+        assert_eq!(g.nonterm_by_name("S"), Some(g.start()));
+    }
+
+    #[test]
+    fn prod_display_renders() {
+        let g = tiny();
+        assert_eq!(g.prod_display(ProdId(0)), "S -> a");
+    }
+
+    #[test]
+    fn empty_rhs_displays_as_empty() {
+        let mut b = GrammarBuilder::new();
+        let s = b.nonterminal("S");
+        b.production(s, vec![]);
+        let g = b.start(s).build().unwrap();
+        assert_eq!(g.prod_display(ProdId(0)), "S -> <empty>");
+    }
+}

@@ -1,0 +1,250 @@
+//! The LR(0) item automaton: canonical collection of item sets.
+//!
+//! States are identified by their *kernel* (the augmented start item plus
+//! all items with the dot not at the far left); closures are recomputed on
+//! demand. The LALR(1) lookahead computation in [`crate::table`] works over
+//! these kernels.
+
+use crate::grammar::{Grammar, ProdId, Sym};
+use std::collections::HashMap;
+
+/// An LR(0) item: a production with a dot position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Item {
+    /// The production.
+    pub prod: ProdId,
+    /// Dot position: 0 ..= rhs.len().
+    pub dot: u16,
+}
+
+impl Item {
+    /// The symbol right after the dot, if any.
+    pub fn next_sym(self, g: &Grammar) -> Option<Sym> {
+        g.production(self.prod).rhs.get(self.dot as usize).copied()
+    }
+
+    /// Whether the dot is at the end (a completed item).
+    pub fn is_complete(self, g: &Grammar) -> bool {
+        self.dot as usize == g.production(self.prod).rhs.len()
+    }
+
+    /// The item with the dot advanced one symbol.
+    pub fn advanced(self) -> Item {
+        Item {
+            prod: self.prod,
+            dot: self.dot + 1,
+        }
+    }
+
+    /// Render like `S -> a . S b`.
+    pub fn display(self, g: &Grammar) -> String {
+        let p = g.production(self.prod);
+        let mut out = format!("{} ->", g.nonterm_name(p.lhs));
+        for (i, &s) in p.rhs.iter().enumerate() {
+            if i == self.dot as usize {
+                out.push_str(" .");
+            }
+            out.push(' ');
+            out.push_str(g.sym_name(s));
+        }
+        if self.is_complete(g) {
+            out.push_str(" .");
+        }
+        out
+    }
+}
+
+/// State id in the LR(0) automaton.
+pub type StateId = u32;
+
+/// The canonical LR(0) collection.
+#[derive(Debug, Clone)]
+pub struct Lr0Automaton {
+    /// Kernel items per state, sorted.
+    pub kernels: Vec<Vec<Item>>,
+    /// `goto[state][sym]` transitions.
+    pub gotos: Vec<HashMap<Sym, StateId>>,
+}
+
+impl Lr0Automaton {
+    /// Build the canonical collection for `g`.
+    pub fn build(g: &Grammar) -> Lr0Automaton {
+        let start_kernel = vec![Item {
+            prod: g.aug_prod(),
+            dot: 0,
+        }];
+        let mut index: HashMap<Vec<Item>, StateId> = HashMap::new();
+        let mut kernels = vec![start_kernel.clone()];
+        index.insert(start_kernel, 0);
+        let mut gotos: Vec<HashMap<Sym, StateId>> = vec![HashMap::new()];
+
+        let mut done = 0;
+        while done < kernels.len() {
+            let closure = closure_of(g, &kernels[done]);
+            // Group advanced items by the symbol crossed.
+            let mut moved: HashMap<Sym, Vec<Item>> = HashMap::new();
+            for item in &closure {
+                if let Some(sym) = item.next_sym(g) {
+                    moved.entry(sym).or_default().push(item.advanced());
+                }
+            }
+            let mut edges: Vec<(Sym, Vec<Item>)> = moved.into_iter().collect();
+            // Deterministic state numbering regardless of hash order.
+            edges.sort_by_key(|(sym, _)| match *sym {
+                Sym::T(t) => (0u8, t.0),
+                Sym::N(n) => (1u8, n.0),
+            });
+            for (sym, mut kernel) in edges {
+                kernel.sort_unstable();
+                kernel.dedup();
+                let next = match index.get(&kernel) {
+                    Some(&id) => id,
+                    None => {
+                        let id = kernels.len() as StateId;
+                        index.insert(kernel.clone(), id);
+                        kernels.push(kernel);
+                        gotos.push(HashMap::new());
+                        id
+                    }
+                };
+                gotos[done].insert(sym, next);
+            }
+            done += 1;
+        }
+        Lr0Automaton { kernels, gotos }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Whether the automaton is empty (never true once built).
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// The transition from `state` on `sym`.
+    pub fn goto(&self, state: StateId, sym: Sym) -> Option<StateId> {
+        self.gotos[state as usize].get(&sym).copied()
+    }
+
+    /// Full closure (kernel + derived items) of a state.
+    pub fn closure(&self, g: &Grammar, state: StateId) -> Vec<Item> {
+        closure_of(g, &self.kernels[state as usize])
+    }
+}
+
+/// LR(0) closure of a kernel.
+pub fn closure_of(g: &Grammar, kernel: &[Item]) -> Vec<Item> {
+    let mut out: Vec<Item> = kernel.to_vec();
+    let mut added_nt = vec![false; g.num_nonterms()];
+    let mut i = 0;
+    while i < out.len() {
+        if let Some(Sym::N(nt)) = out[i].next_sym(g) {
+            if !added_nt[nt.0 as usize] {
+                added_nt[nt.0 as usize] = true;
+                for prod in g.productions_of(nt) {
+                    let item = Item { prod, dot: 0 };
+                    if !out.contains(&item) {
+                        out.push(item);
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{Grammar, GrammarBuilder};
+
+    /// The dragon-book grammar 4.1:
+    /// E -> E + T | T ;  T -> T * F | F ;  F -> ( E ) | id
+    fn dragon() -> Grammar {
+        let mut b = GrammarBuilder::new();
+        let e = b.nonterminal("E");
+        let t = b.nonterminal("T");
+        let f = b.nonterminal("F");
+        let plus = b.terminal("+");
+        let star = b.terminal("*");
+        let lp = b.terminal("(");
+        let rp = b.terminal(")");
+        let id = b.terminal("id");
+        b.production(e, vec![Sym::N(e), Sym::T(plus), Sym::N(t)]);
+        b.production(e, vec![Sym::N(t)]);
+        b.production(t, vec![Sym::N(t), Sym::T(star), Sym::N(f)]);
+        b.production(t, vec![Sym::N(f)]);
+        b.production(f, vec![Sym::T(lp), Sym::N(e), Sym::T(rp)]);
+        b.production(f, vec![Sym::T(id)]);
+        b.start(e).build().unwrap()
+    }
+
+    #[test]
+    fn dragon_grammar_has_twelve_states() {
+        // The canonical LR(0) collection for grammar 4.1 is I0..I11.
+        let g = dragon();
+        let a = Lr0Automaton::build(&g);
+        assert_eq!(a.len(), 12);
+    }
+
+    #[test]
+    fn start_state_kernel_is_aug_item() {
+        let g = dragon();
+        let a = Lr0Automaton::build(&g);
+        assert_eq!(
+            a.kernels[0],
+            vec![Item {
+                prod: g.aug_prod(),
+                dot: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn closure_of_start_contains_all_initial_items() {
+        let g = dragon();
+        let a = Lr0Automaton::build(&g);
+        let c = a.closure(&g, 0);
+        // aug item + 6 productions with dot at 0.
+        assert_eq!(c.len(), 7);
+        assert!(c.iter().all(|i| i.dot == 0));
+    }
+
+    #[test]
+    fn gotos_are_functional_and_consistent() {
+        let g = dragon();
+        let a = Lr0Automaton::build(&g);
+        let id = g.term_by_name("id").unwrap();
+        let s_id = a.goto(0, Sym::T(id)).unwrap();
+        // In the id-state the only item is F -> id .
+        let c = a.closure(&g, s_id);
+        assert_eq!(c.len(), 1);
+        assert!(c[0].is_complete(&g));
+        assert_eq!(c[0].display(&g), "F -> id .");
+    }
+
+    #[test]
+    fn item_display_places_dot() {
+        let g = dragon();
+        let item = Item {
+            prod: crate::grammar::ProdId(0),
+            dot: 1,
+        };
+        assert_eq!(item.display(&g), "E -> E . + T");
+    }
+
+    #[test]
+    fn building_twice_is_deterministic() {
+        let g = dragon();
+        let a = Lr0Automaton::build(&g);
+        let b = Lr0Automaton::build(&g);
+        assert_eq!(a.kernels, b.kernels);
+        for (x, y) in a.gotos.iter().zip(b.gotos.iter()) {
+            assert_eq!(x, y);
+        }
+    }
+}

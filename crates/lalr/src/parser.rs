@@ -1,0 +1,296 @@
+//! The table-driven shift/reduce parser.
+//!
+//! The driver emits [`ParseEvent`]s in exactly the order the paper's first
+//! APT-construction strategy needs: "the parser emits tree nodes in
+//! bottom-up order. This creates an intermediate APT file that is identical
+//! to what would have been created by a left-to-right attribute evaluator."
+//! A [`ParseEvent::Shift`] is a leaf node; a [`ParseEvent::Reduce`] is an
+//! interior node appearing after all of its children — a left-to-right
+//! postfix linearization of the parse tree.
+
+use crate::grammar::{NonTermId, ProdId, TermId};
+use crate::lr0::StateId;
+use crate::table::{Action, LalrTable};
+use std::fmt;
+
+/// One event of the right parse, generic over a token payload `V`
+/// (typically a span or an interned lexeme).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseEvent<V> {
+    /// A terminal was shifted: a leaf node of the APT.
+    Shift {
+        /// The terminal.
+        terminal: TermId,
+        /// Caller-supplied payload (span, interned text, …).
+        payload: V,
+    },
+    /// A production was reduced: an interior node, emitted after all of its
+    /// children's events.
+    Reduce {
+        /// The production reduced by.
+        production: ProdId,
+        /// Its left-hand side.
+        lhs: NonTermId,
+        /// Number of right-hand-side symbols (children popped).
+        arity: usize,
+    },
+}
+
+/// A syntax error: the token (or end of input) had no action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Index of the offending token in the input stream (input length if
+    /// the error is at end of input).
+    pub at_token: usize,
+    /// Name of the offending terminal (`<eof>` at end of input).
+    pub found: String,
+    /// Terminal names that would have been accepted.
+    pub expected: Vec<String>,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "syntax error at token {}: found `{}`, expected one of: {}",
+            self.at_token,
+            self.found,
+            self.expected.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The table interpreter.
+///
+/// Borrows the tables; construction is free. See the crate-level example.
+#[derive(Debug, Clone, Copy)]
+pub struct Parser<'t> {
+    table: &'t LalrTable,
+}
+
+impl<'t> Parser<'t> {
+    /// A parser over `table`.
+    pub fn new(table: &'t LalrTable) -> Parser<'t> {
+        Parser { table }
+    }
+
+    /// Parse a token stream into its right parse (bottom-up event list).
+    ///
+    /// The end-of-input terminal is appended automatically. The final
+    /// reduce of the augmented production is *not* emitted — the last event
+    /// is the reduce that creates the root node for the user's start
+    /// symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] at the first token with no table action.
+    pub fn parse<V, I>(&self, tokens: I) -> Result<Vec<ParseEvent<V>>, ParseError>
+    where
+        I: IntoIterator<Item = (TermId, V)>,
+    {
+        let mut events = Vec::new();
+        self.parse_with(tokens, |e| events.push(e))?;
+        Ok(events)
+    }
+
+    /// Streaming variant of [`Parser::parse`]: `emit` is called for each
+    /// event as soon as it is known. This is how the first overlay writes
+    /// the right-parse straight to an intermediate file without holding the
+    /// tree in memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] at the first token with no table action.
+    pub fn parse_with<V, I>(
+        &self,
+        tokens: I,
+        mut emit: impl FnMut(ParseEvent<V>),
+    ) -> Result<(), ParseError>
+    where
+        I: IntoIterator<Item = (TermId, V)>,
+    {
+        let g = self.table.grammar();
+        let eof = g.eof();
+        let mut stack: Vec<StateId> = vec![0];
+        let mut index = 0usize;
+
+        let mut input = tokens.into_iter();
+        let mut lookahead: Option<(TermId, Option<V>)> = input.next().map(|(t, v)| (t, Some(v)));
+
+        loop {
+            let (term, _) = match &lookahead {
+                Some((t, v)) => (*t, v.is_some()),
+                None => (eof, false),
+            };
+            let state = *stack.last().expect("stack never empties");
+            match self.table.action(state, term) {
+                Some(Action::Shift(next)) => {
+                    let (t, payload) = lookahead.take().expect("eof has no shift action");
+                    emit(ParseEvent::Shift {
+                        terminal: t,
+                        payload: payload.expect("shifted token has payload"),
+                    });
+                    stack.push(next);
+                    index += 1;
+                    lookahead = input.next().map(|(t, v)| (t, Some(v)));
+                }
+                Some(Action::Reduce(prod)) => {
+                    let p = g.production(prod);
+                    let arity = p.rhs.len();
+                    for _ in 0..arity {
+                        stack.pop();
+                    }
+                    let state = *stack.last().expect("stack never empties");
+                    let next = self
+                        .table
+                        .goto(state, p.lhs)
+                        .expect("goto defined after reduce");
+                    stack.push(next);
+                    emit(ParseEvent::Reduce {
+                        production: prod,
+                        lhs: p.lhs,
+                        arity,
+                    });
+                }
+                Some(Action::Accept) => return Ok(()),
+                None => {
+                    return Err(ParseError {
+                        at_token: index,
+                        found: g.term_name(term).to_owned(),
+                        expected: self.table.expected_in(state),
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{Grammar, GrammarBuilder, Sym};
+    use crate::table::LalrTable;
+
+    /// Dragon 4.1 expression grammar.
+    fn dragon() -> Grammar {
+        let mut b = GrammarBuilder::new();
+        let e = b.nonterminal("E");
+        let t = b.nonterminal("T");
+        let f = b.nonterminal("F");
+        let plus = b.terminal("+");
+        let star = b.terminal("*");
+        let lp = b.terminal("(");
+        let rp = b.terminal(")");
+        let id = b.terminal("id");
+        b.production(e, vec![Sym::N(e), Sym::T(plus), Sym::N(t)]); // 0
+        b.production(e, vec![Sym::N(t)]); // 1
+        b.production(t, vec![Sym::N(t), Sym::T(star), Sym::N(f)]); // 2
+        b.production(t, vec![Sym::N(f)]); // 3
+        b.production(f, vec![Sym::T(lp), Sym::N(e), Sym::T(rp)]); // 4
+        b.production(f, vec![Sym::T(id)]); // 5
+        b.start(e).build().unwrap()
+    }
+
+    fn reduces(events: &[ParseEvent<usize>]) -> Vec<u32> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                ParseEvent::Reduce { production, .. } => Some(production.0),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn right_parse_of_id_plus_id_star_id() {
+        let g = dragon();
+        let table = LalrTable::build(&g).unwrap();
+        let parser = Parser::new(&table);
+        let id = g.term_by_name("id").unwrap();
+        let plus = g.term_by_name("+").unwrap();
+        let star = g.term_by_name("*").unwrap();
+        let tokens = [id, plus, id, star, id]
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (t, i));
+        let events = parser.parse(tokens).unwrap();
+        // The reverse rightmost derivation of id+id*id in grammar 4.1:
+        // F->id, T->F, E->T, F->id, T->F, F->id, T->T*F, E->E+T
+        assert_eq!(reduces(&events), vec![5, 3, 1, 5, 3, 5, 2, 0]);
+    }
+
+    #[test]
+    fn shifts_appear_before_covering_reduces() {
+        let g = dragon();
+        let table = LalrTable::build(&g).unwrap();
+        let parser = Parser::new(&table);
+        let id = g.term_by_name("id").unwrap();
+        let events = parser.parse([(id, 0usize)]).unwrap();
+        assert!(matches!(events[0], ParseEvent::Shift { .. }));
+        assert!(matches!(events[1], ParseEvent::Reduce { arity: 1, .. }));
+        // id: F->id, T->F, E->T
+        assert_eq!(reduces(&events), vec![5, 3, 1]);
+    }
+
+    #[test]
+    fn nested_parens_parse() {
+        let g = dragon();
+        let table = LalrTable::build(&g).unwrap();
+        let parser = Parser::new(&table);
+        let id = g.term_by_name("id").unwrap();
+        let lp = g.term_by_name("(").unwrap();
+        let rp = g.term_by_name(")").unwrap();
+        let toks = [lp, lp, id, rp, rp].into_iter().map(|t| (t, ()));
+        assert!(parser.parse(toks).is_ok());
+    }
+
+    #[test]
+    fn syntax_error_reports_expected_set() {
+        let g = dragon();
+        let table = LalrTable::build(&g).unwrap();
+        let parser = Parser::new(&table);
+        let plus = g.term_by_name("+").unwrap();
+        let err = parser.parse([(plus, 0usize)]).unwrap_err();
+        assert_eq!(err.at_token, 0);
+        assert_eq!(err.found, "+");
+        assert!(err.expected.contains(&"id".to_owned()));
+        assert!(err.to_string().contains("syntax error"));
+    }
+
+    #[test]
+    fn error_at_eof() {
+        let g = dragon();
+        let table = LalrTable::build(&g).unwrap();
+        let parser = Parser::new(&table);
+        let id = g.term_by_name("id").unwrap();
+        let plus = g.term_by_name("+").unwrap();
+        let err = parser.parse([(id, 0usize), (plus, 1usize)]).unwrap_err();
+        assert_eq!(err.found, "<eof>");
+    }
+
+    #[test]
+    fn empty_input_fails_for_nonnullable_start() {
+        let g = dragon();
+        let table = LalrTable::build(&g).unwrap();
+        let parser = Parser::new(&table);
+        let err = parser.parse(std::iter::empty::<(TermId, ())>()).unwrap_err();
+        assert_eq!(err.found, "<eof>");
+    }
+
+    #[test]
+    fn streaming_emits_same_events() {
+        let g = dragon();
+        let table = LalrTable::build(&g).unwrap();
+        let parser = Parser::new(&table);
+        let id = g.term_by_name("id").unwrap();
+        let plus = g.term_by_name("+").unwrap();
+        let toks: Vec<(TermId, usize)> =
+            [id, plus, id].into_iter().enumerate().map(|(i, t)| (t, i)).collect();
+        let collected = parser.parse(toks.clone()).unwrap();
+        let mut streamed = Vec::new();
+        parser.parse_with(toks, |e| streamed.push(e)).unwrap();
+        assert_eq!(collected, streamed);
+    }
+}

@@ -1,0 +1,524 @@
+//! LALR(1) lookaheads and the ACTION/GOTO tables.
+//!
+//! Lookaheads are computed with the classic "spontaneous generation and
+//! propagation" algorithm (Aho–Sethi–Ullman Alg. 4.63): for every kernel
+//! item, an LR(1) closure seeded with a dummy lookahead `#` discovers which
+//! lookaheads are generated spontaneously at goto-successors and which
+//! propagate; propagation then iterates to a fixed point. Reduce actions
+//! are read off the LR(1) closure of each state's kernel with its final
+//! lookahead sets.
+
+use crate::first::{FirstSets, TermSet};
+use crate::grammar::{Grammar, NonTermId, ProdId, Sym, TermId};
+use crate::lr0::{Item, Lr0Automaton, StateId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse action.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Shift the terminal and move to the state.
+    Shift(StateId),
+    /// Reduce by the production.
+    Reduce(ProdId),
+    /// Accept the input.
+    Accept,
+}
+
+/// An LALR conflict: two actions competing for one `(state, terminal)`
+/// cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Conflict {
+    /// The state where the conflict occurs.
+    pub state: StateId,
+    /// The lookahead terminal (by name, for reporting).
+    pub terminal: String,
+    /// The action already in the cell (rendered).
+    pub existing: String,
+    /// The competing action (rendered).
+    pub incoming: String,
+    /// The items of the state, rendered for the report.
+    pub items: Vec<String>,
+}
+
+impl fmt::Display for Conflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "state {} on `{}`: {} vs {}",
+            self.state, self.terminal, self.existing, self.incoming
+        )?;
+        for item in &self.items {
+            writeln!(f, "    {}", item)?;
+        }
+        Ok(())
+    }
+}
+
+/// Error from [`LalrTable::build`]: the grammar is not LALR(1).
+#[derive(Clone, Debug)]
+pub struct TableError {
+    /// All conflicts found.
+    pub conflicts: Vec<Conflict>,
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "grammar is not LALR(1): {} conflict(s)", self.conflicts.len())?;
+        for c in &self.conflicts {
+            write!(f, "{}", c)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// Lookahead set: terminals plus the dummy `#` used during propagation
+/// discovery.
+#[derive(Clone, Debug)]
+struct LookSet {
+    terms: TermSet,
+    dummy: bool,
+}
+
+/// The compiled LALR(1) parse tables.
+#[derive(Debug, Clone)]
+pub struct LalrTable {
+    grammar: Grammar,
+    action: Vec<HashMap<TermId, Action>>,
+    goto_nt: Vec<HashMap<NonTermId, StateId>>,
+    num_states: usize,
+}
+
+impl LalrTable {
+    /// Build LALR(1) tables for `g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError`] listing every shift/reduce and reduce/reduce
+    /// conflict if the grammar is not LALR(1).
+    pub fn build(g: &Grammar) -> Result<LalrTable, TableError> {
+        let firsts = FirstSets::compute(g);
+        let lr0 = Lr0Automaton::build(g);
+        let n = lr0.len();
+
+        // Index kernel items: (state, position-in-kernel) → slot.
+        let mut slot_of: HashMap<(StateId, Item), usize> = HashMap::new();
+        let mut slots: Vec<(StateId, Item)> = Vec::new();
+        for (s, kernel) in lr0.kernels.iter().enumerate() {
+            for &item in kernel {
+                slot_of.insert((s as StateId, item), slots.len());
+                slots.push((s as StateId, item));
+            }
+        }
+
+        // Discover spontaneous lookaheads and propagation links.
+        let mut la: Vec<TermSet> = (0..slots.len())
+            .map(|_| TermSet::empty(g.num_terms()))
+            .collect();
+        let mut propagates: Vec<Vec<usize>> = vec![Vec::new(); slots.len()];
+
+        for (slot, &(state, item)) in slots.iter().enumerate() {
+            // LR(1) closure of {(item, #)}.
+            let closure = lr1_closure(g, &firsts, &[(item, dummy_set(g))]);
+            for (citem, look) in &closure {
+                let Some(sym) = citem.next_sym(g) else { continue };
+                let target_state = lr0.goto(state, sym).expect("goto exists for closure item");
+                let target_item = citem.advanced();
+                let target_slot = slot_of[&(target_state, target_item)];
+                // Spontaneous lookaheads.
+                la[target_slot].union_from(&look.terms);
+                // Propagation link if # survived into this closure item.
+                // A self-link (state goto-ing back into the same slot) is a
+                // no-op for propagation.
+                if look.dummy && target_slot != slot {
+                    propagates[slot].push(target_slot);
+                }
+            }
+        }
+
+        // Initialize: end-of-input on the augmented start item.
+        let start_slot = slot_of[&(0, Item { prod: g.aug_prod(), dot: 0 })];
+        la[start_slot].insert(g.eof());
+
+        // Propagate to fixpoint.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            #[allow(clippy::needless_range_loop)] // parallel-array indexing
+            for slot in 0..slots.len() {
+                for i in 0..propagates[slot].len() {
+                    let target = propagates[slot][i];
+                    let (src, dst) = split_two(&mut la, slot, target);
+                    changed |= dst.union_from(src);
+                }
+            }
+        }
+
+        // Assemble actions.
+        let mut action: Vec<HashMap<TermId, Action>> = vec![HashMap::new(); n];
+        let mut goto_nt: Vec<HashMap<NonTermId, StateId>> = vec![HashMap::new(); n];
+        let mut conflicts = Vec::new();
+
+        for state in 0..n as StateId {
+            // Shifts and gotos from the LR(0) edges.
+            for (&sym, &target) in &lr0.gotos[state as usize] {
+                match sym {
+                    Sym::T(t) => {
+                        insert_action(
+                            g,
+                            &lr0,
+                            &mut action[state as usize],
+                            &mut conflicts,
+                            state,
+                            t,
+                            Action::Shift(target),
+                        );
+                    }
+                    Sym::N(nt) => {
+                        goto_nt[state as usize].insert(nt, target);
+                    }
+                }
+            }
+            // Reduces from the LR(1) closure of the kernel with final LA.
+            let seeds: Vec<(Item, LookSet)> = lr0.kernels[state as usize]
+                .iter()
+                .map(|&item| {
+                    let slot = slot_of[&(state, item)];
+                    (
+                        item,
+                        LookSet {
+                            terms: la[slot].clone(),
+                            dummy: false,
+                        },
+                    )
+                })
+                .collect();
+            let closure = lr1_closure(g, &firsts, &seeds);
+            for (item, look) in &closure {
+                if !item.is_complete(g) {
+                    continue;
+                }
+                for t in look.terms.iter() {
+                    let act = if item.prod == g.aug_prod() {
+                        Action::Accept
+                    } else {
+                        Action::Reduce(item.prod)
+                    };
+                    insert_action(
+                        g,
+                        &lr0,
+                        &mut action[state as usize],
+                        &mut conflicts,
+                        state,
+                        t,
+                        act,
+                    );
+                }
+            }
+        }
+
+        if conflicts.is_empty() {
+            Ok(LalrTable {
+                grammar: g.clone(),
+                action,
+                goto_nt,
+                num_states: n,
+            })
+        } else {
+            Err(TableError { conflicts })
+        }
+    }
+
+    /// The grammar these tables were built for.
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// The action for `(state, terminal)`, if any.
+    pub fn action(&self, state: StateId, t: TermId) -> Option<Action> {
+        self.action[state as usize].get(&t).copied()
+    }
+
+    /// The goto for `(state, nonterminal)`, if any.
+    pub fn goto(&self, state: StateId, nt: NonTermId) -> Option<StateId> {
+        self.goto_nt[state as usize].get(&nt).copied()
+    }
+
+    /// Number of parser states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Terminals with an action in `state` (for error messages), by name.
+    pub fn expected_in(&self, state: StateId) -> Vec<String> {
+        let mut names: Vec<String> = self.action[state as usize]
+            .keys()
+            .map(|&t| self.grammar.term_name(t).to_owned())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Approximate size of the tables in bytes (cells × entry size), for
+    /// overlay-1 code-size accounting.
+    pub fn byte_size(&self) -> usize {
+        let action_cells: usize = self.action.iter().map(|m| m.len()).sum();
+        let goto_cells: usize = self.goto_nt.iter().map(|m| m.len()).sum();
+        action_cells * 6 + goto_cells * 6
+    }
+}
+
+fn dummy_set(g: &Grammar) -> LookSet {
+    LookSet {
+        terms: TermSet::empty(g.num_terms()),
+        dummy: true,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn insert_action(
+    g: &Grammar,
+    lr0: &Lr0Automaton,
+    row: &mut HashMap<TermId, Action>,
+    conflicts: &mut Vec<Conflict>,
+    state: StateId,
+    t: TermId,
+    act: Action,
+) {
+    match row.get(&t) {
+        None => {
+            row.insert(t, act);
+        }
+        Some(&existing) if existing == act => {}
+        Some(&existing) => {
+            conflicts.push(Conflict {
+                state,
+                terminal: g.term_name(t).to_owned(),
+                existing: render_action(g, existing),
+                incoming: render_action(g, act),
+                items: lr0
+                    .closure(g, state)
+                    .iter()
+                    .map(|i| i.display(g))
+                    .collect(),
+            });
+        }
+    }
+}
+
+fn render_action(g: &Grammar, a: Action) -> String {
+    match a {
+        Action::Shift(s) => format!("shift to state {}", s),
+        Action::Reduce(p) => format!("reduce {}", g.prod_display(p)),
+        Action::Accept => "accept".to_owned(),
+    }
+}
+
+/// LR(1) closure over items with lookahead sets.
+fn lr1_closure(g: &Grammar, firsts: &FirstSets, seeds: &[(Item, LookSet)]) -> Vec<(Item, LookSet)> {
+    let mut index: HashMap<Item, usize> = HashMap::new();
+    let mut items: Vec<(Item, LookSet)> = Vec::new();
+    for (item, look) in seeds {
+        match index.get(item) {
+            Some(&ix) => {
+                let slot = &mut items[ix].1;
+                slot.terms.union_from(&look.terms);
+                slot.dummy |= look.dummy;
+            }
+            None => {
+                index.insert(*item, items.len());
+                items.push((*item, look.clone()));
+            }
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..items.len() {
+            let (item, look) = items[i].clone();
+            let Some(Sym::N(nt)) = item.next_sym(g) else { continue };
+            // beta = what follows the crossed nonterminal.
+            let rhs = &g.production(item.prod).rhs;
+            let beta = &rhs[item.dot as usize + 1..];
+            let (mut new_terms, beta_nullable) = firsts.first_of_string(beta);
+            let mut new_dummy = false;
+            if beta_nullable {
+                new_terms.union_from(&look.terms);
+                new_dummy = look.dummy;
+            }
+            for prod in g.productions_of(nt) {
+                let sub = Item { prod, dot: 0 };
+                match index.get(&sub) {
+                    Some(&ix) => {
+                        let slot = &mut items[ix].1;
+                        let mut delta = slot.terms.union_from(&new_terms);
+                        if new_dummy && !slot.dummy {
+                            slot.dummy = true;
+                            delta = true;
+                        }
+                        changed |= delta;
+                    }
+                    None => {
+                        index.insert(sub, items.len());
+                        items.push((
+                            sub,
+                            LookSet {
+                                terms: new_terms.clone(),
+                                dummy: new_dummy,
+                            },
+                        ));
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    items
+}
+
+fn split_two<T>(v: &mut [T], a: usize, b: usize) -> (&T, &mut T) {
+    debug_assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = v.split_at_mut(b);
+        (&lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(a);
+        (&hi[0], &mut lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+
+    /// Dragon-book grammar 4.1: E -> E+T | T ; T -> T*F | F ; F -> (E) | id
+    fn dragon() -> Grammar {
+        let mut b = GrammarBuilder::new();
+        let e = b.nonterminal("E");
+        let t = b.nonterminal("T");
+        let f = b.nonterminal("F");
+        let plus = b.terminal("+");
+        let star = b.terminal("*");
+        let lp = b.terminal("(");
+        let rp = b.terminal(")");
+        let id = b.terminal("id");
+        b.production(e, vec![Sym::N(e), Sym::T(plus), Sym::N(t)]);
+        b.production(e, vec![Sym::N(t)]);
+        b.production(t, vec![Sym::N(t), Sym::T(star), Sym::N(f)]);
+        b.production(t, vec![Sym::N(f)]);
+        b.production(f, vec![Sym::T(lp), Sym::N(e), Sym::T(rp)]);
+        b.production(f, vec![Sym::T(id)]);
+        b.start(e).build().unwrap()
+    }
+
+    /// The canonical LALR-but-not-SLR grammar (dragon 4.20):
+    /// S -> L = R | R ;  L -> * R | id ;  R -> L
+    fn lalr_not_slr() -> Grammar {
+        let mut b = GrammarBuilder::new();
+        let s = b.nonterminal("S");
+        let l = b.nonterminal("L");
+        let r = b.nonterminal("R");
+        let eq = b.terminal("=");
+        let star = b.terminal("*");
+        let id = b.terminal("id");
+        b.production(s, vec![Sym::N(l), Sym::T(eq), Sym::N(r)]);
+        b.production(s, vec![Sym::N(r)]);
+        b.production(l, vec![Sym::T(star), Sym::N(r)]);
+        b.production(l, vec![Sym::T(id)]);
+        b.production(r, vec![Sym::N(l)]);
+        b.start(s).build().unwrap()
+    }
+
+    #[test]
+    fn dragon_grammar_builds_without_conflicts() {
+        let g = dragon();
+        let table = LalrTable::build(&g).unwrap();
+        assert_eq!(table.num_states(), 12);
+    }
+
+    #[test]
+    fn lalr_but_not_slr_builds() {
+        // SLR(1) has a shift/reduce conflict on '=' here; LALR(1) must not.
+        let g = lalr_not_slr();
+        assert!(LalrTable::build(&g).is_ok());
+    }
+
+    #[test]
+    fn ambiguous_grammar_reports_conflicts() {
+        // E -> E + E | id : classic shift/reduce ambiguity.
+        let mut b = GrammarBuilder::new();
+        let e = b.nonterminal("E");
+        let plus = b.terminal("+");
+        let id = b.terminal("id");
+        b.production(e, vec![Sym::N(e), Sym::T(plus), Sym::N(e)]);
+        b.production(e, vec![Sym::T(id)]);
+        let g = b.start(e).build().unwrap();
+        let err = LalrTable::build(&g).unwrap_err();
+        assert!(!err.conflicts.is_empty());
+        let text = err.to_string();
+        assert!(text.contains("not LALR(1)"));
+        assert!(text.contains("shift"), "report renders actions: {text}");
+    }
+
+    #[test]
+    fn reduce_reduce_conflict_detected() {
+        // S -> A | B ; A -> x ; B -> x
+        let mut b = GrammarBuilder::new();
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        let bb = b.nonterminal("B");
+        let x = b.terminal("x");
+        b.production(s, vec![Sym::N(a)]);
+        b.production(s, vec![Sym::N(bb)]);
+        b.production(a, vec![Sym::T(x)]);
+        b.production(bb, vec![Sym::T(x)]);
+        let g = b.start(s).build().unwrap();
+        let err = LalrTable::build(&g).unwrap_err();
+        assert!(err
+            .conflicts
+            .iter()
+            .any(|c| c.existing.contains("reduce") && c.incoming.contains("reduce")));
+    }
+
+    #[test]
+    fn expected_in_lists_terminals() {
+        let g = dragon();
+        let table = LalrTable::build(&g).unwrap();
+        let expected = table.expected_in(0);
+        assert!(expected.contains(&"id".to_owned()));
+        assert!(expected.contains(&"(".to_owned()));
+        assert!(!expected.contains(&"+".to_owned()));
+    }
+
+    #[test]
+    fn byte_size_positive() {
+        let table = LalrTable::build(&dragon()).unwrap();
+        assert!(table.byte_size() > 0);
+    }
+
+    #[test]
+    fn epsilon_productions_reduce_on_lookahead() {
+        // S -> A 'b' ; A -> ε | 'a'
+        let mut b = GrammarBuilder::new();
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        let ta = b.terminal("a");
+        let tb = b.terminal("b");
+        b.production(s, vec![Sym::N(a), Sym::T(tb)]);
+        b.production(a, vec![]);
+        b.production(a, vec![Sym::T(ta)]);
+        let g = b.start(s).build().unwrap();
+        let table = LalrTable::build(&g).unwrap();
+        // In state 0 on 'b' we must reduce A -> ε.
+        let tb = g.term_by_name("b").unwrap();
+        match table.action(0, tb) {
+            Some(Action::Reduce(p)) => {
+                assert_eq!(g.prod_display(p), "A -> <empty>");
+            }
+            other => panic!("expected reduce, got {:?}", other),
+        }
+    }
+}

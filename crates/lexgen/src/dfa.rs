@@ -1,0 +1,236 @@
+//! Subset construction and Hopcroft minimization.
+//!
+//! The DFA is the automaton the scanner tables are flattened from. States
+//! are numbered densely; state 0 is the start state. `accept[s]` carries the
+//! highest-priority rule index accepted at `s`, or `None`.
+
+use crate::nfa::{Nfa, StateId};
+use std::collections::HashMap;
+
+/// A deterministic finite automaton over bytes.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// `trans[s][b]` = next state from `s` on byte `b`, or `DEAD`.
+    trans: Vec<[u32; 256]>,
+    /// Accepting rule per state.
+    accept: Vec<Option<u32>>,
+}
+
+/// Sentinel "no transition" target.
+pub const DEAD: u32 = u32::MAX;
+
+impl Dfa {
+    /// Subset construction from an NFA.
+    pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        let start = nfa.eps_closure(&[nfa.start()]);
+        let mut index: HashMap<Vec<StateId>, u32> = HashMap::new();
+        let mut worklist: Vec<Vec<StateId>> = vec![start.clone()];
+        index.insert(start, 0);
+        let mut trans: Vec<[u32; 256]> = Vec::new();
+        let mut accept: Vec<Option<u32>> = Vec::new();
+
+        let mut done = 0usize;
+        while done < worklist.len() {
+            let cur = worklist[done].clone();
+            done += 1;
+            let mut row = [DEAD; 256];
+            let alphabet = nfa.outgoing_bytes(&cur);
+            for b in alphabet.iter() {
+                let moved = nfa.step(&cur, b);
+                if moved.is_empty() {
+                    continue;
+                }
+                let closed = nfa.eps_closure(&moved);
+                let next = match index.get(&closed) {
+                    Some(&id) => id,
+                    None => {
+                        let id = worklist.len() as u32;
+                        index.insert(closed.clone(), id);
+                        worklist.push(closed);
+                        id
+                    }
+                };
+                row[b as usize] = next;
+            }
+            trans.push(row);
+            accept.push(nfa.accept_of(&cur));
+        }
+        Dfa { trans, accept }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// Whether the DFA has no states (never true for built DFAs).
+    pub fn is_empty(&self) -> bool {
+        self.trans.is_empty()
+    }
+
+    /// Next state from `s` on byte `b`, or `None` at a dead edge.
+    pub fn next(&self, s: u32, b: u8) -> Option<u32> {
+        let t = self.trans[s as usize][b as usize];
+        (t != DEAD).then_some(t)
+    }
+
+    /// Accepting rule of state `s`.
+    pub fn accept(&self, s: u32) -> Option<u32> {
+        self.accept[s as usize]
+    }
+
+    /// Hopcroft-style minimization (partition refinement).
+    ///
+    /// Initial partition groups states by accepting rule; blocks are then
+    /// split until every block is transition-consistent. State 0 of the
+    /// result corresponds to the block containing the old start state.
+    pub fn minimized(&self) -> Dfa {
+        let n = self.len();
+        // block id per state; initial partition by accept label.
+        let mut label_of: HashMap<Option<u32>, u32> = HashMap::new();
+        let mut block: Vec<u32> = Vec::with_capacity(n);
+        #[allow(clippy::needless_range_loop)] // indexes two parallel arrays
+        for s in 0..n {
+            let next_id = label_of.len() as u32;
+            let id = *label_of.entry(self.accept[s]).or_insert(next_id);
+            block.push(id);
+        }
+        let mut num_blocks = label_of.len() as u32;
+
+        // Refine until stable: signature = (block, [block of target per byte]).
+        loop {
+            let mut sig_index: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
+            let mut new_block = vec![0u32; n];
+            for s in 0..n {
+                let sig: Vec<u32> = self.trans[s]
+                    .iter()
+                    .map(|&t| if t == DEAD { u32::MAX } else { block[t as usize] })
+                    .collect();
+                let key = (block[s], sig);
+                let fresh = sig_index.len() as u32;
+                let id = *sig_index.entry(key).or_insert(fresh);
+                new_block[s] = id;
+            }
+            let new_count = sig_index.len() as u32;
+            if new_count == num_blocks {
+                break;
+            }
+            block = new_block;
+            num_blocks = new_count;
+        }
+
+        // Renumber so the start state's block is 0, then in discovery order.
+        let mut remap: Vec<Option<u32>> = vec![None; num_blocks as usize];
+        let mut order: Vec<u32> = Vec::new();
+        remap[block[0] as usize] = Some(0);
+        order.push(block[0]);
+        for &b in block.iter().take(n) {
+            if remap[b as usize].is_none() {
+                remap[b as usize] = Some(order.len() as u32);
+                order.push(b);
+            }
+        }
+
+        let mut trans = vec![[DEAD; 256]; num_blocks as usize];
+        let mut accept = vec![None; num_blocks as usize];
+        for s in 0..n {
+            let nb = remap[block[s] as usize].expect("mapped") as usize;
+            accept[nb] = self.accept[s];
+            #[allow(clippy::needless_range_loop)] // byte-indexed rows
+            for b in 0..256 {
+                let t = self.trans[s][b];
+                trans[nb][b] = if t == DEAD {
+                    DEAD
+                } else {
+                    remap[block[t as usize] as usize].expect("mapped")
+                };
+            }
+        }
+        Dfa { trans, accept }
+    }
+
+    /// Run the DFA from the start over `input`; `Some(rule)` iff the whole
+    /// input is accepted.
+    pub fn run(&self, input: &[u8]) -> Option<u32> {
+        let mut s = 0u32;
+        for &b in input {
+            s = self.next(s, b)?;
+        }
+        self.accept(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use crate::regex::Regex;
+
+    fn dfa_for(patterns: &[&str]) -> Dfa {
+        let mut nfa = Nfa::new();
+        for (i, p) in patterns.iter().enumerate() {
+            nfa.add_rule(&Regex::parse(p).unwrap(), i as u32);
+        }
+        Dfa::from_nfa(&nfa)
+    }
+
+    #[test]
+    fn subset_construction_matches() {
+        let dfa = dfa_for(&["(a|b)*abb"]);
+        assert_eq!(dfa.run(b"abb"), Some(0));
+        assert_eq!(dfa.run(b"aabb"), Some(0));
+        assert_eq!(dfa.run(b"babb"), Some(0));
+        assert_eq!(dfa.run(b"ab"), None);
+        assert_eq!(dfa.run(b"abba"), None);
+    }
+
+    #[test]
+    fn priority_resolution() {
+        let dfa = dfa_for(&["while", "[a-z]+"]);
+        assert_eq!(dfa.run(b"while"), Some(0));
+        assert_eq!(dfa.run(b"whilex"), Some(1));
+        assert_eq!(dfa.run(b"abc"), Some(1));
+    }
+
+    #[test]
+    fn minimized_is_equivalent() {
+        let dfa = dfa_for(&["(a|b)*abb", "[0-9]+"]);
+        let min = dfa.minimized();
+        assert!(min.len() <= dfa.len());
+        for input in [
+            &b"abb"[..],
+            b"aabb",
+            b"ab",
+            b"123",
+            b"12a",
+            b"",
+            b"bbabb",
+            b"0",
+        ] {
+            assert_eq!(dfa.run(input), min.run(input), "input {:?}", input);
+        }
+    }
+
+    #[test]
+    fn minimized_classic_example_size() {
+        // (a|b)*abb over {a,b} has a well-known 4-state minimal DFA
+        // (plus nothing else since dead states aren't materialized).
+        let min = dfa_for(&["(a|b)*abb"]).minimized();
+        assert_eq!(min.len(), 4);
+    }
+
+    #[test]
+    fn distinct_rules_stay_distinct_after_minimization() {
+        let dfa = dfa_for(&["a", "b"]).minimized();
+        assert_eq!(dfa.run(b"a"), Some(0));
+        assert_eq!(dfa.run(b"b"), Some(1));
+    }
+
+    #[test]
+    fn start_state_is_zero_after_minimization() {
+        let dfa = dfa_for(&["ab"]).minimized();
+        // From state 0, 'a' must be a live edge.
+        assert!(dfa.next(0, b'a').is_some());
+        assert!(dfa.next(0, b'b').is_none());
+    }
+}

@@ -1,0 +1,128 @@
+//! Scanner generator: regular expressions to table-driven scanners.
+//!
+//! Section V of the paper lists "a program that generates a lexical scanner
+//! for a set of regular expressions" among the pieces of the
+//! translator-writing system, and notes that "Overlay 1 contains the
+//! automatically generated scanner tables … and their interpreters". This
+//! crate is that program: it compiles a set of named regular expressions
+//! through the classical pipeline
+//!
+//! ```text
+//! regex AST ── Thompson ──▶ NFA ── subset ──▶ DFA ── Hopcroft ──▶ minimal DFA ──▶ tables
+//! ```
+//!
+//! and ships the table interpreter (the scanner runtime) that performs
+//! longest-match tokenization with rule priority, positions, and skip rules.
+//!
+//! # Example
+//!
+//! ```
+//! use linguist_lexgen::ScannerDef;
+//!
+//! let scanner = ScannerDef::new()
+//!     .skip(r"[ \t\n]+")
+//!     .token("NUMBER", "[0-9]+")
+//!     .token("IDENT", "[a-zA-Z_][a-zA-Z0-9_]*")
+//!     .token("PLUS", r"\+")
+//!     .build()?;
+//!
+//! let tokens = scanner.scan("x1 + 42")?;
+//! let kinds: Vec<&str> = tokens.iter().map(|t| scanner.kind_name(t.kind)).collect();
+//! assert_eq!(kinds, ["IDENT", "PLUS", "NUMBER"]);
+//! # Ok::<(), linguist_lexgen::LexError>(())
+//! ```
+
+pub mod dfa;
+pub mod nfa;
+pub mod regex;
+pub mod scanner;
+pub mod tables;
+
+pub use dfa::Dfa;
+pub use nfa::Nfa;
+pub use regex::{ParseRegexError, Regex};
+pub use scanner::{LexError, ScanError, Scanner, Token, TokenKind};
+pub use tables::ScanTables;
+
+use linguist_support::intern::NameTable;
+
+/// Builder describing a scanner: an ordered set of named token rules plus
+/// skip rules (whitespace, comments).
+///
+/// Earlier rules win ties: when two rules match the same longest lexeme the
+/// one declared first is chosen, which is how keyword-before-identifier
+/// ordering is expressed.
+#[derive(Debug, Default, Clone)]
+pub struct ScannerDef {
+    rules: Vec<RuleDef>,
+}
+
+#[derive(Debug, Clone)]
+struct RuleDef {
+    name: String,
+    pattern: String,
+    skip: bool,
+}
+
+impl ScannerDef {
+    /// An empty definition.
+    pub fn new() -> ScannerDef {
+        ScannerDef::default()
+    }
+
+    /// Add a named token rule. Declaration order is priority order.
+    pub fn token(mut self, name: &str, pattern: &str) -> ScannerDef {
+        self.rules.push(RuleDef {
+            name: name.to_owned(),
+            pattern: pattern.to_owned(),
+            skip: false,
+        });
+        self
+    }
+
+    /// Add a skip rule: matched text is discarded (whitespace, comments).
+    pub fn skip(mut self, pattern: &str) -> ScannerDef {
+        self.rules.push(RuleDef {
+            name: format!("<skip{}>", self.rules.len()),
+            pattern: pattern.to_owned(),
+            skip: true,
+        });
+        self
+    }
+
+    /// Compile the definition into a [`Scanner`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LexError::Parse`] if a pattern fails to parse,
+    /// [`LexError::EmptyMatch`] if a rule can match the empty string (such a
+    /// scanner would never make progress), or [`LexError::NoRules`] for an
+    /// empty definition.
+    pub fn build(self) -> Result<Scanner, LexError> {
+        if self.rules.is_empty() {
+            return Err(LexError::NoRules);
+        }
+        let mut names = NameTable::new();
+        let mut nfa = Nfa::new();
+        let mut kinds = Vec::new();
+        for (i, rule) in self.rules.iter().enumerate() {
+            let re = Regex::parse(&rule.pattern).map_err(|e| LexError::Parse {
+                rule: rule.name.clone(),
+                source: e,
+            })?;
+            if re.matches_empty() {
+                return Err(LexError::EmptyMatch {
+                    rule: rule.name.clone(),
+                });
+            }
+            nfa.add_rule(&re, i as u32);
+            kinds.push(scanner::KindInfo {
+                name: names.intern(&rule.name),
+                skip: rule.skip,
+            });
+        }
+        let dfa = Dfa::from_nfa(&nfa).minimized();
+        let tables = ScanTables::from_dfa(&dfa);
+        Ok(Scanner::from_parts(tables, kinds, names))
+    }
+}

@@ -1,0 +1,245 @@
+//! Thompson construction: regular expressions to an NFA with ε-moves.
+//!
+//! All of a scanner's rules are compiled into one NFA with a common start
+//! state; each rule's accepting state remembers the rule index so the DFA
+//! can resolve ties by declaration priority.
+
+use crate::regex::{ClassSet, Regex};
+
+/// NFA state id.
+pub type StateId = u32;
+
+/// A nondeterministic finite automaton with ε-transitions.
+#[derive(Debug, Clone, Default)]
+pub struct Nfa {
+    states: Vec<State>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct State {
+    /// Byte-labelled transitions.
+    edges: Vec<(ClassSet, StateId)>,
+    /// ε-transitions.
+    eps: Vec<StateId>,
+    /// Accepting rule index, if this state accepts. Lower index = higher
+    /// priority.
+    accept: Option<u32>,
+}
+
+impl Nfa {
+    /// An NFA containing only the shared start state 0.
+    pub fn new() -> Nfa {
+        Nfa {
+            states: vec![State::default()],
+        }
+    }
+
+    /// The shared start state.
+    pub fn start(&self) -> StateId {
+        0
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the NFA has only the bare start state.
+    pub fn is_empty(&self) -> bool {
+        self.states.len() == 1
+    }
+
+    fn fresh(&mut self) -> StateId {
+        let id = self.states.len() as StateId;
+        self.states.push(State::default());
+        id
+    }
+
+    /// Compile `re` as rule number `rule` and hang it off the shared start
+    /// state (Thompson construction).
+    pub fn add_rule(&mut self, re: &Regex, rule: u32) {
+        let entry = self.fresh();
+        let exit = self.fresh();
+        self.states[0].eps.push(entry);
+        self.build(re, entry, exit);
+        self.states[exit as usize].accept = Some(rule);
+    }
+
+    fn build(&mut self, re: &Regex, from: StateId, to: StateId) {
+        match re {
+            Regex::Empty => self.states[from as usize].eps.push(to),
+            Regex::Class(set) => self.states[from as usize].edges.push((*set, to)),
+            Regex::Concat(parts) => {
+                let mut cur = from;
+                for (i, part) in parts.iter().enumerate() {
+                    let next = if i + 1 == parts.len() {
+                        to
+                    } else {
+                        self.fresh()
+                    };
+                    self.build(part, cur, next);
+                    cur = next;
+                }
+                if parts.is_empty() {
+                    self.states[from as usize].eps.push(to);
+                }
+            }
+            Regex::Alt(arms) => {
+                for arm in arms {
+                    let entry = self.fresh();
+                    let exit = self.fresh();
+                    self.states[from as usize].eps.push(entry);
+                    self.build(arm, entry, exit);
+                    self.states[exit as usize].eps.push(to);
+                }
+            }
+            Regex::Star(inner) => {
+                let entry = self.fresh();
+                let exit = self.fresh();
+                self.states[from as usize].eps.push(entry);
+                self.states[from as usize].eps.push(to);
+                self.build(inner, entry, exit);
+                self.states[exit as usize].eps.push(entry);
+                self.states[exit as usize].eps.push(to);
+            }
+            Regex::Plus(inner) => {
+                let entry = self.fresh();
+                let exit = self.fresh();
+                self.states[from as usize].eps.push(entry);
+                self.build(inner, entry, exit);
+                self.states[exit as usize].eps.push(entry);
+                self.states[exit as usize].eps.push(to);
+            }
+            Regex::Opt(inner) => {
+                self.states[from as usize].eps.push(to);
+                self.build(inner, from, to);
+            }
+        }
+    }
+
+    /// ε-closure of a set of states, returned sorted and deduplicated.
+    pub fn eps_closure(&self, seed: &[StateId]) -> Vec<StateId> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack: Vec<StateId> = seed.to_vec();
+        for &s in seed {
+            seen[s as usize] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &t in &self.states[s as usize].eps {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        (0..self.states.len() as StateId)
+            .filter(|&s| seen[s as usize])
+            .collect()
+    }
+
+    /// States reachable from any of `from` on byte `b` (before ε-closure).
+    pub fn step(&self, from: &[StateId], b: u8) -> Vec<StateId> {
+        let mut out = Vec::new();
+        for &s in from {
+            for (set, t) in &self.states[s as usize].edges {
+                if set.contains(b) && !out.contains(t) {
+                    out.push(*t);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Highest-priority (lowest-index) accepting rule among `states`.
+    pub fn accept_of(&self, states: &[StateId]) -> Option<u32> {
+        states
+            .iter()
+            .filter_map(|&s| self.states[s as usize].accept)
+            .min()
+    }
+
+    /// Union of all byte classes leaving `states` — the alphabet the subset
+    /// construction needs to consider from this state set.
+    pub fn outgoing_bytes(&self, states: &[StateId]) -> ClassSet {
+        let mut set = ClassSet::empty();
+        for &s in states {
+            for (cls, _) in &self.states[s as usize].edges {
+                set = set.union(cls);
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+
+    fn nfa_for(pattern: &str, rule: u32) -> Nfa {
+        let mut nfa = Nfa::new();
+        nfa.add_rule(&Regex::parse(pattern).unwrap(), rule);
+        nfa
+    }
+
+    fn simulate(nfa: &Nfa, input: &str) -> Option<u32> {
+        let mut cur = nfa.eps_closure(&[nfa.start()]);
+        for b in input.bytes() {
+            let next = nfa.step(&cur, b);
+            if next.is_empty() {
+                return None;
+            }
+            cur = nfa.eps_closure(&next);
+        }
+        nfa.accept_of(&cur)
+    }
+
+    #[test]
+    fn literal_match() {
+        let nfa = nfa_for("abc", 7);
+        assert_eq!(simulate(&nfa, "abc"), Some(7));
+        assert_eq!(simulate(&nfa, "ab"), None);
+        assert_eq!(simulate(&nfa, "abcd"), None);
+    }
+
+    #[test]
+    fn star_matches_zero_or_more() {
+        let nfa = nfa_for("ab*c", 0);
+        assert_eq!(simulate(&nfa, "ac"), Some(0));
+        assert_eq!(simulate(&nfa, "abbbc"), Some(0));
+        assert_eq!(simulate(&nfa, "abb"), None);
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        let nfa = nfa_for("a+", 0);
+        assert_eq!(simulate(&nfa, ""), None);
+        assert_eq!(simulate(&nfa, "aaa"), Some(0));
+    }
+
+    #[test]
+    fn alternation_matches_either() {
+        let nfa = nfa_for("foo|bar", 0);
+        assert_eq!(simulate(&nfa, "foo"), Some(0));
+        assert_eq!(simulate(&nfa, "bar"), Some(0));
+        assert_eq!(simulate(&nfa, "baz"), None);
+    }
+
+    #[test]
+    fn priority_is_lowest_rule_index() {
+        let mut nfa = Nfa::new();
+        nfa.add_rule(&Regex::parse("if").unwrap(), 0); // keyword first
+        nfa.add_rule(&Regex::parse("[a-z]+").unwrap(), 1); // identifier
+        assert_eq!(simulate(&nfa, "if"), Some(0));
+        assert_eq!(simulate(&nfa, "iffy"), Some(1));
+    }
+
+    #[test]
+    fn opt_matches_both_ways() {
+        let nfa = nfa_for("ab?c", 0);
+        assert_eq!(simulate(&nfa, "ac"), Some(0));
+        assert_eq!(simulate(&nfa, "abc"), Some(0));
+        assert_eq!(simulate(&nfa, "abbc"), None);
+    }
+}

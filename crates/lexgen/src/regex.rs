@@ -1,0 +1,461 @@
+//! Regular-expression abstract syntax and parser.
+//!
+//! The surface syntax is the classic lex subset: concatenation, alternation
+//! `|`, repetition `* + ?`, grouping `(...)`, character classes `[a-z0-9_]`
+//! with negation `[^...]` and ranges, the any-byte dot `.`, and backslash
+//! escapes (`\n \t \r \\ \. \+` …). Patterns operate on bytes; non-ASCII
+//! input bytes can be matched through classes or `.`.
+
+use std::fmt;
+
+/// A parsed regular expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Regex {
+    /// Matches the empty string.
+    Empty,
+    /// Matches one byte drawn from the class.
+    Class(ClassSet),
+    /// Concatenation, in order.
+    Concat(Vec<Regex>),
+    /// Alternation.
+    Alt(Vec<Regex>),
+    /// Zero or more repetitions.
+    Star(Box<Regex>),
+    /// One or more repetitions.
+    Plus(Box<Regex>),
+    /// Zero or one occurrence.
+    Opt(Box<Regex>),
+}
+
+/// A set of bytes, stored as a 256-bit membership table.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct ClassSet {
+    bits: [u64; 4],
+}
+
+impl ClassSet {
+    /// The empty byte set.
+    pub fn empty() -> ClassSet {
+        ClassSet { bits: [0; 4] }
+    }
+
+    /// The set containing exactly `b`.
+    pub fn single(b: u8) -> ClassSet {
+        let mut s = ClassSet::empty();
+        s.insert(b);
+        s
+    }
+
+    /// All bytes except `\n` (the dot).
+    pub fn dot() -> ClassSet {
+        let mut s = ClassSet::empty();
+        for b in 0..=255u8 {
+            if b != b'\n' {
+                s.insert(b);
+            }
+        }
+        s
+    }
+
+    /// Add one byte.
+    pub fn insert(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    /// Add the inclusive range `lo..=hi`.
+    pub fn insert_range(&mut self, lo: u8, hi: u8) {
+        for b in lo..=hi {
+            self.insert(b);
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, b: u8) -> bool {
+        self.bits[(b >> 6) as usize] & (1u64 << (b & 63)) != 0
+    }
+
+    /// Complement (every byte not in `self`).
+    pub fn negated(&self) -> ClassSet {
+        ClassSet {
+            bits: [!self.bits[0], !self.bits[1], !self.bits[2], !self.bits[3]],
+        }
+    }
+
+    /// Union with another set.
+    pub fn union(&self, other: &ClassSet) -> ClassSet {
+        ClassSet {
+            bits: [
+                self.bits[0] | other.bits[0],
+                self.bits[1] | other.bits[1],
+                self.bits[2] | other.bits[2],
+                self.bits[3] | other.bits[3],
+            ],
+        }
+    }
+
+    /// Whether no byte is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.bits == [0; 4]
+    }
+
+    /// Iterate members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0..=255u8).filter(|&b| self.contains(b))
+    }
+}
+
+impl fmt::Debug for ClassSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ClassSet[")?;
+        let mut first = true;
+        for b in self.iter() {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            if b.is_ascii_graphic() {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "0x{:02x}", b)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// Error produced when a pattern fails to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseRegexError {
+    /// Byte offset of the problem within the pattern.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseRegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseRegexError {}
+
+impl Regex {
+    /// Parse a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRegexError`] on malformed syntax: unbalanced
+    /// parentheses, an unterminated class, a dangling operator, a bad range,
+    /// or a trailing backslash.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use linguist_lexgen::Regex;
+    /// let re = Regex::parse("(ab|c)*d").unwrap();
+    /// assert!(!re.matches_empty());
+    /// ```
+    pub fn parse(pattern: &str) -> Result<Regex, ParseRegexError> {
+        let mut p = Parser {
+            bytes: pattern.as_bytes(),
+            pos: 0,
+        };
+        let re = p.alternation()?;
+        if p.pos != p.bytes.len() {
+            return Err(p.error("unexpected character (unbalanced ')'?)"));
+        }
+        Ok(re)
+    }
+
+    /// Whether the expression can match the empty string. Scanners reject
+    /// such rules — they would never consume input.
+    pub fn matches_empty(&self) -> bool {
+        match self {
+            Regex::Empty => true,
+            Regex::Class(_) => false,
+            Regex::Concat(parts) => parts.iter().all(Regex::matches_empty),
+            Regex::Alt(parts) => parts.iter().any(Regex::matches_empty),
+            Regex::Star(_) | Regex::Opt(_) => true,
+            Regex::Plus(inner) => inner.matches_empty(),
+        }
+    }
+}
+
+struct Parser<'p> {
+    bytes: &'p [u8],
+    pos: usize,
+}
+
+impl<'p> Parser<'p> {
+    fn error(&self, message: &str) -> ParseRegexError {
+        ParseRegexError {
+            at: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn alternation(&mut self) -> Result<Regex, ParseRegexError> {
+        let mut arms = vec![self.concat()?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            arms.push(self.concat()?);
+        }
+        Ok(if arms.len() == 1 {
+            arms.pop().expect("one arm")
+        } else {
+            Regex::Alt(arms)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Regex, ParseRegexError> {
+        let mut parts = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            parts.push(self.repetition()?);
+        }
+        Ok(match parts.len() {
+            0 => Regex::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Regex::Concat(parts),
+        })
+    }
+
+    fn repetition(&mut self) -> Result<Regex, ParseRegexError> {
+        let mut atom = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.bump();
+                    atom = Regex::Star(Box::new(atom));
+                }
+                Some(b'+') => {
+                    self.bump();
+                    atom = Regex::Plus(Box::new(atom));
+                }
+                Some(b'?') => {
+                    self.bump();
+                    atom = Regex::Opt(Box::new(atom));
+                }
+                _ => return Ok(atom),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Regex, ParseRegexError> {
+        match self.bump() {
+            None => Err(self.error("expected an atom")),
+            Some(b'(') => {
+                let inner = self.alternation()?;
+                if self.bump() != Some(b')') {
+                    return Err(self.error("expected ')'"));
+                }
+                Ok(inner)
+            }
+            Some(b'[') => Ok(Regex::Class(self.class()?)),
+            Some(b'.') => Ok(Regex::Class(ClassSet::dot())),
+            Some(b'\\') => {
+                let b = self.bump().ok_or_else(|| self.error("trailing backslash"))?;
+                Ok(Regex::Class(ClassSet::single(unescape(b))))
+            }
+            Some(b @ (b'*' | b'+' | b'?')) => Err(ParseRegexError {
+                at: self.pos - 1,
+                message: format!("dangling repetition operator '{}'", b as char),
+            }),
+            Some(b) => Ok(Regex::Class(ClassSet::single(b))),
+        }
+    }
+
+    fn class(&mut self) -> Result<ClassSet, ParseRegexError> {
+        let mut set = ClassSet::empty();
+        let negate = if self.peek() == Some(b'^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        // A ']' immediately after '[' (or '[^') is a literal member.
+        let mut first = true;
+        loop {
+            let b = match self.bump() {
+                None => return Err(self.error("unterminated character class")),
+                Some(b']') if !first => break,
+                Some(b'\\') => {
+                    let e = self.bump().ok_or_else(|| self.error("trailing backslash"))?;
+                    unescape(e)
+                }
+                Some(b) => b,
+            };
+            first = false;
+            if self.peek() == Some(b'-')
+                && self.bytes.get(self.pos + 1).is_some_and(|&n| n != b']')
+            {
+                self.bump(); // '-'
+                let hi = match self.bump() {
+                    None => return Err(self.error("unterminated range")),
+                    Some(b'\\') => {
+                        let e = self.bump().ok_or_else(|| self.error("trailing backslash"))?;
+                        unescape(e)
+                    }
+                    Some(h) => h,
+                };
+                if hi < b {
+                    return Err(self.error("range upper bound below lower bound"));
+                }
+                set.insert_range(b, hi);
+            } else {
+                set.insert(b);
+            }
+        }
+        Ok(if negate { set.negated() } else { set })
+    }
+}
+
+fn unescape(b: u8) -> u8 {
+    match b {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class_of(re: &Regex) -> &ClassSet {
+        match re {
+            Regex::Class(c) => c,
+            other => panic!("expected class, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parses_literal_concat() {
+        let re = Regex::parse("ab").unwrap();
+        match re {
+            Regex::Concat(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(class_of(&parts[0]).contains(b'a'));
+                assert!(class_of(&parts[1]).contains(b'b'));
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parses_alternation_and_star() {
+        let re = Regex::parse("a|b*").unwrap();
+        match re {
+            Regex::Alt(arms) => {
+                assert_eq!(arms.len(), 2);
+                assert!(matches!(arms[1], Regex::Star(_)));
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn class_with_ranges_and_negation() {
+        let re = Regex::parse("[a-cx]").unwrap();
+        let c = class_of(&re);
+        for b in [b'a', b'b', b'c', b'x'] {
+            assert!(c.contains(b));
+        }
+        assert!(!c.contains(b'd'));
+
+        let re = Regex::parse("[^a-z]").unwrap();
+        let c = class_of(&re);
+        assert!(!c.contains(b'm'));
+        assert!(c.contains(b'0'));
+    }
+
+    #[test]
+    fn leading_bracket_is_literal_in_class() {
+        let re = Regex::parse("[]x]").unwrap();
+        let c = class_of(&re);
+        assert!(c.contains(b']'));
+        assert!(c.contains(b'x'));
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let re = Regex::parse("[a-]").unwrap();
+        let c = class_of(&re);
+        assert!(c.contains(b'a'));
+        assert!(c.contains(b'-'));
+    }
+
+    #[test]
+    fn escapes_work() {
+        let re = Regex::parse(r"\n\+").unwrap();
+        match re {
+            Regex::Concat(parts) => {
+                assert!(class_of(&parts[0]).contains(b'\n'));
+                assert!(class_of(&parts[1]).contains(b'+'));
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        let re = Regex::parse(".").unwrap();
+        let c = class_of(&re);
+        assert!(c.contains(b'x'));
+        assert!(!c.contains(b'\n'));
+    }
+
+    #[test]
+    fn matches_empty_detection() {
+        assert!(Regex::parse("a*").unwrap().matches_empty());
+        assert!(Regex::parse("a?").unwrap().matches_empty());
+        assert!(Regex::parse("a*|b").unwrap().matches_empty());
+        assert!(!Regex::parse("a+").unwrap().matches_empty());
+        assert!(!Regex::parse("ab").unwrap().matches_empty());
+        assert!(Regex::parse("a*b*").unwrap().matches_empty());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(Regex::parse("(a").is_err());
+        assert!(Regex::parse("a)").is_err());
+        assert!(Regex::parse("[a").is_err());
+        assert!(Regex::parse("*a").is_err());
+        assert!(Regex::parse("[z-a]").is_err());
+        assert!(Regex::parse("\\").is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_offset() {
+        let err = Regex::parse("ab(").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("byte"), "{}", text);
+    }
+
+    #[test]
+    fn class_set_operations() {
+        let mut a = ClassSet::empty();
+        a.insert_range(b'a', b'c');
+        let b = ClassSet::single(b'z');
+        let u = a.union(&b);
+        assert!(u.contains(b'b') && u.contains(b'z'));
+        assert_eq!(u.iter().count(), 4);
+        assert!(ClassSet::empty().is_empty());
+        assert!(!u.negated().contains(b'z'));
+    }
+}

@@ -1,0 +1,350 @@
+//! The table-driven scanner runtime (the "interpreter" of overlay 1).
+//!
+//! Longest-match scanning with declaration-order tie-breaking, source
+//! positions, and skip rules. The scanner also interns lexeme text on
+//! request, playing the role of the paper's name-table-filling scanner:
+//! "the first overlay scans and parses the input, builds the table of all
+//! identifiers encountered".
+
+use crate::regex::ParseRegexError;
+use crate::tables::ScanTables;
+use linguist_support::intern::{Name, NameTable};
+use linguist_support::pos::{Pos, Span};
+use std::fmt;
+
+/// Index of a token rule within its [`crate::ScannerDef`].
+pub type TokenKind = u32;
+
+/// One scanned token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Which rule matched.
+    pub kind: TokenKind,
+    /// Where the lexeme sits in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// The lexeme text, sliced from the original source.
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        self.span.slice(source)
+    }
+}
+
+pub(crate) struct KindInfo {
+    pub(crate) name: Name,
+    pub(crate) skip: bool,
+}
+
+/// Error constructing a scanner.
+#[derive(Debug)]
+pub enum LexError {
+    /// A rule's pattern failed to parse.
+    Parse {
+        /// Rule name.
+        rule: String,
+        /// Underlying parse error.
+        source: ParseRegexError,
+    },
+    /// A rule can match the empty string.
+    EmptyMatch {
+        /// Rule name.
+        rule: String,
+    },
+    /// The definition had no rules.
+    NoRules,
+    /// Scanning failed (propagated from [`Scanner::scan`]).
+    Scan(ScanError),
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexError::Parse { rule, source } => {
+                write!(f, "rule `{}`: {}", rule, source)
+            }
+            LexError::EmptyMatch { rule } => {
+                write!(f, "rule `{}` can match the empty string", rule)
+            }
+            LexError::NoRules => write!(f, "scanner definition has no rules"),
+            LexError::Scan(e) => write!(f, "{}", e),
+        }
+    }
+}
+
+impl std::error::Error for LexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LexError::Parse { source, .. } => Some(source),
+            LexError::Scan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScanError> for LexError {
+    fn from(e: ScanError) -> LexError {
+        LexError::Scan(e)
+    }
+}
+
+/// Error while scanning input text: no rule matches at `pos`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanError {
+    /// Position of the offending byte.
+    pub pos: Pos,
+    /// The byte no rule could start with.
+    pub byte: u8,
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: no token rule matches byte 0x{:02x}",
+            self.pos, self.byte
+        )
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// A compiled, table-driven scanner.
+///
+/// Produced by [`crate::ScannerDef::build`]; see the crate docs for a usage
+/// example.
+pub struct Scanner {
+    tables: ScanTables,
+    kinds: Vec<KindInfo>,
+    names: NameTable,
+}
+
+impl fmt::Debug for Scanner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scanner")
+            .field("states", &self.tables.num_states())
+            .field("classes", &self.tables.num_classes())
+            .field("rules", &self.kinds.len())
+            .finish()
+    }
+}
+
+impl Scanner {
+    pub(crate) fn from_parts(
+        tables: ScanTables,
+        kinds: Vec<KindInfo>,
+        names: NameTable,
+    ) -> Scanner {
+        Scanner {
+            tables,
+            kinds,
+            names,
+        }
+    }
+
+    /// The name of a token kind, as given to [`crate::ScannerDef::token`].
+    pub fn kind_name(&self, kind: TokenKind) -> &str {
+        self.names.resolve(self.kinds[kind as usize].name)
+    }
+
+    /// Look up the kind with the given rule name.
+    pub fn kind_of(&self, name: &str) -> Option<TokenKind> {
+        self.kinds
+            .iter()
+            .position(|k| self.names.resolve(k.name) == name)
+            .map(|i| i as TokenKind)
+    }
+
+    /// Number of token rules (including skip rules).
+    pub fn num_kinds(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Size of the scanner tables in bytes.
+    pub fn table_bytes(&self) -> usize {
+        self.tables.byte_size()
+    }
+
+    /// Scan the whole input into tokens, discarding skip-rule matches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScanError`] at the first byte where no rule can match.
+    pub fn scan(&self, source: &str) -> Result<Vec<Token>, ScanError> {
+        let mut out = Vec::new();
+        self.scan_with(source, |t| out.push(t))?;
+        Ok(out)
+    }
+
+    /// Scan, interning every non-skip lexeme into `names` and pairing each
+    /// token with its interned text — the overlay-1 behaviour of building
+    /// the identifier table while scanning.
+    pub fn scan_interned(
+        &self,
+        source: &str,
+        names: &mut NameTable,
+    ) -> Result<Vec<(Token, Name)>, ScanError> {
+        let mut out = Vec::new();
+        self.scan_with(source, |t| {
+            let name = names.intern(t.text(source));
+            out.push((t, name));
+        })?;
+        Ok(out)
+    }
+
+    fn scan_with(
+        &self,
+        source: &str,
+        mut emit: impl FnMut(Token),
+    ) -> Result<(), ScanError> {
+        let bytes = source.as_bytes();
+        let mut pos = Pos::start();
+        while (pos.offset as usize) < bytes.len() {
+            let start = pos;
+            let mut state = 0u32;
+            let mut cursor = pos;
+            let mut last_accept: Option<(TokenKind, Pos)> = None;
+            while (cursor.offset as usize) < bytes.len() {
+                let b = bytes[cursor.offset as usize];
+                match self.tables.next(state, b) {
+                    None => break,
+                    Some(next) => {
+                        state = next;
+                        // Advance through the full character so columns stay
+                        // sane on UTF-8 input (bytes of one char share a column
+                        // step only at the leading byte).
+                        cursor = cursor.advance(char_at(source, cursor.offset as usize));
+                        if let Some(rule) = self.tables.accept(state) {
+                            last_accept = Some((rule, cursor));
+                        }
+                    }
+                }
+            }
+            match last_accept {
+                None => {
+                    return Err(ScanError {
+                        pos: start,
+                        byte: bytes[start.offset as usize],
+                    })
+                }
+                Some((rule, end)) => {
+                    if !self.kinds[rule as usize].skip {
+                        emit(Token {
+                            kind: rule,
+                            span: Span::new(start, end),
+                        });
+                    }
+                    pos = end;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn char_at(source: &str, offset: usize) -> char {
+    source[offset..].chars().next().expect("in-bounds offset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScannerDef;
+
+    fn demo_scanner() -> Scanner {
+        ScannerDef::new()
+            .skip(r"[ \t\n]+")
+            .skip(r"#[^\n]*")
+            .token("IF", "if")
+            .token("IDENT", "[a-zA-Z_][a-zA-Z0-9_]*")
+            .token("NUMBER", "[0-9]+")
+            .token("ARROW", "->")
+            .token("MINUS", "-")
+            .token("DOT", r"\.")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let s = demo_scanner();
+        // "->" must be one ARROW, not MINUS then error.
+        let toks = s.scan("a->b").unwrap();
+        let kinds: Vec<&str> = toks.iter().map(|t| s.kind_name(t.kind)).collect();
+        assert_eq!(kinds, ["IDENT", "ARROW", "IDENT"]);
+    }
+
+    #[test]
+    fn keyword_beats_identifier_on_tie() {
+        let s = demo_scanner();
+        let toks = s.scan("if iffy").unwrap();
+        let kinds: Vec<&str> = toks.iter().map(|t| s.kind_name(t.kind)).collect();
+        assert_eq!(kinds, ["IF", "IDENT"]);
+    }
+
+    #[test]
+    fn skip_rules_drop_text_but_keep_positions() {
+        let s = demo_scanner();
+        let src = "x # comment\n  y";
+        let toks = s.scan(src).unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].text(src), "x");
+        assert_eq!(toks[1].text(src), "y");
+        assert_eq!(toks[1].span.start.line, 2);
+        assert_eq!(toks[1].span.start.col, 3);
+    }
+
+    #[test]
+    fn scan_error_reports_position() {
+        let s = demo_scanner();
+        let err = s.scan("ok €").unwrap_err();
+        assert_eq!(err.pos.line, 1);
+        assert!(err.to_string().contains("no token rule"));
+    }
+
+    #[test]
+    fn scan_interned_builds_name_table() {
+        let s = demo_scanner();
+        let mut names = NameTable::new();
+        let src = "alpha beta alpha";
+        let toks = s.scan_interned(src, &mut names).unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].1, toks[2].1, "same identifier interns equal");
+        assert_ne!(toks[0].1, toks[1].1);
+        assert_eq!(names.len(), 2);
+    }
+
+    #[test]
+    fn kind_lookup_round_trips() {
+        let s = demo_scanner();
+        let k = s.kind_of("NUMBER").unwrap();
+        assert_eq!(s.kind_name(k), "NUMBER");
+        assert!(s.kind_of("MISSING").is_none());
+    }
+
+    #[test]
+    fn empty_input_scans_to_nothing() {
+        let s = demo_scanner();
+        assert!(s.scan("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_matching_rule_rejected_at_build() {
+        let err = ScannerDef::new().token("BAD", "a*").build().unwrap_err();
+        assert!(matches!(err, LexError::EmptyMatch { .. }));
+    }
+
+    #[test]
+    fn no_rules_rejected() {
+        assert!(matches!(
+            ScannerDef::new().build().unwrap_err(),
+            LexError::NoRules
+        ));
+    }
+
+    #[test]
+    fn bad_pattern_rejected_with_rule_name() {
+        let err = ScannerDef::new().token("OOPS", "(a").build().unwrap_err();
+        assert!(err.to_string().contains("OOPS"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Flattened scanner tables with alphabet compression.
+//!
+//! The paper's overlay 1 interprets "automatically generated scanner
+//! tables". [`ScanTables`] is that artifact: bytes are first mapped through
+//! an equivalence-class table (bytes the DFA never distinguishes share a
+//! class), then a dense `states × classes` next-state matrix drives the
+//! scan. The struct also reports its own size in bytes, which feeds the
+//! code-size experiments.
+
+use crate::dfa::{Dfa, DEAD};
+
+/// Compiled, compressed scanner tables.
+#[derive(Debug, Clone)]
+pub struct ScanTables {
+    /// Byte → equivalence class.
+    class_of: [u16; 256],
+    /// Number of equivalence classes.
+    num_classes: u16,
+    /// Dense next-state matrix, `next[state * num_classes + class]`;
+    /// `u32::MAX` is the dead edge.
+    next: Vec<u32>,
+    /// Accepting rule per state (`u32::MAX` = none).
+    accept: Vec<u32>,
+}
+
+impl ScanTables {
+    /// Flatten a DFA into compressed tables.
+    pub fn from_dfa(dfa: &Dfa) -> ScanTables {
+        // Two bytes are equivalent iff every state sends them to the same
+        // target. Build column signatures and number them.
+        let mut class_of = [0u16; 256];
+        let mut signatures: Vec<Vec<u32>> = Vec::new();
+        #[allow(clippy::needless_range_loop)] // byte-indexed class map
+        for b in 0..256usize {
+            let col: Vec<u32> = (0..dfa.len())
+                .map(|s| dfa.next(s as u32, b as u8).unwrap_or(DEAD))
+                .collect();
+            let class = match signatures.iter().position(|sig| *sig == col) {
+                Some(ix) => ix,
+                None => {
+                    signatures.push(col);
+                    signatures.len() - 1
+                }
+            };
+            class_of[b] = class as u16;
+        }
+        let num_classes = signatures.len() as u16;
+        let mut next = vec![u32::MAX; dfa.len() * num_classes as usize];
+        for (c, sig) in signatures.iter().enumerate() {
+            for (s, &t) in sig.iter().enumerate() {
+                next[s * num_classes as usize + c] = t;
+            }
+        }
+        let accept = (0..dfa.len())
+            .map(|s| dfa.accept(s as u32).unwrap_or(u32::MAX))
+            .collect();
+        ScanTables {
+            class_of,
+            num_classes,
+            next,
+            accept,
+        }
+    }
+
+    /// Next state from `state` on input byte `b`, or `None` at a dead edge.
+    #[inline]
+    pub fn next(&self, state: u32, b: u8) -> Option<u32> {
+        let c = self.class_of[b as usize] as usize;
+        let t = self.next[state as usize * self.num_classes as usize + c];
+        (t != u32::MAX).then_some(t)
+    }
+
+    /// Accepting rule of `state`, if any.
+    #[inline]
+    pub fn accept(&self, state: u32) -> Option<u32> {
+        let a = self.accept[state as usize];
+        (a != u32::MAX).then_some(a)
+    }
+
+    /// Number of DFA states.
+    pub fn num_states(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Number of byte equivalence classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes as usize
+    }
+
+    /// Size of the tables in bytes (class map + matrix + accept vector) —
+    /// the scanner-table component of "overlay 1" in the paper's code-size
+    /// accounting.
+    pub fn byte_size(&self) -> usize {
+        256 * 2 + self.next.len() * 4 + self.accept.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use crate::regex::Regex;
+
+    fn tables_for(patterns: &[&str]) -> (Dfa, ScanTables) {
+        let mut nfa = Nfa::new();
+        for (i, p) in patterns.iter().enumerate() {
+            nfa.add_rule(&Regex::parse(p).unwrap(), i as u32);
+        }
+        let dfa = Dfa::from_nfa(&nfa).minimized();
+        let tables = ScanTables::from_dfa(&dfa);
+        (dfa, tables)
+    }
+
+    #[test]
+    fn tables_agree_with_dfa() {
+        let (dfa, tables) = tables_for(&["[a-z]+", "[0-9]+", "->|=|\\."]);
+        for s in 0..dfa.len() as u32 {
+            assert_eq!(dfa.accept(s), tables.accept(s));
+            for b in 0..=255u8 {
+                assert_eq!(dfa.next(s, b), tables.next(s, b), "state {s} byte {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn compression_collapses_letter_columns() {
+        let (_, tables) = tables_for(&["[a-z]+"]);
+        // All 26 lowercase letters behave identically: far fewer classes
+        // than 256 bytes.
+        assert!(tables.num_classes() <= 3, "classes = {}", tables.num_classes());
+    }
+
+    #[test]
+    fn byte_size_is_positive_and_scales() {
+        let (_, small) = tables_for(&["a"]);
+        let (_, big) = tables_for(&["[a-z]+", "[0-9]+", "if|then|else|endif"]);
+        assert!(small.byte_size() > 0);
+        assert!(big.byte_size() > small.byte_size());
+    }
+}

@@ -1,0 +1,205 @@
+//! Diagnostics: the error/message streams of the overlay pipeline.
+//!
+//! LINGUIST-86's first overlay "writes a list of all syntactic errors to
+//! another intermediate file"; later overlays collect "a sequence of
+//! semantic messages that will be used to generate the listing". The
+//! [`Diagnostics`] sink is that stream, kept sorted by source line so the
+//! listing generator can interleave messages with source text.
+
+use crate::pos::Span;
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational note (appears in the listing only).
+    Note,
+    /// Suspicious but not fatal.
+    Warning,
+    /// Prevents evaluator generation.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One message destined for the listing file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Where in the source the message anchors.
+    pub span: Span,
+    /// Which overlay produced it (1-based, as in the paper's seven-overlay
+    /// structure); 0 for messages not tied to an overlay.
+    pub overlay: u8,
+    /// Human-readable text.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}: {}", self.span.start, self.severity, self.message)
+    }
+}
+
+/// An accumulating sink of diagnostics.
+///
+/// # Example
+///
+/// ```
+/// use linguist_support::diag::{Diagnostics, Severity};
+/// use linguist_support::pos::Span;
+///
+/// let mut d = Diagnostics::new();
+/// d.error(Span::default(), 1, "unexpected token");
+/// assert!(d.has_errors());
+/// assert_eq!(d.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty sink.
+    pub fn new() -> Diagnostics {
+        Diagnostics::default()
+    }
+
+    /// Record a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Record an error.
+    pub fn error(&mut self, span: Span, overlay: u8, message: impl Into<String>) {
+        self.push(Diagnostic {
+            severity: Severity::Error,
+            span,
+            overlay,
+            message: message.into(),
+        });
+    }
+
+    /// Record a warning.
+    pub fn warning(&mut self, span: Span, overlay: u8, message: impl Into<String>) {
+        self.push(Diagnostic {
+            severity: Severity::Warning,
+            span,
+            overlay,
+            message: message.into(),
+        });
+    }
+
+    /// Record a note.
+    pub fn note(&mut self, span: Span, overlay: u8, message: impl Into<String>) {
+        self.push(Diagnostic {
+            severity: Severity::Note,
+            span,
+            overlay,
+            message: message.into(),
+        });
+    }
+
+    /// Whether any error-severity diagnostic was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of diagnostics recorded.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no diagnostics were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Diagnostics sorted by source line then column (the order the listing
+    /// generator wants); stable for equal positions.
+    pub fn sorted_for_listing(&self) -> Vec<&Diagnostic> {
+        let mut v: Vec<&Diagnostic> = self.items.iter().collect();
+        v.sort_by_key(|d| (d.span.start.line, d.span.start.col));
+        v
+    }
+
+    /// Merge another sink's diagnostics into this one.
+    pub fn extend_from(&mut self, other: &Diagnostics) {
+        self.items.extend(other.items.iter().cloned());
+    }
+}
+
+impl Extend<Diagnostic> for Diagnostics {
+    fn extend<I: IntoIterator<Item = Diagnostic>>(&mut self, iter: I) {
+        self.items.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pos::{Pos, Span};
+
+    fn at_line(line: u32) -> Span {
+        Span::point(Pos {
+            line,
+            col: 1,
+            offset: 0,
+        })
+    }
+
+    #[test]
+    fn has_errors_only_for_errors() {
+        let mut d = Diagnostics::new();
+        d.note(at_line(1), 1, "n");
+        d.warning(at_line(2), 1, "w");
+        assert!(!d.has_errors());
+        d.error(at_line(3), 2, "e");
+        assert!(d.has_errors());
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn listing_order_sorts_by_line() {
+        let mut d = Diagnostics::new();
+        d.error(at_line(5), 1, "later");
+        d.error(at_line(2), 1, "earlier");
+        let sorted = d.sorted_for_listing();
+        assert_eq!(sorted[0].message, "earlier");
+        assert_eq!(sorted[1].message, "later");
+    }
+
+    #[test]
+    fn display_mentions_severity() {
+        let mut d = Diagnostics::new();
+        d.warning(at_line(1), 1, "odd");
+        let text = format!("{}", d.iter().next().unwrap());
+        assert!(text.contains("warning"));
+        assert!(text.contains("odd"));
+    }
+
+    #[test]
+    fn extend_from_merges() {
+        let mut a = Diagnostics::new();
+        a.note(at_line(1), 1, "a");
+        let mut b = Diagnostics::new();
+        b.error(at_line(2), 2, "b");
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+        assert!(a.has_errors());
+    }
+}

@@ -1,0 +1,165 @@
+//! The name table: string interning for identifiers.
+//!
+//! LINGUIST-86 keeps "name-table entries that store the source text of
+//! identifiers" in its small dynamic-data area; every other structure refers
+//! to identifiers by table index. [`Name`] is that index, made type-safe.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned identifier: an index into a [`NameTable`].
+///
+/// `Name`s are cheap to copy and compare; resolving one back to text
+/// requires the table that produced it.
+///
+/// # Example
+///
+/// ```
+/// use linguist_support::intern::NameTable;
+/// let mut t = NameTable::new();
+/// let a = t.intern("x");
+/// let b = t.intern("x");
+/// assert_eq!(a, b);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Name(u32);
+
+impl Name {
+    /// The raw table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild a `Name` from a raw index previously obtained with
+    /// [`Name::index`]. Only meaningful with the same table.
+    pub fn from_index(ix: usize) -> Name {
+        Name(ix as u32)
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({})", self.0)
+    }
+}
+
+/// The identifier name table.
+///
+/// Stores each distinct string once and hands out stable [`Name`] ids.
+/// Mirrors the paper's name-table package: the scanner interns every
+/// identifier it sees, and all later overlays traffic only in `Name`s.
+#[derive(Debug, Default, Clone)]
+pub struct NameTable {
+    strings: Vec<String>,
+    map: HashMap<String, Name>,
+}
+
+impl NameTable {
+    /// Create an empty name table.
+    pub fn new() -> NameTable {
+        NameTable::default()
+    }
+
+    /// Intern `text`, returning its stable id. Idempotent.
+    pub fn intern(&mut self, text: &str) -> Name {
+        if let Some(&n) = self.map.get(text) {
+            return n;
+        }
+        let n = Name(self.strings.len() as u32);
+        self.strings.push(text.to_owned());
+        self.map.insert(text.to_owned(), n);
+        n
+    }
+
+    /// Look up an already-interned string without inserting.
+    pub fn get(&self, text: &str) -> Option<Name> {
+        self.map.get(text).copied()
+    }
+
+    /// Resolve a name back to its text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` did not come from this table.
+    pub fn resolve(&self, name: Name) -> &str {
+        &self.strings[name.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterate over `(Name, &str)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Name, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Name(i as u32), s.as_str()))
+    }
+
+    /// Total bytes of identifier text held (the paper counts this against
+    /// its 48 KB dynamic-data budget).
+    pub fn text_bytes(&self) -> usize {
+        self.strings.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = NameTable::new();
+        let a = t.intern("foo");
+        let b = t.intern("foo");
+        let c = t.intern("bar");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut t = NameTable::new();
+        let words = ["alpha", "beta", "gamma", ""];
+        let names: Vec<Name> = words.iter().map(|w| t.intern(w)).collect();
+        for (n, w) in names.iter().zip(words.iter()) {
+            assert_eq!(t.resolve(*n), *w);
+        }
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut t = NameTable::new();
+        assert!(t.get("missing").is_none());
+        assert_eq!(t.len(), 0);
+        t.intern("present");
+        assert!(t.get("present").is_some());
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let mut t = NameTable::new();
+        t.intern("one");
+        t.intern("two");
+        t.intern("three");
+        let texts: Vec<&str> = t.iter().map(|(_, s)| s).collect();
+        assert_eq!(texts, vec!["one", "two", "three"]);
+    }
+
+    #[test]
+    fn text_bytes_counts_storage() {
+        let mut t = NameTable::new();
+        t.intern("ab");
+        t.intern("cde");
+        t.intern("ab"); // duplicate: not stored twice
+        assert_eq!(t.text_bytes(), 5);
+    }
+}

@@ -1,0 +1,48 @@
+//! Support substrate for the LINGUIST-86 reproduction.
+//!
+//! The paper (§V) lists, among the pieces of the translator-writing system,
+//! "a package that implements a name-table for identifiers, and a package
+//! that supports list-processing". This crate is those two packages, plus
+//! the small shared vocabulary every other crate needs: source positions,
+//! diagnostics, and byte-size accounting for the memory-budget experiments.
+//!
+//! * [`intern`] — the name table: cheap interned [`intern::Name`] ids for
+//!   identifier text.
+//! * [`list`] — persistent cons lists (the paper represents "sets,
+//!   sequences, and partial functions" as linked lists in its 48 KB heap).
+//! * [`set`] — small persistent sets built on those lists.
+//! * [`pfunc`] — partial functions (association lists) as used by the
+//!   LINGUIST-86 AG itself (`EvalPF`, `consPF` in Figure 5).
+//! * [`pos`] — line/column positions and spans.
+//! * [`diag`] — severity-tagged diagnostics collected per overlay.
+//! * [`size`] — [`size::ByteSized`] trait and a high-water-mark
+//!   [`size::Meter`] used to reproduce the paper's 48 KB dynamic-data story.
+//!
+//! # Example
+//!
+//! ```
+//! use linguist_support::intern::NameTable;
+//! use linguist_support::list::List;
+//!
+//! let mut names = NameTable::new();
+//! let a = names.intern("alpha");
+//! assert_eq!(names.resolve(a), "alpha");
+//!
+//! let xs: List<i32> = List::nil().cons(2).cons(1);
+//! assert_eq!(xs.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+//! ```
+
+pub mod diag;
+pub mod intern;
+pub mod list;
+pub mod pfunc;
+pub mod pos;
+pub mod set;
+pub mod size;
+
+pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use intern::{Name, NameTable};
+pub use list::List;
+pub use pfunc::PartialFn;
+pub use pos::{Pos, Span};
+pub use set::LSet;

@@ -1,0 +1,171 @@
+//! Source positions and spans.
+//!
+//! The paper's intrinsic attributes record "the location in the source of
+//! the text that corresponds to a leaf of the APT"; diagnostics carry a line
+//! (`commaNT.LINE` in the p.165 production). [`Pos`] and [`Span`] are that
+//! vocabulary.
+
+use std::fmt;
+
+/// A 1-based line/column position plus a 0-based byte offset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+    /// 0-based byte offset into the source.
+    pub offset: u32,
+}
+
+impl Pos {
+    /// The start of a source file: line 1, column 1, offset 0.
+    pub fn start() -> Pos {
+        Pos {
+            line: 1,
+            col: 1,
+            offset: 0,
+        }
+    }
+
+    /// Advance past one character, tracking newlines.
+    pub fn advance(self, c: char) -> Pos {
+        if c == '\n' {
+            Pos {
+                line: self.line + 1,
+                col: 1,
+                offset: self.offset + c.len_utf8() as u32,
+            }
+        } else {
+            Pos {
+                line: self.line,
+                col: self.col + 1,
+                offset: self.offset + c.len_utf8() as u32,
+            }
+        }
+    }
+}
+
+impl Default for Pos {
+    fn default() -> Pos {
+        Pos::start()
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A half-open range of source text `[start, end)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// First position covered.
+    pub start: Pos,
+    /// Position one past the last character covered.
+    pub end: Pos,
+}
+
+impl Span {
+    /// A span covering `start..end`.
+    pub fn new(start: Pos, end: Pos) -> Span {
+        Span { start, end }
+    }
+
+    /// The empty span at a single position.
+    pub fn point(p: Pos) -> Span {
+        Span { start: p, end: p }
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: if self.start <= other.start {
+                self.start
+            } else {
+                other.start
+            },
+            end: if self.end >= other.end {
+                self.end
+            } else {
+                other.end
+            },
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        (self.end.offset - self.start.offset) as usize
+    }
+
+    /// Whether the span covers no characters.
+    pub fn is_empty(&self) -> bool {
+        self.start.offset == self.end.offset
+    }
+
+    /// Slice this span out of the source it was produced from.
+    pub fn slice<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start.offset as usize..self.end.offset as usize]
+    }
+}
+
+impl Default for Span {
+    fn default() -> Span {
+        Span::point(Pos::start())
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_tracks_lines_and_columns() {
+        let mut p = Pos::start();
+        for c in "ab\ncd".chars() {
+            p = p.advance(c);
+        }
+        assert_eq!(p.line, 2);
+        assert_eq!(p.col, 3);
+        assert_eq!(p.offset, 5);
+    }
+
+    #[test]
+    fn merge_covers_both() {
+        let mut p = Pos::start();
+        let a0 = p;
+        p = p.advance('x');
+        let a1 = p;
+        p = p.advance('y');
+        let b1 = p;
+        let a = Span::new(a0, a1);
+        let b = Span::new(a1, b1);
+        let m = a.merge(b);
+        assert_eq!(m.start, a0);
+        assert_eq!(m.end, b1);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn slice_extracts_text() {
+        let src = "hello world";
+        let mut p = Pos::start();
+        for _ in 0..5 {
+            p = p.advance('h');
+        }
+        let s = Span::new(Pos::start(), p);
+        assert_eq!(s.slice(src), "hello");
+    }
+
+    #[test]
+    fn point_is_empty() {
+        assert!(Span::point(Pos::start()).is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! Byte-size accounting and the dynamic-data memory meter.
+//!
+//! The paper's headline systems claim: "About 48K bytes of memory are
+//! available to LINGUIST-86 for holding dynamic data … Even though the APT
+//! for the LINGUIST-86 attribute grammar is more than 42K bytes long,
+//! everything fits because at any one time most of the APT is stored in
+//! temporary disk files." Experiment E12 reproduces the shape of that claim;
+//! [`Meter`] is the high-water-mark accountant the evaluator charges its
+//! stack-resident node bytes against.
+
+use std::fmt;
+
+/// Types that can report the bytes they would occupy in the evaluator's
+/// dynamic-data area (the 8086 image's heap/stack in the paper).
+pub trait ByteSized {
+    /// Approximate owned size in bytes, including heap payloads.
+    fn byte_size(&self) -> usize;
+}
+
+impl ByteSized for i64 {
+    fn byte_size(&self) -> usize {
+        8
+    }
+}
+
+impl ByteSized for bool {
+    fn byte_size(&self) -> usize {
+        1
+    }
+}
+
+impl ByteSized for String {
+    fn byte_size(&self) -> usize {
+        std::mem::size_of::<String>() + self.len()
+    }
+}
+
+impl<T: ByteSized> ByteSized for Vec<T> {
+    fn byte_size(&self) -> usize {
+        std::mem::size_of::<Vec<T>>() + self.iter().map(ByteSized::byte_size).sum::<usize>()
+    }
+}
+
+impl<T: ByteSized> ByteSized for Option<T> {
+    fn byte_size(&self) -> usize {
+        std::mem::size_of::<usize>() + self.as_ref().map_or(0, ByteSized::byte_size)
+    }
+}
+
+/// A charge/release accountant with a high-water mark.
+///
+/// The evaluator charges node records as they are read onto the stack and
+/// releases them when written back to the intermediate file; the peak is
+/// what must fit in the paper's 48 KB window.
+///
+/// # Example
+///
+/// ```
+/// use linguist_support::size::Meter;
+/// let mut m = Meter::with_budget(Some(100));
+/// m.charge(60);
+/// m.charge(30);
+/// m.release(60);
+/// assert_eq!(m.current(), 30);
+/// assert_eq!(m.peak(), 90);
+/// assert!(!m.exceeded());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Meter {
+    current: usize,
+    peak: usize,
+    budget: Option<usize>,
+    exceeded: bool,
+}
+
+impl Meter {
+    /// A meter with no budget (pure measurement).
+    pub fn new() -> Meter {
+        Meter::default()
+    }
+
+    /// A meter that flags (but does not stop) usage past `budget` bytes.
+    /// `None` means unlimited. The paper's configuration is
+    /// `Some(48 * 1024)`.
+    pub fn with_budget(budget: Option<usize>) -> Meter {
+        Meter {
+            budget,
+            ..Meter::default()
+        }
+    }
+
+    /// The paper's 48 KB dynamic-data configuration.
+    pub fn paper_default() -> Meter {
+        Meter::with_budget(Some(48 * 1024))
+    }
+
+    /// Charge `bytes` against the meter.
+    pub fn charge(&mut self, bytes: usize) {
+        self.current += bytes;
+        if self.current > self.peak {
+            self.peak = self.current;
+        }
+        if let Some(b) = self.budget {
+            if self.current > b {
+                self.exceeded = true;
+            }
+        }
+    }
+
+    /// Release `bytes` previously charged. Saturates at zero.
+    pub fn release(&mut self, bytes: usize) {
+        self.current = self.current.saturating_sub(bytes);
+    }
+
+    /// Bytes currently charged.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// The high-water mark.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// The configured budget, if any.
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Whether usage ever went past the budget.
+    pub fn exceeded(&self) -> bool {
+        self.exceeded
+    }
+
+    /// Reset current/peak/exceeded, keeping the budget.
+    pub fn reset(&mut self) {
+        self.current = 0;
+        self.peak = 0;
+        self.exceeded = false;
+    }
+}
+
+impl fmt::Display for Meter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.budget {
+            Some(b) => write!(
+                f,
+                "peak {} B of {} B budget (now {} B)",
+                self.peak, b, self.current
+            ),
+            None => write!(f, "peak {} B (now {} B)", self.peak, self.current),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut m = Meter::new();
+        m.charge(10);
+        m.charge(20);
+        m.release(25);
+        m.charge(4);
+        assert_eq!(m.current(), 9);
+        assert_eq!(m.peak(), 30);
+    }
+
+    #[test]
+    fn budget_flags_but_does_not_stop() {
+        let mut m = Meter::with_budget(Some(16));
+        m.charge(10);
+        assert!(!m.exceeded());
+        m.charge(10);
+        assert!(m.exceeded());
+        m.release(20);
+        assert!(m.exceeded(), "exceeded latches");
+    }
+
+    #[test]
+    fn release_saturates() {
+        let mut m = Meter::new();
+        m.charge(5);
+        m.release(100);
+        assert_eq!(m.current(), 0);
+    }
+
+    #[test]
+    fn paper_default_is_48k() {
+        assert_eq!(Meter::paper_default().budget(), Some(48 * 1024));
+    }
+
+    #[test]
+    fn byte_sized_impls() {
+        assert_eq!(3i64.byte_size(), 8);
+        assert_eq!(true.byte_size(), 1);
+        let s = String::from("abc");
+        assert!(s.byte_size() >= 3);
+        let v = vec![1i64, 2, 3];
+        assert!(v.byte_size() >= 24);
+    }
+
+    #[test]
+    fn reset_keeps_budget() {
+        let mut m = Meter::with_budget(Some(8));
+        m.charge(10);
+        m.reset();
+        assert_eq!(m.peak(), 0);
+        assert_eq!(m.budget(), Some(8));
+        assert!(!m.exceeded());
+    }
+}

@@ -1,0 +1,64 @@
+//! A scope checker for a block-structured language — the classic
+//! attribute-grammar demo: environments flow down and left-to-right,
+//! error messages flow up.
+//!
+//! ```sh
+//! cargo run --example scope_checker
+//! ```
+
+use linguist86::eval::funcs::Funcs;
+use linguist86::eval::machine::EvalOptions;
+use linguist86::eval::value::Value;
+use linguist86::frontend::driver::{run, DriverOptions};
+use linguist86::frontend::Translator;
+use linguist86::grammars::{block_scanner, block_source};
+
+const PROGRAM: &str = r#"
+var a ;
+use a ;
+{
+  var b ;
+  use a ;
+  use b ;
+}
+use b ;
+var a ;
+use ghost ;
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = run(block_source(), &DriverOptions::default())?;
+    println!(
+        "block-language AG: {} passes ({})\n",
+        out.stats.passes,
+        out.analysis
+            .passes
+            .directions()
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let translator = Translator::new(out.analysis, block_scanner())?;
+    let result = translator.translate(PROGRAM, &Funcs::standard(), &EvalOptions::default())?;
+
+    println!("program:\n{}", PROGRAM);
+    println!(
+        "declarations: {}",
+        result.output(&translator.analysis, "NDECL").expect("NDECL")
+    );
+    match result.output(&translator.analysis, "ERRS") {
+        Some(Value::List(l)) if !l.is_empty() => {
+            println!("scope errors:");
+            for e in l.iter() {
+                println!("  {}", e);
+            }
+        }
+        _ => println!("scope errors: none"),
+    }
+    // Expected: `use b ;` after the inner block closed (b out of scope),
+    // `var a ;` again at the outer level (duplicate), `use ghost ;`
+    // (never declared).
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Self-processing: the LINGUIST meta attribute grammar — the input
+//! language described in its own notation — built into a translator and
+//! run over its own source ("LINGUIST-86 is itself written as an
+//! 1800-line attribute grammar and is self-generating").
+//!
+//! ```sh
+//! cargo run --example self_processing
+//! ```
+
+use linguist86::eval::funcs::Funcs;
+use linguist86::eval::machine::EvalOptions;
+use linguist86::frontend::driver::{run, DriverOptions};
+use linguist86::frontend::Translator;
+use linguist86::grammars::{calc_source, meta_scanner, meta_source, pascal_source};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("analyzing the meta attribute grammar …");
+    let out = run(meta_source(), &DriverOptions::default())?;
+    println!("{}\n", out.stats);
+    println!("pass directions:");
+    for (i, d) in out.analysis.passes.directions().iter().enumerate() {
+        println!("  pass {}: {}", i + 1, d);
+    }
+    let sub = out.analysis.subsumption.stats(&out.analysis.grammar);
+    println!(
+        "\nstatic subsumption: {} of {} eligible attributes static, {} of {} copy-rules subsumed\n",
+        sub.static_attrs, sub.eligible_attrs, sub.subsumed_rules, sub.copy_rules
+    );
+
+    let translator = Translator::new(out.analysis, meta_scanner())?;
+    let funcs = Funcs::standard();
+    let opts = EvalOptions::default();
+
+    for (name, src) in [
+        ("meta.lg (itself!)", meta_source()),
+        ("calc.lg", calc_source()),
+        ("pascal.lg", pascal_source()),
+    ] {
+        let r = translator.translate(src, &funcs, &opts)?;
+        println!("== linting {} ==", name);
+        for key in ["NSYMS", "NPRODS", "NMSGS", "NUNUSED"] {
+            println!(
+                "  {:8} = {}",
+                key,
+                r.output(&translator.analysis, key).expect("output")
+            );
+        }
+        println!(
+            "  {} passes, {} records through the intermediate files, peak stack {} B",
+            r.stats.passes.len(),
+            r.stats.passes.iter().map(|p| p.records_read).sum::<u64>(),
+            r.stats.meter.peak()
+        );
+        println!(
+            "  subsumption protocol: {} checks, {} repairs\n",
+            r.stats.globals_checked, r.stats.globals_repaired
+        );
+    }
+
+    // And a grammar with deliberate mistakes.
+    let buggy = r#"
+grammar Buggy ;
+terminals
+  unused_token ;
+nonterminals
+  s : syn V int ;
+  s : syn W int ;
+start s ;
+productions
+prod s = ghost :
+  s.V = 1 ;
+end
+end
+"#;
+    let r = translator.translate(buggy, &funcs, &opts)?;
+    println!("== linting a buggy grammar ==");
+    println!(
+        "  messages: {}",
+        r.output(&translator.analysis, "MSGS").expect("MSGS")
+    );
+    Ok(())
+}

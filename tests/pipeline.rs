@@ -1,0 +1,288 @@
+//! Pipeline-level integration tests: the listing file, Knuth's
+//! binary-number grammar, driver error propagation, and intrinsic
+//! attribute conventions.
+
+use linguist86::ag::analysis::Config;
+use linguist86::ag::passes::{Direction, PassConfig};
+use linguist86::eval::funcs::Funcs;
+use linguist86::eval::machine::EvalOptions;
+use linguist86::eval::value::Value;
+use linguist86::frontend::driver::{run, DriverError, DriverOptions};
+use linguist86::frontend::Translator;
+use linguist86::grammars::{
+    block_source, knuth_scanner, knuth_source, meta_source,
+};
+use linguist86::lexgen::ScannerDef;
+
+#[test]
+fn knuth_binary_numbers_evaluate() {
+    let out = run(knuth_source(), &DriverOptions::default()).unwrap();
+    assert_eq!(out.stats.passes, 1);
+    let t = Translator::new(out.analysis, knuth_scanner()).unwrap();
+    let funcs = Funcs::standard();
+    let opts = EvalOptions::default();
+    // Integer numerals: plain binary value.
+    for (input, expect) in [("0", 0i64), ("1", 1), ("1 0 1 1", 11), ("1 1 1 1 1 1 1 1", 255)] {
+        let r = t.translate(input, &funcs, &opts).unwrap();
+        assert_eq!(r.output(&t.analysis, "VAL"), Some(&Value::Int(expect)), "{}", input);
+    }
+    // With a fraction: VAL is in units of 2^-len(fraction):
+    // "1 1 0 1 . 0 1" = 13.25, len 2 → 13.25 * 4 = 53.
+    let r = t.translate("1 1 0 1 . 0 1", &funcs, &opts).unwrap();
+    assert_eq!(r.output(&t.analysis, "VAL"), Some(&Value::Int(53)));
+}
+
+#[test]
+fn listing_contains_pass_annotations_and_tables() {
+    let out = run(meta_source(), &DriverOptions::default()).unwrap();
+    let listing = &out.listing;
+    // Source lines numbered.
+    assert!(listing.contains("    1 | #"));
+    // Pass annotations, like the paper's "# pass 2" comments.
+    for k in 1..=4 {
+        assert!(
+            listing.contains(&format!("# pass {}", k)),
+            "pass {} annotation missing",
+            k
+        );
+    }
+    // Implicit copy-rules listed and marked.
+    assert!(listing.contains("(implicit)"));
+    // Subsumed copy-rules marked.
+    assert!(listing.contains("(subsumed)"));
+    // The attribute table with lifetimes and static allocation.
+    assert!(listing.contains("ATTRIBUTES"));
+    assert!(listing.contains("significant"));
+    assert!(listing.contains("temporary"));
+    // Pass directions.
+    assert!(listing.contains("pass 1: right-to-left"));
+    assert!(listing.contains("pass 2: left-to-right"));
+    // Statistics block.
+    assert!(listing.contains("alternating passes:   4"));
+}
+
+#[test]
+fn listing_interleaves_diagnostics_with_source() {
+    // The overlay-5 note about implicit copies appears in the listing.
+    let out = run(block_source(), &DriverOptions::default()).unwrap();
+    assert!(out.listing.contains("implicit copy-rules inserted"));
+}
+
+#[test]
+fn driver_reports_not_evaluable_grammars() {
+    // Sibling attributes feeding each other forever. The driver layers
+    // its diagnostics: the (conservative) uniform circularity test runs
+    // before pass assignment and correctly flags this flow as a
+    // potential cycle — the same grammar fed directly to the pass
+    // analysis is rejected as not alternating-pass evaluable
+    // (unit-tested in linguist-ag).
+    let src = r#"
+grammar Spin ;
+terminals x ;
+nonterminals
+  s : syn V int ;
+  a : inh I int, syn V int ;
+  b : inh I int, syn V int ;
+start s ;
+productions
+prod s = a b :
+  a.I = b.V ;
+  b.I = a.V ;
+  s.V = 0 ;
+end
+prod a = x :
+  a.V = a.I ;
+end
+prod b = x :
+  b.V = b.I ;
+end
+end
+"#;
+    match run(src, &DriverOptions::default()) {
+        Err(DriverError::Analysis(e)) => {
+            let text = e.to_string();
+            assert!(
+                text.contains("circularity") || text.contains("alternating passes"),
+                "{}",
+                text
+            )
+        }
+        other => panic!("expected evaluability failure, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn driver_reports_exhausted_pass_budget() {
+    // A 2-pass grammar under a 1-pass budget.
+    let src = r#"
+grammar Tight ;
+terminals x : intrinsic OBJ int ;
+nonterminals
+  s : syn V int ;
+  a : inh I int, syn V int ;
+  b : syn V int ;
+start s ;
+productions
+prod s = a b :
+  a.I = b.V ;
+  s.V = a.V ;
+end
+prod a = x :
+  a.V = a.I ;
+end
+prod b = x :
+  b.V = x.OBJ ;
+end
+end
+"#;
+    let opts = DriverOptions {
+        config: Config {
+            pass: PassConfig {
+                first_direction: Direction::LeftToRight,
+                max_passes: 1,
+            },
+            ..Config::default()
+        },
+        target: None,
+    };
+    match run(src, &opts) {
+        Err(DriverError::Analysis(e)) => {
+            assert!(e.to_string().contains("exceeded 1 passes"), "{}", e)
+        }
+        other => panic!("expected pass-budget failure, got {:?}", other.map(|_| ())),
+    }
+    // With a normal budget it needs 2 passes under an L-R start (the
+    // flow is right-to-left) — and just 1 under the default R-L start.
+    let relaxed = DriverOptions {
+        config: Config {
+            pass: PassConfig {
+                first_direction: Direction::LeftToRight,
+                max_passes: 32,
+            },
+            ..Config::default()
+        },
+        target: None,
+    };
+    assert_eq!(run(src, &relaxed).unwrap().stats.passes, 2);
+    assert_eq!(run(src, &DriverOptions::default()).unwrap().stats.passes, 1);
+}
+
+#[test]
+fn driver_reports_circular_grammars() {
+    let src = r#"
+grammar Circular ;
+nonterminals
+  s : syn A int, syn B int ;
+start s ;
+productions
+prod s = :
+  s.A = s.B ;
+  s.B = s.A ;
+end
+end
+"#;
+    match run(src, &DriverOptions::default()) {
+        Err(DriverError::Analysis(e)) => assert!(e.to_string().contains("circularity")),
+        other => panic!("expected circularity, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn driver_reports_incomplete_grammars() {
+    let src = r#"
+grammar Holes ;
+nonterminals
+  s : syn V int ;
+start s ;
+productions
+prod s = :
+end
+end
+"#;
+    match run(src, &DriverOptions::default()) {
+        Err(DriverError::Analysis(e)) => {
+            let text = e.to_string();
+            assert!(text.contains("never defined"), "{}", text);
+        }
+        other => panic!("expected completeness failure, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn line_intrinsic_gets_source_lines() {
+    // The LINE intrinsic convention: "the location in the source of the
+    // text that corresponds to a leaf of the APT" (§IV).
+    let src = r#"
+grammar Lines ;
+terminals
+  w : intrinsic LINE int ;
+nonterminals
+  s : syn FIRST int, syn LAST int ;
+start s ;
+productions
+prod s0 = s1 w :
+  s0.FIRST = s1.FIRST ;
+  s0.LAST = w.LINE ;
+end
+prod s = w :
+  s.FIRST = w.LINE ;
+  s.LAST = w.LINE ;
+end
+end
+"#;
+    let out = run(src, &DriverOptions::default()).unwrap();
+    let scanner = ScannerDef::new()
+        .skip(r"[ \t\n]+")
+        .token("w", "[a-z]+")
+        .build()
+        .unwrap();
+    let t = Translator::new(out.analysis, scanner).unwrap();
+    let r = t
+        .translate("alpha\nbeta\n\n\ngamma", &Funcs::standard(), &EvalOptions::default())
+        .unwrap();
+    assert_eq!(r.output(&t.analysis, "FIRST"), Some(&Value::Int(1)));
+    assert_eq!(r.output(&t.analysis, "LAST"), Some(&Value::Int(5)));
+}
+
+#[test]
+fn unknown_external_function_is_reported_at_evaluation() {
+    let src = r#"
+grammar Mystery ;
+terminals x ;
+nonterminals s : syn V int ;
+start s ;
+productions
+prod s = x :
+  s.V = FrobnicateDeeply(1, 2) ;
+end
+end
+"#;
+    let out = run(src, &DriverOptions::default()).unwrap(); // analysis is fine
+    let scanner = ScannerDef::new().token("x", "x").build().unwrap();
+    let t = Translator::new(out.analysis, scanner).unwrap();
+    let err = t
+        .translate("x", &Funcs::standard(), &EvalOptions::default())
+        .unwrap_err();
+    assert!(err.to_string().contains("FrobnicateDeeply"), "{}", err);
+}
+
+#[test]
+fn coalesce_mode_runs_through_the_driver() {
+    let opts = DriverOptions {
+        config: Config {
+            group_mode: linguist86::ag::subsumption::GroupMode::CoalesceCopies,
+            pass: PassConfig {
+                first_direction: Direction::RightToLeft,
+                max_passes: 32,
+            },
+            ..Config::default()
+        },
+        target: None,
+    };
+    let out = run(meta_source(), &opts).unwrap();
+    // Coalescing can only subsume at least as many copies as same-name.
+    let base = run(meta_source(), &DriverOptions::default()).unwrap();
+    let coal = out.analysis.subsumption.stats(&out.analysis.grammar);
+    let same = base.analysis.subsumption.stats(&base.analysis.grammar);
+    assert!(coal.subsumed_rules + 5 >= same.subsumed_rules);
+}
