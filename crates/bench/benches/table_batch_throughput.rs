@@ -1,0 +1,104 @@
+//! Batch-evaluation throughput: 1 worker vs N.
+//!
+//! Not a paper table — the original ran on a single-CPU minicomputer —
+//! but the natural successor experiment: with the evaluation runtime
+//! made thread-safe, how does jobs/sec scale when independent APTs are
+//! evaluated concurrently? Memory backing keeps the disk out of the
+//! measurement, so this is pure evaluator scaling.
+
+use linguist_bench::rule;
+use linguist_eval::batch::BatchEvaluator;
+use linguist_eval::machine::{Backing, EvalOptions};
+use linguist_eval::tree::PTree;
+use linguist_eval::Funcs;
+use linguist_frontend::translate::standard_intrinsics;
+use linguist_frontend::{run, DriverOptions, Translator};
+use linguist_grammars::{calc_scanner, calc_source};
+use linguist_support::intern::NameTable;
+
+fn calc_inputs(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            // Moderately deep expressions so each job does real work.
+            let mut src = format!("{}", i % 10);
+            for k in 0..60 {
+                src = format!("({} + {} * {})", src, (i + k) % 9 + 1, k % 7 + 1);
+            }
+            src
+        })
+        .collect()
+}
+
+fn main() {
+    rule("batch evaluation throughput (1 worker vs N, memory backing)");
+
+    let analysis = run(calc_source(), &DriverOptions::default())
+        .expect("calc grammar analyzes")
+        .analysis;
+    let tr = Translator::new(analysis, calc_scanner()).expect("calc translator builds");
+    let funcs = Funcs::standard();
+    let opts = EvalOptions {
+        backing: Backing::Memory,
+        ..EvalOptions::default()
+    };
+
+    let inputs = calc_inputs(200);
+    let trees: Vec<PTree> = inputs
+        .iter()
+        .map(|src| {
+            let mut names = NameTable::new();
+            tr.parse_input(src, &standard_intrinsics, &mut names)
+                .expect("generated input parses")
+        })
+        .collect();
+
+    println!(
+        "{} jobs of ~{} nodes each\n",
+        trees.len(),
+        trees[0].size()
+    );
+    println!("{:<8} {:>12} {:>14} {:>10}", "workers", "wall", "jobs/sec", "speedup");
+
+    let mut baseline = 0.0f64;
+    let mut at4 = None;
+    for workers in [1usize, 2, 4, 8] {
+        // Best-of-3 to shake scheduler noise out of the table.
+        let best = (0..3)
+            .map(|_| {
+                let outcome = BatchEvaluator::with_options(workers, opts).run(&tr.analysis, &funcs, &trees);
+                assert_eq!(outcome.stats.failed, 0);
+                outcome.stats
+            })
+            .max_by(|a, b| a.jobs_per_sec().total_cmp(&b.jobs_per_sec()))
+            .expect("three runs");
+        let jps = best.jobs_per_sec();
+        if workers == 1 {
+            baseline = jps;
+        }
+        if workers == 4 {
+            at4 = Some(jps);
+        }
+        println!(
+            "{:<8} {:>12} {:>14.1} {:>9.2}x",
+            workers,
+            format!("{:?}", best.wall),
+            jps,
+            jps / baseline
+        );
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if let Some(jps4) = at4 {
+        let speedup = jps4 / baseline;
+        println!("\n4-worker speedup: {:.2}x on {} core(s)", speedup, cores);
+        if cores >= 4 {
+            assert!(
+                speedup > 1.5,
+                "expected >1.5x jobs/sec at 4 workers, measured {:.2}x",
+                speedup
+            );
+        } else {
+            println!("(fewer than 4 cores available; speedup assertion skipped)");
+        }
+    }
+}

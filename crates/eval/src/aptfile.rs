@@ -21,19 +21,23 @@
 
 use crate::value::{DecodeError, Value};
 use linguist_ag::ids::{AttrId, ProdId, SymbolId};
-use std::cell::RefCell;
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A memory-resident intermediate "file" — the paper's closing question
 /// made concrete: "would some form of virtual memory system significantly
 /// speed up the evaluators?" Backing the same record format with RAM
 /// instead of disk is that hypothetical; the `ablation_virtual_memory`
 /// bench measures the difference.
-pub type MemFile = Rc<RefCell<Vec<u8>>>;
+///
+/// The buffer is `Arc<Mutex<…>>` rather than `Rc<RefCell<…>>` so
+/// memory-backed evaluations are `Send` and can run on the batch
+/// evaluator's worker threads. Each evaluation owns its own buffers
+/// (per-job isolation), so the mutex is uncontended in practice.
+pub type MemFile = Arc<Mutex<Vec<u8>>>;
 
 /// What a record describes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -198,7 +202,7 @@ impl AptWriter {
 
     /// Create a writer over a memory buffer (truncating it).
     pub fn create_mem(buf: MemFile) -> AptWriter {
-        buf.borrow_mut().clear();
+        buf.lock().expect("mem file poisoned").clear();
         AptWriter {
             sink: Sink::Mem(buf),
             bytes: 0,
@@ -221,7 +225,7 @@ impl AptWriter {
                 f.write_all(&len)?;
             }
             Sink::Mem(m) => {
-                let mut b = m.borrow_mut();
+                let mut b = m.lock().expect("mem file poisoned");
                 b.extend_from_slice(&len);
                 b.extend_from_slice(&payload);
                 b.extend_from_slice(&len);
@@ -282,7 +286,7 @@ impl Source {
                 Ok(())
             }
             Source::Mem(m) => {
-                let b = m.borrow();
+                let b = m.lock().expect("mem file poisoned");
                 let start = pos as usize;
                 let slice = b
                     .get(start..start + out.len())
@@ -318,7 +322,7 @@ impl AptReader {
 
     /// Open a memory buffer for reading in `dir`.
     pub fn open_mem(buf: MemFile, dir: ReadDir) -> AptReader {
-        let end = buf.borrow().len() as u64;
+        let end = buf.lock().expect("mem file poisoned").len() as u64;
         AptReader {
             src: Source::Mem(buf),
             pos: match dir {

@@ -1,0 +1,321 @@
+//! Parallel batch evaluation over a fixed worker pool.
+//!
+//! The paper's evaluator is strictly sequential — one APT streamed
+//! through two intermediate files. A production translator, however,
+//! faces *many* independent inputs (a compilation unit per source file),
+//! and nothing in the paradigm couples two evaluations: each builds its
+//! own initial file, alternates over its own pair of intermediates, and
+//! never touches shared mutable state. [`BatchEvaluator`] exploits that
+//! independence, fanning N parse trees out over a fixed pool of
+//! `std::thread` workers.
+//!
+//! Per-job isolation is structural, not locked-in: every call to
+//! [`evaluate`] constructs its own intermediate store (a fresh
+//! [`TempAptDir`](crate::aptfile::TempAptDir) on disk, or a private set
+//! of [`MemFile`](crate::aptfile::MemFile) buffers in RAM), so two jobs
+//! can never observe each other's boundary files. The shared inputs —
+//! the [`Analysis`] and the [`Funcs`] registry — are read-only and
+//! `Sync`, crossed by reference via `std::thread::scope`.
+//!
+//! Results come back in input order together with a [`BatchStats`]
+//! aggregate: per-pass I/O and rule counts summed across jobs (pass *k*
+//! of every job contributes to slot *k*), plus wall time and jobs/sec
+//! for throughput experiments.
+
+use crate::funcs::Funcs;
+use crate::machine::{evaluate, EvalError, EvalOptions, Evaluation, PassStats};
+use crate::tree::PTree;
+use linguist_ag::analysis::Analysis;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Aggregated measurements over one batch run.
+#[derive(Clone, Debug, Default)]
+pub struct BatchStats {
+    /// Number of trees submitted.
+    pub jobs: usize,
+    /// Number of jobs that returned an error.
+    pub failed: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Pass-by-pass totals: slot *k* sums pass *k* of every successful
+    /// job (durations sum CPU-side pass time across workers, so they can
+    /// exceed wall time).
+    pub per_pass: Vec<PassStats>,
+    /// Total bytes moved through intermediate files, all jobs.
+    pub total_io_bytes: u64,
+    /// Total semantic functions evaluated, all jobs.
+    pub total_rules: u64,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+}
+
+impl BatchStats {
+    /// Completed jobs (successful or not) per wall-clock second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.jobs as f64 / self.wall.as_secs_f64()
+    }
+
+    fn absorb(&mut self, stats: &crate::machine::EvalStats) {
+        if self.per_pass.len() < stats.passes.len() {
+            self.per_pass.resize_with(stats.passes.len(), PassStats::default);
+        }
+        for (slot, pass) in self.per_pass.iter_mut().zip(&stats.passes) {
+            slot.duration += pass.duration;
+            slot.bytes_read += pass.bytes_read;
+            slot.bytes_written += pass.bytes_written;
+            slot.records_read += pass.records_read;
+            slot.records_written += pass.records_written;
+            slot.rules_evaluated += pass.rules_evaluated;
+        }
+        self.total_io_bytes += stats.total_io_bytes();
+        self.total_rules += stats.total_rules();
+    }
+}
+
+/// The result of [`BatchEvaluator::run`].
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One result per input tree, in input order.
+    pub results: Vec<Result<Evaluation, EvalError>>,
+    /// Aggregate measurements.
+    pub stats: BatchStats,
+}
+
+impl BatchOutcome {
+    /// Iterate over the successful evaluations, in input order.
+    pub fn successes(&self) -> impl Iterator<Item = &Evaluation> {
+        self.results.iter().filter_map(|r| r.as_ref().ok())
+    }
+}
+
+/// Evaluates batches of parse trees concurrently on a fixed thread pool.
+///
+/// # Example
+///
+/// ```no_run
+/// use linguist_eval::batch::BatchEvaluator;
+/// # fn demo(analysis: &linguist_ag::analysis::Analysis,
+/// #         funcs: &linguist_eval::funcs::Funcs,
+/// #         trees: Vec<linguist_eval::tree::PTree>) {
+/// let batch = BatchEvaluator::new(4);
+/// let outcome = batch.run(analysis, funcs, &trees);
+/// println!("{:.1} jobs/sec", outcome.stats.jobs_per_sec());
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct BatchEvaluator {
+    workers: usize,
+    opts: EvalOptions,
+}
+
+impl BatchEvaluator {
+    /// A pool of `workers` threads with default [`EvalOptions`].
+    /// `workers` is clamped to at least 1.
+    pub fn new(workers: usize) -> BatchEvaluator {
+        BatchEvaluator::with_options(workers, EvalOptions::default())
+    }
+
+    /// A pool of `workers` threads evaluating with `opts`.
+    pub fn with_options(workers: usize, opts: EvalOptions) -> BatchEvaluator {
+        BatchEvaluator {
+            workers: workers.max(1),
+            opts,
+        }
+    }
+
+    /// Configured pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The options each job evaluates with.
+    pub fn options(&self) -> &EvalOptions {
+        &self.opts
+    }
+
+    /// Evaluate every tree in `trees` against the same analysis and
+    /// function registry, in parallel, returning per-job results in
+    /// input order plus aggregate [`BatchStats`].
+    ///
+    /// A job that fails records its [`EvalError`] in its result slot and
+    /// in `stats.failed`; it never aborts the rest of the batch.
+    pub fn run(&self, analysis: &Analysis, funcs: &Funcs, trees: &[PTree]) -> BatchOutcome {
+        let started = Instant::now();
+        let n = trees.len();
+        let pool = self.workers.min(n.max(1));
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Result<Evaluation, EvalError>)>();
+
+        std::thread::scope(|scope| {
+            for _ in 0..pool {
+                let tx = tx.clone();
+                let next = &next;
+                let opts = self.opts;
+                scope.spawn(move || {
+                    // Workers claim the next unstarted tree until the
+                    // batch is drained — natural load balancing when
+                    // tree sizes vary.
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let result = evaluate(analysis, funcs, &trees[i], &opts);
+                        if tx.send((i, result)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut slots: Vec<Option<Result<Evaluation, EvalError>>> =
+                (0..n).map(|_| None).collect();
+            for (i, result) in rx {
+                slots[i] = Some(result);
+            }
+
+            let mut stats = BatchStats {
+                jobs: n,
+                workers: pool,
+                ..BatchStats::default()
+            };
+            let results: Vec<Result<Evaluation, EvalError>> = slots
+                .into_iter()
+                .map(|slot| slot.expect("every job reports exactly once"))
+                .collect();
+            for r in &results {
+                match r {
+                    Ok(eval) => stats.absorb(&eval.stats),
+                    Err(_) => stats.failed += 1,
+                }
+            }
+            stats.wall = started.elapsed();
+            BatchOutcome { results, stats }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    // The tentpole invariant, enforced at compile time: everything a
+    // worker thread touches must cross the scope boundary.
+    #[test]
+    fn shared_evaluation_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Analysis>();
+        assert_send_sync::<Funcs>();
+        assert_send_sync::<PTree>();
+        assert_send_sync::<Value>();
+        assert_send_sync::<Evaluation>();
+        assert_send_sync::<EvalError>();
+        assert_send_sync::<BatchStats>();
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(BatchEvaluator::new(0).workers(), 1);
+        assert_eq!(BatchEvaluator::new(8).workers(), 8);
+    }
+
+    fn leaf_sum_analysis() -> (Analysis, linguist_ag::ids::SymbolId, linguist_ag::ids::AttrId) {
+        use linguist_ag::analysis::Config;
+        use linguist_ag::expr::{BinOp, Expr};
+        use linguist_ag::grammar::AgBuilder;
+        use linguist_ag::ids::AttrOcc;
+
+        // S -> S x | x, S.V = sum of the leaves' OBJ values.
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let v = b.synthesized(s, "V", "int");
+        let x = b.terminal("x");
+        let obj = b.intrinsic(x, "OBJ", "int");
+        let p0 = b.production(s, vec![s, x], None);
+        b.rule(
+            p0,
+            vec![AttrOcc::lhs(v)],
+            Expr::binop(
+                BinOp::Add,
+                Expr::Occ(AttrOcc::rhs(0, v)),
+                Expr::Occ(AttrOcc::rhs(1, obj)),
+            ),
+        );
+        let p1 = b.production(s, vec![x], None);
+        b.rule(p1, vec![AttrOcc::lhs(v)], Expr::Occ(AttrOcc::rhs(0, obj)));
+        b.start(s);
+        let analysis = Analysis::run(b.build().unwrap(), &Config::default()).unwrap();
+        (analysis, x, obj)
+    }
+
+    fn chain_tree(
+        x: linguist_ag::ids::SymbolId,
+        obj: linguist_ag::ids::AttrId,
+        leaves: i64,
+    ) -> PTree {
+        use linguist_ag::ids::ProdId;
+        let leaf = |n| PTree::leaf(x, vec![(obj, Value::Int(n))]);
+        let mut t = PTree::node(ProdId(1), vec![leaf(1)]);
+        for n in 2..=leaves {
+            t = PTree::node(ProdId(0), vec![t, leaf(n)]);
+        }
+        t
+    }
+
+    #[test]
+    fn empty_batch_returns_empty_outcome() {
+        let (analysis, _, _) = leaf_sum_analysis();
+        let batch = BatchEvaluator::new(4);
+        let outcome = batch.run(&analysis, &Funcs::standard(), &[]);
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.stats.jobs, 0);
+        assert_eq!(outcome.stats.failed, 0);
+        assert_eq!(outcome.stats.jobs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn batch_matches_sequential_on_leaf_sums() {
+        let (analysis, x, obj) = leaf_sum_analysis();
+        let funcs = Funcs::standard();
+        let trees: Vec<PTree> = (1..=12).map(|n| chain_tree(x, obj, n)).collect();
+
+        let outcome = BatchEvaluator::new(4).run(&analysis, &funcs, &trees);
+        assert_eq!(outcome.stats.jobs, 12);
+        assert_eq!(outcome.stats.failed, 0);
+        for (n, result) in (1i64..=12).zip(&outcome.results) {
+            let eval = result.as_ref().expect("job succeeds");
+            let seq = evaluate(&analysis, &funcs, &chain_tree(x, obj, n), &EvalOptions::default())
+                .expect("sequential succeeds");
+            assert_eq!(eval.outputs, seq.outputs, "job for {n} leaves diverged");
+            assert_eq!(
+                eval.output(&analysis, "V"),
+                Some(&Value::Int(n * (n + 1) / 2))
+            );
+        }
+    }
+
+    #[test]
+    fn stats_sum_per_job_stats() {
+        let (analysis, x, obj) = leaf_sum_analysis();
+        let funcs = Funcs::standard();
+        let trees: Vec<PTree> = (1..=8).map(|n| chain_tree(x, obj, n)).collect();
+
+        let outcome = BatchEvaluator::new(3).run(&analysis, &funcs, &trees);
+        let (mut io, mut rules) = (0u64, 0u64);
+        for eval in outcome.successes() {
+            io += eval.stats.total_io_bytes();
+            rules += eval.stats.total_rules();
+        }
+        assert_eq!(outcome.stats.total_io_bytes, io);
+        assert_eq!(outcome.stats.total_rules, rules);
+        let per_pass_rules: u64 = outcome.stats.per_pass.iter().map(|p| p.rules_evaluated).sum();
+        assert_eq!(per_pass_rules, rules);
+    }
+}

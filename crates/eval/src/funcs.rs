@@ -15,7 +15,7 @@ use crate::value::Value;
 use linguist_support::list::List;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Error raised by a semantic-function evaluation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -66,7 +66,10 @@ impl fmt::Display for FuncError {
 impl std::error::Error for FuncError {}
 
 /// Signature of a registered external function.
-pub type ExternalFn = Rc<dyn Fn(&[Value]) -> Result<Value, FuncError>>;
+///
+/// `Send + Sync` so a registry can be shared by reference across the
+/// batch evaluator's worker threads.
+pub type ExternalFn = Arc<dyn Fn(&[Value]) -> Result<Value, FuncError> + Send + Sync>;
 
 /// The function registry.
 #[derive(Clone, Default)]
@@ -382,9 +385,9 @@ impl Funcs {
     pub fn register(
         &mut self,
         name: &str,
-        f: impl Fn(&[Value]) -> Result<Value, FuncError> + 'static,
+        f: impl Fn(&[Value]) -> Result<Value, FuncError> + Send + Sync + 'static,
     ) {
-        self.map.insert(name.to_ascii_lowercase(), Rc::new(f));
+        self.map.insert(name.to_ascii_lowercase(), Arc::new(f));
     }
 
     /// Look up by name (case-insensitive).

@@ -18,6 +18,8 @@
 //!   initial file (bottom-up/shift-reduce and prefix emission).
 //! * [`machine`] — the interpreter, including the static-subsumption
 //!   global-variable protocol with online verification.
+//! * [`batch`] — parallel evaluation of many independent trees on a
+//!   fixed pool of worker threads, with aggregate throughput stats.
 //!
 //! # Example
 //!
@@ -59,12 +61,14 @@
 //! ```
 
 pub mod aptfile;
+pub mod batch;
 pub mod funcs;
 pub mod machine;
 pub mod tree;
 pub mod value;
 
 pub use aptfile::{AptError, AptReader, AptWriter, ReadDir, Record, RecordBody, TempAptDir};
+pub use batch::{BatchEvaluator, BatchOutcome, BatchStats};
 pub use funcs::{FuncError, Funcs};
 pub use machine::{evaluate, Backing, EvalError, EvalOptions, EvalStats, Evaluation, PassStats, Strategy};
 pub use tree::{PTree, TreeError};

@@ -852,25 +852,29 @@ impl<'a> Machine<'a> {
 
 /// Per-evaluation intermediate storage: a temp directory of real files
 /// (the paper) or a set of RAM buffers (the "virtual memory" ablation).
+/// Each evaluation builds its own `Store`, so jobs running on different
+/// batch-evaluator threads never share intermediate state; the mutex
+/// only makes the sharing *within* one evaluation `Send`.
 enum Store {
     Disk(TempAptDir),
-    Memory(std::cell::RefCell<HashMap<u16, MemFile>>),
+    Memory(std::sync::Mutex<HashMap<u16, MemFile>>),
 }
 
 impl Store {
     fn new(backing: Backing) -> Result<Store, AptError> {
         Ok(match backing {
             Backing::Disk => Store::Disk(TempAptDir::new()?),
-            Backing::Memory => Store::Memory(std::cell::RefCell::new(HashMap::new())),
+            Backing::Memory => Store::Memory(std::sync::Mutex::new(HashMap::new())),
         })
     }
 
     fn buffer(&self, k: u16) -> MemFile {
         match self {
             Store::Memory(m) => m
-                .borrow_mut()
+                .lock()
+                .expect("store poisoned")
                 .entry(k)
-                .or_insert_with(|| std::rc::Rc::new(std::cell::RefCell::new(Vec::new())))
+                .or_insert_with(|| std::sync::Arc::new(std::sync::Mutex::new(Vec::new())))
                 .clone(),
             Store::Disk(_) => unreachable!("buffer() is memory-only"),
         }

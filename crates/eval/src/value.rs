@@ -17,7 +17,7 @@ use linguist_support::list::List;
 use linguist_support::pfunc::PartialFn;
 use linguist_support::set::LSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A run-time attribute value.
 #[derive(Clone, Debug)]
@@ -28,8 +28,8 @@ pub enum Value {
     Bool(bool),
     /// Interned identifier (name-table index).
     Sym(Name),
-    /// String (shared).
-    Str(Rc<str>),
+    /// String (shared; atomically counted so values can cross threads).
+    Str(Arc<str>),
     /// Sequence.
     List(List<Value>),
     /// Set.
@@ -41,7 +41,7 @@ pub enum Value {
 impl Value {
     /// String value helper.
     pub fn str(s: &str) -> Value {
-        Value::Str(Rc::from(s))
+        Value::Str(Arc::from(s))
     }
 
     /// The empty list.

@@ -100,16 +100,34 @@ fn both_strategies_agree() {
 
 #[test]
 fn strategy_mismatch_is_rejected() {
-    let analysis = Analysis::run(sum_grammar(), &config(Direction::RightToLeft)).unwrap();
-    let tree = chain_tree(&analysis.grammar, &[1]);
-    let err = evaluate(
-        &analysis,
-        &Funcs::standard(),
-        &tree,
-        &options(Strategy::Prefix),
-    )
-    .unwrap_err();
-    assert!(err.to_string().contains("incompatible"));
+    // Regression guard: every incompatible (strategy, first-direction)
+    // pairing must come back as a descriptive StrategyMismatch error —
+    // never a panic, and never a silent wrong-direction evaluation.
+    use linguist_eval::machine::EvalError;
+    for (first, strategy) in [
+        (Direction::RightToLeft, Strategy::Prefix),
+        (Direction::LeftToRight, Strategy::BottomUp),
+    ] {
+        let analysis = Analysis::run(sum_grammar(), &config(first)).unwrap();
+        let tree = chain_tree(&analysis.grammar, &[1]);
+        let err = evaluate(&analysis, &Funcs::standard(), &tree, &options(strategy)).unwrap_err();
+        match &err {
+            EvalError::StrategyMismatch {
+                strategy: s,
+                first_direction,
+            } => {
+                assert_eq!(*s, strategy);
+                assert_eq!(*first_direction, first);
+            }
+            other => panic!("expected StrategyMismatch, got {:?}", other),
+        }
+        let msg = err.to_string();
+        assert!(
+            msg.contains("incompatible") && msg.contains(&format!("{:?}", strategy)),
+            "message should name the offending strategy: {}",
+            msg
+        );
+    }
 }
 
 /// Two-pass grammar: left sibling's inherited comes from the right

@@ -1,7 +1,7 @@
 //! The `linguist` command: the translator-writing system as a CLI.
 //!
 //! ```text
-//! linguist GRAMMAR.lg [options]
+//! linguist GRAMMAR.lg [GRAMMAR2.lg ...] [options]
 //!
 //!   --listing            print the overlay-6 listing file
 //!   --stats              print the §IV statistics block (default)
@@ -10,7 +10,14 @@
 //!   --first-pass rl|lr   bootstrap strategy (default rl, like the paper)
 //!   --no-subsumption     disable static subsumption
 //!   --coalesce           use the cross-name coalescing extension
+//!   --batch              process the grammars as a parallel batch
+//!   --jobs N             worker threads for --batch (default: all cores)
 //! ```
+//!
+//! With one grammar and no `--batch`, runs the classic single-grammar
+//! pipeline. With `--batch` (or several grammars), every grammar goes
+//! through the seven-overlay pipeline on a worker pool and a summary
+//! throughput line is printed after the per-grammar reports.
 //!
 //! Exit status: 0 on success, 1 on any syntax/semantic/analysis error
 //! (reported the way the failing overlay saw it).
@@ -18,11 +25,11 @@
 use linguist_ag::analysis::Config;
 use linguist_ag::passes::{Direction, PassConfig};
 use linguist_ag::subsumption::GroupMode;
-use linguist_frontend::driver::{run, DriverOptions, TargetOpt};
+use linguist_frontend::driver::{run, run_batch, DriverOptions, DriverOutput, TargetOpt};
 use std::process::ExitCode;
 
 struct Cli {
-    path: String,
+    paths: Vec<String>,
     listing: bool,
     stats: bool,
     timings: bool,
@@ -30,19 +37,22 @@ struct Cli {
     first: Direction,
     no_subsumption: bool,
     coalesce: bool,
+    batch: bool,
+    jobs: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: linguist GRAMMAR.lg [--listing] [--stats] [--timings] \
-         [--emit pascal|rust] [--first-pass rl|lr] [--no-subsumption] [--coalesce]"
+        "usage: linguist GRAMMAR.lg [GRAMMAR2.lg ...] [--listing] [--stats] [--timings] \
+         [--emit pascal|rust] [--first-pass rl|lr] [--no-subsumption] [--coalesce] \
+         [--batch] [--jobs N]"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Cli {
     let mut cli = Cli {
-        path: String::new(),
+        paths: Vec::new(),
         listing: false,
         stats: false,
         timings: false,
@@ -50,6 +60,8 @@ fn parse_args() -> Cli {
         first: Direction::RightToLeft,
         no_subsumption: false,
         coalesce: false,
+        batch: false,
+        jobs: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -59,6 +71,11 @@ fn parse_args() -> Cli {
             "--timings" => cli.timings = true,
             "--no-subsumption" => cli.no_subsumption = true,
             "--coalesce" => cli.coalesce = true,
+            "--batch" => cli.batch = true,
+            "--jobs" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cli.jobs = Some(n),
+                _ => usage(),
+            },
             "--emit" => match args.next().as_deref() {
                 Some("pascal") => cli.emit = Some(TargetOpt::Pascal),
                 Some("rust") => cli.emit = Some(TargetOpt::Rust),
@@ -70,12 +87,15 @@ fn parse_args() -> Cli {
                 _ => usage(),
             },
             "--help" | "-h" => usage(),
-            _ if cli.path.is_empty() && !a.starts_with('-') => cli.path = a,
+            _ if !a.starts_with('-') => cli.paths.push(a),
             _ => usage(),
         }
     }
-    if cli.path.is_empty() {
+    if cli.paths.is_empty() {
         usage();
+    }
+    if cli.paths.len() > 1 {
+        cli.batch = true;
     }
     if !cli.listing && !cli.timings && cli.emit.is_none() {
         cli.stats = true;
@@ -83,39 +103,10 @@ fn parse_args() -> Cli {
     cli
 }
 
-fn main() -> ExitCode {
-    let cli = parse_args();
-    let source = match std::fs::read_to_string(&cli.path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("linguist: cannot read {}: {}", cli.path, e);
-            return ExitCode::FAILURE;
-        }
-    };
-    let opts = DriverOptions {
-        config: Config {
-            pass: PassConfig {
-                first_direction: cli.first,
-                max_passes: 32,
-            },
-            disable_subsumption: cli.no_subsumption,
-            group_mode: if cli.coalesce {
-                GroupMode::CoalesceCopies
-            } else {
-                GroupMode::SameName
-            },
-            ..Config::default()
-        },
-        target: cli.emit,
-    };
-    let out = match run(&source, &opts) {
-        Ok(out) => out,
-        Err(e) => {
-            eprintln!("linguist: {}: {}", cli.path, e);
-            return ExitCode::FAILURE;
-        }
-    };
-
+fn report(cli: &Cli, path: &str, out: &DriverOutput, heading: bool) {
+    if heading {
+        println!("== {} ==", path);
+    }
     if cli.stats {
         println!("{}", out.stats);
         let sub = out.analysis.subsumption.stats(&out.analysis.grammar);
@@ -133,5 +124,75 @@ fn main() -> ExitCode {
     if cli.emit.is_some() {
         print!("{}", out.generated.full_source());
     }
-    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let cli = parse_args();
+    let mut sources = Vec::with_capacity(cli.paths.len());
+    for path in &cli.paths {
+        match std::fs::read_to_string(path) {
+            Ok(s) => sources.push(s),
+            Err(e) => {
+                eprintln!("linguist: cannot read {}: {}", path, e);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let opts = DriverOptions {
+        config: Config {
+            pass: PassConfig {
+                first_direction: cli.first,
+                max_passes: 32,
+            },
+            disable_subsumption: cli.no_subsumption,
+            group_mode: if cli.coalesce {
+                GroupMode::CoalesceCopies
+            } else {
+                GroupMode::SameName
+            },
+            ..Config::default()
+        },
+        target: cli.emit,
+    };
+
+    if !cli.batch {
+        let out = match run(&sources[0], &opts) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("linguist: {}: {}", cli.paths[0], e);
+                return ExitCode::FAILURE;
+            }
+        };
+        report(&cli, &cli.paths[0], &out, false);
+        return ExitCode::SUCCESS;
+    }
+
+    let workers = cli.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    });
+    let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let (results, stats) = run_batch(&refs, &opts, workers);
+    let mut ok = true;
+    for (path, result) in cli.paths.iter().zip(&results) {
+        match result {
+            Ok(out) => report(&cli, path, out, true),
+            Err(e) => {
+                ok = false;
+                eprintln!("linguist: {}: {}", path, e);
+            }
+        }
+    }
+    println!(
+        "batch: {} grammar(s), {} failed, {} worker(s), {:?} wall, {:.1} grammars/sec",
+        stats.jobs,
+        stats.failed,
+        stats.workers,
+        stats.wall,
+        stats.jobs_per_sec()
+    );
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

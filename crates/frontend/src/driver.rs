@@ -285,3 +285,91 @@ pub fn run(source: &str, opts: &DriverOptions) -> Result<DriverOutput, DriverErr
         source_lines: source.lines().count(),
     })
 }
+
+/// Aggregate measurements of a [`run_batch`] call.
+#[derive(Clone, Debug, Default)]
+pub struct BatchRunStats {
+    /// Grammars submitted.
+    pub jobs: usize,
+    /// Grammars rejected by some overlay.
+    pub failed: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Total source lines across successful runs.
+    pub source_lines: usize,
+}
+
+impl BatchRunStats {
+    /// Grammars processed per wall-clock second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.jobs as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// Run the seven-overlay pipeline over many independent grammar sources
+/// in parallel on `workers` threads (clamped to at least 1).
+///
+/// Each source gets the full [`run`] treatment with its own overlay
+/// timings; results come back in input order. A source that fails keeps
+/// its [`DriverError`] in its slot without disturbing the others — batch
+/// compilation of a broken file set still reports every diagnostic.
+pub fn run_batch(
+    sources: &[&str],
+    opts: &DriverOptions,
+    workers: usize,
+) -> (Vec<Result<DriverOutput, DriverError>>, BatchRunStats) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    let started = Instant::now();
+    let n = sources.len();
+    let pool = workers.max(1).min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Result<DriverOutput, DriverError>)>();
+
+    let results = std::thread::scope(|scope| {
+        for _ in 0..pool {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, run(sources[i], opts))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        let mut slots: Vec<Option<Result<DriverOutput, DriverError>>> =
+            (0..n).map(|_| None).collect();
+        for (i, result) in rx {
+            slots[i] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every source reports exactly once"))
+            .collect::<Vec<_>>()
+    });
+
+    let mut stats = BatchRunStats {
+        jobs: n,
+        workers: pool,
+        wall: started.elapsed(),
+        ..BatchRunStats::default()
+    };
+    for r in &results {
+        match r {
+            Ok(out) => stats.source_lines += out.source_lines,
+            Err(_) => stats.failed += 1,
+        }
+    }
+    (results, stats)
+}

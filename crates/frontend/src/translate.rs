@@ -17,6 +17,7 @@
 use linguist_ag::analysis::Analysis;
 use linguist_ag::grammar::{AttrClass, Grammar, SymbolKind};
 use linguist_ag::ids::{AttrId, ProdId, SymbolId};
+use linguist_eval::batch::{BatchEvaluator, BatchStats};
 use linguist_eval::funcs::Funcs;
 use linguist_eval::machine::{evaluate, EvalOptions, Evaluation};
 use linguist_eval::tree::PTree;
@@ -317,6 +318,59 @@ impl Translator {
         let mut names = NameTable::new();
         let tree = self.parse_input(input, &standard_intrinsics, &mut names)?;
         Ok(evaluate(&self.analysis, funcs, &tree, opts)?)
+    }
+
+    /// Scan, parse, and evaluate many inputs, evaluating in parallel on
+    /// `workers` threads.
+    ///
+    /// Parsing stays sequential (the scanner tables are cheap to walk and
+    /// each input gets a fresh [`NameTable`]); the evaluation — where the
+    /// passes, the semantic functions, and all the intermediate-file I/O
+    /// happen — is fanned out through a
+    /// [`BatchEvaluator`](linguist_eval::batch::BatchEvaluator). Inputs
+    /// that fail to scan or parse report their error in their own result
+    /// slot and never reach the pool.
+    ///
+    /// Results are in input order. The returned [`BatchStats`] counts
+    /// only the jobs submitted to the evaluator (scan/parse failures are
+    /// excluded from `jobs`).
+    pub fn translate_batch(
+        &self,
+        inputs: &[&str],
+        funcs: &Funcs,
+        opts: &EvalOptions,
+        workers: usize,
+    ) -> (Vec<Result<Evaluation, TranslateError>>, BatchStats) {
+        // Parse phase: collect trees, remembering which input each
+        // surviving tree came from.
+        let mut results: Vec<Option<Result<Evaluation, TranslateError>>> =
+            (0..inputs.len()).map(|_| None).collect();
+        let mut trees = Vec::new();
+        let mut origins = Vec::new();
+        for (i, input) in inputs.iter().enumerate() {
+            let mut names = NameTable::new();
+            match self.parse_input(input, &standard_intrinsics, &mut names) {
+                Ok(tree) => {
+                    trees.push(tree);
+                    origins.push(i);
+                }
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+
+        // Evaluation phase: the parallel part.
+        let batch = BatchEvaluator::with_options(workers, *opts);
+        let outcome = batch.run(&self.analysis, funcs, &trees);
+        for (origin, result) in origins.into_iter().zip(outcome.results) {
+            results[origin] = Some(result.map_err(TranslateError::Eval));
+        }
+        (
+            results
+                .into_iter()
+                .map(|slot| slot.expect("every input resolved"))
+                .collect(),
+            outcome.stats,
+        )
     }
 
     /// Parser-state count (reported by examples).

@@ -3,10 +3,12 @@
 //! The paper stores "the linked lists that represent sets, sequences, and
 //! partial functions" in its dynamic-data area. Semantic functions are pure,
 //! so list values must be shareable without copying: a classic persistent
-//! cons list with `Rc`-shared tails (`cons` is O(1) and never mutates).
+//! cons list with `Arc`-shared tails (`cons` is O(1) and never mutates).
+//! Atomic reference counts make lists `Send + Sync`, so evaluator values
+//! built on them can cross threads in the parallel batch driver.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A persistent singly linked list.
 ///
@@ -23,7 +25,7 @@ use std::rc::Rc;
 /// assert_eq!(xs.head(), Some(&1));
 /// ```
 pub struct List<T> {
-    node: Option<Rc<Node<T>>>,
+    node: Option<Arc<Node<T>>>,
 }
 
 struct Node<T> {
@@ -40,7 +42,7 @@ impl<T> List<T> {
     /// Prepend `value`, sharing `self` as the tail.
     pub fn cons(&self, value: T) -> List<T> {
         List {
-            node: Some(Rc::new(Node {
+            node: Some(Arc::new(Node {
                 head: value,
                 tail: self.clone(),
             })),
@@ -77,7 +79,7 @@ impl<T> List<T> {
     pub fn same_spine(&self, other: &List<T>) -> bool {
         match (&self.node, &other.node) {
             (None, None) => true,
-            (Some(a), Some(b)) => Rc::ptr_eq(a, b),
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
             _ => false,
         }
     }
@@ -178,7 +180,7 @@ impl<T> Drop for List<T> {
     fn drop(&mut self) {
         let mut next = self.node.take();
         while let Some(rc) = next {
-            match Rc::try_unwrap(rc) {
+            match Arc::try_unwrap(rc) {
                 Ok(mut node) => next = node.tail.node.take(),
                 Err(_) => break,
             }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Pre-PR gate: everything a reviewer's machine will run, fully offline.
+#
+#   scripts/verify.sh
+#
+# Steps (all must pass):
+#   1. release build of the whole workspace
+#   2. tier-1 test suite (root package integration tests)
+#   3. full workspace test suite (every crate + vendored shims)
+#   4. clippy, warnings denied
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo test --workspace -q =="
+cargo test --workspace -q
+
+echo "== cargo clippy --workspace -q -- -D warnings =="
+cargo clippy --workspace -q -- -D warnings
+
+echo "verify: all green"

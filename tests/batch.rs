@@ -1,0 +1,175 @@
+//! Concurrency stress tests for the parallel batch evaluator.
+//!
+//! Runs the bundled calculator and block-language translators over
+//! dozens of inputs on a many-thread pool and checks the two batch
+//! invariants the subsystem promises:
+//!
+//! 1. **Determinism** — every job's outputs are byte-identical to the
+//!    same tree evaluated sequentially (same values, same encoding).
+//! 2. **Accounting** — the aggregated [`BatchStats`] equal the sum of
+//!    the per-job [`EvalStats`] that produced them.
+
+use linguist86::eval::batch::BatchEvaluator;
+use linguist86::eval::machine::{evaluate, Backing, EvalOptions};
+use linguist86::eval::tree::PTree;
+use linguist86::eval::value::Value;
+use linguist86::frontend::translate::standard_intrinsics;
+use linguist86::frontend::Translator;
+use linguist86::grammars::{analyze, block_program, block_scanner, block_source, calc_scanner, calc_source};
+use linguist_support::intern::NameTable;
+
+const WORKERS: usize = 8;
+const JOBS: usize = 50;
+
+fn calc_translator() -> Translator {
+    let analysis = analyze(calc_source()).unwrap().analysis;
+    Translator::new(analysis, calc_scanner()).unwrap()
+}
+
+fn block_translator() -> Translator {
+    let analysis = analyze(block_source()).unwrap().analysis;
+    Translator::new(analysis, block_scanner()).unwrap()
+}
+
+/// A distinct calculator expression per job index.
+fn calc_input(i: usize) -> String {
+    format!(
+        "{} + {} * ({} + {}) - {}",
+        i,
+        (i % 7) + 1,
+        (i % 11) + 2,
+        (i % 5) + 3,
+        i % 13
+    )
+}
+
+/// Stable byte encoding of an evaluation's root outputs.
+fn encoded_outputs(outputs: &[(linguist_ag::ids::AttrId, Value)]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for (a, v) in outputs {
+        bytes.extend_from_slice(&a.0.to_le_bytes());
+        v.encode(&mut bytes);
+    }
+    bytes
+}
+
+fn parse_all(tr: &Translator, inputs: &[String]) -> Vec<PTree> {
+    inputs
+        .iter()
+        .map(|src| {
+            let mut names = NameTable::new();
+            tr.parse_input(src, &standard_intrinsics, &mut names)
+                .expect("bundled grammar parses its own inputs")
+        })
+        .collect()
+}
+
+fn stress(tr: &Translator, trees: &[PTree], opts: &EvalOptions) {
+    let funcs = linguist86::eval::Funcs::standard();
+    let outcome = BatchEvaluator::with_options(WORKERS, *opts).run(&tr.analysis, &funcs, trees);
+
+    assert_eq!(outcome.stats.jobs, trees.len());
+    assert_eq!(outcome.stats.failed, 0, "no job may fail");
+    assert_eq!(outcome.stats.workers, WORKERS.min(trees.len()));
+
+    // Determinism: byte-identical to sequential evaluation, per job.
+    let (mut io_sum, mut rules_sum) = (0u64, 0u64);
+    let mut pass_rules: Vec<u64> = Vec::new();
+    for (tree, result) in trees.iter().zip(&outcome.results) {
+        let batch_eval = result.as_ref().expect("job succeeded");
+        let seq_eval = evaluate(&tr.analysis, &funcs, tree, opts).unwrap();
+        assert_eq!(
+            encoded_outputs(&batch_eval.outputs),
+            encoded_outputs(&seq_eval.outputs),
+            "parallel evaluation diverged from sequential"
+        );
+        io_sum += batch_eval.stats.total_io_bytes();
+        rules_sum += batch_eval.stats.total_rules();
+        for (k, p) in batch_eval.stats.passes.iter().enumerate() {
+            if pass_rules.len() <= k {
+                pass_rules.push(0);
+            }
+            pass_rules[k] += p.rules_evaluated;
+        }
+    }
+
+    // Accounting: batch totals are exactly the per-job sums.
+    assert_eq!(outcome.stats.total_io_bytes, io_sum);
+    assert_eq!(outcome.stats.total_rules, rules_sum);
+    assert_eq!(outcome.stats.per_pass.len(), pass_rules.len());
+    for (slot, expected) in outcome.stats.per_pass.iter().zip(&pass_rules) {
+        assert_eq!(slot.rules_evaluated, *expected);
+    }
+    assert!(outcome.stats.wall.as_nanos() > 0);
+}
+
+#[test]
+fn calc_batch_matches_sequential_on_disk() {
+    let tr = calc_translator();
+    let inputs: Vec<String> = (0..JOBS).map(calc_input).collect();
+    let trees = parse_all(&tr, &inputs);
+    stress(&tr, &trees, &EvalOptions::default());
+}
+
+#[test]
+fn calc_batch_matches_sequential_in_memory() {
+    let tr = calc_translator();
+    let inputs: Vec<String> = (0..JOBS).map(calc_input).collect();
+    let trees = parse_all(&tr, &inputs);
+    stress(
+        &tr,
+        &trees,
+        &EvalOptions {
+            backing: Backing::Memory,
+            ..EvalOptions::default()
+        },
+    );
+}
+
+#[test]
+fn block_batch_matches_sequential() {
+    let tr = block_translator();
+    let inputs: Vec<String> = (0..JOBS)
+        .map(|i| block_program((i % 4) + 1, (i % 3) + 1))
+        .collect();
+    let trees = parse_all(&tr, &inputs);
+    stress(&tr, &trees, &EvalOptions::default());
+}
+
+#[test]
+fn translate_batch_end_to_end() {
+    // The frontend wrapper: raw source strings in, ordered results out.
+    let tr = calc_translator();
+    let inputs: Vec<String> = (0..20).map(calc_input).collect();
+    let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+    let funcs = linguist86::eval::Funcs::standard();
+    let opts = EvalOptions::default();
+
+    let (results, stats) = tr.translate_batch(&refs, &funcs, &opts, 4);
+    assert_eq!(results.len(), inputs.len());
+    assert_eq!(stats.jobs, inputs.len());
+    assert_eq!(stats.failed, 0);
+    for (src, result) in inputs.iter().zip(&results) {
+        let batch_eval = result.as_ref().expect("calc input translates");
+        let seq_eval = tr.translate(src, &funcs, &opts).unwrap();
+        assert_eq!(
+            encoded_outputs(&batch_eval.outputs),
+            encoded_outputs(&seq_eval.outputs)
+        );
+    }
+}
+
+#[test]
+fn translate_batch_isolates_bad_inputs() {
+    let tr = calc_translator();
+    let funcs = linguist86::eval::Funcs::standard();
+    let opts = EvalOptions::default();
+    let inputs = ["1 + 2", "3 + + )", "4 * 5"];
+    let (results, stats) = tr.translate_batch(&inputs, &funcs, &opts, 2);
+    assert!(results[0].is_ok());
+    assert!(results[1].is_err(), "the broken input fails alone");
+    assert!(results[2].is_ok());
+    // Only the parses that survived were submitted as evaluation jobs.
+    assert_eq!(stats.jobs, 2);
+    assert_eq!(stats.failed, 0);
+}

@@ -1,0 +1,194 @@
+//! Offline shim of the `criterion` benchmarking harness.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's
+//! benches use. Each benchmark runs `sample_size` samples (one
+//! timed batch per sample, batch size chosen so a sample takes a
+//! measurable slice of `measurement_time`) and reports the median
+//! per-iteration time. No plotting, no statistics beyond the median —
+//! enough to eyeball regressions offline.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness state and configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget spread across the samples.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { criterion: self }
+    }
+
+    /// A single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        run_bench(name, self.sample_size, self.measurement_time, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing the harness configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a closure parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(
+            &id.label,
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Benchmark a plain closure under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(
+            name,
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// End the group (upstream finalizes reports here; the shim prints as it goes).
+    pub fn finish(self) {}
+}
+
+/// A benchmark's display identifier: `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("forward", 100)` displays as `forward/100`.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the workload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` `self.iters` times and record the total wall time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, budget: Duration, mut f: F) {
+    // Calibrate: grow the batch until one batch takes ~budget/samples.
+    let target = budget.div_duration_f64(Duration::from_secs(1)) / samples as f64;
+    let mut iters = 1u64;
+    let mut per_iter;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        if b.elapsed.as_secs_f64() >= target.min(0.05) || iters >= 1 << 30 {
+            break;
+        }
+        iters *= 2;
+    }
+
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = times[times.len() / 2];
+    let _ = per_iter;
+    println!(
+        "  {name:<28} median {:>12} ({} samples x {} iters)",
+        format_time(median),
+        samples,
+        iters
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.2} s", secs)
+    }
+}
+
+/// Declare a benchmark group, with or without a custom configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// The benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,223 @@
+//! Generator for the regex-subset string strategies (`"[a-z][a-z0-9]{0,6}"`).
+//!
+//! Supports the constructs the workspace's patterns use: literals,
+//! escapes (`\t`, `\n`, `\r`, `\\`, `\.` …), character classes with
+//! ranges, groups, top-level and grouped `|` alternation, and the
+//! repeat operators `*`, `+`, `?`, `{n}`, `{m,n}`. Unbounded repeats
+//! are capped at 8.
+
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// One alternative chosen uniformly.
+    Alt(Vec<Node>),
+    /// All parts in sequence.
+    Seq(Vec<Node>),
+    /// A literal character.
+    Char(char),
+    /// One character drawn from the listed inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// The inner node repeated between `min` and `max` times.
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let node = parse_alt(&chars, &mut pos);
+    assert!(
+        pos == chars.len(),
+        "unsupported regex pattern {:?} (stopped at offset {})",
+        pattern,
+        pos
+    );
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Alt(arms) => {
+            let i = rng.below(arms.len() as u64) as usize;
+            emit(&arms[i], rng, out);
+        }
+        Node::Seq(parts) => {
+            for p in parts {
+                emit(p, rng, out);
+            }
+        }
+        Node::Char(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in ranges {
+                let span = hi as u64 - lo as u64 + 1;
+                if pick < span {
+                    out.push(char::from_u32(lo as u32 + pick as u32).unwrap());
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!()
+        }
+        Node::Repeat(inner, min, max) => {
+            let n = *min + rng.below((*max - *min + 1) as u64) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+fn parse_alt(chars: &[char], pos: &mut usize) -> Node {
+    let mut arms = vec![parse_seq(chars, pos)];
+    while *pos < chars.len() && chars[*pos] == '|' {
+        *pos += 1;
+        arms.push(parse_seq(chars, pos));
+    }
+    if arms.len() == 1 {
+        arms.pop().unwrap()
+    } else {
+        Node::Alt(arms)
+    }
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize) -> Node {
+    let mut parts = Vec::new();
+    while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+        parts.push(parse_repeat(chars, pos));
+    }
+    if parts.len() == 1 {
+        parts.pop().unwrap()
+    } else {
+        Node::Seq(parts)
+    }
+}
+
+fn parse_repeat(chars: &[char], pos: &mut usize) -> Node {
+    let atom = parse_atom(chars, pos);
+    if *pos >= chars.len() {
+        return atom;
+    }
+    match chars[*pos] {
+        '*' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, UNBOUNDED_CAP)
+        }
+        '+' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 1, UNBOUNDED_CAP)
+        }
+        '?' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, 1)
+        }
+        '{' => {
+            *pos += 1;
+            let min = parse_number(chars, pos);
+            let max = if chars[*pos] == ',' {
+                *pos += 1;
+                parse_number(chars, pos)
+            } else {
+                min
+            };
+            assert!(chars[*pos] == '}', "malformed {{m,n}} repeat");
+            *pos += 1;
+            Node::Repeat(Box::new(atom), min, max)
+        }
+        _ => atom,
+    }
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Node {
+    match chars[*pos] {
+        '(' => {
+            *pos += 1;
+            let inner = parse_alt(chars, pos);
+            assert!(
+                *pos < chars.len() && chars[*pos] == ')',
+                "unclosed group in pattern"
+            );
+            *pos += 1;
+            inner
+        }
+        '[' => {
+            *pos += 1;
+            let mut ranges = Vec::new();
+            while *pos < chars.len() && chars[*pos] != ']' {
+                let lo = parse_class_char(chars, pos);
+                if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                    *pos += 1;
+                    let hi = parse_class_char(chars, pos);
+                    ranges.push((lo, hi));
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+            assert!(
+                *pos < chars.len() && chars[*pos] == ']',
+                "unclosed character class in pattern"
+            );
+            *pos += 1;
+            Node::Class(ranges)
+        }
+        '\\' => {
+            *pos += 1;
+            let c = escape(chars[*pos]);
+            *pos += 1;
+            Node::Char(c)
+        }
+        '.' => {
+            *pos += 1;
+            // Any printable ASCII character.
+            Node::Class(vec![(' ', '~')])
+        }
+        c => {
+            *pos += 1;
+            Node::Char(c)
+        }
+    }
+}
+
+fn parse_class_char(chars: &[char], pos: &mut usize) -> char {
+    if chars[*pos] == '\\' {
+        *pos += 1;
+        let c = escape(chars[*pos]);
+        *pos += 1;
+        c
+    } else {
+        let c = chars[*pos];
+        *pos += 1;
+        c
+    }
+}
+
+fn escape(c: char) -> char {
+    match c {
+        't' => '\t',
+        'n' => '\n',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> u32 {
+    let start = *pos;
+    while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    chars[start..*pos]
+        .iter()
+        .collect::<String>()
+        .parse()
+        .expect("number expected in {m,n} repeat")
+}

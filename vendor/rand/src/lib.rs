@@ -1,0 +1,126 @@
+//! Offline shim of the `rand` crate.
+//!
+//! Implements the subset of the rand 0.8 API this workspace uses —
+//! `StdRng::seed_from_u64`, `Rng::gen`, `Rng::gen_range`, `Rng::gen_bool`
+//! — over a SplitMix64 core. Not cryptographic; for synthetic-workload
+//! generation only.
+
+use std::ops::Range;
+
+/// Deterministically seedable generators.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The user-facing random-value interface.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A random value of `T` over its canonical domain.
+    fn gen<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    /// A uniform value from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::random(self) < p
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The standard generator (here: SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Types `Rng::gen` can produce.
+pub trait Random {
+    /// Draw one value.
+    fn random<R: Rng>(rng: &mut R) -> Self;
+}
+
+macro_rules! int_random {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: Rng>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_random!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Random for bool {
+    fn random<R: Rng>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random<R: Rng>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Ranges `Rng::gen_range` can sample from.
+pub trait SampleRange<T> {
+    /// Draw one uniform value.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        self.start + f64::random(rng) * (self.end - self.start)
+    }
+}
