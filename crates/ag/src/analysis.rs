@@ -150,6 +150,12 @@ impl Analysis {
     pub fn stats(&self) -> crate::stats::GrammarStats {
         crate::stats::GrammarStats::compute(&self.grammar, Some(&self.passes))
     }
+
+    /// The full static profile: statistics, subsumption outcome, and
+    /// planned pass directions.
+    pub fn profile(&self) -> crate::stats::GrammarProfile {
+        crate::stats::GrammarProfile::compute(self)
+    }
 }
 
 #[cfg(test)]

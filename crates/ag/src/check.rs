@@ -52,10 +52,18 @@ impl fmt::Display for CheckError {
                 write!(f, "production {}: `{}` is never defined", prod.0, occ)
             }
             CheckError::MultiplyDefined { prod, occ, count } => {
-                write!(f, "production {}: `{}` defined {} times", prod.0, occ, count)
+                write!(
+                    f,
+                    "production {}: `{}` defined {} times",
+                    prod.0, occ, count
+                )
             }
             CheckError::IllegalTarget { prod, occ, reason } => {
-                write!(f, "production {}: `{}` must not be defined here ({})", prod.0, occ, reason)
+                write!(
+                    f,
+                    "production {}: `{}` must not be defined here ({})",
+                    prod.0, occ, reason
+                )
             }
         }
     }
@@ -110,9 +118,7 @@ pub fn check_completeness(g: &Grammar) -> Result<(), Vec<CheckError>> {
                 AttrClass::Synthesized => {
                     "synthesized attributes are defined by their LHS production"
                 }
-                AttrClass::Inherited => {
-                    "inherited attributes are defined by their RHS production"
-                }
+                AttrClass::Inherited => "inherited attributes are defined by their RHS production",
                 AttrClass::Limb => "limb attribute of a different production",
             };
             errors.push(CheckError::IllegalTarget {
@@ -192,7 +198,10 @@ mod tests {
         b.start(s);
         let g = b.build().unwrap();
         let errs = check_completeness(&g).unwrap_err();
-        assert!(matches!(errs[0], CheckError::MultiplyDefined { count: 2, .. }));
+        assert!(matches!(
+            errs[0],
+            CheckError::MultiplyDefined { count: 2, .. }
+        ));
     }
 
     #[test]

@@ -70,8 +70,7 @@ pub fn check_noncircular(g: &Grammar) -> Result<IoRelations, Circularity> {
                 }
                 for &to in tos {
                     let tocc = nodes[to as usize];
-                    if tocc.pos == OccPos::Lhs
-                        && g.attr(tocc.attr).class == AttrClass::Synthesized
+                    if tocc.pos == OccPos::Lhs && g.attr(tocc.attr).class == AttrClass::Synthesized
                     {
                         changed |= io
                             .entry(prod.lhs.0)
@@ -98,7 +97,12 @@ pub fn check_noncircular(g: &Grammar) -> Result<IoRelations, Circularity> {
                     .map(|ix| {
                         let occ = nodes[ix as usize];
                         let sym = g.symbol_at(prod_id, occ.pos).expect("valid occurrence");
-                        format!("{}.{} ({})", g.symbol_name(sym), g.attr_name(occ.attr), occ.pos)
+                        format!(
+                            "{}.{} ({})",
+                            g.symbol_name(sym),
+                            g.attr_name(occ.attr),
+                            occ.pos
+                        )
                     })
                     .collect(),
             });
@@ -293,7 +297,11 @@ mod tests {
         let ts = b.synthesized(t, "S", "int");
         let x = b.terminal("x");
         let p0 = b.production(root, vec![t], None);
-        b.rule(p0, vec![AttrOcc::rhs(0, ti)], Expr::Occ(AttrOcc::rhs(0, ts)));
+        b.rule(
+            p0,
+            vec![AttrOcc::rhs(0, ti)],
+            Expr::Occ(AttrOcc::rhs(0, ts)),
+        );
         b.rule(p0, vec![AttrOcc::lhs(rv)], Expr::Occ(AttrOcc::rhs(0, ts)));
         let p1 = b.production(t, vec![x], None);
         b.rule(p1, vec![AttrOcc::lhs(ts)], Expr::Occ(AttrOcc::lhs(ti)));
@@ -336,7 +344,11 @@ mod tests {
         b.rule(
             p0,
             vec![AttrOcc::lhs(v)],
-            Expr::binop(crate::expr::BinOp::Add, Expr::Occ(AttrOcc::rhs(0, v)), Expr::Int(1)),
+            Expr::binop(
+                crate::expr::BinOp::Add,
+                Expr::Occ(AttrOcc::rhs(0, v)),
+                Expr::Int(1),
+            ),
         );
         let p1 = b.production(s, vec![x], None);
         b.rule(p1, vec![AttrOcc::lhs(v)], Expr::Int(0));

@@ -190,10 +190,7 @@ impl Expr {
             Expr::If {
                 branches,
                 otherwise,
-            } => {
-                branches.iter().all(|(_, arm)| arm.len() == width)
-                    && otherwise.len() == width
-            }
+            } => branches.iter().all(|(_, arm)| arm.len() == width) && otherwise.len() == width,
             _ => width >= 1,
         }
     }

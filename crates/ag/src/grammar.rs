@@ -171,7 +171,11 @@ impl fmt::Display for BuildError {
                 s, a
             ),
             BuildError::BadLimbAttr(s, a) => {
-                write!(f, "attribute `{}` on `{}` has the wrong class for the symbol", a, s)
+                write!(
+                    f,
+                    "attribute `{}` on `{}` has the wrong class for the symbol",
+                    a, s
+                )
             }
             BuildError::StartHasInherited(s) => {
                 write!(f, "start symbol `{}` has inherited attributes", s)
@@ -242,7 +246,10 @@ impl AgBuilder {
             .iter()
             .any(|&a| self.attrs[a.0 as usize].name == n)
         {
-            let sname = self.names.resolve(self.symbols[sym.0 as usize].name).to_owned();
+            let sname = self
+                .names
+                .resolve(self.symbols[sym.0 as usize].name)
+                .to_owned();
             self.errors
                 .push(BuildError::DuplicateAttr(sname, name.to_owned()));
         }
@@ -353,7 +360,11 @@ pub struct Grammar {
 
 impl Grammar {
     fn validate(&self) -> Result<(), BuildError> {
-        let sname = |s: SymbolId| self.names.resolve(self.symbols[s.0 as usize].name).to_owned();
+        let sname = |s: SymbolId| {
+            self.names
+                .resolve(self.symbols[s.0 as usize].name)
+                .to_owned()
+        };
         if self.symbols[self.start.0 as usize].kind != SymbolKind::Nonterminal {
             return Err(BuildError::StartNotNonterminal(sname(self.start)));
         }
@@ -407,12 +418,7 @@ impl Grammar {
                         pi, width
                     )));
                 }
-                for occ in rule
-                    .targets
-                    .iter()
-                    .copied()
-                    .chain(rule.arguments())
-                {
+                for occ in rule.targets.iter().copied().chain(rule.arguments()) {
                     self.check_occ(ProdId(pi as u32), occ)?;
                 }
             }
@@ -683,7 +689,10 @@ mod tests {
         b.rule(p, vec![AttrOcc::lhs(w)], Expr::Int(0));
         let _ = v;
         b.start(s);
-        assert!(matches!(b.build().unwrap_err(), BuildError::BadOccurrence(_)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::BadOccurrence(_)
+        ));
     }
 
     #[test]
@@ -694,7 +703,10 @@ mod tests {
         b.synthesized(s, "A", "int");
         b.production(s, vec![], None);
         b.start(s);
-        assert!(matches!(b.build().unwrap_err(), BuildError::DuplicateAttr(_, _)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::DuplicateAttr(_, _)
+        ));
     }
 
     #[test]

@@ -67,3 +67,4 @@ pub use analysis::{Analysis, AnalysisError, Config};
 pub use expr::{BinOp, Expr};
 pub use grammar::{AgBuilder, AttrClass, Attribute, Grammar, Production, SemRule, SymbolKind};
 pub use ids::{AttrId, AttrOcc, OccPos, ProdId, RuleId, SymbolId};
+pub use stats::{GrammarProfile, GrammarStats};

@@ -111,7 +111,11 @@ mod tests {
         let x = b.terminal("x");
         let obj = b.intrinsic(x, "OBJ", "int");
         let p0 = b.production(s, vec![a, bb], None);
-        b.rule(p0, vec![AttrOcc::rhs(0, ai)], Expr::Occ(AttrOcc::rhs(1, bv)));
+        b.rule(
+            p0,
+            vec![AttrOcc::rhs(0, ai)],
+            Expr::Occ(AttrOcc::rhs(1, bv)),
+        );
         b.rule(p0, vec![AttrOcc::lhs(sv)], Expr::Occ(AttrOcc::rhs(0, av)));
         let p1 = b.production(a, vec![x], None);
         b.rule(p1, vec![AttrOcc::lhs(av)], Expr::Occ(AttrOcc::lhs(ai)));
@@ -150,7 +154,7 @@ mod tests {
         let lt = Lifetimes::compute(&g, &pa);
         let a_sym = g.symbol_by_name("A").unwrap();
         let av = g.attr_by_name(a_sym, "V").unwrap();
-        let ai = g.attr_by_name(a_sym, "I", ).unwrap();
+        let ai = g.attr_by_name(a_sym, "I").unwrap();
         // A.I and A.V are defined and consumed in pass 2.
         assert_eq!(pa.pass_of(av), 2);
         assert!(!lt.is_significant(av), "A.V defined and used in pass 2");
@@ -170,7 +174,9 @@ mod tests {
     fn intrinsics_live_from_boundary_zero() {
         let (g, pa) = two_pass_grammar();
         let lt = Lifetimes::compute(&g, &pa);
-        let obj = g.attr_by_name(g.symbol_by_name("x").unwrap(), "OBJ").unwrap();
+        let obj = g
+            .attr_by_name(g.symbol_by_name("x").unwrap(), "OBJ")
+            .unwrap();
         assert_eq!(lt.earliest(obj), 0);
         assert!(lt.alive_across(obj, 0), "parser-written intrinsic");
         // OBJ is last used by B.V's rule in pass 1.

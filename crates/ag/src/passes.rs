@@ -214,10 +214,7 @@ pub fn assign_passes(g: &Grammar, cfg: &PassConfig) -> Result<PassAssignment, Pa
                 }
                 // All targets must be candidates (they are assigned
                 // together, since a rule runs exactly once).
-                let all_candidates = rule
-                    .targets
-                    .iter()
-                    .all(|t| candidates.contains(&t.attr));
+                let all_candidates = rule.targets.iter().all(|t| candidates.contains(&t.attr));
                 let ok = all_candidates
                     && rule_evaluable(g, rule.prod, rule, k, dir, &assigned, &candidates);
                 if !ok {
@@ -237,13 +234,7 @@ pub fn assign_passes(g: &Grammar, cfg: &PassConfig) -> Result<PassAssignment, Pa
                 let stuck = (0..num_attrs as u32)
                     .map(AttrId)
                     .filter(|a| assigned[a.0 as usize].is_none())
-                    .map(|a| {
-                        format!(
-                            "{}.{}",
-                            g.symbol_name(g.attr(a).symbol),
-                            g.attr_name(a)
-                        )
-                    })
+                    .map(|a| format!("{}.{}", g.symbol_name(g.attr(a).symbol), g.attr_name(a)))
                     .collect();
                 return Err(PassError::NotEvaluable { stuck });
             }
@@ -279,7 +270,12 @@ pub fn assign_passes(g: &Grammar, cfg: &PassConfig) -> Result<PassAssignment, Pa
 }
 
 /// The deadline of a rule: the earliest of its targets' deadlines.
-fn rule_deadline(g: &Grammar, prod: ProdId, rule: &crate::grammar::SemRule, dir: Direction) -> Deadline {
+fn rule_deadline(
+    g: &Grammar,
+    prod: ProdId,
+    rule: &crate::grammar::SemRule,
+    dir: Direction,
+) -> Deadline {
     let n = g.production(prod).rhs.len();
     rule.targets
         .iter()
@@ -494,7 +490,11 @@ mod tests {
         let x = b.terminal("x");
         let obj = b.intrinsic(x, "OBJ", "int");
         let p0 = b.production(s, vec![a, bb], None);
-        b.rule(p0, vec![AttrOcc::rhs(0, ai)], Expr::Occ(AttrOcc::rhs(1, bv)));
+        b.rule(
+            p0,
+            vec![AttrOcc::rhs(0, ai)],
+            Expr::Occ(AttrOcc::rhs(1, bv)),
+        );
         b.rule(p0, vec![AttrOcc::lhs(sv)], Expr::Occ(AttrOcc::rhs(0, av)));
         let p1 = b.production(a, vec![x], None);
         b.rule(p1, vec![AttrOcc::lhs(av)], Expr::Occ(AttrOcc::lhs(ai)));
@@ -546,8 +546,16 @@ mod tests {
         let bv = b.synthesized(bb, "V", "int");
         let x = b.terminal("x");
         let p0 = b.production(s, vec![a, bb], None);
-        b.rule(p0, vec![AttrOcc::rhs(0, ai)], Expr::Occ(AttrOcc::rhs(1, bv)));
-        b.rule(p0, vec![AttrOcc::rhs(1, bi)], Expr::Occ(AttrOcc::rhs(0, av)));
+        b.rule(
+            p0,
+            vec![AttrOcc::rhs(0, ai)],
+            Expr::Occ(AttrOcc::rhs(1, bv)),
+        );
+        b.rule(
+            p0,
+            vec![AttrOcc::rhs(1, bi)],
+            Expr::Occ(AttrOcc::rhs(0, av)),
+        );
         b.rule(p0, vec![AttrOcc::lhs(sv)], Expr::Int(0));
         let p1 = b.production(a, vec![x], None);
         b.rule(p1, vec![AttrOcc::lhs(av)], Expr::Occ(AttrOcc::lhs(ai)));
@@ -625,9 +633,17 @@ mod tests {
         // depend on right A's V (needs R-L), then right A's J depend on
         // left A's… that needs L-R (pass 2), and S.V depend on right A's
         // J-derived value (pass 3).
-        b.rule(p0, vec![AttrOcc::rhs(0, ai)], Expr::Occ(AttrOcc::rhs(1, av))); // L.I = R.V
+        b.rule(
+            p0,
+            vec![AttrOcc::rhs(0, ai)],
+            Expr::Occ(AttrOcc::rhs(1, av)),
+        ); // L.I = R.V
         b.rule(p0, vec![AttrOcc::rhs(1, ai)], Expr::Int(0)); // R.I = 0
-        b.rule(p0, vec![AttrOcc::rhs(1, aj)], Expr::Occ(AttrOcc::rhs(0, ai))); // R.J = L.I  (L-R flow)
+        b.rule(
+            p0,
+            vec![AttrOcc::rhs(1, aj)],
+            Expr::Occ(AttrOcc::rhs(0, ai)),
+        ); // R.J = L.I  (L-R flow)
         b.rule(p0, vec![AttrOcc::rhs(0, aj)], Expr::Int(0)); // L.J = 0
         b.rule(p0, vec![AttrOcc::lhs(sv)], Expr::Occ(AttrOcc::rhs(1, aj))); // uses R.J
         b.rule(p0, vec![AttrOcc::lhs(a1)], Expr::Int(0));

@@ -177,12 +177,9 @@ fn plan_production(
                           unscheduled: &mut Vec<RuleId>,
                           available: &mut HashSet<AttrOcc>| {
         loop {
-            let ready = unscheduled.iter().position(|&r| {
-                g.rule(r)
-                    .arguments()
-                    .iter()
-                    .all(|a| available.contains(a))
-            });
+            let ready = unscheduled
+                .iter()
+                .position(|&r| g.rule(r).arguments().iter().all(|a| available.contains(a)));
             match ready {
                 None => break,
                 Some(ix) => {
@@ -238,9 +235,7 @@ fn plan_production(
         if g.symbol(prod.rhs[j]).kind == SymbolKind::Nonterminal {
             steps.push(Step::Visit(j as u16));
             for &a in &g.symbol(prod.rhs[j]).attrs {
-                if passes.pass_of(a) == k
-                    && g.attr(a).class == AttrClass::Synthesized
-                {
+                if passes.pass_of(a) == k && g.attr(a).class == AttrClass::Synthesized {
                     available.insert(AttrOcc::rhs(j as u16, a));
                 }
             }
@@ -333,7 +328,13 @@ mod tests {
             .collect();
         assert_eq!(
             skeleton,
-            vec![Step::Get(0), Step::Visit(0), Step::Put(0), Step::Get(1), Step::Put(1)]
+            vec![
+                Step::Get(0),
+                Step::Visit(0),
+                Step::Put(0),
+                Step::Get(1),
+                Step::Put(1)
+            ]
         );
     }
 
@@ -413,7 +414,11 @@ mod tests {
         let x = b.terminal("x");
         let obj = b.intrinsic(x, "OBJ", "int");
         let p0 = b.production(s, vec![a, bb], None);
-        b.rule(p0, vec![AttrOcc::rhs(0, ai)], Expr::Occ(AttrOcc::rhs(1, bv)));
+        b.rule(
+            p0,
+            vec![AttrOcc::rhs(0, ai)],
+            Expr::Occ(AttrOcc::rhs(1, bv)),
+        );
         b.rule(p0, vec![AttrOcc::lhs(sv)], Expr::Occ(AttrOcc::rhs(0, av)));
         let p1 = b.production(a, vec![x], None);
         b.rule(p1, vec![AttrOcc::lhs(av)], Expr::Occ(AttrOcc::lhs(ai)));
@@ -441,7 +446,10 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        assert_eq!(first_get, 1, "right-to-left pass reads rightmost child first");
+        assert_eq!(
+            first_get, 1,
+            "right-to-left pass reads rightmost child first"
+        );
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! 4 alternating passes. [`GrammarStats`] computes the same row for any
 //! grammar; the E7 bench prints it next to the paper's numbers.
 
+use crate::analysis::Analysis;
 use crate::grammar::{AttrClass, Grammar, RuleOrigin};
-use crate::passes::PassAssignment;
+use crate::passes::{Direction, PassAssignment};
+use crate::subsumption::SubsumptionStats;
 use std::fmt;
 
 /// The statistics row of §IV.
@@ -96,6 +98,81 @@ impl GrammarStats {
     }
 }
 
+/// The full static profile of an analyzed grammar: the §IV statistics
+/// row joined with the subsumption outcome and the planned pass
+/// schedule. This is the compile-time half of the `--profile` report;
+/// the run-time half is the evaluator's per-pass I/O metrics.
+#[derive(Clone, Debug)]
+pub struct GrammarProfile {
+    /// The §IV statistics row.
+    pub stats: GrammarStats,
+    /// Static-subsumption outcome (copy-rules before/after, statics).
+    pub subsumption: SubsumptionStats,
+    /// Planned traversal direction of each alternating pass, in order.
+    pub directions: Vec<Direction>,
+}
+
+impl GrammarProfile {
+    /// Profile an analyzed grammar.
+    pub fn compute(a: &Analysis) -> GrammarProfile {
+        GrammarProfile {
+            stats: GrammarStats::compute(&a.grammar, Some(&a.passes)),
+            subsumption: a.subsumption.stats(&a.grammar),
+            directions: a.passes.directions().to_vec(),
+        }
+    }
+
+    /// Copy-rules that still execute after static subsumption.
+    pub fn copy_rules_after(&self) -> usize {
+        self.subsumption
+            .copy_rules
+            .saturating_sub(self.subsumption.subsumed_rules)
+    }
+
+    /// Fraction of all semantic functions eliminated by subsumption —
+    /// the paper's "functions which need not be performed at all".
+    pub fn elimination_fraction(&self) -> f64 {
+        if self.stats.semantic_functions == 0 {
+            0.0
+        } else {
+            self.subsumption.subsumed_rules as f64 / self.stats.semantic_functions as f64
+        }
+    }
+}
+
+impl fmt::Display for GrammarProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.stats)?;
+        let dirs: Vec<&str> = self
+            .directions
+            .iter()
+            .map(|d| match d {
+                Direction::LeftToRight => "L-to-R",
+                Direction::RightToLeft => "R-to-L",
+            })
+            .collect();
+        writeln!(f, "pass directions:      {}", dirs.join(", "))?;
+        writeln!(
+            f,
+            "static attributes:    {} of {} eligible",
+            self.subsumption.static_attrs, self.subsumption.eligible_attrs
+        )?;
+        writeln!(
+            f,
+            "copy-rules subsumed:  {} of {} ({:.1}% of all functions)",
+            self.subsumption.subsumed_rules,
+            self.subsumption.copy_rules,
+            100.0 * self.elimination_fraction()
+        )?;
+        write!(
+            f,
+            "copy-rules remaining: {} (+{} save/restore sites)",
+            self.copy_rules_after(),
+            self.subsumption.save_restore_sites
+        )
+    }
+}
+
 impl fmt::Display for GrammarStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "symbols:              {}", self.symbols)?;
@@ -172,6 +249,46 @@ mod tests {
     }
 
     #[test]
+    fn profile_joins_stats_subsumption_and_schedule() {
+        use crate::analysis::{Analysis, Config};
+
+        // S -> S x | x with a chained synthesized attribute: one pass,
+        // all-copy grammar, so subsumption has something to eliminate.
+        let mut b = AgBuilder::new();
+        let root = b.nonterminal("root");
+        b.synthesized(root, "VAL", "int");
+        let s = b.nonterminal("S");
+        let sv = b.synthesized(s, "VAL", "int");
+        let x = b.terminal("x");
+        let obj = b.intrinsic(x, "OBJ", "int");
+        b.production(root, vec![s], None);
+        let p1 = b.production(s, vec![s, x], None);
+        b.rule(p1, vec![AttrOcc::lhs(sv)], Expr::Occ(AttrOcc::rhs(1, obj)));
+        let p2 = b.production(s, vec![x], None);
+        b.rule(p2, vec![AttrOcc::lhs(sv)], Expr::Occ(AttrOcc::rhs(0, obj)));
+        b.start(root);
+        let a = Analysis::run(b.build().unwrap(), &Config::default()).unwrap();
+
+        let p = a.profile();
+        assert_eq!(p.stats, a.stats());
+        assert_eq!(p.directions.len(), p.stats.passes);
+        assert_eq!(
+            p.copy_rules_after() + p.subsumption.subsumed_rules,
+            p.subsumption.copy_rules
+        );
+        assert!(p.elimination_fraction() >= 0.0 && p.elimination_fraction() <= 1.0);
+        let text = p.to_string();
+        for needle in [
+            "pass directions",
+            "static attributes",
+            "copy-rules subsumed",
+            "copy-rules remaining",
+        ] {
+            assert!(text.contains(needle), "missing {}: {}", needle, text);
+        }
+    }
+
+    #[test]
     fn display_renders_all_rows() {
         let mut b = AgBuilder::new();
         let s = b.nonterminal("S");
@@ -181,7 +298,13 @@ mod tests {
         b.start(s);
         let g = b.build().unwrap();
         let text = GrammarStats::compute(&g, None).to_string();
-        for needle in ["symbols", "attributes", "productions", "copy-rules", "passes"] {
+        for needle in [
+            "symbols",
+            "attributes",
+            "productions",
+            "copy-rules",
+            "passes",
+        ] {
             assert!(text.contains(needle), "missing {}: {}", needle, text);
         }
     }

@@ -256,11 +256,7 @@ impl Subsumption {
             }
             if self.subsumed[ri] {
                 s.subsumed_rules += 1;
-            } else if r
-                .targets
-                .iter()
-                .any(|t| self.is_static[t.attr.0 as usize])
-            {
+            } else if r.targets.iter().any(|t| self.is_static[t.attr.0 as usize]) {
                 s.save_restore_sites += 1;
             }
         }
@@ -305,28 +301,27 @@ fn assign_groups(g: &Grammar, mode: GroupMode) -> GroupAssign {
                 }
                 parent[x]
             }
-            let violates =
-                |parent: &mut Vec<usize>, a: usize, b: usize, g: &Grammar| -> bool {
-                    // Would merging a's and b's classes co-locate two
-                    // attributes of the same symbol?
-                    let ra = find(parent, a);
-                    let rb = find(parent, b);
-                    if ra == rb {
-                        return false;
-                    }
-                    let mut symbols = Vec::new();
-                    for x in 0..parent.len() {
-                        let r = find(parent, x);
-                        if r == ra || r == rb {
-                            let s = g.attr(AttrId(x as u32)).symbol;
-                            if symbols.contains(&s) {
-                                return true;
-                            }
-                            symbols.push(s);
+            let violates = |parent: &mut Vec<usize>, a: usize, b: usize, g: &Grammar| -> bool {
+                // Would merging a's and b's classes co-locate two
+                // attributes of the same symbol?
+                let ra = find(parent, a);
+                let rb = find(parent, b);
+                if ra == rb {
+                    return false;
+                }
+                let mut symbols = Vec::new();
+                for x in 0..parent.len() {
+                    let r = find(parent, x);
+                    if r == ra || r == rb {
+                        let s = g.attr(AttrId(x as u32)).symbol;
+                        if symbols.contains(&s) {
+                            return true;
                         }
+                        symbols.push(s);
                     }
-                    false
-                };
+                }
+                false
+            };
             // Seed: same-name merges (the production rule), same
             // restriction applies trivially (same symbol can't declare one
             // name twice).
@@ -621,7 +616,12 @@ mod tests {
         b.rule(p2, vec![AttrOcc::lhs(sb)], Expr::Int(2));
         b.start(root);
         let g = b.build().unwrap();
-        let coal = Subsumption::compute(&g, GroupMode::CoalesceCopies, SubsumptionCosts::default(), None);
+        let coal = Subsumption::compute(
+            &g,
+            GroupMode::CoalesceCopies,
+            SubsumptionCosts::default(),
+            None,
+        );
         assert_ne!(coal.group_of(sa), coal.group_of(sb));
     }
 

@@ -78,7 +78,11 @@ fn main() {
         };
         let r1 = t_rl.translate(&input, &funcs, &opts_rl).expect("R-L run");
         let r2 = t_lr.translate(&input, &funcs, &opts_lr).expect("L-R run");
-        let agree = r1.outputs.iter().map(|(_, v)| v).eq(r2.outputs.iter().map(|(_, v)| v));
+        let agree = r1
+            .outputs
+            .iter()
+            .map(|(_, v)| v)
+            .eq(r2.outputs.iter().map(|(_, v)| v));
         assert!(agree, "{}: the two strategies must agree", name);
 
         let d_rl = median_time(5, || {

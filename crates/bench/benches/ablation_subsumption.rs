@@ -23,7 +23,10 @@ fn eliminated_fraction(analysis: &Analysis) -> f64 {
 
 fn main() {
     rule("E13a: copy density vs code eliminated");
-    println!("{:>10} {:>12} {:>12} {:>12}", "density", "copies %", "subsumed", "code elim %");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "density", "copies %", "subsumed", "code elim %"
+    );
     for density in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let sg = synth(&SynthParams {
             copy_density: density,
@@ -42,11 +45,16 @@ fn main() {
     }
 
     println!("\n(mid-range densities can dip: the byte-estimate cost model may keep a group whose");
-    println!(" emitted save/restore outweighs its subsumed copies — the paper's algorithm likewise");
+    println!(
+        " emitted save/restore outweighs its subsumed copies — the paper's algorithm likewise"
+    );
     println!(" \"does not always find an optimal set of attributes to statically allocate\")");
 
     rule("E13b: cost-model sweep (save_restore : copy ratio)");
-    println!("{:>10} {:>14} {:>12} {:>12}", "ratio", "static attrs", "subsumed", "sr sites");
+    println!(
+        "{:>10} {:>14} {:>12} {:>12}",
+        "ratio", "static attrs", "subsumed", "sr sites"
+    );
     let sg = synth(&SynthParams::default());
     for ratio in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let costs = SubsumptionCosts {
@@ -69,7 +77,10 @@ fn main() {
     }
 
     rule("E13c: same-name grouping vs cross-name coalescing");
-    println!("{:>10} {:>16} {:>16}", "density", "same-name subs", "coalesced subs");
+    println!(
+        "{:>10} {:>16} {:>16}",
+        "density", "same-name subs", "coalesced subs"
+    );
     for density in [0.3, 0.5, 0.7] {
         let sg = synth(&SynthParams {
             copy_density: density,

@@ -38,10 +38,18 @@ fn main() {
     for stmts in [20usize, 80, 320] {
         let program = pascal_program(8, stmts);
         // Results must agree between backings.
-        let r_disk = translator.translate(&program, &funcs, &disk).expect("disk run");
-        let r_mem = translator.translate(&program, &funcs, &memory).expect("memory run");
+        let r_disk = translator
+            .translate(&program, &funcs, &disk)
+            .expect("disk run");
+        let r_mem = translator
+            .translate(&program, &funcs, &memory)
+            .expect("memory run");
         assert!(
-            r_disk.outputs.iter().map(|(_, v)| v).eq(r_mem.outputs.iter().map(|(_, v)| v)),
+            r_disk
+                .outputs
+                .iter()
+                .map(|(_, v)| v)
+                .eq(r_mem.outputs.iter().map(|(_, v)| v)),
             "backings agree"
         );
 

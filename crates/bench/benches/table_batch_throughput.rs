@@ -6,11 +6,12 @@
 //! evaluated concurrently? Memory backing keeps the disk out of the
 //! measurement, so this is pure evaluator scaling.
 
-use linguist_bench::rule;
+use linguist_bench::{rule, write_snapshot};
 use linguist_eval::batch::BatchEvaluator;
 use linguist_eval::machine::{Backing, EvalOptions};
 use linguist_eval::tree::PTree;
 use linguist_eval::Funcs;
+use linguist_frontend::report::metrics_json;
 use linguist_frontend::translate::standard_intrinsics;
 use linguist_frontend::{run, DriverOptions, Translator};
 use linguist_grammars::{calc_scanner, calc_source};
@@ -52,20 +53,24 @@ fn main() {
         })
         .collect();
 
+    println!("{} jobs of ~{} nodes each\n", trees.len(), trees[0].size());
     println!(
-        "{} jobs of ~{} nodes each\n",
-        trees.len(),
-        trees[0].size()
+        "{:<8} {:>12} {:>14} {:>10}",
+        "workers", "wall", "jobs/sec", "speedup"
     );
-    println!("{:<8} {:>12} {:>14} {:>10}", "workers", "wall", "jobs/sec", "speedup");
 
     let mut baseline = 0.0f64;
     let mut at4 = None;
+    let mut sweep_rows = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         // Best-of-3 to shake scheduler noise out of the table.
         let best = (0..3)
             .map(|_| {
-                let outcome = BatchEvaluator::with_options(workers, opts).run(&tr.analysis, &funcs, &trees);
+                let outcome = BatchEvaluator::with_options(workers, opts.clone()).run(
+                    &tr.analysis,
+                    &funcs,
+                    &trees,
+                );
                 assert_eq!(outcome.stats.failed, 0);
                 outcome.stats
             })
@@ -85,7 +90,44 @@ fn main() {
             jps,
             jps / baseline
         );
+        sweep_rows.push(format!(
+            "{{\"workers\":{},\"wall_us\":{},\"jobs_per_sec\":{:.1},\"speedup\":{:.3}}}",
+            workers,
+            best.wall.as_micros(),
+            jps,
+            jps / baseline
+        ));
     }
+
+    // One profiled pass over the same batch gives the snapshot an I/O
+    // dimension: per-pass record/byte traffic aggregated across jobs.
+    let profiled_opts = EvalOptions {
+        profile: true,
+        ..opts.clone()
+    };
+    let profiled = BatchEvaluator::with_options(4, profiled_opts).run(&tr.analysis, &funcs, &trees);
+    assert_eq!(profiled.stats.failed, 0);
+    let metrics = profiled
+        .stats
+        .metrics
+        .as_ref()
+        .expect("profiled batch collects metrics");
+    println!(
+        "\nprofiled: {} initial records, {} total file bytes across {} jobs",
+        metrics.initial_records,
+        metrics.total_io_bytes(),
+        trees.len()
+    );
+    write_snapshot(
+        "table_batch_throughput",
+        &format!(
+            "{{\"bench\":\"table_batch_throughput\",\"jobs\":{},\"nodes_per_job\":{},\"sweep\":[{}],\"profile\":{}}}",
+            trees.len(),
+            trees[0].size(),
+            sweep_rows.join(","),
+            metrics_json(metrics)
+        ),
+    );
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     if let Some(jps4) = at4 {

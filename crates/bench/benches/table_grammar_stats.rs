@@ -46,5 +46,8 @@ fn main() {
         100.0 * meta.stats.copy_fraction(),
         100.0 * meta.stats.implicit_copy_rules as f64 / meta.stats.copy_rules.max(1) as f64,
     );
-    assert_eq!(meta.stats.passes, 4, "the meta grammar needs 4 passes, like the paper's");
+    assert_eq!(
+        meta.stats.passes, 4,
+        "the meta grammar needs 4 passes, like the paper's"
+    );
 }

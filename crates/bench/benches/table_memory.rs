@@ -87,7 +87,11 @@ fn main() {
             r.stats.total_io_bytes(),
             r.stats.meter.peak()
         );
-        balanced_rows.push((1usize << depth, r.stats.total_io_bytes(), r.stats.meter.peak()));
+        balanced_rows.push((
+            1usize << depth,
+            r.stats.total_io_bytes(),
+            r.stats.meter.peak(),
+        ));
     }
     for leaves in [16usize, 64] {
         let input = chain_input(leaves);
@@ -130,7 +134,11 @@ fn main() {
             program.len(),
             apt_file,
             r.stats.meter.peak(),
-            if r.stats.meter.exceeded() { "NO" } else { "yes" }
+            if r.stats.meter.exceeded() {
+                "NO"
+            } else {
+                "yes"
+            }
         );
         if apt_file as usize > 42 * 1024 {
             assert!(

@@ -64,7 +64,10 @@ fn main() {
     let r = translator
         .translate(pascal_source(), &funcs, &EvalOptions::default())
         .expect("lint pascal.lg");
-    println!("{:<6} {:>12} {:>12} {:>10} {:>10}", "pass", "read B", "written B", "records", "time");
+    println!(
+        "{:<6} {:>12} {:>12} {:>10} {:>10}",
+        "pass", "read B", "written B", "records", "time"
+    );
     for (i, p) in r.stats.passes.iter().enumerate() {
         println!(
             "{:<6} {:>12} {:>12} {:>10} {:>10}",

@@ -23,7 +23,10 @@ fn main() {
     }
     println!("   husk - {} B", evaluator.husk_bytes());
 
-    println!("\n{:<8} {:>10} {:>10} {:>12} {:>10}", "pass", "total B", "husk B", "semantic B", "husk %");
+    println!(
+        "\n{:<8} {:>10} {:>10} {:>12} {:>10}",
+        "pass", "total B", "husk B", "semantic B", "husk %"
+    );
     for p in &evaluator.passes {
         println!(
             "{:<8} {:>10} {:>10} {:>12} {:>9.0}%",
@@ -46,7 +49,12 @@ fn main() {
     let max = sem.iter().max().unwrap();
     assert!(max > min, "passes carry different semantic loads");
     let husk_share = evaluator.husk_bytes() as f64
-        / evaluator.passes.iter().map(|p| p.total_bytes()).max().unwrap() as f64;
+        / evaluator
+            .passes
+            .iter()
+            .map(|p| p.total_bytes())
+            .max()
+            .unwrap() as f64;
     println!(
         "\nhusk share of the largest pass: {:.0}% — \"the 'overhead' in the attribute evaluators is significant\"",
         100.0 * husk_share

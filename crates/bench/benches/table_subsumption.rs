@@ -104,5 +104,8 @@ fn main() {
     println!("with subsumption:    {}", us(d_with));
     println!("without subsumption: {}", us(d_without));
     let ratio = d_with.as_secs_f64() / d_without.as_secs_f64();
-    println!("ratio: {:.2} (paper: ~1.0 — evaluators are I/O bound)", ratio);
+    println!(
+        "ratio: {:.2} (paper: ~1.0 — evaluators are I/O bound)",
+        ratio
+    );
 }

@@ -35,5 +35,38 @@ pub fn us(d: Duration) -> String {
 
 /// Print a rule line.
 pub fn rule(title: &str) {
-    println!("\n==== {} {}", title, "=".repeat(60usize.saturating_sub(title.len())));
+    println!(
+        "\n==== {} {}",
+        title,
+        "=".repeat(60usize.saturating_sub(title.len()))
+    );
+}
+
+/// Write a machine-readable snapshot of a bench run to
+/// `target/BENCH_<name>.json`, next to the cargo artifacts, and return
+/// the path. `json` must already be a rendered JSON value. Failures are
+/// reported but non-fatal: a read-only checkout still runs the bench.
+pub fn write_snapshot(name: &str, json: &str) -> Option<std::path::PathBuf> {
+    // Benches run with the package directory as cwd; find the build's
+    // real target dir by walking up from the running executable.
+    let dir = std::env::var_os("CARGO_TARGET_DIR")
+        .map(std::path::PathBuf::from)
+        .or_else(|| {
+            let exe = std::env::current_exe().ok()?;
+            exe.ancestors()
+                .find(|p| p.file_name().is_some_and(|n| n == "target"))
+                .map(std::path::Path::to_path_buf)
+        })
+        .unwrap_or_else(|| std::path::PathBuf::from("target"));
+    let path = dir.join(format!("BENCH_{}.json", name));
+    match std::fs::write(&path, json) {
+        Ok(()) => {
+            println!("snapshot: {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("snapshot {} not written: {}", path.display(), e);
+            None
+        }
+    }
 }

@@ -98,12 +98,7 @@ impl<'a> Emitter<'a> {
 }
 
 /// Generate the production-procedure for `prod` in pass `k`.
-pub fn emit_procedure(
-    analysis: &Analysis,
-    prod: ProdId,
-    pass: u16,
-    target: Target,
-) -> ProcSource {
+pub fn emit_procedure(analysis: &Analysis, prod: ProdId, pass: u16, target: Target) -> ProcSource {
     let g = &analysis.grammar;
     let p = g.production(prod);
     let plan = analysis.plans.plan(pass, prod);
@@ -134,7 +129,11 @@ pub fn emit_procedure(
             if let Some(l) = p.limb {
                 e.push(
                     LineKind::Husk,
-                    format!("{} : {};", names::occ_var(g, prod, OccPos::Limb), names::node_type(g, l)),
+                    format!(
+                        "{} : {};",
+                        names::occ_var(g, prod, OccPos::Limb),
+                        names::node_type(g, l)
+                    ),
                 );
             }
             for (i, &c) in p.rhs.iter().enumerate() {
@@ -192,7 +191,15 @@ pub fn emit_procedure(
                 e.push(LineKind::Husk, get_call(target, &v));
             }
             Step::Eval(r) => {
-                emit_rule(&mut e, prod, pass, r, &mut temp_of, &mut pending, &mut temps);
+                emit_rule(
+                    &mut e,
+                    prod,
+                    pass,
+                    r,
+                    &mut temp_of,
+                    &mut pending,
+                    &mut temps,
+                );
             }
             Step::Visit(i) => {
                 // Flush save/set pairs for this child.
@@ -338,8 +345,7 @@ fn emit_rule(
                         temps.push(nv.clone());
                         temps.push(names::save_var(&gname));
                     }
-                    if g.symbol(g.production(prod).rhs[j as usize]).kind
-                        == SymbolKind::Nonterminal
+                    if g.symbol(g.production(prod).rhs[j as usize]).kind == SymbolKind::Nonterminal
                     {
                         pending.push((j, gname));
                     } else {
@@ -370,8 +376,17 @@ fn emit_rule(
             // Figure-5 multi-target conditional: a statement-level if with
             // pairwise assignments in each arm.
             for (bi, (cond, arm)) in branches.iter().enumerate() {
-                let kw = if bi == 0 { kw_if(e.target) } else { kw_elsif(e.target) };
-                let cline = format!("{} {} {}", kw, render_expr(analysis, prod, pass, cond, temp_of), kw_then(e.target));
+                let kw = if bi == 0 {
+                    kw_if(e.target)
+                } else {
+                    kw_elsif(e.target)
+                };
+                let cline = format!(
+                    "{} {} {}",
+                    kw,
+                    render_expr(analysis, prod, pass, cond, temp_of),
+                    kw_then(e.target)
+                );
                 e.push(LineKind::Semantic, cline);
                 e.indent += 1;
                 for (t, ex) in rule.targets.iter().zip(arm.iter()) {

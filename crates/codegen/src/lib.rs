@@ -183,10 +183,8 @@ fn globals_decl_for(analysis: &Analysis, target: Target) -> String {
                     Target::Pascal => {
                         globals_decl.push_str(&format!("VAR {} : attrib_type;\n", name))
                     }
-                    Target::Rust => globals_decl.push_str(&format!(
-                        "static mut {}: Value = Value::UNSET;\n",
-                        name
-                    )),
+                    Target::Rust => globals_decl
+                        .push_str(&format!("static mut {}: Value = Value::UNSET;\n", name)),
                 }
             }
         }
@@ -266,7 +264,11 @@ mod tests {
         let x = b.terminal("x");
         let obj = b.intrinsic(x, "OBJ", "int");
         let p0 = b.production(s, vec![a, bb], None);
-        b.rule(p0, vec![AttrOcc::rhs(0, ai)], Expr::Occ(AttrOcc::rhs(1, bv)));
+        b.rule(
+            p0,
+            vec![AttrOcc::rhs(0, ai)],
+            Expr::Occ(AttrOcc::rhs(1, bv)),
+        );
         b.rule(p0, vec![AttrOcc::lhs(sv)], Expr::Occ(AttrOcc::rhs(0, av)));
         let p1 = b.production(a, vec![x], None);
         b.rule(p1, vec![AttrOcc::lhs(av)], Expr::Occ(AttrOcc::lhs(ai)));
@@ -310,7 +312,8 @@ mod tests {
         let src = gen.full_source();
         // A commented copy of the ENV chain.
         assert!(
-            src.contains("{ S1.ENV := S0.ENV }") || src.contains("{ S.ENV := S0.ENV }")
+            src.contains("{ S1.ENV := S0.ENV }")
+                || src.contains("{ S.ENV := S0.ENV }")
                 || src.contains("ENV }"),
             "expected a commented-out ENV copy in:\n{}",
             src
@@ -379,7 +382,10 @@ mod tests {
         .unwrap();
         let gen_without = generate(&without, Target::Pascal);
 
-        assert!(gen_with.subsumed_rules() >= 12, "12 implicit copies subsume");
+        assert!(
+            gen_with.subsumed_rules() >= 12,
+            "12 implicit copies subsume"
+        );
         assert!(
             gen_with.semantic_bytes() < gen_without.semantic_bytes(),
             "with: {} without: {}",

@@ -14,7 +14,13 @@ use linguist_ag::ids::{OccPos, ProdId, SymbolId};
 pub fn sym_upper(g: &Grammar, s: SymbolId) -> String {
     g.symbol_name(s)
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_uppercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_uppercase()
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

@@ -19,13 +19,147 @@
 //! applies — "to synchronize the identification of productions with the
 //! parser").
 
+use crate::metrics::IoCounters;
 use crate::value::{DecodeError, Value};
 use linguist_ag::ids::{AttrId, ProdId, SymbolId};
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Magic bytes opening every intermediate APT file.
+const MAGIC: [u8; 4] = *b"APT1";
+/// Format version stamped after the magic.
+const VERSION: u16 = 1;
+/// Fixed header size: magic (4) + version (2) + reserved (2) +
+/// total records (8) + total framed record bytes (8).
+pub(crate) const HEADER_LEN: u64 = 24;
+/// Smallest possible framed record: two 4-byte frame lengths around the
+/// minimal payload (1-byte tag + 4-byte id + 2-byte value count).
+const MIN_FRAMED_RECORD: u64 = 15;
+
+fn encode_header(records: u64, bytes: u64) -> [u8; HEADER_LEN as usize] {
+    let mut h = [0u8; HEADER_LEN as usize];
+    h[0..4].copy_from_slice(&MAGIC);
+    h[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    h[8..16].copy_from_slice(&records.to_le_bytes());
+    h[16..24].copy_from_slice(&bytes.to_le_bytes());
+    h
+}
+
+/// Why an APT file header was rejected at open time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HeaderError {
+    /// The file is shorter than a header.
+    Truncated {
+        /// Actual file length.
+        len: u64,
+    },
+    /// The magic bytes are wrong — not an APT file, or a corrupted one.
+    BadMagic,
+    /// The version field names a format this reader does not speak.
+    UnsupportedVersion {
+        /// The version found in the file.
+        found: u16,
+    },
+    /// The header's recorded body length disagrees with the file size
+    /// (truncated mid-write, or bytes flipped in the header totals).
+    LengthMismatch {
+        /// Body bytes the header promises.
+        expected: u64,
+        /// Body bytes actually present.
+        actual: u64,
+    },
+    /// The header's record count cannot fit in the body it describes
+    /// (every framed record occupies at least 15 bytes).
+    ImplausibleRecordCount {
+        /// Records the header promises.
+        records: u64,
+        /// Body bytes available to hold them.
+        bytes: u64,
+    },
+}
+
+impl fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeaderError::Truncated { len } => {
+                write!(f, "file of {} bytes is shorter than the header", len)
+            }
+            HeaderError::BadMagic => write!(f, "bad magic (not an APT file)"),
+            HeaderError::UnsupportedVersion { found } => {
+                write!(f, "unsupported format version {}", found)
+            }
+            HeaderError::LengthMismatch { expected, actual } => write!(
+                f,
+                "header promises {} body bytes but the file holds {}",
+                expected, actual
+            ),
+            HeaderError::ImplausibleRecordCount { records, bytes } => write!(
+                f,
+                "header promises {} records but only {} body bytes hold them",
+                records, bytes
+            ),
+        }
+    }
+}
+
+/// A deliberately injected I/O failure, for fault testing.
+///
+/// A spec is *armed* once; the first reader or writer that crosses
+/// `after_records` records on the targeted side fires it exactly once
+/// (the `Arc<AtomicBool>` is shared across every clone, so in a batch
+/// run exactly one job observes the fault).
+#[derive(Clone, Debug)]
+pub struct FaultSpec {
+    /// The pass whose reader/writer carries the fault (0 targets the
+    /// parser-built initial emission).
+    pub pass: u16,
+    /// Inject on the read or the write side.
+    pub target: FaultTarget,
+    /// Fire when this many records have already been transferred.
+    pub after_records: u64,
+    armed: Arc<AtomicBool>,
+}
+
+/// Which side of a pass a [`FaultSpec`] poisons.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// Fail an [`AptReader::next`] call.
+    Read,
+    /// Fail an [`AptWriter::write`] call.
+    Write,
+}
+
+impl FaultSpec {
+    /// An armed fault on `target` of `pass`, firing after `after_records`
+    /// successful records.
+    pub fn new(pass: u16, target: FaultTarget, after_records: u64) -> FaultSpec {
+        FaultSpec {
+            pass,
+            target,
+            after_records,
+            armed: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    /// True while no reader/writer has fired the fault yet.
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::Relaxed)
+    }
+
+    fn fire(&self, records_so_far: u64) -> Result<(), AptError> {
+        if records_so_far >= self.after_records && self.armed.swap(false, Ordering::Relaxed) {
+            return Err(AptError::Io(io::Error::other(format!(
+                "injected fault after {} records",
+                records_so_far
+            ))));
+        }
+        Ok(())
+    }
+}
 
 /// A memory-resident intermediate "file" — the paper's closing question
 /// made concrete: "would some form of virtual memory system significantly
@@ -92,7 +226,11 @@ impl Record {
         let err = |at| AptError::Decode(DecodeError { at });
         let tag = *buf.first().ok_or(err(0))?;
         pos += 1;
-        let id_bytes: [u8; 4] = buf.get(pos..pos + 4).ok_or(err(pos))?.try_into().expect("sized");
+        let id_bytes: [u8; 4] = buf
+            .get(pos..pos + 4)
+            .ok_or(err(pos))?
+            .try_into()
+            .expect("sized");
         pos += 4;
         let id = u32::from_le_bytes(id_bytes);
         let body = match tag {
@@ -100,13 +238,20 @@ impl Record {
             1 => RecordBody::Prod(ProdId(id)),
             _ => return Err(err(0)),
         };
-        let n_bytes: [u8; 2] = buf.get(pos..pos + 2).ok_or(err(pos))?.try_into().expect("sized");
+        let n_bytes: [u8; 2] = buf
+            .get(pos..pos + 2)
+            .ok_or(err(pos))?
+            .try_into()
+            .expect("sized");
         pos += 2;
         let n = u16::from_le_bytes(n_bytes) as usize;
         let mut values = Vec::with_capacity(n);
         for _ in 0..n {
-            let a_bytes: [u8; 4] =
-                buf.get(pos..pos + 4).ok_or(err(pos))?.try_into().expect("sized");
+            let a_bytes: [u8; 4] = buf
+                .get(pos..pos + 4)
+                .ok_or(err(pos))?
+                .try_into()
+                .expect("sized");
             pos += 4;
             let v = Value::decode(buf, &mut pos).map_err(AptError::Decode)?;
             values.push((AttrId(u32::from_le_bytes(a_bytes)), v));
@@ -144,6 +289,10 @@ pub enum AptError {
         /// Byte offset of the bad frame.
         at: u64,
     },
+    /// The file header is missing, corrupt, or inconsistent with the file
+    /// size — detected at [`AptReader::open`] time, before any record is
+    /// served.
+    Header(HeaderError),
 }
 
 impl fmt::Display for AptError {
@@ -152,6 +301,7 @@ impl fmt::Display for AptError {
             AptError::Io(e) => write!(f, "APT file I/O error: {}", e),
             AptError::Decode(e) => write!(f, "APT record: {}", e),
             AptError::Frame { at } => write!(f, "APT file frame corrupt at byte {}", at),
+            AptError::Header(e) => write!(f, "APT file header: {}", e),
         }
     }
 }
@@ -161,7 +311,7 @@ impl std::error::Error for AptError {
         match self {
             AptError::Io(e) => Some(e),
             AptError::Decode(e) => Some(e),
-            AptError::Frame { .. } => None,
+            AptError::Frame { .. } | AptError::Header(_) => None,
         }
     }
 }
@@ -173,11 +323,18 @@ impl From<io::Error> for AptError {
 }
 
 /// Sequential writer of an intermediate APT file (disk- or RAM-backed).
+///
+/// Every file opens with a fixed header whose totals are patched in by
+/// [`AptWriter::finish`]; a file abandoned before `finish` (or truncated
+/// afterwards) is rejected by [`AptReader::open`] with a typed
+/// [`HeaderError`] instead of being served as silently empty.
 #[derive(Debug)]
 pub struct AptWriter {
     sink: Sink,
     bytes: u64,
     records: u64,
+    profile: Option<Arc<IoCounters>>,
+    fault: Option<FaultSpec>,
 }
 
 #[derive(Debug)]
@@ -193,29 +350,57 @@ impl AptWriter {
     ///
     /// Propagates filesystem errors.
     pub fn create(path: &Path) -> Result<AptWriter, AptError> {
+        let mut f = BufWriter::new(File::create(path)?);
+        // Placeholder header; `finish` seeks back and patches the totals.
+        f.write_all(&encode_header(0, 0))?;
         Ok(AptWriter {
-            sink: Sink::File(BufWriter::new(File::create(path)?)),
+            sink: Sink::File(f),
             bytes: 0,
             records: 0,
+            profile: None,
+            fault: None,
         })
     }
 
     /// Create a writer over a memory buffer (truncating it).
     pub fn create_mem(buf: MemFile) -> AptWriter {
-        buf.lock().expect("mem file poisoned").clear();
+        {
+            let mut b = buf.lock().expect("mem file poisoned");
+            b.clear();
+            b.extend_from_slice(&encode_header(0, 0));
+        }
         AptWriter {
             sink: Sink::Mem(buf),
             bytes: 0,
             records: 0,
+            profile: None,
+            fault: None,
         }
+    }
+
+    /// Attach a profiling counter pair; every subsequent [`write`](Self::write)
+    /// bumps it atomically.
+    pub fn set_profile(&mut self, counters: Arc<IoCounters>) {
+        self.profile = Some(counters);
+    }
+
+    /// Attach an injected fault (test support): the write crossing
+    /// `spec.after_records` fails with an I/O error if the spec is still
+    /// armed.
+    pub fn set_fault(&mut self, spec: FaultSpec) {
+        self.fault = Some(spec);
     }
 
     /// Append one record.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors (memory writers are infallible).
+    /// Propagates filesystem errors (memory writers only fail through an
+    /// injected [`FaultSpec`]).
     pub fn write(&mut self, rec: &Record) -> Result<(), AptError> {
+        if let Some(fault) = &self.fault {
+            fault.fire(self.records)?;
+        }
         let payload = rec.encode();
         let len = (payload.len() as u32).to_le_bytes();
         match &mut self.sink {
@@ -231,19 +416,36 @@ impl AptWriter {
                 b.extend_from_slice(&len);
             }
         }
-        self.bytes += payload.len() as u64 + 8;
+        let framed = payload.len() as u64 + 8;
+        self.bytes += framed;
         self.records += 1;
+        if let Some(p) = &self.profile {
+            p.add_record(framed);
+        }
         Ok(())
     }
 
-    /// Flush and report `(bytes, records)` written.
+    /// Patch the header totals, flush, and report `(bytes, records)`
+    /// written (framed record bytes, excluding the header).
     ///
     /// # Errors
     ///
     /// Propagates the final flush failure.
     pub fn finish(self) -> Result<(u64, u64), AptError> {
-        if let Sink::File(mut f) = self.sink {
-            f.flush()?;
+        let header = encode_header(self.records, self.bytes);
+        match self.sink {
+            Sink::File(f) => {
+                let mut file = f
+                    .into_inner()
+                    .map_err(|e| AptError::Io(io::Error::other(e.to_string())))?;
+                file.seek(SeekFrom::Start(0))?;
+                file.write_all(&header)?;
+                file.flush()?;
+            }
+            Sink::Mem(m) => {
+                let mut b = m.lock().expect("mem file poisoned");
+                b[..HEADER_LEN as usize].copy_from_slice(&header);
+            }
         }
         Ok((self.bytes, self.records))
     }
@@ -269,6 +471,8 @@ pub struct AptReader {
     dir: ReadDir,
     bytes: u64,
     records: u64,
+    profile: Option<Arc<IoCounters>>,
+    fault: Option<FaultSpec>,
 }
 
 #[derive(Debug)]
@@ -299,41 +503,120 @@ impl Source {
 }
 
 impl AptReader {
+    /// Validate the header of a file `len` bytes long whose first
+    /// `HEADER_LEN` bytes were read into `head`, returning the body end
+    /// offset.
+    fn check_header(head: &[u8], len: u64) -> Result<u64, AptError> {
+        if head[0..4] != MAGIC {
+            return Err(AptError::Header(HeaderError::BadMagic));
+        }
+        let version = u16::from_le_bytes(head[4..6].try_into().expect("sized"));
+        if version != VERSION {
+            return Err(AptError::Header(HeaderError::UnsupportedVersion {
+                found: version,
+            }));
+        }
+        let total_bytes = u64::from_le_bytes(head[16..24].try_into().expect("sized"));
+        let actual = len - HEADER_LEN;
+        if total_bytes != actual {
+            return Err(AptError::Header(HeaderError::LengthMismatch {
+                expected: total_bytes,
+                actual,
+            }));
+        }
+        // A framed record is at least 15 bytes (two 4-byte frame lengths
+        // around a node payload of tag + production id + value count), so
+        // the promised record count bounds the body size from below; a
+        // non-empty body likewise needs at least one record.
+        let total_records = u64::from_le_bytes(head[8..16].try_into().expect("sized"));
+        let plausible = match total_records.checked_mul(MIN_FRAMED_RECORD) {
+            Some(min) => min <= total_bytes && (total_records > 0 || total_bytes == 0),
+            None => false,
+        };
+        if !plausible {
+            return Err(AptError::Header(HeaderError::ImplausibleRecordCount {
+                records: total_records,
+                bytes: total_bytes,
+            }));
+        }
+        Ok(len)
+    }
+
     /// Open `path` for reading in `dir`.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
+    /// Propagates filesystem errors; returns [`AptError::Header`] if the
+    /// file is shorter than a header, carries the wrong magic or version,
+    /// or its recorded body length disagrees with the file size (a file
+    /// truncated mid-write — e.g. never [`finish`](AptWriter::finish)ed —
+    /// is rejected here rather than read as empty).
     pub fn open(path: &Path, dir: ReadDir) -> Result<AptReader, AptError> {
-        let file = File::open(path)?;
-        let end = file.metadata()?.len();
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len < HEADER_LEN {
+            return Err(AptError::Header(HeaderError::Truncated { len }));
+        }
+        let mut head = [0u8; HEADER_LEN as usize];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut head)?;
+        let end = Self::check_header(&head, len)?;
         Ok(AptReader {
             src: Source::File(file),
             pos: match dir {
-                ReadDir::Forward => 0,
+                ReadDir::Forward => HEADER_LEN,
                 ReadDir::Backward => end,
             },
             end,
             dir,
             bytes: 0,
             records: 0,
+            profile: None,
+            fault: None,
         })
     }
 
     /// Open a memory buffer for reading in `dir`.
-    pub fn open_mem(buf: MemFile, dir: ReadDir) -> AptReader {
-        let end = buf.lock().expect("mem file poisoned").len() as u64;
-        AptReader {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AptError::Header`] under the same conditions as
+    /// [`open`](Self::open).
+    pub fn open_mem(buf: MemFile, dir: ReadDir) -> Result<AptReader, AptError> {
+        let end = {
+            let b = buf.lock().expect("mem file poisoned");
+            let len = b.len() as u64;
+            if len < HEADER_LEN {
+                return Err(AptError::Header(HeaderError::Truncated { len }));
+            }
+            Self::check_header(&b[..HEADER_LEN as usize], len)?
+        };
+        Ok(AptReader {
             src: Source::Mem(buf),
             pos: match dir {
-                ReadDir::Forward => 0,
+                ReadDir::Forward => HEADER_LEN,
                 ReadDir::Backward => end,
             },
             end,
             dir,
             bytes: 0,
             records: 0,
-        }
+            profile: None,
+            fault: None,
+        })
+    }
+
+    /// Attach a profiling counter pair; every subsequent [`next`](Self::next)
+    /// bumps it atomically.
+    pub fn set_profile(&mut self, counters: Arc<IoCounters>) {
+        self.profile = Some(counters);
+    }
+
+    /// Attach an injected fault (test support): the read crossing
+    /// `spec.after_records` fails with an I/O error if the spec is still
+    /// armed.
+    pub fn set_fault(&mut self, spec: FaultSpec) {
+        self.fault = Some(spec);
     }
 
     /// Read the next record, or `None` at the end (beginning, for
@@ -345,6 +628,9 @@ impl AptReader {
     /// and decode failures.
     #[allow(clippy::should_implement_trait)] // fallible, not an Iterator
     pub fn next(&mut self) -> Result<Option<Record>, AptError> {
+        if let Some(fault) = &self.fault {
+            fault.fire(self.records)?;
+        }
         match self.dir {
             ReadDir::Forward => {
                 if self.pos >= self.end {
@@ -364,21 +650,20 @@ impl AptReader {
                     return Err(AptError::Frame { at: self.pos });
                 }
                 self.pos += 8 + len;
-                self.bytes += 8 + len;
-                self.records += 1;
+                self.advance(8 + len);
                 Ok(Some(Record::decode(&payload)?))
             }
             ReadDir::Backward => {
-                if self.pos == 0 {
+                if self.pos == HEADER_LEN {
                     return Ok(None);
                 }
-                if self.pos < 8 {
+                if self.pos < HEADER_LEN + 8 {
                     return Err(AptError::Frame { at: self.pos });
                 }
                 let mut len4 = [0u8; 4];
                 self.src.read_at(self.pos - 4, &mut len4)?;
                 let len = u32::from_le_bytes(len4) as u64;
-                if self.pos < 8 + len {
+                if self.pos < HEADER_LEN + 8 + len {
                     return Err(AptError::Frame { at: self.pos });
                 }
                 let mut lead = [0u8; 4];
@@ -389,10 +674,17 @@ impl AptReader {
                 let mut payload = vec![0u8; len as usize];
                 self.src.read_at(self.pos - 4 - len, &mut payload)?;
                 self.pos -= 8 + len;
-                self.bytes += 8 + len;
-                self.records += 1;
+                self.advance(8 + len);
                 Ok(Some(Record::decode(&payload)?))
             }
+        }
+    }
+
+    fn advance(&mut self, framed: u64) {
+        self.bytes += framed;
+        self.records += 1;
+        if let Some(p) = &self.profile {
+            p.add_record(framed);
         }
     }
 
@@ -423,11 +715,7 @@ impl TempAptDir {
         use std::sync::atomic::{AtomicU64, Ordering};
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "linguist86-apt-{}-{}",
-            std::process::id(),
-            n
-        ));
+        let dir = std::env::temp_dir().join(format!("linguist86-apt-{}-{}", std::process::id(), n));
         std::fs::create_dir_all(&dir)?;
         Ok(TempAptDir { dir })
     }
@@ -526,17 +814,144 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_frame_detected() {
+    fn truncated_file_rejected_at_open() {
         let dir = TempAptDir::new().unwrap();
         let path = dir.boundary(3);
         let mut w = AptWriter::create(&path).unwrap();
         w.write(&rec(0)).unwrap();
         w.finish().unwrap();
-        // Truncate one byte off the end.
+        // Truncate one byte off the end: the header's recorded body
+        // length no longer matches, so open() itself must reject it.
         let data = std::fs::read(&path).unwrap();
         std::fs::write(&path, &data[..data.len() - 1]).unwrap();
+        for d in [ReadDir::Forward, ReadDir::Backward] {
+            match AptReader::open(&path, d) {
+                Err(AptError::Header(HeaderError::LengthMismatch { .. })) => {}
+                other => panic!("truncated file not rejected: {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn unfinished_file_rejected_at_open() {
+        // A writer dropped without finish() leaves the placeholder header
+        // (zero totals); the reader must not serve it as silently empty.
+        let dir = TempAptDir::new().unwrap();
+        let path = dir.boundary(4);
+        let mut w = AptWriter::create(&path).unwrap();
+        w.write(&rec(1)).unwrap();
+        drop(w);
+        match AptReader::open(&path, ReadDir::Forward) {
+            Err(AptError::Header(HeaderError::LengthMismatch { expected: 0, .. })) => {}
+            other => panic!("unfinished file not rejected: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn header_too_short_rejected_at_open() {
+        let dir = TempAptDir::new().unwrap();
+        let path = dir.boundary(5);
+        std::fs::write(&path, b"APT").unwrap();
+        match AptReader::open(&path, ReadDir::Forward) {
+            Err(AptError::Header(HeaderError::Truncated { len: 3 })) => {}
+            other => panic!("short file not rejected: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn every_header_byte_flip_is_rejected_at_open() {
+        // The corruption regression: flip each header byte of a valid
+        // file in turn; open() must return a typed error every time
+        // (reserved bytes 6..8 excepted — they are not validated), and
+        // must never panic or serve an empty read.
+        let dir = TempAptDir::new().unwrap();
+        let path = dir.boundary(6);
+        let mut w = AptWriter::create(&path).unwrap();
+        for i in 0..4 {
+            w.write(&rec(i)).unwrap();
+        }
+        w.finish().unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+        for at in (0..HEADER_LEN as usize).filter(|&b| !(6..8).contains(&b)) {
+            let mut data = pristine.clone();
+            data[at] ^= 0xFF;
+            std::fs::write(&path, &data).unwrap();
+            match AptReader::open(&path, ReadDir::Forward) {
+                Err(AptError::Header(_)) => {}
+                other => panic!("flip at byte {} not rejected: {:?}", at, other),
+            }
+        }
+    }
+
+    #[test]
+    fn body_byte_flips_never_panic() {
+        // Flips inside the record body surface as typed errors from
+        // next() (or, for flips that alter framing, sometimes decode to
+        // garbage values — but they must never panic).
+        let dir = TempAptDir::new().unwrap();
+        let path = dir.boundary(7);
+        let mut w = AptWriter::create(&path).unwrap();
+        for i in 0..4 {
+            w.write(&rec(i)).unwrap();
+        }
+        w.finish().unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+        for at in HEADER_LEN as usize..pristine.len() {
+            let mut data = pristine.clone();
+            data[at] ^= 0xFF;
+            std::fs::write(&path, &data).unwrap();
+            for d in [ReadDir::Forward, ReadDir::Backward] {
+                let mut r = AptReader::open(&path, d).unwrap();
+                while let Ok(Some(_)) = r.next() {}
+            }
+        }
+        // A flip in the first record's leading length frame specifically
+        // must be a typed error, not a bogus record.
+        let mut data = pristine.clone();
+        data[HEADER_LEN as usize] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
         let mut r = AptReader::open(&path, ReadDir::Forward).unwrap();
         assert!(r.next().is_err());
+    }
+
+    #[test]
+    fn injected_write_fault_fires_exactly_once() {
+        let dir = TempAptDir::new().unwrap();
+        let fault = FaultSpec::new(0, FaultTarget::Write, 2);
+        let mut w = AptWriter::create(&dir.boundary(8)).unwrap();
+        w.set_fault(fault.clone());
+        w.write(&rec(0)).unwrap();
+        w.write(&rec(1)).unwrap();
+        match w.write(&rec(2)) {
+            Err(AptError::Io(_)) => {}
+            other => panic!("fault did not fire: {:?}", other),
+        }
+        assert!(!fault.is_armed());
+        // Disarmed: the same spec never fires again.
+        w.write(&rec(2)).unwrap();
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn profile_counters_match_internal_tallies() {
+        use crate::metrics::IoCounters;
+        let dir = TempAptDir::new().unwrap();
+        let path = dir.boundary(9);
+        let wc = IoCounters::shared();
+        let mut w = AptWriter::create(&path).unwrap();
+        w.set_profile(wc.clone());
+        for i in 0..6 {
+            w.write(&rec(i)).unwrap();
+        }
+        let (bytes, records) = w.finish().unwrap();
+        assert_eq!(wc.snapshot(), (records, bytes));
+
+        let rc = IoCounters::shared();
+        let mut r = AptReader::open(&path, ReadDir::Backward).unwrap();
+        r.set_profile(rc.clone());
+        while r.next().unwrap().is_some() {}
+        assert_eq!(rc.snapshot(), (r.records_read(), r.bytes_read()));
+        assert_eq!(rc.snapshot(), (records, bytes));
     }
 
     #[test]

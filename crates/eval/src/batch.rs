@@ -22,13 +22,67 @@
 //! of every job contributes to slot *k*), plus wall time and jobs/sec
 //! for throughput experiments.
 
+use crate::aptfile::AptError;
 use crate::funcs::Funcs;
 use crate::machine::{evaluate, EvalError, EvalOptions, Evaluation, PassStats};
+use crate::metrics::EvalMetrics;
 use crate::tree::PTree;
 use linguist_ag::analysis::Analysis;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
+
+/// The category of a failed batch job — a typed projection of
+/// [`EvalError`] that survives aggregation into [`BatchStats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Intermediate-file I/O failure (including injected faults).
+    Io,
+    /// Malformed record payload.
+    Decode,
+    /// Corrupt record framing.
+    Frame,
+    /// Rejected APT file header.
+    Header,
+    /// Semantic-function failure.
+    Func,
+    /// Tree/grammar mismatch.
+    Tree,
+    /// Strategy/first-direction mismatch.
+    Strategy,
+    /// Corrupt APT stream.
+    Corrupt,
+    /// Missing attribute instance.
+    Missing,
+}
+
+impl FailureKind {
+    /// Classify an evaluation error.
+    pub fn of(e: &EvalError) -> FailureKind {
+        match e {
+            EvalError::Apt(AptError::Io(_)) => FailureKind::Io,
+            EvalError::Apt(AptError::Decode(_)) => FailureKind::Decode,
+            EvalError::Apt(AptError::Frame { .. }) => FailureKind::Frame,
+            EvalError::Apt(AptError::Header(_)) => FailureKind::Header,
+            EvalError::Func(_) => FailureKind::Func,
+            EvalError::Tree(_) => FailureKind::Tree,
+            EvalError::StrategyMismatch { .. } => FailureKind::Strategy,
+            EvalError::Corrupt(_) => FailureKind::Corrupt,
+            EvalError::Missing(_) => FailureKind::Missing,
+        }
+    }
+}
+
+/// One failed job, recorded in [`BatchStats::failures`].
+#[derive(Clone, Debug)]
+pub struct JobFailure {
+    /// Input-order index of the failed job.
+    pub job: usize,
+    /// Typed failure category.
+    pub kind: FailureKind,
+    /// Rendered error message.
+    pub message: String,
+}
 
 /// Aggregated measurements over one batch run.
 #[derive(Clone, Debug, Default)]
@@ -49,6 +103,12 @@ pub struct BatchStats {
     pub total_rules: u64,
     /// Wall-clock time of the whole batch.
     pub wall: Duration,
+    /// One typed entry per failed job, in input order.
+    pub failures: Vec<JobFailure>,
+    /// Aggregated pass-level profile across successful jobs, present
+    /// when the batch evaluated with
+    /// [`EvalOptions::profile`](crate::machine::EvalOptions::profile) on.
+    pub metrics: Option<EvalMetrics>,
 }
 
 impl BatchStats {
@@ -62,7 +122,8 @@ impl BatchStats {
 
     fn absorb(&mut self, stats: &crate::machine::EvalStats) {
         if self.per_pass.len() < stats.passes.len() {
-            self.per_pass.resize_with(stats.passes.len(), PassStats::default);
+            self.per_pass
+                .resize_with(stats.passes.len(), PassStats::default);
         }
         for (slot, pass) in self.per_pass.iter_mut().zip(&stats.passes) {
             slot.duration += pass.duration;
@@ -74,6 +135,12 @@ impl BatchStats {
         }
         self.total_io_bytes += stats.total_io_bytes();
         self.total_rules += stats.total_rules();
+    }
+
+    fn absorb_metrics(&mut self, metrics: &EvalMetrics) {
+        self.metrics
+            .get_or_insert_with(EvalMetrics::default)
+            .merge(metrics);
     }
 }
 
@@ -155,7 +222,7 @@ impl BatchEvaluator {
             for _ in 0..pool {
                 let tx = tx.clone();
                 let next = &next;
-                let opts = self.opts;
+                let opts = self.opts.clone();
                 scope.spawn(move || {
                     // Workers claim the next unstarted tree until the
                     // batch is drained — natural load balancing when
@@ -189,10 +256,22 @@ impl BatchEvaluator {
                 .into_iter()
                 .map(|slot| slot.expect("every job reports exactly once"))
                 .collect();
-            for r in &results {
+            for (i, r) in results.iter().enumerate() {
                 match r {
-                    Ok(eval) => stats.absorb(&eval.stats),
-                    Err(_) => stats.failed += 1,
+                    Ok(eval) => {
+                        stats.absorb(&eval.stats);
+                        if let Some(m) = &eval.metrics {
+                            stats.absorb_metrics(m);
+                        }
+                    }
+                    Err(e) => {
+                        stats.failed += 1;
+                        stats.failures.push(JobFailure {
+                            job: i,
+                            kind: FailureKind::of(e),
+                            message: e.to_string(),
+                        });
+                    }
                 }
             }
             stats.wall = started.elapsed();
@@ -226,7 +305,11 @@ mod tests {
         assert_eq!(BatchEvaluator::new(8).workers(), 8);
     }
 
-    fn leaf_sum_analysis() -> (Analysis, linguist_ag::ids::SymbolId, linguist_ag::ids::AttrId) {
+    fn leaf_sum_analysis() -> (
+        Analysis,
+        linguist_ag::ids::SymbolId,
+        linguist_ag::ids::AttrId,
+    ) {
         use linguist_ag::analysis::Config;
         use linguist_ag::expr::{BinOp, Expr};
         use linguist_ag::grammar::AgBuilder;
@@ -291,8 +374,13 @@ mod tests {
         assert_eq!(outcome.stats.failed, 0);
         for (n, result) in (1i64..=12).zip(&outcome.results) {
             let eval = result.as_ref().expect("job succeeds");
-            let seq = evaluate(&analysis, &funcs, &chain_tree(x, obj, n), &EvalOptions::default())
-                .expect("sequential succeeds");
+            let seq = evaluate(
+                &analysis,
+                &funcs,
+                &chain_tree(x, obj, n),
+                &EvalOptions::default(),
+            )
+            .expect("sequential succeeds");
             assert_eq!(eval.outputs, seq.outputs, "job for {n} leaves diverged");
             assert_eq!(
                 eval.output(&analysis, "V"),
@@ -315,7 +403,12 @@ mod tests {
         }
         assert_eq!(outcome.stats.total_io_bytes, io);
         assert_eq!(outcome.stats.total_rules, rules);
-        let per_pass_rules: u64 = outcome.stats.per_pass.iter().map(|p| p.rules_evaluated).sum();
+        let per_pass_rules: u64 = outcome
+            .stats
+            .per_pass
+            .iter()
+            .map(|p| p.rules_evaluated)
+            .sum();
         assert_eq!(per_pass_rules, rules);
     }
 }

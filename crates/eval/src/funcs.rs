@@ -53,12 +53,20 @@ impl fmt::Display for FuncError {
                 name,
                 expected,
                 got,
-            } => write!(f, "`{}` expects {} argument(s), got {}", name, expected, got),
+            } => write!(
+                f,
+                "`{}` expects {} argument(s), got {}",
+                name, expected, got
+            ),
             FuncError::Type {
                 name,
                 expected,
                 got,
-            } => write!(f, "`{}` expected a {} argument, got {}", name, expected, got),
+            } => write!(
+                f,
+                "`{}` expected a {} argument, got {}",
+                name, expected, got
+            ),
         }
     }
 }
@@ -432,7 +440,10 @@ mod tests {
         let s = f.call("UnionSetof", &[Value::Int(1), s]).unwrap();
         let s = f.call("UnionSetof", &[Value::Int(2), s]).unwrap();
         let s2 = f.call("UnionSetof", &[Value::Int(1), s.clone()]).unwrap();
-        assert_eq!(f.call("SetSize", std::slice::from_ref(&s2)).unwrap(), Value::Int(2));
+        assert_eq!(
+            f.call("SetSize", std::slice::from_ref(&s2)).unwrap(),
+            Value::Int(2)
+        );
         assert_eq!(
             f.call("IsIn", &[Value::Int(2), s2]).unwrap(),
             Value::Bool(true)
@@ -450,8 +461,14 @@ mod tests {
         let l = f.call("NullList", &[]).unwrap();
         let l = f.call("Cons", &[Value::Int(2), l]).unwrap();
         let l = f.call("Cons", &[Value::Int(1), l]).unwrap();
-        assert_eq!(f.call("Length", std::slice::from_ref(&l)).unwrap(), Value::Int(2));
-        assert_eq!(f.call("Head", std::slice::from_ref(&l)).unwrap(), Value::Int(1));
+        assert_eq!(
+            f.call("Length", std::slice::from_ref(&l)).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            f.call("Head", std::slice::from_ref(&l)).unwrap(),
+            Value::Int(1)
+        );
         let t = f.call("Tail", &[l]).unwrap();
         assert_eq!(f.call("Head", &[t]).unwrap(), Value::Int(2));
     }
@@ -476,11 +493,13 @@ mod tests {
     fn incr_functions_match_figure_one() {
         let f = Funcs::standard();
         assert_eq!(
-            f.call("IncrIfZero", &[Value::Int(0), Value::Int(7)]).unwrap(),
+            f.call("IncrIfZero", &[Value::Int(0), Value::Int(7)])
+                .unwrap(),
             Value::Int(8)
         );
         assert_eq!(
-            f.call("IncrIfZero", &[Value::Int(3), Value::Int(7)]).unwrap(),
+            f.call("IncrIfZero", &[Value::Int(3), Value::Int(7)])
+                .unwrap(),
             Value::Int(7)
         );
         assert_eq!(
@@ -506,8 +525,12 @@ mod tests {
     #[test]
     fn lookup_is_case_insensitive() {
         let f = Funcs::standard();
-        assert!(f.call("unionsetof", &[Value::Int(1), Value::empty_set()]).is_ok());
-        assert!(f.call("UNIONSETOF", &[Value::Int(1), Value::empty_set()]).is_ok());
+        assert!(f
+            .call("unionsetof", &[Value::Int(1), Value::empty_set()])
+            .is_ok());
+        assert!(f
+            .call("UNIONSETOF", &[Value::Int(1), Value::empty_set()])
+            .is_ok());
     }
 
     #[test]
@@ -527,7 +550,12 @@ mod tests {
         let a = f
             .call(
                 "ConsMsg",
-                &[Value::Int(3), Value::str("boom"), Value::str("x"), nil.clone()],
+                &[
+                    Value::Int(3),
+                    Value::str("boom"),
+                    Value::str("x"),
+                    nil.clone(),
+                ],
             )
             .unwrap();
         let b = f

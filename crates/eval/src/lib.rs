@@ -64,12 +64,19 @@ pub mod aptfile;
 pub mod batch;
 pub mod funcs;
 pub mod machine;
+pub mod metrics;
 pub mod tree;
 pub mod value;
 
-pub use aptfile::{AptError, AptReader, AptWriter, ReadDir, Record, RecordBody, TempAptDir};
-pub use batch::{BatchEvaluator, BatchOutcome, BatchStats};
+pub use aptfile::{
+    AptError, AptReader, AptWriter, FaultSpec, FaultTarget, HeaderError, ReadDir, Record,
+    RecordBody, TempAptDir,
+};
+pub use batch::{BatchEvaluator, BatchOutcome, BatchStats, FailureKind, JobFailure};
 pub use funcs::{FuncError, Funcs};
-pub use machine::{evaluate, Backing, EvalError, EvalOptions, EvalStats, Evaluation, PassStats, Strategy};
+pub use machine::{
+    evaluate, Backing, EvalError, EvalOptions, EvalStats, Evaluation, PassStats, Strategy,
+};
+pub use metrics::{EvalMetrics, IoCounters, PassIo, PassProbe};
 pub use tree::{PTree, TreeError};
 pub use value::Value;

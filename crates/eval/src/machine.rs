@@ -19,9 +19,11 @@
 //! pay for exactly these sites in generated code).
 
 use crate::aptfile::{
-    AptError, AptReader, AptWriter, MemFile, ReadDir, Record, RecordBody, TempAptDir,
+    AptError, AptReader, AptWriter, FaultSpec, FaultTarget, MemFile, ReadDir, Record, RecordBody,
+    TempAptDir,
 };
 use crate::funcs::{FuncError, Funcs};
+use crate::metrics::{EvalMetrics, PassProbe};
 use crate::tree::{PTree, TreeError};
 use crate::value::Value;
 use linguist_ag::analysis::Analysis;
@@ -62,7 +64,7 @@ pub enum Backing {
 }
 
 /// Evaluation options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EvalOptions {
     /// Initial-file strategy; must match the pass analysis's first
     /// direction.
@@ -75,6 +77,12 @@ pub struct EvalOptions {
     pub budget: Option<usize>,
     /// Disk files (default, as in the paper) or RAM buffers.
     pub backing: Backing,
+    /// Collect the pass-level [`EvalMetrics`] profile (per-pass file
+    /// traffic, attribute and semantic-function work). Off by default:
+    /// the unprofiled hot path pays only an untaken `Option` branch.
+    pub profile: bool,
+    /// Inject an I/O failure (test support); see [`FaultSpec`].
+    pub fault: Option<FaultSpec>,
 }
 
 impl Default for EvalOptions {
@@ -84,6 +92,8 @@ impl Default for EvalOptions {
             check_globals: true,
             budget: Some(48 * 1024),
             backing: Backing::Disk,
+            profile: false,
+            fault: None,
         }
     }
 }
@@ -144,6 +154,9 @@ pub struct Evaluation {
     pub outputs: Vec<(AttrId, Value)>,
     /// Measurements.
     pub stats: EvalStats,
+    /// The pass-level profile, present when
+    /// [`EvalOptions::profile`] was set.
+    pub metrics: Option<EvalMetrics>,
 }
 
 impl Evaluation {
@@ -248,14 +261,28 @@ pub fn evaluate(
     }
 
     let store = Store::new(opts.backing)?;
+    let mut metrics = opts.profile.then(EvalMetrics::default);
     // Boundary 0: the parser-built file.
     {
         let mut w = store.writer(0)?;
-        match opts.strategy {
-            Strategy::BottomUp => tree.write_postfix(&analysis.grammar, &analysis.lifetimes, &mut w)?,
-            Strategy::Prefix => tree.write_prefix(&analysis.grammar, &analysis.lifetimes, &mut w)?,
+        if let Some(f) = &opts.fault {
+            if f.pass == 0 && f.target == FaultTarget::Write {
+                w.set_fault(f.clone());
+            }
         }
-        w.finish()?;
+        match opts.strategy {
+            Strategy::BottomUp => {
+                tree.write_postfix(&analysis.grammar, &analysis.lifetimes, &mut w)?
+            }
+            Strategy::Prefix => {
+                tree.write_prefix(&analysis.grammar, &analysis.lifetimes, &mut w)?
+            }
+        }
+        let (bytes, records) = w.finish()?;
+        if let Some(m) = &mut metrics {
+            m.initial_bytes = bytes;
+            m.initial_records = records;
+        }
     }
 
     let mut machine = Machine {
@@ -270,6 +297,7 @@ pub fn evaluate(
         pass: 0,
         depth: 0,
         rules_this_pass: 0,
+        probe: None,
     };
 
     let num_passes = analysis.passes.num_passes() as u16;
@@ -283,9 +311,24 @@ pub fn evaluate(
         machine.pass = k;
         machine.globals.clear();
         machine.rules_this_pass = 0;
+        if metrics.is_some() {
+            machine.probe = Some(PassProbe::new());
+        }
 
         let mut reader = store.reader(k - 1, read_dir)?;
         let mut writer = store.writer(k)?;
+        if let Some(probe) = &machine.probe {
+            reader.set_profile(probe.read.clone());
+            writer.set_profile(probe.written.clone());
+        }
+        if let Some(f) = &opts.fault {
+            if f.pass == k {
+                match f.target {
+                    FaultTarget::Read => reader.set_fault(f.clone()),
+                    FaultTarget::Write => writer.set_fault(f.clone()),
+                }
+            }
+        }
         let root = machine.run_pass(&mut reader, &mut writer)?;
         let (bytes_written, records_written) = writer.finish()?;
         machine.stats.passes.push(PassStats {
@@ -296,6 +339,10 @@ pub fn evaluate(
             records_written,
             rules_evaluated: machine.rules_this_pass,
         });
+        if let (Some(m), Some(probe)) = (&mut metrics, machine.probe.take()) {
+            m.passes
+                .push(probe.finish(k, read_dir, machine.rules_this_pass));
+        }
         root_state = Some(root);
     }
 
@@ -306,15 +353,17 @@ pub fn evaluate(
     let mut outputs = Vec::new();
     for &a in &g.symbol(g.start()).attrs {
         if g.attr(a).class == AttrClass::Synthesized {
-            let v = root.values.get(&a).ok_or_else(|| {
-                EvalError::Missing(format!("root output {}", g.attr_name(a)))
-            })?;
+            let v = root
+                .values
+                .get(&a)
+                .ok_or_else(|| EvalError::Missing(format!("root output {}", g.attr_name(a))))?;
             outputs.push((a, v.clone()));
         }
     }
     Ok(Evaluation {
         outputs,
         stats: machine.stats,
+        metrics,
     })
 }
 
@@ -353,6 +402,7 @@ struct Machine<'a> {
     pass: u16,
     depth: usize,
     rules_this_pass: u64,
+    probe: Option<PassProbe>,
 }
 
 impl<'a> Machine<'a> {
@@ -608,7 +658,8 @@ impl<'a> Machine<'a> {
                 branches,
                 otherwise,
             } if width > 1 => {
-                let arm = self.select_arm(branches, otherwise, state, children, limb_vals, locals)?;
+                let arm =
+                    self.select_arm(branches, otherwise, state, children, limb_vals, locals)?;
                 let mut out = Vec::with_capacity(width);
                 for e in arm {
                     out.push(self.eval_expr(e, state, children, limb_vals, locals)?);
@@ -624,6 +675,11 @@ impl<'a> Machine<'a> {
             locals.insert(*t, v);
         }
         self.rules_this_pass += 1;
+        if let Some(probe) = &self.probe {
+            probe
+                .attrs_evaluated
+                .fetch_add(width as u64, std::sync::atomic::Ordering::Relaxed);
+        }
         Ok(())
     }
 
@@ -671,6 +727,11 @@ impl<'a> Machine<'a> {
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
                     vals.push(self.eval_expr(a, state, children, limb_vals, locals)?);
+                }
+                if let Some(probe) = &self.probe {
+                    probe
+                        .funcs_invoked
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 }
                 let name = self.analysis.grammar.resolve(*func).to_owned();
                 Ok(self.funcs.call(&name, &vals)?)
@@ -827,7 +888,9 @@ impl<'a> Machine<'a> {
             {
                 continue;
             }
-            let Some(val) = state.values.get(&a) else { continue };
+            let Some(val) = state.values.get(&a) else {
+                continue;
+            };
             let group = sub.group_of(a);
             let occ = AttrOcc::lhs(a);
             let def_subsumed = g
@@ -848,7 +911,6 @@ impl<'a> Machine<'a> {
         }
     }
 }
-
 
 /// Per-evaluation intermediate storage: a temp directory of real files
 /// (the paper) or a set of RAM buffers (the "virtual memory" ablation).
@@ -890,7 +952,7 @@ impl Store {
     fn reader(&self, k: u16, dir_: ReadDir) -> Result<AptReader, AptError> {
         match self {
             Store::Disk(dir) => AptReader::open(&dir.boundary(k), dir_),
-            Store::Memory(_) => Ok(AptReader::open_mem(self.buffer(k), dir_)),
+            Store::Memory(_) => AptReader::open_mem(self.buffer(k), dir_),
         }
     }
 }

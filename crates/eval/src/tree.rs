@@ -55,9 +55,7 @@ impl PTree {
     pub fn size(&self) -> usize {
         match self {
             PTree::Leaf { .. } => 1,
-            PTree::Node { children, .. } => {
-                1 + children.iter().map(PTree::size).sum::<usize>()
-            }
+            PTree::Node { children, .. } => 1 + children.iter().map(PTree::size).sum::<usize>(),
         }
     }
 

@@ -227,8 +227,7 @@ impl PartialEq for Value {
                 // Extensional equality over effective bindings.
                 let da = a.domain();
                 let db = b.domain();
-                da.len() == db.len()
-                    && da.iter().all(|k| a.eval(k) == b.eval(k))
+                da.len() == db.len() && da.iter().all(|k| a.eval(k) == b.eval(k))
             }
             _ => false,
         }

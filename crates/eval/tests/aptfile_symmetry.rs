@@ -9,7 +9,9 @@
 //! and a record carrying the u16-maximum 65535 attribute instances.
 
 use linguist_ag::ids::{AttrId, ProdId, SymbolId};
-use linguist_eval::aptfile::{AptReader, AptWriter, MemFile, ReadDir, Record, RecordBody, TempAptDir};
+use linguist_eval::aptfile::{
+    AptReader, AptWriter, MemFile, ReadDir, Record, RecordBody, TempAptDir,
+};
 use linguist_eval::value::Value;
 use std::sync::{Arc, Mutex};
 
@@ -53,7 +55,7 @@ fn mem_round_trip(recs: &[Record], dir: ReadDir) -> Vec<Record> {
         w.write(r).unwrap();
     }
     w.finish().unwrap();
-    let mut rd = AptReader::open_mem(buf, dir);
+    let mut rd = AptReader::open_mem(buf, dir).unwrap();
     let mut out = Vec::new();
     while let Some(rec) = rd.next().unwrap() {
         out.push(rec);

@@ -144,7 +144,11 @@ fn two_pass_grammar() -> Grammar {
     let x = b.terminal("x");
     let obj = b.intrinsic(x, "OBJ", "int");
     let p0 = b.production(s, vec![a, bb], None);
-    b.rule(p0, vec![AttrOcc::rhs(0, ai)], Expr::Occ(AttrOcc::rhs(1, bv)));
+    b.rule(
+        p0,
+        vec![AttrOcc::rhs(0, ai)],
+        Expr::Occ(AttrOcc::rhs(1, bv)),
+    );
     b.rule(p0, vec![AttrOcc::lhs(sv)], Expr::Occ(AttrOcc::rhs(0, av)));
     let p1 = b.production(a, vec![x], None);
     b.rule(
@@ -372,7 +376,10 @@ fn conditionals_and_constants_evaluate() {
     let obj = g.attr_by_name(x, "OBJ").unwrap();
 
     for (input, expect) in [(-5, 0i64), (9, 9)] {
-        let tree = PTree::node(ProdId(0), vec![PTree::leaf(x, vec![(obj, Value::Int(input))])]);
+        let tree = PTree::node(
+            ProdId(0),
+            vec![PTree::leaf(x, vec![(obj, Value::Int(input))])],
+        );
         let r = evaluate(
             &analysis,
             &Funcs::standard(),
@@ -414,7 +421,10 @@ fn multi_target_if_assigns_pairwise() {
     let obj = g.attr_by_name(x, "OBJ").unwrap();
 
     let run = |input: i64| {
-        let tree = PTree::node(ProdId(0), vec![PTree::leaf(x, vec![(obj, Value::Int(input))])]);
+        let tree = PTree::node(
+            ProdId(0),
+            vec![PTree::leaf(x, vec![(obj, Value::Int(input))])],
+        );
         evaluate(
             &analysis,
             &Funcs::standard(),
@@ -452,7 +462,11 @@ fn limb_attributes_name_common_subexpressions() {
     b.rule(
         p,
         vec![AttrOcc::lhs(w)],
-        Expr::binop(BinOp::Add, Expr::Occ(AttrOcc::limb(tmp)), Expr::Occ(AttrOcc::limb(tmp))),
+        Expr::binop(
+            BinOp::Add,
+            Expr::Occ(AttrOcc::limb(tmp)),
+            Expr::Occ(AttrOcc::limb(tmp)),
+        ),
     );
     b.start(s);
     let analysis = Analysis::run(b.build().unwrap(), &config(Direction::RightToLeft)).unwrap();

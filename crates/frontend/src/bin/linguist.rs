@@ -6,6 +6,9 @@
 //!   --listing            print the overlay-6 listing file
 //!   --stats              print the §IV statistics block (default)
 //!   --timings            print the per-overlay timing table
+//!   --profile[=FMT]      compile, then run the generated evaluator over
+//!                        a synthetic tree with the pass-level profiler
+//!                        on; FMT is text (default) or json
 //!   --emit pascal|rust   print the generated evaluator source
 //!   --first-pass rl|lr   bootstrap strategy (default rl, like the paper)
 //!   --no-subsumption     disable static subsumption
@@ -19,20 +22,33 @@
 //! through the seven-overlay pipeline on a worker pool and a summary
 //! throughput line is printed after the per-grammar reports.
 //!
+//! `--profile=json` prints exactly one JSON value on stdout (an object
+//! for a single grammar, an array under `--batch`); all human-oriented
+//! output moves to stderr so the result can be piped to a JSON consumer.
+//!
 //! Exit status: 0 on success, 1 on any syntax/semantic/analysis error
 //! (reported the way the failing overlay saw it).
 
 use linguist_ag::analysis::Config;
 use linguist_ag::passes::{Direction, PassConfig};
 use linguist_ag::subsumption::GroupMode;
+use linguist_eval::funcs::Funcs;
 use linguist_frontend::driver::{run, run_batch, DriverOptions, DriverOutput, TargetOpt};
+use linguist_frontend::report::{ProfileReport, DEFAULT_TREE_BUDGET};
 use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ProfileFmt {
+    Text,
+    Json,
+}
 
 struct Cli {
     paths: Vec<String>,
     listing: bool,
     stats: bool,
     timings: bool,
+    profile: Option<ProfileFmt>,
     emit: Option<TargetOpt>,
     first: Direction,
     no_subsumption: bool,
@@ -44,8 +60,8 @@ struct Cli {
 fn usage() -> ! {
     eprintln!(
         "usage: linguist GRAMMAR.lg [GRAMMAR2.lg ...] [--listing] [--stats] [--timings] \
-         [--emit pascal|rust] [--first-pass rl|lr] [--no-subsumption] [--coalesce] \
-         [--batch] [--jobs N]"
+         [--profile[=text|json]] [--emit pascal|rust] [--first-pass rl|lr] \
+         [--no-subsumption] [--coalesce] [--batch] [--jobs N]"
     );
     std::process::exit(2);
 }
@@ -56,6 +72,7 @@ fn parse_args() -> Cli {
         listing: false,
         stats: false,
         timings: false,
+        profile: None,
         emit: None,
         first: Direction::RightToLeft,
         no_subsumption: false,
@@ -63,12 +80,29 @@ fn parse_args() -> Cli {
         batch: false,
         jobs: None,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--listing" => cli.listing = true,
             "--stats" => cli.stats = true,
             "--timings" => cli.timings = true,
+            // Accept both `--profile=json` and `--profile json`.
+            "--profile" | "--profile=text" => {
+                cli.profile = Some(ProfileFmt::Text);
+                if a == "--profile" {
+                    match args.peek().map(String::as_str) {
+                        Some("json") => {
+                            cli.profile = Some(ProfileFmt::Json);
+                            args.next();
+                        }
+                        Some("text") => {
+                            args.next();
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            "--profile=json" => cli.profile = Some(ProfileFmt::Json),
             "--no-subsumption" => cli.no_subsumption = true,
             "--coalesce" => cli.coalesce = true,
             "--batch" => cli.batch = true,
@@ -97,7 +131,7 @@ fn parse_args() -> Cli {
     if cli.paths.len() > 1 {
         cli.batch = true;
     }
-    if !cli.listing && !cli.timings && cli.emit.is_none() {
+    if !cli.listing && !cli.timings && cli.emit.is_none() && cli.profile.is_none() {
         cli.stats = true;
     }
     cli
@@ -123,6 +157,11 @@ fn report(cli: &Cli, path: &str, out: &DriverOutput, heading: bool) {
     }
     if cli.emit.is_some() {
         print!("{}", out.generated.full_source());
+    }
+    if cli.profile == Some(ProfileFmt::Text) {
+        let r =
+            ProfileReport::collect(path, &out.analysis, &Funcs::standard(), DEFAULT_TREE_BUDGET);
+        print!("{}", r.render_text());
     }
 }
 
@@ -164,25 +203,57 @@ fn main() -> ExitCode {
             }
         };
         report(&cli, &cli.paths[0], &out, false);
+        if cli.profile == Some(ProfileFmt::Json) {
+            let r = ProfileReport::collect(
+                &cli.paths[0],
+                &out.analysis,
+                &Funcs::standard(),
+                DEFAULT_TREE_BUDGET,
+            );
+            println!("{}", r.render_json());
+        }
         return ExitCode::SUCCESS;
     }
 
-    let workers = cli.jobs.unwrap_or_else(|| {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    });
+    let workers = cli
+        .jobs
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
     let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
     let (results, stats) = run_batch(&refs, &opts, workers);
     let mut ok = true;
+    let mut json_reports = Vec::new();
+    // Anything report() would print belongs to the human; in JSON mode
+    // only the JSON value may reach stdout.
+    let human = cli.stats
+        || cli.timings
+        || cli.listing
+        || cli.emit.is_some()
+        || cli.profile == Some(ProfileFmt::Text);
     for (path, result) in cli.paths.iter().zip(&results) {
         match result {
-            Ok(out) => report(&cli, path, out, true),
+            Ok(out) => {
+                if human {
+                    report(&cli, path, out, true);
+                }
+                if cli.profile == Some(ProfileFmt::Json) {
+                    let r = ProfileReport::collect(
+                        path,
+                        &out.analysis,
+                        &Funcs::standard(),
+                        DEFAULT_TREE_BUDGET,
+                    );
+                    json_reports.push(r.render_json());
+                }
+            }
             Err(e) => {
                 ok = false;
                 eprintln!("linguist: {}: {}", path, e);
             }
         }
     }
-    println!(
+    // In JSON mode the batch summary is human-oriented: keep stdout
+    // machine-clean by sending it to stderr.
+    let summary = format!(
         "batch: {} grammar(s), {} failed, {} worker(s), {:?} wall, {:.1} grammars/sec",
         stats.jobs,
         stats.failed,
@@ -190,6 +261,12 @@ fn main() -> ExitCode {
         stats.wall,
         stats.jobs_per_sec()
     );
+    if cli.profile == Some(ProfileFmt::Json) {
+        println!("[{}]", json_reports.join(","));
+        eprintln!("{}", summary);
+    } else {
+        println!("{}", summary);
+    }
     if ok {
         ExitCode::SUCCESS
     } else {

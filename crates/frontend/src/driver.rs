@@ -73,7 +73,12 @@ impl OverlayTimings {
     /// production-procedure generation time from its lines-per-minute
     /// figure "because it will depend directly on the number of passes".
     pub fn total_excluding_generation(&self) -> Duration {
-        self.parser + self.semantic1 + self.semantic2 + self.evaluability + self.messages + self.listing
+        self.parser
+            + self.semantic1
+            + self.semantic2
+            + self.evaluability
+            + self.messages
+            + self.listing
     }
 }
 
@@ -202,8 +207,7 @@ pub fn run(source: &str, opts: &DriverOptions) -> Result<DriverOutput, DriverErr
     } else {
         insert_implicit_copies(&mut grammar)
     };
-    check_completeness(&grammar)
-        .map_err(|e| DriverError::Analysis(AnalysisError::Check(e)))?;
+    check_completeness(&grammar).map_err(|e| DriverError::Analysis(AnalysisError::Check(e)))?;
     timings.semantic2 = t.elapsed();
 
     // Overlay 4: evaluability.
@@ -216,7 +220,12 @@ pub fn run(source: &str, opts: &DriverOptions) -> Result<DriverOutput, DriverErr
     let subsumption = if opts.config.disable_subsumption {
         Subsumption::disabled(&grammar)
     } else {
-        Subsumption::compute(&grammar, opts.config.group_mode, opts.config.costs, Some(&passes))
+        Subsumption::compute(
+            &grammar,
+            opts.config.group_mode,
+            opts.config.costs,
+            Some(&passes),
+        )
     };
     let plans = build_plans(&grammar, &passes)
         .map_err(|e| DriverError::Analysis(AnalysisError::Plan(e)))?;

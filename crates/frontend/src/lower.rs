@@ -453,7 +453,11 @@ end
 end
 "#;
         let errs = lower(&parse(src).unwrap()).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("ambiguous")), "{:?}", errs);
+        assert!(
+            errs.iter().any(|e| e.message.contains("ambiguous")),
+            "{:?}",
+            errs
+        );
     }
 
     #[test]
@@ -473,7 +477,11 @@ end
 end
 "#;
         let errs = lower(&parse(src).unwrap()).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("suffix")), "{:?}", errs);
+        assert!(
+            errs.iter().any(|e| e.message.contains("suffix")),
+            "{:?}",
+            errs
+        );
     }
 
     #[test]

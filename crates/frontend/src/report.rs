@@ -1,0 +1,520 @@
+//! The `--profile` report: the paper's measurement tables, live.
+//!
+//! §IV and §V of the paper characterize a translator writing system by
+//! numbers: the grammar-statistics row ("159 symbols, 318 attributes,
+//! …"), the copy-rule fraction and how much of it static subsumption
+//! eliminates, the alternating-pass schedule, and the per-pass traffic
+//! through the two intermediate APT files. [`ProfileReport`] regenerates
+//! all of that for any compiled grammar:
+//!
+//! * the static half comes from [`GrammarProfile`] (overlay-4 products);
+//! * the dynamic half comes from actually *running* the generated
+//!   evaluator, profiled, over a synthetic parse tree grown from the
+//!   grammar itself ([`synthesize_tree`]) — no input program is needed.
+//!
+//! Rendered either as aligned text tables or as JSON (hand-assembled;
+//! the toolchain has no serialization dependency).
+
+use linguist_ag::analysis::Analysis;
+use linguist_ag::grammar::{AttrClass, Grammar, SymbolKind};
+use linguist_ag::ids::{ProdId, SymbolId};
+use linguist_ag::passes::Direction;
+use linguist_ag::stats::GrammarProfile;
+use linguist_eval::aptfile::ReadDir;
+use linguist_eval::funcs::Funcs;
+use linguist_eval::machine::{evaluate, Backing, EvalOptions, Strategy};
+use linguist_eval::metrics::EvalMetrics;
+use linguist_eval::tree::PTree;
+use linguist_eval::value::Value;
+use std::fmt::Write as _;
+
+/// Node budget for the synthetic exercise tree when the caller does not
+/// choose one: large enough that every pass moves real file traffic,
+/// small enough to stay far under the 48 KB dynamic-memory budget.
+pub const DEFAULT_TREE_BUDGET: usize = 200;
+
+/// The complete `--profile` report for one grammar.
+#[derive(Clone, Debug)]
+pub struct ProfileReport {
+    /// Grammar name (from the source's `grammar … ;` header or the file).
+    pub name: String,
+    /// The static half: statistics, subsumption, pass schedule.
+    pub grammar: GrammarProfile,
+    /// Nodes in the synthetic tree the dynamic half evaluated (0 when no
+    /// tree could be synthesized).
+    pub tree_nodes: usize,
+    /// The dynamic half: per-pass I/O and work counters, when the
+    /// profiled evaluation ran to completion.
+    pub eval: Option<EvalMetrics>,
+    /// Why the dynamic half is missing, when it is (a semantic function
+    /// rejecting the synthetic attribute values, say). The static half
+    /// is still valid.
+    pub eval_error: Option<String>,
+}
+
+impl ProfileReport {
+    /// The static half only: no evaluation is attempted.
+    pub fn without_eval(name: &str, analysis: &Analysis) -> ProfileReport {
+        ProfileReport {
+            name: name.to_string(),
+            grammar: analysis.profile(),
+            tree_nodes: 0,
+            eval: None,
+            eval_error: None,
+        }
+    }
+
+    /// Collect the full report: profile the grammar statically, then
+    /// synthesize a parse tree of roughly `budget` nodes and run the
+    /// evaluator over it with profiling on (disk-backed, as in the
+    /// paper, so the I/O columns reflect real file traffic).
+    ///
+    /// A grammar whose semantic functions reject the synthetic intrinsic
+    /// values still yields a report — the failure is recorded in
+    /// [`eval_error`](ProfileReport::eval_error) instead of aborting.
+    pub fn collect(name: &str, analysis: &Analysis, funcs: &Funcs, budget: usize) -> ProfileReport {
+        let mut report = ProfileReport::without_eval(name, analysis);
+        let tree = match synthesize_tree(&analysis.grammar, budget) {
+            Some(t) => t,
+            None => {
+                report.eval_error =
+                    Some("no finite derivation exists for the start symbol".to_string());
+                return report;
+            }
+        };
+        report.tree_nodes = tree.size();
+        // The initial-file strategy must match the planned first
+        // direction: a right-to-left first pass reads the bottom-up
+        // (shift-reduce order) file backwards; a left-to-right first
+        // pass reads the prefix-order file forwards.
+        let strategy = match analysis.passes.direction(1) {
+            Direction::RightToLeft => Strategy::BottomUp,
+            Direction::LeftToRight => Strategy::Prefix,
+        };
+        let opts = EvalOptions {
+            strategy,
+            backing: Backing::Disk,
+            profile: true,
+            ..EvalOptions::default()
+        };
+        match evaluate(analysis, funcs, &tree, &opts) {
+            Ok(eval) => report.eval = eval.metrics,
+            Err(e) => report.eval_error = Some(e.to_string()),
+        }
+        report
+    }
+
+    /// The aligned-text rendering: the §IV statistics block followed by
+    /// the per-pass traffic table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== profile: {} ===", self.name);
+        let _ = writeln!(out, "{}", self.grammar);
+        match (&self.eval, &self.eval_error) {
+            (Some(m), _) => {
+                let _ = writeln!(out);
+                let _ = writeln!(
+                    out,
+                    "evaluation over a synthetic {}-node tree:",
+                    self.tree_nodes
+                );
+                let _ = writeln!(
+                    out,
+                    "initial file (boundary 0): {} records, {} bytes",
+                    m.initial_records, m.initial_bytes
+                );
+                let _ = writeln!(
+                    out,
+                    "{:<5} {:<9} {:>6} {:>10} {:>6} {:>10} {:>7} {:>7} {:>7}",
+                    "pass",
+                    "reads",
+                    "rec-in",
+                    "bytes-in",
+                    "rec-out",
+                    "bytes-out",
+                    "attrs",
+                    "funcs",
+                    "rules"
+                );
+                for p in &m.passes {
+                    let dir = match p.direction {
+                        ReadDir::Forward => "forward",
+                        ReadDir::Backward => "backward",
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{:<5} {:<9} {:>6} {:>10} {:>6} {:>10} {:>7} {:>7} {:>7}",
+                        p.pass,
+                        dir,
+                        p.records_read,
+                        p.bytes_read,
+                        p.records_written,
+                        p.bytes_written,
+                        p.attrs_evaluated,
+                        p.funcs_invoked,
+                        p.rules_evaluated
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "total: {} file bytes, {} attribute instances, {} function calls",
+                    m.total_io_bytes(),
+                    m.total_attrs_evaluated(),
+                    m.total_funcs_invoked()
+                );
+            }
+            (None, Some(e)) => {
+                let _ = writeln!(out);
+                let _ = writeln!(out, "evaluation profile unavailable: {}", e);
+            }
+            (None, None) => {}
+        }
+        out
+    }
+
+    /// The JSON rendering (a single object; stable key order).
+    pub fn render_json(&self) -> String {
+        let g = &self.grammar;
+        let s = &g.stats;
+        let mut out = String::new();
+        out.push('{');
+        let _ = write!(out, "\"name\":{}", json_str(&self.name));
+        out.push_str(",\"grammar\":{");
+        let _ = write!(
+            out,
+            "\"symbols\":{},\"terminals\":{},\"nonterminals\":{},\"limbs\":{}",
+            s.symbols, s.terminals, s.nonterminals, s.limbs
+        );
+        let _ = write!(
+            out,
+            ",\"attributes\":{},\"synthesized\":{},\"inherited\":{},\"intrinsic\":{},\"limb_attrs\":{}",
+            s.attributes, s.synthesized, s.inherited, s.intrinsic, s.limb_attrs
+        );
+        let _ = write!(
+            out,
+            ",\"productions\":{},\"occurrences\":{},\"semantic_functions\":{}",
+            s.productions, s.occurrences, s.semantic_functions
+        );
+        let _ = write!(
+            out,
+            ",\"copy_rules\":{},\"implicit_copy_rules\":{},\"copy_fraction\":{}",
+            s.copy_rules,
+            s.implicit_copy_rules,
+            json_f64(s.copy_fraction())
+        );
+        let _ = write!(out, ",\"passes\":{},\"directions\":[", s.passes);
+        for (i, d) in g.directions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(match d {
+                Direction::LeftToRight => "\"left-to-right\"",
+                Direction::RightToLeft => "\"right-to-left\"",
+            });
+        }
+        out.push(']');
+        let _ = write!(
+            out,
+            ",\"static_attrs\":{},\"eligible_attrs\":{},\"copy_rules_subsumed\":{},\"copy_rules_remaining\":{},\"save_restore_sites\":{},\"elimination_fraction\":{}",
+            g.subsumption.static_attrs,
+            g.subsumption.eligible_attrs,
+            g.subsumption.subsumed_rules,
+            g.copy_rules_after(),
+            g.subsumption.save_restore_sites,
+            json_f64(g.elimination_fraction())
+        );
+        out.push('}');
+        let _ = write!(out, ",\"tree_nodes\":{}", self.tree_nodes);
+        match &self.eval {
+            Some(m) => {
+                let _ = write!(out, ",\"eval\":{}", metrics_json(m));
+            }
+            None => out.push_str(",\"eval\":null"),
+        }
+        match &self.eval_error {
+            Some(e) => {
+                let _ = write!(out, ",\"eval_error\":{}", json_str(e));
+            }
+            None => out.push_str(",\"eval_error\":null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Render an [`EvalMetrics`] profile as a JSON object — shared between
+/// the `--profile=json` report and the benchmark snapshot writer, so
+/// `BENCH_*.json` files carry the same per-pass I/O shape.
+pub fn metrics_json(m: &EvalMetrics) -> String {
+    let mut out = String::new();
+    out.push('{');
+    let _ = write!(
+        out,
+        "\"initial_records\":{},\"initial_bytes\":{}",
+        m.initial_records, m.initial_bytes
+    );
+    let _ = write!(
+        out,
+        ",\"total_io_bytes\":{},\"total_attrs_evaluated\":{},\"total_funcs_invoked\":{}",
+        m.total_io_bytes(),
+        m.total_attrs_evaluated(),
+        m.total_funcs_invoked()
+    );
+    out.push_str(",\"passes\":[");
+    for (i, p) in m.passes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"pass\":{},\"direction\":\"{}\",\"input_boundary\":{},\"output_boundary\":{},\"records_read\":{},\"bytes_read\":{},\"records_written\":{},\"bytes_written\":{},\"attrs_evaluated\":{},\"funcs_invoked\":{},\"rules_evaluated\":{}}}",
+            p.pass,
+            match p.direction {
+                ReadDir::Forward => "forward",
+                ReadDir::Backward => "backward",
+            },
+            p.input_boundary,
+            p.output_boundary,
+            p.records_read,
+            p.bytes_read,
+            p.records_written,
+            p.bytes_written,
+            p.attrs_evaluated,
+            p.funcs_invoked,
+            p.rules_evaluated
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A finite float as a JSON number (JSON has no NaN/Infinity).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{}", v)
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A synthetic intrinsic value of the declared (uninterpreted) type.
+/// Arithmetic-looking types get small integers so `+`/`*` rules work;
+/// everything else falls back to a value its name suggests.
+fn default_value(type_name: &str) -> Value {
+    match type_name {
+        "bool" | "boolean" => Value::Bool(false),
+        "string" | "str" => Value::str("v"),
+        "set" | "setof" => Value::empty_set(),
+        "list" => Value::nil(),
+        "map" | "pf" => Value::empty_map(),
+        _ => Value::Int(1),
+    }
+}
+
+/// Grow a parse tree of roughly `budget` nodes from the grammar alone.
+///
+/// A fixpoint over productions finds the cheapest finite derivation of
+/// every nonterminal (`None` if the start symbol has no finite
+/// derivation — the report then skips the dynamic half). Expansion
+/// prefers the *most expensive* viable production while the node budget
+/// lasts, so recursive grammars yield deep trees with real inter-pass
+/// traffic instead of the one-production minimum; once the budget runs
+/// out every choice falls back to the cheapest production. Terminal
+/// leaves carry default intrinsic values chosen by declared type.
+pub fn synthesize_tree(g: &Grammar, budget: usize) -> Option<PTree> {
+    let nsym = g.symbols().len();
+    // min_cost[s] = nodes in the cheapest subtree rooted at s.
+    let mut min_cost: Vec<Option<usize>> = (0..nsym)
+        .map(|i| match g.symbols()[i].kind {
+            SymbolKind::Terminal => Some(1),
+            _ => None,
+        })
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (pi, p) in g.productions().iter().enumerate() {
+            let _ = pi;
+            let cost = p
+                .rhs
+                .iter()
+                .try_fold(1usize, |acc, s| min_cost[s.0 as usize].map(|c| acc + c));
+            if let Some(c) = cost {
+                let slot = &mut min_cost[p.lhs.0 as usize];
+                if slot.map(|old| c < old).unwrap_or(true) {
+                    *slot = Some(c);
+                    changed = true;
+                }
+            }
+        }
+    }
+    min_cost[g.start().0 as usize]?;
+
+    let mut remaining = budget.max(min_cost[g.start().0 as usize].unwrap());
+    Some(build(g, g.start(), &min_cost, &mut remaining))
+}
+
+/// Expand `sym`, spending from `remaining`.
+fn build(g: &Grammar, sym: SymbolId, min_cost: &[Option<usize>], remaining: &mut usize) -> PTree {
+    if g.symbol(sym).kind == SymbolKind::Terminal {
+        *remaining = remaining.saturating_sub(1);
+        let intrinsics = g
+            .symbol(sym)
+            .attrs
+            .iter()
+            .filter(|&&a| g.attr(a).class == AttrClass::Intrinsic)
+            .map(|&a| (a, default_value(g.resolve(g.attr(a).type_name))))
+            .collect();
+        return PTree::leaf(sym, intrinsics);
+    }
+
+    // Viable productions for this nonterminal, with their minimum cost.
+    let mut viable: Vec<(ProdId, usize)> = g
+        .productions()
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.lhs == sym)
+        .filter_map(|(i, p)| {
+            p.rhs
+                .iter()
+                .try_fold(1usize, |acc, s| min_cost[s.0 as usize].map(|c| acc + c))
+                .map(|c| (ProdId(i as u32), c))
+        })
+        .collect();
+    viable.sort_by_key(|&(_, c)| c);
+    let cheapest = viable[0];
+    // Prefer the most expensive production the budget still covers:
+    // that is what makes recursive grammars recurse.
+    let (prod, _) = viable
+        .iter()
+        .rev()
+        .find(|&&(_, c)| c <= *remaining)
+        .copied()
+        .unwrap_or(cheapest);
+
+    *remaining = remaining.saturating_sub(1);
+    let rhs = g.production(prod).rhs.clone();
+    // Reserve the minimum for the siblings to the right so an early
+    // child cannot starve them below their cheapest derivation.
+    let mut children = Vec::with_capacity(rhs.len());
+    for (i, &child) in rhs.iter().enumerate() {
+        let reserve: usize = rhs[i + 1..]
+            .iter()
+            .map(|s| min_cost[s.0 as usize].unwrap_or(0))
+            .sum();
+        let mut child_budget = remaining.saturating_sub(reserve);
+        let before = child_budget;
+        let t = build(g, child, min_cost, &mut child_budget);
+        *remaining = remaining.saturating_sub(before - child_budget);
+        children.push(t);
+    }
+    PTree::node(prod, children)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run, DriverOptions};
+
+    const TINY: &str = r#"
+grammar Tiny ;
+terminals  x : intrinsic OBJ int ;
+nonterminals  s : syn V int ;
+start s ;
+productions
+prod s0 = s1 x :
+  s0.V = s1.V + x.OBJ ;
+end
+prod s0 = x :
+  s0.V = x.OBJ ;
+end
+end
+"#;
+
+    #[test]
+    fn synthesized_tree_respects_budget_and_grows() {
+        let out = run(TINY, &DriverOptions::default()).unwrap();
+        let g = &out.analysis.grammar;
+        let small = synthesize_tree(g, 1).unwrap();
+        // Minimum derivation: s -> x, two nodes.
+        assert_eq!(small.size(), 2);
+        let big = synthesize_tree(g, 40).unwrap();
+        assert!(big.size() > 20, "budget 40 gave {} nodes", big.size());
+        assert!(big.size() <= 41);
+    }
+
+    #[test]
+    fn collect_produces_metrics_for_a_working_grammar() {
+        let out = run(TINY, &DriverOptions::default()).unwrap();
+        let r = ProfileReport::collect("tiny", &out.analysis, &Funcs::standard(), 30);
+        assert!(r.eval_error.is_none(), "eval failed: {:?}", r.eval_error);
+        let m = r.eval.as_ref().unwrap();
+        assert_eq!(m.passes.len(), out.analysis.passes.num_passes());
+        assert!(m.initial_records > 0);
+        assert!(m.passes[0].records_read > 0);
+        assert_eq!(m.passes[0].records_read, m.initial_records);
+        let text = r.render_text();
+        assert!(text.contains("pass"), "{}", text);
+        assert!(text.contains("copy-rules subsumed"), "{}", text);
+    }
+
+    #[test]
+    fn json_rendering_is_balanced_and_escaped() {
+        let out = run(TINY, &DriverOptions::default()).unwrap();
+        let mut r = ProfileReport::collect("ti\"ny\n", &out.analysis, &Funcs::standard(), 30);
+        let json = r.render_json();
+        assert!(json.contains("\"ti\\\"ny\\n\""), "{}", json);
+        assert_balanced(&json);
+        // And the no-eval shape.
+        r.eval = None;
+        r.eval_error = Some("boom".to_string());
+        let json = r.render_json();
+        assert!(json.contains("\"eval\":null"), "{}", json);
+        assert!(json.contains("\"eval_error\":\"boom\""), "{}", json);
+        assert_balanced(&json);
+    }
+
+    /// Cheap structural check: braces/brackets balance outside strings.
+    fn assert_balanced(json: &str) {
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut esc = false;
+        for c in json.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced: {}", json);
+        }
+        assert_eq!(depth, 0, "unbalanced: {}", json);
+        assert!(!in_str, "unterminated string: {}", json);
+    }
+}

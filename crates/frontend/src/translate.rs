@@ -169,12 +169,12 @@ impl UserParser {
                 .collect();
             b.production(nt_of_sym[&p.lhs], rhs);
         }
-        let cfg = b.start(nt_of_sym[&g.start()]).build().expect("grammar is valid");
+        let cfg = b
+            .start(nt_of_sym[&g.start()])
+            .build()
+            .expect("grammar is valid");
         let table = LalrTable::build(&cfg)?;
-        Ok(UserParser {
-            table,
-            term_of_sym,
-        })
+        Ok(UserParser { table, term_of_sym })
     }
 
     /// The LALR terminal for a grammar terminal.
@@ -202,12 +202,9 @@ impl UserParser {
     where
         I: IntoIterator<Item = (SymbolId, Vec<(AttrId, Value)>)>,
     {
-        let stream = tokens.into_iter().map(|(sym, intrinsics)| {
-            (
-                self.term_of_sym[&sym],
-                (sym, intrinsics),
-            )
-        });
+        let stream = tokens
+            .into_iter()
+            .map(|(sym, intrinsics)| (self.term_of_sym[&sym], (sym, intrinsics)));
         let parser = Parser::new(&self.table);
         let mut stack: Vec<PTree> = Vec::new();
         parser.parse_with(stream, |event| match event {
@@ -301,7 +298,9 @@ impl Translator {
             let vals = intrinsics(g, &mut ctx);
             stream.push((sym, vals));
         }
-        self.parser.parse_tree(stream).map_err(TranslateError::Parse)
+        self.parser
+            .parse_tree(stream)
+            .map_err(TranslateError::Parse)
     }
 
     /// Scan, parse, and evaluate `input` — the whole translator.
@@ -359,7 +358,7 @@ impl Translator {
         }
 
         // Evaluation phase: the parallel part.
-        let batch = BatchEvaluator::with_options(workers, *opts);
+        let batch = BatchEvaluator::with_options(workers, opts.clone());
         let outcome = batch.run(&self.analysis, funcs, &trees);
         for (origin, result) in origins.into_iter().zip(outcome.results) {
             results[origin] = Some(result.map_err(TranslateError::Eval));

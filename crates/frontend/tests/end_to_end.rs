@@ -57,12 +57,7 @@ fn calculator_translates_arithmetic() {
     let t = calc_translator();
     let funcs = Funcs::standard();
     let opts = EvalOptions::default();
-    for (input, expect) in [
-        ("1+2", 3i64),
-        ("10-3-4", 3),
-        ("7", 7),
-        ("1+2+3+4+5-6", 9),
-    ] {
+    for (input, expect) in [("1+2", 3i64), ("10-3-4", 3), ("7", 7), ("1+2+3+4+5-6", 9)] {
         let result = t.translate(input, &funcs, &opts).expect(input);
         assert_eq!(
             result.output(&t.analysis, "V"),

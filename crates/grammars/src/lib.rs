@@ -274,8 +274,7 @@ mod tests {
             ("meta", meta_source(), meta_scanner()),
         ] {
             let out = analyze(src).unwrap_or_else(|e| panic!("{}: {}", name, e));
-            Translator::new(out.analysis, scanner)
-                .unwrap_or_else(|e| panic!("{}: {}", name, e));
+            Translator::new(out.analysis, scanner).unwrap_or_else(|e| panic!("{}: {}", name, e));
         }
     }
 
@@ -288,7 +287,11 @@ mod tests {
         let s = out.stats;
         assert!(s.symbols > 60, "symbols = {}", s.symbols);
         assert!(s.productions > 50, "productions = {}", s.productions);
-        assert!(s.semantic_functions > 150, "rules = {}", s.semantic_functions);
+        assert!(
+            s.semantic_functions > 150,
+            "rules = {}",
+            s.semantic_functions
+        );
         assert!(
             s.copy_fraction() > 0.35 && s.copy_fraction() < 0.75,
             "copy fraction = {:.2}",

@@ -191,9 +191,6 @@ mod tests {
             &EvalOptions::default(),
         )
         .unwrap();
-        assert!(matches!(
-            r.output(&analysis, "OUT"),
-            Some(Value::Int(_))
-        ));
+        assert!(matches!(r.output(&analysis, "OUT"), Some(Value::Int(_))));
     }
 }

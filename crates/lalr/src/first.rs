@@ -85,10 +85,12 @@ impl FirstSets {
             for p in g.productions() {
                 let lhs = p.lhs.0 as usize;
                 // nullable
-                if !nullable[lhs] && p.rhs.iter().all(|s| match s {
-                    Sym::T(_) => false,
-                    Sym::N(n) => nullable[n.0 as usize],
-                }) {
+                if !nullable[lhs]
+                    && p.rhs.iter().all(|s| match s {
+                        Sym::T(_) => false,
+                        Sym::N(n) => nullable[n.0 as usize],
+                    })
+                {
                     nullable[lhs] = true;
                     changed = true;
                 }

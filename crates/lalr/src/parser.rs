@@ -275,7 +275,9 @@ mod tests {
         let g = dragon();
         let table = LalrTable::build(&g).unwrap();
         let parser = Parser::new(&table);
-        let err = parser.parse(std::iter::empty::<(TermId, ())>()).unwrap_err();
+        let err = parser
+            .parse(std::iter::empty::<(TermId, ())>())
+            .unwrap_err();
         assert_eq!(err.found, "<eof>");
     }
 
@@ -286,8 +288,11 @@ mod tests {
         let parser = Parser::new(&table);
         let id = g.term_by_name("id").unwrap();
         let plus = g.term_by_name("+").unwrap();
-        let toks: Vec<(TermId, usize)> =
-            [id, plus, id].into_iter().enumerate().map(|(i, t)| (t, i)).collect();
+        let toks: Vec<(TermId, usize)> = [id, plus, id]
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (t, i))
+            .collect();
         let collected = parser.parse(toks.clone()).unwrap();
         let mut streamed = Vec::new();
         parser.parse_with(toks, |e| streamed.push(e)).unwrap();

@@ -64,7 +64,11 @@ pub struct TableError {
 
 impl fmt::Display for TableError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "grammar is not LALR(1): {} conflict(s)", self.conflicts.len())?;
+        writeln!(
+            f,
+            "grammar is not LALR(1): {} conflict(s)",
+            self.conflicts.len()
+        )?;
         for c in &self.conflicts {
             write!(f, "{}", c)?;
         }
@@ -123,7 +127,9 @@ impl LalrTable {
             // LR(1) closure of {(item, #)}.
             let closure = lr1_closure(g, &firsts, &[(item, dummy_set(g))]);
             for (citem, look) in &closure {
-                let Some(sym) = citem.next_sym(g) else { continue };
+                let Some(sym) = citem.next_sym(g) else {
+                    continue;
+                };
                 let target_state = lr0.goto(state, sym).expect("goto exists for closure item");
                 let target_item = citem.advanced();
                 let target_slot = slot_of[&(target_state, target_item)];
@@ -139,7 +145,13 @@ impl LalrTable {
         }
 
         // Initialize: end-of-input on the augmented start item.
-        let start_slot = slot_of[&(0, Item { prod: g.aug_prod(), dot: 0 })];
+        let start_slot = slot_of[&(
+            0,
+            Item {
+                prod: g.aug_prod(),
+                dot: 0,
+            },
+        )];
         la[start_slot].insert(g.eof());
 
         // Propagate to fixpoint.
@@ -298,11 +310,7 @@ fn insert_action(
                 terminal: g.term_name(t).to_owned(),
                 existing: render_action(g, existing),
                 incoming: render_action(g, act),
-                items: lr0
-                    .closure(g, state)
-                    .iter()
-                    .map(|i| i.display(g))
-                    .collect(),
+                items: lr0.closure(g, state).iter().map(|i| i.display(g)).collect(),
             });
         }
     }
@@ -338,7 +346,9 @@ fn lr1_closure(g: &Grammar, firsts: &FirstSets, seeds: &[(Item, LookSet)]) -> Ve
         changed = false;
         for i in 0..items.len() {
             let (item, look) = items[i].clone();
-            let Some(Sym::N(nt)) = item.next_sym(g) else { continue };
+            let Some(Sym::N(nt)) = item.next_sym(g) else {
+                continue;
+            };
             // beta = what follows the crossed nonterminal.
             let rhs = &g.production(item.prod).rhs;
             let beta = &rhs[item.dot as usize + 1..];

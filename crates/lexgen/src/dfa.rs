@@ -104,7 +104,13 @@ impl Dfa {
             for s in 0..n {
                 let sig: Vec<u32> = self.trans[s]
                     .iter()
-                    .map(|&t| if t == DEAD { u32::MAX } else { block[t as usize] })
+                    .map(|&t| {
+                        if t == DEAD {
+                            u32::MAX
+                        } else {
+                            block[t as usize]
+                        }
+                    })
                     .collect();
                 let key = (block[s], sig);
                 let fresh = sig_index.len() as u32;

@@ -267,7 +267,9 @@ impl<'p> Parser<'p> {
             Some(b'[') => Ok(Regex::Class(self.class()?)),
             Some(b'.') => Ok(Regex::Class(ClassSet::dot())),
             Some(b'\\') => {
-                let b = self.bump().ok_or_else(|| self.error("trailing backslash"))?;
+                let b = self
+                    .bump()
+                    .ok_or_else(|| self.error("trailing backslash"))?;
                 Ok(Regex::Class(ClassSet::single(unescape(b))))
             }
             Some(b @ (b'*' | b'+' | b'?')) => Err(ParseRegexError {
@@ -293,20 +295,23 @@ impl<'p> Parser<'p> {
                 None => return Err(self.error("unterminated character class")),
                 Some(b']') if !first => break,
                 Some(b'\\') => {
-                    let e = self.bump().ok_or_else(|| self.error("trailing backslash"))?;
+                    let e = self
+                        .bump()
+                        .ok_or_else(|| self.error("trailing backslash"))?;
                     unescape(e)
                 }
                 Some(b) => b,
             };
             first = false;
-            if self.peek() == Some(b'-')
-                && self.bytes.get(self.pos + 1).is_some_and(|&n| n != b']')
+            if self.peek() == Some(b'-') && self.bytes.get(self.pos + 1).is_some_and(|&n| n != b']')
             {
                 self.bump(); // '-'
                 let hi = match self.bump() {
                     None => return Err(self.error("unterminated range")),
                     Some(b'\\') => {
-                        let e = self.bump().ok_or_else(|| self.error("trailing backslash"))?;
+                        let e = self
+                            .bump()
+                            .ok_or_else(|| self.error("trailing backslash"))?;
                         unescape(e)
                     }
                     Some(h) => h,

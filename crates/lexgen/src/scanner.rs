@@ -192,11 +192,7 @@ impl Scanner {
         Ok(out)
     }
 
-    fn scan_with(
-        &self,
-        source: &str,
-        mut emit: impl FnMut(Token),
-    ) -> Result<(), ScanError> {
+    fn scan_with(&self, source: &str, mut emit: impl FnMut(Token)) -> Result<(), ScanError> {
         let bytes = source.as_bytes();
         let mut pos = Pos::start();
         while (pos.offset as usize) < bytes.len() {

@@ -127,7 +127,11 @@ mod tests {
         let (_, tables) = tables_for(&["[a-z]+"]);
         // All 26 lowercase letters behave identically: far fewer classes
         // than 256 bytes.
-        assert!(tables.num_classes() <= 3, "classes = {}", tables.num_classes());
+        assert!(
+            tables.num_classes() <= 3,
+            "classes = {}",
+            tables.num_classes()
+        );
     }
 
     #[test]

@@ -46,7 +46,11 @@ pub struct Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {}: {}", self.span.start, self.severity, self.message)
+        write!(
+            f,
+            "{}: {}: {}",
+            self.span.start, self.severity, self.message
+        )
     }
 }
 

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             p.semantic_bytes
         );
     }
-    println!("  husk   - {:>6} bytes  (same for every pass)\n", evaluator.husk_bytes());
+    println!(
+        "  husk   - {:>6} bytes  (same for every pass)\n",
+        evaluator.husk_bytes()
+    );
 
     // With vs without static subsumption.
     let without = {

@@ -4,17 +4,22 @@
 #   scripts/verify.sh
 #
 # Steps (all must pass):
-#   1. release build of the whole workspace
-#   2. tier-1 test suite (root package integration tests)
-#   3. full workspace test suite (every crate + vendored shims)
-#   4. clippy, warnings denied
+#   1. formatting check
+#   2. release build of the whole workspace
+#   3. tier-1 test suite (root package integration tests)
+#   4. full workspace test suite (every crate + vendored shims)
+#   5. clippy, warnings denied
+#   6. --profile=json smoke test: the CLI's JSON output must parse
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-echo "== cargo build --release =="
-cargo build --release
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo build --release --workspace =="
+cargo build --release --workspace
 
 echo "== cargo test -q =="
 cargo test -q
@@ -24,5 +29,9 @@ cargo test --workspace -q
 
 echo "== cargo clippy --workspace -q -- -D warnings =="
 cargo clippy --workspace -q -- -D warnings
+
+echo "== linguist --profile=json smoke test =="
+target/release/linguist crates/grammars/lg/calc.lg --profile=json | python3 -m json.tool > /dev/null
+echo "profile JSON parses"
 
 echo "verify: all green"

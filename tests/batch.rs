@@ -15,7 +15,9 @@ use linguist86::eval::tree::PTree;
 use linguist86::eval::value::Value;
 use linguist86::frontend::translate::standard_intrinsics;
 use linguist86::frontend::Translator;
-use linguist86::grammars::{analyze, block_program, block_scanner, block_source, calc_scanner, calc_source};
+use linguist86::grammars::{
+    analyze, block_program, block_scanner, block_source, calc_scanner, calc_source,
+};
 use linguist_support::intern::NameTable;
 
 const WORKERS: usize = 8;
@@ -66,7 +68,8 @@ fn parse_all(tr: &Translator, inputs: &[String]) -> Vec<PTree> {
 
 fn stress(tr: &Translator, trees: &[PTree], opts: &EvalOptions) {
     let funcs = linguist86::eval::Funcs::standard();
-    let outcome = BatchEvaluator::with_options(WORKERS, *opts).run(&tr.analysis, &funcs, trees);
+    let outcome =
+        BatchEvaluator::with_options(WORKERS, opts.clone()).run(&tr.analysis, &funcs, trees);
 
     assert_eq!(outcome.stats.jobs, trees.len());
     assert_eq!(outcome.stats.failed, 0, "no job may fail");

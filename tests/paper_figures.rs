@@ -232,11 +232,19 @@ end
         "procedure named after the limb: {}",
         proc1.name
     );
-    let get_limb = src_text.find("GetNodeFUNCTIONLISTLIMB").expect("limb read first");
-    let put_limb = src_text.find("PutNodeFUNCTIONLISTLIMB").expect("limb written last");
+    let get_limb = src_text
+        .find("GetNodeFUNCTIONLISTLIMB")
+        .expect("limb read first");
+    let put_limb = src_text
+        .find("PutNodeFUNCTIONLISTLIMB")
+        .expect("limb written last");
     let get_fn = src_text.find("GetNodeFUNCTION(").expect("child read");
     let visit = src_text.find("FUNCTION_LISTPP").expect("recursive call");
-    assert!(get_limb < get_fn && get_fn < visit && visit < put_limb, "{}", src_text);
+    assert!(
+        get_limb < get_fn && get_fn < visit && visit < put_limb,
+        "{}",
+        src_text
+    );
     // LHS occurrence naming per the figure: FUNCTION_LIST0 / FUNCTION_LIST1.
     assert!(src_text.contains("FUNCTION_LIST0"), "{}", src_text);
     assert!(src_text.contains("FUNCTION_LIST1"), "{}", src_text);
@@ -305,7 +313,11 @@ end
     // modified example.
     assert!(full.contains("G_ENV"), "{}", full);
     assert!(full.contains("_QZP"), "save temporaries rendered: {}", full);
-    assert!(full.contains("_ZQP"), "new-value temporaries rendered: {}", full);
+    assert!(
+        full.contains("_ZQP"),
+        "new-value temporaries rendered: {}",
+        full
+    );
     // The Y production's copies are commented out (subsumed).
     assert!(out.generated.subsumed_rules() >= 2, "both Y copies subsume");
     assert!(out
@@ -329,12 +341,16 @@ end
     };
     // "1 y 3": the Y level pushes nothing, the X level sees itself in
     // ENV after extension: one increment.
-    let r = t.translate("1 y 3", &Funcs::standard(), &eval_opts).unwrap();
+    let r = t
+        .translate("1 y 3", &Funcs::standard(), &eval_opts)
+        .unwrap();
     assert_eq!(r.output(&t.analysis, "OUT"), Some(&Value::Int(1)));
     assert!(r.stats.globals_checked > 0);
     assert_eq!(r.stats.globals_repaired, 0);
     // "1 2 3": two X levels above the leaf, each sees itself: two.
-    let r = t.translate("1 2 3", &Funcs::standard(), &eval_opts).unwrap();
+    let r = t
+        .translate("1 2 3", &Funcs::standard(), &eval_opts)
+        .unwrap();
     assert_eq!(r.output(&t.analysis, "OUT"), Some(&Value::Int(2)));
 }
 
@@ -385,4 +401,114 @@ end
         .unwrap();
     assert_eq!(r.output(&t.analysis, "PUBLICS"), Some(&Value::Int(3)));
     assert_eq!(r.output(&t.analysis, "PRIVATE"), Some(&Value::Int(1)));
+}
+
+/// E11 — the measurement tables, live. The paper's numbers are
+/// reproduced from the *running* system, not hard-coded into the
+/// pipeline: the pass-schedule column of §III for every bundled
+/// grammar, and §IV's copy-rule observations ("between 40 and 60
+/// percent of the semantic functions in a typical grammar are
+/// copy-rules") with the static-subsumption elimination counts.
+#[test]
+fn table_pass_counts_match_paper() {
+    use linguist86::grammars as lg;
+    // (source, name, alternating passes under the paper's
+    // right-to-left-first bootstrap)
+    let rows: &[(&str, &str, usize)] = &[
+        (lg::calc_source(), "calc", 1),
+        (lg::knuth_source(), "knuth", 1),
+        (lg::block_source(), "block", 2),
+        (lg::pascal_source(), "pascal", 2),
+        (lg::meta_source(), "meta", 4),
+    ];
+    for &(src, name, want) in rows {
+        let out = run(src, &options(Direction::RightToLeft)).unwrap();
+        let profile = out.analysis.profile();
+        assert_eq!(profile.stats.passes, want, "{} pass count", name);
+        assert_eq!(profile.directions.len(), want, "{} schedule length", name);
+        // The driver's statistics row and the live profile agree.
+        assert_eq!(profile.stats, out.stats, "{} stats row", name);
+    }
+    // The paper's own grammar ("LINGUIST-86 is described in its own
+    // language") is the meta grammar: 4 passes, like the original.
+}
+
+#[test]
+fn table_copy_rule_elimination_matches_paper() {
+    use linguist86::grammars as lg;
+    // The §IV observation: copy-rules are 40–60% of semantic functions
+    // in attribute-heavy grammars.
+    for (src, name) in [
+        (lg::calc_source(), "calc"),
+        (lg::block_source(), "block"),
+        (lg::pascal_source(), "pascal"),
+        (lg::meta_source(), "meta"),
+    ] {
+        let out = run(src, &options(Direction::RightToLeft)).unwrap();
+        let f = out.analysis.profile().stats.copy_fraction();
+        assert!(
+            (0.40..=0.60).contains(&f),
+            "{} copy fraction {:.3} outside the paper's band",
+            name,
+            f
+        );
+    }
+
+    // Static subsumption on the meta grammar: 75 of its 154 copy-rules
+    // need not be performed at all — a 27.9% reduction in semantic
+    // functions executed.
+    let out = run(lg::meta_source(), &options(Direction::RightToLeft)).unwrap();
+    let p = out.analysis.profile();
+    assert_eq!(p.stats.semantic_functions, 269);
+    assert_eq!(p.subsumption.copy_rules, 154);
+    assert_eq!(p.subsumption.subsumed_rules, 75);
+    assert_eq!(p.copy_rules_after(), 79);
+    assert!((p.elimination_fraction() - 75.0 / 269.0).abs() < 1e-9);
+
+    // Pascal's declarations grammar: 24 of 45 copy-rules eliminated.
+    let out = run(lg::pascal_source(), &options(Direction::RightToLeft)).unwrap();
+    let p = out.analysis.profile();
+    assert_eq!(p.subsumption.copy_rules, 45);
+    assert_eq!(p.subsumption.subsumed_rules, 24);
+}
+
+#[test]
+fn table_meta_grammar_profiles_end_to_end() {
+    use linguist86::frontend::report::ProfileReport;
+    use linguist86::grammars as lg;
+
+    let out = run(lg::meta_source(), &options(Direction::RightToLeft)).unwrap();
+    let r = ProfileReport::collect("meta", &out.analysis, &Funcs::standard(), 200);
+    assert!(
+        r.eval_error.is_none(),
+        "meta eval failed: {:?}",
+        r.eval_error
+    );
+    let m = r.eval.as_ref().unwrap();
+
+    // Four alternating passes of real file traffic, conserved across
+    // every boundary.
+    assert_eq!(m.passes.len(), 4);
+    assert!(m.initial_records > 0 && m.initial_bytes > 0);
+    assert_eq!(m.passes[0].records_read, m.initial_records);
+    for w in m.passes.windows(2) {
+        assert_eq!(w[1].records_read, w[0].records_written);
+        assert_eq!(w[1].bytes_read, w[0].bytes_written);
+    }
+    // Every pass reads and rewrites the whole APT — the alternating
+    // paradigm never skips records.
+    for p in &m.passes {
+        assert_eq!(p.records_read, m.initial_records, "pass {}", p.pass);
+        assert_eq!(p.records_written, m.initial_records, "pass {}", p.pass);
+    }
+    // Subsumption shows up dynamically too: fewer semantic functions
+    // ran than the grammar declares rules for the tree (copy-rules
+    // subsumed into globals are skipped); but every pass did real work.
+    for p in &m.passes {
+        assert!(p.attrs_evaluated > 0, "pass {} evaluated nothing", p.pass);
+    }
+    // And the text rendering carries the table.
+    let text = r.render_text();
+    assert!(text.contains("alternating passes:   4"), "{}", text);
+    assert!(text.contains("copy-rules subsumed:  75 of 154"), "{}", text);
 }

@@ -9,9 +9,7 @@ use linguist86::eval::machine::EvalOptions;
 use linguist86::eval::value::Value;
 use linguist86::frontend::driver::{run, DriverError, DriverOptions};
 use linguist86::frontend::Translator;
-use linguist86::grammars::{
-    block_source, knuth_scanner, knuth_source, meta_source,
-};
+use linguist86::grammars::{block_source, knuth_scanner, knuth_source, meta_source};
 use linguist86::lexgen::ScannerDef;
 
 #[test]
@@ -22,9 +20,19 @@ fn knuth_binary_numbers_evaluate() {
     let funcs = Funcs::standard();
     let opts = EvalOptions::default();
     // Integer numerals: plain binary value.
-    for (input, expect) in [("0", 0i64), ("1", 1), ("1 0 1 1", 11), ("1 1 1 1 1 1 1 1", 255)] {
+    for (input, expect) in [
+        ("0", 0i64),
+        ("1", 1),
+        ("1 0 1 1", 11),
+        ("1 1 1 1 1 1 1 1", 255),
+    ] {
         let r = t.translate(input, &funcs, &opts).unwrap();
-        assert_eq!(r.output(&t.analysis, "VAL"), Some(&Value::Int(expect)), "{}", input);
+        assert_eq!(
+            r.output(&t.analysis, "VAL"),
+            Some(&Value::Int(expect)),
+            "{}",
+            input
+        );
     }
     // With a fraction: VAL is in units of 2^-len(fraction):
     // "1 1 0 1 . 0 1" = 13.25, len 2 → 13.25 * 4 = 53.
@@ -238,7 +246,11 @@ end
         .unwrap();
     let t = Translator::new(out.analysis, scanner).unwrap();
     let r = t
-        .translate("alpha\nbeta\n\n\ngamma", &Funcs::standard(), &EvalOptions::default())
+        .translate(
+            "alpha\nbeta\n\n\ngamma",
+            &Funcs::standard(),
+            &EvalOptions::default(),
+        )
         .unwrap();
     assert_eq!(r.output(&t.analysis, "FIRST"), Some(&Value::Int(1)));
     assert_eq!(r.output(&t.analysis, "LAST"), Some(&Value::Int(5)));

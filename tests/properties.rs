@@ -9,7 +9,7 @@ use linguist86::ag::ids::{AttrId, AttrOcc, ProdId, SymbolId};
 use linguist86::ag::passes::{Direction, PassConfig};
 use linguist86::eval::aptfile::{AptReader, AptWriter, ReadDir, Record, RecordBody, TempAptDir};
 use linguist86::eval::funcs::Funcs;
-use linguist86::eval::machine::{evaluate, EvalOptions, Strategy as BootStrategy};
+use linguist86::eval::machine::{evaluate, Backing, EvalOptions, Strategy as BootStrategy};
 use linguist86::eval::tree::PTree;
 use linguist86::eval::value::Value;
 use linguist86::frontend::driver::{run, DriverOptions};
@@ -23,16 +23,14 @@ fn arb_value() -> impl Strategy<Value = Value> {
         any::<i64>().prop_map(Value::Int),
         any::<bool>().prop_map(Value::Bool),
         "[a-z]{0,8}".prop_map(|s| Value::str(&s)),
-        (0u32..1000).prop_map(|i| Value::Sym(
-            linguist86::support::intern::Name::from_index(i as usize)
-        )),
+        (0u32..1000)
+            .prop_map(|i| Value::Sym(linguist86::support::intern::Name::from_index(i as usize))),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..4)
                 .prop_map(|v| Value::List(v.into_iter().collect())),
-            prop::collection::vec(inner, 0..4)
-                .prop_map(|v| Value::Set(v.into_iter().collect())),
+            prop::collection::vec(inner, 0..4).prop_map(|v| Value::Set(v.into_iter().collect())),
         ]
     })
 }
@@ -52,10 +50,7 @@ fn arb_record() -> impl Strategy<Value = Record> {
                 } else {
                     RecordBody::Prod(ProdId(id))
                 },
-                values: values
-                    .into_iter()
-                    .map(|(a, v)| (AttrId(a), v))
-                    .collect(),
+                values: values.into_iter().map(|(a, v)| (AttrId(a), v)).collect(),
             }
         })
 }
@@ -229,5 +224,76 @@ proptest! {
         let t = Translator::new(out.analysis, calc_scanner()).unwrap();
         let r = t.translate(&src, &Funcs::standard(), &EvalOptions::default()).unwrap();
         prop_assert_eq!(r.output(&t.analysis, "V"), Some(&Value::Int(expected)));
+    }
+}
+
+/// One translator per bootstrap configuration for the block grammar:
+/// right-to-left first (bottom-up initial file, 2 passes) and
+/// left-to-right first (prefix initial file, 1 pass). Built once — the
+/// conservation property below re-evaluates them per case.
+fn block_translators() -> &'static [(Translator, BootStrategy)] {
+    use linguist86::grammars::{block_scanner, block_source};
+    use std::sync::OnceLock;
+    static T: OnceLock<Vec<(Translator, BootStrategy)>> = OnceLock::new();
+    T.get_or_init(|| {
+        [
+            (Direction::RightToLeft, BootStrategy::BottomUp),
+            (Direction::LeftToRight, BootStrategy::Prefix),
+        ]
+        .into_iter()
+        .map(|(dir, strat)| {
+            let opts = DriverOptions {
+                config: Config {
+                    pass: PassConfig {
+                        first_direction: dir,
+                        max_passes: 8,
+                    },
+                    ..Config::default()
+                },
+                target: None,
+            };
+            let out = run(block_source(), &opts).unwrap();
+            (
+                Translator::new(out.analysis, block_scanner()).unwrap(),
+                strat,
+            )
+        })
+        .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Intermediate-file conservation: whatever pass k writes to
+    /// boundary k, pass k+1 reads back in full — records and bytes —
+    /// and pass 1 reads exactly the initial file. Holds for disk and
+    /// memory backing and for both bootstrap strategies (which exercise
+    /// both traversal directions of the record format).
+    #[test]
+    fn pass_io_is_conserved_across_boundaries(decls in 1usize..5, depth in 1usize..4) {
+        use linguist86::grammars::block_program;
+        let program = block_program(decls, depth);
+        for (t, strat) in block_translators() {
+            for backing in [Backing::Disk, Backing::Memory] {
+                let opts = EvalOptions {
+                    strategy: *strat,
+                    backing,
+                    profile: true,
+                    ..EvalOptions::default()
+                };
+                let eval = t
+                    .translate(&program, &Funcs::standard(), &opts)
+                    .unwrap();
+                let m = eval.metrics.as_ref().expect("profiling was on");
+                prop_assert!(!m.passes.is_empty());
+                prop_assert_eq!(m.passes[0].records_read, m.initial_records);
+                prop_assert_eq!(m.passes[0].bytes_read, m.initial_bytes);
+                for w in m.passes.windows(2) {
+                    prop_assert_eq!(w[1].records_read, w[0].records_written);
+                    prop_assert_eq!(w[1].bytes_read, w[0].bytes_written);
+                }
+            }
+        }
     }
 }

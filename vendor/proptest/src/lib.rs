@@ -16,12 +16,12 @@ pub mod test_runner;
 
 pub mod prelude {
     //! The usual `use proptest::prelude::*;` surface.
+    /// `prop::collection::vec(...)` etc. resolve through this alias.
+    pub use crate as prop;
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
-    /// `prop::collection::vec(...)` etc. resolve through this alias.
-    pub use crate as prop;
 }
 
 /// One uniformly chosen strategy from a list (no weights).
