@@ -1,0 +1,128 @@
+//! Checkpoint overhead and recovery latency.
+//!
+//! Not a paper table — the 1986 system restarted failed translations
+//! from scratch — but the natural robustness experiment over the same
+//! pass-structured runtime: what does durably checkpointing every pass
+//! boundary (manifest + fsync) cost an uninterrupted run, and how much
+//! faster is crash recovery that resumes from the newest surviving
+//! boundary than a restart from scratch?
+
+use linguist_bench::{median_time, rule, us, write_snapshot};
+use linguist_eval::aptfile::{FaultSpec, FaultTarget};
+use linguist_eval::machine::{evaluate, evaluate_resumable, EvalOptions, Evaluation, Strategy};
+use linguist_eval::Funcs;
+use linguist_frontend::translate::standard_intrinsics;
+use linguist_frontend::{run, DriverOptions, Translator};
+use linguist_grammars::{block_program, block_scanner, block_source};
+use linguist_support::intern::NameTable;
+use std::path::PathBuf;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "linguist86-bench-ckpt-{}-{}",
+        std::process::id(),
+        tag
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    rule("checkpoint overhead + recovery latency (block grammar)");
+
+    let analysis = run(block_source(), &DriverOptions::default())
+        .expect("block grammar analyzes")
+        .analysis;
+    let tr = Translator::new(analysis, block_scanner()).expect("block translator builds");
+    let funcs = Funcs::standard();
+    let strategy = match tr.analysis.passes.direction(1) {
+        linguist_ag::passes::Direction::RightToLeft => Strategy::BottomUp,
+        linguist_ag::passes::Direction::LeftToRight => Strategy::Prefix,
+    };
+    let opts = EvalOptions {
+        strategy,
+        ..EvalOptions::default()
+    };
+    let num_passes = tr.analysis.passes.num_passes() as u16;
+
+    let src = block_program(40, 6);
+    let mut names = NameTable::new();
+    let tree = tr
+        .parse_input(&src, &standard_intrinsics, &mut names)
+        .expect("generated block program parses");
+    println!(
+        "{}-pass evaluation over a {}-node tree\n",
+        num_passes,
+        tree.size()
+    );
+
+    const RUNS: usize = 15;
+
+    // -- uninterrupted: plain vs checkpointed ------------------------------
+    let plain = median_time(RUNS, || {
+        evaluate(&tr.analysis, &funcs, &tree, &opts).expect("plain run");
+    });
+    let ckpt_dir = scratch_dir("overhead");
+    let checkpointed = median_time(RUNS, || {
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        evaluate_resumable(&tr.analysis, &funcs, &tree, &opts, &ckpt_dir)
+            .expect("checkpointed run");
+    });
+    let overhead = checkpointed.as_secs_f64() / plain.as_secs_f64().max(f64::MIN_POSITIVE) - 1.0;
+    println!("{:<34} {:>12}", "plain evaluate", us(plain));
+    println!(
+        "{:<34} {:>12}  (+{:.0}%)",
+        "checkpointed (manifest + fsync)",
+        us(checkpointed),
+        overhead * 100.0
+    );
+
+    // -- crashed at the last pass: resume vs restart ----------------------
+    // The crash scenario: a one-shot write fault kills the final pass, so
+    // every earlier boundary survives on disk with a valid manifest.
+    let crash_dir = scratch_dir("recovery");
+    let crashed_opts = EvalOptions {
+        fault: Some(FaultSpec::new(num_passes, FaultTarget::Write, 0)),
+        ..opts.clone()
+    };
+    evaluate_resumable(&tr.analysis, &funcs, &tree, &crashed_opts, &crash_dir)
+        .expect_err("injected crash at the final pass");
+
+    let reference = evaluate(&tr.analysis, &funcs, &tree, &opts).expect("reference");
+    let resume = median_time(RUNS, || {
+        let eval = Evaluation::resume(&tr.analysis, &funcs, &opts, &crash_dir)
+            .expect("resume from surviving boundaries");
+        assert_eq!(eval.outputs, reference.outputs, "resume must agree");
+    });
+    let restart = median_time(RUNS, || {
+        evaluate(&tr.analysis, &funcs, &tree, &opts).expect("restart from scratch");
+    });
+    let speedup = restart.as_secs_f64() / resume.as_secs_f64().max(f64::MIN_POSITIVE);
+    println!(
+        "{:<34} {:>12}",
+        format!("restart after crash at pass {}", num_passes),
+        us(restart)
+    );
+    println!(
+        "{:<34} {:>12}  ({:.2}x faster)",
+        "resume from newest boundary",
+        us(resume),
+        speedup
+    );
+
+    let json = format!(
+        "{{\"passes\":{},\"tree_nodes\":{},\"plain_us\":{},\"checkpointed_us\":{},\"overhead_fraction\":{:.4},\"restart_us\":{},\"resume_us\":{},\"recovery_speedup\":{:.4}}}",
+        num_passes,
+        tree.size(),
+        plain.as_micros(),
+        checkpointed.as_micros(),
+        overhead,
+        restart.as_micros(),
+        resume.as_micros(),
+        speedup
+    );
+    write_snapshot("checkpoint_overhead", &json);
+
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}

@@ -6,10 +6,11 @@
 //! (§II). The key trick is directional: "if the output file of a
 //! left-to-right pass is read backwards it can be the input file for a
 //! right-to-left pass". To make a byte file readable in both directions,
-//! every record is framed with its length on *both* sides:
+//! every record is framed with its length on *both* sides; format v2 also
+//! stamps each record with a CRC-32 of its payload:
 //!
 //! ```text
-//! [len: u32][payload: len bytes][len: u32]
+//! [len: u32][payload: len bytes][crc32: u32][len: u32]
 //! ```
 //!
 //! A forward reader consumes the leading length; a backward reader seeks
@@ -18,7 +19,17 @@
 //! record, which also tells the visiting procedure *which* production
 //! applies — "to synchronize the identification of productions with the
 //! parser").
+//!
+//! Because the APT lives on secondary storage between passes, each
+//! boundary file is also a *checkpoint*: the per-record CRCs plus a
+//! checksummed header mean corruption surfaces as a typed
+//! [`AptError::Checksum`]/[`AptError::Frame`]/[`AptError::Header`] at the
+//! offending record — never as silently wrong attribute values — and an
+//! intact boundary file can seed a resumed evaluation (see
+//! [`manifest`](crate::manifest) and
+//! [`evaluate_resumable`](crate::machine::evaluate_resumable)).
 
+use crate::crc;
 use crate::metrics::IoCounters;
 use crate::value::{DecodeError, Value};
 use linguist_ag::ids::{AttrId, ProdId, SymbolId};
@@ -26,19 +37,26 @@ use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Magic bytes opening every intermediate APT file.
 const MAGIC: [u8; 4] = *b"APT1";
-/// Format version stamped after the magic.
-const VERSION: u16 = 1;
+/// Format version stamped after the magic (v2 added record and header
+/// CRCs; v1 files are rejected with [`HeaderError::UnsupportedVersion`]).
+const VERSION: u16 = 2;
 /// Fixed header size: magic (4) + version (2) + reserved (2) +
-/// total records (8) + total framed record bytes (8).
-pub(crate) const HEADER_LEN: u64 = 24;
-/// Smallest possible framed record: two 4-byte frame lengths around the
+/// total records (8) + total framed record bytes (8) + header CRC (4).
+pub(crate) const HEADER_LEN: u64 = 28;
+/// Bytes of the header covered by its CRC (everything before the CRC).
+const HEADER_CRC_AT: usize = 24;
+/// Frame overhead around a payload: lead length (4) + CRC (4) + trail
+/// length (4).
+const FRAME_OVERHEAD: u64 = 12;
+/// Smallest possible framed record: the frame overhead around the
 /// minimal payload (1-byte tag + 4-byte id + 2-byte value count).
-const MIN_FRAMED_RECORD: u64 = 15;
+const MIN_FRAMED_RECORD: u64 = FRAME_OVERHEAD + 7;
 
 fn encode_header(records: u64, bytes: u64) -> [u8; HEADER_LEN as usize] {
     let mut h = [0u8; HEADER_LEN as usize];
@@ -46,6 +64,8 @@ fn encode_header(records: u64, bytes: u64) -> [u8; HEADER_LEN as usize] {
     h[4..6].copy_from_slice(&VERSION.to_le_bytes());
     h[8..16].copy_from_slice(&records.to_le_bytes());
     h[16..24].copy_from_slice(&bytes.to_le_bytes());
+    let crc = crc::crc32(&h[..HEADER_CRC_AT]);
+    h[24..28].copy_from_slice(&crc.to_le_bytes());
     h
 }
 
@@ -64,6 +84,14 @@ pub enum HeaderError {
         /// The version found in the file.
         found: u16,
     },
+    /// The header CRC does not match its fields — some header byte was
+    /// flipped after the writer sealed it.
+    Checksum {
+        /// CRC recorded in the header.
+        expected: u32,
+        /// CRC recomputed over the header fields.
+        found: u32,
+    },
     /// The header's recorded body length disagrees with the file size
     /// (truncated mid-write, or bytes flipped in the header totals).
     LengthMismatch {
@@ -73,7 +101,7 @@ pub enum HeaderError {
         actual: u64,
     },
     /// The header's record count cannot fit in the body it describes
-    /// (every framed record occupies at least 15 bytes).
+    /// (every framed record occupies at least 19 bytes).
     ImplausibleRecordCount {
         /// Records the header promises.
         records: u64,
@@ -92,6 +120,11 @@ impl fmt::Display for HeaderError {
             HeaderError::UnsupportedVersion { found } => {
                 write!(f, "unsupported format version {}", found)
             }
+            HeaderError::Checksum { expected, found } => write!(
+                f,
+                "header checksum mismatch (recorded {:08x}, computed {:08x})",
+                expected, found
+            ),
             HeaderError::LengthMismatch { expected, actual } => write!(
                 f,
                 "header promises {} body bytes but the file holds {}",
@@ -108,10 +141,17 @@ impl fmt::Display for HeaderError {
 
 /// A deliberately injected I/O failure, for fault testing.
 ///
-/// A spec is *armed* once; the first reader or writer that crosses
-/// `after_records` records on the targeted side fires it exactly once
-/// (the `Arc<AtomicBool>` is shared across every clone, so in a batch
-/// run exactly one job observes the fault).
+/// A spec is armed with a number of shots (`fires`); each reader or
+/// writer crossing `after_records` records on the targeted side consumes
+/// one shot and fails, until the shots run out. The counter is an
+/// `Arc<AtomicU32>` shared across every clone, so in a batch run the
+/// faults are distributed over at most `fires` observations total.
+///
+/// A one-shot spec ([`FaultSpec::new`]) models a *permanent* fault for
+/// the job that hits it; a multi-shot spec ([`FaultSpec::transient`])
+/// models a *transient* fault that heals after `fires` failures — the
+/// deterministic test fixture for
+/// [`RetryPolicy`](crate::machine::RetryPolicy) recovery paths.
 #[derive(Clone, Debug)]
 pub struct FaultSpec {
     /// The pass whose reader/writer carries the fault (0 targets the
@@ -121,7 +161,7 @@ pub struct FaultSpec {
     pub target: FaultTarget,
     /// Fire when this many records have already been transferred.
     pub after_records: u64,
-    armed: Arc<AtomicBool>,
+    remaining: Arc<AtomicU32>,
 }
 
 /// Which side of a pass a [`FaultSpec`] poisons.
@@ -134,24 +174,43 @@ pub enum FaultTarget {
 }
 
 impl FaultSpec {
-    /// An armed fault on `target` of `pass`, firing after `after_records`
-    /// successful records.
+    /// An armed one-shot fault on `target` of `pass`, firing after
+    /// `after_records` successful records.
     pub fn new(pass: u16, target: FaultTarget, after_records: u64) -> FaultSpec {
+        FaultSpec::transient(pass, target, after_records, 1)
+    }
+
+    /// A transient N-shot fault: fails the first `fires` qualifying
+    /// operations, then heals. With `fires` smaller than a retry
+    /// policy's attempt budget, the evaluation recovers deterministically.
+    pub fn transient(pass: u16, target: FaultTarget, after_records: u64, fires: u32) -> FaultSpec {
         FaultSpec {
             pass,
             target,
             after_records,
-            armed: Arc::new(AtomicBool::new(true)),
+            remaining: Arc::new(AtomicU32::new(fires)),
         }
     }
 
-    /// True while no reader/writer has fired the fault yet.
+    /// True while the fault has shots left to fire.
     pub fn is_armed(&self) -> bool {
-        self.armed.load(Ordering::Relaxed)
+        self.remaining.load(Ordering::Relaxed) > 0
+    }
+
+    /// Shots not yet fired.
+    pub fn shots_left(&self) -> u32 {
+        self.remaining.load(Ordering::Relaxed)
     }
 
     fn fire(&self, records_so_far: u64) -> Result<(), AptError> {
-        if records_so_far >= self.after_records && self.armed.swap(false, Ordering::Relaxed) {
+        if records_so_far < self.after_records {
+            return Ok(());
+        }
+        let took_shot = self
+            .remaining
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| r.checked_sub(1))
+            .is_ok();
+        if took_shot {
             return Err(AptError::Io(io::Error::other(format!(
                 "injected fault after {} records",
                 records_so_far
@@ -270,9 +329,9 @@ impl Record {
             .map(|(_, v)| v)
     }
 
-    /// Approximate on-disk size (payload + both length frames).
+    /// Approximate on-disk size (payload plus frame lengths and CRC).
     pub fn byte_size(&self) -> usize {
-        self.encode().len() + 8
+        self.encode().len() + FRAME_OVERHEAD as usize
     }
 }
 
@@ -289,10 +348,74 @@ pub enum AptError {
         /// Byte offset of the bad frame.
         at: u64,
     },
+    /// A record's payload does not match its recorded CRC-32 — the bytes
+    /// were corrupted after the writer framed them. Detected *before*
+    /// decoding, so a flipped byte can never surface as a silently wrong
+    /// attribute value.
+    Checksum {
+        /// Byte offset of the corrupt record's frame.
+        at: u64,
+        /// CRC recorded in the frame.
+        expected: u32,
+        /// CRC recomputed over the payload.
+        found: u32,
+    },
     /// The file header is missing, corrupt, or inconsistent with the file
     /// size — detected at [`AptReader::open`] time, before any record is
     /// served.
     Header(HeaderError),
+    /// An error with the offending file (and, once the evaluation machine
+    /// has attributed it, the pass) attached — so a batch failure report
+    /// can say *which* boundary file failed, not just that something did.
+    File {
+        /// Path of the boundary file the error occurred on.
+        path: PathBuf,
+        /// Evaluation pass that was running, when known.
+        pass: Option<u16>,
+        /// The underlying failure.
+        source: Box<AptError>,
+    },
+}
+
+impl AptError {
+    /// Attach a file path, unless one is already attached.
+    pub fn in_file(self, path: &Path) -> AptError {
+        match self {
+            AptError::File { .. } => self,
+            other => AptError::File {
+                path: path.to_path_buf(),
+                pass: None,
+                source: Box::new(other),
+            },
+        }
+    }
+
+    /// Attach the running pass to an error that already carries a file
+    /// (memory-backed errors, having no file, pass through unchanged).
+    pub fn at_pass(self, pass: u16) -> AptError {
+        match self {
+            AptError::File {
+                path,
+                pass: None,
+                source,
+            } => AptError::File {
+                path,
+                pass: Some(pass),
+                source,
+            },
+            other => other,
+        }
+    }
+
+    /// The underlying error with any [`File`](AptError::File) context
+    /// stripped — what [`FailureKind`](crate::batch::FailureKind)
+    /// classification looks at.
+    pub fn root(&self) -> &AptError {
+        match self {
+            AptError::File { source, .. } => source.root(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for AptError {
@@ -301,7 +424,20 @@ impl fmt::Display for AptError {
             AptError::Io(e) => write!(f, "APT file I/O error: {}", e),
             AptError::Decode(e) => write!(f, "APT record: {}", e),
             AptError::Frame { at } => write!(f, "APT file frame corrupt at byte {}", at),
+            AptError::Checksum {
+                at,
+                expected,
+                found,
+            } => write!(
+                f,
+                "APT record checksum mismatch at byte {} (recorded {:08x}, computed {:08x})",
+                at, expected, found
+            ),
             AptError::Header(e) => write!(f, "APT file header: {}", e),
+            AptError::File { path, pass, source } => match pass {
+                Some(k) => write!(f, "pass {} on {}: {}", k, path.display(), source),
+                None => write!(f, "{}: {}", path.display(), source),
+            },
         }
     }
 }
@@ -311,7 +447,8 @@ impl std::error::Error for AptError {
         match self {
             AptError::Io(e) => Some(e),
             AptError::Decode(e) => Some(e),
-            AptError::Frame { .. } | AptError::Header(_) => None,
+            AptError::File { source, .. } => Some(source),
+            AptError::Frame { .. } | AptError::Checksum { .. } | AptError::Header(_) => None,
         }
     }
 }
@@ -320,6 +457,18 @@ impl From<io::Error> for AptError {
     fn from(e: io::Error) -> AptError {
         AptError::Io(e)
     }
+}
+
+/// Totals of one finished APT file: what the manifest records per
+/// completed pass boundary, and what resume-time validation recomputes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FileSummary {
+    /// Records in the body.
+    pub records: u64,
+    /// Framed body bytes (excluding the header).
+    pub bytes: u64,
+    /// CRC-32 over every framed body byte, in order.
+    pub crc: u32,
 }
 
 /// Sequential writer of an intermediate APT file (disk- or RAM-backed).
@@ -331,8 +480,11 @@ impl From<io::Error> for AptError {
 #[derive(Debug)]
 pub struct AptWriter {
     sink: Sink,
+    path: Option<PathBuf>,
     bytes: u64,
     records: u64,
+    crc: u32,
+    sync: bool,
     profile: Option<Arc<IoCounters>>,
     fault: Option<FaultSpec>,
 }
@@ -348,18 +500,24 @@ impl AptWriter {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
+    /// Propagates filesystem errors, tagged with `path`.
     pub fn create(path: &Path) -> Result<AptWriter, AptError> {
-        let mut f = BufWriter::new(File::create(path)?);
-        // Placeholder header; `finish` seeks back and patches the totals.
-        f.write_all(&encode_header(0, 0))?;
-        Ok(AptWriter {
-            sink: Sink::File(f),
-            bytes: 0,
-            records: 0,
-            profile: None,
-            fault: None,
-        })
+        let inner = || -> Result<AptWriter, AptError> {
+            let mut f = BufWriter::new(File::create(path)?);
+            // Placeholder header; `finish` seeks back and patches the totals.
+            f.write_all(&encode_header(0, 0))?;
+            Ok(AptWriter {
+                sink: Sink::File(f),
+                path: Some(path.to_path_buf()),
+                bytes: 0,
+                records: 0,
+                crc: 0,
+                sync: false,
+                profile: None,
+                fault: None,
+            })
+        };
+        inner().map_err(|e| e.in_file(path))
     }
 
     /// Create a writer over a memory buffer (truncating it).
@@ -371,8 +529,11 @@ impl AptWriter {
         }
         AptWriter {
             sink: Sink::Mem(buf),
+            path: None,
             bytes: 0,
             records: 0,
+            crc: 0,
+            sync: false,
             profile: None,
             fault: None,
         }
@@ -384,11 +545,18 @@ impl AptWriter {
         self.profile = Some(counters);
     }
 
-    /// Attach an injected fault (test support): the write crossing
-    /// `spec.after_records` fails with an I/O error if the spec is still
-    /// armed.
+    /// Attach an injected fault (test support): writes crossing
+    /// `spec.after_records` fail with an I/O error while the spec has
+    /// shots left.
     pub fn set_fault(&mut self, spec: FaultSpec) {
         self.fault = Some(spec);
+    }
+
+    /// Make [`finish`](Self::finish) fsync the file before returning —
+    /// required before a checkpoint manifest may claim the boundary is
+    /// durable. No effect on memory-backed writers.
+    pub fn set_sync(&mut self, sync: bool) {
+        self.sync = sync;
     }
 
     /// Append one record.
@@ -396,27 +564,45 @@ impl AptWriter {
     /// # Errors
     ///
     /// Propagates filesystem errors (memory writers only fail through an
-    /// injected [`FaultSpec`]).
+    /// injected [`FaultSpec`]); disk errors carry the file path.
     pub fn write(&mut self, rec: &Record) -> Result<(), AptError> {
+        match self.write_inner(rec) {
+            Ok(()) => Ok(()),
+            Err(e) => Err(match &self.path {
+                Some(p) => e.in_file(p),
+                None => e,
+            }),
+        }
+    }
+
+    fn write_inner(&mut self, rec: &Record) -> Result<(), AptError> {
         if let Some(fault) = &self.fault {
             fault.fire(self.records)?;
         }
         let payload = rec.encode();
         let len = (payload.len() as u32).to_le_bytes();
+        let rec_crc = crc::crc32(&payload).to_le_bytes();
         match &mut self.sink {
             Sink::File(f) => {
                 f.write_all(&len)?;
                 f.write_all(&payload)?;
+                f.write_all(&rec_crc)?;
                 f.write_all(&len)?;
             }
             Sink::Mem(m) => {
                 let mut b = m.lock().expect("mem file poisoned");
                 b.extend_from_slice(&len);
                 b.extend_from_slice(&payload);
+                b.extend_from_slice(&rec_crc);
                 b.extend_from_slice(&len);
             }
         }
-        let framed = payload.len() as u64 + 8;
+        // Running whole-body CRC, framed bytes in file order.
+        self.crc = crc::update(self.crc, &len);
+        self.crc = crc::update(self.crc, &payload);
+        self.crc = crc::update(self.crc, &rec_crc);
+        self.crc = crc::update(self.crc, &len);
+        let framed = payload.len() as u64 + FRAME_OVERHEAD;
         self.bytes += framed;
         self.records += 1;
         if let Some(p) = &self.profile {
@@ -432,22 +618,53 @@ impl AptWriter {
     ///
     /// Propagates the final flush failure.
     pub fn finish(self) -> Result<(u64, u64), AptError> {
+        self.finish_summary().map(|s| (s.bytes, s.records))
+    }
+
+    /// Like [`finish`](Self::finish), but returns the full
+    /// [`FileSummary`] including the whole-body CRC — what a checkpoint
+    /// manifest records for the completed boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the final flush (and, with [`set_sync`](Self::set_sync),
+    /// fsync) failure.
+    pub fn finish_summary(self) -> Result<FileSummary, AptError> {
         let header = encode_header(self.records, self.bytes);
-        match self.sink {
-            Sink::File(f) => {
-                let mut file = f
-                    .into_inner()
-                    .map_err(|e| AptError::Io(io::Error::other(e.to_string())))?;
-                file.seek(SeekFrom::Start(0))?;
-                file.write_all(&header)?;
-                file.flush()?;
+        let summary = FileSummary {
+            records: self.records,
+            bytes: self.bytes,
+            crc: self.crc,
+        };
+        let path = self.path;
+        let sync = self.sync;
+        let inner = || -> Result<(), AptError> {
+            match self.sink {
+                Sink::File(f) => {
+                    let mut file = f
+                        .into_inner()
+                        .map_err(|e| AptError::Io(io::Error::other(e.to_string())))?;
+                    file.seek(SeekFrom::Start(0))?;
+                    file.write_all(&header)?;
+                    file.flush()?;
+                    if sync {
+                        file.sync_all()?;
+                    }
+                }
+                Sink::Mem(m) => {
+                    let mut b = m.lock().expect("mem file poisoned");
+                    b[..HEADER_LEN as usize].copy_from_slice(&header);
+                }
             }
-            Sink::Mem(m) => {
-                let mut b = m.lock().expect("mem file poisoned");
-                b[..HEADER_LEN as usize].copy_from_slice(&header);
-            }
+            Ok(())
+        };
+        match inner() {
+            Ok(()) => Ok(summary),
+            Err(e) => Err(match &path {
+                Some(p) => e.in_file(p),
+                None => e,
+            }),
         }
-        Ok((self.bytes, self.records))
     }
 }
 
@@ -466,11 +683,14 @@ pub enum ReadDir {
 #[derive(Debug)]
 pub struct AptReader {
     src: Source,
+    path: Option<PathBuf>,
     pos: u64,
     end: u64,
     dir: ReadDir,
     bytes: u64,
     records: u64,
+    total_records: u64,
+    total_bytes: u64,
     profile: Option<Arc<IoCounters>>,
     fault: Option<FaultSpec>,
 }
@@ -502,78 +722,89 @@ impl Source {
     }
 }
 
-impl AptReader {
-    /// Validate the header of a file `len` bytes long whose first
-    /// `HEADER_LEN` bytes were read into `head`, returning the body end
-    /// offset.
-    fn check_header(head: &[u8], len: u64) -> Result<u64, AptError> {
-        if head[0..4] != MAGIC {
-            return Err(AptError::Header(HeaderError::BadMagic));
-        }
-        let version = u16::from_le_bytes(head[4..6].try_into().expect("sized"));
-        if version != VERSION {
-            return Err(AptError::Header(HeaderError::UnsupportedVersion {
-                found: version,
-            }));
-        }
-        let total_bytes = u64::from_le_bytes(head[16..24].try_into().expect("sized"));
-        let actual = len - HEADER_LEN;
-        if total_bytes != actual {
-            return Err(AptError::Header(HeaderError::LengthMismatch {
-                expected: total_bytes,
-                actual,
-            }));
-        }
-        // A framed record is at least 15 bytes (two 4-byte frame lengths
-        // around a node payload of tag + production id + value count), so
-        // the promised record count bounds the body size from below; a
-        // non-empty body likewise needs at least one record.
-        let total_records = u64::from_le_bytes(head[8..16].try_into().expect("sized"));
-        let plausible = match total_records.checked_mul(MIN_FRAMED_RECORD) {
-            Some(min) => min <= total_bytes && (total_records > 0 || total_bytes == 0),
-            None => false,
-        };
-        if !plausible {
-            return Err(AptError::Header(HeaderError::ImplausibleRecordCount {
-                records: total_records,
-                bytes: total_bytes,
-            }));
-        }
-        Ok(len)
+/// Parse and validate a header read into `head` from a file `len` bytes
+/// long, returning `(body end offset, total records, total bytes)`.
+fn check_header(head: &[u8], len: u64) -> Result<(u64, u64, u64), AptError> {
+    if head[0..4] != MAGIC {
+        return Err(AptError::Header(HeaderError::BadMagic));
     }
+    let version = u16::from_le_bytes(head[4..6].try_into().expect("sized"));
+    if version != VERSION {
+        return Err(AptError::Header(HeaderError::UnsupportedVersion {
+            found: version,
+        }));
+    }
+    let expected = u32::from_le_bytes(head[24..28].try_into().expect("sized"));
+    let found = crc::crc32(&head[..HEADER_CRC_AT]);
+    if expected != found {
+        return Err(AptError::Header(HeaderError::Checksum { expected, found }));
+    }
+    let total_bytes = u64::from_le_bytes(head[16..24].try_into().expect("sized"));
+    let actual = len - HEADER_LEN;
+    if total_bytes != actual {
+        return Err(AptError::Header(HeaderError::LengthMismatch {
+            expected: total_bytes,
+            actual,
+        }));
+    }
+    // A framed record is at least 19 bytes (the frame overhead around a
+    // node payload of tag + id + value count), so the promised record
+    // count bounds the body size from below; a non-empty body likewise
+    // needs at least one record.
+    let total_records = u64::from_le_bytes(head[8..16].try_into().expect("sized"));
+    let plausible = match total_records.checked_mul(MIN_FRAMED_RECORD) {
+        Some(min) => min <= total_bytes && (total_records > 0 || total_bytes == 0),
+        None => false,
+    };
+    if !plausible {
+        return Err(AptError::Header(HeaderError::ImplausibleRecordCount {
+            records: total_records,
+            bytes: total_bytes,
+        }));
+    }
+    Ok((len, total_records, total_bytes))
+}
 
+impl AptReader {
     /// Open `path` for reading in `dir`.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors; returns [`AptError::Header`] if the
-    /// file is shorter than a header, carries the wrong magic or version,
-    /// or its recorded body length disagrees with the file size (a file
-    /// truncated mid-write — e.g. never [`finish`](AptWriter::finish)ed —
-    /// is rejected here rather than read as empty).
+    /// file is shorter than a header, carries the wrong magic, version or
+    /// header CRC, or its recorded body length disagrees with the file
+    /// size (a file truncated mid-write — e.g. never
+    /// [`finish`](AptWriter::finish)ed — is rejected here rather than
+    /// read as empty). Every error carries `path`.
     pub fn open(path: &Path, dir: ReadDir) -> Result<AptReader, AptError> {
-        let mut file = File::open(path)?;
-        let len = file.metadata()?.len();
-        if len < HEADER_LEN {
-            return Err(AptError::Header(HeaderError::Truncated { len }));
-        }
-        let mut head = [0u8; HEADER_LEN as usize];
-        file.seek(SeekFrom::Start(0))?;
-        file.read_exact(&mut head)?;
-        let end = Self::check_header(&head, len)?;
-        Ok(AptReader {
-            src: Source::File(file),
-            pos: match dir {
-                ReadDir::Forward => HEADER_LEN,
-                ReadDir::Backward => end,
-            },
-            end,
-            dir,
-            bytes: 0,
-            records: 0,
-            profile: None,
-            fault: None,
-        })
+        let inner = || -> Result<AptReader, AptError> {
+            let mut file = File::open(path)?;
+            let len = file.metadata()?.len();
+            if len < HEADER_LEN {
+                return Err(AptError::Header(HeaderError::Truncated { len }));
+            }
+            let mut head = [0u8; HEADER_LEN as usize];
+            file.seek(SeekFrom::Start(0))?;
+            file.read_exact(&mut head)?;
+            let (end, total_records, total_bytes) = check_header(&head, len)?;
+            Ok(AptReader {
+                src: Source::File(file),
+                path: Some(path.to_path_buf()),
+                pos: match dir {
+                    ReadDir::Forward => HEADER_LEN,
+                    ReadDir::Backward => end,
+                },
+                end,
+                dir,
+                bytes: 0,
+                records: 0,
+                total_records,
+                total_bytes,
+                profile: None,
+                fault: None,
+            })
+        };
+        inner().map_err(|e| e.in_file(path))
     }
 
     /// Open a memory buffer for reading in `dir`.
@@ -583,16 +814,17 @@ impl AptReader {
     /// Returns [`AptError::Header`] under the same conditions as
     /// [`open`](Self::open).
     pub fn open_mem(buf: MemFile, dir: ReadDir) -> Result<AptReader, AptError> {
-        let end = {
+        let (end, total_records, total_bytes) = {
             let b = buf.lock().expect("mem file poisoned");
             let len = b.len() as u64;
             if len < HEADER_LEN {
                 return Err(AptError::Header(HeaderError::Truncated { len }));
             }
-            Self::check_header(&b[..HEADER_LEN as usize], len)?
+            check_header(&b[..HEADER_LEN as usize], len)?
         };
         Ok(AptReader {
             src: Source::Mem(buf),
+            path: None,
             pos: match dir {
                 ReadDir::Forward => HEADER_LEN,
                 ReadDir::Backward => end,
@@ -601,6 +833,8 @@ impl AptReader {
             dir,
             bytes: 0,
             records: 0,
+            total_records,
+            total_bytes,
             profile: None,
             fault: None,
         })
@@ -612,9 +846,9 @@ impl AptReader {
         self.profile = Some(counters);
     }
 
-    /// Attach an injected fault (test support): the read crossing
-    /// `spec.after_records` fails with an I/O error if the spec is still
-    /// armed.
+    /// Attach an injected fault (test support): reads crossing
+    /// `spec.after_records` fail with an I/O error while the spec has
+    /// shots left.
     pub fn set_fault(&mut self, spec: FaultSpec) {
         self.fault = Some(spec);
     }
@@ -624,10 +858,22 @@ impl AptReader {
     ///
     /// # Errors
     ///
-    /// Returns [`AptError::Frame`] on corrupt framing and propagates I/O
-    /// and decode failures.
+    /// Returns [`AptError::Frame`] on corrupt framing,
+    /// [`AptError::Checksum`] when a payload fails its CRC, and
+    /// propagates I/O and decode failures. Disk-backed errors carry the
+    /// file path.
     #[allow(clippy::should_implement_trait)] // fallible, not an Iterator
     pub fn next(&mut self) -> Result<Option<Record>, AptError> {
+        match self.next_inner() {
+            Ok(r) => Ok(r),
+            Err(e) => Err(match &self.path {
+                Some(p) => e.in_file(p),
+                None => e,
+            }),
+        }
+    }
+
+    fn next_inner(&mut self) -> Result<Option<Record>, AptError> {
         if let Some(fault) = &self.fault {
             fault.fire(self.records)?;
         }
@@ -639,45 +885,65 @@ impl AptReader {
                 let mut len4 = [0u8; 4];
                 self.src.read_at(self.pos, &mut len4)?;
                 let len = u32::from_le_bytes(len4) as u64;
-                if self.pos + 8 + len > self.end {
+                if self.pos + FRAME_OVERHEAD + len > self.end {
                     return Err(AptError::Frame { at: self.pos });
                 }
                 let mut payload = vec![0u8; len as usize];
                 self.src.read_at(self.pos + 4, &mut payload)?;
+                let mut crc4 = [0u8; 4];
+                self.src.read_at(self.pos + 4 + len, &mut crc4)?;
                 let mut trail = [0u8; 4];
-                self.src.read_at(self.pos + 4 + len, &mut trail)?;
+                self.src.read_at(self.pos + 8 + len, &mut trail)?;
                 if trail != len4 {
                     return Err(AptError::Frame { at: self.pos });
                 }
-                self.pos += 8 + len;
-                self.advance(8 + len);
+                self.check_crc(self.pos, &payload, crc4)?;
+                self.pos += FRAME_OVERHEAD + len;
+                self.advance(FRAME_OVERHEAD + len);
                 Ok(Some(Record::decode(&payload)?))
             }
             ReadDir::Backward => {
                 if self.pos == HEADER_LEN {
                     return Ok(None);
                 }
-                if self.pos < HEADER_LEN + 8 {
+                if self.pos < HEADER_LEN + FRAME_OVERHEAD {
                     return Err(AptError::Frame { at: self.pos });
                 }
                 let mut len4 = [0u8; 4];
                 self.src.read_at(self.pos - 4, &mut len4)?;
                 let len = u32::from_le_bytes(len4) as u64;
-                if self.pos < HEADER_LEN + 8 + len {
+                if self.pos < HEADER_LEN + FRAME_OVERHEAD + len {
                     return Err(AptError::Frame { at: self.pos });
                 }
+                let start = self.pos - FRAME_OVERHEAD - len;
                 let mut lead = [0u8; 4];
-                self.src.read_at(self.pos - 8 - len, &mut lead)?;
+                self.src.read_at(start, &mut lead)?;
                 if lead != len4 {
                     return Err(AptError::Frame { at: self.pos });
                 }
                 let mut payload = vec![0u8; len as usize];
-                self.src.read_at(self.pos - 4 - len, &mut payload)?;
-                self.pos -= 8 + len;
-                self.advance(8 + len);
+                self.src.read_at(start + 4, &mut payload)?;
+                let mut crc4 = [0u8; 4];
+                self.src.read_at(start + 4 + len, &mut crc4)?;
+                self.check_crc(start, &payload, crc4)?;
+                self.pos = start;
+                self.advance(FRAME_OVERHEAD + len);
                 Ok(Some(Record::decode(&payload)?))
             }
         }
+    }
+
+    fn check_crc(&self, at: u64, payload: &[u8], stored: [u8; 4]) -> Result<(), AptError> {
+        let expected = u32::from_le_bytes(stored);
+        let found = crc::crc32(payload);
+        if expected != found {
+            return Err(AptError::Checksum {
+                at,
+                expected,
+                found,
+            });
+        }
+        Ok(())
     }
 
     fn advance(&mut self, framed: u64) {
@@ -697,6 +963,63 @@ impl AptReader {
     pub fn records_read(&self) -> u64 {
         self.records
     }
+
+    /// Total records the (validated) header promises.
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// Total framed body bytes the (validated) header promises.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+}
+
+/// Validate a finished APT file end to end and return its
+/// [`FileSummary`]: header checks as in [`AptReader::open`], then a
+/// single sequential read of the body computing the whole-body CRC.
+///
+/// This is the resume-time integrity check: a boundary file whose
+/// summary matches its manifest entry is bit-identical to what the
+/// writer produced, so an evaluation may safely restart from it.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and typed [`AptError::Header`] failures,
+/// tagged with `path`.
+pub fn file_summary(path: &Path) -> Result<FileSummary, AptError> {
+    let inner = || -> Result<FileSummary, AptError> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len < HEADER_LEN {
+            return Err(AptError::Header(HeaderError::Truncated { len }));
+        }
+        let mut head = [0u8; HEADER_LEN as usize];
+        file.read_exact(&mut head)?;
+        let (_, records, bytes) = check_header(&head, len)?;
+        let mut crc = 0u32;
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            let n = file.read(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            crc = crc::update(crc, &buf[..n]);
+        }
+        Ok(FileSummary {
+            records,
+            bytes,
+            crc,
+        })
+    };
+    inner().map_err(|e| e.in_file(path))
+}
+
+/// Path of the boundary-`k` file inside `dir` — the shared layout of
+/// [`TempAptDir`]s and persistent checkpoint directories, so a resumed
+/// evaluation finds the files a killed one left behind.
+pub fn boundary_path(dir: &Path, k: u16) -> PathBuf {
+    dir.join(format!("boundary_{}.apt", k))
 }
 
 /// A self-cleaning directory for one evaluation's intermediate files.
@@ -705,6 +1028,10 @@ pub struct TempAptDir {
     dir: PathBuf,
 }
 
+/// Prefix of every [`TempAptDir`] under the system temp directory; the
+/// process id follows, then a per-process counter.
+const TEMP_DIR_PREFIX: &str = "linguist86-apt-";
+
 impl TempAptDir {
     /// Create a fresh private directory under the system temp dir.
     ///
@@ -712,10 +1039,11 @@ impl TempAptDir {
     ///
     /// Propagates filesystem errors.
     pub fn new() -> Result<TempAptDir, AptError> {
-        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::atomic::AtomicU64;
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!("linguist86-apt-{}-{}", std::process::id(), n));
+        let dir =
+            std::env::temp_dir().join(format!("{}{}-{}", TEMP_DIR_PREFIX, std::process::id(), n));
         std::fs::create_dir_all(&dir)?;
         Ok(TempAptDir { dir })
     }
@@ -723,12 +1051,58 @@ impl TempAptDir {
     /// Path of the file holding the boundary-`k` snapshot (boundary 0 is
     /// the parser-built initial file).
     pub fn boundary(&self, k: u16) -> PathBuf {
-        self.dir.join(format!("boundary_{}.apt", k))
+        boundary_path(&self.dir, k)
     }
 
     /// The directory path.
     pub fn path(&self) -> &Path {
         &self.dir
+    }
+
+    /// Remove leaked temp directories of *dead* LINGUIST processes.
+    ///
+    /// `Drop` cleans up on orderly shutdown, but a process killed
+    /// mid-evaluation leaks its directory. This sweeps the system temp
+    /// dir for `linguist86-apt-<pid>-<n>` entries whose owning process
+    /// is gone (or, where liveness cannot be checked, whose modification
+    /// time is older than `max_age`), and returns how many were removed.
+    /// Directories of the calling process are never touched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the temp-directory listing failure; per-entry removal
+    /// failures (a concurrent sweep, say) are skipped, not fatal.
+    pub fn sweep_stale(max_age: Duration) -> Result<usize, AptError> {
+        let me = std::process::id();
+        let mut swept = 0usize;
+        for entry in std::fs::read_dir(std::env::temp_dir())? {
+            let Ok(entry) = entry else { continue };
+            let name = entry.file_name();
+            let Some(rest) = name.to_str().and_then(|n| n.strip_prefix(TEMP_DIR_PREFIX)) else {
+                continue;
+            };
+            let Some(pid) = rest.split('-').next().and_then(|p| p.parse::<u32>().ok()) else {
+                continue;
+            };
+            if pid == me {
+                continue;
+            }
+            let stale = if cfg!(target_os = "linux") {
+                // Liveness is authoritative where /proc exists.
+                !Path::new("/proc").join(pid.to_string()).exists()
+            } else {
+                entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.elapsed().ok())
+                    .is_some_and(|age| age >= max_age)
+            };
+            if stale && std::fs::remove_dir_all(entry.path()).is_ok() {
+                swept += 1;
+            }
+        }
+        Ok(swept)
     }
 }
 
@@ -777,6 +1151,8 @@ mod tests {
         assert!(bytes > 0);
 
         let mut r = AptReader::open(&path, ReadDir::Forward).unwrap();
+        assert_eq!(r.total_records(), 10);
+        assert_eq!(r.total_bytes(), bytes);
         for i in 0..10 {
             assert_eq!(r.next().unwrap().unwrap(), rec(i));
         }
@@ -825,8 +1201,8 @@ mod tests {
         let data = std::fs::read(&path).unwrap();
         std::fs::write(&path, &data[..data.len() - 1]).unwrap();
         for d in [ReadDir::Forward, ReadDir::Backward] {
-            match AptReader::open(&path, d) {
-                Err(AptError::Header(HeaderError::LengthMismatch { .. })) => {}
+            match AptReader::open(&path, d).map_err(|e| e.root().to_string()) {
+                Err(msg) if msg.contains("body bytes") => {}
                 other => panic!("truncated file not rejected: {:?}", other),
             }
         }
@@ -842,7 +1218,11 @@ mod tests {
         w.write(&rec(1)).unwrap();
         drop(w);
         match AptReader::open(&path, ReadDir::Forward) {
-            Err(AptError::Header(HeaderError::LengthMismatch { expected: 0, .. })) => {}
+            Err(e)
+                if matches!(
+                    e.root(),
+                    AptError::Header(HeaderError::LengthMismatch { expected: 0, .. })
+                ) => {}
             other => panic!("unfinished file not rejected: {:?}", other),
         }
     }
@@ -853,7 +1233,11 @@ mod tests {
         let path = dir.boundary(5);
         std::fs::write(&path, b"APT").unwrap();
         match AptReader::open(&path, ReadDir::Forward) {
-            Err(AptError::Header(HeaderError::Truncated { len: 3 })) => {}
+            Err(e)
+                if matches!(
+                    e.root(),
+                    AptError::Header(HeaderError::Truncated { len: 3 })
+                ) => {}
             other => panic!("short file not rejected: {:?}", other),
         }
     }
@@ -861,9 +1245,10 @@ mod tests {
     #[test]
     fn every_header_byte_flip_is_rejected_at_open() {
         // The corruption regression: flip each header byte of a valid
-        // file in turn; open() must return a typed error every time
-        // (reserved bytes 6..8 excepted — they are not validated), and
-        // must never panic or serve an empty read.
+        // file in turn; open() must return a typed error every time —
+        // with the header CRC, even the formerly unvalidated reserved
+        // bytes are covered — and must never panic or serve an empty
+        // read.
         let dir = TempAptDir::new().unwrap();
         let path = dir.boundary(6);
         let mut w = AptWriter::create(&path).unwrap();
@@ -872,22 +1257,23 @@ mod tests {
         }
         w.finish().unwrap();
         let pristine = std::fs::read(&path).unwrap();
-        for at in (0..HEADER_LEN as usize).filter(|&b| !(6..8).contains(&b)) {
+        for at in 0..HEADER_LEN as usize {
             let mut data = pristine.clone();
             data[at] ^= 0xFF;
             std::fs::write(&path, &data).unwrap();
             match AptReader::open(&path, ReadDir::Forward) {
-                Err(AptError::Header(_)) => {}
+                Err(e) if matches!(e.root(), AptError::Header(_)) => {}
                 other => panic!("flip at byte {} not rejected: {:?}", at, other),
             }
         }
     }
 
     #[test]
-    fn body_byte_flips_never_panic() {
-        // Flips inside the record body surface as typed errors from
-        // next() (or, for flips that alter framing, sometimes decode to
-        // garbage values — but they must never panic).
+    fn body_byte_flips_are_typed_errors_never_wrong_records() {
+        // With per-record CRCs, *every* body flip must surface as a
+        // typed Frame or Checksum error from next() — never decode to a
+        // silently wrong record, and never panic. Records before the
+        // corruption must still read back exactly.
         let dir = TempAptDir::new().unwrap();
         let path = dir.boundary(7);
         let mut w = AptWriter::create(&path).unwrap();
@@ -902,28 +1288,95 @@ mod tests {
             std::fs::write(&path, &data).unwrap();
             for d in [ReadDir::Forward, ReadDir::Backward] {
                 let mut r = AptReader::open(&path, d).unwrap();
-                while let Ok(Some(_)) = r.next() {}
+                let mut seen = 0u32;
+                let err = loop {
+                    match r.next() {
+                        Ok(Some(record)) => {
+                            // Anything served intact must be a pristine
+                            // record (prefix from the reading end).
+                            let expect = match d {
+                                ReadDir::Forward => seen,
+                                ReadDir::Backward => 3 - seen,
+                            };
+                            assert_eq!(record, rec(expect), "flip at {} leaked garbage", at);
+                            seen += 1;
+                        }
+                        Ok(None) => break None,
+                        Err(e) => break Some(e),
+                    }
+                };
+                let err = err.unwrap_or_else(|| {
+                    panic!("flip at byte {} read clean in {:?}", at, d);
+                });
+                assert!(
+                    matches!(
+                        err.root(),
+                        AptError::Frame { .. } | AptError::Checksum { .. }
+                    ),
+                    "flip at {} gave untyped {:?}",
+                    at,
+                    err
+                );
             }
         }
-        // A flip in the first record's leading length frame specifically
-        // must be a typed error, not a bogus record.
-        let mut data = pristine.clone();
-        data[HEADER_LEN as usize] ^= 0xFF;
+    }
+
+    #[test]
+    fn payload_flip_is_a_checksum_error_with_offsets() {
+        let dir = TempAptDir::new().unwrap();
+        let path = dir.boundary(8);
+        let mut w = AptWriter::create(&path).unwrap();
+        w.write(&rec(0)).unwrap();
+        w.finish().unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        // First payload byte lives right after the header + lead length.
+        let at = HEADER_LEN as usize + 4;
+        data[at] ^= 0x01;
         std::fs::write(&path, &data).unwrap();
         let mut r = AptReader::open(&path, ReadDir::Forward).unwrap();
-        assert!(r.next().is_err());
+        match r.next() {
+            Err(e) => match e.root() {
+                AptError::Checksum {
+                    at,
+                    expected,
+                    found,
+                } => {
+                    assert_eq!(*at, HEADER_LEN);
+                    assert_ne!(expected, found);
+                }
+                other => panic!("expected Checksum, got {:?}", other),
+            },
+            other => panic!("corrupt payload served: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn disk_errors_carry_the_file_path() {
+        let dir = TempAptDir::new().unwrap();
+        let path = dir.boundary(9);
+        std::fs::write(&path, b"not an apt file at all, but long enough....").unwrap();
+        let err = AptReader::open(&path, ReadDir::Forward).unwrap_err();
+        assert!(
+            err.to_string().contains("boundary_9.apt"),
+            "path missing from: {}",
+            err
+        );
+        assert!(matches!(
+            err.root(),
+            AptError::Header(HeaderError::BadMagic)
+        ));
     }
 
     #[test]
     fn injected_write_fault_fires_exactly_once() {
         let dir = TempAptDir::new().unwrap();
         let fault = FaultSpec::new(0, FaultTarget::Write, 2);
-        let mut w = AptWriter::create(&dir.boundary(8)).unwrap();
+        let mut w = AptWriter::create(&dir.boundary(10)).unwrap();
         w.set_fault(fault.clone());
         w.write(&rec(0)).unwrap();
         w.write(&rec(1)).unwrap();
         match w.write(&rec(2)) {
-            Err(AptError::Io(_)) => {}
+            Err(e) if matches!(e.root(), AptError::Io(_)) => {}
             other => panic!("fault did not fire: {:?}", other),
         }
         assert!(!fault.is_armed());
@@ -933,10 +1386,47 @@ mod tests {
     }
 
     #[test]
+    fn transient_fault_fires_n_times_then_heals() {
+        let dir = TempAptDir::new().unwrap();
+        let fault = FaultSpec::transient(0, FaultTarget::Write, 1, 2);
+        let mut w = AptWriter::create(&dir.boundary(11)).unwrap();
+        w.set_fault(fault.clone());
+        w.write(&rec(0)).unwrap();
+        assert!(w.write(&rec(1)).is_err(), "first shot");
+        assert_eq!(fault.shots_left(), 1);
+        assert!(w.write(&rec(1)).is_err(), "second shot");
+        assert!(!fault.is_armed(), "out of shots");
+        w.write(&rec(1)).unwrap();
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn finish_summary_matches_file_summary() {
+        let dir = TempAptDir::new().unwrap();
+        let path = dir.boundary(12);
+        let mut w = AptWriter::create(&path).unwrap();
+        w.set_sync(true);
+        for i in 0..9 {
+            w.write(&rec(i)).unwrap();
+        }
+        let written = w.finish_summary().unwrap();
+        assert_eq!(written.records, 9);
+        let validated = file_summary(&path).unwrap();
+        assert_eq!(written, validated, "writer CRC must equal re-read CRC");
+        // Any body flip must break the whole-file CRC.
+        let mut data = std::fs::read(&path).unwrap();
+        let at = data.len() - 1;
+        data[at] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        let corrupt = file_summary(&path).unwrap();
+        assert_ne!(corrupt.crc, written.crc);
+    }
+
+    #[test]
     fn profile_counters_match_internal_tallies() {
         use crate::metrics::IoCounters;
         let dir = TempAptDir::new().unwrap();
-        let path = dir.boundary(9);
+        let path = dir.boundary(13);
         let wc = IoCounters::shared();
         let mut w = AptWriter::create(&path).unwrap();
         w.set_profile(wc.clone());
@@ -963,6 +1453,22 @@ mod tests {
             assert!(path.exists());
         }
         assert!(!path.exists());
+    }
+
+    #[test]
+    fn sweep_stale_removes_dead_process_dirs_only() {
+        // A directory stamped with a pid that cannot be alive (u32::MAX
+        // is far above any real pid ceiling) must be swept; the calling
+        // process's own directories must survive.
+        let dead = std::env::temp_dir().join(format!("{}{}-0", TEMP_DIR_PREFIX, u32::MAX));
+        std::fs::create_dir_all(&dead).unwrap();
+        std::fs::write(dead.join("boundary_0.apt"), b"leak").unwrap();
+        let live = TempAptDir::new().unwrap();
+
+        let swept = TempAptDir::sweep_stale(Duration::from_secs(3600)).unwrap();
+        assert!(swept >= 1, "dead dir not counted");
+        assert!(!dead.exists(), "dead dir survived the sweep");
+        assert!(live.path().exists(), "live dir was swept");
     }
 
     #[test]

@@ -42,6 +42,9 @@ pub enum FailureKind {
     Decode,
     /// Corrupt record framing.
     Frame,
+    /// A record failed its CRC-32 — bytes flipped after the writer
+    /// framed them.
+    Checksum,
     /// Rejected APT file header.
     Header,
     /// Semantic-function failure.
@@ -54,21 +57,54 @@ pub enum FailureKind {
     Corrupt,
     /// Missing attribute instance.
     Missing,
+    /// The job's code panicked; the supervisor caught the unwind.
+    Panicked,
+    /// The job exceeded its wall-clock deadline.
+    Deadline,
+    /// Checkpoint-manifest failure.
+    Manifest,
 }
 
 impl FailureKind {
-    /// Classify an evaluation error.
+    /// Classify an evaluation error. APT errors are classified by their
+    /// *root* cause, so file/pass context wrapping never hides the kind.
     pub fn of(e: &EvalError) -> FailureKind {
         match e {
-            EvalError::Apt(AptError::Io(_)) => FailureKind::Io,
-            EvalError::Apt(AptError::Decode(_)) => FailureKind::Decode,
-            EvalError::Apt(AptError::Frame { .. }) => FailureKind::Frame,
-            EvalError::Apt(AptError::Header(_)) => FailureKind::Header,
+            EvalError::Apt(a) => match a.root() {
+                AptError::Io(_) => FailureKind::Io,
+                AptError::Decode(_) => FailureKind::Decode,
+                AptError::Frame { .. } => FailureKind::Frame,
+                AptError::Checksum { .. } => FailureKind::Checksum,
+                AptError::Header(_) => FailureKind::Header,
+                AptError::File { .. } => unreachable!("root() strips File context"),
+            },
             EvalError::Func(_) => FailureKind::Func,
             EvalError::Tree(_) => FailureKind::Tree,
             EvalError::StrategyMismatch { .. } => FailureKind::Strategy,
             EvalError::Corrupt(_) => FailureKind::Corrupt,
             EvalError::Missing(_) => FailureKind::Missing,
+            EvalError::Panicked(_) => FailureKind::Panicked,
+            EvalError::Deadline { .. } => FailureKind::Deadline,
+            EvalError::Manifest(_) => FailureKind::Manifest,
+        }
+    }
+
+    /// Stable lower-case name, used in `--profile` JSON output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FailureKind::Io => "io",
+            FailureKind::Decode => "decode",
+            FailureKind::Frame => "frame",
+            FailureKind::Checksum => "checksum",
+            FailureKind::Header => "header",
+            FailureKind::Func => "func",
+            FailureKind::Tree => "tree",
+            FailureKind::Strategy => "strategy",
+            FailureKind::Corrupt => "corrupt",
+            FailureKind::Missing => "missing",
+            FailureKind::Panicked => "panicked",
+            FailureKind::Deadline => "deadline",
+            FailureKind::Manifest => "manifest",
         }
     }
 }
@@ -103,6 +139,17 @@ pub struct BatchStats {
     pub total_rules: u64,
     /// Wall-clock time of the whole batch.
     pub wall: Duration,
+    /// Pass attempts re-run under the jobs'
+    /// [`RetryPolicy`](crate::machine::RetryPolicy), summed across
+    /// successful jobs.
+    pub retried: u64,
+    /// Jobs that succeeded only after at least one retried pass — the
+    /// runs a non-recovering batch would have failed.
+    pub recovered: usize,
+    /// Jobs whose code panicked; the supervisor caught the unwind and
+    /// recorded a [`FailureKind::Panicked`] failure instead of letting
+    /// the panic poison the coordinator.
+    pub panicked: usize,
     /// One typed entry per failed job, in input order.
     pub failures: Vec<JobFailure>,
     /// Aggregated pass-level profile across successful jobs, present
@@ -210,7 +257,11 @@ impl BatchEvaluator {
     /// input order plus aggregate [`BatchStats`].
     ///
     /// A job that fails records its [`EvalError`] in its result slot and
-    /// in `stats.failed`; it never aborts the rest of the batch.
+    /// in `stats.failed`; it never aborts the rest of the batch. That
+    /// holds even for *panics*: every job runs under `catch_unwind`, so a
+    /// panicking semantic function becomes a [`FailureKind::Panicked`]
+    /// failure for that one job while its worker thread carries on with
+    /// the next — the coordinator never sees a missing result slot.
     pub fn run(&self, analysis: &Analysis, funcs: &Funcs, trees: &[PTree]) -> BatchOutcome {
         let started = Instant::now();
         let n = trees.len();
@@ -232,7 +283,7 @@ impl BatchEvaluator {
                         if i >= n {
                             break;
                         }
-                        let result = evaluate(analysis, funcs, &trees[i], &opts);
+                        let result = supervised_evaluate(analysis, funcs, &trees[i], &opts);
                         if tx.send((i, result)).is_err() {
                             break;
                         }
@@ -252,23 +303,41 @@ impl BatchEvaluator {
                 workers: pool,
                 ..BatchStats::default()
             };
+            // Defense in depth: `supervised_evaluate` already converts
+            // panics into results, but if a worker nevertheless died
+            // without reporting, record a typed failure for its job
+            // instead of panicking the coordinator too.
             let results: Vec<Result<Evaluation, EvalError>> = slots
                 .into_iter()
-                .map(|slot| slot.expect("every job reports exactly once"))
+                .map(|slot| {
+                    slot.unwrap_or_else(|| {
+                        Err(EvalError::Panicked(
+                            "worker died without reporting a result".to_owned(),
+                        ))
+                    })
+                })
                 .collect();
             for (i, r) in results.iter().enumerate() {
                 match r {
                     Ok(eval) => {
                         stats.absorb(&eval.stats);
+                        stats.retried += eval.stats.retries;
+                        if eval.stats.retries > 0 {
+                            stats.recovered += 1;
+                        }
                         if let Some(m) = &eval.metrics {
                             stats.absorb_metrics(m);
                         }
                     }
                     Err(e) => {
+                        let kind = FailureKind::of(e);
+                        if kind == FailureKind::Panicked {
+                            stats.panicked += 1;
+                        }
                         stats.failed += 1;
                         stats.failures.push(JobFailure {
                             job: i,
-                            kind: FailureKind::of(e),
+                            kind,
                             message: e.to_string(),
                         });
                     }
@@ -277,6 +346,40 @@ impl BatchEvaluator {
             stats.wall = started.elapsed();
             BatchOutcome { results, stats }
         })
+    }
+}
+
+/// Run one evaluation with panic isolation: an unwind out of `evaluate`
+/// (a buggy user-registered semantic function, say) is caught and
+/// converted into [`EvalError::Panicked`] carrying the panic message.
+///
+/// `AssertUnwindSafe` is sound here because the job's entire mutable
+/// state (its store, machine, meter) is constructed inside `evaluate`
+/// and dropped with the unwind — nothing observable survives in a
+/// broken state. The shared `analysis`/`funcs` are only read.
+pub fn supervised_evaluate(
+    analysis: &Analysis,
+    funcs: &Funcs,
+    tree: &PTree,
+    opts: &EvalOptions,
+) -> Result<Evaluation, EvalError> {
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        evaluate(analysis, funcs, tree, opts)
+    }));
+    match attempt {
+        Ok(result) => result,
+        Err(payload) => Err(EvalError::Panicked(panic_message(payload))),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 

@@ -62,21 +62,25 @@
 
 pub mod aptfile;
 pub mod batch;
+pub mod crc;
 pub mod funcs;
 pub mod machine;
+pub mod manifest;
 pub mod metrics;
 pub mod tree;
 pub mod value;
 
 pub use aptfile::{
-    AptError, AptReader, AptWriter, FaultSpec, FaultTarget, HeaderError, ReadDir, Record,
-    RecordBody, TempAptDir,
+    file_summary, AptError, AptReader, AptWriter, FaultSpec, FaultTarget, FileSummary, HeaderError,
+    ReadDir, Record, RecordBody, TempAptDir,
 };
 pub use batch::{BatchEvaluator, BatchOutcome, BatchStats, FailureKind, JobFailure};
 pub use funcs::{FuncError, Funcs};
 pub use machine::{
-    evaluate, Backing, EvalError, EvalOptions, EvalStats, Evaluation, PassStats, Strategy,
+    evaluate, evaluate_resumable, Backing, EvalError, EvalOptions, EvalStats, Evaluation,
+    PassStats, RetryPolicy, Strategy,
 };
+pub use manifest::{Manifest, ManifestError, PassEntry};
 pub use metrics::{EvalMetrics, IoCounters, PassIo, PassProbe};
 pub use tree::{PTree, TreeError};
 pub use value::Value;

@@ -19,10 +19,11 @@
 //! pay for exactly these sites in generated code).
 
 use crate::aptfile::{
-    AptError, AptReader, AptWriter, FaultSpec, FaultTarget, MemFile, ReadDir, Record, RecordBody,
-    TempAptDir,
+    boundary_path, file_summary, AptError, AptReader, AptWriter, FaultSpec, FaultTarget,
+    FileSummary, MemFile, ReadDir, Record, RecordBody, TempAptDir,
 };
 use crate::funcs::{FuncError, Funcs};
+use crate::manifest::{Manifest, ManifestError, PassEntry};
 use crate::metrics::{EvalMetrics, PassProbe};
 use crate::tree::{PTree, TreeError};
 use crate::value::Value;
@@ -36,6 +37,7 @@ use linguist_ag::subsumption::GroupId;
 use linguist_support::size::Meter;
 use std::collections::HashMap;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// How the initial linearized APT file is produced (§II).
@@ -83,6 +85,15 @@ pub struct EvalOptions {
     pub profile: bool,
     /// Inject an I/O failure (test support); see [`FaultSpec`].
     pub fault: Option<FaultSpec>,
+    /// Transient-failure policy: how many times a failed *pass* is re-run
+    /// from its preceding boundary file, and with what backoff. The
+    /// default makes a single attempt (no retries).
+    pub retry: RetryPolicy,
+    /// Optional wall-clock ceiling for the whole evaluation, checked
+    /// cooperatively at every pass boundary (and before each retry):
+    /// exceeding it fails the run with [`EvalError::Deadline`] instead of
+    /// letting one pathological job hold a batch worker forever.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for EvalOptions {
@@ -94,7 +105,52 @@ impl Default for EvalOptions {
             backing: Backing::Disk,
             profile: false,
             fault: None,
+            retry: RetryPolicy::default(),
+            deadline: None,
         }
+    }
+}
+
+/// How failed passes are retried.
+///
+/// A pass that fails with a *transient* error (an I/O-rooted
+/// [`AptError`]) is re-run from its preceding boundary file — the APT on
+/// secondary storage makes the pass a natural retry unit, since its
+/// input file is immutable while it runs. Backoff is deterministic
+/// exponential: after the `n`-th failed attempt the machine sleeps
+/// `backoff × 2ⁿ⁻¹`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per pass (1 = no retries).
+    pub max_attempts: u32,
+    /// Sleep after the first failed attempt; doubles each further attempt.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `n` retries (so `n + 1` attempts) with a small
+    /// default backoff — what the CLI's `--retries N` maps to.
+    pub fn retries(n: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: n.saturating_add(1),
+            backoff: Duration::from_millis(10),
+        }
+    }
+
+    /// Deterministic exponential delay after failed attempt `attempt`
+    /// (1-based): `backoff × 2^(attempt-1)`, saturating.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16);
+        self.backoff.saturating_mul(1u32 << shift)
     }
 }
 
@@ -129,6 +185,12 @@ pub struct EvalStats {
     /// Subsumption verifications that found a clobbered global and
     /// repaired it (capture sites).
     pub globals_repaired: u64,
+    /// Pass attempts that failed transiently and were re-run under the
+    /// [`RetryPolicy`].
+    pub retries: u64,
+    /// When the evaluation resumed from a checkpoint, the boundary it
+    /// restarted after (passes `1..=resumed_from` were *not* re-run).
+    pub resumed_from: Option<u16>,
 }
 
 impl EvalStats {
@@ -167,6 +229,28 @@ impl Evaluation {
             .find(|(a, _)| analysis.grammar.attr_name(*a) == name)
             .map(|(_, v)| v)
     }
+
+    /// Resume a checkpointed evaluation from `checkpoint_dir` alone — no
+    /// parse tree needed, because boundary 0 (the parser's output) is
+    /// itself a checkpoint. Restarts after the newest boundary whose
+    /// file validates against the manifest and finishes the remaining
+    /// passes.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EvalError::Manifest`] when the directory holds no
+    /// readable manifest, and [`EvalError::Corrupt`] when the manifest
+    /// belongs to a different strategy/pass configuration or no boundary
+    /// file validates (callers with the tree at hand should fall back to
+    /// [`evaluate_resumable`], which restarts from scratch instead).
+    pub fn resume(
+        analysis: &Analysis,
+        funcs: &Funcs,
+        opts: &EvalOptions,
+        checkpoint_dir: &Path,
+    ) -> Result<Evaluation, EvalError> {
+        evaluate_inner(analysis, funcs, None, opts, Some(checkpoint_dir), true)
+    }
 }
 
 /// An evaluation failure.
@@ -191,6 +275,17 @@ pub enum EvalError {
     /// A needed attribute instance was absent (indicates an analysis or
     /// interpreter bug).
     Missing(String),
+    /// The job's code panicked; the batch supervisor caught the unwind
+    /// and converted it into this typed failure so one bad semantic
+    /// function cannot take down the coordinator.
+    Panicked(String),
+    /// The evaluation exceeded its [`EvalOptions::deadline`].
+    Deadline {
+        /// The configured wall-clock ceiling.
+        limit: Duration,
+    },
+    /// The checkpoint manifest could not be read or written.
+    Manifest(ManifestError),
 }
 
 impl fmt::Display for EvalError {
@@ -209,6 +304,11 @@ impl fmt::Display for EvalError {
             ),
             EvalError::Corrupt(m) => write!(f, "APT stream corrupt: {}", m),
             EvalError::Missing(m) => write!(f, "missing attribute instance: {}", m),
+            EvalError::Panicked(m) => write!(f, "evaluation panicked: {}", m),
+            EvalError::Deadline { limit } => {
+                write!(f, "evaluation exceeded its {:?} deadline", limit)
+            }
+            EvalError::Manifest(e) => write!(f, "{}", e),
         }
     }
 }
@@ -218,6 +318,11 @@ impl std::error::Error for EvalError {}
 impl From<AptError> for EvalError {
     fn from(e: AptError) -> EvalError {
         EvalError::Apt(e)
+    }
+}
+impl From<ManifestError> for EvalError {
+    fn from(e: ManifestError) -> EvalError {
+        EvalError::Manifest(e)
     }
 }
 impl From<FuncError> for EvalError {
@@ -247,7 +352,74 @@ pub fn evaluate(
     tree: &PTree,
     opts: &EvalOptions,
 ) -> Result<Evaluation, EvalError> {
-    tree.validate(&analysis.grammar)?;
+    evaluate_inner(analysis, funcs, Some(tree), opts, None, false)
+}
+
+/// Evaluate `tree` with pass-boundary checkpointing into `checkpoint_dir`.
+///
+/// Each boundary file is fsynced and recorded (totals + CRC) in an
+/// atomically rewritten [`Manifest`] before the next pass starts. If the
+/// directory already holds a valid manifest for the same strategy and
+/// pass count — this evaluation was started before and died — the run
+/// *resumes* after the newest boundary whose file still matches its
+/// manifest entry, instead of starting from pass 0. A checkpoint whose
+/// file fails validation silently degrades to the previous one.
+///
+/// The caller owns `checkpoint_dir`: it is created if absent and left in
+/// place on success (so the outputs can be audited), never deleted.
+///
+/// # Errors
+///
+/// See [`EvalError`]. Manifest I/O failures surface as
+/// [`EvalError::Manifest`].
+pub fn evaluate_resumable(
+    analysis: &Analysis,
+    funcs: &Funcs,
+    tree: &PTree,
+    opts: &EvalOptions,
+    checkpoint_dir: &Path,
+) -> Result<Evaluation, EvalError> {
+    evaluate_inner(
+        analysis,
+        funcs,
+        Some(tree),
+        opts,
+        Some(checkpoint_dir),
+        false,
+    )
+}
+
+fn strategy_name(s: Strategy) -> &'static str {
+    match s {
+        Strategy::BottomUp => "BottomUp",
+        Strategy::Prefix => "Prefix",
+    }
+}
+
+fn tag_pass(e: EvalError, k: u16) -> EvalError {
+    match e {
+        EvalError::Apt(a) => EvalError::Apt(a.at_pass(k)),
+        other => other,
+    }
+}
+
+/// Only I/O-rooted failures are transient; corrupt streams, semantic
+/// errors, and deadline overruns would fail identically on every retry.
+fn is_retryable(e: &EvalError) -> bool {
+    matches!(e, EvalError::Apt(a) if matches!(a.root(), AptError::Io(_)))
+}
+
+fn evaluate_inner(
+    analysis: &Analysis,
+    funcs: &Funcs,
+    tree: Option<&PTree>,
+    opts: &EvalOptions,
+    checkpoint: Option<&Path>,
+    require_manifest: bool,
+) -> Result<Evaluation, EvalError> {
+    if let Some(t) = tree {
+        t.validate(&analysis.grammar)?;
+    }
     let first = analysis.passes.direction(1);
     let compatible = matches!(
         (opts.strategy, first),
@@ -260,37 +432,83 @@ pub fn evaluate(
         });
     }
 
-    let store = Store::new(opts.backing)?;
-    let mut metrics = opts.profile.then(EvalMetrics::default);
-    // Boundary 0: the parser-built file.
-    {
-        let mut w = store.writer(0)?;
-        if let Some(f) = &opts.fault {
-            if f.pass == 0 && f.target == FaultTarget::Write {
-                w.set_fault(f.clone());
-            }
+    let started = Instant::now();
+    let num_passes = analysis.passes.num_passes() as u16;
+    let store = match checkpoint {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| EvalError::Apt(AptError::Io(e).in_file(dir)))?;
+            Store::Dir(dir.to_path_buf())
         }
-        match opts.strategy {
-            Strategy::BottomUp => {
-                tree.write_postfix(&analysis.grammar, &analysis.lifetimes, &mut w)?
+        None => Store::new(opts.backing)?,
+    };
+
+    // Resume detection: trust the newest manifest boundary (below the
+    // final pass, whose root outputs are not on disk) whose file still
+    // matches its recorded summary; walk back past corrupted ones.
+    let mut manifest: Option<Manifest> = None;
+    let mut resume_boundary: Option<u16> = None;
+    if let Some(dir) = checkpoint {
+        match Manifest::load(dir) {
+            Ok(m) if m.strategy == strategy_name(opts.strategy) && m.num_passes == num_passes => {
+                for e in m.entries.iter().rev() {
+                    if e.pass >= num_passes {
+                        continue;
+                    }
+                    let recorded = FileSummary {
+                        records: e.records,
+                        bytes: e.bytes,
+                        crc: e.crc,
+                    };
+                    if file_summary(&boundary_path(dir, e.pass)).is_ok_and(|s| s == recorded) {
+                        resume_boundary = Some(e.pass);
+                        break;
+                    }
+                }
+                let mut m = m;
+                match resume_boundary {
+                    // Later boundaries are now unproven; they will be
+                    // re-recorded as their passes re-run.
+                    Some(b) => m.entries.retain(|e| e.pass <= b),
+                    None => m.entries.clear(),
+                }
+                manifest = Some(m);
             }
-            Strategy::Prefix => {
-                tree.write_prefix(&analysis.grammar, &analysis.lifetimes, &mut w)?
+            Ok(m) if require_manifest => {
+                return Err(EvalError::Corrupt(format!(
+                    "checkpoint in {} is for a different configuration \
+                     ({} × {} passes; this run needs {} × {})",
+                    dir.display(),
+                    m.strategy,
+                    m.num_passes,
+                    strategy_name(opts.strategy),
+                    num_passes
+                )));
             }
+            Ok(_) => {}
+            Err(e) if require_manifest => return Err(EvalError::Manifest(e)),
+            Err(_) => {}
         }
-        let (bytes, records) = w.finish()?;
-        if let Some(m) = &mut metrics {
-            m.initial_bytes = bytes;
-            m.initial_records = records;
+        if require_manifest && resume_boundary.is_none() {
+            return Err(EvalError::Corrupt(format!(
+                "no valid checkpoint boundary to resume from in {}",
+                dir.display()
+            )));
+        }
+        if manifest.is_none() {
+            manifest = Some(Manifest::new(strategy_name(opts.strategy), num_passes));
         }
     }
+    let start_pass = resume_boundary.map_or(1, |b| b + 1);
 
+    let mut metrics = opts.profile.then(EvalMetrics::default);
     let mut machine = Machine {
         analysis,
         funcs,
         globals: HashMap::new(),
         stats: EvalStats {
             meter: Meter::with_budget(opts.budget),
+            resumed_from: resume_boundary,
             ..EvalStats::default()
         },
         check_globals: opts.check_globals,
@@ -299,49 +517,161 @@ pub fn evaluate(
         rules_this_pass: 0,
         probe: None,
     };
+    let check_deadline = || -> Result<(), EvalError> {
+        match opts.deadline {
+            Some(limit) if started.elapsed() >= limit => Err(EvalError::Deadline { limit }),
+            _ => Ok(()),
+        }
+    };
 
-    let num_passes = analysis.passes.num_passes() as u16;
+    // Boundary 0: the parser-built file (skipped entirely on resume —
+    // the checkpointed copy *is* the parser's output).
+    if resume_boundary.is_none() {
+        let tree = tree.ok_or_else(|| {
+            EvalError::Corrupt(
+                "nothing to resume and no parse tree supplied to rebuild boundary 0".to_owned(),
+            )
+        })?;
+        let mut attempt = 1u32;
+        let summary = loop {
+            check_deadline()?;
+            let result = (|| -> Result<FileSummary, EvalError> {
+                let mut w = store.writer(0)?;
+                if checkpoint.is_some() {
+                    w.set_sync(true);
+                }
+                if let Some(f) = &opts.fault {
+                    if f.pass == 0 && f.target == FaultTarget::Write {
+                        w.set_fault(f.clone());
+                    }
+                }
+                match opts.strategy {
+                    Strategy::BottomUp => {
+                        tree.write_postfix(&analysis.grammar, &analysis.lifetimes, &mut w)?
+                    }
+                    Strategy::Prefix => {
+                        tree.write_prefix(&analysis.grammar, &analysis.lifetimes, &mut w)?
+                    }
+                }
+                Ok(w.finish_summary()?)
+            })();
+            match result {
+                Ok(s) => break s,
+                Err(e) => {
+                    let e = tag_pass(e, 0);
+                    if attempt >= opts.retry.max_attempts || !is_retryable(&e) {
+                        return Err(e);
+                    }
+                    machine.stats.retries += 1;
+                    std::thread::sleep(opts.retry.delay(attempt));
+                    attempt += 1;
+                }
+            }
+        };
+        if let Some(m) = &mut metrics {
+            m.initial_bytes = summary.bytes;
+            m.initial_records = summary.records;
+        }
+        if let (Some(m), Some(dir)) = (&mut manifest, checkpoint) {
+            m.record(PassEntry {
+                pass: 0,
+                records: summary.records,
+                bytes: summary.bytes,
+                crc: summary.crc,
+            });
+            m.save(dir)?;
+        }
+    }
+
     let mut root_state: Option<NodeState> = None;
-    for k in 1..=num_passes {
+    for k in start_pass..=num_passes {
         let read_dir = match (k, opts.strategy) {
             (1, Strategy::Prefix) => ReadDir::Forward,
             _ => ReadDir::Backward,
         };
-        let started = Instant::now();
-        machine.pass = k;
-        machine.globals.clear();
-        machine.rules_this_pass = 0;
-        if metrics.is_some() {
-            machine.probe = Some(PassProbe::new());
-        }
-
-        let mut reader = store.reader(k - 1, read_dir)?;
-        let mut writer = store.writer(k)?;
-        if let Some(probe) = &machine.probe {
-            reader.set_profile(probe.read.clone());
-            writer.set_profile(probe.written.clone());
-        }
-        if let Some(f) = &opts.fault {
-            if f.pass == k {
-                match f.target {
-                    FaultTarget::Read => reader.set_fault(f.clone()),
-                    FaultTarget::Write => writer.set_fault(f.clone()),
+        let mut attempt = 1u32;
+        // Each attempt re-runs the whole pass from the (immutable)
+        // boundary k-1 file; a clean attempt breaks with the pass result.
+        let (root, pass_stats, summary) = loop {
+            check_deadline()?;
+            let pass_started = Instant::now();
+            machine.pass = k;
+            machine.depth = 0;
+            machine.globals.clear();
+            machine.rules_this_pass = 0;
+            if metrics.is_some() {
+                machine.probe = Some(PassProbe::new());
+            }
+            let mem_before = machine.stats.meter.current();
+            let result = (|| -> Result<(NodeState, u64, u64, FileSummary), EvalError> {
+                let mut reader = store.reader(k - 1, read_dir)?;
+                let mut writer = store.writer(k)?;
+                if checkpoint.is_some() {
+                    writer.set_sync(true);
+                }
+                if let Some(probe) = &machine.probe {
+                    reader.set_profile(probe.read.clone());
+                    writer.set_profile(probe.written.clone());
+                }
+                if let Some(f) = &opts.fault {
+                    if f.pass == k {
+                        match f.target {
+                            FaultTarget::Read => reader.set_fault(f.clone()),
+                            FaultTarget::Write => writer.set_fault(f.clone()),
+                        }
+                    }
+                }
+                let root = machine.run_pass(&mut reader, &mut writer)?;
+                let bytes_read = reader.bytes_read();
+                let records_read = reader.records_read();
+                let summary = writer.finish_summary()?;
+                Ok((root, bytes_read, records_read, summary))
+            })();
+            match result {
+                Ok((root, bytes_read, records_read, summary)) => {
+                    break (
+                        root,
+                        PassStats {
+                            duration: pass_started.elapsed(),
+                            bytes_read,
+                            bytes_written: summary.bytes,
+                            records_read,
+                            records_written: summary.records,
+                            rules_evaluated: machine.rules_this_pass,
+                        },
+                        summary,
+                    );
+                }
+                Err(e) => {
+                    let e = tag_pass(e, k);
+                    if attempt >= opts.retry.max_attempts || !is_retryable(&e) {
+                        return Err(e);
+                    }
+                    machine.stats.retries += 1;
+                    // The aborted attempt left its spine charges on the
+                    // meter; release them so retries don't compound
+                    // (peak stays — that memory really was used).
+                    let leaked = machine.stats.meter.current().saturating_sub(mem_before);
+                    machine.stats.meter.release(leaked);
+                    machine.probe = None;
+                    std::thread::sleep(opts.retry.delay(attempt));
+                    attempt += 1;
                 }
             }
-        }
-        let root = machine.run_pass(&mut reader, &mut writer)?;
-        let (bytes_written, records_written) = writer.finish()?;
-        machine.stats.passes.push(PassStats {
-            duration: started.elapsed(),
-            bytes_read: reader.bytes_read(),
-            bytes_written,
-            records_read: reader.records_read(),
-            records_written,
-            rules_evaluated: machine.rules_this_pass,
-        });
+        };
+        machine.stats.passes.push(pass_stats);
         if let (Some(m), Some(probe)) = (&mut metrics, machine.probe.take()) {
             m.passes
                 .push(probe.finish(k, read_dir, machine.rules_this_pass));
+        }
+        if let (Some(m), Some(dir)) = (&mut manifest, checkpoint) {
+            m.record(PassEntry {
+                pass: k,
+                records: summary.records,
+                bytes: summary.bytes,
+                crc: summary.crc,
+            });
+            m.save(dir)?;
         }
         root_state = Some(root);
     }
@@ -919,6 +1249,10 @@ impl<'a> Machine<'a> {
 /// only makes the sharing *within* one evaluation `Send`.
 enum Store {
     Disk(TempAptDir),
+    /// A caller-owned persistent checkpoint directory: same file layout
+    /// as [`Store::Disk`], but it survives the evaluation (and the
+    /// process) so a resumed run can pick its boundary files back up.
+    Dir(PathBuf),
     Memory(std::sync::Mutex<HashMap<u16, MemFile>>),
 }
 
@@ -938,13 +1272,14 @@ impl Store {
                 .entry(k)
                 .or_insert_with(|| std::sync::Arc::new(std::sync::Mutex::new(Vec::new())))
                 .clone(),
-            Store::Disk(_) => unreachable!("buffer() is memory-only"),
+            Store::Disk(_) | Store::Dir(_) => unreachable!("buffer() is memory-only"),
         }
     }
 
     fn writer(&self, k: u16) -> Result<AptWriter, AptError> {
         match self {
             Store::Disk(dir) => AptWriter::create(&dir.boundary(k)),
+            Store::Dir(dir) => AptWriter::create(&boundary_path(dir, k)),
             Store::Memory(_) => Ok(AptWriter::create_mem(self.buffer(k))),
         }
     }
@@ -952,6 +1287,7 @@ impl Store {
     fn reader(&self, k: u16, dir_: ReadDir) -> Result<AptReader, AptError> {
         match self {
             Store::Disk(dir) => AptReader::open(&dir.boundary(k), dir_),
+            Store::Dir(dir) => AptReader::open(&boundary_path(dir, k), dir_),
             Store::Memory(_) => AptReader::open_mem(self.buffer(k), dir_),
         }
     }

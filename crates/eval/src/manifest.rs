@@ -1,0 +1,370 @@
+//! Durable per-evaluation checkpoint manifests.
+//!
+//! The paper's evaluation paradigm materializes a complete boundary file
+//! between passes anyway; the manifest is the small piece of bookkeeping
+//! that turns those files into *checkpoints*. After each pass the
+//! machine appends one [`PassEntry`] — the boundary's record/byte totals
+//! and whole-body CRC from [`FileSummary`](crate::aptfile::FileSummary) —
+//! and rewrites the manifest **atomically**: the new content goes to a
+//! temp file, the temp file is fsynced, renamed over `MANIFEST`, and the
+//! directory is fsynced. A crash at any instant therefore leaves either
+//! the old manifest or the new one, never a torn mix, and a boundary is
+//! only ever claimed *after* its file is durable (the writer fsyncs
+//! before the manifest does).
+//!
+//! On resume, [`evaluate_resumable`](crate::machine::evaluate_resumable)
+//! loads the manifest, walks its entries from the newest back, and
+//! restarts after the last boundary whose on-disk file still matches its
+//! recorded summary — so a corrupted or truncated checkpoint silently
+//! degrades to an earlier one instead of poisoning the resumed run.
+//!
+//! The format is a line-oriented text file (trivially inspectable in a
+//! crash post-mortem):
+//!
+//! ```text
+//! linguist86 manifest v1
+//! strategy BottomUp
+//! passes 4
+//! boundary 0 154 4312 89abcdef
+//! boundary 1 154 4980 00c0ffee
+//! ```
+
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the manifest inside a checkpoint directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// One completed pass boundary: the totals the boundary file must still
+/// match for a resume to trust it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PassEntry {
+    /// Boundary index (0 is the parser-built initial file; boundary `k`
+    /// is the output of pass `k`).
+    pub pass: u16,
+    /// Records in the boundary file.
+    pub records: u64,
+    /// Framed body bytes in the boundary file.
+    pub bytes: u64,
+    /// CRC-32 over the boundary file's body.
+    pub crc: u32,
+}
+
+/// The checkpoint manifest of one evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Initial-file strategy name (`BottomUp`/`Prefix`); a resumed run
+    /// must use the same one or its read directions would not line up
+    /// with the checkpointed files.
+    pub strategy: String,
+    /// Total passes the evaluation needs.
+    pub num_passes: u16,
+    /// Completed boundaries, oldest first.
+    pub entries: Vec<PassEntry>,
+}
+
+/// A manifest that cannot be read, written, or parsed.
+#[derive(Debug)]
+pub enum ManifestError {
+    /// Filesystem failure on the named path.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The manifest file exists but is not a manifest (or a newer,
+    /// unknown version).
+    Parse {
+        /// The manifest path.
+        path: PathBuf,
+        /// 1-based line of the offending content.
+        line: usize,
+        /// What was wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Io { path, source } => {
+                write!(f, "manifest {}: {}", path.display(), source)
+            }
+            ManifestError::Parse { path, line, msg } => {
+                write!(f, "manifest {} line {}: {}", path.display(), line, msg)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ManifestError::Io { source, .. } => Some(source),
+            ManifestError::Parse { .. } => None,
+        }
+    }
+}
+
+impl ManifestError {
+    /// True when the failure is simply "no manifest there" — a fresh
+    /// checkpoint directory, not a corrupt one.
+    pub fn is_missing(&self) -> bool {
+        matches!(
+            self,
+            ManifestError::Io { source, .. } if source.kind() == io::ErrorKind::NotFound
+        )
+    }
+}
+
+impl Manifest {
+    /// A manifest for a fresh evaluation with no completed boundaries.
+    pub fn new(strategy: &str, num_passes: u16) -> Manifest {
+        Manifest {
+            strategy: strategy.to_owned(),
+            num_passes,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Record boundary `entry.pass` as completed, replacing any previous
+    /// claim for the same or a later boundary (a retried pass supersedes
+    /// the attempt it replaces).
+    pub fn record(&mut self, entry: PassEntry) {
+        self.entries.retain(|e| e.pass < entry.pass);
+        self.entries.push(entry);
+    }
+
+    /// The newest completed boundary, if any.
+    pub fn last_completed(&self) -> Option<u16> {
+        self.entries.last().map(|e| e.pass)
+    }
+
+    /// The recorded entry for boundary `pass`.
+    pub fn entry(&self, pass: u16) -> Option<&PassEntry> {
+        self.entries.iter().find(|e| e.pass == pass)
+    }
+
+    /// Path of the manifest inside checkpoint directory `dir`.
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(MANIFEST_FILE)
+    }
+
+    /// Serialize the manifest text.
+    fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("linguist86 manifest v1\n");
+        out.push_str(&format!("strategy {}\n", self.strategy));
+        out.push_str(&format!("passes {}\n", self.num_passes));
+        for e in &self.entries {
+            out.push_str(&format!(
+                "boundary {} {} {} {:08x}\n",
+                e.pass, e.records, e.bytes, e.crc
+            ));
+        }
+        out
+    }
+
+    /// Atomically (re)write the manifest in `dir`: temp file → fsync →
+    /// rename → directory fsync. Interrupting this at any point leaves a
+    /// readable manifest (old or new), never a torn one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures with the offending path attached.
+    pub fn save(&self, dir: &Path) -> Result<(), ManifestError> {
+        let final_path = Manifest::path_in(dir);
+        let tmp_path = dir.join(format!("{}.tmp", MANIFEST_FILE));
+        let io_err = |path: &Path| {
+            let path = path.to_path_buf();
+            move |source| ManifestError::Io {
+                path: path.clone(),
+                source,
+            }
+        };
+        {
+            let mut tmp = File::create(&tmp_path).map_err(io_err(&tmp_path))?;
+            tmp.write_all(self.render().as_bytes())
+                .map_err(io_err(&tmp_path))?;
+            tmp.sync_all().map_err(io_err(&tmp_path))?;
+        }
+        fs::rename(&tmp_path, &final_path).map_err(io_err(&final_path))?;
+        // Rename durability needs the containing directory synced too.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    /// Load the manifest from checkpoint directory `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::Io`] when unreadable (see
+    /// [`is_missing`](ManifestError::is_missing) for the benign case),
+    /// [`ManifestError::Parse`] when the content is not a v1 manifest.
+    pub fn load(dir: &Path) -> Result<Manifest, ManifestError> {
+        let path = Manifest::path_in(dir);
+        let text = fs::read_to_string(&path).map_err(|source| ManifestError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        let parse_err = |line: usize, msg: &str| ManifestError::Parse {
+            path: path.clone(),
+            line,
+            msg: msg.to_owned(),
+        };
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, "linguist86 manifest v1")) => {}
+            _ => return Err(parse_err(1, "bad or missing manifest magic")),
+        }
+        let strategy = match lines.next() {
+            Some((_, l)) if l.starts_with("strategy ") => l["strategy ".len()..].to_owned(),
+            _ => return Err(parse_err(2, "expected a strategy line")),
+        };
+        let num_passes = lines
+            .next()
+            .and_then(|(_, l)| l.strip_prefix("passes "))
+            .and_then(|n| n.parse::<u16>().ok())
+            .ok_or_else(|| parse_err(3, "expected a passes line"))?;
+        let mut entries = Vec::new();
+        for (i, l) in lines {
+            if l.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = l.split(' ').collect();
+            let entry = match fields.as_slice() {
+                ["boundary", pass, records, bytes, crc] => PassEntry {
+                    pass: pass
+                        .parse()
+                        .map_err(|_| parse_err(i + 1, "bad boundary index"))?,
+                    records: records
+                        .parse()
+                        .map_err(|_| parse_err(i + 1, "bad record count"))?,
+                    bytes: bytes
+                        .parse()
+                        .map_err(|_| parse_err(i + 1, "bad byte count"))?,
+                    crc: u32::from_str_radix(crc, 16)
+                        .map_err(|_| parse_err(i + 1, "bad checksum"))?,
+                },
+                _ => return Err(parse_err(i + 1, "expected a boundary line")),
+            };
+            if entries
+                .last()
+                .is_some_and(|prev: &PassEntry| prev.pass >= entry.pass)
+            {
+                return Err(parse_err(i + 1, "boundary entries out of order"));
+            }
+            entries.push(entry);
+        }
+        Ok(Manifest {
+            strategy,
+            num_passes,
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aptfile::TempAptDir;
+
+    fn sample() -> Manifest {
+        let mut m = Manifest::new("BottomUp", 4);
+        m.record(PassEntry {
+            pass: 0,
+            records: 154,
+            bytes: 4312,
+            crc: 0x89AB_CDEF,
+        });
+        m.record(PassEntry {
+            pass: 1,
+            records: 154,
+            bytes: 4980,
+            crc: 0x00C0_FFEE,
+        });
+        m
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = TempAptDir::new().unwrap();
+        let m = sample();
+        m.save(dir.path()).unwrap();
+        assert_eq!(Manifest::load(dir.path()).unwrap(), m);
+        assert_eq!(m.last_completed(), Some(1));
+        assert_eq!(m.entry(0).unwrap().bytes, 4312);
+    }
+
+    #[test]
+    fn record_supersedes_later_boundaries() {
+        // A retried pass 1 invalidates the old boundaries 1 and 2.
+        let mut m = sample();
+        m.record(PassEntry {
+            pass: 2,
+            records: 10,
+            bytes: 300,
+            crc: 1,
+        });
+        m.record(PassEntry {
+            pass: 1,
+            records: 154,
+            bytes: 5000,
+            crc: 2,
+        });
+        assert_eq!(m.last_completed(), Some(1));
+        assert_eq!(m.entry(1).unwrap().crc, 2);
+        assert!(m.entry(2).is_none());
+    }
+
+    #[test]
+    fn missing_manifest_is_distinguishable() {
+        let dir = TempAptDir::new().unwrap();
+        let err = Manifest::load(dir.path()).unwrap_err();
+        assert!(err.is_missing(), "NotFound should read as missing: {}", err);
+    }
+
+    #[test]
+    fn torn_or_garbled_manifests_are_typed_parse_errors() {
+        let dir = TempAptDir::new().unwrap();
+        for garbage in [
+            "",
+            "not a manifest",
+            "linguist86 manifest v1\nstrategy BottomUp\n",
+            "linguist86 manifest v1\nstrategy BottomUp\npasses 4\nboundary nope",
+            "linguist86 manifest v1\nstrategy BottomUp\npasses 4\nboundary 1 1 19 zz\n",
+            // Out-of-order boundaries (torn rewrite).
+            "linguist86 manifest v1\nstrategy BottomUp\npasses 4\n\
+             boundary 1 1 19 00000000\nboundary 0 1 19 00000000\n",
+        ] {
+            std::fs::write(Manifest::path_in(dir.path()), garbage).unwrap();
+            match Manifest::load(dir.path()) {
+                Err(ManifestError::Parse { .. }) => {}
+                other => panic!("garbage {:?} accepted: {:?}", garbage, other),
+            }
+        }
+    }
+
+    #[test]
+    fn save_replaces_atomically() {
+        // Saving over an existing manifest leaves no temp file behind and
+        // the final content is the new manifest.
+        let dir = TempAptDir::new().unwrap();
+        sample().save(dir.path()).unwrap();
+        let mut m2 = sample();
+        m2.record(PassEntry {
+            pass: 2,
+            records: 154,
+            bytes: 5100,
+            crc: 3,
+        });
+        m2.save(dir.path()).unwrap();
+        assert_eq!(Manifest::load(dir.path()).unwrap(), m2);
+        assert!(!dir.path().join(format!("{}.tmp", MANIFEST_FILE)).exists());
+    }
+}

@@ -55,7 +55,16 @@ fn single_eval_write_fault_is_a_typed_io_error() {
         ..EvalOptions::default()
     };
     match evaluate(&analysis, &Funcs::standard(), &tree, &opts) {
-        Err(EvalError::Apt(AptError::Io(_))) => {}
+        // The error carries the boundary-file path and pass as context;
+        // the root cause stays a typed I/O error.
+        Err(EvalError::Apt(a)) if matches!(a.root(), AptError::Io(_)) => {
+            let msg = a.to_string();
+            assert!(
+                msg.contains("pass 1") && msg.contains("boundary_1.apt"),
+                "error should name the pass and boundary file: {}",
+                msg
+            );
+        }
         other => panic!("expected a typed I/O error, got {:?}", other),
     }
 }
@@ -69,7 +78,14 @@ fn single_eval_read_fault_is_a_typed_io_error() {
         ..EvalOptions::default()
     };
     match evaluate(&analysis, &Funcs::standard(), &tree, &opts) {
-        Err(EvalError::Apt(AptError::Io(_))) => {}
+        Err(EvalError::Apt(a)) if matches!(a.root(), AptError::Io(_)) => {
+            let msg = a.to_string();
+            assert!(
+                msg.contains("pass 1") && msg.contains("boundary_0.apt"),
+                "error should name the pass and the faulted input file: {}",
+                msg
+            );
+        }
         other => panic!("expected a typed I/O error, got {:?}", other),
     }
 }

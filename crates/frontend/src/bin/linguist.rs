@@ -15,6 +15,12 @@
 //!   --coalesce           use the cross-name coalescing extension
 //!   --batch              process the grammars as a parallel batch
 //!   --jobs N             worker threads for --batch (default: all cores)
+//!   --retries N          re-run a failed evaluator pass up to N times
+//!                        (exponential backoff, from the last boundary)
+//!   --checkpoint-dir DIR checkpoint the profiled evaluation at every
+//!                        pass boundary into DIR (durable manifest)
+//!   --resume             resume the profiled evaluation from DIR's
+//!                        manifest (requires --checkpoint-dir)
 //! ```
 //!
 //! With one grammar and no `--batch`, runs the classic single-grammar
@@ -32,10 +38,14 @@
 use linguist_ag::analysis::Config;
 use linguist_ag::passes::{Direction, PassConfig};
 use linguist_ag::subsumption::GroupMode;
+use linguist_eval::aptfile::TempAptDir;
 use linguist_eval::funcs::Funcs;
+use linguist_eval::machine::RetryPolicy;
 use linguist_frontend::driver::{run, run_batch, DriverOptions, DriverOutput, TargetOpt};
-use linguist_frontend::report::{ProfileReport, DEFAULT_TREE_BUDGET};
+use linguist_frontend::report::{ProfileReport, RecoveryOpts, DEFAULT_TREE_BUDGET};
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum ProfileFmt {
@@ -55,13 +65,41 @@ struct Cli {
     coalesce: bool,
     batch: bool,
     jobs: Option<usize>,
+    retries: u32,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+}
+
+impl Cli {
+    /// Recovery options for the `index`-th grammar: under `--batch` each
+    /// job checkpoints into its own subdirectory so manifests never
+    /// collide.
+    fn recovery(&self, index: usize) -> RecoveryOpts {
+        let checkpoint_dir = self.checkpoint_dir.as_ref().map(|base| {
+            if self.batch {
+                base.join(format!("job{}", index))
+            } else {
+                base.clone()
+            }
+        });
+        RecoveryOpts {
+            retry: if self.retries > 0 {
+                RetryPolicy::retries(self.retries)
+            } else {
+                RetryPolicy::default()
+            },
+            checkpoint_dir,
+            resume: self.resume,
+        }
+    }
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: linguist GRAMMAR.lg [GRAMMAR2.lg ...] [--listing] [--stats] [--timings] \
          [--profile[=text|json]] [--emit pascal|rust] [--first-pass rl|lr] \
-         [--no-subsumption] [--coalesce] [--batch] [--jobs N]"
+         [--no-subsumption] [--coalesce] [--batch] [--jobs N] [--retries N] \
+         [--checkpoint-dir DIR] [--resume]"
     );
     std::process::exit(2);
 }
@@ -79,6 +117,9 @@ fn parse_args() -> Cli {
         coalesce: false,
         batch: false,
         jobs: None,
+        retries: 0,
+        checkpoint_dir: None,
+        resume: false,
     };
     let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
@@ -110,6 +151,15 @@ fn parse_args() -> Cli {
                 Some(n) if n >= 1 => cli.jobs = Some(n),
                 _ => usage(),
             },
+            "--retries" => match args.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) => cli.retries = n,
+                None => usage(),
+            },
+            "--checkpoint-dir" => match args.next() {
+                Some(dir) if !dir.starts_with('-') => cli.checkpoint_dir = Some(dir.into()),
+                _ => usage(),
+            },
+            "--resume" => cli.resume = true,
             "--emit" => match args.next().as_deref() {
                 Some("pascal") => cli.emit = Some(TargetOpt::Pascal),
                 Some("rust") => cli.emit = Some(TargetOpt::Rust),
@@ -131,13 +181,17 @@ fn parse_args() -> Cli {
     if cli.paths.len() > 1 {
         cli.batch = true;
     }
+    if cli.resume && cli.checkpoint_dir.is_none() {
+        eprintln!("linguist: --resume requires --checkpoint-dir");
+        usage();
+    }
     if !cli.listing && !cli.timings && cli.emit.is_none() && cli.profile.is_none() {
         cli.stats = true;
     }
     cli
 }
 
-fn report(cli: &Cli, path: &str, out: &DriverOutput, heading: bool) {
+fn report(cli: &Cli, path: &str, index: usize, out: &DriverOutput, heading: bool) {
     if heading {
         println!("== {} ==", path);
     }
@@ -159,14 +213,26 @@ fn report(cli: &Cli, path: &str, out: &DriverOutput, heading: bool) {
         print!("{}", out.generated.full_source());
     }
     if cli.profile == Some(ProfileFmt::Text) {
-        let r =
-            ProfileReport::collect(path, &out.analysis, &Funcs::standard(), DEFAULT_TREE_BUDGET);
+        let r = ProfileReport::collect_with(
+            path,
+            &out.analysis,
+            &Funcs::standard(),
+            DEFAULT_TREE_BUDGET,
+            &cli.recovery(index),
+        );
         print!("{}", r.render_text());
     }
 }
 
 fn main() -> ExitCode {
     let cli = parse_args();
+    // Housekeeping: remove intermediate-APT scratch directories orphaned
+    // by crashed runs (dead owning process, or older than a day).
+    if let Ok(swept) = TempAptDir::sweep_stale(Duration::from_secs(24 * 60 * 60)) {
+        if swept > 0 {
+            eprintln!("linguist: swept {} stale APT scratch dir(s)", swept);
+        }
+    }
     let mut sources = Vec::with_capacity(cli.paths.len());
     for path in &cli.paths {
         match std::fs::read_to_string(path) {
@@ -202,13 +268,14 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        report(&cli, &cli.paths[0], &out, false);
+        report(&cli, &cli.paths[0], 0, &out, false);
         if cli.profile == Some(ProfileFmt::Json) {
-            let r = ProfileReport::collect(
+            let r = ProfileReport::collect_with(
                 &cli.paths[0],
                 &out.analysis,
                 &Funcs::standard(),
                 DEFAULT_TREE_BUDGET,
+                &cli.recovery(0),
             );
             println!("{}", r.render_json());
         }
@@ -229,18 +296,19 @@ fn main() -> ExitCode {
         || cli.listing
         || cli.emit.is_some()
         || cli.profile == Some(ProfileFmt::Text);
-    for (path, result) in cli.paths.iter().zip(&results) {
+    for (i, (path, result)) in cli.paths.iter().zip(&results).enumerate() {
         match result {
             Ok(out) => {
                 if human {
-                    report(&cli, path, out, true);
+                    report(&cli, path, i, out, true);
                 }
                 if cli.profile == Some(ProfileFmt::Json) {
-                    let r = ProfileReport::collect(
+                    let r = ProfileReport::collect_with(
                         path,
                         &out.analysis,
                         &Funcs::standard(),
                         DEFAULT_TREE_BUDGET,
+                        &cli.recovery(i),
                     );
                     json_reports.push(r.render_json());
                 }
@@ -254,9 +322,10 @@ fn main() -> ExitCode {
     // In JSON mode the batch summary is human-oriented: keep stdout
     // machine-clean by sending it to stderr.
     let summary = format!(
-        "batch: {} grammar(s), {} failed, {} worker(s), {:?} wall, {:.1} grammars/sec",
+        "batch: {} grammar(s), {} failed ({} panicked), {} worker(s), {:?} wall, {:.1} grammars/sec",
         stats.jobs,
         stats.failed,
+        stats.panicked,
         stats.workers,
         stats.wall,
         stats.jobs_per_sec()

@@ -154,6 +154,9 @@ pub enum DriverError {
     Lower(Vec<LowerError>),
     /// Overlays 3–4 rejected the grammar.
     Analysis(AnalysisError),
+    /// The pipeline panicked mid-overlay; caught by the batch
+    /// supervisor so one poisoned source cannot kill its siblings.
+    Panicked(String),
 }
 
 impl fmt::Display for DriverError {
@@ -168,6 +171,7 @@ impl fmt::Display for DriverError {
                 Ok(())
             }
             DriverError::Analysis(e) => write!(f, "{}", e),
+            DriverError::Panicked(msg) => write!(f, "pipeline panicked: {}", msg),
         }
     }
 }
@@ -302,6 +306,9 @@ pub struct BatchRunStats {
     pub jobs: usize,
     /// Grammars rejected by some overlay.
     pub failed: usize,
+    /// Of the failures, how many were caught panics rather than typed
+    /// overlay diagnostics.
+    pub panicked: usize,
     /// Worker threads used.
     pub workers: usize,
     /// Wall-clock time of the whole batch.
@@ -350,7 +357,18 @@ pub fn run_batch(
                 if i >= n {
                     break;
                 }
-                if tx.send((i, run(sources[i], opts))).is_err() {
+                // Panic isolation: a source that crashes an overlay
+                // reports a typed `Panicked` error instead of unwinding
+                // the worker and starving every slot it would have fed.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run(sources[i], opts)
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(DriverError::Panicked(linguist_eval::batch::panic_message(
+                        payload,
+                    )))
+                });
+                if tx.send((i, result)).is_err() {
                     break;
                 }
             });
@@ -364,7 +382,13 @@ pub fn run_batch(
         }
         slots
             .into_iter()
-            .map(|slot| slot.expect("every source reports exactly once"))
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    Err(DriverError::Panicked(
+                        "worker died without reporting a result".to_owned(),
+                    ))
+                })
+            })
             .collect::<Vec<_>>()
     });
 
@@ -377,7 +401,12 @@ pub fn run_batch(
     for r in &results {
         match r {
             Ok(out) => stats.source_lines += out.source_lines,
-            Err(_) => stats.failed += 1,
+            Err(e) => {
+                stats.failed += 1;
+                if matches!(e, DriverError::Panicked(_)) {
+                    stats.panicked += 1;
+                }
+            }
         }
     }
     (results, stats)

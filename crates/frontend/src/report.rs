@@ -22,7 +22,9 @@ use linguist_ag::passes::Direction;
 use linguist_ag::stats::GrammarProfile;
 use linguist_eval::aptfile::ReadDir;
 use linguist_eval::funcs::Funcs;
-use linguist_eval::machine::{evaluate, Backing, EvalOptions, Strategy};
+use linguist_eval::machine::{
+    evaluate, evaluate_resumable, Backing, EvalOptions, Evaluation, RetryPolicy, Strategy,
+};
 use linguist_eval::metrics::EvalMetrics;
 use linguist_eval::tree::PTree;
 use linguist_eval::value::Value;
@@ -32,6 +34,20 @@ use std::fmt::Write as _;
 /// choose one: large enough that every pass moves real file traffic,
 /// small enough to stay far under the 48 KB dynamic-memory budget.
 pub const DEFAULT_TREE_BUDGET: usize = 200;
+
+/// Recovery knobs for the dynamic half of the report — what the CLI's
+/// `--retries`, `--checkpoint-dir` and `--resume` flags map to.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryOpts {
+    /// Transient-failure policy for the profiled evaluation.
+    pub retry: RetryPolicy,
+    /// Checkpoint every pass boundary into this directory.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Resume from the checkpoint directory's manifest instead of
+    /// starting fresh (falls back to a fresh checkpointed run when
+    /// nothing resumable is found).
+    pub resume: bool,
+}
 
 /// The complete `--profile` report for one grammar.
 #[derive(Clone, Debug)]
@@ -50,6 +66,12 @@ pub struct ProfileReport {
     /// rejecting the synthetic attribute values, say). The static half
     /// is still valid.
     pub eval_error: Option<String>,
+    /// Pass retries the evaluation consumed recovering from transient
+    /// failures (0 without a retry policy).
+    pub retries: u64,
+    /// The checkpoint boundary the evaluation restarted after, when it
+    /// was resumed rather than run from scratch.
+    pub resumed_from: Option<u16>,
 }
 
 impl ProfileReport {
@@ -61,6 +83,8 @@ impl ProfileReport {
             tree_nodes: 0,
             eval: None,
             eval_error: None,
+            retries: 0,
+            resumed_from: None,
         }
     }
 
@@ -73,6 +97,19 @@ impl ProfileReport {
     /// values still yields a report — the failure is recorded in
     /// [`eval_error`](ProfileReport::eval_error) instead of aborting.
     pub fn collect(name: &str, analysis: &Analysis, funcs: &Funcs, budget: usize) -> ProfileReport {
+        ProfileReport::collect_with(name, analysis, funcs, budget, &RecoveryOpts::default())
+    }
+
+    /// [`collect`](ProfileReport::collect) with recovery options: a retry
+    /// policy for transient failures, optional pass-boundary
+    /// checkpointing, and resuming from an earlier checkpoint directory.
+    pub fn collect_with(
+        name: &str,
+        analysis: &Analysis,
+        funcs: &Funcs,
+        budget: usize,
+        recovery: &RecoveryOpts,
+    ) -> ProfileReport {
         let mut report = ProfileReport::without_eval(name, analysis);
         let tree = match synthesize_tree(&analysis.grammar, budget) {
             Some(t) => t,
@@ -95,10 +132,21 @@ impl ProfileReport {
             strategy,
             backing: Backing::Disk,
             profile: true,
+            retry: recovery.retry,
             ..EvalOptions::default()
         };
-        match evaluate(analysis, funcs, &tree, &opts) {
-            Ok(eval) => report.eval = eval.metrics,
+        let result = match (&recovery.checkpoint_dir, recovery.resume) {
+            (Some(dir), true) => Evaluation::resume(analysis, funcs, &opts, dir)
+                .or_else(|_| evaluate_resumable(analysis, funcs, &tree, &opts, dir)),
+            (Some(dir), false) => evaluate_resumable(analysis, funcs, &tree, &opts, dir),
+            (None, _) => evaluate(analysis, funcs, &tree, &opts),
+        };
+        match result {
+            Ok(eval) => {
+                report.retries = eval.stats.retries;
+                report.resumed_from = eval.stats.resumed_from;
+                report.eval = eval.metrics;
+            }
             Err(e) => report.eval_error = Some(e.to_string()),
         }
         report
@@ -162,6 +210,12 @@ impl ProfileReport {
                     m.total_attrs_evaluated(),
                     m.total_funcs_invoked()
                 );
+                if self.retries > 0 {
+                    let _ = writeln!(out, "recovery: {} pass retr(ies)", self.retries);
+                }
+                if let Some(b) = self.resumed_from {
+                    let _ = writeln!(out, "recovery: resumed from checkpoint boundary {}", b);
+                }
             }
             (None, Some(e)) => {
                 let _ = writeln!(out);
@@ -225,6 +279,13 @@ impl ProfileReport {
         );
         out.push('}');
         let _ = write!(out, ",\"tree_nodes\":{}", self.tree_nodes);
+        let _ = write!(out, ",\"recovery\":{{\"retries\":{}", self.retries);
+        match self.resumed_from {
+            Some(b) => {
+                let _ = write!(out, ",\"resumed_from\":{}}}", b);
+            }
+            None => out.push_str(",\"resumed_from\":null}"),
+        }
         match &self.eval {
             Some(m) => {
                 let _ = write!(out, ",\"eval\":{}", metrics_json(m));

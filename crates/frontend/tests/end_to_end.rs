@@ -219,3 +219,25 @@ fn unbound_scanner_token_is_rejected() {
     let err = Translator::new(out.analysis, scanner).unwrap_err();
     assert!(err.to_string().contains("STRANGE"));
 }
+
+#[test]
+fn batch_isolates_failures_and_reports_them_typed() {
+    use linguist_frontend::driver::{run_batch, DriverError};
+
+    // Two good grammars around one that every overlay rejects: the batch
+    // must finish with the failure typed in its own slot, the siblings
+    // untouched, and no panic-classified failures.
+    let broken = "grammar Broken ; this is not linguist source";
+    let sources = [CALC, broken, CALC];
+    let (results, stats) = run_batch(&sources, &DriverOptions::default(), 3);
+
+    assert_eq!(stats.jobs, 3);
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.panicked, 0, "a syntax error is not a panic");
+    assert!(results[0].is_ok());
+    assert!(results[2].is_ok());
+    match &results[1] {
+        Err(DriverError::Syntax(_)) => {}
+        other => panic!("expected a typed syntax error, got {:?}", other.is_ok()),
+    }
+}

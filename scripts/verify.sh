@@ -10,6 +10,9 @@
 #   4. full workspace test suite (every crate + vendored shims)
 #   5. clippy, warnings denied
 #   6. --profile=json smoke test: the CLI's JSON output must parse
+#   7. crash-resume smoke test: a checkpointed run can be resumed and
+#      reports the boundary it restarted after
+#   8. checkpoint-overhead bench snapshot lands in target/
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,5 +36,26 @@ cargo clippy --workspace -q -- -D warnings
 echo "== linguist --profile=json smoke test =="
 target/release/linguist crates/grammars/lg/calc.lg --profile=json | python3 -m json.tool > /dev/null
 echo "profile JSON parses"
+
+echo "== crash-resume smoke test =="
+CKPT="$(mktemp -d)"
+trap 'rm -rf "$CKPT"' EXIT
+target/release/linguist crates/grammars/lg/block.lg --profile=json \
+  --checkpoint-dir "$CKPT" --retries 2 > /dev/null
+test -f "$CKPT/MANIFEST" || { echo "no manifest written"; exit 1; }
+target/release/linguist crates/grammars/lg/block.lg --profile=json \
+  --checkpoint-dir "$CKPT" --resume \
+  | python3 -c '
+import json, sys
+r = json.load(sys.stdin)["recovery"]
+assert r["resumed_from"] is not None, "resume did not use the checkpoint"
+'
+echo "checkpoint + resume round-trips"
+
+echo "== checkpoint-overhead bench snapshot =="
+cargo bench -q -p linguist-bench --bench table_checkpoint_overhead > /dev/null
+test -f target/BENCH_checkpoint_overhead.json || { echo "no bench snapshot"; exit 1; }
+python3 -m json.tool < target/BENCH_checkpoint_overhead.json > /dev/null
+echo "bench snapshot parses"
 
 echo "verify: all green"
