@@ -1,0 +1,192 @@
+//! Resident-service throughput: cold vs warm translation requests.
+//!
+//! Not a paper table — the original is strictly batch — but the
+//! measurement that justifies the daemon: how much of a request's cost
+//! is the frontend pipeline (paid once per grammar by the session
+//! cache) versus the translation itself (paid per request)? A **cold**
+//! `translate` carries inline grammar source the daemon has never seen,
+//! so it compiles (overlays 1–4, LALR tables) and then evaluates; a
+//! **warm** one addresses the resident compiled grammar and goes
+//! straight to evaluation. Same request shape, same evaluation work —
+//! the difference is the amortized frontend run.
+//!
+//! The meta grammar (the self-application workload, 4 alternating
+//! passes) carries the cold/warm comparison; the calculator measures
+//! sustained warm request throughput. Everything runs through the real
+//! wire path — Unix-domain socket, newline-delimited JSON, worker
+//! pool — so the figures include protocol overhead, not just cache
+//! lookups.
+
+use linguist_bench::{rule, write_snapshot};
+use linguist_serve::client::Client;
+use linguist_serve::server::{Server, ServerConfig};
+use linguist_support::json::Json;
+use std::time::{Duration, Instant};
+
+const COLD_ROUNDS: usize = 6;
+const WARM_ROUNDS: usize = 20;
+const THROUGHPUT_ROUNDS: usize = 60;
+const TREE_BUDGET: i64 = 200;
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn assert_ok(reply: &Json) {
+    assert_eq!(
+        reply.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "request failed: {}",
+        reply
+    );
+}
+
+fn main() {
+    rule("resident service: cold (compile+evaluate) vs warm (cache+evaluate)");
+
+    let sock =
+        std::env::temp_dir().join(format!("linguist-bench-serve-{}.sock", std::process::id()));
+    let _unused = std::fs::remove_file(&sock);
+    let handle = Server::start(ServerConfig {
+        unix_path: Some(sock.clone()),
+        workers: 2,
+        queue_capacity: 64,
+        cache_capacity: COLD_ROUNDS + 4,
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts");
+    let mut client = Client::connect_unix(&sock).expect("connect");
+
+    // Cold: each request inlines a distinct grammar text (a comment
+    // suffices to change the content hash), forcing a frontend run
+    // before the synthetic-tree evaluation.
+    let meta = linguist_grammars::meta_source();
+    let cold: Vec<Duration> = (0..COLD_ROUNDS)
+        .map(|i| {
+            let source = format!("{}\n# cold variant {}\n", meta, i);
+            let started = Instant::now();
+            let reply = client
+                .roundtrip(&Json::Obj(vec![
+                    ("op".to_string(), Json::str("translate")),
+                    ("source".to_string(), Json::str(&source)),
+                    ("budget".to_string(), Json::int(TREE_BUDGET)),
+                ]))
+                .expect("cold translate round-trips");
+            let took = started.elapsed();
+            assert_ok(&reply);
+            took
+        })
+        .collect();
+
+    // Warm: the same evaluation against the resident compiled grammar.
+    let loaded = client
+        .load_grammar(meta, None, Some("meta"))
+        .expect("load meta");
+    assert_ok(&loaded);
+    let meta_key = loaded
+        .get("grammar")
+        .and_then(Json::as_str)
+        .expect("handle")
+        .to_string();
+    let warm: Vec<Duration> = (0..WARM_ROUNDS)
+        .map(|_| {
+            let started = Instant::now();
+            let reply = client
+                .translate_budget(&meta_key, TREE_BUDGET as usize, None)
+                .expect("warm translate round-trips");
+            let took = started.elapsed();
+            assert_ok(&reply);
+            took
+        })
+        .collect();
+
+    // Sustained warm throughput on the calculator: scan + parse +
+    // evaluate per request, compile paid exactly once.
+    let loaded = client
+        .load_grammar(linguist_grammars::calc_source(), Some("calc"), Some("calc"))
+        .expect("load calc");
+    assert_ok(&loaded);
+    let calc_key = loaded
+        .get("grammar")
+        .and_then(Json::as_str)
+        .expect("handle")
+        .to_string();
+    let throughput_started = Instant::now();
+    for i in 0..THROUGHPUT_ROUNDS {
+        let input = format!("({} + {}) * {}", i, i % 7 + 1, i % 5 + 2);
+        let reply = client
+            .translate_input(&calc_key, &input, None)
+            .expect("calc translate round-trips");
+        assert_ok(&reply);
+    }
+    let throughput_wall = throughput_started.elapsed();
+    let warm_per_sec = THROUGHPUT_ROUNDS as f64 / throughput_wall.as_secs_f64();
+
+    let store = handle.state().store_stats();
+    // The whole point of the cache: COLD_ROUNDS meta variants + meta +
+    // calc were analyzed exactly once each, however many requests ran.
+    assert_eq!(store.analyses as usize, COLD_ROUNDS + 2);
+
+    let cold_med = median(cold.clone());
+    let warm_med = median(warm.clone());
+    println!("{:<34} {:>12}", "request (meta grammar)", "median");
+    println!(
+        "{:<34} {:>9.2} ms",
+        format!("cold translate (x{})", COLD_ROUNDS),
+        ms(cold_med)
+    );
+    println!(
+        "{:<34} {:>9.2} ms",
+        format!("warm translate (x{})", WARM_ROUNDS),
+        ms(warm_med)
+    );
+    println!(
+        "{:<34} {:>9.2} ms",
+        "amortized frontend run",
+        ms(cold_med.saturating_sub(warm_med))
+    );
+    println!(
+        "\ncold/warm ratio: {:.1}x; calc warm throughput: {:.0} requests/sec \
+         (analyses: {}, hits: {}, misses: {})",
+        ms(cold_med) / ms(warm_med).max(1e-6),
+        warm_per_sec,
+        store.analyses,
+        store.hits,
+        store.misses
+    );
+
+    let cold_rows: Vec<String> = cold.iter().map(|d| format!("{:.3}", ms(*d))).collect();
+    let warm_rows: Vec<String> = warm.iter().map(|d| format!("{:.3}", ms(*d))).collect();
+    write_snapshot(
+        "table_serve_throughput",
+        &format!(
+            "{{\"bench\":\"table_serve_throughput\",\
+              \"tree_budget\":{},\"cold_rounds\":{},\"warm_rounds\":{},\
+              \"cold_ms\":[{}],\"warm_ms\":[{}],\
+              \"cold_median_ms\":{:.3},\"warm_median_ms\":{:.3},\
+              \"calc_warm_per_sec\":{:.1},\
+              \"store\":{{\"analyses\":{},\"hits\":{},\"misses\":{},\"evictions\":{}}}}}",
+            TREE_BUDGET,
+            COLD_ROUNDS,
+            WARM_ROUNDS,
+            cold_rows.join(","),
+            warm_rows.join(","),
+            ms(cold_med),
+            ms(warm_med),
+            warm_per_sec,
+            store.analyses,
+            store.hits,
+            store.misses,
+            store.evictions,
+        ),
+    );
+
+    let mut client2 = Client::connect_unix(&sock).expect("reconnect");
+    client2.shutdown().expect("shutdown acked");
+    handle.wait();
+}

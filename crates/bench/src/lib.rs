@@ -6,6 +6,7 @@
 //! record paper-vs-measured side by side.
 
 use linguist_frontend::driver::{run, DriverOptions, DriverOutput};
+use linguist_support::json::Json;
 use std::time::{Duration, Instant};
 
 /// Run the driver, panicking with the error text on failure (bench
@@ -44,9 +45,15 @@ pub fn rule(title: &str) {
 
 /// Write a machine-readable snapshot of a bench run to
 /// `target/BENCH_<name>.json`, next to the cargo artifacts, and return
-/// the path. `json` must already be a rendered JSON value. Failures are
-/// reported but non-fatal: a read-only checkout still runs the bench.
+/// the path. `json` must already be a rendered JSON value — it is
+/// checked against the shared [`linguist_support::json`] parser first,
+/// so a malformed snapshot fails loudly in the bench instead of
+/// silently poisoning downstream consumers. I/O failures are reported
+/// but non-fatal: a read-only checkout still runs the bench.
 pub fn write_snapshot(name: &str, json: &str) -> Option<std::path::PathBuf> {
+    if let Err(e) = Json::parse(json) {
+        panic!("snapshot {} is not valid JSON: {}", name, e);
+    }
     // Benches run with the package directory as cwd; find the build's
     // real target dir by walking up from the running executable.
     let dir = std::env::var_os("CARGO_TARGET_DIR")

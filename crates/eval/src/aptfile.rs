@@ -1032,8 +1032,15 @@ pub struct TempAptDir {
 /// process id follows, then a per-process counter.
 const TEMP_DIR_PREFIX: &str = "linguist86-apt-";
 
+/// Name of the liveness lock file inside every [`TempAptDir`]. It holds
+/// the owning pid; its *mtime* is the owner's heartbeat.
+const LOCK_FILE: &str = "LOCK";
+
 impl TempAptDir {
-    /// Create a fresh private directory under the system temp dir.
+    /// Create a fresh private directory under the system temp dir,
+    /// guarded by a [`LOCK_FILE`] so a concurrent
+    /// [`sweep_stale`](TempAptDir::sweep_stale) in another process never
+    /// deletes it out from under an in-flight evaluation.
     ///
     /// # Errors
     ///
@@ -1045,7 +1052,21 @@ impl TempAptDir {
         let dir =
             std::env::temp_dir().join(format!("{}{}-{}", TEMP_DIR_PREFIX, std::process::id(), n));
         std::fs::create_dir_all(&dir)?;
+        std::fs::write(dir.join(LOCK_FILE), format!("{}\n", std::process::id()))?;
         Ok(TempAptDir { dir })
+    }
+
+    /// Refresh the lock file's heartbeat. The evaluation machine calls
+    /// this at every pass boundary, so a long-running evaluation keeps a
+    /// fresh mtime and a sweeping daemon (whose `max_age` far exceeds
+    /// any single pass) leaves the directory alone even on platforms
+    /// where pid liveness cannot be checked. Best-effort: a failure to
+    /// touch the lock never fails the evaluation.
+    pub fn refresh_lock(&self) {
+        let _ = std::fs::write(
+            self.dir.join(LOCK_FILE),
+            format!("{}\n", std::process::id()),
+        );
     }
 
     /// Path of the file holding the boundary-`k` snapshot (boundary 0 is
@@ -1066,7 +1087,14 @@ impl TempAptDir {
     /// dir for `linguist86-apt-<pid>-<n>` entries whose owning process
     /// is gone (or, where liveness cannot be checked, whose modification
     /// time is older than `max_age`), and returns how many were removed.
-    /// Directories of the calling process are never touched.
+    /// Directories of the calling process are never touched, and neither
+    /// is any directory with a *live* [`LOCK_FILE`] — one whose recorded
+    /// pid is still running, or whose heartbeat mtime is younger than
+    /// `max_age`. That lock guard is what lets a resident daemon sweep
+    /// on its own schedule without deleting the scratch directory of a
+    /// request that is still in flight (the dir-name pid check alone is
+    /// defeated by pid recycling, and the mtime fallback alone would
+    /// reap a slow evaluation's directory mid-pass).
     ///
     /// # Errors
     ///
@@ -1098,12 +1126,45 @@ impl TempAptDir {
                     .and_then(|t| t.elapsed().ok())
                     .is_some_and(|age| age >= max_age)
             };
-            if stale && std::fs::remove_dir_all(entry.path()).is_ok() {
+            if stale
+                && !lock_is_live(&entry.path(), max_age)
+                && std::fs::remove_dir_all(entry.path()).is_ok()
+            {
                 swept += 1;
             }
         }
         Ok(swept)
     }
+}
+
+/// Whether `dir`'s [`LOCK_FILE`] proves an owner that may still be using
+/// it: a heartbeat mtime younger than `max_age`, or (on Linux) a
+/// recorded pid that is still running. A missing or unreadable lock is
+/// not live — pre-lock-era directories stay sweepable.
+fn lock_is_live(dir: &Path, max_age: Duration) -> bool {
+    let lock = dir.join(LOCK_FILE);
+    let Ok(meta) = std::fs::metadata(&lock) else {
+        return false;
+    };
+    let fresh = meta
+        .modified()
+        .ok()
+        .and_then(|t| t.elapsed().ok())
+        // An unreadable mtime cannot prove staleness; err on the side
+        // of keeping the directory.
+        .is_none_or(|age| age < max_age);
+    if fresh {
+        return true;
+    }
+    if cfg!(target_os = "linux") {
+        if let Some(pid) = std::fs::read_to_string(&lock)
+            .ok()
+            .and_then(|text| text.trim().parse::<u32>().ok())
+        {
+            return Path::new("/proc").join(pid.to_string()).exists();
+        }
+    }
+    false
 }
 
 impl Drop for TempAptDir {
@@ -1465,10 +1526,25 @@ mod tests {
         std::fs::write(dead.join("boundary_0.apt"), b"leak").unwrap();
         let live = TempAptDir::new().unwrap();
 
+        // A second dead-pid directory, this one carrying a fresh LOCK
+        // heartbeat — the situation after pid recycling, or a request in
+        // flight on a host where liveness cannot be checked. A sweeping
+        // daemon must leave it alone; once the lock goes stale
+        // (simulated by removing it), the sweep may reclaim it.
+        let guarded = std::env::temp_dir().join(format!("{}{}-1", TEMP_DIR_PREFIX, u32::MAX));
+        std::fs::create_dir_all(&guarded).unwrap();
+        std::fs::write(guarded.join("boundary_0.apt"), b"in flight").unwrap();
+        std::fs::write(guarded.join(LOCK_FILE), format!("{}\n", u32::MAX)).unwrap();
+
         let swept = TempAptDir::sweep_stale(Duration::from_secs(3600)).unwrap();
         assert!(swept >= 1, "dead dir not counted");
         assert!(!dead.exists(), "dead dir survived the sweep");
         assert!(live.path().exists(), "live dir was swept");
+        assert!(guarded.exists(), "sweep deleted a dir with a live lock");
+
+        std::fs::remove_file(guarded.join(LOCK_FILE)).unwrap();
+        TempAptDir::sweep_stale(Duration::from_secs(3600)).unwrap();
+        assert!(!guarded.exists(), "unlocked dead dir survived the sweep");
     }
 
     #[test]

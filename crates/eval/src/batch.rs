@@ -89,7 +89,8 @@ impl FailureKind {
         }
     }
 
-    /// Stable lower-case name, used in `--profile` JSON output.
+    /// Stable lower-case name, used in `--profile` JSON output and as
+    /// the `error.kind` field of `linguist-serve` wire replies.
     pub fn as_str(&self) -> &'static str {
         match self {
             FailureKind::Io => "io",
@@ -106,6 +107,27 @@ impl FailureKind {
             FailureKind::Deadline => "deadline",
             FailureKind::Manifest => "manifest",
         }
+    }
+
+    /// Inverse of [`as_str`](FailureKind::as_str): service clients
+    /// reconstruct the typed kind from a wire reply.
+    pub fn parse(name: &str) -> Option<FailureKind> {
+        const ALL: &[FailureKind] = &[
+            FailureKind::Io,
+            FailureKind::Decode,
+            FailureKind::Frame,
+            FailureKind::Checksum,
+            FailureKind::Header,
+            FailureKind::Func,
+            FailureKind::Tree,
+            FailureKind::Strategy,
+            FailureKind::Corrupt,
+            FailureKind::Missing,
+            FailureKind::Panicked,
+            FailureKind::Deadline,
+            FailureKind::Manifest,
+        ];
+        ALL.iter().copied().find(|k| k.as_str() == name)
     }
 }
 
@@ -363,10 +385,20 @@ pub fn supervised_evaluate(
     tree: &PTree,
     opts: &EvalOptions,
 ) -> Result<Evaluation, EvalError> {
-    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        evaluate(analysis, funcs, tree, opts)
-    }));
-    match attempt {
+    supervised(|| evaluate(analysis, funcs, tree, opts))
+}
+
+/// The batch workers' panic fence, as a standalone building block: run
+/// `job`, converting an unwind into [`EvalError::Panicked`] with the
+/// panic message. `linguist-serve`'s resident worker pool wraps every
+/// request in this, so one panicking semantic function answers *its own*
+/// client with a typed failure instead of killing a pool thread.
+///
+/// The same `AssertUnwindSafe` argument as [`supervised_evaluate`]
+/// applies: callers must pass jobs whose mutable state dies with the
+/// unwind.
+pub fn supervised<T>(job: impl FnOnce() -> Result<T, EvalError>) -> Result<T, EvalError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
         Ok(result) => result,
         Err(payload) => Err(EvalError::Panicked(panic_message(payload))),
     }

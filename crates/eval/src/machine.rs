@@ -660,6 +660,12 @@ fn evaluate_inner(
             }
         };
         machine.stats.passes.push(pass_stats);
+        // Pass-boundary heartbeat: keep the scratch dir's lock fresh so
+        // a sweeping daemon in another process never reaps a long
+        // evaluation's intermediates mid-run.
+        if let Store::Disk(dir) = &store {
+            dir.refresh_lock();
+        }
         if let (Some(m), Some(probe)) = (&mut metrics, machine.probe.take()) {
             m.passes
                 .push(probe.finish(k, read_dir, machine.rules_this_pass));

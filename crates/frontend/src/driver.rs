@@ -178,16 +178,25 @@ impl fmt::Display for DriverError {
 
 impl std::error::Error for DriverError {}
 
-/// Run the full seven-overlay pipeline on LINGUIST source text.
+/// Run overlays 1–4 only: scan/parse, lower, implicit copies +
+/// completeness, evaluability. This is the *analysis* half of [`run`] —
+/// everything needed to evaluate APTs against the grammar, with none of
+/// the listing/codegen products. `linguist-serve` compiles grammars
+/// through this entry point once per session-cache miss; anything else
+/// that already holds source text in memory can call it without paying
+/// for overlays 5–7.
 ///
 /// # Errors
 ///
-/// See [`DriverError`]; the failing overlay aborts the run, as in the
-/// original (a grammar with syntax errors never reaches evaluator
-/// generation).
-pub fn run(source: &str, opts: &DriverOptions) -> Result<DriverOutput, DriverError> {
+/// See [`DriverError`]; the failing overlay aborts the run.
+pub fn analyze(source: &str, config: &Config) -> Result<Analysis, DriverError> {
+    analyze_timed(source, config).map(|(analysis, _)| analysis)
+}
+
+/// [`analyze`] plus per-overlay wall-clock times (overlay 5–7 fields are
+/// left zeroed for [`run`] to fill).
+fn analyze_timed(source: &str, config: &Config) -> Result<(Analysis, OverlayTimings), DriverError> {
     let mut timings = OverlayTimings::default();
-    let mut diags = Diagnostics::new();
 
     // Overlay 1: scan + parse.
     let t = Instant::now();
@@ -206,7 +215,7 @@ pub fn run(source: &str, opts: &DriverOptions) -> Result<DriverOutput, DriverErr
 
     // Overlay 3: implicit copy-rules + completeness.
     let t = Instant::now();
-    let implicit = if opts.config.skip_implicit {
+    let implicit = if config.skip_implicit {
         linguist_ag::implicit::ImplicitStats::default()
     } else {
         insert_implicit_copies(&mut grammar)
@@ -218,18 +227,13 @@ pub fn run(source: &str, opts: &DriverOptions) -> Result<DriverOutput, DriverErr
     let t = Instant::now();
     let io = check_noncircular(&grammar)
         .map_err(|e| DriverError::Analysis(AnalysisError::Circular(e)))?;
-    let passes = assign_passes(&grammar, &opts.config.pass)
+    let passes = assign_passes(&grammar, &config.pass)
         .map_err(|e| DriverError::Analysis(AnalysisError::Pass(e)))?;
     let lifetimes = Lifetimes::compute(&grammar, &passes);
-    let subsumption = if opts.config.disable_subsumption {
+    let subsumption = if config.disable_subsumption {
         Subsumption::disabled(&grammar)
     } else {
-        Subsumption::compute(
-            &grammar,
-            opts.config.group_mode,
-            opts.config.costs,
-            Some(&passes),
-        )
+        Subsumption::compute(&grammar, config.group_mode, config.costs, Some(&passes))
     };
     let plans = build_plans(&grammar, &passes)
         .map_err(|e| DriverError::Analysis(AnalysisError::Plan(e)))?;
@@ -243,6 +247,19 @@ pub fn run(source: &str, opts: &DriverOptions) -> Result<DriverOutput, DriverErr
         plans,
     };
     timings.evaluability = t.elapsed();
+    Ok((analysis, timings))
+}
+
+/// Run the full seven-overlay pipeline on LINGUIST source text.
+///
+/// # Errors
+///
+/// See [`DriverError`]; the failing overlay aborts the run, as in the
+/// original (a grammar with syntax errors never reaches evaluator
+/// generation).
+pub fn run(source: &str, opts: &DriverOptions) -> Result<DriverOutput, DriverError> {
+    let (analysis, mut timings) = analyze_timed(source, &opts.config)?;
+    let mut diags = Diagnostics::new();
 
     // Overlay 5: message collection.
     let t = Instant::now();

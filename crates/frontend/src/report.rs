@@ -12,8 +12,9 @@
 //!   evaluator, profiled, over a synthetic parse tree grown from the
 //!   grammar itself ([`synthesize_tree`]) — no input program is needed.
 //!
-//! Rendered either as aligned text tables or as JSON (hand-assembled;
-//! the toolchain has no serialization dependency).
+//! Rendered either as aligned text tables or as JSON (assembled with
+//! the shared [`linguist_support::json`] module; the toolchain has no
+//! serialization dependency).
 
 use linguist_ag::analysis::Analysis;
 use linguist_ag::grammar::{AttrClass, Grammar, SymbolKind};
@@ -28,6 +29,7 @@ use linguist_eval::machine::{
 use linguist_eval::metrics::EvalMetrics;
 use linguist_eval::tree::PTree;
 use linguist_eval::value::Value;
+use linguist_support::json::{escape as json_str, number as json_f64};
 use std::fmt::Write as _;
 
 /// Node budget for the synthetic exercise tree when the caller does not
@@ -347,36 +349,6 @@ pub fn metrics_json(m: &EvalMetrics) -> String {
     }
     out.push_str("]}");
     out
-}
-
-/// Escape a string as a JSON string literal.
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// A finite float as a JSON number (JSON has no NaN/Infinity).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{}", v)
-    } else {
-        "null".to_string()
-    }
 }
 
 /// A synthetic intrinsic value of the declared (uninterpreted) type.

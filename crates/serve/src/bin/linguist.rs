@@ -21,6 +21,26 @@
 //!                        pass boundary into DIR (durable manifest)
 //!   --resume             resume the profiled evaluation from DIR's
 //!                        manifest (requires --checkpoint-dir)
+//!
+//! linguist serve [--socket PATH] [--tcp ADDR] [--workers N] [--queue N]
+//!                [--cache N] [--deadline-ms N]
+//!
+//!   Run the resident translation service. At least one of --socket
+//!   (Unix-domain) and --tcp (loopback, e.g. 127.0.0.1:0) is required;
+//!   the daemon prints one "listening ..." line per bound endpoint on
+//!   stderr and runs until a shutdown request.
+//!
+//! linguist client (--socket PATH | --tcp ADDR) COMMAND
+//!
+//!   load FILE [--scanner NAME] [--name NAME]
+//!   translate GRAMMAR (--input TEXT | --input-file FILE | --budget N)
+//!             [--deadline-ms N]
+//!   stats
+//!   shutdown
+//!   raw JSON
+//!
+//!   One request against a running daemon; the JSON reply is printed on
+//!   stdout. Exit status 1 when the reply is ok:false.
 //! ```
 //!
 //! With one grammar and no `--batch`, runs the classic single-grammar
@@ -33,7 +53,10 @@
 //! output moves to stderr so the result can be piped to a JSON consumer.
 //!
 //! Exit status: 0 on success, 1 on any syntax/semantic/analysis error
-//! (reported the way the failing overlay saw it).
+//! (reported the way the failing overlay saw it). A `--profile=json`
+//! batch where *every* grammar fails — in the driver or in its profiled
+//! evaluation — also exits 1, so pipelines cannot mistake a fully
+//! failed sweep for a quiet success.
 
 use linguist_ag::analysis::Config;
 use linguist_ag::passes::{Direction, PassConfig};
@@ -43,6 +66,9 @@ use linguist_eval::funcs::Funcs;
 use linguist_eval::machine::RetryPolicy;
 use linguist_frontend::driver::{run, run_batch, DriverOptions, DriverOutput, TargetOpt};
 use linguist_frontend::report::{ProfileReport, RecoveryOpts, DEFAULT_TREE_BUDGET};
+use linguist_serve::client::Client;
+use linguist_serve::server::{Server, ServerConfig};
+use linguist_support::json::Json;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -99,12 +125,18 @@ fn usage() -> ! {
         "usage: linguist GRAMMAR.lg [GRAMMAR2.lg ...] [--listing] [--stats] [--timings] \
          [--profile[=text|json]] [--emit pascal|rust] [--first-pass rl|lr] \
          [--no-subsumption] [--coalesce] [--batch] [--jobs N] [--retries N] \
-         [--checkpoint-dir DIR] [--resume]"
+         [--checkpoint-dir DIR] [--resume]\n\
+         \x20      linguist serve [--socket PATH] [--tcp ADDR] [--workers N] [--queue N] \
+         [--cache N] [--deadline-ms N]\n\
+         \x20      linguist client (--socket PATH | --tcp ADDR) \
+         (load FILE [--scanner S] [--name N] | translate GRAMMAR \
+         (--input TEXT | --input-file FILE | --budget N) [--deadline-ms N] | \
+         stats | shutdown | raw JSON)"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> Cli {
+fn parse_args(args: Vec<String>) -> Cli {
     let mut cli = Cli {
         paths: Vec::new(),
         listing: false,
@@ -121,7 +153,7 @@ fn parse_args() -> Cli {
         checkpoint_dir: None,
         resume: false,
     };
-    let mut args = std::env::args().skip(1).peekable();
+    let mut args = args.into_iter().peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--listing" => cli.listing = true,
@@ -224,8 +256,163 @@ fn report(cli: &Cli, path: &str, index: usize, out: &DriverOutput, heading: bool
     }
 }
 
+/// `linguist serve ...`: run the resident translation service.
+fn serve_main(args: Vec<String>) -> ExitCode {
+    let mut cfg = ServerConfig::default();
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--socket" => match args.next() {
+                Some(p) if !p.starts_with('-') => cfg.unix_path = Some(p.into()),
+                _ => usage(),
+            },
+            "--tcp" => match args.next() {
+                Some(addr) if !addr.starts_with('-') => cfg.tcp_addr = Some(addr),
+                _ => usage(),
+            },
+            "--workers" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cfg.workers = n,
+                _ => usage(),
+            },
+            "--queue" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cfg.queue_capacity = n,
+                _ => usage(),
+            },
+            "--cache" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cfg.cache_capacity = n,
+                _ => usage(),
+            },
+            "--deadline-ms" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => cfg.default_deadline = Some(Duration::from_millis(n)),
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    if cfg.unix_path.is_none() && cfg.tcp_addr.is_none() {
+        eprintln!("linguist serve: give --socket PATH and/or --tcp ADDR");
+        return ExitCode::from(2);
+    }
+    let handle = match Server::start(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("linguist serve: {}", e);
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(p) = handle.unix_path() {
+        eprintln!("linguist serve: listening on unix {}", p.display());
+    }
+    if let Some(a) = handle.tcp_addr() {
+        eprintln!("linguist serve: listening on tcp {}", a);
+    }
+    handle.wait();
+    eprintln!("linguist serve: shut down");
+    ExitCode::SUCCESS
+}
+
+/// `linguist client ...`: one request against a running daemon.
+fn client_main(args: Vec<String>) -> ExitCode {
+    let mut args = args.into_iter();
+    let mut client = match (args.next().as_deref(), args.next()) {
+        (Some("--socket"), Some(path)) => Client::connect_unix(&path),
+        (Some("--tcp"), Some(addr)) => Client::connect_tcp(&*addr),
+        _ => usage(),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("linguist client: cannot connect: {}", e);
+        std::process::exit(1);
+    });
+    let rest: Vec<String> = args.collect();
+    let reply = match rest.first().map(String::as_str) {
+        Some("load") => {
+            let mut file = None;
+            let mut scanner = None;
+            let mut name = None;
+            let mut it = rest[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--scanner" => scanner = it.next().cloned(),
+                    "--name" => name = it.next().cloned(),
+                    _ if !a.starts_with('-') && file.is_none() => file = Some(a.clone()),
+                    _ => usage(),
+                }
+            }
+            let file = file.unwrap_or_else(|| usage());
+            let source = match std::fs::read_to_string(&file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("linguist client: cannot read {}: {}", file, e);
+                    return ExitCode::FAILURE;
+                }
+            };
+            client.load_grammar(&source, scanner.as_deref(), name.as_deref())
+        }
+        Some("translate") => {
+            let grammar = match rest.get(1) {
+                Some(g) if !g.starts_with('-') => g.clone(),
+                _ => usage(),
+            };
+            let mut input = None;
+            let mut budget = None;
+            let mut deadline = None;
+            let mut it = rest[2..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--input" => input = it.next().cloned(),
+                    "--input-file" => match it.next().map(std::fs::read_to_string) {
+                        Some(Ok(text)) => input = Some(text),
+                        _ => usage(),
+                    },
+                    "--budget" => budget = it.next().and_then(|n| n.parse::<usize>().ok()),
+                    "--deadline-ms" => deadline = it.next().and_then(|n| n.parse::<u64>().ok()),
+                    _ => usage(),
+                }
+            }
+            match (input, budget) {
+                (Some(text), None) => client.translate_input(&grammar, &text, deadline),
+                (None, Some(n)) => client.translate_budget(&grammar, n, deadline),
+                _ => usage(),
+            }
+        }
+        Some("stats") => client.stats(),
+        Some("shutdown") => client.shutdown(),
+        Some("raw") => match rest.get(1) {
+            Some(line) => match Json::parse(line) {
+                Ok(req) => client.roundtrip(&req),
+                Err(e) => {
+                    eprintln!("linguist client: request is not JSON: {}", e);
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => usage(),
+        },
+        _ => usage(),
+    };
+    match reply {
+        Ok(reply) => {
+            println!("{}", reply);
+            if reply.get("ok").and_then(Json::as_bool) == Some(true) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("linguist client: {}", e);
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let cli = parse_args();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => return serve_main(argv.split_off(1)),
+        Some("client") => return client_main(argv.split_off(1)),
+        _ => {}
+    }
+    let cli = parse_args(argv);
     // Housekeeping: remove intermediate-APT scratch directories orphaned
     // by crashed runs (dead owning process, or older than a day).
     if let Ok(swept) = TempAptDir::sweep_stale(Duration::from_secs(24 * 60 * 60)) {
@@ -288,6 +475,11 @@ fn main() -> ExitCode {
     let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
     let (results, stats) = run_batch(&refs, &opts, workers);
     let mut ok = true;
+    // Jobs that produced no usable result: driver failures and — under
+    // --profile=json, where the profile IS the product — profiled
+    // evaluations that errored. A batch where every job lands here must
+    // not exit 0.
+    let mut failed_jobs = 0usize;
     let mut json_reports = Vec::new();
     // Anything report() would print belongs to the human; in JSON mode
     // only the JSON value may reach stdout.
@@ -310,11 +502,15 @@ fn main() -> ExitCode {
                         DEFAULT_TREE_BUDGET,
                         &cli.recovery(i),
                     );
+                    if r.eval_error.is_some() {
+                        failed_jobs += 1;
+                    }
                     json_reports.push(r.render_json());
                 }
             }
             Err(e) => {
                 ok = false;
+                failed_jobs += 1;
                 eprintln!("linguist: {}: {}", path, e);
             }
         }
@@ -335,6 +531,10 @@ fn main() -> ExitCode {
         eprintln!("{}", summary);
     } else {
         println!("{}", summary);
+    }
+    if failed_jobs == cli.paths.len() {
+        // Every job failed: never a success, whatever mode printed it.
+        ok = false;
     }
     if ok {
         ExitCode::SUCCESS

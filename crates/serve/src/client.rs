@@ -1,0 +1,197 @@
+//! A small blocking client for the wire protocol.
+//!
+//! One [`Client`] is one connection: requests go out as single JSON
+//! lines, replies come back one line each, in order. The helpers cover
+//! the common requests; [`roundtrip`](Client::roundtrip) takes any
+//! [`Json`] request for everything else (and for deliberately
+//! malformed test traffic, use a raw socket).
+
+use linguist_support::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+enum Conn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+        }
+    }
+}
+
+impl std::io::Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection to a running daemon.
+pub struct Client {
+    reader: BufReader<Conn>,
+    writer: Conn,
+}
+
+impl Client {
+    /// Connect over the Unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect_unix(path: impl AsRef<Path>) -> std::io::Result<Client> {
+        Client::wrap(Conn::Unix(UnixStream::connect(path)?))
+    }
+
+    /// Connect over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        Client::wrap(Conn::Tcp(TcpStream::connect(addr)?))
+    }
+
+    fn wrap(conn: Conn) -> std::io::Result<Client> {
+        let reader = BufReader::new(conn.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: conn,
+        })
+    }
+
+    /// Send one request, read one reply.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; `UnexpectedEof` when the daemon closed the
+    /// connection; `InvalidData` when the reply line is not JSON.
+    pub fn roundtrip(&mut self, request: &Json) -> std::io::Result<Json> {
+        writeln!(self.writer, "{}", request)?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection without replying",
+            ));
+        }
+        Json::parse(line.trim_end()).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("reply is not JSON: {}", e),
+            )
+        })
+    }
+
+    /// `load_grammar`: compile (or re-find) a grammar, returning the
+    /// full reply (the handle is the `grammar` field).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; a refused load is an `ok:false` reply.
+    pub fn load_grammar(
+        &mut self,
+        source: &str,
+        scanner: Option<&str>,
+        name: Option<&str>,
+    ) -> std::io::Result<Json> {
+        let mut obj = vec![
+            ("op".to_string(), Json::str("load_grammar")),
+            ("source".to_string(), Json::str(source)),
+        ];
+        if let Some(s) = scanner {
+            obj.push(("scanner".to_string(), Json::str(s)));
+        }
+        if let Some(n) = name {
+            obj.push(("name".to_string(), Json::str(n)));
+        }
+        self.roundtrip(&Json::Obj(obj))
+    }
+
+    /// `translate` concrete input text against a loaded grammar handle.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn translate_input(
+        &mut self,
+        grammar: &str,
+        input: &str,
+        deadline_ms: Option<u64>,
+    ) -> std::io::Result<Json> {
+        let mut obj = vec![
+            ("op".to_string(), Json::str("translate")),
+            ("grammar".to_string(), Json::str(grammar)),
+            ("input".to_string(), Json::str(input)),
+        ];
+        if let Some(d) = deadline_ms {
+            obj.push(("deadline_ms".to_string(), Json::int(d as i64)));
+        }
+        self.roundtrip(&Json::Obj(obj))
+    }
+
+    /// `translate` a synthetic derivation of roughly `budget` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn translate_budget(
+        &mut self,
+        grammar: &str,
+        budget: usize,
+        deadline_ms: Option<u64>,
+    ) -> std::io::Result<Json> {
+        let mut obj = vec![
+            ("op".to_string(), Json::str("translate")),
+            ("grammar".to_string(), Json::str(grammar)),
+            ("budget".to_string(), Json::int(budget as i64)),
+        ];
+        if let Some(d) = deadline_ms {
+            obj.push(("deadline_ms".to_string(), Json::int(d as i64)));
+        }
+        self.roundtrip(&Json::Obj(obj))
+    }
+
+    /// `stats`: the full counter document.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn stats(&mut self) -> std::io::Result<Json> {
+        self.roundtrip(&Json::Obj(vec![("op".to_string(), Json::str("stats"))]))
+    }
+
+    /// `shutdown`: ask the daemon to stop (the reply arrives before it
+    /// does).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn shutdown(&mut self) -> std::io::Result<Json> {
+        self.roundtrip(&Json::Obj(vec![("op".to_string(), Json::str("shutdown"))]))
+    }
+}

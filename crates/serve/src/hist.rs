@@ -1,0 +1,146 @@
+//! Fixed-bucket latency histogram for the `Stats` endpoint.
+//!
+//! Quantiles without dependencies and without unbounded memory: one
+//! atomic counter per power-of-two microsecond bucket. Recording is a
+//! single relaxed `fetch_add` (safe from every worker concurrently);
+//! reading walks 40 counters. The price is resolution — a reported
+//! quantile is the *upper edge* of the bucket the target sample fell
+//! into, so values are conservative (never under-reported) and at most
+//! 2× the true latency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Bucket count: `2^39` µs ≈ 6.4 days in the top finite bucket, which
+/// comfortably covers any request this service will ever answer.
+const BUCKETS: usize = 40;
+
+/// A concurrent power-of-two-bucket histogram of durations.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Bucket `i` holds samples in `[2^(i-1), 2^i)` µs (bucket 0 holds 0–1 µs).
+fn bucket_of(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Upper edge of bucket `i`, in microseconds.
+fn upper_edge(i: usize) -> u64 {
+    1u64 << i
+}
+
+impl LatencyHistogram {
+    /// A fresh zeroed histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as an upper bound, or `None`
+    /// when nothing has been recorded yet.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        // 1-based rank of the sample we want, clamped into range.
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Duration::from_micros(upper_edge(i)));
+            }
+        }
+        unreachable!("rank is bounded by the total")
+    }
+
+    /// Convenience pair for the stats report: `(p50, p99)`.
+    pub fn p50_p99(&self) -> (Option<Duration>, Option<Duration>) {
+        (self.quantile(0.50), self.quantile(0.99))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_are_conservative_upper_bounds() {
+        let h = LatencyHistogram::new();
+        for ms in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 100] {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        // 1 ms lands in (512, 1024] µs; 100 ms in (65.5, 131.1] ms.
+        assert!(p50 >= Duration::from_millis(1) && p50 <= Duration::from_millis(2));
+        assert!(p99 >= Duration::from_millis(100) && p99 <= Duration::from_millis(200));
+        assert!(h.quantile(0.0).unwrap() <= p50);
+        assert_eq!(h.quantile(1.0).unwrap(), p99);
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let h = LatencyHistogram::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..1000 {
+                        h.record(Duration::from_micros(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+    }
+}

@@ -1,0 +1,43 @@
+//! A resident translation service for LINGUIST-86 translators.
+//!
+//! The paper's toolchain is batch: every run pays the full frontend
+//! pipeline (parse, lower, implicit copies, evaluability analysis)
+//! before a single input is translated. This crate keeps the compiled
+//! grammar *resident* instead — a daemon that compiles each distinct
+//! grammar once, caches the result, and answers translation requests
+//! from the warm form:
+//!
+//! * [`store`] — the compiled-grammar session cache: content-hash
+//!   keyed, LRU-bounded, single-flighted, shared via `Arc` snapshots.
+//! * [`proto`] — the newline-delimited JSON wire protocol
+//!   (`load_grammar`, `translate`, `translate_batch`, `stats`,
+//!   `shutdown`) with typed error kinds that extend the evaluator's
+//!   [`FailureKind`](linguist_eval::batch::FailureKind) taxonomy.
+//! * [`pool`] — the admission-controlled worker pool: a bounded queue
+//!   that rejects with `overloaded` instead of blocking, panic
+//!   isolation per job, queue-wait-aware deadline budgeting.
+//! * [`hist`] — a fixed-bucket latency histogram (p50/p99 without
+//!   dependencies or unbounded memory).
+//! * [`stats`] — the `Stats` endpoint's aggregation: request
+//!   counters, the latency histogram, and every profiled evaluation's
+//!   [`EvalMetrics`](linguist_eval::metrics::EvalMetrics) merged into
+//!   one running pass-level traffic table.
+//! * [`server`] — the daemon: Unix-domain socket and/or localhost TCP
+//!   listeners, one thread per connection, jobs on the pool.
+//! * [`client`] — a small blocking client used by the CLI and tests.
+
+pub mod client;
+pub mod hist;
+pub mod pool;
+pub mod proto;
+pub mod server;
+pub mod stats;
+pub mod store;
+
+pub use client::Client;
+pub use hist::LatencyHistogram;
+pub use pool::{PoolStats, SubmitError, WorkerPool};
+pub use proto::{GrammarRef, Request, Work};
+pub use server::{Server, ServerConfig, ServerHandle, ServiceState};
+pub use stats::ServiceMetrics;
+pub use store::{grammar_key, CompiledGrammar, GrammarStore, LoadError, StoreStats};

@@ -1,0 +1,321 @@
+//! The admission-controlled worker pool.
+//!
+//! Translation work never runs on a connection thread: the connection
+//! submits a job into a **bounded** queue and waits for that job's
+//! reply. The bound is the admission control — when the queue is full,
+//! [`WorkerPool::submit`] fails *immediately* and the connection sends
+//! a typed `overloaded` reply instead of queueing unbounded work behind
+//! a slow grammar. Rejection is cheap by design: the caller learns the
+//! service is saturated in microseconds, not after a timeout.
+//!
+//! Each job runs under the batch evaluator's panic supervisor
+//! ([`supervised`](linguist_eval::batch::supervised)), so a panicking
+//! semantic function produces a typed `panicked` reply for its own
+//! client and the worker thread survives to take the next job.
+//!
+//! Jobs learn how long they waited in the queue (their closure receives
+//! the measured wait), which is what lets per-request deadlines cover
+//! queue time: a job that waited past its deadline fails fast without
+//! evaluating anything.
+
+use linguist_eval::batch::supervised;
+use linguist_eval::machine::EvalError;
+use linguist_support::json::Json;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::proto::{error_reply, eval_error_kind};
+
+/// A queued unit of work: given the measured queue wait, produce the
+/// reply to send.
+pub type JobFn = Box<dyn FnOnce(Duration) -> Json + Send + 'static>;
+
+struct Job {
+    queued_at: Instant,
+    run: JobFn,
+    reply: SyncSender<Json>,
+}
+
+/// Why a submission was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity (admission control).
+    Overloaded,
+    /// The pool is shutting down.
+    ShuttingDown,
+}
+
+/// Live and lifetime counters, for the `Stats` endpoint.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs waiting in the queue right now.
+    pub queued: usize,
+    /// Jobs executing right now.
+    pub running: usize,
+    /// Queue capacity (the admission bound).
+    pub queue_capacity: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Jobs accepted over the pool's lifetime.
+    pub submitted: u64,
+    /// Jobs refused by admission control.
+    pub rejected: u64,
+    /// Jobs whose closure panicked (each produced a typed reply).
+    pub panicked: u64,
+    /// Jobs completed (including panicked ones — every accepted job
+    /// replies exactly once).
+    pub completed: u64,
+}
+
+struct Shared {
+    queued: AtomicUsize,
+    running: AtomicUsize,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    panicked: AtomicU64,
+    completed: AtomicU64,
+}
+
+/// A fixed set of worker threads draining one bounded queue.
+pub struct WorkerPool {
+    tx: Mutex<Option<SyncSender<Job>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    shared: Arc<Shared>,
+    queue_capacity: usize,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Start `workers` threads behind a queue of at most `queue_capacity`
+    /// waiting jobs (both clamped to at least 1).
+    pub fn new(workers: usize, queue_capacity: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let queue_capacity = queue_capacity.max(1);
+        let (tx, rx) = sync_channel::<Job>(queue_capacity);
+        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(Shared {
+            queued: AtomicUsize::new(0),
+            running: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{}", i))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Mutex::new(Some(tx)),
+            handles: Mutex::new(handles),
+            shared,
+            queue_capacity,
+            workers,
+        }
+    }
+
+    /// Submit a job. On acceptance the reply eventually arrives on the
+    /// returned receiver (exactly one message, even if the job panics).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the queue is full — the caller
+    /// should answer with a typed `overloaded` reply rather than block.
+    pub fn submit(&self, run: JobFn) -> Result<Receiver<Json>, SubmitError> {
+        let guard = self.tx.lock().expect("pool poisoned");
+        let tx = guard.as_ref().ok_or(SubmitError::ShuttingDown)?;
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let job = Job {
+            queued_at: Instant::now(),
+            run,
+            reply: reply_tx,
+        };
+        match tx.try_send(job) {
+            Ok(()) => {
+                self.shared.queued.fetch_add(1, Ordering::Relaxed);
+                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(reply_rx)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            queued: self.shared.queued.load(Ordering::Relaxed),
+            running: self.shared.running.load(Ordering::Relaxed),
+            queue_capacity: self.queue_capacity,
+            workers: self.workers,
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            panicked: self.shared.panicked.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting, drain queued jobs, join the workers. Idempotent.
+    pub fn shutdown(&self) {
+        // Dropping the sender lets workers finish the queue, then exit.
+        self.tx.lock().expect("pool poisoned").take();
+        let handles = std::mem::take(&mut *self.handles.lock().expect("pool poisoned"));
+        for h in handles {
+            let _unused = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WorkerPool({:?})", self.stats())
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not the job.
+        let job = match rx.lock().expect("pool poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders dropped: shutdown
+        };
+        shared.queued.fetch_sub(1, Ordering::Relaxed);
+        shared.running.fetch_add(1, Ordering::Relaxed);
+        let waited = job.queued_at.elapsed();
+        let run = job.run;
+        // The batch evaluator's supervisor turns a panic into a typed
+        // EvalError; here that becomes a typed reply for this client
+        // only, and this worker lives on.
+        let reply = match supervised(move || Ok::<Json, EvalError>(run(waited))) {
+            Ok(reply) => reply,
+            Err(e) => {
+                shared.panicked.fetch_add(1, Ordering::Relaxed);
+                error_reply(eval_error_kind(&e), &e.to_string())
+            }
+        };
+        shared.running.fetch_sub(1, Ordering::Relaxed);
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        // The client may have hung up; that is its problem, not ours.
+        let _unused = job.reply.try_send(reply);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_run_and_reply_in_submission_order_per_receiver() {
+        let pool = WorkerPool::new(2, 8);
+        let rxs: Vec<_> = (0..6)
+            .map(|i| {
+                pool.submit(Box::new(move |_w| Json::int(i)))
+                    .expect("queue has room")
+            })
+            .collect();
+        for (i, rx) in rxs.into_iter().enumerate() {
+            let got = rx.recv().expect("reply arrives");
+            assert_eq!(got.as_i64(), Some(i as i64));
+        }
+        let s = pool.stats();
+        assert_eq!(s.submitted, 6);
+        assert_eq!(s.completed, 6);
+        assert_eq!(s.rejected, 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let pool = WorkerPool::new(1, 1);
+        let (gate_tx, gate_rx) = sync_channel::<()>(0);
+        let gate_rx = Mutex::new(gate_rx);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Occupy the single worker until the gate opens.
+                let blocker = pool
+                    .submit(Box::new(move |_w| {
+                        let _unused = gate_rx.lock().expect("gate").recv();
+                        Json::Null
+                    }))
+                    .expect("first job admitted");
+                // Wait until the worker has actually dequeued it.
+                while pool.stats().running == 0 {
+                    std::thread::yield_now();
+                }
+                // One job fits in the queue...
+                let queued = pool
+                    .submit(Box::new(|_w| Json::Null))
+                    .expect("second job queues");
+                // ...and the next is refused, immediately.
+                let refused = pool.submit(Box::new(|_w| Json::Null));
+                assert_eq!(refused.unwrap_err(), SubmitError::Overloaded);
+                gate_tx.send(()).expect("worker is waiting");
+                assert!(blocker.recv().expect("blocker replies").is_null());
+                assert!(queued.recv().expect("queued job replies").is_null());
+            });
+        });
+        assert_eq!(pool.stats().rejected, 1);
+    }
+
+    #[test]
+    fn a_panicking_job_replies_typed_and_the_worker_survives() {
+        let pool = WorkerPool::new(1, 4);
+        let rx1 = pool
+            .submit(Box::new(|_w| panic!("injected fault: panic")))
+            .expect("admitted");
+        let reply = rx1.recv().expect("panic still replies");
+        assert_eq!(
+            reply
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("panicked")
+        );
+        // The same (sole) worker takes the next job.
+        let rx2 = pool.submit(Box::new(|_w| Json::int(7))).expect("admitted");
+        assert_eq!(rx2.recv().expect("reply").as_i64(), Some(7));
+        let s = pool.stats();
+        assert_eq!(s.panicked, 1);
+        assert_eq!(s.completed, 2);
+    }
+
+    #[test]
+    fn jobs_observe_their_queue_wait() {
+        let pool = WorkerPool::new(1, 4);
+        let rx = pool
+            .submit(Box::new(|waited| {
+                Json::Bool(waited < Duration::from_secs(60))
+            }))
+            .expect("admitted");
+        assert_eq!(rx.recv().expect("reply").as_bool(), Some(true));
+    }
+
+    #[test]
+    fn shutdown_drains_then_refuses() {
+        let pool = WorkerPool::new(2, 8);
+        let rx = pool.submit(Box::new(|_w| Json::int(1))).expect("admitted");
+        pool.shutdown();
+        assert_eq!(rx.recv().expect("queued work drained").as_i64(), Some(1));
+        assert_eq!(
+            pool.submit(Box::new(|_w| Json::Null)).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+    }
+}

@@ -1,0 +1,359 @@
+//! The wire protocol: newline-delimited JSON requests and replies.
+//!
+//! One connection carries a sequence of request lines; every request
+//! gets exactly one reply line, in order. Success replies are
+//! `{"ok":true, ...}`; failures are
+//! `{"ok":false,"error":{"kind":K,"message":M}}` where `K` is a stable
+//! machine-readable kind: the evaluator's
+//! [`FailureKind`](linguist_eval::batch::FailureKind) names for
+//! evaluation failures, plus the service-level kinds below
+//! (`overloaded`, `grammar_not_found`, `bad_request`, …). Clients
+//! branch on `kind`; `message` is for humans.
+//!
+//! Requests are tagged with `"op"`:
+//!
+//! | op                | fields |
+//! |-------------------|--------|
+//! | `load_grammar`    | `source`, optional `scanner` (bundled-scanner name), optional `name` |
+//! | `translate`       | `grammar` (handle) *or* `source`+`scanner`; `input` *or* `budget`; optional `deadline_ms`, `fault` |
+//! | `translate_batch` | same grammar addressing; `jobs`: array of strings (inputs) and/or numbers (budgets); optional `deadline_ms` |
+//! | `stats`           | — |
+//! | `shutdown`        | — |
+
+use linguist_eval::batch::FailureKind;
+use linguist_eval::machine::EvalError;
+use linguist_frontend::translate::TranslateError;
+use linguist_support::json::Json;
+
+use crate::store::LoadError;
+
+/// How a request names the grammar it wants to run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GrammarRef {
+    /// A handle from an earlier `load_grammar` reply (16-hex key).
+    Handle(String),
+    /// Inline source (load-or-hit by content hash).
+    Source {
+        /// The grammar text.
+        source: String,
+        /// Optional bundled-scanner binding.
+        scanner: Option<String>,
+    },
+}
+
+/// The unit of translation work.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Work {
+    /// Concrete input text — requires the grammar to have a bound
+    /// scanner.
+    Input(String),
+    /// Synthesize a derivation of roughly this many nodes and evaluate
+    /// it (works for any grammar; mirrors the profiler's dynamic half).
+    Budget(usize),
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Compile a grammar into the session cache and return its handle.
+    LoadGrammar {
+        /// The grammar text.
+        source: String,
+        /// Optional bundled-scanner binding.
+        scanner: Option<String>,
+        /// Optional display name for stats.
+        name: Option<String>,
+    },
+    /// Run one translation.
+    Translate {
+        /// Which grammar.
+        grammar: GrammarRef,
+        /// What to translate.
+        work: Work,
+        /// Per-request wall-clock ceiling (milliseconds), inclusive of
+        /// queue wait.
+        deadline_ms: Option<u64>,
+        /// Test support: `"panic"` makes the job panic inside the
+        /// worker, exercising the typed `panicked` reply.
+        fault: Option<String>,
+    },
+    /// Run many translations of one grammar through the pool.
+    TranslateBatch {
+        /// Which grammar.
+        grammar: GrammarRef,
+        /// The jobs, in reply order.
+        jobs: Vec<Work>,
+        /// Per-job wall-clock ceiling (milliseconds).
+        deadline_ms: Option<u64>,
+    },
+    /// Service counters, cache contents, queue depth, quantiles.
+    Stats,
+    /// Stop accepting, drain, exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parse one request line (already JSON-decoded).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message describing the malformation; the server
+    /// wraps it in a `bad_request` reply.
+    pub fn parse(j: &Json) -> Result<Request, String> {
+        let op = j
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request has no `op` field")?;
+        match op {
+            "load_grammar" => Ok(Request::LoadGrammar {
+                source: req_str(j, "source")?,
+                scanner: opt_str(j, "scanner"),
+                name: opt_str(j, "name"),
+            }),
+            "translate" => Ok(Request::Translate {
+                grammar: grammar_ref(j)?,
+                work: work(j)?,
+                deadline_ms: j.get("deadline_ms").and_then(Json::as_u64),
+                fault: opt_str(j, "fault"),
+            }),
+            "translate_batch" => {
+                let jobs = j
+                    .get("jobs")
+                    .and_then(Json::as_arr)
+                    .ok_or("translate_batch needs a `jobs` array")?
+                    .iter()
+                    .map(|item| match item {
+                        Json::Str(s) => Ok(Work::Input(s.clone())),
+                        _ => item
+                            .as_u64()
+                            .map(|n| Work::Budget(n as usize))
+                            .ok_or_else(|| {
+                                "each job must be an input string or a budget number".to_string()
+                            }),
+                    })
+                    .collect::<Result<Vec<Work>, String>>()?;
+                Ok(Request::TranslateBatch {
+                    grammar: grammar_ref(j)?,
+                    jobs,
+                    deadline_ms: j.get("deadline_ms").and_then(Json::as_u64),
+                })
+            }
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op `{}`", other)),
+        }
+    }
+}
+
+fn req_str(j: &Json, field: &str) -> Result<String, String> {
+    j.get(field)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field `{}`", field))
+}
+
+fn opt_str(j: &Json, field: &str) -> Option<String> {
+    j.get(field).and_then(Json::as_str).map(str::to_string)
+}
+
+fn grammar_ref(j: &Json) -> Result<GrammarRef, String> {
+    match (opt_str(j, "grammar"), opt_str(j, "source")) {
+        (Some(handle), None) => Ok(GrammarRef::Handle(handle)),
+        (None, Some(source)) => Ok(GrammarRef::Source {
+            source,
+            scanner: opt_str(j, "scanner"),
+        }),
+        (Some(_), Some(_)) => Err("give `grammar` or `source`, not both".to_string()),
+        (None, None) => Err("request names no grammar (`grammar` or `source`)".to_string()),
+    }
+}
+
+fn work(j: &Json) -> Result<Work, String> {
+    match (opt_str(j, "input"), j.get("budget").and_then(Json::as_u64)) {
+        (Some(input), None) => Ok(Work::Input(input)),
+        (None, Some(n)) => Ok(Work::Budget(n as usize)),
+        (Some(_), Some(_)) => Err("give `input` or `budget`, not both".to_string()),
+        (None, None) => Err("translate needs `input` text or a `budget`".to_string()),
+    }
+}
+
+/// A success reply with the given extra fields.
+pub fn ok_reply(fields: Vec<(String, Json)>) -> Json {
+    let mut obj = vec![("ok".to_string(), Json::Bool(true))];
+    obj.extend(fields);
+    Json::Obj(obj)
+}
+
+/// A failure reply: `{"ok":false,"error":{"kind":…,"message":…}}`.
+pub fn error_reply(kind: &str, message: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(false)),
+        (
+            "error".to_string(),
+            Json::Obj(vec![
+                ("kind".to_string(), Json::str(kind)),
+                ("message".to_string(), Json::str(message)),
+            ]),
+        ),
+    ])
+}
+
+/// Service-level error kinds (the evaluation-level ones are
+/// [`FailureKind::as_str`]).
+pub mod kind {
+    /// The job queue was full; retry later.
+    pub const OVERLOADED: &str = "overloaded";
+    /// No resident grammar has the requested handle.
+    pub const GRAMMAR_NOT_FOUND: &str = "grammar_not_found";
+    /// The request line did not parse or is self-contradictory.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The frontend rejected the grammar.
+    pub const COMPILE: &str = "compile";
+    /// Input failed to scan.
+    pub const SCAN: &str = "scan";
+    /// Input failed to parse.
+    pub const PARSE: &str = "parse";
+    /// The grammar's CFG is not LALR(1).
+    pub const TABLE: &str = "table";
+    /// A scanner token kind matched no terminal.
+    pub const UNBOUND_TOKEN: &str = "unbound_token";
+    /// `LoadGrammar` named a scanner the service does not bundle.
+    pub const UNKNOWN_SCANNER: &str = "unknown_scanner";
+    /// The service is draining; no new work is accepted.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+}
+
+/// The stable error kind for an evaluation failure.
+pub fn eval_error_kind(e: &EvalError) -> &'static str {
+    FailureKind::of(e).as_str()
+}
+
+/// The stable error kind for a translation failure.
+pub fn translate_error_kind(e: &TranslateError) -> &'static str {
+    match e {
+        TranslateError::Table(_) => kind::TABLE,
+        TranslateError::Scan(_) => kind::SCAN,
+        TranslateError::UnboundToken { .. } => kind::UNBOUND_TOKEN,
+        TranslateError::Parse(_) => kind::PARSE,
+        TranslateError::Eval(e) => eval_error_kind(e),
+    }
+}
+
+/// The stable error kind for a session-cache load failure.
+pub fn load_error_kind(e: &LoadError) -> &'static str {
+    match e {
+        LoadError::Compile(_) => kind::COMPILE,
+        LoadError::Bind(te) => translate_error_kind(te),
+        LoadError::UnknownScanner(_) => kind::UNKNOWN_SCANNER,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<Request, String> {
+        Request::parse(&Json::parse(line).expect("test line is JSON"))
+    }
+
+    #[test]
+    fn load_grammar_round_trips() {
+        let r = parse(r#"{"op":"load_grammar","source":"grammar G ;","scanner":"calc"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::LoadGrammar {
+                source: "grammar G ;".to_string(),
+                scanner: Some("calc".to_string()),
+                name: None,
+            }
+        );
+    }
+
+    #[test]
+    fn translate_by_handle_with_budget() {
+        let r =
+            parse(r#"{"op":"translate","grammar":"00ff","budget":64,"deadline_ms":250}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Translate {
+                grammar: GrammarRef::Handle("00ff".to_string()),
+                work: Work::Budget(64),
+                deadline_ms: Some(250),
+                fault: None,
+            }
+        );
+    }
+
+    #[test]
+    fn translate_by_source_with_input() {
+        let r =
+            parse(r#"{"op":"translate","source":"grammar G ;","scanner":"calc","input":"1+2"}"#)
+                .unwrap();
+        match r {
+            Request::Translate {
+                grammar: GrammarRef::Source { source, scanner },
+                work: Work::Input(input),
+                ..
+            } => {
+                assert_eq!(source, "grammar G ;");
+                assert_eq!(scanner.as_deref(), Some("calc"));
+                assert_eq!(input, "1+2");
+            }
+            other => panic!("wrong parse: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn batch_jobs_mix_inputs_and_budgets() {
+        let r =
+            parse(r#"{"op":"translate_batch","grammar":"00ff","jobs":["1+2",32,"3*4"]}"#).unwrap();
+        match r {
+            Request::TranslateBatch { jobs, .. } => assert_eq!(
+                jobs,
+                vec![
+                    Work::Input("1+2".to_string()),
+                    Work::Budget(32),
+                    Work::Input("3*4".to_string()),
+                ]
+            ),
+            other => panic!("wrong parse: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_name_the_problem() {
+        assert!(parse(r#"{"op":"nope"}"#)
+            .unwrap_err()
+            .contains("unknown op"));
+        assert!(parse(r#"{"x":1}"#).unwrap_err().contains("op"));
+        assert!(parse(r#"{"op":"translate","grammar":"k"}"#)
+            .unwrap_err()
+            .contains("input"));
+        assert!(
+            parse(r#"{"op":"translate","grammar":"k","source":"s","budget":1}"#)
+                .unwrap_err()
+                .contains("not both")
+        );
+    }
+
+    #[test]
+    fn reply_shapes_are_stable() {
+        assert_eq!(
+            error_reply("overloaded", "queue full").to_string(),
+            r#"{"ok":false,"error":{"kind":"overloaded","message":"queue full"}}"#
+        );
+        let ok = ok_reply(vec![("grammar".to_string(), Json::str("00ff"))]).to_string();
+        assert_eq!(ok, r#"{"ok":true,"grammar":"00ff"}"#);
+    }
+
+    #[test]
+    fn eval_failure_kinds_reuse_the_batch_taxonomy() {
+        let e = EvalError::Panicked("boom".to_string());
+        assert_eq!(eval_error_kind(&e), "panicked");
+        assert_eq!(FailureKind::parse("panicked"), Some(FailureKind::Panicked));
+        let te = TranslateError::UnboundToken {
+            kind: "X".to_string(),
+        };
+        assert_eq!(translate_error_kind(&te), kind::UNBOUND_TOKEN);
+    }
+}

@@ -1,0 +1,621 @@
+//! The daemon: listeners, connection loop, and request dispatch.
+//!
+//! [`Server::start`] binds a Unix-domain socket and/or a localhost TCP
+//! listener and returns a [`ServerHandle`]; the daemon then runs until
+//! a `shutdown` request (or [`ServerHandle::shutdown`]) stops it.
+//!
+//! The threading model keeps the slow and the fast paths apart:
+//!
+//! * one **acceptor** thread per listener, blocked in `accept`;
+//! * one **connection** thread per client, which parses request lines
+//!   and answers `load_grammar` / `stats` / `shutdown` inline —
+//!   grammar compilation runs here, on the loading client's time,
+//!   single-flighted by the [`GrammarStore`];
+//! * the fixed **worker pool**, which runs every `translate` /
+//!   `translate_batch` job. Admission control happens at submit time:
+//!   a full queue is a typed `overloaded` reply, never a blocked
+//!   connection.
+//!
+//! Per-request deadlines are budgeted end to end: the job's closure is
+//! told how long it waited in the queue, and a job that is already
+//! past its deadline when a worker picks it up replies `deadline`
+//! without evaluating. The remaining budget is handed to the
+//! evaluator's own cooperative [`EvalOptions::deadline`] check.
+
+use linguist_ag::analysis::Config;
+use linguist_ag::passes::Direction;
+use linguist_eval::funcs::Funcs;
+use linguist_eval::machine::{evaluate, EvalOptions, Evaluation, Strategy};
+use linguist_frontend::report::synthesize_tree;
+use linguist_support::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::pool::{SubmitError, WorkerPool};
+use crate::proto::{
+    error_reply, eval_error_kind, kind, load_error_kind, ok_reply, translate_error_kind,
+    GrammarRef, Request, Work,
+};
+use crate::stats::ServiceMetrics;
+use crate::store::{CompiledGrammar, GrammarStore, StoreStats};
+
+/// How to run the daemon.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind a Unix-domain socket here (a stale socket file is removed).
+    pub unix_path: Option<PathBuf>,
+    /// Bind a TCP listener here (e.g. `127.0.0.1:0` for an ephemeral
+    /// port; keep it loopback — the protocol has no authentication).
+    pub tcp_addr: Option<String>,
+    /// Worker threads for translation jobs.
+    pub workers: usize,
+    /// Bounded job-queue capacity (the admission-control knob).
+    pub queue_capacity: usize,
+    /// Session-cache capacity, in compiled grammars.
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Frontend analysis configuration used for every compile.
+    pub config: Config,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            unix_path: None,
+            tcp_addr: None,
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 16,
+            default_deadline: None,
+            config: Config::default(),
+        }
+    }
+}
+
+/// Everything the connection threads and workers share.
+pub struct ServiceState {
+    store: GrammarStore,
+    pool: WorkerPool,
+    metrics: ServiceMetrics,
+    funcs: Funcs,
+    config: Config,
+    default_deadline: Option<Duration>,
+    shutdown: AtomicBool,
+    unix_path: Option<PathBuf>,
+    tcp_addr: Option<SocketAddr>,
+}
+
+impl ServiceState {
+    /// Session-cache counters (the concurrency tests pin `analyses`
+    /// against these).
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Has a shutdown been requested?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// The daemon entry point; see the module docs.
+pub enum Server {}
+
+impl Server {
+    /// Bind the configured listeners and start serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures; fails with `InvalidInput` when the
+    /// configuration names no listener at all.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+        if cfg.unix_path.is_none() && cfg.tcp_addr.is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "server config names no listener (unix_path or tcp_addr)",
+            ));
+        }
+        let unix_listener = match &cfg.unix_path {
+            Some(path) => {
+                // A dead daemon leaves its socket file behind; binding
+                // over it is the expected restart path.
+                let _unused = std::fs::remove_file(path);
+                Some(UnixListener::bind(path)?)
+            }
+            None => None,
+        };
+        let tcp_listener = match &cfg.tcp_addr {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
+        let tcp_addr = match &tcp_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+        let state = Arc::new(ServiceState {
+            store: GrammarStore::new(cfg.cache_capacity),
+            pool: WorkerPool::new(cfg.workers, cfg.queue_capacity),
+            metrics: ServiceMetrics::new(),
+            funcs: Funcs::standard(),
+            config: cfg.config,
+            default_deadline: cfg.default_deadline,
+            shutdown: AtomicBool::new(false),
+            unix_path: cfg.unix_path,
+            tcp_addr,
+        });
+        let mut acceptors = Vec::new();
+        if let Some(listener) = unix_listener {
+            let state = Arc::clone(&state);
+            acceptors.push(
+                std::thread::Builder::new()
+                    .name("serve-accept-unix".to_string())
+                    .spawn(move || accept_unix(&listener, &state))?,
+            );
+        }
+        if let Some(listener) = tcp_listener {
+            let state = Arc::clone(&state);
+            acceptors.push(
+                std::thread::Builder::new()
+                    .name("serve-accept-tcp".to_string())
+                    .spawn(move || accept_tcp(&listener, &state))?,
+            );
+        }
+        Ok(ServerHandle { state, acceptors })
+    }
+}
+
+/// A running daemon. Dropping the handle without calling
+/// [`wait`](ServerHandle::wait) or [`shutdown`](ServerHandle::shutdown)
+/// stops the service.
+pub struct ServerHandle {
+    state: Arc<ServiceState>,
+    acceptors: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound Unix socket path, if one was configured.
+    pub fn unix_path(&self) -> Option<&Path> {
+        self.state.unix_path.as_deref()
+    }
+
+    /// The bound TCP address, if one was configured (with the real
+    /// port, even when the config asked for `:0`).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.state.tcp_addr
+    }
+
+    /// The shared service state (counters for tests and embedding).
+    pub fn state(&self) -> &Arc<ServiceState> {
+        &self.state
+    }
+
+    /// Block until the daemon stops (a `shutdown` request arrives),
+    /// then drain the pool and clean up the socket file.
+    pub fn wait(mut self) {
+        self.join_and_drain();
+    }
+
+    /// Stop the daemon from outside: unblock the acceptors, drain, and
+    /// clean up.
+    pub fn shutdown(mut self) {
+        request_shutdown(&self.state);
+        self.join_and_drain();
+    }
+
+    fn join_and_drain(&mut self) {
+        for h in self.acceptors.drain(..) {
+            let _unused = h.join();
+        }
+        self.state.pool.shutdown();
+        if let Some(path) = &self.state.unix_path {
+            let _unused = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if !self.acceptors.is_empty() {
+            request_shutdown(&self.state);
+            self.join_and_drain();
+        }
+    }
+}
+
+/// Flip the shutdown flag and poke every listener awake so its
+/// blocking `accept` returns and the acceptor can observe the flag.
+fn request_shutdown(state: &ServiceState) {
+    if state.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already requested
+    }
+    if let Some(path) = &state.unix_path {
+        let _unused = UnixStream::connect(path);
+    }
+    if let Some(addr) = state.tcp_addr {
+        let _unused = TcpStream::connect(addr);
+    }
+}
+
+fn accept_unix(listener: &UnixListener, state: &Arc<ServiceState>) {
+    for conn in listener.incoming() {
+        if state.is_shutting_down() {
+            return;
+        }
+        if let Ok(stream) = conn {
+            let state = Arc::clone(state);
+            let _unused = std::thread::Builder::new()
+                .name("serve-conn".to_string())
+                .spawn(move || {
+                    if let Ok(clone) = stream.try_clone() {
+                        serve_conn(BufReader::new(clone), stream, &state);
+                    }
+                });
+        }
+    }
+}
+
+fn accept_tcp(listener: &TcpListener, state: &Arc<ServiceState>) {
+    for conn in listener.incoming() {
+        if state.is_shutting_down() {
+            return;
+        }
+        if let Ok(stream) = conn {
+            let state = Arc::clone(state);
+            let _unused = std::thread::Builder::new()
+                .name("serve-conn".to_string())
+                .spawn(move || {
+                    if let Ok(clone) = stream.try_clone() {
+                        serve_conn(BufReader::new(clone), stream, &state);
+                    }
+                });
+        }
+    }
+}
+
+/// One client session: request lines in, reply lines out, in order.
+fn serve_conn(mut reader: impl BufRead, mut writer: impl Write, state: &Arc<ServiceState>) {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client hung up
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (reply, stop) = dispatch_line(&line, state);
+        if writeln!(writer, "{}", reply)
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if stop {
+            request_shutdown(state);
+            return;
+        }
+    }
+}
+
+/// Parse and answer one request line. The bool says "shut down after
+/// replying".
+fn dispatch_line(line: &str, state: &Arc<ServiceState>) -> (Json, bool) {
+    let parsed = match Json::parse(line) {
+        Ok(j) => j,
+        Err(e) => {
+            state.metrics.record_error(kind::BAD_REQUEST);
+            return (
+                error_reply(kind::BAD_REQUEST, &format!("request is not JSON: {}", e)),
+                false,
+            );
+        }
+    };
+    let request = match Request::parse(&parsed) {
+        Ok(r) => r,
+        Err(msg) => {
+            state.metrics.record_error(kind::BAD_REQUEST);
+            return (error_reply(kind::BAD_REQUEST, &msg), false);
+        }
+    };
+    match request {
+        Request::LoadGrammar {
+            source,
+            scanner,
+            name,
+        } => (
+            handle_load(state, &source, scanner.as_deref(), name.as_deref()),
+            false,
+        ),
+        Request::Translate {
+            grammar,
+            work,
+            deadline_ms,
+            fault,
+        } => (
+            handle_translate(state, &grammar, work, deadline_ms, fault),
+            false,
+        ),
+        Request::TranslateBatch {
+            grammar,
+            jobs,
+            deadline_ms,
+        } => (handle_batch(state, &grammar, jobs, deadline_ms), false),
+        Request::Stats => (
+            ok_reply(state.metrics.render(&state.store, &state.pool)),
+            false,
+        ),
+        Request::Shutdown => (ok_reply(vec![]), true),
+    }
+}
+
+fn handle_load(
+    state: &Arc<ServiceState>,
+    source: &str,
+    scanner: Option<&str>,
+    name: Option<&str>,
+) -> Json {
+    state.metrics.loads.fetch_add(1, Ordering::Relaxed);
+    match state.store.load(source, scanner, name, &state.config) {
+        Ok((g, cached)) => ok_reply(vec![
+            ("grammar".to_string(), Json::str(&g.key)),
+            ("name".to_string(), Json::str(&g.name)),
+            ("cached".to_string(), Json::Bool(cached)),
+            ("passes".to_string(), Json::int(g.passes() as i64)),
+            (
+                "compile_ms".to_string(),
+                Json::Num(g.compile_time.as_secs_f64() * 1e3),
+            ),
+            ("scanner".to_string(), Json::Bool(g.translator().is_some())),
+        ]),
+        Err(e) => {
+            let k = load_error_kind(&e);
+            state.metrics.record_error(k);
+            error_reply(k, &e.to_string())
+        }
+    }
+}
+
+/// Resolve a request's grammar reference against the session cache.
+fn resolve(
+    state: &Arc<ServiceState>,
+    gref: &GrammarRef,
+) -> Result<Arc<CompiledGrammar>, (&'static str, String)> {
+    match gref {
+        GrammarRef::Handle(h) => state.store.get(h).ok_or_else(|| {
+            (
+                kind::GRAMMAR_NOT_FOUND,
+                format!(
+                    "no resident grammar has handle `{}` (evicted or never loaded)",
+                    h
+                ),
+            )
+        }),
+        GrammarRef::Source { source, scanner } => state
+            .store
+            .load(source, scanner.as_deref(), None, &state.config)
+            .map(|(g, _cached)| g)
+            .map_err(|e| (load_error_kind(&e), e.to_string())),
+    }
+}
+
+/// Submit one translate job; on admission failure produce the typed
+/// rejection immediately.
+fn submit_job(
+    state: &Arc<ServiceState>,
+    grammar: Arc<CompiledGrammar>,
+    work: Work,
+    deadline: Option<Duration>,
+    fault: Option<String>,
+) -> Result<Receiver<Json>, Json> {
+    let job_state = Arc::clone(state);
+    match state.pool.submit(Box::new(move |waited| {
+        run_job(
+            &job_state,
+            &grammar,
+            &work,
+            deadline,
+            fault.as_deref(),
+            waited,
+        )
+    })) {
+        Ok(rx) => Ok(rx),
+        Err(SubmitError::Overloaded) => {
+            state.metrics.record_error(kind::OVERLOADED);
+            Err(error_reply(
+                kind::OVERLOADED,
+                "job queue is full; retry after in-flight work drains",
+            ))
+        }
+        Err(SubmitError::ShuttingDown) => Err(error_reply(
+            kind::SHUTTING_DOWN,
+            "the service is draining and accepts no new work",
+        )),
+    }
+}
+
+fn await_reply(rx: Receiver<Json>) -> Json {
+    rx.recv().unwrap_or_else(|_| {
+        error_reply(
+            kind::SHUTTING_DOWN,
+            "the service stopped before the job produced a reply",
+        )
+    })
+}
+
+fn handle_translate(
+    state: &Arc<ServiceState>,
+    gref: &GrammarRef,
+    work: Work,
+    deadline_ms: Option<u64>,
+    fault: Option<String>,
+) -> Json {
+    let grammar = match resolve(state, gref) {
+        Ok(g) => g,
+        Err((k, msg)) => {
+            state.metrics.record_error(k);
+            return error_reply(k, &msg);
+        }
+    };
+    let deadline = deadline_ms
+        .map(Duration::from_millis)
+        .or(state.default_deadline);
+    match submit_job(state, grammar, work, deadline, fault) {
+        Ok(rx) => await_reply(rx),
+        Err(rejection) => rejection,
+    }
+}
+
+/// Fan a batch out through the pool (each job is admitted separately,
+/// so one oversized batch cannot starve other clients' admissions
+/// beyond the shared queue bound), then collect replies in job order.
+fn handle_batch(
+    state: &Arc<ServiceState>,
+    gref: &GrammarRef,
+    jobs: Vec<Work>,
+    deadline_ms: Option<u64>,
+) -> Json {
+    let grammar = match resolve(state, gref) {
+        Ok(g) => g,
+        Err((k, msg)) => {
+            state.metrics.record_error(k);
+            return error_reply(k, &msg);
+        }
+    };
+    let deadline = deadline_ms
+        .map(Duration::from_millis)
+        .or(state.default_deadline);
+    let pending: Vec<Result<Receiver<Json>, Json>> = jobs
+        .into_iter()
+        .map(|work| submit_job(state, Arc::clone(&grammar), work, deadline, None))
+        .collect();
+    let results: Vec<Json> = pending
+        .into_iter()
+        .map(|p| match p {
+            Ok(rx) => await_reply(rx),
+            Err(rejection) => rejection,
+        })
+        .collect();
+    let failed = results
+        .iter()
+        .filter(|r| r.get("ok").and_then(Json::as_bool) != Some(true))
+        .count();
+    ok_reply(vec![
+        ("jobs".to_string(), Json::int(results.len() as i64)),
+        ("failed".to_string(), Json::int(failed as i64)),
+        ("results".to_string(), Json::Arr(results)),
+    ])
+}
+
+/// The worker-side body of one translate job.
+fn run_job(
+    state: &Arc<ServiceState>,
+    grammar: &CompiledGrammar,
+    work: &Work,
+    deadline: Option<Duration>,
+    fault: Option<&str>,
+    waited: Duration,
+) -> Json {
+    // Deadlines include queue time: a job that waited its budget out
+    // fails fast without touching the evaluator.
+    let remaining = match deadline {
+        Some(d) => match d.checked_sub(waited) {
+            Some(r) if r > Duration::ZERO => Some(r),
+            _ => {
+                state.metrics.record_error("deadline");
+                return error_reply(
+                    "deadline",
+                    &format!(
+                        "job waited {:?} in the queue, past its {:?} deadline",
+                        waited, d
+                    ),
+                );
+            }
+        },
+        None => None,
+    };
+    if fault == Some("panic") {
+        // Test support: exercises the pool's panic supervisor and the
+        // typed `panicked` reply path end to end.
+        panic!("injected fault: panic");
+    }
+    if fault == Some("stall") {
+        // Test support: a deterministically slow job, for exercising
+        // admission control and queue-wait deadline accounting.
+        std::thread::sleep(Duration::from_millis(250));
+    }
+    let started = Instant::now();
+    // The initial-file strategy must match the plan's first direction
+    // (same rule as the profiler).
+    let strategy = match grammar.analysis().passes.direction(1) {
+        Direction::RightToLeft => Strategy::BottomUp,
+        Direction::LeftToRight => Strategy::Prefix,
+    };
+    let opts = EvalOptions {
+        strategy,
+        profile: true,
+        deadline: remaining,
+        ..EvalOptions::default()
+    };
+    let result: Result<Evaluation, (&'static str, String)> = match work {
+        Work::Input(text) => match grammar.translator() {
+            Some(t) => t
+                .translate(text, &state.funcs, &opts)
+                .map_err(|e| (translate_error_kind(&e), e.to_string())),
+            None => Err((
+                kind::BAD_REQUEST,
+                "grammar was loaded without a scanner; send `budget` instead of `input`"
+                    .to_string(),
+            )),
+        },
+        Work::Budget(n) => match synthesize_tree(&grammar.analysis().grammar, (*n).max(1)) {
+            Some(tree) => evaluate(grammar.analysis(), &state.funcs, &tree, &opts)
+                .map_err(|e| (eval_error_kind(&e), e.to_string())),
+            None => Err((
+                kind::BAD_REQUEST,
+                "no finite derivation exists for the start symbol".to_string(),
+            )),
+        },
+    };
+    match result {
+        Ok(eval) => {
+            let wall = waited + started.elapsed();
+            state.metrics.record_translate(wall, eval.metrics.as_ref());
+            let outputs: Vec<(String, Json)> = eval
+                .outputs
+                .iter()
+                .map(|(a, v)| {
+                    (
+                        grammar.analysis().grammar.attr_name(*a).to_string(),
+                        Json::str(&v.to_string()),
+                    )
+                })
+                .collect();
+            ok_reply(vec![
+                ("grammar".to_string(), Json::str(&grammar.key)),
+                ("outputs".to_string(), Json::Obj(outputs)),
+                (
+                    "passes".to_string(),
+                    Json::int(eval.stats.passes.len() as i64),
+                ),
+                ("wall_ms".to_string(), Json::Num(wall.as_secs_f64() * 1e3)),
+                (
+                    "queue_ms".to_string(),
+                    Json::Num(waited.as_secs_f64() * 1e3),
+                ),
+            ])
+        }
+        Err((k, msg)) => {
+            state.metrics.record_error(k);
+            error_reply(k, &msg)
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! CLI behavior pinned at the process boundary: exit codes for failed
+//! batches, and the `serve`/`client` subcommands end to end.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn linguist() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_linguist"))
+}
+
+fn write_tmp(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("linguist-cli-{}-{}", std::process::id(), name));
+    std::fs::write(&path, contents).expect("write fixture");
+    path
+}
+
+/// Analyzes cleanly, but the start symbol has no finite derivation, so
+/// the profiled evaluation (synthetic tree) fails for it.
+const BOTTOMLESS: &str = "\
+grammar Loop ;
+terminals  x : intrinsic OBJ int ;
+nonterminals  s : syn V int ;
+start s ;
+productions
+prod s0 = s1 x :
+  s0.V = s1.V + x.OBJ ;
+end
+end
+";
+
+const GOOD: &str = "\
+grammar Tiny ;
+terminals  x : intrinsic OBJ int ;
+nonterminals  s : syn V int ;
+start s ;
+productions
+prod s0 = s1 x :
+  s0.V = s1.V + x.OBJ ;
+end
+prod s0 = x :
+  s0.V = x.OBJ ;
+end
+end
+";
+
+#[test]
+fn batch_profile_json_where_every_job_fails_exits_nonzero() {
+    let a = write_tmp("allfail-a.lg", BOTTOMLESS);
+    let b = write_tmp("allfail-b.lg", BOTTOMLESS);
+    let out = linguist()
+        .args(["--batch", "--profile=json"])
+        .arg(&a)
+        .arg(&b)
+        .output()
+        .expect("run linguist");
+    // Every job's profile carries an eval_error; the sweep produced
+    // nothing usable and must not exit 0.
+    assert!(
+        !out.status.success(),
+        "fully failed batch exited 0; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("eval_error"),
+        "reports should still be printed: {}",
+        stdout
+    );
+}
+
+#[test]
+fn batch_profile_json_with_one_surviving_job_exits_zero() {
+    let good = write_tmp("mixed-good.lg", GOOD);
+    let bad = write_tmp("mixed-bad.lg", BOTTOMLESS);
+    let out = linguist()
+        .args(["--batch", "--profile=json"])
+        .arg(&good)
+        .arg(&bad)
+        .output()
+        .expect("run linguist");
+    assert!(
+        out.status.success(),
+        "partially failed batch should exit 0; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn batch_with_a_driver_error_still_exits_nonzero() {
+    let good = write_tmp("drv-good.lg", GOOD);
+    let broken = write_tmp("drv-broken.lg", "grammar Broken");
+    let out = linguist()
+        .arg("--batch")
+        .arg(&good)
+        .arg(&broken)
+        .output()
+        .expect("run linguist");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn serve_and_client_subcommands_round_trip() {
+    let sock = std::env::temp_dir().join(format!("linguist-cli-serve-{}.sock", std::process::id()));
+    let _unused = std::fs::remove_file(&sock);
+    let mut daemon = linguist()
+        .args(["serve", "--socket"])
+        .arg(&sock)
+        .args(["--workers", "2", "--queue", "8"])
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon starts");
+    // Wait for the socket to appear.
+    let started = Instant::now();
+    while !sock.exists() {
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "daemon never bound its socket"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let grammar = write_tmp("serve-good.lg", GOOD);
+    let load = linguist()
+        .args(["client", "--socket"])
+        .arg(&sock)
+        .arg("load")
+        .arg(&grammar)
+        .output()
+        .expect("client load");
+    assert!(
+        load.status.success(),
+        "load failed: {}",
+        String::from_utf8_lossy(&load.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&load.stdout);
+    let handle = stdout
+        .split("\"grammar\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("load reply carries the handle")
+        .to_string();
+    let translate = linguist()
+        .args(["client", "--socket"])
+        .arg(&sock)
+        .args(["translate", &handle, "--budget", "32"])
+        .output()
+        .expect("client translate");
+    assert!(
+        translate.status.success(),
+        "translate failed: {}",
+        String::from_utf8_lossy(&translate.stdout)
+    );
+    assert!(String::from_utf8_lossy(&translate.stdout).contains("\"outputs\""));
+    let stats = linguist()
+        .args(["client", "--socket"])
+        .arg(&sock)
+        .arg("stats")
+        .output()
+        .expect("client stats");
+    assert!(stats.status.success());
+    assert!(String::from_utf8_lossy(&stats.stdout).contains("\"cache\""));
+    let shutdown = linguist()
+        .args(["client", "--socket"])
+        .arg(&sock)
+        .arg("shutdown")
+        .output()
+        .expect("client shutdown");
+    assert!(shutdown.status.success());
+    let code = daemon.wait().expect("daemon exits after shutdown request");
+    assert!(code.success(), "daemon exit: {:?}", code);
+}

@@ -1,0 +1,356 @@
+//! End-to-end concurrency tests for the resident translation service:
+//! many clients against one daemon, over both transports.
+//!
+//! The acceptance properties pinned here:
+//!
+//! * a warm-cache `translate` performs **zero** grammar re-analysis
+//!   (the store's `analyses` counter stays at one per distinct
+//!   grammar, however many clients load and translate it);
+//! * no cross-request attribute leakage: every client gets the outputs
+//!   of *its own* inputs back, under full interleaving;
+//! * a panicking job produces a typed `panicked` reply **to its own
+//!   client only**, and the daemon keeps serving;
+//! * a full queue rejects with a typed `overloaded` reply while the
+//!   in-flight work still completes;
+//! * deadlines include queue wait: a job stuck behind a slow one fails
+//!   with `deadline` without evaluating.
+
+use linguist_serve::client::Client;
+use linguist_serve::server::{Server, ServerConfig, ServerHandle};
+use linguist_support::json::Json;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+fn sock_path(tag: &str) -> PathBuf {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "linguist-serve-{}-{}-{}.sock",
+        tag,
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn start(tag: &str, workers: usize, queue: usize) -> ServerHandle {
+    Server::start(ServerConfig {
+        unix_path: Some(sock_path(tag)),
+        tcp_addr: Some("127.0.0.1:0".to_string()),
+        workers,
+        queue_capacity: queue,
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts")
+}
+
+fn unix_client(handle: &ServerHandle) -> Client {
+    Client::connect_unix(handle.unix_path().expect("unix socket bound")).expect("connect")
+}
+
+fn ok(reply: &Json) -> bool {
+    reply.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+fn error_kind(reply: &Json) -> Option<&str> {
+    reply
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+}
+
+fn calc_source() -> &'static str {
+    linguist_grammars::calc_source()
+}
+
+#[test]
+fn interleaved_clients_get_their_own_outputs_with_one_analysis() {
+    let handle = start("interleave", 4, 64);
+    const CLIENTS: usize = 6;
+    const ROUNDS: usize = 5;
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let handle = &handle;
+            s.spawn(move || {
+                // Half the clients arrive over TCP, half over the Unix
+                // socket; all load the same grammar text.
+                let mut client = if c % 2 == 0 {
+                    unix_client(handle)
+                } else {
+                    Client::connect_tcp(handle.tcp_addr().expect("tcp bound")).expect("connect")
+                };
+                let loaded = client
+                    .load_grammar(calc_source(), Some("calc"), Some("calc"))
+                    .expect("load round-trips");
+                assert!(ok(&loaded), "load failed: {}", loaded);
+                let key = loaded
+                    .get("grammar")
+                    .and_then(Json::as_str)
+                    .expect("load reply carries the handle")
+                    .to_string();
+                for r in 0..ROUNDS {
+                    // Distinct arithmetic per client and round, so a
+                    // cross-request mixup produces a wrong number, not
+                    // a coincidental match.
+                    let (a, b) = (10 * c + 1, r + 2);
+                    let reply = client
+                        .translate_input(&key, &format!("{} + {}", a, b), None)
+                        .expect("translate round-trips");
+                    assert!(ok(&reply), "translate failed: {}", reply);
+                    let v = reply
+                        .get("outputs")
+                        .and_then(|o| o.get("V"))
+                        .and_then(Json::as_str)
+                        .expect("calc yields V");
+                    assert_eq!(
+                        v,
+                        (a + b).to_string(),
+                        "client {} round {} got someone else's answer",
+                        c,
+                        r
+                    );
+                }
+            });
+        }
+    });
+    // The acceptance pin: every warm translate ran with zero grammar
+    // re-analysis. CLIENTS loads + CLIENTS*ROUNDS translates resolved
+    // against ONE frontend run.
+    let store = handle.state().store_stats();
+    assert_eq!(store.analyses, 1, "warm path re-analyzed: {:?}", store);
+    assert_eq!(store.misses, 1);
+    assert_eq!(
+        store.hits,
+        (CLIENTS + CLIENTS * ROUNDS - 1) as u64,
+        "every request after the first should hit: {:?}",
+        store
+    );
+    // Cross-check through the public Stats endpoint.
+    let mut client = unix_client(&handle);
+    let stats = client.stats().expect("stats round-trips");
+    assert!(ok(&stats));
+    assert_eq!(
+        stats
+            .get("cache")
+            .and_then(|c| c.get("analyses"))
+            .and_then(Json::as_i64),
+        Some(1)
+    );
+    assert_eq!(
+        stats
+            .get("requests")
+            .and_then(|r| r.get("translates"))
+            .and_then(Json::as_i64),
+        Some((CLIENTS * ROUNDS) as i64)
+    );
+    assert!(stats
+        .get("requests")
+        .and_then(|r| r.get("latency_p99_ms"))
+        .and_then(Json::as_f64)
+        .is_some());
+    handle.shutdown();
+}
+
+#[test]
+fn a_panicking_job_fails_only_its_own_client() {
+    let handle = start("panic", 2, 16);
+    let source = calc_source();
+    std::thread::scope(|s| {
+        // Client A: injected panic.
+        s.spawn(|| {
+            let mut client = unix_client(&handle);
+            let reply = client
+                .roundtrip(&Json::Obj(vec![
+                    ("op".to_string(), Json::str("translate")),
+                    ("source".to_string(), Json::str(source)),
+                    ("budget".to_string(), Json::int(32)),
+                    ("fault".to_string(), Json::str("panic")),
+                ]))
+                .expect("panicking job still replies");
+            assert_eq!(error_kind(&reply), Some("panicked"), "{}", reply);
+        });
+        // Client B: ordinary work, before and after A's panic lands.
+        s.spawn(|| {
+            let mut client = unix_client(&handle);
+            for _ in 0..4 {
+                let reply = client
+                    .roundtrip(&Json::Obj(vec![
+                        ("op".to_string(), Json::str("translate")),
+                        ("source".to_string(), Json::str(source)),
+                        ("budget".to_string(), Json::int(32)),
+                    ]))
+                    .expect("round-trips");
+                assert!(ok(&reply), "bystander caught the panic: {}", reply);
+            }
+        });
+    });
+    // The daemon survived and keeps serving.
+    let mut client = unix_client(&handle);
+    let stats = client.stats().expect("daemon still answers");
+    assert_eq!(
+        stats
+            .get("queue")
+            .and_then(|q| q.get("panicked"))
+            .and_then(Json::as_i64),
+        Some(1)
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_typed_while_inflight_completes() {
+    // One worker, one queue slot: a burst of slow jobs must produce
+    // both completions and typed `overloaded` rejections.
+    let handle = start("overload", 1, 1);
+    const BURST: usize = 8;
+    let outcomes: Vec<Json> = std::thread::scope(|s| {
+        let threads: Vec<_> = (0..BURST)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut client = unix_client(&handle);
+                    client
+                        .roundtrip(&Json::Obj(vec![
+                            ("op".to_string(), Json::str("translate")),
+                            ("source".to_string(), Json::str(calc_source())),
+                            ("budget".to_string(), Json::int(16)),
+                            ("fault".to_string(), Json::str("stall")),
+                        ]))
+                        .expect("every request gets a reply")
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .map(|t| t.join().expect("no panic"))
+            .collect()
+    });
+    let completed = outcomes.iter().filter(|r| ok(r)).count();
+    let rejected = outcomes
+        .iter()
+        .filter(|r| error_kind(r) == Some("overloaded"))
+        .count();
+    assert_eq!(completed + rejected, BURST, "unexpected reply kinds");
+    assert!(completed >= 1, "in-flight work should complete");
+    assert!(rejected >= 1, "admission control never engaged");
+    // Rejections are visible in the stats, and the daemon is healthy.
+    let mut client = unix_client(&handle);
+    let stats = client.stats().expect("stats after overload");
+    let shown = stats
+        .get("queue")
+        .and_then(|q| q.get("rejected"))
+        .and_then(Json::as_i64)
+        .expect("rejected counter");
+    assert_eq!(shown, rejected as i64);
+    handle.shutdown();
+}
+
+#[test]
+fn deadlines_cover_queue_wait() {
+    let handle = start("deadline", 1, 2);
+    std::thread::scope(|s| {
+        // Occupy the sole worker with a stalled job...
+        s.spawn(|| {
+            let mut client = unix_client(&handle);
+            let reply = client
+                .roundtrip(&Json::Obj(vec![
+                    ("op".to_string(), Json::str("translate")),
+                    ("source".to_string(), Json::str(calc_source())),
+                    ("budget".to_string(), Json::int(16)),
+                    ("fault".to_string(), Json::str("stall")),
+                ]))
+                .expect("stalled job replies");
+            assert!(ok(&reply), "{}", reply);
+        });
+        // ...then queue a job whose whole deadline elapses in the queue.
+        s.spawn(|| {
+            // Give the stalled job time to be dequeued.
+            std::thread::sleep(Duration::from_millis(60));
+            let mut client = unix_client(&handle);
+            let reply = client
+                .roundtrip(&Json::Obj(vec![
+                    ("op".to_string(), Json::str("translate")),
+                    ("source".to_string(), Json::str(calc_source())),
+                    ("budget".to_string(), Json::int(16)),
+                    ("deadline_ms".to_string(), Json::int(5)),
+                ]))
+                .expect("deadlined job replies");
+            assert_eq!(error_kind(&reply), Some("deadline"), "{}", reply);
+        });
+    });
+    handle.shutdown();
+}
+
+#[test]
+fn batch_requests_fan_out_and_report_per_job() {
+    let handle = start("batch", 2, 16);
+    let mut client = unix_client(&handle);
+    let loaded = client
+        .load_grammar(calc_source(), Some("calc"), None)
+        .expect("load");
+    let key = loaded
+        .get("grammar")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    let reply = client
+        .roundtrip(&Json::Obj(vec![
+            ("op".to_string(), Json::str("translate_batch")),
+            ("grammar".to_string(), Json::str(&key)),
+            (
+                "jobs".to_string(),
+                Json::Arr(vec![
+                    Json::str("1 + 2"),
+                    Json::str("2 * 3"),
+                    Json::int(24), // a synthetic-budget job in the same batch
+                    Json::str("(4 - 1) * 5"),
+                ]),
+            ),
+        ]))
+        .expect("batch round-trips");
+    assert!(ok(&reply), "{}", reply);
+    assert_eq!(reply.get("jobs").and_then(Json::as_i64), Some(4));
+    assert_eq!(reply.get("failed").and_then(Json::as_i64), Some(0));
+    let results = reply
+        .get("results")
+        .and_then(Json::as_arr)
+        .expect("results");
+    let v = |i: usize| {
+        results[i]
+            .get("outputs")
+            .and_then(|o| o.get("V"))
+            .and_then(Json::as_str)
+            .map(str::to_string)
+    };
+    assert_eq!(v(0).as_deref(), Some("3"));
+    assert_eq!(v(1).as_deref(), Some("6"));
+    assert!(ok(&results[2]));
+    assert_eq!(v(3).as_deref(), Some("15"));
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_lines_and_unknown_handles_get_typed_errors() {
+    let handle = start("badreq", 1, 4);
+    let mut client = unix_client(&handle);
+    let reply = client
+        .roundtrip(&Json::Obj(vec![("op".to_string(), Json::str("nope"))]))
+        .expect("replies");
+    assert_eq!(error_kind(&reply), Some("bad_request"));
+    let reply = client
+        .translate_budget("0000000000000000", 16, None)
+        .expect("replies");
+    assert_eq!(error_kind(&reply), Some("grammar_not_found"));
+    // The connection survives error replies.
+    assert!(ok(&client.stats().expect("still serving")));
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_request_stops_the_daemon() {
+    let handle = start("shutdown", 1, 4);
+    let path = handle.unix_path().expect("unix bound").to_path_buf();
+    let mut client = unix_client(&handle);
+    assert!(ok(&client.shutdown().expect("shutdown acked")));
+    // wait() returns because the acceptors observed the request.
+    handle.wait();
+    assert!(!path.exists(), "socket file should be cleaned up");
+}

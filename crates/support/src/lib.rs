@@ -17,6 +17,9 @@
 //! * [`diag`] — severity-tagged diagnostics collected per overlay.
 //! * [`size`] — [`size::ByteSized`] trait and a high-water-mark
 //!   [`size::Meter`] used to reproduce the paper's 48 KB dynamic-data story.
+//! * [`json`] — the workspace's single hand-rolled JSON implementation
+//!   (escape/render/parse), shared by the `--profile=json` report, the
+//!   benchmark snapshots, and the `linguist-serve` wire protocol.
 //!
 //! # Example
 //!
@@ -34,6 +37,7 @@
 
 pub mod diag;
 pub mod intern;
+pub mod json;
 pub mod list;
 pub mod pfunc;
 pub mod pos;
@@ -42,6 +46,7 @@ pub mod size;
 
 pub use diag::{Diagnostic, Diagnostics, Severity};
 pub use intern::{Name, NameTable};
+pub use json::Json;
 pub use list::List;
 pub use pfunc::PartialFn;
 pub use pos::{Pos, Span};

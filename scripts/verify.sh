@@ -13,6 +13,8 @@
 #   7. crash-resume smoke test: a checkpointed run can be resumed and
 #      reports the boundary it restarted after
 #   8. checkpoint-overhead bench snapshot lands in target/
+#   9. serve smoke test: daemon on a temp Unix socket answers a load,
+#      a translate, and a stats round-trip, then shuts down cleanly
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -57,5 +59,39 @@ cargo bench -q -p linguist-bench --bench table_checkpoint_overhead > /dev/null
 test -f target/BENCH_checkpoint_overhead.json || { echo "no bench snapshot"; exit 1; }
 python3 -m json.tool < target/BENCH_checkpoint_overhead.json > /dev/null
 echo "bench snapshot parses"
+
+echo "== serve smoke test =="
+SOCK="$(mktemp -u /tmp/linguist-verify-XXXXXX.sock)"
+target/release/linguist serve --socket "$SOCK" --workers 2 --queue 8 &
+SERVE_PID=$!
+trap 'rm -rf "$CKPT"; kill "$SERVE_PID" 2>/dev/null || true; rm -f "$SOCK"' EXIT
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.05
+done
+[ -S "$SOCK" ] || { echo "daemon never bound its socket"; exit 1; }
+HANDLE="$(target/release/linguist client --socket "$SOCK" \
+    load crates/grammars/lg/meta.lg --scanner meta --name meta \
+  | python3 -c 'import json,sys; r=json.load(sys.stdin); assert r["ok"]; print(r["grammar"])')"
+target/release/linguist client --socket "$SOCK" \
+    translate "$HANDLE" --budget 200 \
+  | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+assert r["ok"], r
+assert r["passes"] == 4, "meta grammar should evaluate in 4 passes"
+'
+target/release/linguist client --socket "$SOCK" stats \
+  | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+assert r["ok"], r
+assert r["cache"]["analyses"] == 1, "one grammar, one analysis"
+assert r["requests"]["translates"] == 1, r["requests"]
+'
+target/release/linguist client --socket "$SOCK" shutdown > /dev/null
+wait "$SERVE_PID" || { echo "daemon exited non-zero"; exit 1; }
+[ ! -e "$SOCK" ] || { echo "socket file not cleaned up"; exit 1; }
+echo "serve round-trips and shuts down cleanly"
 
 echo "verify: all green"
