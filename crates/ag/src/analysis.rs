@@ -75,15 +75,37 @@ pub enum AnalysisError {
 
 impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Check/Circular carry structured ids; the located, named
+        // rendering lives in the lint layer (`linguist check`), so the
+        // bare Display stays a one-line summary.
         match self {
             AnalysisError::Check(errs) => {
-                writeln!(f, "{} completeness error(s):", errs.len())?;
-                for e in errs {
-                    writeln!(f, "  {}", e)?;
-                }
-                Ok(())
+                let undefined = errs
+                    .iter()
+                    .filter(|e| matches!(e, CheckError::Undefined { .. }))
+                    .count();
+                let multiple = errs
+                    .iter()
+                    .filter(|e| matches!(e, CheckError::MultiplyDefined { .. }))
+                    .count();
+                let illegal = errs.len() - undefined - multiple;
+                write!(
+                    f,
+                    "{} completeness error(s): {} never defined, {} multiply defined, \
+                     {} illegal target(s); run `linguist check` for located diagnostics",
+                    errs.len(),
+                    undefined,
+                    multiple,
+                    illegal
+                )
             }
-            AnalysisError::Circular(c) => write!(f, "{}", c),
+            AnalysisError::Circular(c) => write!(
+                f,
+                "potential circularity in production {} ({} occurrences); \
+                 run `linguist check` for the named cycle",
+                c.prod.0,
+                c.cycle.len()
+            ),
             AnalysisError::Pass(e) => write!(f, "{}", e),
             AnalysisError::Plan(e) => write!(f, "{}", e),
         }

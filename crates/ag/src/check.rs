@@ -11,24 +11,27 @@
 
 use crate::grammar::Grammar;
 use crate::ids::{AttrOcc, ProdId};
-use std::fmt;
 
 /// One completeness violation.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Errors carry structured ids, not rendered strings: the lint layer
+/// ([`crate::lint`]) turns them into coded diagnostics with symbol /
+/// attribute names and real source spans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CheckError {
     /// A required occurrence has no defining rule.
     Undefined {
         /// The production.
         prod: ProdId,
-        /// Rendered occurrence, e.g. `S.VAL at lhs`.
-        occ: String,
+        /// The missing occurrence.
+        occ: AttrOcc,
     },
     /// An occurrence is defined more than once.
     MultiplyDefined {
         /// The production.
         prod: ProdId,
-        /// Rendered occurrence.
-        occ: String,
+        /// The over-defined occurrence.
+        occ: AttrOcc,
         /// Number of defining rules.
         count: usize,
     },
@@ -38,45 +41,31 @@ pub enum CheckError {
     IllegalTarget {
         /// The production.
         prod: ProdId,
-        /// Rendered occurrence.
-        occ: String,
+        /// The illegally defined occurrence.
+        occ: AttrOcc,
         /// Why it is illegal.
         reason: &'static str,
     },
 }
 
-impl fmt::Display for CheckError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl CheckError {
+    /// The production the violation sits in.
+    pub fn prod(&self) -> ProdId {
         match self {
-            CheckError::Undefined { prod, occ } => {
-                write!(f, "production {}: `{}` is never defined", prod.0, occ)
-            }
-            CheckError::MultiplyDefined { prod, occ, count } => {
-                write!(
-                    f,
-                    "production {}: `{}` defined {} times",
-                    prod.0, occ, count
-                )
-            }
-            CheckError::IllegalTarget { prod, occ, reason } => {
-                write!(
-                    f,
-                    "production {}: `{}` must not be defined here ({})",
-                    prod.0, occ, reason
-                )
-            }
+            CheckError::Undefined { prod, .. }
+            | CheckError::MultiplyDefined { prod, .. }
+            | CheckError::IllegalTarget { prod, .. } => *prod,
         }
     }
-}
 
-impl std::error::Error for CheckError {}
-
-fn render_occ(g: &Grammar, prod: ProdId, occ: AttrOcc) -> String {
-    let sym = g
-        .symbol_at(prod, occ.pos)
-        .map(|s| g.symbol_name(s).to_owned())
-        .unwrap_or_else(|| "?".to_owned());
-    format!("{}.{} at {}", sym, g.attr_name(occ.attr), occ.pos)
+    /// The occurrence the violation is about.
+    pub fn occ(&self) -> AttrOcc {
+        match self {
+            CheckError::Undefined { occ, .. }
+            | CheckError::MultiplyDefined { occ, .. }
+            | CheckError::IllegalTarget { occ, .. } => *occ,
+        }
+    }
 }
 
 /// Check the completeness condition for every production.
@@ -96,14 +85,11 @@ pub fn check_completeness(g: &Grammar) -> Result<(), Vec<CheckError>> {
         for &occ in &required {
             let count = defined.iter().filter(|&&d| d == occ).count();
             match count {
-                0 => errors.push(CheckError::Undefined {
-                    prod,
-                    occ: render_occ(g, prod, occ),
-                }),
+                0 => errors.push(CheckError::Undefined { prod, occ }),
                 1 => {}
                 n => errors.push(CheckError::MultiplyDefined {
                     prod,
-                    occ: render_occ(g, prod, occ),
+                    occ,
                     count: n,
                 }),
             }
@@ -121,11 +107,7 @@ pub fn check_completeness(g: &Grammar) -> Result<(), Vec<CheckError>> {
                 AttrClass::Inherited => "inherited attributes are defined by their RHS production",
                 AttrClass::Limb => "limb attribute of a different production",
             };
-            errors.push(CheckError::IllegalTarget {
-                prod,
-                occ: render_occ(g, prod, occ),
-                reason,
-            });
+            errors.push(CheckError::IllegalTarget { prod, occ, reason });
         }
     }
 
@@ -159,13 +141,18 @@ mod tests {
     fn missing_synthesized_reported() {
         let mut b = AgBuilder::new();
         let s = b.nonterminal("S");
-        b.synthesized(s, "V", "int");
-        b.production(s, vec![], None);
+        let v = b.synthesized(s, "V", "int");
+        let p = b.production(s, vec![], None);
         b.start(s);
         let g = b.build().unwrap();
         let errs = check_completeness(&g).unwrap_err();
-        assert!(matches!(errs[0], CheckError::Undefined { .. }));
-        assert!(errs[0].to_string().contains("S.V"));
+        assert_eq!(
+            errs[0],
+            CheckError::Undefined {
+                prod: p,
+                occ: AttrOcc::lhs(v)
+            }
+        );
     }
 
     #[test]
@@ -175,7 +162,7 @@ mod tests {
         let sv = b.synthesized(s, "V", "int");
         let t = b.nonterminal("T");
         let tv = b.synthesized(t, "V", "int");
-        b.inherited(t, "CTX", "env"); // never defined, name differs from S's attrs
+        let ctx = b.inherited(t, "CTX", "env"); // never defined, name differs from S's attrs
         let p = b.production(s, vec![t], None);
         b.rule(p, vec![AttrOcc::lhs(sv)], Expr::Occ(AttrOcc::rhs(0, tv)));
         let pt = b.production(t, vec![], None);
@@ -184,7 +171,8 @@ mod tests {
         let g = b.build().unwrap();
         let errs = check_completeness(&g).unwrap_err();
         assert_eq!(errs.len(), 1);
-        assert!(errs[0].to_string().contains("T.CTX"));
+        assert_eq!(errs[0].prod(), p);
+        assert_eq!(errs[0].occ(), AttrOcc::rhs(0, ctx));
     }
 
     #[test]

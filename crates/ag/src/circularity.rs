@@ -13,29 +13,20 @@
 use crate::grammar::{AttrClass, Grammar, SymbolKind};
 use crate::ids::{AttrId, AttrOcc, OccPos, ProdId};
 use std::collections::{HashMap, HashSet};
-use std::fmt;
 
 /// A potential circularity: a dependency cycle in a production graph.
+///
+/// The cycle is kept as structured occurrences (closed: the first
+/// occurrence repeats at the end); the lint layer ([`crate::lint`])
+/// renders it with symbol/attribute names and the production's source
+/// span.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Circularity {
     /// The production whose augmented graph has the cycle.
     pub prod: ProdId,
-    /// The cycle, as rendered occurrences.
-    pub cycle: Vec<String>,
+    /// The cycle, as attribute occurrences of `prod`.
+    pub cycle: Vec<AttrOcc>,
 }
-
-impl fmt::Display for Circularity {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "potential circularity in production {}: {}",
-            self.prod.0,
-            self.cycle.join(" -> ")
-        )
-    }
-}
-
-impl std::error::Error for Circularity {}
 
 /// Induced dependency relations per symbol: `(inherited, synthesized)`
 /// pairs meaning the synthesized attribute may depend on the inherited one
@@ -92,19 +83,7 @@ pub fn check_noncircular(g: &Grammar) -> Result<IoRelations, Circularity> {
         if let Some(cycle) = find_cycle(&nodes, &edges) {
             return Err(Circularity {
                 prod: prod_id,
-                cycle: cycle
-                    .into_iter()
-                    .map(|ix| {
-                        let occ = nodes[ix as usize];
-                        let sym = g.symbol_at(prod_id, occ.pos).expect("valid occurrence");
-                        format!(
-                            "{}.{} ({})",
-                            g.symbol_name(sym),
-                            g.attr_name(occ.attr),
-                            occ.pos
-                        )
-                    })
-                    .collect(),
+                cycle: cycle.into_iter().map(|ix| nodes[ix as usize]).collect(),
             });
         }
     }
@@ -280,7 +259,11 @@ mod tests {
         let g = b.build().unwrap();
         let err = check_noncircular(&g).unwrap_err();
         assert_eq!(err.prod, ProdId(0));
-        assert!(err.to_string().contains("circularity"));
+        // The cycle is closed (first occurrence repeated) and runs
+        // through both LHS occurrences.
+        assert_eq!(err.cycle.first(), err.cycle.last());
+        assert!(err.cycle.contains(&AttrOcc::lhs(a)));
+        assert!(err.cycle.contains(&AttrOcc::lhs(c)));
     }
 
     #[test]

@@ -24,7 +24,10 @@
 //!   execute;
 //! * grammar **statistics** ([`stats`]) matching the profile the paper
 //!   reports for LINGUIST-86's own 1800-line grammar;
-//! * [`analysis`] — the orchestrator running all of the above in order.
+//! * [`analysis`] — the orchestrator running all of the above in order;
+//! * the **lint framework** ([`lint`]) — coded `AG0xx` diagnostics
+//!   explaining what the analyses decided and why (unused attributes,
+//!   residual copy-rules, the dependencies that force each pass, …).
 //!
 //! # Example
 //!
@@ -58,6 +61,7 @@ pub mod grammar;
 pub mod ids;
 pub mod implicit;
 pub mod lifetime;
+pub mod lint;
 pub mod passes;
 pub mod plan;
 pub mod stats;
@@ -67,4 +71,5 @@ pub use analysis::{Analysis, AnalysisError, Config};
 pub use expr::{BinOp, Expr};
 pub use grammar::{AgBuilder, AttrClass, Attribute, Grammar, Production, SemRule, SymbolKind};
 pub use ids::{AttrId, AttrOcc, OccPos, ProdId, RuleId, SymbolId};
+pub use lint::{Finding, LintConfig, SpanMap};
 pub use stats::{GrammarProfile, GrammarStats};

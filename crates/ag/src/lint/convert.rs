@@ -1,0 +1,227 @@
+//! Conversions from the pipeline's structured errors to coded findings.
+//!
+//! [`crate::check::CheckError`], [`crate::circularity::Circularity`],
+//! and [`crate::passes::PassError`] carry dense ids, not prose; these
+//! functions resolve the names, pick a source anchor from the
+//! [`SpanMap`], and emit AG007 / AG006 / AG010.
+
+use super::{codes, occ_name, Finding, SpanMap};
+use crate::check::CheckError;
+use crate::circularity::Circularity;
+use crate::grammar::Grammar;
+use crate::ids::{AttrOcc, ProdId};
+use crate::passes::PassError;
+use linguist_support::diag::Severity;
+use linguist_support::json::Json;
+use linguist_support::pos::Span;
+
+/// The span of the rule in `prod` defining `occ` (the last one, so a
+/// double definition anchors at the offending repeat), falling back to
+/// the production header.
+fn defining_rule_span(g: &Grammar, spans: &SpanMap, prod: ProdId, occ: AttrOcc) -> Span {
+    g.production(prod)
+        .rules
+        .iter()
+        .rev()
+        .find(|&&r| g.rule(r).targets.contains(&occ))
+        .map(|&r| spans.rule(g, r))
+        .unwrap_or_else(|| spans.production(prod))
+}
+
+/// AG007: one finding per completeness violation (§I).
+pub fn completeness_findings(g: &Grammar, spans: &SpanMap, errs: &[CheckError]) -> Vec<Finding> {
+    errs.iter()
+        .map(|e| {
+            let prod = e.prod();
+            let occ = e.occ();
+            let name = occ_name(g, prod, occ);
+            let lhs = g.symbol_name(g.production(prod).lhs).to_owned();
+            let (kind, span, message, extra) = match *e {
+                CheckError::Undefined { .. } => (
+                    "undefined",
+                    spans.production(prod),
+                    format!(
+                        "no semantic function defines {} ({}) in this production of {}",
+                        name, occ.pos, lhs
+                    ),
+                    None,
+                ),
+                CheckError::MultiplyDefined { count, .. } => (
+                    "multiply-defined",
+                    defining_rule_span(g, spans, prod, occ),
+                    format!(
+                        "{} ({}) is defined {} times in this production of {}",
+                        name, occ.pos, count, lhs
+                    ),
+                    Some(("count".to_string(), Json::int(count as i64))),
+                ),
+                CheckError::IllegalTarget { reason, .. } => (
+                    "illegal-target",
+                    defining_rule_span(g, spans, prod, occ),
+                    format!("{} ({}) may not be defined here: {}", name, occ.pos, reason),
+                    Some(("reason".to_string(), Json::str(reason))),
+                ),
+            };
+            let mut payload = vec![
+                ("kind".to_string(), Json::str(kind)),
+                ("production".to_string(), Json::str(&lhs)),
+                ("occurrence".to_string(), Json::str(&name)),
+                ("pos".to_string(), Json::str(&occ.pos.to_string())),
+            ];
+            payload.extend(extra);
+            Finding {
+                code: codes::INCOMPLETE,
+                severity: Severity::Error,
+                span,
+                message,
+                payload: Json::Obj(payload),
+            }
+        })
+        .collect()
+}
+
+/// AG006: the potential circularity, with the cycle spelled out as
+/// named occurrences (the cycle is closed — first repeated last).
+pub fn circularity_finding(g: &Grammar, spans: &SpanMap, c: &Circularity) -> Finding {
+    let lhs = g.symbol_name(g.production(c.prod).lhs).to_owned();
+    let steps: Vec<String> = c
+        .cycle
+        .iter()
+        .map(|&o| format!("{} ({})", occ_name(g, c.prod, o), o.pos))
+        .collect();
+    let cycle_json: Vec<Json> = c
+        .cycle
+        .iter()
+        .map(|&o| {
+            Json::Obj(vec![
+                ("occ".to_string(), Json::str(&occ_name(g, c.prod, o))),
+                ("pos".to_string(), Json::str(&o.pos.to_string())),
+            ])
+        })
+        .collect();
+    Finding {
+        code: codes::CIRCULARITY,
+        severity: Severity::Error,
+        span: spans.production(c.prod),
+        message: format!(
+            "potential circularity in a production of {}: {}",
+            lhs,
+            steps.join(" -> ")
+        ),
+        payload: Json::Obj(vec![
+            ("production".to_string(), Json::str(&lhs)),
+            ("cycle".to_string(), Json::Arr(cycle_json)),
+        ]),
+    }
+}
+
+/// AG010: the grammar is not alternating-pass evaluable (or exhausted
+/// the pass budget). Grammar-wide, so the anchor is the zero span.
+pub fn pass_error_findings(e: &PassError) -> Vec<Finding> {
+    let (kind, payload_extra) = match e {
+        PassError::NotEvaluable { stuck } => (
+            "not-evaluable",
+            (
+                "stuck".to_string(),
+                Json::Arr(stuck.iter().map(|s| Json::str(s)).collect()),
+            ),
+        ),
+        PassError::TooManyPasses { limit } => (
+            "too-many-passes",
+            ("limit".to_string(), Json::int(*limit as i64)),
+        ),
+    };
+    vec![Finding {
+        code: codes::NOT_PASS_EVALUABLE,
+        severity: Severity::Error,
+        span: Span::default(),
+        message: e.to_string(),
+        payload: Json::Obj(vec![("kind".to_string(), Json::str(kind)), payload_extra]),
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_completeness;
+    use crate::circularity::check_noncircular;
+    use crate::expr::Expr;
+    use crate::grammar::AgBuilder;
+    use linguist_support::pos::Pos;
+
+    fn span_at(line: u32) -> Span {
+        Span::point(Pos {
+            line,
+            col: 1,
+            offset: 0,
+        })
+    }
+
+    #[test]
+    fn undefined_occurrence_names_symbol_and_position() {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        b.synthesized(s, "V", "int");
+        b.production(s, vec![], None);
+        b.start(s);
+        let g = b.build().unwrap();
+        let errs = check_completeness(&g).unwrap_err();
+        let spans = SpanMap {
+            productions: vec![span_at(7)],
+            ..SpanMap::default()
+        };
+        let out = completeness_findings(&g, &spans, &errs);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::INCOMPLETE);
+        assert_eq!(out[0].span.start.line, 7);
+        assert!(out[0].message.contains("S.V"));
+        assert!(out[0].message.contains("lhs"));
+        assert_eq!(
+            out[0].payload.get("kind").and_then(Json::as_str),
+            Some("undefined")
+        );
+    }
+
+    #[test]
+    fn circularity_renders_closed_cycle() {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let a = b.synthesized(s, "A", "int");
+        let c = b.synthesized(s, "B", "int");
+        let p = b.production(s, vec![], None);
+        b.rule(
+            p,
+            vec![crate::ids::AttrOcc::lhs(a)],
+            Expr::Occ(crate::ids::AttrOcc::lhs(c)),
+        );
+        b.rule(
+            p,
+            vec![crate::ids::AttrOcc::lhs(c)],
+            Expr::Occ(crate::ids::AttrOcc::lhs(a)),
+        );
+        b.start(s);
+        let g = b.build().unwrap();
+        let err = check_noncircular(&g).unwrap_err();
+        let f = circularity_finding(&g, &SpanMap::empty(), &err);
+        assert_eq!(f.code, codes::CIRCULARITY);
+        assert!(f.message.contains("S.A"));
+        assert!(f.message.contains("S.B"));
+        assert!(f.message.contains(" -> "));
+        let cycle = f.payload.get("cycle").and_then(Json::as_arr).unwrap();
+        // Closed: first occurrence repeats at the end.
+        assert_eq!(
+            cycle.first().unwrap().get("occ").and_then(Json::as_str),
+            cycle.last().unwrap().get("occ").and_then(Json::as_str)
+        );
+    }
+
+    #[test]
+    fn pass_error_becomes_ag010() {
+        let e = PassError::TooManyPasses { limit: 4 };
+        let out = pass_error_findings(&e);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::NOT_PASS_EVALUABLE);
+        assert_eq!(out[0].severity, Severity::Error);
+        assert_eq!(out[0].payload.get("limit").and_then(Json::as_i64), Some(4));
+    }
+}

@@ -1,0 +1,420 @@
+//! Flow lints: analyses over the pass assignment, lifetimes, and
+//! static subsumption of a successfully analyzed grammar.
+//!
+//! AG004 (residual copy-rules, with the reason subsumption left each
+//! one behind — the paper's 75-of-154 residue), AG005 (the attribute
+//! dependencies that forced each pass beyond the first), AG008
+//! (attributes whose live range spans many passes).
+
+use super::{attr_name, codes, occ_name, Finding, LintConfig, SpanMap};
+use crate::analysis::Analysis;
+use crate::grammar::{Grammar, RuleOrigin};
+use crate::ids::{AttrId, RuleId};
+use crate::passes::explain_pass_blockers;
+use linguist_support::diag::Severity;
+use linguist_support::json::Json;
+
+/// Run all flow lints, in code order.
+pub fn run(a: &Analysis, spans: &SpanMap, cfg: &LintConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if cfg.explain_residual_copies {
+        residual_copies(a, spans, &mut out);
+    }
+    pass_blockers(a, spans, &mut out);
+    lifetime_hotspots(a, spans, cfg, &mut out);
+    out
+}
+
+/// AG004: copy-rules static subsumption (§III) could not eliminate,
+/// each with the specific disqualifier. The paper reports 75 of
+/// meta's 154 copy-rules subsumed; this lint names the other 79 and
+/// says why each survived.
+fn residual_copies(a: &Analysis, spans: &SpanMap, out: &mut Vec<Finding>) {
+    let g = &a.grammar;
+    let sub = &a.subsumption;
+    for (ri, r) in g.rules().iter().enumerate() {
+        let rule = RuleId(ri as u32);
+
+        // Multi-target rules copying one source (Figure 5 style) are
+        // never subsumption candidates: the single-target shape is a
+        // precondition, not a cost decision.
+        if r.targets.len() > 1 && r.expr.as_copy_source().is_some() {
+            push_residual(g, spans, out, rule, "multi-target", String::new());
+            continue;
+        }
+        let Some(src) = r.copy_source() else {
+            continue; // not a copy-rule at all
+        };
+        if sub.is_subsumed(rule) {
+            continue;
+        }
+        let tgt = r.targets[0];
+        let (reason, detail) = if !sub.is_static(tgt.attr) || !sub.is_static(src.attr) {
+            let non_static = if !sub.is_static(tgt.attr) {
+                attr_name(g, tgt.attr)
+            } else {
+                attr_name(g, src.attr)
+            };
+            (
+                "not-static",
+                format!("{} is not statically allocated", non_static),
+            )
+        } else if sub.group_of(tgt.attr) != sub.group_of(src.attr) {
+            (
+                "group-conflict",
+                format!(
+                    "target lives in global {} but source in {}",
+                    sub.group_name(sub.group_of(tgt.attr)),
+                    sub.group_name(sub.group_of(src.attr))
+                ),
+            )
+        } else if a.passes.pass_of(tgt.attr) != a.passes.pass_of(src.attr) {
+            let tp = a.passes.pass_of(tgt.attr);
+            let sp = a.passes.pass_of(src.attr);
+            (
+                "pass-split",
+                format!(
+                    "source is computed in pass {} ({}) but the target in pass {} ({})",
+                    sp,
+                    direction_name(a, sp),
+                    tp,
+                    direction_name(a, tp),
+                ),
+            )
+        } else {
+            ("unsubsumed", String::new())
+        };
+        push_residual(g, spans, out, rule, reason, detail);
+    }
+}
+
+fn direction_name(a: &Analysis, pass: u16) -> String {
+    if pass == 0 {
+        "intrinsic".to_string()
+    } else {
+        a.passes.direction(pass).to_string()
+    }
+}
+
+fn push_residual(
+    g: &Grammar,
+    spans: &SpanMap,
+    out: &mut Vec<Finding>,
+    rule: RuleId,
+    reason: &str,
+    detail: String,
+) {
+    let r = g.rule(rule);
+    let prod = r.prod;
+    let targets: Vec<String> = r.targets.iter().map(|&t| occ_name(g, prod, t)).collect();
+    let source = r
+        .expr
+        .as_copy_source()
+        .map(|s| occ_name(g, prod, s))
+        .unwrap_or_default();
+    let origin = match r.origin {
+        RuleOrigin::Explicit => "explicit",
+        RuleOrigin::Implicit => "implicit",
+    };
+    let mut message = format!(
+        "{} copy rule {} = {} survives subsumption ({})",
+        origin,
+        targets.join(", "),
+        source,
+        reason
+    );
+    if !detail.is_empty() {
+        message.push_str(": ");
+        message.push_str(&detail);
+    }
+    out.push(Finding {
+        code: codes::RESIDUAL_COPY,
+        severity: Severity::Note,
+        span: spans.rule(g, rule),
+        message,
+        payload: Json::Obj(vec![
+            (
+                "targets".to_string(),
+                Json::Arr(targets.iter().map(|t| Json::str(t)).collect()),
+            ),
+            ("source".to_string(), Json::str(&source)),
+            ("reason".to_string(), Json::str(reason)),
+            ("origin".to_string(), Json::str(origin)),
+        ]),
+    });
+}
+
+/// AG005: per pass boundary beyond the first, the minimal culprit set
+/// of attribute dependencies that made the extra pass necessary,
+/// rendered as `target needs source` chains with production context.
+fn pass_blockers(a: &Analysis, spans: &SpanMap, out: &mut Vec<Finding>) {
+    let g = &a.grammar;
+    for blocker in explain_pass_blockers(g, &a.passes) {
+        let mut chains = Vec::new();
+        let mut culprits_json = Vec::new();
+        for dep in &blocker.culprits {
+            let target = occ_name(g, dep.prod, dep.target);
+            let needs = occ_name(g, dep.prod, dep.needs);
+            let lhs = g.symbol_name(g.production(dep.prod).lhs);
+            chains.push(format!(
+                "{} <- {} (in a production of {})",
+                target, needs, lhs
+            ));
+            culprits_json.push(Json::Obj(vec![
+                ("production".to_string(), Json::str(lhs)),
+                ("target".to_string(), Json::str(&target)),
+                ("needs".to_string(), Json::str(&needs)),
+                (
+                    "target_pos".to_string(),
+                    Json::str(&dep.target.pos.to_string()),
+                ),
+                (
+                    "needs_pos".to_string(),
+                    Json::str(&dep.needs.pos.to_string()),
+                ),
+            ]));
+        }
+        // Anchor the finding at the first culprit's production.
+        let span = blocker
+            .culprits
+            .first()
+            .map(|d| spans.production(d.prod))
+            .unwrap_or_default();
+        out.push(Finding {
+            code: codes::PASS_BLOCKER,
+            severity: Severity::Note,
+            span,
+            message: format!(
+                "pass {} ({}) exists because these dependencies cannot run in pass {} ({}): {}",
+                blocker.pass,
+                blocker.direction,
+                blocker.pass - 1,
+                blocker.prev_direction,
+                chains.join("; ")
+            ),
+            payload: Json::Obj(vec![
+                ("pass".to_string(), Json::int(blocker.pass as i64)),
+                (
+                    "direction".to_string(),
+                    Json::str(&blocker.direction.to_string()),
+                ),
+                (
+                    "prev_direction".to_string(),
+                    Json::str(&blocker.prev_direction.to_string()),
+                ),
+                ("culprits".to_string(), Json::Arr(culprits_json)),
+            ]),
+        });
+    }
+}
+
+/// AG008: attributes whose live range crosses at least
+/// `cfg.lifetime_threshold` pass boundaries. Long-lived attributes
+/// are §III's "significant" class: every instance must be kept in the
+/// tree across the intervening passes, so they dominate evaluator
+/// memory.
+fn lifetime_hotspots(a: &Analysis, spans: &SpanMap, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    let g = &a.grammar;
+    for i in 0..g.attrs().len() {
+        let attr = AttrId(i as u32);
+        let earliest = a.lifetimes.earliest(attr);
+        let latest = a.lifetimes.latest(attr);
+        let range = latest.saturating_sub(earliest);
+        if range < cfg.lifetime_threshold {
+            continue;
+        }
+        let name = attr_name(g, attr);
+        out.push(Finding {
+            code: codes::LIFETIME_HOTSPOT,
+            severity: Severity::Note,
+            span: spans.attr(attr),
+            message: format!(
+                "attribute {} is live from pass {} to pass {} ({} boundaries); \
+                 every instance stays in the tree that long",
+                name, earliest, latest, range
+            ),
+            payload: Json::Obj(vec![
+                ("attr".to_string(), Json::str(&name)),
+                ("earliest".to_string(), Json::int(earliest as i64)),
+                ("latest".to_string(), Json::int(latest as i64)),
+                (
+                    "significant".to_string(),
+                    Json::Bool(a.lifetimes.is_significant(attr)),
+                ),
+            ]),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{Analysis, Config};
+    use crate::expr::Expr;
+    use crate::grammar::AgBuilder;
+    use crate::ids::AttrOcc;
+    use crate::passes::{Direction, PassConfig};
+
+    fn lr_config() -> Config {
+        Config {
+            pass: PassConfig {
+                first_direction: Direction::LeftToRight,
+                max_passes: 8,
+            },
+            ..Config::default()
+        }
+    }
+
+    /// The bouncing grammar: `root ::= S S` where the second S's
+    /// inherited context comes from the first S's synthesized value
+    /// under a right-to-left first pass — forcing a second pass.
+    fn bouncing_analysis() -> Analysis {
+        let mut b = AgBuilder::new();
+        let root = b.nonterminal("root");
+        let rv = b.synthesized(root, "V", "int");
+        let s = b.nonterminal("S");
+        let sv = b.synthesized(s, "V", "int");
+        let si = b.inherited(s, "CTX", "int");
+        let x = b.terminal("x");
+        let obj = b.intrinsic(x, "OBJ", "int");
+        let p = b.production(root, vec![s, s], None);
+        b.rule(p, vec![AttrOcc::rhs(0, si)], Expr::Int(0));
+        b.rule(p, vec![AttrOcc::rhs(1, si)], Expr::Occ(AttrOcc::rhs(0, sv)));
+        b.rule(p, vec![AttrOcc::lhs(rv)], Expr::Occ(AttrOcc::rhs(1, sv)));
+        let ps = b.production(s, vec![x], None);
+        b.rule(
+            ps,
+            vec![AttrOcc::lhs(sv)],
+            Expr::binop(
+                crate::expr::BinOp::Add,
+                Expr::Occ(AttrOcc::lhs(si)),
+                Expr::Occ(AttrOcc::rhs(0, obj)),
+            ),
+        );
+        b.start(root);
+        let g = b.build().unwrap();
+        let cfg = Config {
+            pass: PassConfig {
+                first_direction: Direction::RightToLeft,
+                max_passes: 8,
+            },
+            ..Config::default()
+        };
+        Analysis::run(g, &cfg).unwrap()
+    }
+
+    #[test]
+    fn pass_blocker_names_the_forcing_dependency() {
+        let a = bouncing_analysis();
+        assert_eq!(a.passes.num_passes(), 2);
+        let out = run(&a, &SpanMap::empty(), &LintConfig::default());
+        let blockers: Vec<&Finding> = out
+            .iter()
+            .filter(|f| f.code == codes::PASS_BLOCKER)
+            .collect();
+        assert_eq!(blockers.len(), 1, "{:?}", blockers);
+        let f = blockers[0];
+        assert!(f.message.contains("pass 2"));
+        assert!(f.message.contains("S.CTX <- S.V"));
+        assert_eq!(f.payload.get("pass").and_then(Json::as_i64), Some(2));
+        let culprits = f.payload.get("culprits").and_then(Json::as_arr).unwrap();
+        assert!(!culprits.is_empty());
+        assert_eq!(culprits[0].get("needs").and_then(Json::as_str), Some("S.V"));
+    }
+
+    #[test]
+    fn single_pass_grammar_reports_no_flow_notes() {
+        let mut b = AgBuilder::new();
+        let root = b.nonterminal("root");
+        let rv = b.synthesized(root, "V", "int");
+        let x = b.terminal("x");
+        let obj = b.intrinsic(x, "OBJ", "int");
+        let p = b.production(root, vec![x], None);
+        // Not a bare copy (copies from an intrinsic would legitimately
+        // draw an AG004 note, since intrinsics are never static).
+        b.rule(
+            p,
+            vec![AttrOcc::lhs(rv)],
+            Expr::binop(
+                crate::expr::BinOp::Add,
+                Expr::Occ(AttrOcc::rhs(0, obj)),
+                Expr::Int(0),
+            ),
+        );
+        b.start(root);
+        let g = b.build().unwrap();
+        let a = Analysis::run(g, &lr_config()).unwrap();
+        let out = run(&a, &SpanMap::empty(), &LintConfig::default());
+        assert!(out.is_empty(), "{:?}", out);
+    }
+
+    #[test]
+    fn residual_copy_explains_pass_split() {
+        // root.V = S.V is an explicit copy, but S.V (pass 2) and
+        // root.V (pass 2) — both in pass 2, so look instead at the
+        // implicit notes produced by the bouncing grammar.
+        let a = bouncing_analysis();
+        let out = run(&a, &SpanMap::empty(), &LintConfig::default());
+        let residual: Vec<&Finding> = out
+            .iter()
+            .filter(|f| f.code == codes::RESIDUAL_COPY)
+            .collect();
+        // Every unsubsumed copy-rule gets exactly one note with a
+        // non-empty reason from the closed vocabulary.
+        for f in &residual {
+            let reason = f.payload.get("reason").and_then(Json::as_str).unwrap();
+            assert!(
+                [
+                    "multi-target",
+                    "not-static",
+                    "group-conflict",
+                    "pass-split",
+                    "unsubsumed"
+                ]
+                .contains(&reason),
+                "unexpected reason {}",
+                reason
+            );
+        }
+        let num_copies = a.grammar.rules().iter().filter(|r| r.is_copy()).count();
+        let num_subsumed = (0..a.grammar.rules().len())
+            .filter(|&i| a.subsumption.is_subsumed(RuleId(i as u32)))
+            .count();
+        assert_eq!(residual.len(), num_copies - num_subsumed);
+    }
+
+    #[test]
+    fn residual_copy_notes_suppressed_when_disabled() {
+        let a = bouncing_analysis();
+        let cfg = LintConfig {
+            explain_residual_copies: false,
+            ..LintConfig::default()
+        };
+        let out = run(&a, &SpanMap::empty(), &cfg);
+        assert!(out.iter().all(|f| f.code != codes::RESIDUAL_COPY));
+    }
+
+    #[test]
+    fn lifetime_hotspot_fires_at_threshold() {
+        let a = bouncing_analysis();
+        // With only 2 passes no attribute spans 3 boundaries...
+        let out = run(&a, &SpanMap::empty(), &LintConfig::default());
+        assert!(out.iter().all(|f| f.code != codes::LIFETIME_HOTSPOT));
+        // ...but root.V (computed pass 2, output at num_passes+1=3)
+        // spans 1 boundary, so a threshold of 1 catches it.
+        let cfg = LintConfig {
+            lifetime_threshold: 1,
+            ..LintConfig::default()
+        };
+        let out = run(&a, &SpanMap::empty(), &cfg);
+        let hot: Vec<&Finding> = out
+            .iter()
+            .filter(|f| f.code == codes::LIFETIME_HOTSPOT)
+            .collect();
+        assert!(
+            hot.iter().any(|f| f.message.contains("root.V")),
+            "{:?}",
+            hot
+        );
+    }
+}

@@ -1,0 +1,374 @@
+//! Grammar static analysis: coded lints over an analyzed grammar.
+//!
+//! The analyses of this crate decide *whether* a grammar is usable
+//! (complete, non-circular, alternating-pass evaluable); this module
+//! explains *why* and *at what cost*. Every analysis here emits
+//! [`Finding`]s carrying a stable `AG0xx` code, a severity, a real
+//! source span (threaded from the frontend's lowering tables via
+//! [`SpanMap`]), and a structured JSON payload, so the same result can
+//! be rendered as text, interleaved into the listing, or consumed by
+//! tooling.
+//!
+//! The registry (see [`codes`] and [`REGISTRY`]):
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | AG001 | warning/note | attribute never consumed by any rule |
+//! | AG002 | warning  | nonterminal unreachable from the start symbol |
+//! | AG003 | warning  | nonterminal derives no terminal string |
+//! | AG004 | note     | copy-rule static subsumption could not remove |
+//! | AG005 | note     | dependencies that forced an extra pass |
+//! | AG006 | error    | potential circularity (named cycle) |
+//! | AG007 | error    | completeness violation (§I) |
+//! | AG008 | note     | attribute live across many passes |
+//! | AG009 | warning  | same-named attribute with conflicting type |
+//! | AG010 | error    | not alternating-pass evaluable |
+//! | AG011 | error    | syntax error (frontend) |
+//! | AG012 | error    | name-resolution error (frontend) |
+//!
+//! AG011/AG012 are defined here but produced by the frontend, which
+//! owns parsing and lowering.
+
+mod convert;
+mod flow;
+mod structure;
+
+pub use convert::{circularity_finding, completeness_findings, pass_error_findings};
+
+use crate::analysis::Analysis;
+use crate::grammar::Grammar;
+use crate::ids::{AttrId, AttrOcc, ProdId, RuleId, SymbolId};
+use linguist_support::diag::{Diagnostic, Severity};
+use linguist_support::json::Json;
+use linguist_support::pos::Span;
+
+/// Stable lint codes. Codes are append-only: a released code never
+/// changes meaning.
+pub mod codes {
+    /// Attribute never consumed by any semantic function.
+    pub const UNUSED_ATTRIBUTE: &str = "AG001";
+    /// Nonterminal unreachable from the start symbol.
+    pub const UNREACHABLE_SYMBOL: &str = "AG002";
+    /// Nonterminal that derives no terminal string.
+    pub const UNPRODUCTIVE_SYMBOL: &str = "AG003";
+    /// Copy-rule left behind by static subsumption, with the reason.
+    pub const RESIDUAL_COPY: &str = "AG004";
+    /// Attribute dependencies that forced an extra alternating pass.
+    pub const PASS_BLOCKER: &str = "AG005";
+    /// Potential circularity (cycle in a production dependency graph).
+    pub const CIRCULARITY: &str = "AG006";
+    /// Completeness violation (§I).
+    pub const INCOMPLETE: &str = "AG007";
+    /// Attribute whose live range spans many passes.
+    pub const LIFETIME_HOTSPOT: &str = "AG008";
+    /// Same-named attribute declared with a conflicting type.
+    pub const SHADOWED_ATTRIBUTE: &str = "AG009";
+    /// Grammar is not alternating-pass evaluable.
+    pub const NOT_PASS_EVALUABLE: &str = "AG010";
+    /// Syntax error (produced by the frontend).
+    pub const SYNTAX: &str = "AG011";
+    /// Name-resolution error (produced by the frontend).
+    pub const RESOLUTION: &str = "AG012";
+}
+
+/// The full code registry: (code, default severity, one-line summary).
+pub const REGISTRY: &[(&str, Severity, &str)] = &[
+    (
+        codes::UNUSED_ATTRIBUTE,
+        Severity::Warning,
+        "attribute is computed but never consumed",
+    ),
+    (
+        codes::UNREACHABLE_SYMBOL,
+        Severity::Warning,
+        "nonterminal is unreachable from the start symbol",
+    ),
+    (
+        codes::UNPRODUCTIVE_SYMBOL,
+        Severity::Warning,
+        "nonterminal derives no terminal string",
+    ),
+    (
+        codes::RESIDUAL_COPY,
+        Severity::Note,
+        "copy-rule survived static subsumption",
+    ),
+    (
+        codes::PASS_BLOCKER,
+        Severity::Note,
+        "attribute dependencies forced an extra pass",
+    ),
+    (codes::CIRCULARITY, Severity::Error, "potential circularity"),
+    (codes::INCOMPLETE, Severity::Error, "completeness violation"),
+    (
+        codes::LIFETIME_HOTSPOT,
+        Severity::Note,
+        "attribute live across many passes",
+    ),
+    (
+        codes::SHADOWED_ATTRIBUTE,
+        Severity::Warning,
+        "same-named attribute with conflicting type",
+    ),
+    (
+        codes::NOT_PASS_EVALUABLE,
+        Severity::Error,
+        "grammar is not alternating-pass evaluable",
+    ),
+    (codes::SYNTAX, Severity::Error, "syntax error"),
+    (codes::RESOLUTION, Severity::Error, "name-resolution error"),
+];
+
+/// Source spans for every dense id of a grammar, parallel to the
+/// grammar's own tables.
+///
+/// The frontend's lowering pass fills one span per symbol, attribute,
+/// production, and (explicit) rule, in declaration order — the same
+/// order the dense ids are handed out — so lookups are plain indexing.
+/// Ids without a recorded span (implicit copy-rules, synthetic
+/// grammars built through [`crate::grammar::AgBuilder`] directly) fall
+/// back to the zero span.
+#[derive(Clone, Debug, Default)]
+pub struct SpanMap {
+    /// Per [`SymbolId`]: the declaring line.
+    pub symbols: Vec<Span>,
+    /// Per [`AttrId`]: the attribute declaration.
+    pub attrs: Vec<Span>,
+    /// Per [`ProdId`]: the production header.
+    pub productions: Vec<Span>,
+    /// Per explicit [`RuleId`]: the semantic-function text.
+    pub rules: Vec<Span>,
+}
+
+impl SpanMap {
+    /// An empty map (every lookup yields the zero span).
+    pub fn empty() -> SpanMap {
+        SpanMap::default()
+    }
+
+    /// Span of a symbol declaration.
+    pub fn symbol(&self, s: SymbolId) -> Span {
+        self.symbols.get(s.0 as usize).copied().unwrap_or_default()
+    }
+
+    /// Span of an attribute declaration.
+    pub fn attr(&self, a: AttrId) -> Span {
+        self.attrs.get(a.0 as usize).copied().unwrap_or_default()
+    }
+
+    /// Span of a production header.
+    pub fn production(&self, p: ProdId) -> Span {
+        self.productions
+            .get(p.0 as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Span of a rule; implicit copy-rules (inserted after lowering)
+    /// borrow their production's span.
+    pub fn rule(&self, g: &Grammar, r: RuleId) -> Span {
+        match self.rules.get(r.0 as usize).copied() {
+            Some(span) if span != Span::default() => span,
+            _ => self.production(g.rule(r).prod),
+        }
+    }
+}
+
+/// Configuration knobs for the tunable lints.
+#[derive(Clone, Copy, Debug)]
+pub struct LintConfig {
+    /// AG008 threshold: flag attributes whose live range spans at least
+    /// this many pass boundaries.
+    pub lifetime_threshold: u16,
+    /// Whether AG004 runs. Off when static subsumption itself is
+    /// disabled — with nothing subsumed, "residual" copy-rules are not
+    /// a meaningful notion.
+    pub explain_residual_copies: bool,
+}
+
+impl Default for LintConfig {
+    fn default() -> LintConfig {
+        LintConfig {
+            lifetime_threshold: 3,
+            explain_residual_copies: true,
+        }
+    }
+}
+
+/// One analysis result: a coded, located, machine-renderable message.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Stable code from [`codes`].
+    pub code: &'static str,
+    /// Severity (lints may demote below their registry default, never
+    /// promote above it).
+    pub severity: Severity,
+    /// Source anchor.
+    pub span: Span,
+    /// Human-readable, name-resolved text.
+    pub message: String,
+    /// Structured payload for `--format=json` consumers.
+    pub payload: Json,
+}
+
+impl Finding {
+    /// Lower to a listing diagnostic (overlay 4, the semantic-analysis
+    /// overlay).
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        Diagnostic {
+            severity: self.severity,
+            span: self.span,
+            overlay: 4,
+            code: Some(self.code),
+            message: self.message.clone(),
+        }
+    }
+
+    /// The JSON object for one finding (code, severity, position,
+    /// message, payload).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("code".to_string(), Json::str(self.code)),
+            (
+                "severity".to_string(),
+                Json::str(&self.severity.to_string()),
+            ),
+            ("line".to_string(), Json::int(self.span.start.line as i64)),
+            ("col".to_string(), Json::int(self.span.start.col as i64)),
+            ("end_line".to_string(), Json::int(self.span.end.line as i64)),
+            ("end_col".to_string(), Json::int(self.span.end.col as i64)),
+            ("message".to_string(), Json::str(&self.message)),
+            ("payload".to_string(), self.payload.clone()),
+        ])
+    }
+}
+
+/// Sort findings into the canonical report order: by span, then
+/// severity, then code, then message — total, so JSON output is
+/// deterministic run to run.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        let ka = (
+            a.span.start.line,
+            a.span.start.col,
+            a.span.end.line,
+            a.span.end.col,
+            a.severity,
+            a.code,
+        );
+        let kb = (
+            b.span.start.line,
+            b.span.start.col,
+            b.span.end.line,
+            b.span.end.col,
+            b.severity,
+            b.code,
+        );
+        ka.cmp(&kb).then_with(|| a.message.cmp(&b.message))
+    });
+}
+
+/// Render `SYM.ATTR` for an occurrence of `prod`.
+pub(crate) fn occ_name(g: &Grammar, prod: ProdId, occ: AttrOcc) -> String {
+    let sym = g
+        .symbol_at(prod, occ.pos)
+        .map(|s| g.symbol_name(s).to_owned())
+        .unwrap_or_else(|| "?".to_owned());
+    format!("{}.{}", sym, g.attr_name(occ.attr))
+}
+
+/// `SYM.ATTR` for an attribute via its owning symbol (no production
+/// context).
+pub(crate) fn attr_name(g: &Grammar, a: AttrId) -> String {
+    format!("{}.{}", g.symbol_name(g.attr(a).symbol), g.attr_name(a))
+}
+
+/// Run every lint that applies to a fully analyzed grammar. Findings
+/// come back in canonical order.
+///
+/// Error-path analyses (AG006/AG007/AG010) never fire here — a grammar
+/// that reaches [`Analysis`] has already passed those stages; their
+/// conversions ([`completeness_findings`], [`circularity_finding`],
+/// [`pass_error_findings`]) serve drivers that collect findings
+/// stage by stage instead.
+pub fn run_lints(a: &Analysis, spans: &SpanMap, cfg: &LintConfig) -> Vec<Finding> {
+    let mut findings = structure::run(&a.grammar, spans);
+    findings.extend(flow::run(a, spans, cfg));
+    sort_findings(&mut findings);
+    findings
+}
+
+/// Run only the lints that need nothing beyond a built grammar
+/// (AG001, AG002, AG003, AG009) — for drivers reporting on grammars
+/// whose pass analysis failed. Findings come back in canonical order.
+pub fn run_structure_lints(g: &Grammar, spans: &SpanMap) -> Vec<Finding> {
+    let mut findings = structure::run(g, spans);
+    sort_findings(&mut findings);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linguist_support::pos::Pos;
+
+    #[test]
+    fn registry_codes_are_unique_and_sorted() {
+        for w in REGISTRY.windows(2) {
+            assert!(w[0].0 < w[1].0, "{} before {}", w[0].0, w[1].0);
+        }
+        assert_eq!(REGISTRY.len(), 12);
+    }
+
+    #[test]
+    fn empty_span_map_defaults_to_zero_spans() {
+        let m = SpanMap::empty();
+        assert_eq!(m.symbol(SymbolId(7)), Span::default());
+        assert_eq!(m.attr(AttrId(0)), Span::default());
+        assert_eq!(m.production(ProdId(3)), Span::default());
+    }
+
+    #[test]
+    fn sort_is_total_and_deterministic() {
+        let at = |line: u32, code: &'static str, sev: Severity| Finding {
+            code,
+            severity: sev,
+            span: Span::point(Pos {
+                line,
+                col: 1,
+                offset: 0,
+            }),
+            message: "m".to_string(),
+            payload: Json::Null,
+        };
+        let mut v = vec![
+            at(4, codes::UNUSED_ATTRIBUTE, Severity::Warning),
+            at(2, codes::CIRCULARITY, Severity::Error),
+            at(2, codes::UNUSED_ATTRIBUTE, Severity::Warning),
+        ];
+        sort_findings(&mut v);
+        assert_eq!(v[0].code, codes::UNUSED_ATTRIBUTE);
+        assert_eq!(v[0].span.start.line, 2);
+        assert_eq!(v[1].code, codes::CIRCULARITY);
+        assert_eq!(v[2].span.start.line, 4);
+    }
+
+    #[test]
+    fn finding_json_shape_is_stable() {
+        let f = Finding {
+            code: codes::UNUSED_ATTRIBUTE,
+            severity: Severity::Warning,
+            span: Span::point(Pos {
+                line: 3,
+                col: 5,
+                offset: 40,
+            }),
+            message: "attribute S.V is never consumed".to_string(),
+            payload: Json::Obj(vec![("attr".to_string(), Json::str("S.V"))]),
+        };
+        assert_eq!(
+            f.to_json().to_string(),
+            r#"{"code":"AG001","severity":"warning","line":3,"col":5,"end_line":3,"end_col":5,"message":"attribute S.V is never consumed","payload":{"attr":"S.V"}}"#
+        );
+    }
+}

@@ -1,0 +1,370 @@
+//! Structural lints: analyses that need nothing beyond a built grammar.
+//!
+//! AG001 (unused attributes), AG002 (unreachable nonterminals), AG003
+//! (unproductive nonterminals), AG009 (same-named attributes with
+//! conflicting types).
+
+use super::{attr_name, codes, Finding, SpanMap};
+use crate::grammar::{AttrClass, Grammar, RuleOrigin, SymbolKind};
+use crate::ids::{AttrId, SymbolId};
+use linguist_support::diag::Severity;
+use linguist_support::json::Json;
+use std::collections::HashMap;
+
+/// Run all structural lints, in code order.
+pub fn run(g: &Grammar, spans: &SpanMap) -> Vec<Finding> {
+    let mut out = Vec::new();
+    unused_attributes(g, spans, &mut out);
+    unreachable_symbols(g, spans, &mut out);
+    unproductive_symbols(g, spans, &mut out);
+    shadowed_attributes(g, spans, &mut out);
+    out
+}
+
+/// AG001: an attribute no semantic function ever reads.
+///
+/// "Consumed" counts arguments of every rule, implicit copies included
+/// — an attribute that only feeds a copy chain is doing work.
+/// Synthesized attributes of the start symbol are the translator's
+/// outputs and are exempt. Severity tiers on whether real computation
+/// is being thrown away: a warning when at least one explicit rule
+/// *computes* the value from other attributes (that work is wasted and
+/// the definition is likely a bug), a note when every definition is a
+/// constant, a copy, or the parser's intrinsic mechanism — the usual
+/// shape of a deliberate protocol default that nothing happens to read.
+fn unused_attributes(g: &Grammar, spans: &SpanMap, out: &mut Vec<Finding>) {
+    let n = g.attrs().len();
+    let mut consumed = vec![false; n];
+    let mut explicit_defs = vec![0u32; n];
+    let mut computed_defs = vec![0u32; n];
+    for r in g.rules() {
+        for arg in r.arguments() {
+            consumed[arg.attr.0 as usize] = true;
+        }
+        if r.origin == RuleOrigin::Explicit {
+            for t in &r.targets {
+                explicit_defs[t.attr.0 as usize] += 1;
+                if !r.arguments().is_empty() {
+                    computed_defs[t.attr.0 as usize] += 1;
+                }
+            }
+        }
+    }
+    for i in 0..n {
+        let a = AttrId(i as u32);
+        let attr = g.attr(a);
+        if consumed[i] {
+            continue;
+        }
+        if attr.symbol == g.start() && attr.class == AttrClass::Synthesized {
+            continue; // a translator output
+        }
+        let severity = if computed_defs[i] > 0 {
+            Severity::Warning
+        } else {
+            Severity::Note
+        };
+        let name = attr_name(g, a);
+        let class = format!("{:?}", attr.class).to_ascii_lowercase();
+        out.push(Finding {
+            code: codes::UNUSED_ATTRIBUTE,
+            severity,
+            span: spans.attr(a),
+            message: format!("{} attribute {} is never consumed", class, name),
+            payload: Json::Obj(vec![
+                ("attr".to_string(), Json::str(&name)),
+                ("class".to_string(), Json::str(&class)),
+                (
+                    "explicit_definitions".to_string(),
+                    Json::int(explicit_defs[i] as i64),
+                ),
+                (
+                    "computed_definitions".to_string(),
+                    Json::int(computed_defs[i] as i64),
+                ),
+            ]),
+        });
+    }
+}
+
+/// AG002: a nonterminal no derivation from the start symbol reaches.
+fn unreachable_symbols(g: &Grammar, spans: &SpanMap, out: &mut Vec<Finding>) {
+    let n = g.symbols().len();
+    let mut reachable = vec![false; n];
+    reachable[g.start().0 as usize] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in g.productions() {
+            if !reachable[p.lhs.0 as usize] {
+                continue;
+            }
+            for &s in p.rhs.iter().chain(p.limb.iter()) {
+                if !reachable[s.0 as usize] {
+                    reachable[s.0 as usize] = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+    for (i, seen) in reachable.iter().enumerate() {
+        let s = SymbolId(i as u32);
+        if *seen || g.symbol(s).kind != SymbolKind::Nonterminal {
+            continue;
+        }
+        let name = g.symbol_name(s).to_owned();
+        out.push(Finding {
+            code: codes::UNREACHABLE_SYMBOL,
+            severity: Severity::Warning,
+            span: spans.symbol(s),
+            message: format!(
+                "nonterminal {} is unreachable from the start symbol {}",
+                name,
+                g.symbol_name(g.start())
+            ),
+            payload: Json::Obj(vec![("symbol".to_string(), Json::str(&name))]),
+        });
+    }
+}
+
+/// AG003: a nonterminal that derives no terminal string. Terminals are
+/// productive by definition; limb symbols are semantic carriers, not
+/// part of the derivation, and are skipped on both sides.
+fn unproductive_symbols(g: &Grammar, spans: &SpanMap, out: &mut Vec<Finding>) {
+    let mut productive: Vec<bool> = g
+        .symbols()
+        .iter()
+        .map(|s| s.kind == SymbolKind::Terminal)
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in g.productions() {
+            if productive[p.lhs.0 as usize] {
+                continue;
+            }
+            if p.rhs.iter().all(|&s| productive[s.0 as usize]) {
+                productive[p.lhs.0 as usize] = true;
+                changed = true;
+            }
+        }
+    }
+    for (i, ok) in productive.iter().enumerate() {
+        let s = SymbolId(i as u32);
+        if *ok || g.symbol(s).kind != SymbolKind::Nonterminal {
+            continue;
+        }
+        let name = g.symbol_name(s).to_owned();
+        let num_prods = g.productions().iter().filter(|p| p.lhs == s).count();
+        out.push(Finding {
+            code: codes::UNPRODUCTIVE_SYMBOL,
+            severity: Severity::Warning,
+            span: spans.symbol(s),
+            message: format!("nonterminal {} derives no terminal string", name),
+            payload: Json::Obj(vec![
+                ("symbol".to_string(), Json::str(&name)),
+                ("productions".to_string(), Json::int(num_prods as i64)),
+            ]),
+        });
+    }
+}
+
+/// AG009: attributes sharing one name but declared with different
+/// types on different symbols. Same-name attributes are what the
+/// implicit-copy mechanism (§IV) and static subsumption (§III) group
+/// by, so a type mismatch inside such a family is almost always a
+/// typo. Differing *classes* under one name (inherited on one symbol,
+/// synthesized on another) are ordinary paper idiom and not flagged.
+fn shadowed_attributes(g: &Grammar, spans: &SpanMap, out: &mut Vec<Finding>) {
+    // First declaration of each attribute name wins; later conflicting
+    // declarations are reported at their own site.
+    let mut first: HashMap<&str, AttrId> = HashMap::new();
+    for i in 0..g.attrs().len() {
+        let a = AttrId(i as u32);
+        let name = g.attr_name(a);
+        let Some(&earlier) = first.get(name) else {
+            first.insert(name, a);
+            continue;
+        };
+        let ty = g.resolve(g.attr(a).type_name);
+        let earlier_ty = g.resolve(g.attr(earlier).type_name);
+        if ty == earlier_ty {
+            continue;
+        }
+        let here = attr_name(g, a);
+        let there = attr_name(g, earlier);
+        out.push(Finding {
+            code: codes::SHADOWED_ATTRIBUTE,
+            severity: Severity::Warning,
+            span: spans.attr(a),
+            message: format!(
+                "attribute {} has type {} but {} was declared earlier with type {}",
+                here, ty, there, earlier_ty
+            ),
+            payload: Json::Obj(vec![
+                ("attr".to_string(), Json::str(&here)),
+                ("type".to_string(), Json::str(ty)),
+                ("earlier".to_string(), Json::str(&there)),
+                ("earlier_type".to_string(), Json::str(earlier_ty)),
+            ]),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::grammar::AgBuilder;
+    use crate::ids::AttrOcc;
+
+    fn findings_with(out: &[Finding], code: &str) -> Vec<String> {
+        out.iter()
+            .filter(|f| f.code == code)
+            .map(|f| f.message.clone())
+            .collect()
+    }
+
+    #[test]
+    fn unused_computed_attribute_is_a_warning() {
+        let mut b = AgBuilder::new();
+        let root = b.nonterminal("root");
+        let out_a = b.synthesized(root, "OUT", "int");
+        let x = b.terminal("x");
+        let obj = b.intrinsic(x, "OBJ", "int");
+        let s = b.nonterminal("S");
+        let dead = b.synthesized(s, "DEAD", "int");
+        let p = b.production(root, vec![s], None);
+        b.rule(p, vec![AttrOcc::lhs(out_a)], Expr::Int(1));
+        let ps = b.production(s, vec![x], None);
+        // DEAD is *computed* from real data, then never read: a warning.
+        b.rule(
+            ps,
+            vec![AttrOcc::lhs(dead)],
+            Expr::binop(
+                crate::expr::BinOp::Add,
+                Expr::Occ(AttrOcc::rhs(0, obj)),
+                Expr::Int(2),
+            ),
+        );
+        b.start(root);
+        let g = b.build().unwrap();
+        let out = run(&g, &SpanMap::empty());
+        let unused = findings_with(&out, codes::UNUSED_ATTRIBUTE);
+        assert_eq!(unused.len(), 1, "{:?}", unused);
+        assert!(unused[0].contains("S.DEAD"));
+        let f = out
+            .iter()
+            .find(|f| f.code == codes::UNUSED_ATTRIBUTE)
+            .unwrap();
+        assert_eq!(f.severity, Severity::Warning);
+        assert_eq!(
+            f.payload.get("explicit_definitions").and_then(Json::as_i64),
+            Some(1)
+        );
+        assert_eq!(
+            f.payload.get("computed_definitions").and_then(Json::as_i64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn unused_constant_attribute_is_a_note() {
+        let mut b = AgBuilder::new();
+        let root = b.nonterminal("root");
+        let out_a = b.synthesized(root, "OUT", "int");
+        let s = b.nonterminal("S");
+        let dead = b.synthesized(s, "CNT", "int");
+        let p = b.production(root, vec![s], None);
+        b.rule(p, vec![AttrOcc::lhs(out_a)], Expr::Int(1));
+        let ps = b.production(s, vec![], None);
+        // A constant default nothing reads: flagged, but only a note.
+        b.rule(ps, vec![AttrOcc::lhs(dead)], Expr::Int(0));
+        b.start(root);
+        let g = b.build().unwrap();
+        let out = run(&g, &SpanMap::empty());
+        let f = out
+            .iter()
+            .find(|f| f.code == codes::UNUSED_ATTRIBUTE)
+            .unwrap();
+        assert!(f.message.contains("S.CNT"));
+        assert_eq!(f.severity, Severity::Note);
+        assert_eq!(
+            f.payload.get("computed_definitions").and_then(Json::as_i64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn unused_intrinsic_is_a_note_and_root_output_exempt() {
+        let mut b = AgBuilder::new();
+        let root = b.nonterminal("root");
+        let out_a = b.synthesized(root, "OUT", "int");
+        let x = b.terminal("x");
+        b.intrinsic(x, "OBJ", "int"); // parser sets it; nothing reads it
+        let p = b.production(root, vec![x], None);
+        b.rule(p, vec![AttrOcc::lhs(out_a)], Expr::Int(1));
+        b.start(root);
+        let g = b.build().unwrap();
+        let out = run(&g, &SpanMap::empty());
+        let unused: Vec<&Finding> = out
+            .iter()
+            .filter(|f| f.code == codes::UNUSED_ATTRIBUTE)
+            .collect();
+        // root.OUT is exempt (translator output); x.OBJ is a note.
+        assert_eq!(unused.len(), 1);
+        assert!(unused[0].message.contains("x.OBJ"));
+        assert_eq!(unused[0].severity, Severity::Note);
+    }
+
+    #[test]
+    fn unreachable_and_unproductive_reported() {
+        let mut b = AgBuilder::new();
+        let root = b.nonterminal("root");
+        let out_a = b.synthesized(root, "OUT", "int");
+        let x = b.terminal("x");
+        let island = b.nonterminal("island"); // no productions reach it
+        let _ = island;
+        let bottom = b.nonterminal("bottom"); // reachable but loops forever
+        let p = b.production(root, vec![x, bottom], None);
+        b.rule(p, vec![AttrOcc::lhs(out_a)], Expr::Int(1));
+        b.production(bottom, vec![bottom], None); // bottom ::= bottom
+        b.start(root);
+        let g = b.build().unwrap();
+        let out = run(&g, &SpanMap::empty());
+        let unreachable = findings_with(&out, codes::UNREACHABLE_SYMBOL);
+        assert_eq!(unreachable.len(), 1, "{:?}", unreachable);
+        assert!(unreachable[0].contains("island"));
+        let unproductive = findings_with(&out, codes::UNPRODUCTIVE_SYMBOL);
+        // island (no productions) and bottom (self-loop) fail directly,
+        // and root fails transitively (its only production needs bottom).
+        assert_eq!(unproductive.len(), 3, "{:?}", unproductive);
+        assert!(unproductive.iter().any(|m| m.contains("bottom")));
+        assert!(unproductive.iter().any(|m| m.contains("island")));
+        assert!(unproductive.iter().any(|m| m.contains("root")));
+    }
+
+    #[test]
+    fn conflicting_types_under_one_name_reported_once() {
+        let mut b = AgBuilder::new();
+        let root = b.nonterminal("root");
+        let v1 = b.synthesized(root, "VAL", "int");
+        let s = b.nonterminal("S");
+        let v2 = b.synthesized(s, "VAL", "str"); // type conflict
+        let t = b.nonterminal("T");
+        let v3 = b.synthesized(t, "VAL", "int"); // same as first: fine
+        let p = b.production(root, vec![s, t], None);
+        b.rule(p, vec![AttrOcc::lhs(v1)], Expr::Occ(AttrOcc::rhs(1, v3)));
+        let ps = b.production(s, vec![], None);
+        b.rule(ps, vec![AttrOcc::lhs(v2)], Expr::Int(9)); // types are uninterpreted
+        let pt = b.production(t, vec![], None);
+        b.rule(pt, vec![AttrOcc::lhs(v3)], Expr::Int(0));
+        b.start(root);
+        let g = b.build().unwrap();
+        let out = run(&g, &SpanMap::empty());
+        let shadowed = findings_with(&out, codes::SHADOWED_ATTRIBUTE);
+        assert_eq!(shadowed.len(), 1, "{:?}", shadowed);
+        assert!(shadowed[0].contains("S.VAL"));
+        assert!(shadowed[0].contains("root.VAL"));
+    }
+}

@@ -269,6 +269,107 @@ pub fn assign_passes(g: &Grammar, cfg: &PassConfig) -> Result<PassAssignment, Pa
     })
 }
 
+/// One attribute dependency that kept a rule out of the previous pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockedDep {
+    /// The blocked rule.
+    pub rule: RuleId,
+    /// Its production.
+    pub prod: ProdId,
+    /// A target occurrence of the blocked rule (a rule's targets always
+    /// share one pass).
+    pub target: AttrOcc,
+    /// The argument occurrence that was not available at the rule's
+    /// deadline in the previous pass.
+    pub needs: AttrOcc,
+}
+
+/// Why a pass boundary exists: for pass `pass` (≥ 2), the dependencies
+/// that forced its rules out of pass `pass − 1`.
+#[derive(Clone, Debug)]
+pub struct PassBlocker {
+    /// The pass that had to be added.
+    pub pass: u16,
+    /// Direction of that pass.
+    pub direction: Direction,
+    /// Direction of the pass the rules were ejected from.
+    pub prev_direction: Direction,
+    /// Minimal culprit set: the first failing dependency per blocked
+    /// rule, deduplicated by (target attribute, needed attribute).
+    pub culprits: Vec<BlockedDep>,
+}
+
+/// Explain every pass boundary beyond pass 1 of a computed assignment.
+///
+/// For each pass `k ≥ 2` this replays the availability test of the
+/// pass-(k−1) fixpoint round against the final assignment: attributes
+/// finally in passes `< k−1` count as assigned, attributes finally in
+/// pass `k−1` as that round's surviving candidates. Every rule of pass
+/// `k` then fails on at least one argument occurrence; the first such
+/// occurrence is recorded as the rule's culprit dependency — either a
+/// direction conflict with a pass-(k−1) value, or a dependency on
+/// another attribute that was itself pushed to pass `k` (a chain).
+pub fn explain_pass_blockers(g: &Grammar, pa: &PassAssignment) -> Vec<PassBlocker> {
+    let mut out = Vec::new();
+    for k in 2..=pa.num_passes() as u16 {
+        let prev = k - 1;
+        let dir = pa.direction(prev);
+        let assigned: Vec<Option<u16>> = (0..g.attrs().len() as u32)
+            .map(|ai| {
+                let p = pa.pass_of(AttrId(ai));
+                (p < prev).then_some(p)
+            })
+            .collect();
+        let candidates: HashSet<AttrId> = (0..g.attrs().len() as u32)
+            .map(AttrId)
+            .filter(|&a| pa.pass_of(a) == prev)
+            .collect();
+        let mut culprits: Vec<BlockedDep> = Vec::new();
+        let mut seen: HashSet<(AttrId, AttrId)> = HashSet::new();
+        for (ri, rule) in g.rules().iter().enumerate() {
+            let r = RuleId(ri as u32);
+            if pa.rule_pass(r) != k {
+                continue;
+            }
+            let deadline = rule_deadline(g, rule.prod, rule, dir);
+            let blocked = rule.arguments().into_iter().find(|&arg| {
+                let mut visiting = HashSet::new();
+                !occ_available(
+                    g,
+                    rule.prod,
+                    arg,
+                    deadline,
+                    prev,
+                    dir,
+                    &assigned,
+                    &candidates,
+                    &mut visiting,
+                )
+            });
+            if let Some(needs) = blocked {
+                let target = rule.targets[0];
+                if seen.insert((target.attr, needs.attr)) {
+                    culprits.push(BlockedDep {
+                        rule: r,
+                        prod: rule.prod,
+                        target,
+                        needs,
+                    });
+                }
+            }
+        }
+        if !culprits.is_empty() {
+            out.push(PassBlocker {
+                pass: k,
+                direction: pa.direction(k),
+                prev_direction: dir,
+                culprits,
+            });
+        }
+    }
+    out
+}
+
 /// The deadline of a rule: the earliest of its targets' deadlines.
 fn rule_deadline(
     g: &Grammar,
@@ -666,5 +767,33 @@ mod tests {
         // S.V uses R.J in the End zone, so it could be pass 2 as well.
         assert_eq!(pa.pass_of(sv), 2);
         assert_eq!(pa.num_passes(), 2);
+
+        // The boundary explanation names the dependency that forced pass
+        // 2: `R.J = L.I` cannot run in the R-L pass because L sits after
+        // R in visit order.
+        let blockers = explain_pass_blockers(&g, &pa);
+        assert_eq!(blockers.len(), 1);
+        let b2 = &blockers[0];
+        assert_eq!(b2.pass, 2);
+        assert_eq!(b2.prev_direction, Direction::RightToLeft);
+        assert_eq!(b2.direction, Direction::LeftToRight);
+        assert!(b2
+            .culprits
+            .iter()
+            .any(|c| c.target == AttrOcc::rhs(1, aj) && c.needs == AttrOcc::rhs(0, ai)));
+    }
+
+    /// A single-pass grammar has no boundaries to explain.
+    #[test]
+    fn single_pass_grammar_has_no_blockers() {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let v = b.synthesized(s, "V", "int");
+        let p = b.production(s, vec![], None);
+        b.rule(p, vec![AttrOcc::lhs(v)], Expr::Int(1));
+        b.start(s);
+        let g = b.build().unwrap();
+        let pa = assign_passes(&g, &lr_config()).unwrap();
+        assert!(explain_pass_blockers(&g, &pa).is_empty());
     }
 }

@@ -20,12 +20,13 @@
 
 use crate::lang::{parse, SyntaxError};
 use crate::listing::render_listing;
-use crate::lower::{lower, LowerError};
+use crate::lower::{lower_with_spans, LowerError};
 use linguist_ag::analysis::{Analysis, AnalysisError, Config};
 use linguist_ag::check::check_completeness;
 use linguist_ag::circularity::check_noncircular;
 use linguist_ag::implicit::insert_implicit_copies;
 use linguist_ag::lifetime::Lifetimes;
+use linguist_ag::lint::{run_lints, LintConfig, SpanMap};
 use linguist_ag::passes::assign_passes;
 use linguist_ag::plan::build_plans;
 use linguist_ag::stats::GrammarStats;
@@ -190,12 +191,30 @@ impl std::error::Error for DriverError {}
 ///
 /// See [`DriverError`]; the failing overlay aborts the run.
 pub fn analyze(source: &str, config: &Config) -> Result<Analysis, DriverError> {
-    analyze_timed(source, config).map(|(analysis, _)| analysis)
+    analyze_timed(source, config).map(|(analysis, _, _)| analysis)
 }
 
-/// [`analyze`] plus per-overlay wall-clock times (overlay 5–7 fields are
-/// left zeroed for [`run`] to fill).
-fn analyze_timed(source: &str, config: &Config) -> Result<(Analysis, OverlayTimings), DriverError> {
+/// [`analyze`] plus the source-span tables the lint layer needs to turn
+/// dense ids back into source positions. `linguist-serve` compiles
+/// through this entry point so a cached grammar can answer `check`
+/// requests without re-running any overlay.
+///
+/// # Errors
+///
+/// See [`DriverError`].
+pub fn analyze_with_spans(
+    source: &str,
+    config: &Config,
+) -> Result<(Analysis, SpanMap), DriverError> {
+    analyze_timed(source, config).map(|(analysis, spans, _)| (analysis, spans))
+}
+
+/// [`analyze`] plus spans plus per-overlay wall-clock times (overlay 5–7
+/// fields are left zeroed for [`run`] to fill).
+fn analyze_timed(
+    source: &str,
+    config: &Config,
+) -> Result<(Analysis, SpanMap, OverlayTimings), DriverError> {
     let mut timings = OverlayTimings::default();
 
     // Overlay 1: scan + parse.
@@ -210,7 +229,7 @@ fn analyze_timed(source: &str, config: &Config) -> Result<(Analysis, OverlayTimi
 
     // Overlay 2: dictionary building (lowering).
     let t = Instant::now();
-    let mut grammar = lower(&file).map_err(DriverError::Lower)?;
+    let (mut grammar, spans) = lower_with_spans(&file).map_err(DriverError::Lower)?;
     timings.semantic1 = t.elapsed();
 
     // Overlay 3: implicit copy-rules + completeness.
@@ -247,7 +266,7 @@ fn analyze_timed(source: &str, config: &Config) -> Result<(Analysis, OverlayTimi
         plans,
     };
     timings.evaluability = t.elapsed();
-    Ok((analysis, timings))
+    Ok((analysis, spans, timings))
 }
 
 /// Run the full seven-overlay pipeline on LINGUIST source text.
@@ -258,11 +277,19 @@ fn analyze_timed(source: &str, config: &Config) -> Result<(Analysis, OverlayTimi
 /// original (a grammar with syntax errors never reaches evaluator
 /// generation).
 pub fn run(source: &str, opts: &DriverOptions) -> Result<DriverOutput, DriverError> {
-    let (analysis, mut timings) = analyze_timed(source, &opts.config)?;
+    let (analysis, spans, mut timings) = analyze_timed(source, &opts.config)?;
     let mut diags = Diagnostics::new();
 
-    // Overlay 5: message collection.
+    // Overlay 5: message collection — the coded lint findings plus the
+    // classic summary notes, interleaved with source lines by overlay 6.
     let t = Instant::now();
+    let lint_cfg = LintConfig {
+        explain_residual_copies: !opts.config.disable_subsumption,
+        ..LintConfig::default()
+    };
+    for finding in run_lints(&analysis, &spans, &lint_cfg) {
+        diags.push(finding.to_diagnostic());
+    }
     if analysis.implicit.total() > 0 {
         diags.note(
             Span::default(),

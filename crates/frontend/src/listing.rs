@@ -30,13 +30,12 @@ pub fn render_listing(source: &str, analysis: &Analysis, diags: &Diagnostics) ->
         let ln = ln as u32 + 1;
         let _ = writeln!(out, "{:5} | {}", ln, line);
         while diag_ix < sorted.len() && sorted[diag_ix].span.start.line == ln {
-            let d = sorted[diag_ix];
-            let _ = writeln!(out, "      | **** {}: {}", d.severity, d.message);
+            let _ = writeln!(out, "      | **** {}", render_diag(sorted[diag_ix]));
             diag_ix += 1;
         }
     }
     for d in &sorted[diag_ix..] {
-        let _ = writeln!(out, "      | **** {}: {}", d.severity, d.message);
+        let _ = writeln!(out, "      | **** {}", render_diag(d));
     }
 
     // Productions with pass-annotated semantic functions.
@@ -130,6 +129,15 @@ pub fn render_listing(source: &str, analysis: &Analysis, diags: &Diagnostics) ->
     out.push_str("\nSTATISTICS\n----------\n");
     let _ = writeln!(out, "{}", analysis.stats());
     out
+}
+
+/// One interleaved diagnostic line: `severity[CODE]: message`, the
+/// code bracket present only for coded (lint-framework) diagnostics.
+fn render_diag(d: &linguist_support::diag::Diagnostic) -> String {
+    match d.code {
+        Some(c) => format!("{}[{}]: {}", d.severity, c, d.message),
+        None => format!("{}: {}", d.severity, d.message),
+    }
 }
 
 /// Render one semantic function like `S1.A = IncrIfZero(T.B, S0.A)`.

@@ -11,6 +11,7 @@ use crate::ast::*;
 use linguist_ag::expr::{BinOp, Expr};
 use linguist_ag::grammar::{AgBuilder, BuildError, Grammar};
 use linguist_ag::ids::{AttrId, AttrOcc, OccPos, SymbolId};
+use linguist_ag::lint::SpanMap;
 use linguist_support::pos::Span;
 use std::collections::HashMap;
 use std::fmt;
@@ -48,8 +49,20 @@ impl From<BuildError> for LowerError {
 /// Returns every resolution error found (the grammar is only built if all
 /// names resolve).
 pub fn lower(file: &AgFile) -> Result<Grammar, Vec<LowerError>> {
+    lower_with_spans(file).map(|(g, _)| g)
+}
+
+/// Lower a parsed file, also returning the source span of every symbol,
+/// attribute, production, and explicit rule — parallel to the grammar's
+/// dense-id tables, the way the lint layer wants them.
+///
+/// # Errors
+///
+/// Same as [`lower`].
+pub fn lower_with_spans(file: &AgFile) -> Result<(Grammar, SpanMap), Vec<LowerError>> {
     let mut errors: Vec<LowerError> = Vec::new();
     let mut b = AgBuilder::new();
+    let mut spans = SpanMap::default();
 
     // Pass 1: symbols and attributes (the paper's dictionary).
     let mut sym_of: HashMap<String, SymbolId> = HashMap::new();
@@ -67,6 +80,7 @@ pub fn lower(file: &AgFile) -> Result<Grammar, Vec<LowerError>> {
             SymKind::Nonterminal => b.nonterminal(&decl.name),
             SymKind::Limb => b.limb(&decl.name),
         };
+        spans.symbols.push(decl.span);
         sym_of.insert(decl.name.clone(), id);
         for a in &decl.attrs {
             let allowed = matches!(
@@ -87,12 +101,25 @@ pub fn lower(file: &AgFile) -> Result<Grammar, Vec<LowerError>> {
                 });
                 continue;
             }
+            if attr_of.contains_key(&(id, a.name.clone())) {
+                // Located here; the builder would otherwise report the
+                // duplicate with no position at build() time.
+                errors.push(LowerError {
+                    span: a.span,
+                    message: format!(
+                        "attribute `{}` declared twice on symbol `{}`",
+                        a.name, decl.name
+                    ),
+                });
+                continue;
+            }
             let aid = match a.kind {
                 AttrKind::Synthesized => b.synthesized(id, &a.name, &a.type_name),
                 AttrKind::Inherited => b.inherited(id, &a.name, &a.type_name),
                 AttrKind::Intrinsic => b.intrinsic(id, &a.name, &a.type_name),
                 AttrKind::Local => b.limb_attr(id, &a.name, &a.type_name),
             };
+            spans.attrs.push(a.span);
             attr_of.insert((id, a.name.clone()), aid);
         }
     }
@@ -198,6 +225,7 @@ pub fn lower(file: &AgFile) -> Result<Grammar, Vec<LowerError>> {
         }
 
         let prod = b.production(lhs_sym, rhs_syms.clone(), limb_sym);
+        spans.productions.push(pd.span);
 
         // Rules.
         for rd in &pd.rules {
@@ -230,6 +258,7 @@ pub fn lower(file: &AgFile) -> Result<Grammar, Vec<LowerError>> {
             };
             if ok {
                 b.rule(prod, targets, expr);
+                spans.rules.push(rd.span);
             }
         }
     }
@@ -237,7 +266,7 @@ pub fn lower(file: &AgFile) -> Result<Grammar, Vec<LowerError>> {
     if !errors.is_empty() {
         return Err(errors);
     }
-    b.build().map_err(|e| vec![e.into()])
+    b.build().map(|g| (g, spans)).map_err(|e| vec![e.into()])
 }
 
 /// Resolve an occurrence name like `expr1` to `(symbol, Some(1))`, or a
@@ -531,6 +560,41 @@ end
         let src = "grammar T ;\nnonterminals s ;\nstart missing ;\nproductions\nend";
         let errs = lower(&parse(src).unwrap()).unwrap_err();
         assert!(errs[0].message.contains("start symbol"));
+    }
+
+    #[test]
+    fn spans_parallel_the_dense_ids() {
+        use linguist_ag::ids::ProdId;
+        let file = parse(CALC).unwrap();
+        let (g, spans) = lower_with_spans(&file).unwrap();
+        assert_eq!(spans.symbols.len(), g.symbols().len());
+        assert_eq!(spans.attrs.len(), g.attrs().len());
+        assert_eq!(spans.productions.len(), g.productions().len());
+        assert_eq!(spans.rules.len(), g.rules().len());
+        let last = ProdId((g.productions().len() - 1) as u32);
+        assert!(spans.production(last).start.line > spans.production(ProdId(0)).start.line);
+        // Attribute spans point at the declaring line.
+        let expr = g.symbol_by_name("expr").unwrap();
+        let v = g.attr_by_name(expr, "V").unwrap();
+        assert_eq!(spans.attr(v).start.line, 7);
+    }
+
+    #[test]
+    fn duplicate_attribute_reported_with_position() {
+        let src = r#"
+grammar T ;
+nonterminals s : syn V int, syn V int ;
+start s ;
+productions
+prod s = :
+  s.V = 1 ;
+end
+end
+"#;
+        let errs = lower(&parse(src).unwrap()).unwrap_err();
+        assert_eq!(errs.len(), 1, "{:?}", errs);
+        assert!(errs[0].message.contains("declared twice"));
+        assert_eq!(errs[0].span.start.line, 3);
     }
 
     #[test]

@@ -22,6 +22,16 @@
 //!   --resume             resume the profiled evaluation from DIR's
 //!                        manifest (requires --checkpoint-dir)
 //!
+//! linguist check GRAMMAR.lg [--format text|json] [--deny-warnings]
+//!                [--first-pass rl|lr] [--no-subsumption] [--coalesce]
+//!
+//!   Run the static-analysis lints and print every coded `AG0xx`
+//!   finding with its source position. `--format json` prints one
+//!   deterministic JSON object on stdout. Exit status 0 when the
+//!   grammar is clean (notes never fail a check), 1 on any error —
+//!   or, under `--deny-warnings`, on any warning — and 2 on usage
+//!   errors.
+//!
 //! linguist serve [--socket PATH] [--tcp ADDR] [--workers N] [--queue N]
 //!                [--cache N] [--deadline-ms N]
 //!
@@ -59,11 +69,13 @@
 //! failed sweep for a quiet success.
 
 use linguist_ag::analysis::Config;
+use linguist_ag::lint::LintConfig;
 use linguist_ag::passes::{Direction, PassConfig};
 use linguist_ag::subsumption::GroupMode;
 use linguist_eval::aptfile::TempAptDir;
 use linguist_eval::funcs::Funcs;
 use linguist_eval::machine::RetryPolicy;
+use linguist_frontend::check::check_source;
 use linguist_frontend::driver::{run, run_batch, DriverOptions, DriverOutput, TargetOpt};
 use linguist_frontend::report::{ProfileReport, RecoveryOpts, DEFAULT_TREE_BUDGET};
 use linguist_serve::client::Client;
@@ -126,6 +138,8 @@ fn usage() -> ! {
          [--profile[=text|json]] [--emit pascal|rust] [--first-pass rl|lr] \
          [--no-subsumption] [--coalesce] [--batch] [--jobs N] [--retries N] \
          [--checkpoint-dir DIR] [--resume]\n\
+         \x20      linguist check GRAMMAR.lg [--format text|json] [--deny-warnings] \
+         [--first-pass rl|lr] [--no-subsumption] [--coalesce]\n\
          \x20      linguist serve [--socket PATH] [--tcp ADDR] [--workers N] [--queue N] \
          [--cache N] [--deadline-ms N]\n\
          \x20      linguist client (--socket PATH | --tcp ADDR) \
@@ -253,6 +267,76 @@ fn report(cli: &Cli, path: &str, index: usize, out: &DriverOutput, heading: bool
             &cli.recovery(index),
         );
         print!("{}", r.render_text());
+    }
+}
+
+/// `linguist check ...`: run the static-analysis lints over one grammar.
+fn check_main(args: Vec<String>) -> ExitCode {
+    let mut path = None;
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut first = Direction::RightToLeft;
+    let mut no_subsumption = false;
+    let mut coalesce = false;
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                _ => usage(),
+            },
+            "--format=text" => json = false,
+            "--format=json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--first-pass" => match args.next().as_deref() {
+                Some("rl") => first = Direction::RightToLeft,
+                Some("lr") => first = Direction::LeftToRight,
+                _ => usage(),
+            },
+            "--no-subsumption" => no_subsumption = true,
+            "--coalesce" => coalesce = true,
+            "--help" | "-h" => usage(),
+            _ if !a.starts_with('-') && path.is_none() => path = Some(a),
+            _ => usage(),
+        }
+    }
+    let path = path.unwrap_or_else(|| usage());
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("linguist check: cannot read {}: {}", path, e);
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = Config {
+        pass: PassConfig {
+            first_direction: first,
+            max_passes: 32,
+        },
+        disable_subsumption: no_subsumption,
+        group_mode: if coalesce {
+            GroupMode::CoalesceCopies
+        } else {
+            GroupMode::SameName
+        },
+        ..Config::default()
+    };
+    let report = check_source(&source, &config, &LintConfig::default());
+    if json {
+        println!("{}", report.to_json(&path));
+    } else {
+        print!("{}", report.render_text(&path));
+    }
+    let pass = if deny_warnings {
+        report.clean_denying_warnings()
+    } else {
+        report.clean()
+    };
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -408,6 +492,7 @@ fn client_main(args: Vec<String>) -> ExitCode {
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
+        Some("check") => return check_main(argv.split_off(1)),
         Some("serve") => return serve_main(argv.split_off(1)),
         Some("client") => return client_main(argv.split_off(1)),
         _ => {}

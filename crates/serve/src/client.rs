@@ -176,6 +176,36 @@ impl Client {
         self.roundtrip(&Json::Obj(obj))
     }
 
+    /// `check` a loaded grammar handle: run the `AG0xx` lints and
+    /// return the coded-diagnostics reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn check(&mut self, grammar: &str) -> std::io::Result<Json> {
+        self.roundtrip(&Json::Obj(vec![
+            ("op".to_string(), Json::str("check")),
+            ("grammar".to_string(), Json::str(grammar)),
+        ]))
+    }
+
+    /// `check` inline grammar source (compiled through the session
+    /// cache; a rejected grammar still gets located findings).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn check_source(&mut self, source: &str, scanner: Option<&str>) -> std::io::Result<Json> {
+        let mut obj = vec![
+            ("op".to_string(), Json::str("check")),
+            ("source".to_string(), Json::str(source)),
+        ];
+        if let Some(s) = scanner {
+            obj.push(("scanner".to_string(), Json::str(s)));
+        }
+        self.roundtrip(&Json::Obj(obj))
+    }
+
     /// `stats`: the full counter document.
     ///
     /// # Errors

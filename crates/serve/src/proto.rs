@@ -17,6 +17,7 @@
 //! | `load_grammar`    | `source`, optional `scanner` (bundled-scanner name), optional `name` |
 //! | `translate`       | `grammar` (handle) *or* `source`+`scanner`; `input` *or* `budget`; optional `deadline_ms`, `fault` |
 //! | `translate_batch` | same grammar addressing; `jobs`: array of strings (inputs) and/or numbers (budgets); optional `deadline_ms` |
+//! | `check`           | `grammar` (handle) *or* `source`+`scanner`: run the `AG0xx` lints and return coded diagnostics |
 //! | `stats`           | — |
 //! | `shutdown`        | — |
 
@@ -86,6 +87,11 @@ pub enum Request {
         /// Per-job wall-clock ceiling (milliseconds).
         deadline_ms: Option<u64>,
     },
+    /// Run the grammar lints and return coded `AG0xx` diagnostics.
+    Check {
+        /// Which grammar.
+        grammar: GrammarRef,
+    },
     /// Service counters, cache contents, queue depth, quantiles.
     Stats,
     /// Stop accepting, drain, exit.
@@ -138,6 +144,9 @@ impl Request {
                     deadline_ms: j.get("deadline_ms").and_then(Json::as_u64),
                 })
             }
+            "check" => Ok(Request::Check {
+                grammar: grammar_ref(j)?,
+            }),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op `{}`", other)),
@@ -318,6 +327,27 @@ mod tests {
             ),
             other => panic!("wrong parse: {:?}", other),
         }
+    }
+
+    #[test]
+    fn check_parses_both_grammar_addressings() {
+        let r = parse(r#"{"op":"check","grammar":"00ff"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Check {
+                grammar: GrammarRef::Handle("00ff".to_string()),
+            }
+        );
+        let r = parse(r#"{"op":"check","source":"grammar G ;"}"#).unwrap();
+        assert!(matches!(
+            r,
+            Request::Check {
+                grammar: GrammarRef::Source { .. }
+            }
+        ));
+        assert!(parse(r#"{"op":"check"}"#)
+            .unwrap_err()
+            .contains("names no grammar"));
     }
 
     #[test]

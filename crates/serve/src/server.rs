@@ -23,9 +23,11 @@
 //! evaluator's own cooperative [`EvalOptions::deadline`] check.
 
 use linguist_ag::analysis::Config;
+use linguist_ag::lint::{run_lints, Finding, LintConfig};
 use linguist_ag::passes::Direction;
 use linguist_eval::funcs::Funcs;
 use linguist_eval::machine::{evaluate, EvalOptions, Evaluation, Strategy};
+use linguist_frontend::check::{check_source, CheckReport};
 use linguist_frontend::report::synthesize_tree;
 use linguist_support::json::Json;
 use std::io::{BufRead, BufReader, Write};
@@ -44,7 +46,7 @@ use crate::proto::{
     GrammarRef, Request, Work,
 };
 use crate::stats::ServiceMetrics;
-use crate::store::{CompiledGrammar, GrammarStore, StoreStats};
+use crate::store::{CompiledGrammar, GrammarStore, LoadError, StoreStats};
 
 /// How to run the daemon.
 #[derive(Clone, Debug)]
@@ -349,6 +351,7 @@ fn dispatch_line(line: &str, state: &Arc<ServiceState>) -> (Json, bool) {
             jobs,
             deadline_ms,
         } => (handle_batch(state, &grammar, jobs, deadline_ms), false),
+        Request::Check { grammar } => (handle_check(state, &grammar), false),
         Request::Stats => (
             ok_reply(state.metrics.render(&state.store, &state.pool)),
             false,
@@ -382,6 +385,83 @@ fn handle_load(
             error_reply(k, &e.to_string())
         }
     }
+}
+
+/// Answer a `check` request: run the `AG0xx` lints and reply with
+/// coded diagnostics.
+///
+/// A handle reuses the session cache outright — the compiled analysis
+/// and its span tables were captured at load time, so no frontend
+/// overlay runs again. Inline source goes through the cache the same
+/// way (warm source is also free); only a source the frontend rejects
+/// falls back to the degraded check driver, so the client still gets
+/// located AG006/AG007/AG011/AG012 findings out of a broken grammar
+/// instead of one opaque `compile` error.
+fn handle_check(state: &Arc<ServiceState>, gref: &GrammarRef) -> Json {
+    let lint_cfg = LintConfig {
+        explain_residual_copies: !state.config.disable_subsumption,
+        ..LintConfig::default()
+    };
+    let (handle, report) = match gref {
+        GrammarRef::Handle(h) => match state.store.get(h) {
+            Some(g) => {
+                let report = CheckReport {
+                    findings: run_lints(g.analysis(), g.spans(), &lint_cfg),
+                    passes: Some(g.passes()),
+                };
+                (Some(g.key.clone()), report)
+            }
+            None => {
+                state.metrics.record_error(kind::GRAMMAR_NOT_FOUND);
+                return error_reply(
+                    kind::GRAMMAR_NOT_FOUND,
+                    &format!(
+                        "no resident grammar has handle `{}` (evicted or never loaded)",
+                        h
+                    ),
+                );
+            }
+        },
+        GrammarRef::Source { source, scanner } => {
+            match state
+                .store
+                .load(source, scanner.as_deref(), None, &state.config)
+            {
+                Ok((g, _cached)) => {
+                    let report = CheckReport {
+                        findings: run_lints(g.analysis(), g.spans(), &lint_cfg),
+                        passes: Some(g.passes()),
+                    };
+                    (Some(g.key.clone()), report)
+                }
+                Err(LoadError::Compile(_)) => {
+                    (None, check_source(source, &state.config, &lint_cfg))
+                }
+                Err(e) => {
+                    let k = load_error_kind(&e);
+                    state.metrics.record_error(k);
+                    return error_reply(k, &e.to_string());
+                }
+            }
+        }
+    };
+    ok_reply(vec![
+        (
+            "grammar".to_string(),
+            handle.map_or(Json::Null, |h| Json::str(&h)),
+        ),
+        ("errors".to_string(), Json::int(report.errors() as i64)),
+        ("warnings".to_string(), Json::int(report.warnings() as i64)),
+        ("notes".to_string(), Json::int(report.notes() as i64)),
+        (
+            "passes".to_string(),
+            report.passes.map_or(Json::Null, |p| Json::int(p as i64)),
+        ),
+        (
+            "diagnostics".to_string(),
+            Json::Arr(report.findings.iter().map(Finding::to_json).collect()),
+        ),
+    ])
 }
 
 /// Resolve a request's grammar reference against the session cache.

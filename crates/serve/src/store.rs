@@ -20,7 +20,8 @@
 //!   compilation itself runs with the lock released.
 
 use linguist_ag::analysis::{Analysis, Config};
-use linguist_frontend::driver::{analyze, DriverError};
+use linguist_ag::lint::SpanMap;
+use linguist_frontend::driver::{analyze_with_spans, DriverError};
 use linguist_frontend::translate::{TranslateError, Translator};
 use linguist_lexgen::Scanner;
 use std::collections::HashMap;
@@ -75,6 +76,9 @@ pub struct CompiledGrammar {
     /// Warm lookups served from this entry.
     hits: AtomicU64,
     engine: Engine,
+    /// Source spans per dense id, captured at compile time so `check`
+    /// requests against a cached grammar never re-run the frontend.
+    spans: SpanMap,
 }
 
 impl CompiledGrammar {
@@ -84,6 +88,12 @@ impl CompiledGrammar {
             Engine::Synthetic(a) => a,
             Engine::Full(t) => &t.analysis,
         }
+    }
+
+    /// Source spans for the grammar's dense ids (the lint layer's
+    /// input).
+    pub fn spans(&self) -> &SpanMap {
+        &self.spans
     }
 
     /// The full translator, when a scanner was bound at load time.
@@ -330,7 +340,7 @@ impl GrammarStore {
     ) -> Result<CompiledGrammar, LoadError> {
         let started = Instant::now();
         self.analyses.fetch_add(1, Ordering::Relaxed);
-        let analysis = analyze(source, config).map_err(LoadError::Compile)?;
+        let (analysis, spans) = analyze_with_spans(source, config).map_err(LoadError::Compile)?;
         let engine = match scanner {
             Some(sn) => {
                 let sc =
@@ -348,6 +358,7 @@ impl GrammarStore {
             compile_time: started.elapsed(),
             hits: AtomicU64::new(0),
             engine,
+            spans,
         })
     }
 

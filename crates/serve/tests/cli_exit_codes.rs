@@ -99,6 +99,93 @@ fn batch_with_a_driver_error_still_exits_nonzero() {
     assert!(!out.status.success());
 }
 
+/// Checks clean apart from one AG001 warning: `t.DEAD` is computed
+/// from real data but never consumed.
+const WARNY: &str = "\
+grammar Warny ;
+terminals  x : intrinsic OBJ int ;
+nonterminals
+  s : syn V int ;
+  t : syn V int, syn DEAD int ;
+start s ;
+productions
+prod s = t :
+  s.V = t.V + 0 ;
+end
+prod t = x :
+  t.V = x.OBJ ;
+  t.DEAD = x.OBJ + 1 ;
+end
+end
+";
+
+/// `s.V` is declared but never defined: an AG007 error.
+const INCOMPLETE: &str = "\
+grammar Gap ;
+terminals  x ;
+nonterminals  s : syn V int ;
+start s ;
+productions
+prod s = x :
+end
+end
+";
+
+#[test]
+fn check_clean_grammar_exits_zero_in_both_formats() {
+    let good = write_tmp("check-good.lg", GOOD);
+    let out = linguist().arg("check").arg(&good).output().expect("run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 error(s)"), "{}", stdout);
+    let out = linguist()
+        .arg("check")
+        .arg("--format=json")
+        .arg(&good)
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("{\"grammar\":"), "{}", stdout);
+    assert!(stdout.contains("\"errors\":0"), "{}", stdout);
+}
+
+#[test]
+fn check_deny_warnings_flips_the_exit_code() {
+    let warny = write_tmp("check-warny.lg", WARNY);
+    let out = linguist().arg("check").arg(&warny).output().expect("run");
+    assert!(
+        out.status.success(),
+        "warnings alone should not fail a plain check: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("warning[AG001]"));
+    let out = linguist()
+        .args(["check", "--deny-warnings"])
+        .arg(&warny)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1), "--deny-warnings must exit 1");
+}
+
+#[test]
+fn check_errors_exit_one_and_bad_usage_exits_two() {
+    let bad = write_tmp("check-gap.lg", INCOMPLETE);
+    let out = linguist().arg("check").arg(&bad).output().expect("run");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("error[AG007]"));
+    let out = linguist()
+        .args(["check", "--format", "yaml"])
+        .arg(&bad)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+}
+
 #[test]
 fn serve_and_client_subcommands_round_trip() {
     let sock = std::env::temp_dir().join(format!("linguist-cli-serve-{}.sock", std::process::id()));

@@ -345,6 +345,61 @@ fn malformed_lines_and_unknown_handles_get_typed_errors() {
 }
 
 #[test]
+fn check_reuses_the_compiled_cache_and_locates_broken_grammars() {
+    let handle = start("check", 2, 16);
+    let mut client = unix_client(&handle);
+    let loaded = client
+        .load_grammar(calc_source(), Some("calc"), None)
+        .expect("load");
+    assert!(ok(&loaded), "{}", loaded);
+    let key = loaded
+        .get("grammar")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    // Check by handle: coded findings straight off the cached analysis.
+    let reply = client.check(&key).expect("check round-trips");
+    assert!(ok(&reply), "{}", reply);
+    assert_eq!(reply.get("errors").and_then(Json::as_i64), Some(0));
+    assert!(reply.get("passes").and_then(Json::as_i64).is_some());
+    assert!(reply.get("diagnostics").and_then(Json::as_arr).is_some());
+    // Check by (identical) source: resolves through the cache, same shape.
+    let by_source = client
+        .check_source(calc_source(), Some("calc"))
+        .expect("check by source round-trips");
+    assert!(ok(&by_source), "{}", by_source);
+    assert_eq!(
+        by_source.get("errors").and_then(Json::as_i64),
+        reply.get("errors").and_then(Json::as_i64)
+    );
+    // Neither check re-ran the frontend: one analysis for the one load.
+    let store = handle.state().store_stats();
+    assert_eq!(store.analyses, 1, "check re-analyzed: {:?}", store);
+    // A grammar the cache refuses to compile still yields located
+    // findings (an `ok` reply, not an opaque compile error).
+    let broken =
+        "grammar B ;\nnonterminals s : syn V int ;\nstart s ;\nproductions\nprod s = :\nend\nend\n";
+    let reply = client
+        .check_source(broken, None)
+        .expect("broken check round-trips");
+    assert!(ok(&reply), "{}", reply);
+    assert!(reply.get("errors").and_then(Json::as_i64).unwrap_or(0) >= 1);
+    let diags = reply.get("diagnostics").and_then(Json::as_arr).unwrap();
+    assert!(
+        diags.iter().any(|d| {
+            d.get("code").and_then(Json::as_str) == Some("AG007")
+                && d.get("line").and_then(Json::as_i64).unwrap_or(0) >= 5
+        }),
+        "expected a located AG007 finding: {}",
+        reply
+    );
+    // Unknown handles still get the typed error.
+    let reply = client.check("0000000000000000").expect("replies");
+    assert_eq!(error_kind(&reply), Some("grammar_not_found"));
+    handle.shutdown();
+}
+
+#[test]
 fn shutdown_request_stops_the_daemon() {
     let handle = start("shutdown", 1, 4);
     let path = handle.unix_path().expect("unix bound").to_path_buf();

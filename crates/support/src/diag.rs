@@ -40,17 +40,35 @@ pub struct Diagnostic {
     /// Which overlay produced it (1-based, as in the paper's seven-overlay
     /// structure); 0 for messages not tied to an overlay.
     pub overlay: u8,
+    /// Stable machine-readable code (e.g. `AG001`); `None` for messages
+    /// outside the lint registry.
+    pub code: Option<&'static str>,
     /// Human-readable text.
     pub message: String,
 }
 
+impl Diagnostic {
+    /// Attach a stable code to this diagnostic.
+    pub fn with_code(mut self, code: &'static str) -> Diagnostic {
+        self.code = Some(code);
+        self
+    }
+}
+
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}: {}: {}",
-            self.span.start, self.severity, self.message
-        )
+        match self.code {
+            Some(code) => write!(
+                f,
+                "{}: {}[{}]: {}",
+                self.span.start, self.severity, code, self.message
+            ),
+            None => write!(
+                f,
+                "{}: {}: {}",
+                self.span.start, self.severity, self.message
+            ),
+        }
     }
 }
 
@@ -89,6 +107,7 @@ impl Diagnostics {
             severity: Severity::Error,
             span,
             overlay,
+            code: None,
             message: message.into(),
         });
     }
@@ -99,6 +118,7 @@ impl Diagnostics {
             severity: Severity::Warning,
             span,
             overlay,
+            code: None,
             message: message.into(),
         });
     }
@@ -109,6 +129,7 @@ impl Diagnostics {
             severity: Severity::Note,
             span,
             overlay,
+            code: None,
             message: message.into(),
         });
     }
@@ -133,11 +154,22 @@ impl Diagnostics {
         self.items.iter()
     }
 
-    /// Diagnostics sorted by source line then column (the order the listing
-    /// generator wants); stable for equal positions.
+    /// Diagnostics sorted by source position (the order the listing
+    /// generator wants). The sort is total and stable: ties on the span
+    /// break on severity (errors last, so they end a line's message
+    /// block), then on the stable code, then on insertion order.
     pub fn sorted_for_listing(&self) -> Vec<&Diagnostic> {
         let mut v: Vec<&Diagnostic> = self.items.iter().collect();
-        v.sort_by_key(|d| (d.span.start.line, d.span.start.col));
+        v.sort_by_key(|d| {
+            (
+                d.span.start.line,
+                d.span.start.col,
+                d.span.end.line,
+                d.span.end.col,
+                d.severity,
+                d.code,
+            )
+        });
         v
     }
 
@@ -185,6 +217,62 @@ mod tests {
         let sorted = d.sorted_for_listing();
         assert_eq!(sorted[0].message, "earlier");
         assert_eq!(sorted[1].message, "later");
+    }
+
+    #[test]
+    fn listing_order_breaks_equal_span_ties_by_severity_then_code() {
+        let mut d = Diagnostics::new();
+        // All four share one span; insertion order is deliberately
+        // scrambled relative to the expected (severity, code) order.
+        d.error(at_line(4), 1, "e");
+        d.push(Diagnostic {
+            severity: Severity::Warning,
+            span: at_line(4),
+            overlay: 1,
+            code: Some("AG009"),
+            message: "w-late".into(),
+        });
+        d.push(Diagnostic {
+            severity: Severity::Warning,
+            span: at_line(4),
+            overlay: 1,
+            code: Some("AG001"),
+            message: "w-early".into(),
+        });
+        d.note(at_line(4), 1, "n");
+        let msgs: Vec<&str> = d
+            .sorted_for_listing()
+            .iter()
+            .map(|d| d.message.as_str())
+            .collect();
+        // Note < Warning < Error; equal severity orders by code, with
+        // code-less entries first (None < Some).
+        assert_eq!(msgs, vec!["n", "w-early", "w-late", "e"]);
+        // And the sort must be stable: identical entries keep insertion
+        // order.
+        let mut s = Diagnostics::new();
+        s.warning(at_line(7), 1, "first");
+        s.warning(at_line(7), 1, "second");
+        let msgs: Vec<&str> = s
+            .sorted_for_listing()
+            .iter()
+            .map(|d| d.message.as_str())
+            .collect();
+        assert_eq!(msgs, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn display_includes_code_when_present() {
+        let d = Diagnostic {
+            severity: Severity::Warning,
+            span: at_line(3),
+            overlay: 0,
+            code: Some("AG001"),
+            message: "dead attribute".into(),
+        };
+        let text = d.to_string();
+        assert!(text.contains("warning[AG001]"));
+        assert!(text.contains("dead attribute"));
     }
 
     #[test]

@@ -14,7 +14,10 @@
 #      reports the boundary it restarted after
 #   8. checkpoint-overhead bench snapshot lands in target/
 #   9. serve smoke test: daemon on a temp Unix socket answers a load,
-#      a translate, and a stats round-trip, then shuts down cleanly
+#      a check (against the compiled cache, no re-analysis), a
+#      translate, and a stats round-trip, then shuts down cleanly
+#  10. lint gate: `linguist check --deny-warnings` accepts the meta
+#      grammar, and the JSON report parses and is deterministic
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -74,6 +77,15 @@ HANDLE="$(target/release/linguist client --socket "$SOCK" \
     load crates/grammars/lg/meta.lg --scanner meta --name meta \
   | python3 -c 'import json,sys; r=json.load(sys.stdin); assert r["ok"]; print(r["grammar"])')"
 target/release/linguist client --socket "$SOCK" \
+    raw "{\"op\":\"check\",\"grammar\":\"$HANDLE\"}" \
+  | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+assert r["ok"], r
+assert r["errors"] == 0 and r["warnings"] == 0, r
+assert r["passes"] == 4, r
+'
+target/release/linguist client --socket "$SOCK" \
     translate "$HANDLE" --budget 200 \
   | python3 -c '
 import json, sys
@@ -93,5 +105,21 @@ target/release/linguist client --socket "$SOCK" shutdown > /dev/null
 wait "$SERVE_PID" || { echo "daemon exited non-zero"; exit 1; }
 [ ! -e "$SOCK" ] || { echo "socket file not cleaned up"; exit 1; }
 echo "serve round-trips and shuts down cleanly"
+
+echo "== linguist check lint gate =="
+target/release/linguist check --deny-warnings crates/grammars/lg/meta.lg > /dev/null
+target/release/linguist check --format=json crates/grammars/lg/meta.lg \
+  | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+assert r["errors"] == 0 and r["warnings"] == 0, (r["errors"], r["warnings"])
+assert r["passes"] == 4, r["passes"]
+codes = {d["code"] for d in r["diagnostics"]}
+assert {"AG004", "AG005"} <= codes, codes
+'
+A="$(target/release/linguist check --format=json crates/grammars/lg/meta.lg)"
+B="$(target/release/linguist check --format=json crates/grammars/lg/meta.lg)"
+[ "$A" = "$B" ] || { echo "check JSON is not deterministic"; exit 1; }
+echo "meta grammar lints clean; JSON parses and is deterministic"
 
 echo "verify: all green"
