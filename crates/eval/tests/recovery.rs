@@ -333,6 +333,75 @@ fn corrupted_newest_checkpoint_walks_back_to_an_earlier_one() {
 }
 
 #[test]
+fn deleted_checkpoint_files_walk_back_one_at_a_time() {
+    // The walk-back must survive *missing* boundary files, not only
+    // corrupted ones: deleting boundary k makes its manifest entry
+    // unverifiable (`file_summary` errors instead of mismatching), and
+    // resume must fall back to the newest surviving boundary with
+    // byte-identical output.
+    let (analysis, tree) = two_pass_setup();
+    let funcs = Funcs::standard();
+
+    for deleted in 0u16..=1 {
+        let ckpt = Ckpt::new(&format!("delete{}", deleted));
+        let full =
+            evaluate_resumable(&analysis, &funcs, &tree, &prefix_opts(), ckpt.path()).unwrap();
+        std::fs::remove_file(boundary_path(ckpt.path(), deleted)).unwrap();
+
+        let resumed = Evaluation::resume(&analysis, &funcs, &prefix_opts(), ckpt.path()).unwrap();
+        // Deleting 1 forces the walk back to 0; deleting 0 leaves the
+        // newer boundary 1 as the (still valid) resume point.
+        let expect_from = if deleted == 1 { 0 } else { 1 };
+        assert_eq!(
+            resumed.stats.resumed_from,
+            Some(expect_from),
+            "resume point after deleting boundary {}",
+            deleted
+        );
+        assert_eq!(
+            resumed.stats.passes.len(),
+            (2 - expect_from) as usize,
+            "only the passes after boundary {} re-run",
+            expect_from
+        );
+        assert_eq!(
+            encoded_outputs(&resumed),
+            encoded_outputs(&full),
+            "byte-identical output after deleting boundary {}",
+            deleted
+        );
+    }
+}
+
+#[test]
+fn deleting_every_checkpoint_file_fails_typed_then_fresh_run_recovers() {
+    let (analysis, tree) = two_pass_setup();
+    let funcs = Funcs::standard();
+    let ckpt = Ckpt::new("deleteall");
+    let full = evaluate_resumable(&analysis, &funcs, &tree, &prefix_opts(), ckpt.path()).unwrap();
+
+    for k in 0u16..=1 {
+        std::fs::remove_file(boundary_path(ckpt.path(), k)).unwrap();
+    }
+    // The manifest survives but no boundary it records exists: resume
+    // (tree-free, so nothing to restart from) must fail typed rather
+    // than fabricate output.
+    let err = Evaluation::resume(&analysis, &funcs, &prefix_opts(), ckpt.path())
+        .expect_err("no boundary file can validate");
+    assert!(
+        matches!(err, EvalError::Corrupt(_)),
+        "expected a corrupt-checkpoint error, got {:?}",
+        err
+    );
+    // A caller holding the tree falls back to a fresh checkpointed run
+    // in the same directory — same bytes out, checkpoints rebuilt.
+    let fresh = evaluate_resumable(&analysis, &funcs, &tree, &prefix_opts(), ckpt.path()).unwrap();
+    assert_eq!(encoded_outputs(&fresh), encoded_outputs(&full));
+    let again = Evaluation::resume(&analysis, &funcs, &prefix_opts(), ckpt.path()).unwrap();
+    assert_eq!(encoded_outputs(&again), encoded_outputs(&full));
+}
+
+#[test]
 fn resume_without_any_checkpoint_is_a_typed_error() {
     let (analysis, _) = two_pass_setup();
     let ckpt = Ckpt::new("empty");

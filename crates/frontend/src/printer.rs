@@ -1,0 +1,320 @@
+//! `Grammar → .lg` pretty-printer.
+//!
+//! The inverse of [`lower`](crate::lower::lower): renders a structural
+//! [`Grammar`] back into the concrete LINGUIST syntax of [`crate::lang`],
+//! such that `lower(parse(print(g)))` is structurally identical to `g`
+//! (same symbols, attributes, productions, and explicit rules, in the
+//! same order, with the same names). This is what lets randomly
+//! *generated* grammars round-trip through the real text frontend —
+//! scanner, LALR parser, occurrence-suffix resolution — instead of
+//! entering the pipeline through the builder API only.
+//!
+//! Printing rules that keep the round trip exact:
+//!
+//! * Only [`RuleOrigin::Explicit`] rules are printed. Implicit copy
+//!   rules are *derived* (inserted by the analysis phase); printing them
+//!   would turn them explicit on the way back in.
+//! * Occurrence names follow the Figure-1 convention exactly as
+//!   [`lower`](crate::lower::lower) verifies it: a symbol occurring more
+//!   than once in a production (LHS counted first) gets its ordinal
+//!   suffix on every occurrence; a unique symbol is written bare.
+//! * Every binary operation is printed fully parenthesized. The parse
+//!   tree drops parentheses (there is no paren node in the AST), so
+//!   over-parenthesizing is invisible to the round trip while sparing
+//!   the printer any precedence bookkeeping.
+//! * Limb-attribute occurrences are written bare (`TMP`), matching the
+//!   only concrete syntax that resolves to [`OccPos::Limb`].
+//!
+//! One caveat: the concrete syntax has no negative integer literals
+//! (`INT` is `[0-9]+` and there is no unary minus), so a negative
+//! [`Expr::Int`] is printed as `(0 - n)`, which reparses as a
+//! subtraction. No frontend-lowered grammar can contain a negative
+//! literal, so this only affects builder-constructed grammars, and only
+//! changes the expression's spelling, not its value.
+
+use linguist_ag::expr::Expr;
+use linguist_ag::grammar::{AttrClass, Grammar, RuleOrigin, SymbolKind};
+use linguist_ag::ids::{AttrOcc, OccPos, ProdId, SymbolId};
+use std::fmt::Write;
+
+/// Render `g` as LINGUIST concrete syntax under the grammar name `name`
+/// (the name is part of the syntax but not of the structural grammar).
+pub fn print_grammar(g: &Grammar, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "grammar {} ;", name);
+
+    for (kind, keyword) in [
+        (SymbolKind::Terminal, "terminals"),
+        (SymbolKind::Nonterminal, "nonterminals"),
+        (SymbolKind::Limb, "limbs"),
+    ] {
+        let syms: Vec<(usize, _)> = g
+            .symbols()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind == kind)
+            .collect();
+        if syms.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "{}", keyword);
+        for (i, sym) in syms {
+            let sname = g.symbol_name(SymbolId(i as u32));
+            if sym.attrs.is_empty() {
+                let _ = writeln!(out, "  {} ;", sname);
+                continue;
+            }
+            let decls: Vec<String> = sym
+                .attrs
+                .iter()
+                .map(|&a| {
+                    let attr = g.attr(a);
+                    let class = match attr.class {
+                        AttrClass::Synthesized => "syn",
+                        AttrClass::Inherited => "inh",
+                        AttrClass::Intrinsic => "intrinsic",
+                        AttrClass::Limb => "local",
+                    };
+                    format!("{} {} {}", class, g.attr_name(a), g.resolve(attr.type_name))
+                })
+                .collect();
+            let _ = writeln!(out, "  {} : {} ;", sname, decls.join(", "));
+        }
+    }
+
+    let _ = writeln!(out, "start {} ;", g.symbol_name(g.start()));
+    let _ = writeln!(out, "productions");
+    for (pi, p) in g.productions().iter().enumerate() {
+        let prod = ProdId(pi as u32);
+        let occ = occurrence_names(g, prod);
+        let rhs: Vec<String> = (0..p.rhs.len())
+            .map(|i| occ.name(OccPos::Rhs(i as u16)))
+            .collect();
+        // An empty RHS still needs its `=`: `prod s = : ... end`.
+        let head = if rhs.is_empty() {
+            format!("{} =", occ.name(OccPos::Lhs))
+        } else {
+            format!("{} = {}", occ.name(OccPos::Lhs), rhs.join(" "))
+        };
+        match p.limb {
+            Some(l) => {
+                let _ = writeln!(out, "prod {} -> {} :", head, g.symbol_name(l));
+            }
+            None => {
+                let _ = writeln!(out, "prod {} :", head);
+            }
+        }
+        for &r in &p.rules {
+            let rule = g.rule(r);
+            if rule.origin != RuleOrigin::Explicit {
+                continue;
+            }
+            let targets: Vec<String> = rule.targets.iter().map(|t| occ.target(g, *t)).collect();
+            let _ = writeln!(
+                out,
+                "  {} = {} ;",
+                targets.join(" & "),
+                print_expr(g, &occ, &rule.expr)
+            );
+        }
+        let _ = writeln!(out, "end");
+    }
+    let _ = writeln!(out, "end");
+    out
+}
+
+/// The occurrence-name table of one production: which concrete spelling
+/// (`expr`, `expr0`, `expr1`, …) names each position.
+struct OccNames {
+    lhs: String,
+    rhs: Vec<String>,
+}
+
+impl OccNames {
+    fn name(&self, pos: OccPos) -> String {
+        match pos {
+            OccPos::Lhs => self.lhs.clone(),
+            OccPos::Rhs(i) => self.rhs[i as usize].clone(),
+            OccPos::Limb => unreachable!("limb occurrences are spelled by attribute name"),
+        }
+    }
+
+    /// A rule target: `occ.ATTR` for LHS/RHS positions, the bare
+    /// attribute name for limb attributes.
+    fn target(&self, g: &Grammar, t: AttrOcc) -> String {
+        match t.pos {
+            OccPos::Limb => g.attr_name(t.attr).to_string(),
+            pos => format!("{}.{}", self.name(pos), g.attr_name(t.attr)),
+        }
+    }
+}
+
+/// Compute the Figure-1 occurrence spellings for `prod`: ordinals count
+/// the LHS first, then RHS occurrences left to right; a symbol occurring
+/// once is spelled bare.
+fn occurrence_names(g: &Grammar, prod: ProdId) -> OccNames {
+    let p = g.production(prod);
+    let count = |s: SymbolId| -> usize {
+        usize::from(p.lhs == s) + p.rhs.iter().filter(|&&r| r == s).count()
+    };
+    let spell = |s: SymbolId, ord: usize| -> String {
+        if count(s) > 1 {
+            format!("{}{}", g.symbol_name(s), ord)
+        } else {
+            g.symbol_name(s).to_string()
+        }
+    };
+    let lhs = spell(p.lhs, 0);
+    let mut seen: std::collections::HashMap<SymbolId, usize> = std::collections::HashMap::new();
+    let rhs = p
+        .rhs
+        .iter()
+        .map(|&s| {
+            let base = usize::from(p.lhs == s);
+            let k = seen.entry(s).or_insert(0);
+            let ord = base + *k;
+            *k += 1;
+            spell(s, ord)
+        })
+        .collect();
+    OccNames { lhs, rhs }
+}
+
+/// Render one semantic-function expression. Binops are fully
+/// parenthesized; `if` prints its comma-separated arm lists.
+fn print_expr(g: &Grammar, occ: &OccNames, e: &Expr) -> String {
+    match e {
+        Expr::Occ(o) => occ.target(g, *o),
+        Expr::Int(i) if *i >= 0 => i.to_string(),
+        Expr::Int(i) => format!("(0 - {})", (*i as i128).unsigned_abs()),
+        Expr::Bool(true) => "true".to_string(),
+        Expr::Bool(false) => "false".to_string(),
+        Expr::Str(s) => {
+            debug_assert!(
+                !s.contains('\'') && !s.contains('\n'),
+                "string literal `{}` cannot be spelled in .lg syntax",
+                s
+            );
+            format!("'{}'", s)
+        }
+        Expr::Const(n) => g.resolve(*n).to_string(),
+        Expr::Call { func, args } => {
+            let rendered: Vec<String> = args.iter().map(|a| print_expr(g, occ, a)).collect();
+            format!("{}({})", g.resolve(*func), rendered.join(", "))
+        }
+        Expr::Binop { op, lhs, rhs } => format!(
+            "({} {} {})",
+            print_expr(g, occ, lhs),
+            op,
+            print_expr(g, occ, rhs)
+        ),
+        Expr::If {
+            branches,
+            otherwise,
+        } => {
+            let arm = |xs: &[Expr]| -> String {
+                xs.iter()
+                    .map(|x| print_expr(g, occ, x))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let mut s = String::new();
+            for (i, (cond, body)) in branches.iter().enumerate() {
+                let kw = if i == 0 { "if" } else { "elsif" };
+                let _ = write!(s, "{} {} then {} ", kw, print_expr(g, occ, cond), arm(body));
+            }
+            let _ = write!(s, "else {} endif", arm(otherwise));
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse;
+    use crate::lower::lower;
+
+    const CALC: &str = r#"
+grammar Calc ;
+terminals
+  NUMBER : intrinsic VAL int ;
+  PLUS ;
+nonterminals
+  expr : syn V int ;
+  term : syn V int ;
+limbs
+  AddLimb : local TMP int ;
+start expr ;
+productions
+prod expr0 = expr1 PLUS term -> AddLimb :
+  TMP = term.V ;
+  expr0.V = expr1.V + TMP ;
+end
+prod expr0 = term :
+  expr0.V = term.V ;
+end
+prod term = NUMBER :
+  term.V = NUMBER.VAL ;
+end
+end
+"#;
+
+    #[test]
+    fn printed_calc_reaches_a_fixed_point() {
+        let g1 = lower(&parse(CALC).unwrap()).unwrap();
+        let p1 = print_grammar(&g1, "Calc");
+        let g2 = lower(&parse(&p1).unwrap()).unwrap_or_else(|e| {
+            panic!("printed grammar must reparse: {:?}\n{}", e, p1);
+        });
+        let p2 = print_grammar(&g2, "Calc");
+        assert_eq!(p1, p2, "print → parse → lower → print is a fixed point");
+        assert_eq!(g1.rules().len(), g2.rules().len());
+        assert_eq!(g1.symbols().len(), g2.symbols().len());
+    }
+
+    #[test]
+    fn suffixes_appear_exactly_when_a_symbol_repeats() {
+        let g = lower(&parse(CALC).unwrap()).unwrap();
+        let p = print_grammar(&g, "Calc");
+        assert!(p.contains("prod expr0 = expr1 PLUS term -> AddLimb :"));
+        assert!(p.contains("prod term = NUMBER :"));
+    }
+
+    #[test]
+    fn empty_rhs_and_multi_target_print() {
+        let src = r#"
+grammar T ;
+nonterminals s : syn A int, syn B int ;
+start s ;
+productions
+prod s = :
+  s.A & s.B = if true then 1, 2 else 3, 4 endif ;
+end
+end
+"#;
+        let g1 = lower(&parse(src).unwrap()).unwrap();
+        let p1 = print_grammar(&g1, "T");
+        assert!(p1.contains("prod s = :"), "{}", p1);
+        assert!(p1.contains("s.A & s.B = if true then 1, 2 else 3, 4 endif ;"));
+        let g2 = lower(&parse(&p1).unwrap()).unwrap();
+        assert_eq!(p1, print_grammar(&g2, "T"));
+    }
+
+    #[test]
+    fn negative_literal_prints_as_subtraction() {
+        use linguist_ag::grammar::AgBuilder;
+        use linguist_ag::ids::AttrOcc;
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("s");
+        let v = b.synthesized(s, "V", "int");
+        let p = b.production(s, vec![], None);
+        b.rule(p, vec![AttrOcc::lhs(v)], Expr::Int(-7));
+        b.start(s);
+        let g = b.build().unwrap();
+        let printed = print_grammar(&g, "Neg");
+        assert!(printed.contains("(0 - 7)"), "{}", printed);
+        // The respelled form still parses and evaluates to the same value.
+        lower(&parse(&printed).unwrap()).unwrap();
+    }
+}

@@ -1,0 +1,78 @@
+//! Regenerate the seed fixtures under `tests/corpus/`.
+//!
+//! The differential fuzzer (`tests/differential.rs`) persists any
+//! divergent case it finds into that directory; these seeds exist so the
+//! corpus-replay test exercises every generator family (a copy-dense
+//! chain, a multi-pass ladder, a limb + multi-target mix) on every run
+//! even when the fuzzer has never caught anything. Run with
+//! `cargo run --example fuzz_corpus` from the workspace root; fixtures
+//! are written deterministically, so reruns are byte-stable.
+
+use linguist_frontend::differential::persist_fixture;
+use linguist_grammars::synth::{realize, Family, ShapeParams};
+use std::path::Path;
+
+fn main() {
+    let dir = Path::new("tests/corpus");
+    let seeds = [
+        (
+            "seed_copy",
+            "pins the implicit-copy mechanism: dense copy chains resolved by analysis",
+            ShapeParams {
+                family: Family::CopyChain,
+                nonterminals: 3,
+                ranks: 1,
+                inherited: true,
+                extra_prods: 2,
+                copy_density: 0.9,
+                multi_target: false,
+                use_limb: false,
+                budget: 24,
+                seed: 0xc0c0,
+            },
+        ),
+        (
+            "seed_ladder",
+            "pins multi-pass scheduling: rank-3 ladder whose schedule needs several passes",
+            ShapeParams {
+                family: Family::Ladder,
+                nonterminals: 2,
+                ranks: 3,
+                inherited: true,
+                extra_prods: 2,
+                copy_density: 0.4,
+                multi_target: false,
+                use_limb: true,
+                budget: 32,
+                seed: 0x1ad0,
+            },
+        ),
+        (
+            "seed_mixed",
+            "pins Figure-5 multi-target functions and limb attributes together",
+            ShapeParams {
+                family: Family::Mixed,
+                nonterminals: 3,
+                ranks: 2,
+                inherited: true,
+                extra_prods: 2,
+                copy_density: 0.5,
+                multi_target: true,
+                use_limb: true,
+                budget: 28,
+                seed: 0x3513,
+            },
+        ),
+    ];
+    for (name, why, params) in seeds {
+        let sg = realize(&params);
+        let path = persist_fixture(dir, name, &sg.source, sg.params.budget, why)
+            .expect("write seed fixture");
+        println!(
+            "{} ({} bytes, degraded {} steps)",
+            path.display(),
+            sg.source.len(),
+            sg.degraded
+        );
+    }
+}

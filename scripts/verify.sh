@@ -18,6 +18,8 @@
 #      translate, and a stats round-trip, then shuts down cleanly
 #  10. lint gate: `linguist check --deny-warnings` accepts the meta
 #      grammar, and the JSON report parses and is deterministic
+#  11. fuzz smoke: a bounded run of the four-way differential oracle
+#      (generated grammars + corpus replay) under PROPTEST_CASES=12
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -121,5 +123,13 @@ A="$(target/release/linguist check --format=json crates/grammars/lg/meta.lg)"
 B="$(target/release/linguist check --format=json crates/grammars/lg/meta.lg)"
 [ "$A" = "$B" ] || { echo "check JSON is not deterministic"; exit 1; }
 echo "meta grammar lints clean; JSON parses and is deterministic"
+
+echo "== differential fuzz smoke =="
+# Bounded smoke over the same property the full suite takes to 64 cases:
+# generated grammars through sequential / parallel / crash-resume / serve,
+# plus a replay of every pinned fixture in tests/corpus/. Deterministic —
+# the shim derives case seeds from the test's module path.
+PROPTEST_CASES=12 cargo test -q --release --test differential
+echo "differential oracle agrees across all four modes"
 
 echo "verify: all green"

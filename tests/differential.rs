@@ -1,0 +1,313 @@
+//! Differential fuzzing of the full pipeline: every generated grammar is
+//! pretty-printed to `.lg` text, re-compiled through the real frontend,
+//! and executed four ways —
+//!
+//! 1. sequential [`evaluate`](linguist_eval::machine::evaluate),
+//! 2. the parallel `BatchEvaluator` (8 workers, 8 tree copies),
+//! 3. crash-resume at *every* checkpoint boundary,
+//! 4. the warm `serve` daemon (in-process, over a Unix socket),
+//!
+//! — and all four must produce byte-identical APT output. On top of the
+//! output oracle, the `linguist check` report must agree between the
+//! local lint driver and the daemon's `check` reply, and the sequential
+//! baseline must satisfy the `EvalMetrics` conservation laws (checked
+//! inside [`run_case`]).
+//!
+//! Any divergence is minimized (budget halving + whole-production
+//! removal) and persisted as a replayable fixture under `tests/corpus/`;
+//! the companion test replays every fixture in that directory so a bug,
+//! once caught, stays caught.
+//!
+//! Case count: 64 generated grammars by default (`PROPTEST_CASES`
+//! overrides — `scripts/verify.sh` runs a bounded smoke).
+
+use linguist_ag::analysis::Config;
+use linguist_ag::lint::LintConfig;
+use linguist_frontend::check_source;
+use linguist_frontend::differential::{
+    load_fixture, minimize, persist_fixture, run_case, CaseResult,
+};
+use linguist_grammars::synth::{realize, shape_strategy, ShapedGrammar};
+use linguist_serve::client::Client;
+use linguist_serve::server::{Server, ServerConfig, ServerHandle};
+use linguist_support::json::Json;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+/// Where divergent cases are persisted and pinned fixtures replay from.
+const CORPUS_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+
+// ---------------------------------------------------------------------------
+// The shared daemon: one in-process server for the whole test binary.
+// ---------------------------------------------------------------------------
+
+fn daemon() -> &'static ServerHandle {
+    static HANDLE: OnceLock<ServerHandle> = OnceLock::new();
+    HANDLE.get_or_init(|| {
+        let sock = std::env::temp_dir().join(format!(
+            "linguist86-differential-{}.sock",
+            std::process::id()
+        ));
+        Server::start(ServerConfig {
+            unix_path: Some(sock),
+            tcp_addr: None,
+            workers: 4,
+            queue_capacity: 64,
+            // Every fuzz case is a distinct grammar; keep them all resident
+            // so a case's `translate` never races another thread's `load`
+            // for a cache slot.
+            cache_capacity: 256,
+            default_deadline: None,
+            config: Config::default(),
+        })
+        .expect("start in-process serve daemon")
+    })
+}
+
+fn connect() -> Client {
+    Client::connect_unix(daemon().unix_path().expect("daemon has a unix socket"))
+        .expect("connect to in-process daemon")
+}
+
+fn is_ok(reply: &Json) -> bool {
+    reply.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+// ---------------------------------------------------------------------------
+// Per-case scratch space.
+// ---------------------------------------------------------------------------
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "linguist86-fuzz-{}-{}-{}",
+        std::process::id(),
+        tag,
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create scratch dir");
+    d
+}
+
+// ---------------------------------------------------------------------------
+// Mode 4: the serve daemon, compared against the sequential baseline.
+// ---------------------------------------------------------------------------
+
+/// Load `source` into the daemon, translate the same deterministic
+/// budget-synthesized tree, and compare the ordered `(attribute, value)`
+/// output pairs and the pass count against the local baseline.
+fn serve_divergences(source: &str, name: &str, budget: usize, r: &CaseResult) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut client = connect();
+
+    let loaded = match client.load_grammar(source, None, Some(name)) {
+        Ok(reply) => reply,
+        Err(e) => return vec![format!("[serve] load_grammar transport failed: {}", e)],
+    };
+    if !is_ok(&loaded) {
+        return vec![format!(
+            "[serve] daemon rejected a grammar the local frontend accepted: {}",
+            loaded
+        )];
+    }
+    let handle = loaded
+        .get("grammar")
+        .and_then(Json::as_str)
+        .expect("ok load reply carries a grammar handle")
+        .to_owned();
+
+    let reply = match client.translate_budget(&handle, budget, Some(120_000)) {
+        Ok(reply) => reply,
+        Err(e) => return vec![format!("[serve] translate transport failed: {}", e)],
+    };
+    if !is_ok(&reply) {
+        return vec![format!(
+            "[serve] translate failed where the local evaluator succeeded: {}",
+            reply
+        )];
+    }
+
+    // The daemon renders outputs as ordered (attr name, value string)
+    // pairs; render the local baseline identically and require equality.
+    let got: Vec<(String, String)> = match reply.get("outputs") {
+        Some(Json::Obj(pairs)) => pairs
+            .iter()
+            .map(|(k, v)| (k.clone(), v.as_str().unwrap_or("<non-string>").to_owned()))
+            .collect(),
+        other => {
+            return vec![format!(
+                "[serve] translate reply has no outputs object: {:?}",
+                other
+            )]
+        }
+    };
+    let g = &r.analysis.grammar;
+    let want: Vec<(String, String)> = r
+        .baseline
+        .outputs
+        .iter()
+        .map(|(a, v)| (g.attr_name(*a).to_owned(), v.to_string()))
+        .collect();
+    if got != want {
+        let i = want
+            .iter()
+            .zip(got.iter())
+            .position(|(w, s)| w != s)
+            .unwrap_or_else(|| want.len().min(got.len()));
+        out.push(format!(
+            "[serve] outputs diverge from sequential baseline at index {}: \
+             local {:?}, serve {:?} ({} vs {} outputs)",
+            i,
+            want.get(i),
+            got.get(i),
+            want.len(),
+            got.len()
+        ));
+    }
+
+    let local_passes = r.baseline.stats.passes.len() as i64;
+    let serve_passes = reply.get("passes").and_then(Json::as_i64);
+    if serve_passes != Some(local_passes) {
+        out.push(format!(
+            "[serve] pass count diverges: local ran {} passes, serve reports {:?}",
+            local_passes, serve_passes
+        ));
+    }
+    out
+}
+
+/// `linguist check` consistency: the local lint driver and the daemon's
+/// `check` reply must agree on error/warning/note counts and the pass
+/// count for the same source.
+fn check_divergences(source: &str) -> Vec<String> {
+    let local = check_source(source, &Config::default(), &LintConfig::default());
+    let mut client = connect();
+    let reply = match client.check_source(source, None) {
+        Ok(reply) => reply,
+        Err(e) => return vec![format!("[check] transport failed: {}", e)],
+    };
+    if !is_ok(&reply) {
+        return vec![format!("[check] daemon check failed: {}", reply)];
+    }
+    let mut out = Vec::new();
+    let fields: [(&str, i64); 3] = [
+        ("errors", local.errors() as i64),
+        ("warnings", local.warnings() as i64),
+        ("notes", local.notes() as i64),
+    ];
+    for (key, want) in fields {
+        let got = reply.get(key).and_then(Json::as_i64);
+        if got != Some(want) {
+            out.push(format!(
+                "[check] {} count diverges: local {}, serve {:?}",
+                key, want, got
+            ));
+        }
+    }
+    let want_passes = local.passes.map(|p| p as i64);
+    let got_passes = reply.get("passes").and_then(Json::as_i64);
+    if got_passes != want_passes {
+        out.push(format!(
+            "[check] pass count diverges: local {:?}, serve {:?}",
+            want_passes, got_passes
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// One case through all four modes + the check oracle.
+// ---------------------------------------------------------------------------
+
+fn oracle(source: &str, name: &str, budget: usize, scratch: &Path) -> Vec<String> {
+    match run_case(source, budget, scratch) {
+        Err(d) => vec![d.to_string()],
+        Ok(r) => {
+            let mut msgs: Vec<String> = r.divergences.iter().map(|d| d.to_string()).collect();
+            msgs.extend(serve_divergences(source, name, budget, &r));
+            msgs.extend(check_divergences(source));
+            msgs
+        }
+    }
+}
+
+/// Shrink a divergent case against the local three-mode oracle and pin
+/// it into the corpus; serve-only divergences persist unshrunk (the
+/// local probe won't reproduce them, so `minimize` keeps the source).
+fn fail_case(sg: &ShapedGrammar, msgs: &[String]) -> ! {
+    let probe_root = scratch_dir("minimize");
+    let still_fails = |src: &str, budget: usize| -> bool {
+        let dir = probe_root.join("probe");
+        let _ = std::fs::remove_dir_all(&dir);
+        match run_case(src, budget, &dir) {
+            Err(_) => true,
+            Ok(r) => !r.divergences.is_empty(),
+        }
+    };
+    let (min_src, min_budget) = minimize(&sg.source, sg.params.budget, &still_fails);
+    let _ = std::fs::remove_dir_all(&probe_root);
+    let why = msgs.join("\n");
+    let path = persist_fixture(Path::new(CORPUS_DIR), &sg.name, &min_src, min_budget, &why)
+        .expect("persist divergent fixture");
+    panic!(
+        "differential divergence in {} (minimized fixture persisted to {}):\n{}",
+        sg.name,
+        path.display(),
+        why
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole property: 64 randomized grammar shapes, each realized
+    /// into analyzable `.lg` source, each executed through all four modes
+    /// with byte-identical output required.
+    #[test]
+    fn generated_grammars_agree_across_all_four_modes(params in shape_strategy()) {
+        let sg = realize(&params);
+        let scratch = scratch_dir("case");
+        let msgs = oracle(&sg.source, &sg.name, sg.params.budget, &scratch);
+        let _ = std::fs::remove_dir_all(&scratch);
+        if !msgs.is_empty() {
+            fail_case(&sg, &msgs);
+        }
+    }
+}
+
+/// Every fixture under `tests/corpus/` — seed regressions plus anything
+/// the fuzzer ever persisted — replays through the full four-way oracle.
+#[test]
+fn corpus_fixtures_replay_clean() {
+    let dir = Path::new(CORPUS_DIR);
+    let mut fixtures: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("tests/corpus exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "lg"))
+        .collect();
+    fixtures.sort();
+    assert!(
+        !fixtures.is_empty(),
+        "tests/corpus should hold at least the seed fixtures"
+    );
+    for path in fixtures {
+        let (source, budget) = load_fixture(&path).expect("read fixture");
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("fixture has a utf-8 stem")
+            .to_owned();
+        let scratch = scratch_dir("corpus");
+        let msgs = oracle(&source, &name, budget, &scratch);
+        let _ = std::fs::remove_dir_all(&scratch);
+        assert!(
+            msgs.is_empty(),
+            "{} diverged on replay:\n{}",
+            path.display(),
+            msgs.join("\n")
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Round-trip pinning of the `Grammar → .lg` pretty-printer against every
+//! bundled grammar: parse → lower → print → reparse → relower must reach a
+//! printing fixed point, with identical structural counts at both ends.
+//!
+//! `Grammar` deliberately has no `PartialEq` (interned names make identity
+//! subtle), so equality is checked through the printer itself: lowering
+//! preserves declaration order and printing resolves every id back to its
+//! name, so two grammars that print identically have the same symbols,
+//! attributes, productions, and explicit rules in the same order. The
+//! count assertions below close the loop against a printer that drops
+//! content on *both* sides of the fixed point.
+
+use linguist_frontend::{lower, parse, print_grammar};
+use linguist_grammars::{self as g, analyze};
+
+fn roundtrip(name: &str, source: &str) {
+    let ast1 = parse(source).unwrap_or_else(|e| panic!("{}: parse: {}", name, e));
+    let g1 = lower(&ast1).unwrap_or_else(|e| panic!("{}: lower: {:?}", name, e));
+    let p1 = print_grammar(&g1, name);
+    let ast2 =
+        parse(&p1).unwrap_or_else(|e| panic!("{}: reparse of printed form: {}\n{}", name, e, p1));
+    let g2 = lower(&ast2).unwrap_or_else(|e| panic!("{}: relower of printed form: {:?}", name, e));
+    let p2 = print_grammar(&g2, name);
+    assert_eq!(
+        p1, p2,
+        "{}: print → parse → lower → print fixed point",
+        name
+    );
+
+    assert_eq!(g1.symbols().len(), g2.symbols().len(), "{}: symbols", name);
+    assert_eq!(g1.attrs().len(), g2.attrs().len(), "{}: attributes", name);
+    assert_eq!(
+        g1.productions().len(),
+        g2.productions().len(),
+        "{}: productions",
+        name
+    );
+    // Both sides hold pre-analysis grammars: every rule is explicit.
+    assert_eq!(g1.rules().len(), g2.rules().len(), "{}: rules", name);
+
+    // The printed form must be a full substitute for the original source:
+    // the seven-overlay driver accepts it and derives the same pass
+    // structure and rule census (implicit copies included).
+    let orig = analyze(source).unwrap_or_else(|e| panic!("{}: analyze original: {}", name, e));
+    let reprinted = analyze(&p1).unwrap_or_else(|e| panic!("{}: analyze printed: {}", name, e));
+    assert_eq!(
+        orig.stats.passes, reprinted.stats.passes,
+        "{}: pass count through printed form",
+        name
+    );
+    assert_eq!(
+        orig.stats.semantic_functions, reprinted.stats.semantic_functions,
+        "{}: semantic-function census through printed form",
+        name
+    );
+    assert_eq!(
+        orig.stats.implicit_copy_rules, reprinted.stats.implicit_copy_rules,
+        "{}: implicit copies re-derived identically",
+        name
+    );
+}
+
+#[test]
+fn calc_roundtrips() {
+    roundtrip("calc", g::calc_source());
+}
+
+#[test]
+fn knuth_roundtrips() {
+    roundtrip("knuth", g::knuth_source());
+}
+
+#[test]
+fn block_roundtrips() {
+    roundtrip("block", g::block_source());
+}
+
+#[test]
+fn pascal_roundtrips() {
+    roundtrip("pascal", g::pascal_source());
+}
+
+#[test]
+fn meta_roundtrips() {
+    roundtrip("meta", g::meta_source());
+}

@@ -77,14 +77,38 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let __config = $cfg;
+            let __cases =
+                $crate::test_runner::cases_override().unwrap_or(__config.cases);
             let __seed =
                 $crate::test_runner::seed_of(concat!(module_path!(), "::", stringify!($name)));
-            for __case in 0u64..(__config.cases as u64) {
-                let mut __rng = $crate::test_runner::TestRng::new(
-                    __seed ^ __case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                );
-                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
-                $body
+            for __case in 0u64..(__cases as u64) {
+                let __case_seed = __seed ^ __case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                // Run each case under catch_unwind so a failure can name
+                // the case index and per-case seed before propagating:
+                // with no shrinking, that report *is* the reproducer.
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    let mut __rng = $crate::test_runner::TestRng::new(__case_seed);
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }));
+                if let Err(__payload) = __outcome {
+                    eprintln!(
+                        "proptest shim: property `{}` failed at case {}/{} \
+                         (case seed {:#018x}, base seed {:#018x})",
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                        __cases,
+                        __case_seed,
+                        __seed,
+                    );
+                    eprintln!(
+                        "proptest shim: seeds derive from the test's module path, so \
+                         rerunning this test reproduces the failure deterministically \
+                         (set PROPTEST_CASES={} to stop at the failing case)",
+                        __case + 1,
+                    );
+                    ::std::panic::resume_unwind(__payload);
+                }
             }
         }
         $crate::__proptest_fns!{ ($cfg) $($rest)* }

@@ -20,6 +20,14 @@ impl Default for ProptestConfig {
     }
 }
 
+/// Runtime override of every property's case count: `PROPTEST_CASES=N`.
+/// Lets CI run a bounded smoke over the same properties a local run
+/// takes deep, without touching per-test configuration. Unparsable or
+/// absent values mean "no override".
+pub fn cases_override() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
+}
+
 /// FNV-1a over the test's qualified name: a stable per-test seed, so
 /// failures reproduce run to run without any persisted state.
 pub fn seed_of(name: &str) -> u64 {
@@ -61,5 +69,21 @@ impl TestRng {
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_override_reads_the_environment() {
+        // Serialized by the test name: no other test touches this var.
+        unsafe { std::env::set_var("PROPTEST_CASES", "17") };
+        assert_eq!(cases_override(), Some(17));
+        unsafe { std::env::set_var("PROPTEST_CASES", "not-a-number") };
+        assert_eq!(cases_override(), None);
+        unsafe { std::env::remove_var("PROPTEST_CASES") };
+        assert_eq!(cases_override(), None);
     }
 }
