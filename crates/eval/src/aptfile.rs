@@ -37,7 +37,7 @@ use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -228,8 +228,18 @@ impl FaultSpec {
 ///
 /// The buffer is `Arc<Mutex<…>>` rather than `Rc<RefCell<…>>` so
 /// memory-backed evaluations are `Send` and can run on the batch
-/// evaluator's worker threads. Each evaluation owns its own buffers
-/// (per-job isolation), so the mutex is uncontended in practice.
+/// evaluator's worker threads.
+///
+/// This is the *legacy shared* form: even uncontended, every record read
+/// and write pays a mutex acquisition (3–4 per record on the read side —
+/// lead length, payload, CRC, trail length). The shared-nothing hot path
+/// writes into an owned `Vec<u8>` ([`AptWriter::create_owned`]) and reads
+/// a sealed immutable `Arc<Vec<u8>>` ([`AptReader::open_shared`]) with no
+/// lock anywhere; `MemFile` survives only for the
+/// [`Backing::SharedMemory`](crate::machine::Backing::SharedMemory)
+/// ablation path, whose lock traffic is surfaced through the
+/// [`EvalStats::lock_acquisitions`](crate::machine::EvalStats::lock_acquisitions)
+/// counter so tests can pin the owned path at zero.
 pub type MemFile = Arc<Mutex<Vec<u8>>>;
 
 /// What a record describes.
@@ -487,12 +497,17 @@ pub struct AptWriter {
     sync: bool,
     profile: Option<Arc<IoCounters>>,
     fault: Option<FaultSpec>,
+    lock_tally: Option<Arc<AtomicU64>>,
 }
 
 #[derive(Debug)]
 enum Sink {
     File(BufWriter<File>),
     Mem(MemFile),
+    /// Job-owned buffer: no `Arc`, no `Mutex` — the shared-nothing hot
+    /// path. Sealed into an immutable `Arc<Vec<u8>>` by
+    /// [`AptWriter::finish_owned`].
+    Owned(Vec<u8>),
 }
 
 impl AptWriter {
@@ -515,12 +530,16 @@ impl AptWriter {
                 sync: false,
                 profile: None,
                 fault: None,
+                lock_tally: None,
             })
         };
         inner().map_err(|e| e.in_file(path))
     }
 
-    /// Create a writer over a memory buffer (truncating it).
+    /// Create a writer over a shared memory buffer (truncating it).
+    ///
+    /// Legacy shared-store path: every write locks the buffer's mutex.
+    /// Prefer [`create_owned`](Self::create_owned) for job-local work.
     pub fn create_mem(buf: MemFile) -> AptWriter {
         {
             let mut b = buf.lock().expect("mem file poisoned");
@@ -536,7 +555,37 @@ impl AptWriter {
             sync: false,
             profile: None,
             fault: None,
+            lock_tally: None,
         }
+    }
+
+    /// Create a writer over a freshly owned memory buffer.
+    ///
+    /// This is the shared-nothing hot path: the buffer is plain
+    /// `Vec<u8>` owned by the writer, so appends take no lock and bump no
+    /// refcount. Retrieve the sealed buffer with
+    /// [`finish_owned`](Self::finish_owned).
+    pub fn create_owned() -> AptWriter {
+        let mut b = Vec::new();
+        b.extend_from_slice(&encode_header(0, 0));
+        AptWriter {
+            sink: Sink::Owned(b),
+            path: None,
+            bytes: 0,
+            records: 0,
+            crc: 0,
+            sync: false,
+            profile: None,
+            fault: None,
+            lock_tally: None,
+        }
+    }
+
+    /// Attach a contention-visibility counter: every mutex acquisition on
+    /// the shared-memory sink bumps it. File and owned sinks never touch
+    /// it — which is exactly what the zero-lock hot-path tests assert.
+    pub fn set_lock_tally(&mut self, tally: Arc<AtomicU64>) {
+        self.lock_tally = Some(tally);
     }
 
     /// Attach a profiling counter pair; every subsequent [`write`](Self::write)
@@ -590,7 +639,16 @@ impl AptWriter {
                 f.write_all(&len)?;
             }
             Sink::Mem(m) => {
+                if let Some(t) = &self.lock_tally {
+                    t.fetch_add(1, Ordering::Relaxed);
+                }
                 let mut b = m.lock().expect("mem file poisoned");
+                b.extend_from_slice(&len);
+                b.extend_from_slice(&payload);
+                b.extend_from_slice(&rec_crc);
+                b.extend_from_slice(&len);
+            }
+            Sink::Owned(b) => {
                 b.extend_from_slice(&len);
                 b.extend_from_slice(&payload);
                 b.extend_from_slice(&rec_crc);
@@ -638,6 +696,7 @@ impl AptWriter {
         };
         let path = self.path;
         let sync = self.sync;
+        let lock_tally = self.lock_tally;
         let inner = || -> Result<(), AptError> {
             match self.sink {
                 Sink::File(f) => {
@@ -652,7 +711,13 @@ impl AptWriter {
                     }
                 }
                 Sink::Mem(m) => {
+                    if let Some(t) = &lock_tally {
+                        t.fetch_add(1, Ordering::Relaxed);
+                    }
                     let mut b = m.lock().expect("mem file poisoned");
+                    b[..HEADER_LEN as usize].copy_from_slice(&header);
+                }
+                Sink::Owned(mut b) => {
                     b[..HEADER_LEN as usize].copy_from_slice(&header);
                 }
             }
@@ -664,6 +729,34 @@ impl AptWriter {
                 Some(p) => e.in_file(p),
                 None => e,
             }),
+        }
+    }
+
+    /// Like [`finish_summary`](Self::finish_summary), but for a writer
+    /// created with [`create_owned`](Self::create_owned): patches the
+    /// header in place and hands the sealed buffer back so the caller can
+    /// install it (typically as an immutable `Arc<Vec<u8>>`) into its
+    /// job-owned store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AptError::Io`] if the writer was not created with
+    /// [`create_owned`](Self::create_owned).
+    pub fn finish_owned(self) -> Result<(FileSummary, Vec<u8>), AptError> {
+        let header = encode_header(self.records, self.bytes);
+        let summary = FileSummary {
+            records: self.records,
+            bytes: self.bytes,
+            crc: self.crc,
+        };
+        match self.sink {
+            Sink::Owned(mut b) => {
+                b[..HEADER_LEN as usize].copy_from_slice(&header);
+                Ok((summary, b))
+            }
+            Sink::File(_) | Sink::Mem(_) => Err(AptError::Io(io::Error::other(
+                "finish_owned on a writer without an owned sink",
+            ))),
         }
     }
 }
@@ -693,16 +786,27 @@ pub struct AptReader {
     total_bytes: u64,
     profile: Option<Arc<IoCounters>>,
     fault: Option<FaultSpec>,
+    lock_tally: Option<Arc<AtomicU64>>,
 }
 
 #[derive(Debug)]
 enum Source {
     File(File),
     Mem(MemFile),
+    /// A sealed boundary buffer shared immutably: reads are plain slice
+    /// copies with no lock — the shared-nothing hot path. The `Arc` is
+    /// cloned once per pass (when the store hands out the reader), never
+    /// per record.
+    Shared(Arc<Vec<u8>>),
 }
 
 impl Source {
-    fn read_at(&mut self, pos: u64, out: &mut [u8]) -> Result<(), AptError> {
+    fn read_at(
+        &mut self,
+        pos: u64,
+        out: &mut [u8],
+        lock_tally: Option<&Arc<AtomicU64>>,
+    ) -> Result<(), AptError> {
         match self {
             Source::File(f) => {
                 f.seek(SeekFrom::Start(pos))?;
@@ -710,7 +814,18 @@ impl Source {
                 Ok(())
             }
             Source::Mem(m) => {
+                if let Some(t) = lock_tally {
+                    t.fetch_add(1, Ordering::Relaxed);
+                }
                 let b = m.lock().expect("mem file poisoned");
+                let start = pos as usize;
+                let slice = b
+                    .get(start..start + out.len())
+                    .ok_or(AptError::Frame { at: pos })?;
+                out.copy_from_slice(slice);
+                Ok(())
+            }
+            Source::Shared(b) => {
                 let start = pos as usize;
                 let slice = b
                     .get(start..start + out.len())
@@ -802,12 +917,17 @@ impl AptReader {
                 total_bytes,
                 profile: None,
                 fault: None,
+                lock_tally: None,
             })
         };
         inner().map_err(|e| e.in_file(path))
     }
 
-    /// Open a memory buffer for reading in `dir`.
+    /// Open a shared memory buffer for reading in `dir`.
+    ///
+    /// Legacy shared-store path: every record read locks the buffer's
+    /// mutex several times. Prefer [`open_shared`](Self::open_shared) for
+    /// sealed job-local boundaries.
     ///
     /// # Errors
     ///
@@ -837,7 +957,50 @@ impl AptReader {
             total_bytes,
             profile: None,
             fault: None,
+            lock_tally: None,
         })
+    }
+
+    /// Open a sealed, immutably shared boundary buffer for reading in
+    /// `dir` — the shared-nothing hot path. The contents are never
+    /// mutated after [`AptWriter::finish_owned`] seals them, so reads are
+    /// lock-free slice copies; the `Arc` clone happens once here, not per
+    /// record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AptError::Header`] under the same conditions as
+    /// [`open`](Self::open).
+    pub fn open_shared(buf: Arc<Vec<u8>>, dir: ReadDir) -> Result<AptReader, AptError> {
+        let len = buf.len() as u64;
+        if len < HEADER_LEN {
+            return Err(AptError::Header(HeaderError::Truncated { len }));
+        }
+        let (end, total_records, total_bytes) = check_header(&buf[..HEADER_LEN as usize], len)?;
+        Ok(AptReader {
+            src: Source::Shared(buf),
+            path: None,
+            pos: match dir {
+                ReadDir::Forward => HEADER_LEN,
+                ReadDir::Backward => end,
+            },
+            end,
+            dir,
+            bytes: 0,
+            records: 0,
+            total_records,
+            total_bytes,
+            profile: None,
+            fault: None,
+            lock_tally: None,
+        })
+    }
+
+    /// Attach a contention-visibility counter: every mutex acquisition on
+    /// the shared-memory source bumps it (several per record). File and
+    /// sealed-shared sources never touch it.
+    pub fn set_lock_tally(&mut self, tally: Arc<AtomicU64>) {
+        self.lock_tally = Some(tally);
     }
 
     /// Attach a profiling counter pair; every subsequent [`next`](Self::next)
@@ -883,17 +1046,21 @@ impl AptReader {
                     return Ok(None);
                 }
                 let mut len4 = [0u8; 4];
-                self.src.read_at(self.pos, &mut len4)?;
+                self.src
+                    .read_at(self.pos, &mut len4, self.lock_tally.as_ref())?;
                 let len = u32::from_le_bytes(len4) as u64;
                 if self.pos + FRAME_OVERHEAD + len > self.end {
                     return Err(AptError::Frame { at: self.pos });
                 }
                 let mut payload = vec![0u8; len as usize];
-                self.src.read_at(self.pos + 4, &mut payload)?;
+                self.src
+                    .read_at(self.pos + 4, &mut payload, self.lock_tally.as_ref())?;
                 let mut crc4 = [0u8; 4];
-                self.src.read_at(self.pos + 4 + len, &mut crc4)?;
+                self.src
+                    .read_at(self.pos + 4 + len, &mut crc4, self.lock_tally.as_ref())?;
                 let mut trail = [0u8; 4];
-                self.src.read_at(self.pos + 8 + len, &mut trail)?;
+                self.src
+                    .read_at(self.pos + 8 + len, &mut trail, self.lock_tally.as_ref())?;
                 if trail != len4 {
                     return Err(AptError::Frame { at: self.pos });
                 }
@@ -910,21 +1077,25 @@ impl AptReader {
                     return Err(AptError::Frame { at: self.pos });
                 }
                 let mut len4 = [0u8; 4];
-                self.src.read_at(self.pos - 4, &mut len4)?;
+                self.src
+                    .read_at(self.pos - 4, &mut len4, self.lock_tally.as_ref())?;
                 let len = u32::from_le_bytes(len4) as u64;
                 if self.pos < HEADER_LEN + FRAME_OVERHEAD + len {
                     return Err(AptError::Frame { at: self.pos });
                 }
                 let start = self.pos - FRAME_OVERHEAD - len;
                 let mut lead = [0u8; 4];
-                self.src.read_at(start, &mut lead)?;
+                self.src
+                    .read_at(start, &mut lead, self.lock_tally.as_ref())?;
                 if lead != len4 {
                     return Err(AptError::Frame { at: self.pos });
                 }
                 let mut payload = vec![0u8; len as usize];
-                self.src.read_at(start + 4, &mut payload)?;
+                self.src
+                    .read_at(start + 4, &mut payload, self.lock_tally.as_ref())?;
                 let mut crc4 = [0u8; 4];
-                self.src.read_at(start + 4 + len, &mut crc4)?;
+                self.src
+                    .read_at(start + 4 + len, &mut crc4, self.lock_tally.as_ref())?;
                 self.check_crc(start, &payload, crc4)?;
                 self.pos = start;
                 self.advance(FRAME_OVERHEAD + len);

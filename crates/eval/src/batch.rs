@@ -172,6 +172,13 @@ pub struct BatchStats {
     /// recorded a [`FailureKind::Panicked`] failure instead of letting
     /// the panic poison the coordinator.
     pub panicked: usize,
+    /// Mutex acquisitions the jobs' intermediate stores performed,
+    /// summed across successful jobs at join time. Zero on the
+    /// shared-nothing [`Backing::Memory`](crate::machine::Backing::Memory)
+    /// and disk paths; counts every per-record lock under the legacy
+    /// [`Backing::SharedMemory`](crate::machine::Backing::SharedMemory)
+    /// ablation.
+    pub lock_acquisitions: u64,
     /// One typed entry per failed job, in input order.
     pub failures: Vec<JobFailure>,
     /// Aggregated pass-level profile across successful jobs, present
@@ -204,6 +211,7 @@ impl BatchStats {
         }
         self.total_io_bytes += stats.total_io_bytes();
         self.total_rules += stats.total_rules();
+        self.lock_acquisitions += stats.lock_acquisitions;
     }
 
     fn absorb_metrics(&mut self, metrics: &EvalMetrics) {

@@ -35,9 +35,12 @@ use linguist_ag::passes::Direction;
 use linguist_ag::plan::Step;
 use linguist_ag::subsumption::GroupId;
 use linguist_support::size::Meter;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How the initial linearized APT file is produced (§II).
@@ -61,8 +64,18 @@ pub enum Backing {
     /// Temporary files on disk (the paper's paradigm).
     #[default]
     Disk,
-    /// RAM-resident buffers with the same record format.
+    /// RAM-resident buffers with the same record format, owned by the
+    /// evaluation: writes append to a plain `Vec<u8>`, completed
+    /// boundaries are sealed into immutable `Arc<Vec<u8>>`s, and no
+    /// mutex is taken anywhere on the read/write path. This is the
+    /// shared-nothing batch hot path.
     Memory,
+    /// The legacy mutex-guarded RAM store (`Arc<Mutex<Vec<u8>>>` per
+    /// boundary): every record read and write pays a lock acquisition.
+    /// Kept as an ablation so the contention the shared-nothing refactor
+    /// removed stays measurable — its lock traffic is reported through
+    /// [`EvalStats::lock_acquisitions`].
+    SharedMemory,
 }
 
 /// Evaluation options.
@@ -191,6 +204,12 @@ pub struct EvalStats {
     /// When the evaluation resumed from a checkpoint, the boundary it
     /// restarted after (passes `1..=resumed_from` were *not* re-run).
     pub resumed_from: Option<u16>,
+    /// Mutex acquisitions the intermediate store performed. Zero for
+    /// [`Backing::Disk`] and the owned [`Backing::Memory`] path; counts
+    /// every lock (per-record and per-boundary) under the legacy
+    /// [`Backing::SharedMemory`] ablation. The scaling tests assert this
+    /// is zero on the batch hot path.
+    pub lock_acquisitions: u64,
 }
 
 impl EvalStats {
@@ -553,7 +572,7 @@ fn evaluate_inner(
                         tree.write_prefix(&analysis.grammar, &analysis.lifetimes, &mut w)?
                     }
                 }
-                Ok(w.finish_summary()?)
+                Ok(store.finish(0, w)?)
             })();
             match result {
                 Ok(s) => break s,
@@ -624,7 +643,7 @@ fn evaluate_inner(
                 let root = machine.run_pass(&mut reader, &mut writer)?;
                 let bytes_read = reader.bytes_read();
                 let records_read = reader.records_read();
-                let summary = writer.finish_summary()?;
+                let summary = store.finish(k, writer)?;
                 Ok((root, bytes_read, records_read, summary))
             })();
             match result {
@@ -695,6 +714,10 @@ fn evaluate_inner(
                 .ok_or_else(|| EvalError::Missing(format!("root output {}", g.attr_name(a))))?;
             outputs.push((a, v.clone()));
         }
+    }
+    machine.stats.lock_acquisitions = store.lock_acquisitions();
+    if let Some(m) = &mut metrics {
+        m.lock_acquisitions = machine.stats.lock_acquisitions;
     }
     Ok(Evaluation {
         outputs,
@@ -907,14 +930,17 @@ impl<'a> Machine<'a> {
         }
 
         // End zone: merge LHS and limb definitions, run the synthesized
-        // global protocol, write the production record.
-        for (occ, v) in &locals {
+        // global protocol, write the production record. `locals` is dead
+        // after this merge, so the values *move* into their destination
+        // maps — no clone, which for list-valued attributes means no
+        // refcount churn on the cons spine.
+        for (occ, v) in locals {
             match occ.pos {
                 OccPos::Lhs => {
-                    state.values.insert(occ.attr, v.clone());
+                    state.values.insert(occ.attr, v);
                 }
                 OccPos::Limb => {
-                    limb_vals.insert(occ.attr, v.clone());
+                    limb_vals.insert(occ.attr, v);
                 }
                 OccPos::Rhs(_) => {}
             }
@@ -1249,36 +1275,73 @@ impl<'a> Machine<'a> {
 }
 
 /// Per-evaluation intermediate storage: a temp directory of real files
-/// (the paper) or a set of RAM buffers (the "virtual memory" ablation).
-/// Each evaluation builds its own `Store`, so jobs running on different
-/// batch-evaluator threads never share intermediate state; the mutex
-/// only makes the sharing *within* one evaluation `Send`.
+/// (the paper), a job-owned set of RAM buffers (the shared-nothing batch
+/// hot path), or the legacy mutex-guarded RAM store (the contention
+/// ablation). Each evaluation builds its own `Store`, so jobs running on
+/// different batch-evaluator threads never share intermediate state.
 enum Store {
     Disk(TempAptDir),
     /// A caller-owned persistent checkpoint directory: same file layout
     /// as [`Store::Disk`], but it survives the evaluation (and the
     /// process) so a resumed run can pick its boundary files back up.
     Dir(PathBuf),
-    Memory(std::sync::Mutex<HashMap<u16, MemFile>>),
+    /// Shared-nothing RAM store. Writers append to a plain owned
+    /// `Vec<u8>` ([`AptWriter::create_owned`]); [`Store::finish`] seals
+    /// the completed boundary into an immutable `Arc<Vec<u8>>` that
+    /// readers share lock-free ([`AptReader::open_shared`]). The map is
+    /// only touched at pass boundaries (one `RefCell` borrow per
+    /// open/seal), never per record — and only updated on a *successful*
+    /// finish, so a failed pass attempt simply drops its half-written
+    /// buffer while boundary `k-1` stays intact for the retry. `RefCell`
+    /// (not `Mutex`) is sound because a `Store` never leaves the
+    /// evaluation's thread.
+    Memory(RefCell<HashMap<u16, Arc<Vec<u8>>>>),
+    /// The legacy shared store: one `Arc<Mutex<Vec<u8>>>` per boundary,
+    /// locked on every record read and write. `lock_tally` counts every
+    /// acquisition so [`EvalStats::lock_acquisitions`] can expose what
+    /// the owned path saves.
+    SharedMemory {
+        files: Mutex<HashMap<u16, MemFile>>,
+        lock_tally: Arc<AtomicU64>,
+    },
 }
 
 impl Store {
     fn new(backing: Backing) -> Result<Store, AptError> {
         Ok(match backing {
             Backing::Disk => Store::Disk(TempAptDir::new()?),
-            Backing::Memory => Store::Memory(std::sync::Mutex::new(HashMap::new())),
+            Backing::Memory => Store::Memory(RefCell::new(HashMap::new())),
+            Backing::SharedMemory => Store::SharedMemory {
+                files: Mutex::new(HashMap::new()),
+                lock_tally: Arc::new(AtomicU64::new(0)),
+            },
         })
     }
 
     fn buffer(&self, k: u16) -> MemFile {
         match self {
-            Store::Memory(m) => m
-                .lock()
-                .expect("store poisoned")
-                .entry(k)
-                .or_insert_with(|| std::sync::Arc::new(std::sync::Mutex::new(Vec::new())))
-                .clone(),
-            Store::Disk(_) | Store::Dir(_) => unreachable!("buffer() is memory-only"),
+            Store::SharedMemory { files, lock_tally } => {
+                lock_tally.fetch_add(1, Ordering::Relaxed);
+                files
+                    .lock()
+                    .expect("store poisoned")
+                    .entry(k)
+                    .or_insert_with(|| Arc::new(Mutex::new(Vec::new())))
+                    .clone()
+            }
+            Store::Disk(_) | Store::Dir(_) | Store::Memory(_) => {
+                unreachable!("buffer() is shared-memory-only")
+            }
+        }
+    }
+
+    /// The sealed boundary-`k` buffer (empty if the boundary was never
+    /// finished — the reader then rejects it as truncated, exactly like a
+    /// missing file).
+    fn sealed(&self, k: u16) -> Arc<Vec<u8>> {
+        match self {
+            Store::Memory(files) => files.borrow().get(&k).cloned().unwrap_or_default(),
+            _ => unreachable!("sealed() is owned-memory-only"),
         }
     }
 
@@ -1286,7 +1349,15 @@ impl Store {
         match self {
             Store::Disk(dir) => AptWriter::create(&dir.boundary(k)),
             Store::Dir(dir) => AptWriter::create(&boundary_path(dir, k)),
-            Store::Memory(_) => Ok(AptWriter::create_mem(self.buffer(k))),
+            Store::Memory(_) => Ok(AptWriter::create_owned()),
+            Store::SharedMemory { lock_tally, .. } => {
+                let mut w = AptWriter::create_mem(self.buffer(k));
+                // `create_mem` locked once to truncate and stamp the
+                // placeholder header, before the tally was attached.
+                lock_tally.fetch_add(1, Ordering::Relaxed);
+                w.set_lock_tally(lock_tally.clone());
+                Ok(w)
+            }
         }
     }
 
@@ -1294,7 +1365,38 @@ impl Store {
         match self {
             Store::Disk(dir) => AptReader::open(&dir.boundary(k), dir_),
             Store::Dir(dir) => AptReader::open(&boundary_path(dir, k), dir_),
-            Store::Memory(_) => AptReader::open_mem(self.buffer(k), dir_),
+            Store::Memory(_) => AptReader::open_shared(self.sealed(k), dir_),
+            Store::SharedMemory { lock_tally, .. } => {
+                let mut r = AptReader::open_mem(self.buffer(k), dir_)?;
+                // `open_mem` locked once to validate the header, before
+                // the tally was attached.
+                lock_tally.fetch_add(1, Ordering::Relaxed);
+                r.set_lock_tally(lock_tally.clone());
+                Ok(r)
+            }
+        }
+    }
+
+    /// Complete boundary `k`: patch the header and, on the owned-memory
+    /// path, seal the buffer into the store so the next pass can read it
+    /// lock-free. The map is untouched on failure, keeping retries safe.
+    fn finish(&self, k: u16, w: AptWriter) -> Result<FileSummary, AptError> {
+        match self {
+            Store::Memory(files) => {
+                let (summary, buf) = w.finish_owned()?;
+                files.borrow_mut().insert(k, Arc::new(buf));
+                Ok(summary)
+            }
+            Store::Disk(_) | Store::Dir(_) | Store::SharedMemory { .. } => w.finish_summary(),
+        }
+    }
+
+    /// Mutex acquisitions performed so far (always zero outside
+    /// [`Store::SharedMemory`]).
+    fn lock_acquisitions(&self) -> u64 {
+        match self {
+            Store::SharedMemory { lock_tally, .. } => lock_tally.load(Ordering::Relaxed),
+            _ => 0,
         }
     }
 }

@@ -18,6 +18,14 @@
 //! recorded summary — so a corrupted or truncated checkpoint silently
 //! degrades to an earlier one instead of poisoning the resumed run.
 //!
+//! Checkpointing is the one place the ownership model deliberately
+//! *shares*: batch jobs on the hot path keep their whole working set in
+//! a job-owned RAM store
+//! ([`Backing::Memory`](crate::machine::Backing::Memory) — no mutex, no
+//! cross-thread state), but a checkpoint directory is by definition
+//! shared with future processes, so checkpointed evaluations always go
+//! through real files, fsync, and this manifest regardless of backing.
+//!
 //! The format is a line-oriented text file (trivially inspectable in a
 //! crash post-mortem):
 //!

@@ -17,7 +17,103 @@ use linguist_support::list::List;
 use linguist_support::pfunc::PartialFn;
 use linguist_support::set::LSet;
 use std::fmt;
+use std::ops::Deref;
 use std::sync::Arc;
+
+/// Bytes a [`Str`] can hold inline before spilling to the heap. The
+/// `Heap(Arc<str>)` variant already forces the enum to 24 bytes (fat
+/// pointer + discriminant), so the inline buffer uses the full payload
+/// width: tag + length + 22 bytes.
+const STR_INLINE_CAP: usize = 22;
+
+/// A string attribute value with a small-string optimization.
+///
+/// Most strings on the evaluation hot path are short (error-message
+/// fragments, digit-stripped identifiers); storing them inline avoids
+/// both the heap allocation and — more importantly for the shared-nothing
+/// batch path — the atomic refcount traffic of cloning an `Arc<str>`
+/// every time a record is copied between boundary files. Longer strings
+/// fall back to the shared heap form so values stay cheap to clone and
+/// `Send + Sync`.
+#[derive(Clone)]
+pub enum Str {
+    /// Up to [`STR_INLINE_CAP`] bytes stored inline: clone is a 16-byte
+    /// memcpy, no allocation, no refcount.
+    Inline {
+        /// Number of initialized bytes in `buf`.
+        len: u8,
+        /// Inline UTF-8 storage (valid up to `len`).
+        buf: [u8; STR_INLINE_CAP],
+    },
+    /// Heap-shared fallback for longer strings.
+    Heap(Arc<str>),
+}
+
+impl Str {
+    /// Build from a borrowed string, inlining when it fits.
+    pub fn new(s: &str) -> Str {
+        if s.len() <= STR_INLINE_CAP {
+            let mut buf = [0u8; STR_INLINE_CAP];
+            buf[..s.len()].copy_from_slice(s.as_bytes());
+            Str::Inline {
+                len: s.len() as u8,
+                buf,
+            }
+        } else {
+            Str::Heap(Arc::from(s))
+        }
+    }
+
+    /// Borrow the string contents.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Str::Inline { len, buf } => {
+                std::str::from_utf8(&buf[..*len as usize]).expect("Str holds UTF-8 by construction")
+            }
+            Str::Heap(s) => s,
+        }
+    }
+}
+
+impl Deref for Str {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Str {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<&str> for Str {
+    fn from(s: &str) -> Str {
+        Str::new(s)
+    }
+}
+
+impl PartialEq for Str {
+    fn eq(&self, other: &Str) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for Str {}
+
+impl fmt::Debug for Str {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for Str {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self.as_str(), f)
+    }
+}
 
 /// A run-time attribute value.
 #[derive(Clone, Debug)]
@@ -28,8 +124,8 @@ pub enum Value {
     Bool(bool),
     /// Interned identifier (name-table index).
     Sym(Name),
-    /// String (shared; atomically counted so values can cross threads).
-    Str(Arc<str>),
+    /// String (inline when short; heap-shared otherwise — see [`Str`]).
+    Str(Str),
     /// Sequence.
     List(List<Value>),
     /// Set.
@@ -41,7 +137,7 @@ pub enum Value {
 impl Value {
     /// String value helper.
     pub fn str(s: &str) -> Value {
-        Value::Str(Arc::from(s))
+        Value::Str(Str::new(s))
     }
 
     /// The empty list.
@@ -389,6 +485,34 @@ mod tests {
         assert!(Value::Int(1).byte_size() < Value::str("a long string here").byte_size());
         let deep: Value = Value::List((0..10).map(Value::Int).collect());
         assert!(deep.byte_size() > 10 * Value::Int(0).byte_size() / 2);
+    }
+
+    #[test]
+    fn small_strings_are_inline() {
+        assert!(matches!(Str::new(""), Str::Inline { .. }));
+        assert!(matches!(
+            Str::new("exactly twenty-two by!"),
+            Str::Inline { .. }
+        ));
+        assert!(matches!(Str::new("twenty-three bytes long"), Str::Heap(_)));
+        // Inline and heap forms of the same text are equal and encode
+        // identically.
+        let long = "x".repeat(STR_INLINE_CAP + 1);
+        for s in ["", "short", "exactly twenty-two by!", long.as_str()] {
+            assert_eq!(Value::str(s), Value::str(s));
+            assert_eq!(round_trip(&Value::str(s)), Value::str(s));
+        }
+        // The small-string form must not grow Value beyond one word over
+        // the old bare-Arc<str> layout.
+        assert!(std::mem::size_of::<Str>() <= 24);
+        assert!(std::mem::size_of::<Value>() <= 32);
+    }
+
+    #[test]
+    fn str_debug_and_display_match_str() {
+        let s = Str::new("a \"quoted\" str");
+        assert_eq!(format!("{:?}", s), format!("{:?}", "a \"quoted\" str"));
+        assert_eq!(format!("{}", s), "a \"quoted\" str");
     }
 
     #[test]

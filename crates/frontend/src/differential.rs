@@ -35,7 +35,9 @@ use linguist_ag::analysis::{Analysis, Config};
 use linguist_ag::passes::Direction;
 use linguist_eval::batch::BatchEvaluator;
 use linguist_eval::funcs::Funcs;
-use linguist_eval::machine::{evaluate, evaluate_resumable, EvalOptions, Evaluation, Strategy};
+use linguist_eval::machine::{
+    evaluate, evaluate_resumable, Backing, EvalOptions, Evaluation, Strategy,
+};
 use linguist_eval::manifest::Manifest;
 use linguist_eval::tree::PTree;
 use std::path::Path;
@@ -207,8 +209,14 @@ pub fn run_case(source: &str, budget: usize, scratch: &Path) -> Result<CaseResul
     }
     divergences.extend(metrics_violations(&baseline));
 
-    // Mode 2: parallel batch, 8 workers × 8 copies of the same tree.
-    let batch = BatchEvaluator::with_options(8, opts.clone());
+    // Mode 2: parallel batch, 8 workers × 8 copies of the same tree, on
+    // the shared-nothing owned-store path the production batch uses —
+    // the oracle's byte-identity check is what proves that path safe.
+    let batch_opts = EvalOptions {
+        backing: Backing::Memory,
+        ..opts.clone()
+    };
+    let batch = BatchEvaluator::with_options(8, batch_opts);
     let trees: Vec<PTree> = (0..8).map(|_| tree.clone()).collect();
     let outcome = batch.run(&analysis, &funcs, &trees);
     for (j, result) in outcome.results.iter().enumerate() {
@@ -223,6 +231,17 @@ pub fn run_case(source: &str, budget: usize, scratch: &Path) -> Result<CaseResul
                 format!("job failed: {}", e),
             )),
         }
+    }
+    // The shared-nothing invariant itself: the owned-store batch leg
+    // must not have taken a single store lock.
+    if outcome.stats.lock_acquisitions != 0 {
+        divergences.push(failure(
+            "parallel",
+            format!(
+                "owned-store batch took {} store lock acquisitions (expected 0)",
+                outcome.stats.lock_acquisitions
+            ),
+        ));
     }
 
     // Mode 3: checkpointed run, then resume from every boundary.

@@ -49,6 +49,14 @@ pub struct RecoveryOpts {
     /// starting fresh (falls back to a fresh checkpointed run when
     /// nothing resumable is found).
     pub resume: bool,
+    /// Where the profiled evaluation keeps its intermediate APT. The
+    /// default is [`Backing::Disk`] — the paper's configuration, so a
+    /// single-grammar profile's I/O columns reflect real file traffic.
+    /// The CLI's `--batch` mode overrides this to the shared-nothing
+    /// [`Backing::Memory`] so concurrent jobs never contend on the
+    /// filesystem. Ignored when a checkpoint directory is set (a
+    /// checkpoint is durable by definition).
+    pub backing: Backing,
 }
 
 /// The complete `--profile` report for one grammar.
@@ -132,7 +140,7 @@ impl ProfileReport {
         };
         let opts = EvalOptions {
             strategy,
-            backing: Backing::Disk,
+            backing: recovery.backing,
             profile: true,
             retry: recovery.retry,
             ..EvalOptions::default()
@@ -318,10 +326,11 @@ pub fn metrics_json(m: &EvalMetrics) -> String {
     );
     let _ = write!(
         out,
-        ",\"total_io_bytes\":{},\"total_attrs_evaluated\":{},\"total_funcs_invoked\":{}",
+        ",\"total_io_bytes\":{},\"total_attrs_evaluated\":{},\"total_funcs_invoked\":{},\"lock_acquisitions\":{}",
         m.total_io_bytes(),
         m.total_attrs_evaluated(),
-        m.total_funcs_invoked()
+        m.total_funcs_invoked(),
+        m.lock_acquisitions
     );
     out.push_str(",\"passes\":[");
     for (i, p) in m.passes.iter().enumerate() {

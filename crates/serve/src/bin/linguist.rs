@@ -74,7 +74,7 @@ use linguist_ag::passes::{Direction, PassConfig};
 use linguist_ag::subsumption::GroupMode;
 use linguist_eval::aptfile::TempAptDir;
 use linguist_eval::funcs::Funcs;
-use linguist_eval::machine::RetryPolicy;
+use linguist_eval::machine::{Backing, RetryPolicy};
 use linguist_frontend::check::check_source;
 use linguist_frontend::driver::{run, run_batch, DriverOptions, DriverOutput, TargetOpt};
 use linguist_frontend::report::{ProfileReport, RecoveryOpts, DEFAULT_TREE_BUDGET};
@@ -128,6 +128,15 @@ impl Cli {
             },
             checkpoint_dir,
             resume: self.resume,
+            // Batch jobs run concurrently: keep each job's intermediate
+            // APT in its own owned RAM store (shared-nothing) instead of
+            // contending on temp files. A single grammar keeps the
+            // paper-faithful disk profile.
+            backing: if self.batch {
+                Backing::Memory
+            } else {
+                Backing::Disk
+            },
         }
     }
 }

@@ -26,7 +26,7 @@ use linguist_ag::analysis::Config;
 use linguist_ag::lint::{run_lints, Finding, LintConfig};
 use linguist_ag::passes::Direction;
 use linguist_eval::funcs::Funcs;
-use linguist_eval::machine::{evaluate, EvalOptions, Evaluation, Strategy};
+use linguist_eval::machine::{evaluate, Backing, EvalOptions, Evaluation, Strategy};
 use linguist_frontend::check::{check_source, CheckReport};
 use linguist_frontend::report::synthesize_tree;
 use linguist_support::json::Json;
@@ -643,6 +643,9 @@ fn run_job(
         strategy,
         profile: true,
         deadline: remaining,
+        // Daemon jobs are transient and run concurrently on the pool:
+        // use the shared-nothing owned RAM store, not temp files.
+        backing: Backing::Memory,
         ..EvalOptions::default()
     };
     let result: Result<Evaluation, (&'static str, String)> = match work {

@@ -20,6 +20,12 @@
 #      grammar, and the JSON report parses and is deterministic
 #  11. fuzz smoke: a bounded run of the four-way differential oracle
 #      (generated grammars + corpus replay) under PROPTEST_CASES=12
+#  12. batch-throughput bench snapshot lands in target/ and records a
+#      lock-free owned store (plus the legacy ablation's lock count)
+#  13. scaling gates: the ignored-by-default batch scaling tier — the
+#      >=2.5x @ 4 workers regression test (self-skips below 4 cores)
+#      and the bounded 2-worker smoke (parallel dispatch must not be
+#      slower than sequential beyond scheduler noise)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -131,5 +137,26 @@ echo "== differential fuzz smoke =="
 # the shim derives case seeds from the test's module path.
 PROPTEST_CASES=12 cargo test -q --release --test differential
 echo "differential oracle agrees across all four modes"
+
+echo "== batch-throughput bench snapshot =="
+cargo bench -q -p linguist-bench --bench table_batch_throughput > /dev/null
+test -f target/BENCH_table_batch_throughput.json || { echo "no bench snapshot"; exit 1; }
+python3 -c '
+import json
+r = json.load(open("target/BENCH_table_batch_throughput.json"))
+assert r["backing"] == "memory_owned", r["backing"]
+assert r["lock_acquisitions"] == 0, "owned store took store locks"
+assert r["shared_store_lock_acquisitions"] > 0, "legacy ablation row missing"
+assert len(r["sweep"]) == 4, r["sweep"]
+'
+echo "bench snapshot parses; owned store took zero store locks"
+
+echo "== batch scaling gates =="
+# The ignored-by-default scaling tier, serialized: two concurrent
+# throughput measurements would skew each other. The 4-worker >=2.5x
+# assertion self-skips below 4 cores (its zero-lock invariant still
+# runs); the 2-worker smoke is a bounded gate on every machine.
+cargo test -q --release --test batch -- --ignored --test-threads=1
+echo "scaling regression + 2-worker smoke pass"
 
 echo "verify: all green"

@@ -8,15 +8,26 @@
 //!    same tree evaluated sequentially (same values, same encoding).
 //! 2. **Accounting** — the aggregated [`BatchStats`] equal the sum of
 //!    the per-job [`EvalStats`] that produced them.
+//!
+//! On top of that sits the shared-nothing tier: a 1/2/4/8-worker sweep
+//! over *every* bundled grammar on the owned in-memory store (zero
+//! store-lock acquisitions required), crash-resume runs interleaved
+//! with an owned-store batch, and two `#[ignore]`d scaling gates that
+//! `scripts/verify.sh` runs explicitly.
 
+use linguist86::ag::analysis::Analysis;
+use linguist86::eval::aptfile::{FaultSpec, FaultTarget};
 use linguist86::eval::batch::BatchEvaluator;
-use linguist86::eval::machine::{evaluate, Backing, EvalOptions};
+use linguist86::eval::machine::{evaluate, evaluate_resumable, Backing, EvalOptions, Evaluation};
 use linguist86::eval::tree::PTree;
 use linguist86::eval::value::Value;
+use linguist86::frontend::differential::strategy_for;
+use linguist86::frontend::synthesize_tree;
 use linguist86::frontend::translate::standard_intrinsics;
 use linguist86::frontend::Translator;
 use linguist86::grammars::{
-    analyze, block_program, block_scanner, block_source, calc_scanner, calc_source,
+    analyze, block_program, block_scanner, block_source, calc_scanner, calc_source, knuth_source,
+    meta_source, pascal_source,
 };
 use linguist_support::intern::NameTable;
 
@@ -175,4 +186,255 @@ fn translate_batch_isolates_bad_inputs() {
     // Only the parses that survived were submitted as evaluation jobs.
     assert_eq!(stats.jobs, 2);
     assert_eq!(stats.failed, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Shared-nothing tier: worker sweeps over every bundled grammar.
+// ---------------------------------------------------------------------------
+
+/// Run `trees` through the owned-store batch at 1/2/4/8 workers and
+/// require every job byte-identical to its sequential baseline and the
+/// whole run free of store-lock acquisitions.
+fn sweep_workers(name: &str, analysis: &Analysis, trees: &[PTree]) {
+    let funcs = linguist86::eval::Funcs::standard();
+    let opts = EvalOptions {
+        strategy: strategy_for(analysis),
+        backing: Backing::Memory,
+        ..EvalOptions::default()
+    };
+    let baselines: Vec<Vec<u8>> = trees
+        .iter()
+        .map(|t| {
+            let eval = evaluate(analysis, &funcs, t, &opts).expect("sequential baseline succeeds");
+            encoded_outputs(&eval.outputs)
+        })
+        .collect();
+    for workers in [1usize, 2, 4, 8] {
+        let outcome =
+            BatchEvaluator::with_options(workers, opts.clone()).run(analysis, &funcs, trees);
+        assert_eq!(outcome.stats.failed, 0, "{} @ {} workers", name, workers);
+        assert_eq!(
+            outcome.stats.lock_acquisitions, 0,
+            "{} @ {} workers: owned-store batch took store locks",
+            name, workers
+        );
+        for (j, (result, want)) in outcome.results.iter().zip(&baselines).enumerate() {
+            let eval = result.as_ref().expect("batch job succeeds");
+            assert_eq!(
+                eval.stats.lock_acquisitions, 0,
+                "{} job {} @ {} workers took store locks",
+                name, j, workers
+            );
+            assert_eq!(
+                &encoded_outputs(&eval.outputs),
+                want,
+                "{} job {} @ {} workers diverged from sequential",
+                name,
+                j,
+                workers
+            );
+        }
+    }
+}
+
+#[test]
+fn worker_sweep_parsed_grammars_byte_identical() {
+    // The two grammars with bundled scanners: real source through the
+    // full parse pipeline, a distinct input per job.
+    let tr = calc_translator();
+    let inputs: Vec<String> = (0..16).map(calc_input).collect();
+    let trees = parse_all(&tr, &inputs);
+    sweep_workers("calc", &tr.analysis, &trees);
+
+    let tr = block_translator();
+    let inputs: Vec<String> = (0..16)
+        .map(|i| block_program((i % 4) + 1, (i % 3) + 1))
+        .collect();
+    let trees = parse_all(&tr, &inputs);
+    sweep_workers("block", &tr.analysis, &trees);
+}
+
+#[test]
+fn worker_sweep_synthesized_grammars_byte_identical() {
+    // The scanner-less bundled grammars get deterministic budget-grown
+    // trees (the same synthesis `serve` uses); a distinct budget per
+    // job keeps the jobs from being clones of each other. Knuth's
+    // budgets stay small: every extra bit raises the SCALE exponent,
+    // and `Pow2` rejects exponents past 62.
+    for (name, src, base, step) in [
+        ("knuth", knuth_source(), 16usize, 8usize),
+        ("meta", meta_source(), 40, 25),
+        ("pascal", pascal_source(), 40, 25),
+    ] {
+        let analysis = analyze(src).expect("bundled grammar analyzes").analysis;
+        let trees: Vec<PTree> = (0..12)
+            .map(|i| {
+                synthesize_tree(&analysis.grammar, base + step * i)
+                    .expect("bundled grammar has a finite derivation")
+            })
+            .collect();
+        sweep_workers(name, &analysis, &trees);
+    }
+}
+
+/// Crash-resume runs interleave with the owned-store batch: every job
+/// is first crashed mid-run against a disk checkpoint (a different
+/// pass each time), the same trees are then batch-evaluated on the
+/// shared-nothing store, and finally each crashed job resumes from its
+/// surviving checkpoint — both paths must agree byte-for-byte.
+#[test]
+fn crash_resume_interleaves_with_owned_store_batch() {
+    let tr = block_translator();
+    let funcs = linguist86::eval::Funcs::standard();
+    let num_passes = tr.analysis.passes.num_passes() as u16;
+    let inputs: Vec<String> = (0..6)
+        .map(|i| block_program((i % 4) + 1, (i % 3) + 1))
+        .collect();
+    let trees = parse_all(&tr, &inputs);
+    let opts = EvalOptions::default();
+
+    let root = std::env::temp_dir().join(format!("linguist86-batch-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Crash each checkpointed job at a rotating pass boundary.
+    let mut dirs = Vec::new();
+    for (i, tree) in trees.iter().enumerate() {
+        let ckpt = root.join(format!("job{}", i));
+        let fault_pass = (i as u16 % num_passes) + 1;
+        let crashing = EvalOptions {
+            fault: Some(FaultSpec::new(fault_pass, FaultTarget::Write, 0)),
+            ..opts.clone()
+        };
+        evaluate_resumable(&tr.analysis, &funcs, tree, &crashing, &ckpt)
+            .expect_err("the injected fault crashes the checkpointed run");
+        dirs.push(ckpt);
+    }
+
+    // Batch-evaluate the same trees on the owned in-memory store.
+    let batch_opts = EvalOptions {
+        backing: Backing::Memory,
+        ..opts.clone()
+    };
+    let outcome =
+        BatchEvaluator::with_options(WORKERS, batch_opts).run(&tr.analysis, &funcs, &trees);
+    assert_eq!(outcome.stats.failed, 0);
+    assert_eq!(outcome.stats.lock_acquisitions, 0);
+
+    // Resume every crashed job and compare against its batch twin.
+    for (i, (ckpt, result)) in dirs.iter().zip(&outcome.results).enumerate() {
+        let resumed = Evaluation::resume(&tr.analysis, &funcs, &opts, ckpt)
+            .expect("a crashed job resumes from its checkpoint");
+        assert!(
+            resumed.stats.resumed_from.is_some(),
+            "job {} re-ran from scratch instead of resuming",
+            i
+        );
+        let batch_eval = result.as_ref().expect("batch job succeeds");
+        assert_eq!(
+            encoded_outputs(&resumed.outputs),
+            encoded_outputs(&batch_eval.outputs),
+            "job {}: resumed outputs diverge from the owned-store batch",
+            i
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+// ---------------------------------------------------------------------------
+// Scaling gates (ignored by default; scripts/verify.sh runs them with
+// --test-threads=1 — two concurrent throughput measurements on one
+// machine would skew each other).
+// ---------------------------------------------------------------------------
+
+/// Deep calculator expressions — the `table_batch_throughput` workload.
+fn deep_calc_inputs(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let mut src = format!("{}", i % 10);
+            for k in 0..60 {
+                src = format!("({} + {} * {})", src, (i + k) % 9 + 1, k % 7 + 1);
+            }
+            src
+        })
+        .collect()
+}
+
+/// Best-of-3 jobs/sec at a worker count, asserting the zero-lock
+/// invariant on every run.
+fn best_jobs_per_sec(tr: &Translator, trees: &[PTree], workers: usize) -> f64 {
+    let funcs = linguist86::eval::Funcs::standard();
+    let opts = EvalOptions {
+        backing: Backing::Memory,
+        ..EvalOptions::default()
+    };
+    (0..3)
+        .map(|_| {
+            let outcome = BatchEvaluator::with_options(workers, opts.clone()).run(
+                &tr.analysis,
+                &funcs,
+                trees,
+            );
+            assert_eq!(outcome.stats.failed, 0);
+            assert_eq!(
+                outcome.stats.lock_acquisitions, 0,
+                "batch hot path took store locks at {} workers",
+                workers
+            );
+            outcome.stats.jobs_per_sec()
+        })
+        .fold(0.0f64, f64::max)
+}
+
+/// The scaling regression gate: a 200-job sweep must reach >=2.5x
+/// jobs/sec at 4 workers — on a machine with at least 4 cores. On
+/// smaller machines the wall-clock half self-skips (core count, not
+/// store contention, is then the limit) but the zero-lock invariant is
+/// still enforced on every run.
+#[test]
+#[ignore = "scaling gate; run explicitly (scripts/verify.sh does)"]
+fn scaling_regression() {
+    let tr = calc_translator();
+    let inputs = deep_calc_inputs(200);
+    let trees = parse_all(&tr, &inputs);
+    let jps1 = best_jobs_per_sec(&tr, &trees, 1);
+    let jps4 = best_jobs_per_sec(&tr, &trees, 4);
+    let speedup = jps4 / jps1;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores >= 4 {
+        assert!(
+            speedup >= 2.5,
+            "expected >=2.5x jobs/sec at 4 workers on the shared-nothing store, \
+             measured {:.2}x on {} cores",
+            speedup,
+            cores
+        );
+    } else {
+        eprintln!(
+            "scaling_regression: only {} core(s) available; measured {:.2}x at 4 workers — \
+             the >=2.5x assertion needs >=4 cores and was skipped (the zero-lock invariant \
+             was still enforced on all runs)",
+            cores, speedup
+        );
+    }
+}
+
+/// Bounded smoke: dispatching to 2 workers must cost no more than
+/// scheduler noise over the sequential run, even on one core. A
+/// reintroduced store lock on the hot path (thousands of acquisitions
+/// per job) fails this long before it fails the 4-worker gate.
+#[test]
+#[ignore = "scaling smoke; run explicitly (scripts/verify.sh does)"]
+fn scaling_smoke_2_workers() {
+    let tr = calc_translator();
+    let inputs = deep_calc_inputs(100);
+    let trees = parse_all(&tr, &inputs);
+    let jps1 = best_jobs_per_sec(&tr, &trees, 1);
+    let jps2 = best_jobs_per_sec(&tr, &trees, 2);
+    assert!(
+        jps2 >= 0.9 * jps1,
+        "2-worker batch slower than sequential: {:.1} vs {:.1} jobs/sec — \
+         a serializing regression on the batch hot path",
+        jps2,
+        jps1
+    );
 }

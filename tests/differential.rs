@@ -278,6 +278,63 @@ proptest! {
     }
 }
 
+/// Satellite of the four-way oracle, aimed squarely at the
+/// shared-nothing store: for every pinned fixture, an 8-worker batch on
+/// the owned in-memory store must produce `encoded_outputs`
+/// byte-identical to the sequential baseline, without a single
+/// store-lock acquisition.
+#[test]
+fn corpus_fixtures_batch_byte_identical_to_sequential() {
+    use linguist_eval::batch::BatchEvaluator;
+    use linguist_eval::machine::{evaluate, Backing, EvalOptions};
+    use linguist_frontend::differential::load_fixture;
+    use linguist_frontend::differential::{encoded_outputs, eval_opts};
+    use linguist_frontend::{analyze, synthesize_tree};
+
+    let dir = Path::new(CORPUS_DIR);
+    let mut fixtures: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("tests/corpus exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "lg"))
+        .collect();
+    fixtures.sort();
+    let funcs = linguist_eval::Funcs::standard();
+    for path in fixtures {
+        let (source, budget) = load_fixture(&path).expect("read fixture");
+        let analysis = analyze(&source, &Config::default()).expect("fixture analyzes");
+        let tree =
+            synthesize_tree(&analysis.grammar, budget.max(1)).expect("fixture synthesizes a tree");
+        let opts = eval_opts(&analysis);
+        let baseline =
+            evaluate(&analysis, &funcs, &tree, &opts).expect("sequential baseline succeeds");
+        let want = encoded_outputs(&baseline);
+
+        let batch_opts = EvalOptions {
+            backing: Backing::Memory,
+            ..opts
+        };
+        let trees: Vec<_> = (0..8).map(|_| tree.clone()).collect();
+        let outcome = BatchEvaluator::with_options(8, batch_opts).run(&analysis, &funcs, &trees);
+        assert_eq!(outcome.stats.failed, 0, "{}", path.display());
+        assert_eq!(
+            outcome.stats.lock_acquisitions,
+            0,
+            "{}: owned-store batch took store locks",
+            path.display()
+        );
+        for (j, result) in outcome.results.iter().enumerate() {
+            let eval = result.as_ref().expect("batch job succeeds");
+            assert_eq!(
+                encoded_outputs(eval),
+                want,
+                "{} job {}: batch output diverges from the sequential baseline",
+                path.display(),
+                j
+            );
+        }
+    }
+}
+
 /// Every fixture under `tests/corpus/` — seed regressions plus anything
 /// the fuzzer ever persisted — replays through the full four-way oracle.
 #[test]
