@@ -160,6 +160,21 @@ pub enum DriverError {
     Panicked(String),
 }
 
+impl DriverError {
+    /// Stable machine-readable name for the failing stage. Service
+    /// layers attach this to typed error replies so clients can tell a
+    /// grammar they must fix (`syntax`/`lower`/`analysis`) from a
+    /// toolchain defect (`panicked`) without parsing prose.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DriverError::Syntax(_) => "syntax",
+            DriverError::Lower(_) => "lower",
+            DriverError::Analysis(_) => "analysis",
+            DriverError::Panicked(_) => "panicked",
+        }
+    }
+}
+
 impl fmt::Display for DriverError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -33,24 +33,60 @@
 //!   errors.
 //!
 //! linguist serve [--socket PATH] [--tcp ADDR] [--workers N] [--queue N]
-//!                [--cache N] [--deadline-ms N]
+//!                [--cache N] [--deadline-ms N] [--max-frame-bytes N]
+//!                [--idle-timeout-ms N]
 //!
 //!   Run the resident translation service. At least one of --socket
 //!   (Unix-domain) and --tcp (loopback, e.g. 127.0.0.1:0) is required;
 //!   the daemon prints one "listening ..." line per bound endpoint on
-//!   stderr and runs until a shutdown request.
+//!   stderr and runs until a shutdown request or SIGTERM/SIGINT
+//!   (either way it drains: stops accepting, finishes in-flight work,
+//!   exits 0). --idle-timeout-ms 0 disables the stalled-connection
+//!   deadline.
 //!
-//! linguist client (--socket PATH | --tcp ADDR) COMMAND
+//! linguist router (--socket PATH | --tcp ADDR) --shard SPEC [--shard ...]
+//!                 [--health-interval-ms N] [--probe-timeout-ms N]
+//!                 [--attempt-timeout-ms N] [--max-attempts N]
+//!                 [--breaker-threshold N] [--breaker-cooldown-ms N]
+//!
+//!   Front a fleet of `linguist serve` shards: requests route by
+//!   grammar content hash on a consistent-hash ring, shards are
+//!   health-checked and ejected/re-admitted (with hot grammars
+//!   replicated back in), and transient failures retry on the next
+//!   replica with capped exponential backoff. SPEC is `unix:PATH` or
+//!   `tcp:HOST:PORT` (bare paths/addresses also accepted). Speaks the
+//!   same wire protocol as `serve`, so `client` and `load` point at
+//!   either. Drains on SIGTERM/shutdown like `serve`.
+//!
+//! linguist load (--socket PATH | --tcp ADDR) [--rate R] [--duration-ms N]
+//!               [--grammars N] [--budget N] [--senders N]
+//!               [--deadline-ms N] [--retries N] [--json]
+//!
+//!   Open-loop load generator: offers `rate` translate requests per
+//!   second for the duration, spread over `--grammars` distinct
+//!   grammar variants, and reports latency measured from each
+//!   request's *scheduled* arrival (immune to coordinated omission).
+//!   Exit status 0 when every request succeeded, 1 otherwise.
+//!
+//! linguist client (--socket PATH | --tcp ADDR) [--timeout-ms N]
+//!                 [--retries N] COMMAND
 //!
 //!   load FILE [--scanner NAME] [--name NAME]
 //!   translate GRAMMAR (--input TEXT | --input-file FILE | --budget N)
 //!             [--deadline-ms N]
+//!   check GRAMMAR
+//!   ping
 //!   stats
 //!   shutdown
 //!   raw JSON
 //!
-//!   One request against a running daemon; the JSON reply is printed on
-//!   stdout. Exit status 1 when the reply is ok:false.
+//!   One request against a running daemon (or router); the JSON reply
+//!   is printed on stdout. `--retries N` resends through a fresh
+//!   connection, with backoff, when the transport fails or the reply
+//!   is a transient typed error (`overloaded`/`shutting_down`/
+//!   `shard_unavailable`). Exit status: 0 ok reply, 1 typed server
+//!   error, 2 usage, 3 connection refused/failed, 4 timed out —
+//!   each with a one-line diagnosis on stderr.
 //! ```
 //!
 //! With one grammar and no `--batch`, runs the classic single-grammar
@@ -79,10 +115,13 @@ use linguist_frontend::check::check_source;
 use linguist_frontend::driver::{run, run_batch, DriverOptions, DriverOutput, TargetOpt};
 use linguist_frontend::report::{ProfileReport, RecoveryOpts, DEFAULT_TREE_BUDGET};
 use linguist_serve::client::Client;
+use linguist_serve::load::{run_load, LoadConfig};
+use linguist_serve::router::{Router, RouterConfig, ShardAddr};
 use linguist_serve::server::{Server, ServerConfig};
 use linguist_support::json::Json;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -150,11 +189,16 @@ fn usage() -> ! {
          \x20      linguist check GRAMMAR.lg [--format text|json] [--deny-warnings] \
          [--first-pass rl|lr] [--no-subsumption] [--coalesce]\n\
          \x20      linguist serve [--socket PATH] [--tcp ADDR] [--workers N] [--queue N] \
-         [--cache N] [--deadline-ms N]\n\
-         \x20      linguist client (--socket PATH | --tcp ADDR) \
+         [--cache N] [--deadline-ms N] [--max-frame-bytes N] [--idle-timeout-ms N]\n\
+         \x20      linguist router (--socket PATH | --tcp ADDR) --shard SPEC [--shard ...] \
+         [--health-interval-ms N] [--probe-timeout-ms N] [--attempt-timeout-ms N] \
+         [--max-attempts N] [--breaker-threshold N] [--breaker-cooldown-ms N]\n\
+         \x20      linguist load (--socket PATH | --tcp ADDR) [--rate R] [--duration-ms N] \
+         [--grammars N] [--budget N] [--senders N] [--deadline-ms N] [--retries N] [--json]\n\
+         \x20      linguist client (--socket PATH | --tcp ADDR) [--timeout-ms N] [--retries N] \
          (load FILE [--scanner S] [--name N] | translate GRAMMAR \
          (--input TEXT | --input-file FILE | --budget N) [--deadline-ms N] | \
-         stats | shutdown | raw JSON)"
+         check GRAMMAR | ping | stats | shutdown | raw JSON)"
     );
     std::process::exit(2);
 }
@@ -379,6 +423,15 @@ fn serve_main(args: Vec<String>) -> ExitCode {
                 Some(n) => cfg.default_deadline = Some(Duration::from_millis(n)),
                 _ => usage(),
             },
+            "--max-frame-bytes" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cfg.max_frame_len = n,
+                _ => usage(),
+            },
+            "--idle-timeout-ms" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(0) => cfg.idle_timeout = None,
+                Some(n) => cfg.idle_timeout = Some(Duration::from_millis(n)),
+                _ => usage(),
+            },
             _ => usage(),
         }
     }
@@ -399,25 +452,259 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     if let Some(a) = handle.tcp_addr() {
         eprintln!("linguist serve: listening on tcp {}", a);
     }
+    watch_for_termination("linguist serve", {
+        let state = Arc::clone(handle.state());
+        move || state.begin_drain()
+    });
     handle.wait();
     eprintln!("linguist serve: shut down");
     ExitCode::SUCCESS
 }
 
+/// Spawn the SIGTERM/SIGINT watcher: when a termination signal lands,
+/// log once and start draining (stop accepting, finish in-flight work).
+/// The main thread is parked in `wait()` and unblocks when the drain
+/// completes, so the process still exits 0.
+fn watch_for_termination(who: &'static str, drain: impl FnOnce() + Send + 'static) {
+    linguist_serve::signal::install_termination_handler();
+    std::thread::Builder::new()
+        .name("signal-watch".to_string())
+        .spawn(move || {
+            while !linguist_serve::signal::termination_requested() {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            eprintln!("{}: termination signal, draining", who);
+            drain();
+        })
+        .expect("spawn signal watcher");
+}
+
+/// `linguist router ...`: front a fleet of shards.
+fn router_main(args: Vec<String>) -> ExitCode {
+    let mut cfg = RouterConfig::default();
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--socket" => match args.next() {
+                Some(p) if !p.starts_with('-') => cfg.unix_path = Some(p.into()),
+                _ => usage(),
+            },
+            "--tcp" => match args.next() {
+                Some(addr) if !addr.starts_with('-') => cfg.tcp_addr = Some(addr),
+                _ => usage(),
+            },
+            "--shard" => match args.next().as_deref().map(ShardAddr::parse) {
+                Some(Ok(spec)) => cfg.shards.push(spec),
+                Some(Err(e)) => {
+                    eprintln!("linguist router: bad --shard: {}", e);
+                    return ExitCode::from(2);
+                }
+                None => usage(),
+            },
+            "--health-interval-ms" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => cfg.health_interval = Duration::from_millis(n),
+                _ => usage(),
+            },
+            "--probe-timeout-ms" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => cfg.probe_timeout = Duration::from_millis(n),
+                _ => usage(),
+            },
+            "--attempt-timeout-ms" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => cfg.attempt_timeout = Duration::from_millis(n),
+                _ => usage(),
+            },
+            "--max-attempts" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cfg.max_attempts = n,
+                _ => usage(),
+            },
+            "--breaker-threshold" => match args.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => cfg.breaker_threshold = n,
+                _ => usage(),
+            },
+            "--breaker-cooldown-ms" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => cfg.breaker_cooldown = Duration::from_millis(n),
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    if cfg.unix_path.is_none() && cfg.tcp_addr.is_none() {
+        eprintln!("linguist router: give --socket PATH and/or --tcp ADDR");
+        return ExitCode::from(2);
+    }
+    if cfg.shards.is_empty() {
+        eprintln!("linguist router: give at least one --shard SPEC");
+        return ExitCode::from(2);
+    }
+    let handle = match Router::start(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("linguist router: {}", e);
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(p) = handle.unix_path() {
+        eprintln!("linguist router: listening on unix {}", p.display());
+    }
+    if let Some(a) = handle.tcp_addr() {
+        eprintln!("linguist router: listening on tcp {}", a);
+    }
+    for shard in handle.state().shards() {
+        eprintln!("linguist router: shard {}", shard.addr_string());
+    }
+    watch_for_termination("linguist router", {
+        let state = Arc::clone(handle.state());
+        move || state.begin_drain()
+    });
+    handle.wait();
+    eprintln!("linguist router: shut down");
+    ExitCode::SUCCESS
+}
+
+/// `linguist load ...`: one open-loop load run.
+fn load_main(args: Vec<String>) -> ExitCode {
+    let mut cfg = LoadConfig::default();
+    let mut target = None;
+    let mut json = false;
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--socket" => match args.next() {
+                Some(p) if !p.starts_with('-') => target = Some(ShardAddr::Unix(p.into())),
+                _ => usage(),
+            },
+            "--tcp" => match args.next() {
+                Some(addr) if !addr.starts_with('-') => target = Some(ShardAddr::Tcp(addr)),
+                _ => usage(),
+            },
+            "--rate" => match args.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(r) if r > 0.0 => cfg.rate = r,
+                _ => usage(),
+            },
+            "--duration-ms" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => cfg.duration = Duration::from_millis(n),
+                _ => usage(),
+            },
+            "--grammars" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cfg.grammars = n,
+                _ => usage(),
+            },
+            "--budget" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cfg.budget = n,
+                _ => usage(),
+            },
+            "--senders" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cfg.senders = n,
+                _ => usage(),
+            },
+            "--deadline-ms" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => cfg.deadline_ms = Some(n),
+                _ => usage(),
+            },
+            "--retries" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => cfg.retries = n,
+                _ => usage(),
+            },
+            "--json" => json = true,
+            _ => usage(),
+        }
+    }
+    cfg.target = target.unwrap_or_else(|| {
+        eprintln!("linguist load: give --socket PATH or --tcp ADDR");
+        std::process::exit(2);
+    });
+    let report = match run_load(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("linguist load: {}", e);
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        let ms = |q: Option<Duration>| {
+            q.map_or("-".to_string(), |d| format!("{:.2}", d.as_secs_f64() * 1e3))
+        };
+        println!(
+            "offered {:.0} rps for {:?}: {}/{} ok ({:.2}% success), \
+             p50 {} ms, p99 {} ms, p999 {} ms, achieved {:.0} rps",
+            report.offered_rps,
+            cfg.duration,
+            report.ok,
+            report.sent,
+            report.success_rate() * 100.0,
+            ms(report.p50),
+            ms(report.p99),
+            ms(report.p999),
+            report.achieved_rps(),
+        );
+        for (kind, n) in &report.failures_by_kind {
+            println!("  failures[{}] = {}", kind, n);
+        }
+    }
+    if report.failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Exit codes for `linguist client`, so scripts can tell failure modes
+/// apart without parsing stderr.
+mod client_exit {
+    /// The reply was `ok:false` (a typed server error).
+    pub const SERVER_ERROR: u8 = 1;
+    /// Could not connect, or the connection failed mid-request.
+    pub const CONNECT: u8 = 3;
+    /// The daemon accepted the request but no reply arrived in time.
+    pub const TIMEOUT: u8 = 4;
+}
+
 /// `linguist client ...`: one request against a running daemon.
 fn client_main(args: Vec<String>) -> ExitCode {
-    let mut args = args.into_iter();
-    let mut client = match (args.next().as_deref(), args.next()) {
-        (Some("--socket"), Some(path)) => Client::connect_unix(&path),
-        (Some("--tcp"), Some(addr)) => Client::connect_tcp(&*addr),
-        _ => usage(),
+    let mut target: Option<ShardAddr> = None;
+    let mut timeout: Option<Duration> = None;
+    let mut retries = 0usize;
+    let mut args = args.into_iter().peekable();
+    // Options first, then the command word and its own arguments.
+    while let Some(a) = args.peek().map(String::as_str) {
+        match a {
+            "--socket" => {
+                args.next();
+                match args.next() {
+                    Some(p) if !p.starts_with('-') => target = Some(ShardAddr::Unix(p.into())),
+                    _ => usage(),
+                }
+            }
+            "--tcp" => {
+                args.next();
+                match args.next() {
+                    Some(addr) if !addr.starts_with('-') => target = Some(ShardAddr::Tcp(addr)),
+                    _ => usage(),
+                }
+            }
+            "--timeout-ms" => {
+                args.next();
+                match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                    Some(n) if n >= 1 => timeout = Some(Duration::from_millis(n)),
+                    _ => usage(),
+                }
+            }
+            "--retries" => {
+                args.next();
+                match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                    Some(n) => retries = n,
+                    None => usage(),
+                }
+            }
+            _ => break,
+        }
     }
-    .unwrap_or_else(|e| {
-        eprintln!("linguist client: cannot connect: {}", e);
-        std::process::exit(1);
-    });
+    let target = target.unwrap_or_else(|| usage());
     let rest: Vec<String> = args.collect();
-    let reply = match rest.first().map(String::as_str) {
+    // Build the request up front so every retry resends the same JSON.
+    let request = match rest.first().map(String::as_str) {
         Some("load") => {
             let mut file = None;
             let mut scanner = None;
@@ -439,7 +726,17 @@ fn client_main(args: Vec<String>) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            client.load_grammar(&source, scanner.as_deref(), name.as_deref())
+            let mut obj = vec![
+                ("op".to_string(), Json::str("load_grammar")),
+                ("source".to_string(), Json::str(&source)),
+            ];
+            if let Some(s) = scanner {
+                obj.push(("scanner".to_string(), Json::str(&s)));
+            }
+            if let Some(n) = name {
+                obj.push(("name".to_string(), Json::str(&n)));
+            }
+            Json::Obj(obj)
         }
         Some("translate") => {
             let grammar = match rest.get(1) {
@@ -462,17 +759,36 @@ fn client_main(args: Vec<String>) -> ExitCode {
                     _ => usage(),
                 }
             }
+            let mut obj = vec![
+                ("op".to_string(), Json::str("translate")),
+                ("grammar".to_string(), Json::str(&grammar)),
+            ];
             match (input, budget) {
-                (Some(text), None) => client.translate_input(&grammar, &text, deadline),
-                (None, Some(n)) => client.translate_budget(&grammar, n, deadline),
+                (Some(text), None) => obj.push(("input".to_string(), Json::str(&text))),
+                (None, Some(n)) => obj.push(("budget".to_string(), Json::int(n as i64))),
                 _ => usage(),
             }
+            if let Some(d) = deadline {
+                obj.push(("deadline_ms".to_string(), Json::int(d as i64)));
+            }
+            Json::Obj(obj)
         }
-        Some("stats") => client.stats(),
-        Some("shutdown") => client.shutdown(),
+        Some("check") => {
+            let grammar = match rest.get(1) {
+                Some(g) if !g.starts_with('-') => g.clone(),
+                _ => usage(),
+            };
+            Json::Obj(vec![
+                ("op".to_string(), Json::str("check")),
+                ("grammar".to_string(), Json::str(&grammar)),
+            ])
+        }
+        Some("ping") => Json::Obj(vec![("op".to_string(), Json::str("ping"))]),
+        Some("stats") => Json::Obj(vec![("op".to_string(), Json::str("stats"))]),
+        Some("shutdown") => Json::Obj(vec![("op".to_string(), Json::str("shutdown"))]),
         Some("raw") => match rest.get(1) {
             Some(line) => match Json::parse(line) {
-                Ok(req) => client.roundtrip(&req),
+                Ok(req) => req,
                 Err(e) => {
                     eprintln!("linguist client: request is not JSON: {}", e);
                     return ExitCode::FAILURE;
@@ -482,20 +798,91 @@ fn client_main(args: Vec<String>) -> ExitCode {
         },
         _ => usage(),
     };
-    match reply {
-        Ok(reply) => {
-            println!("{}", reply);
-            if reply.get("ok").and_then(Json::as_bool) == Some(true) {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
+    // Each attempt gets a fresh connection: after a transport failure
+    // the old socket is unusable, and after a transient typed error a
+    // reconnect lets a router re-route around the refusing shard.
+    let mut last: (u8, String) = (client_exit::CONNECT, "no attempt made".to_string());
+    for attempt in 0..=retries {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(10 << (attempt - 1).min(5)));
+            eprintln!(
+                "linguist client: retrying ({}/{}) after: {}",
+                attempt, retries, last.1
+            );
+        }
+        let connected = match &target {
+            ShardAddr::Unix(p) => Client::connect_unix(p),
+            ShardAddr::Tcp(a) => Client::connect_tcp(a.as_str()),
+        };
+        let mut client = match connected {
+            Ok(c) => c,
+            Err(e) => {
+                let diag = if e.kind() == std::io::ErrorKind::ConnectionRefused {
+                    format!(
+                        "connection refused at {} (daemon not running?): {}",
+                        target, e
+                    )
+                } else {
+                    format!("cannot connect to {}: {}", target, e)
+                };
+                last = (client_exit::CONNECT, diag);
+                continue;
+            }
+        };
+        if let Some(t) = timeout {
+            if let Err(e) = client.set_timeouts(Some(t)) {
+                eprintln!("linguist client: cannot arm timeout: {}", e);
+                return ExitCode::FAILURE;
             }
         }
-        Err(e) => {
-            eprintln!("linguist client: {}", e);
-            ExitCode::FAILURE
+        match client.roundtrip(&request) {
+            Ok(reply) => {
+                let kind = reply
+                    .get("error")
+                    .and_then(|e| e.get("kind"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("");
+                if reply.get("ok").and_then(Json::as_bool) == Some(true) {
+                    println!("{}", reply);
+                    return ExitCode::SUCCESS;
+                }
+                if attempt < retries && linguist_serve::proto::retryable_kind(kind) {
+                    last = (
+                        client_exit::SERVER_ERROR,
+                        format!("transient server error `{}`", kind),
+                    );
+                    continue;
+                }
+                println!("{}", reply);
+                eprintln!("linguist client: server error `{}`", kind);
+                return ExitCode::from(client_exit::SERVER_ERROR);
+            }
+            Err(e) => {
+                let timed_out = matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                );
+                last = if timed_out {
+                    (
+                        client_exit::TIMEOUT,
+                        format!(
+                            "no reply within {:?} from {}: {}",
+                            timeout.unwrap_or_default(),
+                            target,
+                            e
+                        ),
+                    )
+                } else {
+                    (
+                        client_exit::CONNECT,
+                        format!("connection to {} failed mid-request: {}", target, e),
+                    )
+                };
+            }
         }
     }
+    eprintln!("linguist client: {}", last.1);
+    ExitCode::from(last.0)
 }
 
 fn main() -> ExitCode {
@@ -503,6 +890,8 @@ fn main() -> ExitCode {
     match argv.first().map(String::as_str) {
         Some("check") => return check_main(argv.split_off(1)),
         Some("serve") => return serve_main(argv.split_off(1)),
+        Some("router") => return router_main(argv.split_off(1)),
+        Some("load") => return load_main(argv.split_off(1)),
         Some("client") => return client_main(argv.split_off(1)),
         _ => {}
     }

@@ -11,6 +11,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
 
 enum Conn {
     Unix(UnixStream),
@@ -22,6 +23,20 @@ impl Conn {
         match self {
             Conn::Unix(s) => s.try_clone().map(Conn::Unix),
             Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+        }
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_read_timeout(timeout),
+            Conn::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_write_timeout(timeout),
+            Conn::Tcp(s) => s.set_write_timeout(timeout),
         }
     }
 }
@@ -81,6 +96,31 @@ impl Client {
             reader,
             writer: conn,
         })
+    }
+
+    /// Bound every read and write on this connection. `None` restores
+    /// blocking-forever. A reply that misses the deadline surfaces as
+    /// a `WouldBlock`/`TimedOut` I/O error from the roundtrip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option failure.
+    pub fn set_timeouts(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        // reader and writer are clones of one socket, but set the
+        // option on both for clarity (and portability of the clone
+        // semantics).
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        self.writer.set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)
+    }
+
+    /// `ping`: cheapest possible liveness roundtrip.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn ping(&mut self) -> std::io::Result<Json> {
+        self.roundtrip(&Json::Obj(vec![("op".to_string(), Json::str("ping"))]))
     }
 
     /// Send one request, read one reply.

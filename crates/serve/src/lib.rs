@@ -25,19 +25,41 @@
 //! * [`server`] — the daemon: Unix-domain socket and/or localhost TCP
 //!   listeners, one thread per connection, jobs on the pool.
 //! * [`client`] — a small blocking client used by the CLI and tests.
+//!
+//! A single daemon is one fault domain. The sharded tier splits it:
+//!
+//! * [`router`] — the front process: consistent-hash routing on the
+//!   grammar content hash across health-checked shards, with capped
+//!   exponential-backoff retry, per-shard circuit breakers, handle
+//!   rehydration on failover, and warm-up replication into recovering
+//!   shards.
+//! * [`chaos`] — a fault-injecting TCP proxy (kill, freeze, drop,
+//!   garble, delayed accept) plus seeded deterministic fault
+//!   schedules, for proving the router's claims.
+//! * [`load`] — an open-loop load generator that measures latency
+//!   from *scheduled* arrival, immune to coordinated omission.
+//! * [`signal`] — SIGTERM/SIGINT to "begin draining", without a libc
+//!   dependency.
 
+pub mod chaos;
 pub mod client;
 pub mod hist;
+pub mod load;
 pub mod pool;
 pub mod proto;
+pub mod router;
 pub mod server;
+pub mod signal;
 pub mod stats;
 pub mod store;
 
+pub use chaos::{ChaosProxy, ChaosSchedule, Fault};
 pub use client::Client;
 pub use hist::LatencyHistogram;
+pub use load::{run_load, LoadConfig, LoadReport};
 pub use pool::{PoolStats, SubmitError, WorkerPool};
-pub use proto::{GrammarRef, Request, Work};
+pub use proto::{FrameError, FrameReader, GrammarRef, Request, Work};
+pub use router::{Router, RouterConfig, RouterHandle, RouterState, ShardAddr};
 pub use server::{Server, ServerConfig, ServerHandle, ServiceState};
 pub use stats::ServiceMetrics;
 pub use store::{grammar_key, CompiledGrammar, GrammarStore, LoadError, StoreStats};

@@ -18,13 +18,21 @@
 //! | `translate`       | `grammar` (handle) *or* `source`+`scanner`; `input` *or* `budget`; optional `deadline_ms`, `fault` |
 //! | `translate_batch` | same grammar addressing; `jobs`: array of strings (inputs) and/or numbers (budgets); optional `deadline_ms` |
 //! | `check`           | `grammar` (handle) *or* `source`+`scanner`: run the `AG0xx` lints and return coded diagnostics |
+//! | `ping`            | — (liveness probe; answered inline, never queued) |
 //! | `stats`           | — |
 //! | `shutdown`        | — |
+//!
+//! Request lines are read through a [`FrameReader`], which enforces a
+//! maximum frame length (an adversarial client cannot force unbounded
+//! buffering — the reply is a typed `frame_too_large`) and an idle
+//! deadline (a slow-loris client that stalls mid-line gets a typed
+//! `idle_timeout` and its connection back).
 
 use linguist_eval::batch::FailureKind;
 use linguist_eval::machine::EvalError;
 use linguist_frontend::translate::TranslateError;
 use linguist_support::json::Json;
+use std::io::Read;
 
 use crate::store::LoadError;
 
@@ -92,6 +100,9 @@ pub enum Request {
         /// Which grammar.
         grammar: GrammarRef,
     },
+    /// Liveness probe: answered `{"ok":true}` inline, never queued.
+    /// This is what the router's health checker sends.
+    Ping,
     /// Service counters, cache contents, queue depth, quantiles.
     Stats,
     /// Stop accepting, drain, exit.
@@ -147,6 +158,7 @@ impl Request {
             "check" => Ok(Request::Check {
                 grammar: grammar_ref(j)?,
             }),
+            "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op `{}`", other)),
@@ -195,15 +207,20 @@ pub fn ok_reply(fields: Vec<(String, Json)>) -> Json {
 
 /// A failure reply: `{"ok":false,"error":{"kind":…,"message":…}}`.
 pub fn error_reply(kind: &str, message: &str) -> Json {
+    error_reply_with(kind, message, vec![])
+}
+
+/// [`error_reply`] with extra structured fields inside `error` (e.g.
+/// the failing frontend `stage` on a compile error).
+pub fn error_reply_with(kind: &str, message: &str, extra: Vec<(String, Json)>) -> Json {
+    let mut error = vec![
+        ("kind".to_string(), Json::str(kind)),
+        ("message".to_string(), Json::str(message)),
+    ];
+    error.extend(extra);
     Json::Obj(vec![
         ("ok".to_string(), Json::Bool(false)),
-        (
-            "error".to_string(),
-            Json::Obj(vec![
-                ("kind".to_string(), Json::str(kind)),
-                ("message".to_string(), Json::str(message)),
-            ]),
-        ),
+        ("error".to_string(), Json::Obj(error)),
     ])
 }
 
@@ -230,6 +247,27 @@ pub mod kind {
     pub const UNKNOWN_SCANNER: &str = "unknown_scanner";
     /// The service is draining; no new work is accepted.
     pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// A request line exceeded the frame-length bound.
+    pub const FRAME_TOO_LARGE: &str = "frame_too_large";
+    /// The connection stalled mid-frame past the idle deadline.
+    pub const IDLE_TIMEOUT: &str = "idle_timeout";
+    /// Every candidate shard for the request is ejected or has an open
+    /// circuit breaker (router-level).
+    pub const SHARD_UNAVAILABLE: &str = "shard_unavailable";
+}
+
+/// Whether an `error.kind` marks a *transient* condition that an
+/// idempotent request may safely retry against another replica.
+///
+/// Deliberately conservative: admission-control rejections and drains
+/// are transient; evaluation failures (`parse`, `func`, `panicked`, …)
+/// are deterministic for the same request and would fail identically
+/// elsewhere, and a `deadline` means the request's own budget is spent.
+pub fn retryable_kind(kind: &str) -> bool {
+    matches!(
+        kind,
+        kind::OVERLOADED | kind::SHUTTING_DOWN | kind::SHARD_UNAVAILABLE
+    )
 }
 
 /// The stable error kind for an evaluation failure.
@@ -254,6 +292,125 @@ pub fn load_error_kind(e: &LoadError) -> &'static str {
         LoadError::Compile(_) => kind::COMPILE,
         LoadError::Bind(te) => translate_error_kind(te),
         LoadError::UnknownScanner(_) => kind::UNKNOWN_SCANNER,
+    }
+}
+
+/// Structured detail for a load failure: a `compile` error carries the
+/// failing frontend stage (`syntax`/`lower`/`analysis`/`panicked`, from
+/// [`DriverError::kind`](linguist_frontend::driver::DriverError::kind))
+/// so clients can tell a fixable grammar from a toolchain defect
+/// without parsing prose. The wire `error.kind` stays `compile`.
+pub fn load_error_detail(e: &LoadError) -> Vec<(String, Json)> {
+    match e {
+        LoadError::Compile(d) => vec![("stage".to_string(), Json::str(d.kind()))],
+        LoadError::Bind(_) | LoadError::UnknownScanner(_) => vec![],
+    }
+}
+
+/// Default frame-length bound: far above any real grammar source, far
+/// below "the client streams garbage until the daemon OOMs".
+pub const DEFAULT_MAX_FRAME_LEN: usize = 4 * 1024 * 1024;
+
+/// Why [`FrameReader::read_frame`] stopped without a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean end of stream between frames (normal hangup).
+    Eof,
+    /// The stream ended mid-frame (client died half-written).
+    TruncatedFrame,
+    /// The accumulating line crossed the length bound with no newline
+    /// in sight: reply `frame_too_large` and close, there is no way to
+    /// resynchronize.
+    TooLarge {
+        /// The enforced bound, for the diagnostic.
+        limit: usize,
+    },
+    /// No bytes arrived within the idle deadline. `mid_frame` says
+    /// whether a partial request was pending (slow-loris) or the
+    /// connection was simply quiet.
+    IdleTimeout {
+        /// Partial request bytes were buffered when the deadline hit.
+        mid_frame: bool,
+    },
+    /// The frame is not UTF-8.
+    BadUtf8,
+    /// Any other transport failure.
+    Io(std::io::Error),
+}
+
+/// A bounded, deadline-aware line reader for the wire protocol.
+///
+/// Reads newline-delimited frames from a raw stream whose read timeout
+/// the caller has set to the desired idle deadline: a `WouldBlock` /
+/// `TimedOut` read is reported as [`FrameError::IdleTimeout`] rather
+/// than retried forever, and a line that outgrows `max_len` is cut off
+/// with [`FrameError::TooLarge`] instead of buffering without bound.
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    max_len: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap `inner`, enforcing `max_len` bytes per frame (clamped to at
+    /// least 1).
+    pub fn new(inner: R, max_len: usize) -> FrameReader<R> {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+            max_len: max_len.max(1),
+        }
+    }
+
+    /// The wrapped stream (for writing replies on a duplex socket).
+    pub fn get_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+
+    /// Read one `\n`-terminated frame, without the terminator.
+    ///
+    /// # Errors
+    ///
+    /// See [`FrameError`]. After `TooLarge` the stream cannot be
+    /// resynchronized and must be closed.
+    pub fn read_frame(&mut self) -> Result<String, FrameError> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut frame = std::mem::replace(&mut self.buf, rest);
+                frame.pop(); // the newline
+                if frame.last() == Some(&b'\r') {
+                    frame.pop();
+                }
+                return String::from_utf8(frame).map_err(|_| FrameError::BadUtf8);
+            }
+            if self.buf.len() > self.max_len {
+                return Err(FrameError::TooLarge {
+                    limit: self.max_len,
+                });
+            }
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(if self.buf.is_empty() {
+                        FrameError::Eof
+                    } else {
+                        FrameError::TruncatedFrame
+                    })
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(FrameError::IdleTimeout {
+                        mid_frame: !self.buf.is_empty(),
+                    })
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
     }
 }
 
@@ -374,6 +531,56 @@ mod tests {
         );
         let ok = ok_reply(vec![("grammar".to_string(), Json::str("00ff"))]).to_string();
         assert_eq!(ok, r#"{"ok":true,"grammar":"00ff"}"#);
+    }
+
+    #[test]
+    fn ping_parses_and_retryability_is_conservative() {
+        assert_eq!(parse(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert!(retryable_kind(kind::OVERLOADED));
+        assert!(retryable_kind(kind::SHUTTING_DOWN));
+        assert!(retryable_kind(kind::SHARD_UNAVAILABLE));
+        for terminal in [
+            "parse",
+            "func",
+            "panicked",
+            "deadline",
+            "compile",
+            "bad_request",
+        ] {
+            assert!(!retryable_kind(terminal), "{} must not retry", terminal);
+        }
+    }
+
+    #[test]
+    fn frame_reader_splits_lines_and_keeps_leftovers() {
+        let data = b"{\"op\":\"ping\"}\r\n{\"op\":\"stats\"}\npartial".to_vec();
+        let mut r = FrameReader::new(&data[..], 1024);
+        assert_eq!(r.read_frame().unwrap(), "{\"op\":\"ping\"}");
+        assert_eq!(r.read_frame().unwrap(), "{\"op\":\"stats\"}");
+        assert!(matches!(
+            r.read_frame().unwrap_err(),
+            FrameError::TruncatedFrame
+        ));
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_frames_without_buffering_them() {
+        // 64 bytes of limit, a 200-byte line: the reader must fail long
+        // before a newline ever shows up.
+        let data = vec![b'a'; 200];
+        let mut r = FrameReader::new(&data[..], 64);
+        assert!(matches!(
+            r.read_frame().unwrap_err(),
+            FrameError::TooLarge { limit: 64 }
+        ));
+    }
+
+    #[test]
+    fn frame_reader_reports_clean_eof_between_frames() {
+        let data = b"{\"op\":\"ping\"}\n".to_vec();
+        let mut r = FrameReader::new(&data[..], 1024);
+        assert_eq!(r.read_frame().unwrap(), "{\"op\":\"ping\"}");
+        assert!(matches!(r.read_frame().unwrap_err(), FrameError::Eof));
     }
 
     #[test]

@@ -30,7 +30,7 @@ use linguist_eval::machine::{evaluate, Backing, EvalOptions, Evaluation, Strateg
 use linguist_frontend::check::{check_source, CheckReport};
 use linguist_frontend::report::synthesize_tree;
 use linguist_support::json::Json;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -40,10 +40,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::pool::{SubmitError, WorkerPool};
+use crate::pool::{PoolStats, SubmitError, WorkerPool};
 use crate::proto::{
-    error_reply, eval_error_kind, kind, load_error_kind, ok_reply, translate_error_kind,
-    GrammarRef, Request, Work,
+    error_reply, error_reply_with, eval_error_kind, kind, load_error_detail, load_error_kind,
+    ok_reply, translate_error_kind, FrameError, FrameReader, GrammarRef, Request, Work,
+    DEFAULT_MAX_FRAME_LEN,
 };
 use crate::stats::ServiceMetrics;
 use crate::store::{CompiledGrammar, GrammarStore, LoadError, StoreStats};
@@ -64,6 +65,15 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Option<Duration>,
+    /// Longest accepted request line; longer ones get a typed
+    /// `frame_too_large` reply and the connection is closed.
+    pub max_frame_len: usize,
+    /// Idle read deadline per connection: a client that stalls
+    /// mid-request for this long gets a typed `idle_timeout` reply and
+    /// its connection closed (a quietly idle connection is closed
+    /// silently), so a slow-loris cannot pin connection threads
+    /// forever. `None` disables the deadline.
+    pub idle_timeout: Option<Duration>,
     /// Frontend analysis configuration used for every compile.
     pub config: Config,
 }
@@ -77,6 +87,8 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             cache_capacity: 16,
             default_deadline: None,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            idle_timeout: Some(Duration::from_secs(60)),
             config: Config::default(),
         }
     }
@@ -90,6 +102,8 @@ pub struct ServiceState {
     funcs: Funcs,
     config: Config,
     default_deadline: Option<Duration>,
+    max_frame_len: usize,
+    idle_timeout: Option<Duration>,
     shutdown: AtomicBool,
     unix_path: Option<PathBuf>,
     tcp_addr: Option<SocketAddr>,
@@ -105,6 +119,13 @@ impl ServiceState {
     /// Has a shutdown been requested?
     pub fn is_shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Begin a graceful drain from outside the protocol — the SIGTERM
+    /// path. Stops the acceptors exactly like a `shutdown` request;
+    /// in-flight jobs still finish and `ServerHandle::wait` returns.
+    pub fn begin_drain(&self) {
+        request_shutdown(self);
     }
 }
 
@@ -149,6 +170,8 @@ impl Server {
             funcs: Funcs::standard(),
             config: cfg.config,
             default_deadline: cfg.default_deadline,
+            max_frame_len: cfg.max_frame_len,
+            idle_timeout: cfg.idle_timeout,
             shutdown: AtomicBool::new(false),
             unix_path: cfg.unix_path,
             tcp_addr,
@@ -200,26 +223,29 @@ impl ServerHandle {
     }
 
     /// Block until the daemon stops (a `shutdown` request arrives),
-    /// then drain the pool and clean up the socket file.
-    pub fn wait(mut self) {
-        self.join_and_drain();
+    /// then drain the pool and clean up the socket file. Returns the
+    /// pool's final counters, so a drain can be reported.
+    pub fn wait(mut self) -> PoolStats {
+        self.join_and_drain()
     }
 
     /// Stop the daemon from outside: unblock the acceptors, drain, and
     /// clean up.
-    pub fn shutdown(mut self) {
+    pub fn shutdown(mut self) -> PoolStats {
         request_shutdown(&self.state);
-        self.join_and_drain();
+        self.join_and_drain()
     }
 
-    fn join_and_drain(&mut self) {
+    fn join_and_drain(&mut self) -> PoolStats {
         for h in self.acceptors.drain(..) {
             let _unused = h.join();
         }
         self.state.pool.shutdown();
+        let stats = self.state.pool.stats();
         if let Some(path) = &self.state.unix_path {
             let _unused = std::fs::remove_file(path);
         }
+        stats
     }
 }
 
@@ -227,7 +253,7 @@ impl Drop for ServerHandle {
     fn drop(&mut self) {
         if !self.acceptors.is_empty() {
             request_shutdown(&self.state);
-            self.join_and_drain();
+            let _stats = self.join_and_drain();
         }
     }
 }
@@ -256,9 +282,8 @@ fn accept_unix(listener: &UnixListener, state: &Arc<ServiceState>) {
             let _unused = std::thread::Builder::new()
                 .name("serve-conn".to_string())
                 .spawn(move || {
-                    if let Ok(clone) = stream.try_clone() {
-                        serve_conn(BufReader::new(clone), stream, &state);
-                    }
+                    let _unused = stream.set_read_timeout(state.idle_timeout);
+                    serve_conn(stream, &state);
                 });
         }
     }
@@ -274,31 +299,70 @@ fn accept_tcp(listener: &TcpListener, state: &Arc<ServiceState>) {
             let _unused = std::thread::Builder::new()
                 .name("serve-conn".to_string())
                 .spawn(move || {
-                    if let Ok(clone) = stream.try_clone() {
-                        serve_conn(BufReader::new(clone), stream, &state);
-                    }
+                    let _unused = stream.set_read_timeout(state.idle_timeout);
+                    serve_conn(stream, &state);
                 });
         }
     }
 }
 
 /// One client session: request lines in, reply lines out, in order.
-fn serve_conn(mut reader: impl BufRead, mut writer: impl Write, state: &Arc<ServiceState>) {
-    let mut line = String::new();
+///
+/// The socket carries its idle read deadline as an OS read timeout
+/// (set by the acceptor), so a single timed-out read *is* the idle
+/// deadline firing. A stall mid-request earns a typed `idle_timeout`
+/// reply before the close; a connection that is merely idle between
+/// requests is closed silently. Either way the thread is freed — a
+/// slow-loris client cannot pin it.
+fn serve_conn<S: Read + Write>(stream: S, state: &Arc<ServiceState>) {
+    let mut frames = FrameReader::new(stream, state.max_frame_len);
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return, // client hung up
-            Ok(_) => {}
-        }
+        let line = match frames.read_frame() {
+            Ok(line) => line,
+            Err(FrameError::TooLarge { limit }) => {
+                state.metrics.record_error(kind::FRAME_TOO_LARGE);
+                // No resync is possible (the frame boundary is lost),
+                // so reply typed and close.
+                let reply = error_reply(
+                    kind::FRAME_TOO_LARGE,
+                    &format!("request line exceeds the {}-byte frame bound", limit),
+                );
+                let w = frames.get_mut();
+                let _unused = writeln!(w, "{}", reply).and_then(|()| w.flush());
+                return;
+            }
+            Err(FrameError::IdleTimeout { mid_frame }) => {
+                if mid_frame {
+                    state.metrics.record_error(kind::IDLE_TIMEOUT);
+                    let reply = error_reply(
+                        kind::IDLE_TIMEOUT,
+                        "connection stalled mid-request past the idle deadline",
+                    );
+                    let w = frames.get_mut();
+                    let _unused = writeln!(w, "{}", reply).and_then(|()| w.flush());
+                }
+                return;
+            }
+            Err(FrameError::BadUtf8) => {
+                // The frame boundary is intact, so reply and carry on.
+                state.metrics.record_error(kind::BAD_REQUEST);
+                let reply = error_reply(kind::BAD_REQUEST, "request line is not UTF-8");
+                let w = frames.get_mut();
+                if writeln!(w, "{}", reply).and_then(|()| w.flush()).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Err(FrameError::Eof | FrameError::TruncatedFrame | FrameError::Io(_)) => {
+                return; // client hung up
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
         let (reply, stop) = dispatch_line(&line, state);
-        if writeln!(writer, "{}", reply)
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
+        let w = frames.get_mut();
+        if writeln!(w, "{}", reply).and_then(|()| w.flush()).is_err() {
             return;
         }
         if stop {
@@ -352,6 +416,7 @@ fn dispatch_line(line: &str, state: &Arc<ServiceState>) -> (Json, bool) {
             deadline_ms,
         } => (handle_batch(state, &grammar, jobs, deadline_ms), false),
         Request::Check { grammar } => (handle_check(state, &grammar), false),
+        Request::Ping => (ok_reply(vec![]), false),
         Request::Stats => (
             ok_reply(state.metrics.render(&state.store, &state.pool)),
             false,
@@ -382,7 +447,7 @@ fn handle_load(
         Err(e) => {
             let k = load_error_kind(&e);
             state.metrics.record_error(k);
-            error_reply(k, &e.to_string())
+            error_reply_with(k, &e.to_string(), load_error_detail(&e))
         }
     }
 }
@@ -440,7 +505,7 @@ fn handle_check(state: &Arc<ServiceState>, gref: &GrammarRef) -> Json {
                 Err(e) => {
                     let k = load_error_kind(&e);
                     state.metrics.record_error(k);
-                    return error_reply(k, &e.to_string());
+                    return error_reply_with(k, &e.to_string(), load_error_detail(&e));
                 }
             }
         }
@@ -465,17 +530,22 @@ fn handle_check(state: &Arc<ServiceState>, gref: &GrammarRef) -> Json {
 }
 
 /// Resolve a request's grammar reference against the session cache.
+/// The error is the finished reply (kind recorded by the caller via
+/// the tuple's first field).
 fn resolve(
     state: &Arc<ServiceState>,
     gref: &GrammarRef,
-) -> Result<Arc<CompiledGrammar>, (&'static str, String)> {
+) -> Result<Arc<CompiledGrammar>, (&'static str, Json)> {
     match gref {
         GrammarRef::Handle(h) => state.store.get(h).ok_or_else(|| {
             (
                 kind::GRAMMAR_NOT_FOUND,
-                format!(
-                    "no resident grammar has handle `{}` (evicted or never loaded)",
-                    h
+                error_reply(
+                    kind::GRAMMAR_NOT_FOUND,
+                    &format!(
+                        "no resident grammar has handle `{}` (evicted or never loaded)",
+                        h
+                    ),
                 ),
             )
         }),
@@ -483,7 +553,13 @@ fn resolve(
             .store
             .load(source, scanner.as_deref(), None, &state.config)
             .map(|(g, _cached)| g)
-            .map_err(|e| (load_error_kind(&e), e.to_string())),
+            .map_err(|e| {
+                let k = load_error_kind(&e);
+                (
+                    k,
+                    error_reply_with(k, &e.to_string(), load_error_detail(&e)),
+                )
+            }),
     }
 }
 
@@ -540,9 +616,9 @@ fn handle_translate(
 ) -> Json {
     let grammar = match resolve(state, gref) {
         Ok(g) => g,
-        Err((k, msg)) => {
+        Err((k, reply)) => {
             state.metrics.record_error(k);
-            return error_reply(k, &msg);
+            return reply;
         }
     };
     let deadline = deadline_ms
@@ -565,9 +641,9 @@ fn handle_batch(
 ) -> Json {
     let grammar = match resolve(state, gref) {
         Ok(g) => g,
-        Err((k, msg)) => {
+        Err((k, reply)) => {
             state.metrics.record_error(k);
-            return error_reply(k, &msg);
+            return reply;
         }
     };
     let deadline = deadline_ms

@@ -1,0 +1,67 @@
+//! Minimal SIGTERM/SIGINT plumbing, no libc crate.
+//!
+//! The serve and router binaries want exactly one thing from signals:
+//! "a termination was requested, start draining". A full signal
+//! framework is overkill for that, so this module registers an
+//! async-signal-safe handler that flips one `AtomicBool` via the libc
+//! `signal(2)` symbol (present in every Linux/macOS process), and the
+//! binaries poll the flag from an ordinary watcher thread that calls
+//! `begin_drain`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATION_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    // The C library's signal(2). Handler and return are plain code
+    // addresses; usize keeps us out of fn-pointer/SIG_ERR casting
+    // games on the boundary.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_termination_signal(_signum: i32) {
+    // Only async-signal-safe work here: one relaxed store.
+    TERMINATION_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// Install the SIGTERM/SIGINT handler. Idempotent; call once per
+/// process before serving.
+pub fn install_termination_handler() {
+    let handler = on_termination_signal as extern "C" fn(i32) as usize;
+    // SAFETY: signal(2) with a handler that only performs an atomic
+    // store is async-signal-safe; we never inspect the previous
+    // disposition.
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+/// Has SIGTERM/SIGINT arrived since startup?
+pub fn termination_requested() -> bool {
+    TERMINATION_REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Test hook: pretend a signal arrived.
+#[cfg(test)]
+pub(crate) fn simulate_termination() {
+    TERMINATION_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_latches_on() {
+        // Note: process-global state; this test only ever moves the
+        // flag false -> true, so it cannot race another test into a
+        // wrong answer.
+        install_termination_handler();
+        simulate_termination();
+        assert!(termination_requested());
+    }
+}

@@ -80,6 +80,7 @@ impl ServiceMetrics {
     /// Render the full `Stats` reply body (everything except `"ok"`).
     pub fn render(&self, store: &GrammarStore, pool: &WorkerPool) -> Vec<(String, Json)> {
         let (p50, p99) = self.latency.p50_p99();
+        let p999 = self.latency.quantile(0.999);
         let quantile = |q: Option<Duration>| match q {
             Some(d) => Json::Num(d.as_secs_f64() * 1e3),
             None => Json::Null,
@@ -130,6 +131,7 @@ impl ServiceMetrics {
                     ),
                     ("latency_p50_ms".to_string(), quantile(p50)),
                     ("latency_p99_ms".to_string(), quantile(p99)),
+                    ("latency_p999_ms".to_string(), quantile(p999)),
                 ]),
             ),
             (
@@ -292,6 +294,10 @@ mod tests {
         );
         assert!(requests
             .get("latency_p50_ms")
+            .and_then(Json::as_f64)
+            .is_some());
+        assert!(requests
+            .get("latency_p999_ms")
             .and_then(Json::as_f64)
             .is_some());
         assert_eq!(

@@ -31,8 +31,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// FNV-1a 64-bit, the workspace's stock content hash (no dependencies,
-/// stable across runs and platforms).
-fn fnv1a(chunks: &[&[u8]]) -> u64 {
+/// stable across runs and platforms). Also the router's ring hash.
+pub(crate) fn fnv1a(chunks: &[&[u8]]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for chunk in chunks {
         for &b in *chunk {

@@ -256,3 +256,172 @@ fn serve_and_client_subcommands_round_trip() {
     let code = daemon.wait().expect("daemon exits after shutdown request");
     assert!(code.success(), "daemon exit: {:?}", code);
 }
+
+#[test]
+fn client_failure_modes_get_distinct_exit_codes() {
+    // Exit 3: connection refused (nothing listens on the socket).
+    let ghost =
+        std::env::temp_dir().join(format!("linguist-cli-ghost-{}.sock", std::process::id()));
+    let _unused = std::fs::remove_file(&ghost);
+    let out = linguist()
+        .args(["client", "--socket"])
+        .arg(&ghost)
+        .arg("ping")
+        .output()
+        .expect("client runs");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "refused connection must exit 3; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let diag = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        diag.contains("connect"),
+        "stderr should diagnose the connection failure: {}",
+        diag
+    );
+
+    // Exit 2: usage error (no command at all).
+    let out = linguist()
+        .args(["client", "--socket"])
+        .arg(&ghost)
+        .output()
+        .expect("client runs");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+
+    // Against a live daemon: exit 1 for a typed server error, exit 4
+    // for a timed-out reply.
+    let sock = std::env::temp_dir().join(format!("linguist-cli-codes-{}.sock", std::process::id()));
+    let _unused = std::fs::remove_file(&sock);
+    let mut daemon = linguist()
+        .args(["serve", "--socket"])
+        .arg(&sock)
+        .args(["--workers", "1", "--queue", "4"])
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon starts");
+    let started = Instant::now();
+    while !sock.exists() {
+        assert!(started.elapsed() < Duration::from_secs(10));
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let out = linguist()
+        .args(["client", "--socket"])
+        .arg(&sock)
+        .args(["translate", "no-such-handle", "--budget", "8"])
+        .output()
+        .expect("client runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "typed server error must exit 1; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("grammar_not_found"));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("grammar_not_found"),
+        "stderr should name the error kind"
+    );
+
+    // A 1 ms client-side timeout cannot cover a compile: the reply is
+    // late, the client reports a timeout and exits 4.
+    let grammar = write_tmp("codes-slow.lg", GOOD);
+    let out = linguist()
+        .args(["client", "--socket"])
+        .arg(&sock)
+        .args(["--timeout-ms", "1", "load"])
+        .arg(&grammar)
+        .output()
+        .expect("client runs");
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "timed-out reply must exit 4; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no reply within"),
+        "stderr should diagnose the timeout: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    daemon.kill().expect("kill daemon");
+    let _unused = daemon.wait();
+}
+
+#[test]
+fn client_retries_ride_out_a_daemon_that_starts_late() {
+    // The daemon comes up ~300 ms after the client starts retrying:
+    // with --retries the client must connect on a later attempt and
+    // exit 0.
+    let sock = std::env::temp_dir().join(format!("linguist-cli-late-{}.sock", std::process::id()));
+    let _unused = std::fs::remove_file(&sock);
+    let starter = {
+        let sock = sock.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            linguist()
+                .args(["serve", "--socket"])
+                .arg(&sock)
+                .args(["--workers", "1"])
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("daemon starts")
+        })
+    };
+    let out = linguist()
+        .args(["client", "--socket"])
+        .arg(&sock)
+        .args(["--retries", "8", "ping"])
+        .output()
+        .expect("client runs");
+    let mut daemon = starter.join().expect("starter thread");
+    assert!(
+        out.status.success(),
+        "retrying client should reach the late daemon; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    daemon.kill().expect("kill daemon");
+    let _unused = daemon.wait();
+}
+
+#[test]
+fn sigterm_drains_the_daemon_and_it_exits_zero() {
+    let sock = std::env::temp_dir().join(format!("linguist-cli-term-{}.sock", std::process::id()));
+    let _unused = std::fs::remove_file(&sock);
+    let mut daemon = linguist()
+        .args(["serve", "--socket"])
+        .arg(&sock)
+        .args(["--workers", "2"])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    let started = Instant::now();
+    while !sock.exists() {
+        assert!(started.elapsed() < Duration::from_secs(10));
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Prove it serves, then send SIGTERM (no client shutdown request).
+    let out = linguist()
+        .args(["client", "--socket"])
+        .arg(&sock)
+        .arg("ping")
+        .output()
+        .expect("client runs");
+    assert!(out.status.success());
+    let pid = daemon.id() as i32;
+    let rc = Command::new("kill")
+        .args(["-TERM", &pid.to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(rc.success());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let code = loop {
+        if let Some(code) = daemon.try_wait().expect("poll daemon") {
+            break code;
+        }
+        assert!(Instant::now() < deadline, "daemon never exited on SIGTERM");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(code.success(), "drained daemon must exit 0, got {:?}", code);
+}

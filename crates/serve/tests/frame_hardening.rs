@@ -1,0 +1,135 @@
+//! Connection-level hardening: oversized request lines and stalled
+//! (slow-loris) connections must fail typed and must not pin daemon
+//! resources.
+//!
+//! These tests speak raw sockets on purpose — the malformed traffic
+//! they send is exactly what [`linguist_serve::client::Client`]
+//! refuses to produce.
+
+use linguist_serve::server::{Server, ServerConfig, ServerHandle};
+use linguist_support::json::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+fn sock_path(tag: &str) -> PathBuf {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "linguist-frame-{}-{}-{}.sock",
+        tag,
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn start(tag: &str, max_frame_len: usize, idle: Option<Duration>) -> ServerHandle {
+    Server::start(ServerConfig {
+        unix_path: Some(sock_path(tag)),
+        workers: 2,
+        queue_capacity: 8,
+        max_frame_len,
+        idle_timeout: idle,
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts")
+}
+
+fn raw(handle: &ServerHandle) -> UnixStream {
+    UnixStream::connect(handle.unix_path().expect("unix bound")).expect("connect")
+}
+
+fn error_kind(reply: &Json) -> Option<&str> {
+    reply
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+}
+
+#[test]
+fn oversized_request_line_gets_frame_too_large_and_the_connection_closes() {
+    let handle = start("big", 1024, None);
+    let mut conn = raw(&handle);
+    // 8 KiB of 'x' with no newline — four times the frame bound.
+    let blob = vec![b'x'; 8 * 1024];
+    conn.write_all(&blob).expect("write");
+    conn.flush().expect("flush");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("typed reply arrives");
+    let reply = Json::parse(line.trim_end()).expect("reply is JSON");
+    assert_eq!(
+        error_kind(&reply),
+        Some("frame_too_large"),
+        "got: {}",
+        reply
+    );
+    // The daemon hangs up after the typed reply — clean EOF, or a
+    // reset (it closed with our unsent garbage still in its receive
+    // buffer, so the kernel answers RST). Never more protocol data.
+    let mut rest = Vec::new();
+    match reader.read_to_end(&mut rest) {
+        Ok(n) => assert_eq!(
+            n, 0,
+            "daemon kept the connection open after frame_too_large"
+        ),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset, "{}", e),
+    }
+    // And it still serves well-behaved clients.
+    let mut good = raw(&handle);
+    writeln!(good, "{}", r#"{"op":"ping"}"#).expect("write");
+    let mut line = String::new();
+    BufReader::new(good).read_line(&mut line).expect("reply");
+    let reply = Json::parse(line.trim_end()).expect("reply is JSON");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    handle.shutdown();
+}
+
+#[test]
+fn a_stalled_half_written_request_frees_its_slot() {
+    let handle = start("stall", 4 * 1024 * 1024, Some(Duration::from_millis(150)));
+    // Write half a request, then stall past the idle deadline.
+    let mut stalled = raw(&handle);
+    stalled
+        .write_all(br#"{"op":"trans"#)
+        .expect("half a request");
+    stalled.flush().expect("flush");
+    let mut reader = BufReader::new(stalled.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("typed reply arrives");
+    let reply = Json::parse(line.trim_end()).expect("reply is JSON");
+    assert_eq!(error_kind(&reply), Some("idle_timeout"), "got: {}", reply);
+    let mut rest = Vec::new();
+    assert_eq!(
+        reader.read_to_end(&mut rest).expect("read to end"),
+        0,
+        "daemon kept the stalled connection open"
+    );
+    // The slot is free: a new connection is accepted and served.
+    let mut good = raw(&handle);
+    writeln!(good, "{}", r#"{"op":"ping"}"#).expect("write");
+    let mut line = String::new();
+    BufReader::new(good).read_line(&mut line).expect("reply");
+    let reply = Json::parse(line.trim_end()).expect("reply is JSON");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    handle.shutdown();
+}
+
+#[test]
+fn an_idle_connection_between_requests_is_closed_silently() {
+    let handle = start("idle", 4 * 1024 * 1024, Some(Duration::from_millis(150)));
+    let mut conn = raw(&handle);
+    // A complete request first, so the idle period is *between* frames.
+    writeln!(conn, "{}", r#"{"op":"ping"}"#).expect("write");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reply");
+    assert!(line.contains("\"ok\":true"), "ping failed: {}", line);
+    // Now say nothing. The daemon closes without inventing an error
+    // reply (a quiet keep-alive connection is not a protocol fault).
+    let mut rest = Vec::new();
+    let n = reader.read_to_end(&mut rest).expect("read to end");
+    assert_eq!(n, 0, "expected silent close, got: {:?}", rest);
+    handle.shutdown();
+}

@@ -1,0 +1,144 @@
+//! The session cache vs. the scratch-dir sweeper: two resident daemons
+//! in one process, compiling concurrently with single-flight and a
+//! bounded LRU, while `TempAptDir::sweep_stale` runs on its own
+//! schedule.
+//!
+//! The property that must hold: housekeeping never disturbs live work.
+//! A sweep may only reap directories of *dead* processes; the scratch
+//! directories of in-flight evaluations in this process survive any
+//! number of concurrent sweeps, single-flight still collapses
+//! concurrent compiles of one key to one analysis per store, and the
+//! LRU bound holds under full interleaving.
+
+use linguist_ag::analysis::Config;
+use linguist_eval::aptfile::TempAptDir;
+use linguist_serve::load::grammar_variant;
+use linguist_serve::store::GrammarStore;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+#[test]
+fn sweeping_never_reaps_this_processes_live_scratch_dirs() {
+    let dirs: Vec<TempAptDir> = (0..4).map(|_| TempAptDir::new().expect("mkdir")).collect();
+    for d in &dirs {
+        std::fs::write(d.boundary(0), b"in-flight intermediate").expect("write");
+    }
+    // Zero max-age: everything *sweepable* is stale. Live directories
+    // of this process must survive anyway (pid guard + lock file).
+    let _ = TempAptDir::sweep_stale(Duration::ZERO).expect("sweep");
+    for d in &dirs {
+        assert!(
+            d.path().exists(),
+            "sweep reaped a live evaluation's scratch dir: {}",
+            d.path().display()
+        );
+        assert!(d.boundary(0).exists(), "sweep removed an in-flight file");
+    }
+}
+
+#[test]
+fn two_daemons_single_flight_their_own_compiles_under_sweep_pressure() {
+    // Two resident daemons (say, two shards colocated on one box),
+    // each with its own session cache, compiling the same grammar set
+    // while a housekeeping thread sweeps continuously.
+    let store_a = GrammarStore::new(16);
+    let store_b = GrammarStore::new(16);
+    let config = Config::default();
+    const VARIANTS: usize = 4;
+    const THREADS_PER_STORE: usize = 4;
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let sweeper = s.spawn(|| {
+            let mut sweeps = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                let _ = TempAptDir::sweep_stale(Duration::ZERO).expect("sweep");
+                sweeps += 1;
+            }
+            sweeps
+        });
+        let mut workers = Vec::new();
+        for store in [&store_a, &store_b] {
+            for t in 0..THREADS_PER_STORE {
+                workers.push(s.spawn(move || {
+                    // Each thread holds open scratch state mid-load, the
+                    // way an in-flight evaluation would.
+                    let scratch = TempAptDir::new().expect("mkdir");
+                    std::fs::write(scratch.boundary(0), b"x").expect("write");
+                    for round in 0..3 {
+                        for i in 0..VARIANTS {
+                            // Offset start points so threads collide on
+                            // different keys mid-compile.
+                            let v = (i + t + round) % VARIANTS;
+                            let (g, _cached) = store
+                                .load(&grammar_variant(v), None, None, &config)
+                                .expect("load compiles");
+                            assert!(g.passes() >= 1);
+                        }
+                    }
+                    assert!(
+                        scratch.path().exists(),
+                        "sweeper reaped scratch mid-evaluation"
+                    );
+                }));
+            }
+        }
+        for w in workers {
+            w.join().expect("worker");
+        }
+        stop.store(true, Ordering::Relaxed);
+        let sweeps = sweeper.join().expect("sweeper");
+        assert!(sweeps >= 1, "sweeper never ran");
+    });
+    // Single-flight: each daemon analyzed each distinct grammar exactly
+    // once, no matter how many threads raced the load.
+    for (name, store) in [("a", &store_a), ("b", &store_b)] {
+        let stats = store.stats();
+        assert_eq!(
+            stats.analyses, VARIANTS as u64,
+            "store {} reanalyzed under contention: {:?}",
+            name, stats
+        );
+        assert_eq!(stats.entries, VARIANTS, "store {}: {:?}", name, stats);
+    }
+}
+
+#[test]
+fn lru_eviction_stays_bounded_and_recompiles_evicted_keys() {
+    let store = GrammarStore::new(2);
+    let config = Config::default();
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let store = &store;
+            let config = &config;
+            s.spawn(move || {
+                for round in 0..4 {
+                    for i in 0..6 {
+                        let v = (i + t) % 6;
+                        let (g, _cached) = store
+                            .load(&grammar_variant(v), None, None, config)
+                            .expect("load");
+                        assert!(g.passes() >= 1, "round {} variant {}", round, v);
+                    }
+                }
+            });
+        }
+    });
+    let stats = store.stats();
+    assert!(
+        stats.entries <= 2,
+        "LRU bound violated under concurrency: {:?}",
+        stats
+    );
+    assert!(
+        stats.evictions >= 4,
+        "six hot keys through a two-slot cache must evict: {:?}",
+        stats
+    );
+    // Evicted keys were recompiled — more analyses than distinct keys —
+    // but every load still succeeded (no torn entries under the race).
+    assert!(
+        stats.analyses > 6,
+        "expected recompiles after eviction: {:?}",
+        stats
+    );
+}

@@ -26,6 +26,13 @@
 #      >=2.5x @ 4 workers regression test (self-skips below 4 cores)
 #      and the bounded 2-worker smoke (parallel dispatch must not be
 #      slower than sequential beyond scheduler noise)
+#  14. sharded serve chaos smoke: a router over two shard daemons,
+#      one shard SIGKILLed mid `linguist load` run and restarted —
+#      the client sees 100% success (router failover absorbs the
+#      kill), and the router's stats show ejection, re-admission,
+#      and hot-grammar replication into the recovered shard
+#  15. serve-resilience bench snapshot lands in target/, its 2+ shard
+#      kill legs show full success, and the committed copy parses
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -158,5 +165,104 @@ echo "== batch scaling gates =="
 # runs); the 2-worker smoke is a bounded gate on every machine.
 cargo test -q --release --test batch -- --ignored --test-threads=1
 echo "scaling regression + 2-worker smoke pass"
+
+echo "== sharded serve chaos smoke =="
+# Two shard daemons behind one router. A seeded chaos schedule hard-
+# kills (SIGKILL) one shard ~0.4 s into an open-loop load run and
+# restarts it ~0.4 s later. The load generator runs with zero client
+# retries, so any request the *router* fails to absorb counts as a
+# failure — the gate is 100% success via the router's own failover.
+RS1="$(mktemp -u /tmp/linguist-chaos-s1-XXXXXX.sock)"
+RS2="$(mktemp -u /tmp/linguist-chaos-s2-XXXXXX.sock)"
+FRONT="$(mktemp -u /tmp/linguist-chaos-front-XXXXXX.sock)"
+target/release/linguist serve --socket "$RS1" --workers 2 --queue 64 &
+S1_PID=$!
+target/release/linguist serve --socket "$RS2" --workers 2 --queue 64 &
+S2_PID=$!
+ROUTER_PID=""
+CHAOS_PID=""
+trap 'rm -rf "$CKPT"
+      for P in "$SERVE_PID" "$S1_PID" "$S2_PID" "$ROUTER_PID" "$CHAOS_PID"; do
+        [ -n "$P" ] && kill "$P" 2>/dev/null || true
+      done
+      rm -f "$SOCK" "$RS1" "$RS2" "$FRONT"' EXIT
+for _ in $(seq 1 100); do
+  [ -S "$RS1" ] && [ -S "$RS2" ] && break
+  sleep 0.05
+done
+[ -S "$RS1" ] && [ -S "$RS2" ] || { echo "shards never bound"; exit 1; }
+target/release/linguist router --socket "$FRONT" \
+    --shard "unix:$RS1" --shard "unix:$RS2" \
+    --health-interval-ms 50 --probe-timeout-ms 250 \
+    --attempt-timeout-ms 500 --breaker-cooldown-ms 100 &
+ROUTER_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$FRONT" ] && break
+  sleep 0.05
+done
+[ -S "$FRONT" ] || { echo "router never bound its socket"; exit 1; }
+( sleep 0.4
+  kill -KILL "$S2_PID" 2>/dev/null
+  sleep 0.4
+  exec target/release/linguist serve --socket "$RS2" --workers 2 --queue 64 ) &
+CHAOS_PID=$!
+target/release/linguist load --socket "$FRONT" \
+    --rate 120 --duration-ms 1500 --grammars 6 --budget 32 --json \
+  | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+assert r["failed"] == 0, ("requests failed despite failover", r)
+assert r["success_rate"] == 1.0, r
+assert r["sent"] >= 100, ("load undershot", r["sent"])
+'
+# The health loop must have ejected the killed shard, re-admitted the
+# restarted one, and replicated hot grammars into it before traffic.
+RECOVERED=""
+for _ in $(seq 1 100); do
+  if target/release/linguist client --socket "$FRONT" stats \
+    | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+shards = r["shards"]
+assert r["ok"], r
+ok = (all(s["healthy"] for s in shards)
+      and sum(s["ejections"] for s in shards) >= 1
+      and sum(s["readmissions"] for s in shards) >= 1
+      and sum(s["replicated"] for s in shards) >= 1)
+sys.exit(0 if ok else 1)
+' 2>/dev/null; then RECOVERED=yes; break; fi
+  sleep 0.05
+done
+[ "$RECOVERED" = yes ] || { echo "killed shard never recovered (no ejection/readmission/replication)"; exit 1; }
+target/release/linguist client --socket "$FRONT" shutdown > /dev/null
+wait "$ROUTER_PID" || { echo "router exited non-zero"; exit 1; }
+ROUTER_PID=""
+target/release/linguist client --socket "$RS1" shutdown > /dev/null
+wait "$S1_PID" || { echo "shard 1 exited non-zero"; exit 1; }
+S1_PID=""
+target/release/linguist client --socket "$RS2" shutdown > /dev/null
+wait "$CHAOS_PID" || { echo "restarted shard exited non-zero"; exit 1; }
+CHAOS_PID=""
+S2_PID=""
+echo "chaos smoke: shard killed mid-run, zero failed requests, recovery replicated"
+
+echo "== serve-resilience bench snapshot =="
+cargo bench -q -p linguist-bench --bench serve_resilience > /dev/null
+test -f target/BENCH_serve_resilience.json || { echo "no bench snapshot"; exit 1; }
+python3 -c '
+import json
+r = json.load(open("target/BENCH_serve_resilience.json"))
+rows = r["rows"]
+assert len(rows) == 6, len(rows)
+for row in rows:
+    for key in ("p50_ms", "p99_ms", "p999_ms", "success_rate", "offered_rps"):
+        assert key in row, (key, row)
+    if row["chaos"] == "steady" or row["shards"] >= 2:
+        assert row["success_rate"] == 1.0, ("failover must absorb the kill", row)
+floor = [r2 for r2 in rows if r2["shards"] == 1 and r2["chaos"] == "kill_one"]
+assert floor and floor[0]["failed"] > 0, ("1-shard kill should show the outage floor", floor)
+'
+python3 -m json.tool < BENCH_serve_resilience.json > /dev/null
+echo "bench snapshot parses; 2+ shard kill legs fully succeed"
 
 echo "verify: all green"

@@ -61,6 +61,7 @@ fn daemon() -> &'static ServerHandle {
             cache_capacity: 256,
             default_deadline: None,
             config: Config::default(),
+            ..ServerConfig::default()
         })
         .expect("start in-process serve daemon")
     })
