@@ -1,0 +1,230 @@
+//! On-demand `rustc` build cache for generated evaluators.
+//!
+//! Artifacts are keyed by the FNV-1a content hash of the generated
+//! source: `<cache>/<hash>/evaluator` is the compiled binary,
+//! `<cache>/<hash>.tmp-<pid>` is an in-progress build directory that is
+//! atomically renamed into place on success. A second load of the same
+//! grammar therefore compiles zero times, concurrent loads of the same
+//! grammar compile once (in-process single-flight; cross-process races
+//! are resolved by the rename — the loser keeps the winner's artifact),
+//! and a crashed build leaves only a `.tmp-` directory that
+//! [`JitCache::sweep_stale`] reclaims.
+
+use crate::FallbackReason;
+use std::collections::HashSet;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Default cache location: `$LINGUIST_JIT_CACHE`, else
+/// `<system temp>/linguist86-jit`.
+pub fn default_cache_dir() -> PathBuf {
+    match std::env::var_os("LINGUIST_JIT_CACHE") {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join("linguist86-jit"),
+    }
+}
+
+/// Is `rustc` invocable? Probed once per process.
+pub fn rustc_available() -> bool {
+    static PROBE: OnceLock<bool> = OnceLock::new();
+    *PROBE.get_or_init(|| {
+        Command::new("rustc")
+            .arg("--version")
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status()
+            .map(|s| s.success())
+            .unwrap_or(false)
+    })
+}
+
+/// Content-hash-keyed build cache (see module docs).
+pub struct JitCache {
+    dir: PathBuf,
+    optimize: bool,
+    compiles: AtomicU64,
+    inflight: Mutex<HashSet<String>>,
+    done: Condvar,
+}
+
+impl JitCache {
+    /// A cache rooted at `dir`. Nothing is touched until the first build.
+    pub fn new(dir: PathBuf, optimize: bool) -> JitCache {
+        JitCache {
+            dir,
+            optimize,
+            compiles: AtomicU64::new(0),
+            inflight: Mutex::new(HashSet::new()),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Cache root.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// `rustc` invocations this cache actually performed (hash hits and
+    /// single-flight waiters don't count) — what the reuse tests assert.
+    pub fn compiles(&self) -> u64 {
+        self.compiles.load(Ordering::Relaxed)
+    }
+
+    /// Ensure a compiled evaluator for `source` exists; returns the
+    /// binary path. Concurrent calls for the same hash block on one
+    /// build; calls for already-built hashes return without compiling.
+    pub fn ensure_built(&self, hash: &str, source: &str) -> Result<PathBuf, FallbackReason> {
+        let bin = self.dir.join(hash).join("evaluator");
+        if bin.is_file() {
+            return Ok(bin);
+        }
+        if !rustc_available() {
+            return Err(FallbackReason::RustcUnavailable);
+        }
+        // Single flight: the first caller for a hash builds; the rest
+        // wait on the condvar and then pick up the installed artifact.
+        {
+            let mut inflight = self.inflight.lock().expect("jit inflight lock");
+            while inflight.contains(hash) {
+                inflight = self.done.wait(inflight).expect("jit inflight wait");
+            }
+            if bin.is_file() {
+                return Ok(bin);
+            }
+            inflight.insert(hash.to_string());
+        }
+        let result = self.build(hash, source, &bin);
+        {
+            let mut inflight = self.inflight.lock().expect("jit inflight lock");
+            inflight.remove(hash);
+        }
+        self.done.notify_all();
+        result
+    }
+
+    fn build(&self, hash: &str, source: &str, bin: &Path) -> Result<PathBuf, FallbackReason> {
+        let tmp = self
+            .dir
+            .join(format!("{}.tmp-{}", hash, std::process::id()));
+        let io_fail =
+            |e: std::io::Error| FallbackReason::CompileFailed(format!("build dir: {}", e));
+        fs::create_dir_all(&tmp).map_err(io_fail)?;
+        let src = tmp.join("evaluator.rs");
+        fs::write(&src, source).map_err(io_fail)?;
+
+        let mut cmd = Command::new("rustc");
+        cmd.arg("--edition").arg("2021");
+        if self.optimize {
+            cmd.arg("-O");
+        }
+        // Match the host's overflow behavior so plain `+` in compiled
+        // semantic functions agrees with the interpreter build.
+        cmd.arg("-C").arg(if cfg!(debug_assertions) {
+            "debug-assertions=on"
+        } else {
+            "debug-assertions=off"
+        });
+        cmd.arg("-o").arg(tmp.join("evaluator")).arg(&src);
+        let output = match cmd.output() {
+            Ok(o) => o,
+            Err(e) => {
+                let _ = fs::remove_dir_all(&tmp);
+                return Err(FallbackReason::CompileFailed(format!(
+                    "failed to spawn rustc: {}",
+                    e
+                )));
+            }
+        };
+        if !output.status.success() {
+            let _ = fs::remove_dir_all(&tmp);
+            let mut stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+            stderr.truncate(4000);
+            return Err(FallbackReason::CompileFailed(stderr));
+        }
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+
+        match fs::rename(&tmp, self.dir.join(hash)) {
+            Ok(()) => Ok(bin.to_path_buf()),
+            Err(e) => {
+                // Lost a cross-process race: fine, use the winner's.
+                let _ = fs::remove_dir_all(&tmp);
+                if bin.is_file() {
+                    Ok(bin.to_path_buf())
+                } else {
+                    Err(FallbackReason::CompileFailed(format!(
+                        "failed to install artifact: {}",
+                        e
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Remove orphaned `.tmp-` build directories older than `max_age`
+    /// (crashed or abandoned builds). Installed artifacts are never
+    /// touched. Returns the number of directories removed.
+    pub fn sweep_stale(&self, max_age: Duration) -> usize {
+        let mut removed = 0usize;
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(_) => return 0,
+        };
+        let now = std::time::SystemTime::now();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if !name.contains(".tmp-") {
+                continue;
+            }
+            let stale = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| now.duration_since(t).ok())
+                .map(|age| age >= max_age)
+                .unwrap_or(true);
+            if stale && fs::remove_dir_all(entry.path()).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+}
+
+/// Run a compiled evaluator: boundary-0 APT bytes on stdin, encoded
+/// outputs on stdout. Nonzero exit (or spawn failure) becomes `Err` with
+/// the child's stderr.
+pub fn run(bin: &Path, input: &[u8]) -> Result<Vec<u8>, String> {
+    let mut child = Command::new(bin)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("failed to spawn compiled evaluator: {}", e))?;
+    // The evaluator reads all of stdin before writing anything, so a
+    // sequential write-then-drain cannot deadlock.
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input)
+        .map_err(|e| format!("failed to feed compiled evaluator: {}", e))?;
+    let output = child
+        .wait_with_output()
+        .map_err(|e| format!("compiled evaluator did not exit: {}", e))?;
+    if output.status.success() {
+        Ok(output.stdout)
+    } else {
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        Err(format!(
+            "compiled evaluator exited with {}: {}",
+            output.status,
+            stderr.trim()
+        ))
+    }
+}

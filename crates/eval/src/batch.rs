@@ -251,10 +251,34 @@ impl BatchOutcome {
 /// println!("{:.1} jobs/sec", outcome.stats.jobs_per_sec());
 /// # }
 /// ```
-#[derive(Clone, Debug)]
+/// A pluggable evaluation backend for batch jobs.
+///
+/// The compiled-evaluator engine (`linguist-engine`) supplies one to
+/// route jobs through compiled code instead of the interpreter; the
+/// indirection keeps `linguist-eval` free of a dependency on the engine
+/// while letting `BatchEvaluator` stay the single batch front door. The
+/// hook runs under the same panic fence as the interpreter, so a
+/// misbehaving backend becomes a per-job [`FailureKind::Panicked`], not
+/// a dead worker.
+pub type EvalBackend = std::sync::Arc<
+    dyn Fn(&Analysis, &Funcs, &PTree, &EvalOptions) -> Result<Evaluation, EvalError> + Send + Sync,
+>;
+
+#[derive(Clone)]
 pub struct BatchEvaluator {
     workers: usize,
     opts: EvalOptions,
+    backend: Option<EvalBackend>,
+}
+
+impl std::fmt::Debug for BatchEvaluator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchEvaluator")
+            .field("workers", &self.workers)
+            .field("opts", &self.opts)
+            .field("backend", &self.backend.as_ref().map(|_| "custom"))
+            .finish()
+    }
 }
 
 impl BatchEvaluator {
@@ -269,7 +293,17 @@ impl BatchEvaluator {
         BatchEvaluator {
             workers: workers.max(1),
             opts,
+            backend: None,
         }
+    }
+
+    /// Route every job through `backend` instead of the interpreter
+    /// (e.g. the compiled-evaluator engine). The backend is expected to
+    /// be result-identical to [`evaluate`]; it still runs under the
+    /// per-job panic fence.
+    pub fn with_backend(mut self, backend: EvalBackend) -> BatchEvaluator {
+        self.backend = Some(backend);
+        self
     }
 
     /// Configured pool size.
@@ -304,6 +338,7 @@ impl BatchEvaluator {
                 let tx = tx.clone();
                 let next = &next;
                 let opts = self.opts.clone();
+                let backend = self.backend.clone();
                 scope.spawn(move || {
                     // Workers claim the next unstarted tree until the
                     // batch is drained — natural load balancing when
@@ -313,7 +348,10 @@ impl BatchEvaluator {
                         if i >= n {
                             break;
                         }
-                        let result = supervised_evaluate(analysis, funcs, &trees[i], &opts);
+                        let result = match &backend {
+                            Some(b) => supervised(|| b(analysis, funcs, &trees[i], &opts)),
+                            None => supervised_evaluate(analysis, funcs, &trees[i], &opts),
+                        };
                         if tx.send((i, result)).is_err() {
                             break;
                         }

@@ -74,7 +74,7 @@ pub use aptfile::{
     file_summary, AptError, AptReader, AptWriter, FaultSpec, FaultTarget, FileSummary, HeaderError,
     ReadDir, Record, RecordBody, TempAptDir,
 };
-pub use batch::{BatchEvaluator, BatchOutcome, BatchStats, FailureKind, JobFailure};
+pub use batch::{BatchEvaluator, BatchOutcome, BatchStats, EvalBackend, FailureKind, JobFailure};
 pub use funcs::{FuncError, Funcs};
 pub use machine::{
     evaluate, evaluate_resumable, Backing, EvalError, EvalOptions, EvalStats, Evaluation,

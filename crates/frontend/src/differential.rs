@@ -18,6 +18,10 @@
 //!    boundary: the manifest is truncated back to each boundary in turn
 //!    and [`Evaluation::resume`] must rebuild the identical result,
 //!
+//! — plus, opt-in (`LINGUIST_DIFF_COMPILED=1` or
+//! [`CaseOptions::compiled`]), a fifth mode: the grammar's generated
+//! Rust evaluator, JIT-compiled by the `linguist-engine` build cache and
+//! required to reproduce the baseline's `encoded_outputs` byte for byte
 //! — and reports any disagreement as a [`Divergence`] naming the mode,
 //! the first offending attribute, and the pass that computes it. It also
 //! checks the [`EvalMetrics`] conservation laws (pass N+1 reads exactly
@@ -175,8 +179,31 @@ fn failure(mode: &str, detail: String) -> Divergence {
     }
 }
 
+/// Optional oracle legs for [`run_case_with`].
+#[derive(Clone, Debug, Default)]
+pub struct CaseOptions {
+    /// Run the compiled-engine leg: JIT-compile the grammar's generated
+    /// Rust evaluator and require its raw output bytes to equal the
+    /// sequential baseline's `encoded_outputs`. Off by default — every
+    /// novel grammar costs one `rustc` invocation — and skipped loudly
+    /// (not failed) when `rustc` is unavailable.
+    pub compiled: bool,
+}
+
+impl CaseOptions {
+    /// Environment-driven default: `LINGUIST_DIFF_COMPILED=1` turns the
+    /// compiled leg on for callers going through [`run_case`].
+    pub fn from_env() -> CaseOptions {
+        let compiled = std::env::var("LINGUIST_DIFF_COMPILED")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
+        CaseOptions { compiled }
+    }
+}
+
 /// Run one case through sequential, parallel-batch, and
-/// crash-resume-at-every-boundary modes.
+/// crash-resume-at-every-boundary modes — plus the compiled-engine leg
+/// when `LINGUIST_DIFF_COMPILED` is set (see [`CaseOptions`]).
 ///
 /// # Errors
 ///
@@ -185,6 +212,20 @@ fn failure(mode: &str, detail: String) -> Divergence {
 /// itself failed) — for generated grammars those are themselves
 /// findings, reported with mode `"baseline"`.
 pub fn run_case(source: &str, budget: usize, scratch: &Path) -> Result<CaseResult, Divergence> {
+    run_case_with(source, budget, scratch, &CaseOptions::from_env())
+}
+
+/// [`run_case`] with explicit [`CaseOptions`].
+///
+/// # Errors
+///
+/// Same as [`run_case`].
+pub fn run_case_with(
+    source: &str,
+    budget: usize,
+    scratch: &Path,
+    case_opts: &CaseOptions,
+) -> Result<CaseResult, Divergence> {
     let analysis = analyze(source, &Config::default())
         .map_err(|e| failure("baseline", format!("analyze failed: {}", e)))?;
     let tree = synthesize_tree(&analysis.grammar, budget.max(1))
@@ -249,12 +290,82 @@ pub fn run_case(source: &str, budget: usize, scratch: &Path) -> Result<CaseResul
         &analysis, &funcs, &tree, &opts, &baseline, scratch,
     ));
 
+    // Mode 5 (opt-in): the compiled engine. The interpreter's plans and
+    // the generated Rust evaluator walk the same grammar — their output
+    // bytes must be identical.
+    if case_opts.compiled {
+        divergences.extend(compiled_divergences(&analysis, &tree, &opts, &baseline));
+    }
+
     Ok(CaseResult {
         analysis,
         tree,
         baseline,
         divergences,
     })
+}
+
+/// Mode 5: JIT-compile the grammar's generated evaluator and compare
+/// its raw output bytes against the baseline's `encoded_outputs`.
+///
+/// A grammar the frontend accepted whose generated evaluator fails to
+/// *build* is itself a divergence (codegen bug); `rustc` being absent is
+/// an environment limitation and skips loudly instead. One engine (and
+/// its content-addressed build cache) is shared process-wide, so corpus
+/// replays and repeated cases compile each distinct grammar once.
+fn compiled_divergences(
+    analysis: &Analysis,
+    tree: &PTree,
+    opts: &EvalOptions,
+    baseline: &Evaluation,
+) -> Vec<Divergence> {
+    use linguist_engine::{Engine, EngineConfig, EngineKind};
+    use std::sync::OnceLock;
+
+    if !linguist_engine::jit::rustc_available() {
+        eprintln!("differential: SKIP compiled leg (rustc unavailable)");
+        return Vec::new();
+    }
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    let engine = ENGINE.get_or_init(|| {
+        Engine::new(EngineConfig {
+            kind: EngineKind::CompiledJit,
+            optimize: false,
+            cache_dir: None,
+        })
+    });
+    let prepared = engine.prepare(analysis);
+    if let Some(reason) = prepared.fallback() {
+        return vec![failure(
+            "compiled",
+            format!("generated evaluator did not build: {}", reason),
+        )];
+    }
+    match engine.compiled_output_bytes(&prepared, analysis, tree, opts) {
+        Err(e) => vec![failure("compiled", format!("compiled run failed: {}", e))],
+        Ok(bytes) => {
+            let want = encoded_outputs(baseline);
+            if bytes == want {
+                Vec::new()
+            } else {
+                let at = bytes
+                    .iter()
+                    .zip(want.iter())
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| bytes.len().min(want.len()));
+                vec![failure(
+                    "compiled",
+                    format!(
+                        "output bytes diverge at offset {} (compiled {} bytes, \
+                         interpreter {} bytes)",
+                        at,
+                        bytes.len(),
+                        want.len()
+                    ),
+                )]
+            }
+        }
+    }
 }
 
 /// The metrics conservation laws on a profiled evaluation: pass 1 reads

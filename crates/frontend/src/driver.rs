@@ -32,6 +32,7 @@ use linguist_ag::plan::build_plans;
 use linguist_ag::stats::GrammarStats;
 use linguist_ag::subsumption::Subsumption;
 use linguist_codegen::{GeneratedEvaluator, GeneratedPass, Target};
+pub use linguist_engine::EngineKind;
 use linguist_support::diag::Diagnostics;
 use linguist_support::pos::Span;
 use std::fmt;
@@ -105,6 +106,11 @@ pub struct DriverOptions {
     pub config: Config,
     /// Code-generation target.
     pub target: Option<TargetOpt>,
+    /// Which execution engine downstream evaluation should use. The
+    /// overlays themselves never evaluate, so this field only selects
+    /// behavior for the layers that do: the `--profile` report and the
+    /// serve tier read it off the options the CLI threaded through.
+    pub engine: EngineKind,
 }
 
 /// Wrapper so [`DriverOptions`] can derive `Default` (Pascal by default).

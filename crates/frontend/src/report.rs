@@ -21,6 +21,7 @@ use linguist_ag::grammar::{AttrClass, Grammar, SymbolKind};
 use linguist_ag::ids::{ProdId, SymbolId};
 use linguist_ag::passes::Direction;
 use linguist_ag::stats::GrammarProfile;
+use linguist_engine::{Engine, EngineConfig, EngineKind};
 use linguist_eval::aptfile::ReadDir;
 use linguist_eval::funcs::Funcs;
 use linguist_eval::machine::{
@@ -57,6 +58,13 @@ pub struct RecoveryOpts {
     /// filesystem. Ignored when a checkpoint directory is set (a
     /// checkpoint is durable by definition).
     pub backing: Backing,
+    /// Which execution engine runs the profiled evaluation (the CLI's
+    /// `--engine` flag). Compiled engines produce the same outputs but
+    /// no pass-level I/O profile (that instrumentation lives in the
+    /// interpreter), and they ignore retry/checkpoint/resume — so a
+    /// compiled profile reports outputs, engine, and any degradation,
+    /// while the per-pass table stays interpreter-only.
+    pub engine: EngineKind,
 }
 
 /// The complete `--profile` report for one grammar.
@@ -82,6 +90,12 @@ pub struct ProfileReport {
     /// The checkpoint boundary the evaluation restarted after, when it
     /// was resumed rather than run from scratch.
     pub resumed_from: Option<u16>,
+    /// The engine that produced the dynamic half (`"interpreted"`,
+    /// `"aot"`, `"jit"`); `None` when no evaluation was attempted.
+    pub engine_used: Option<String>,
+    /// Typed degradation reason when a compiled engine was requested but
+    /// the interpreter answered (`code: detail`).
+    pub engine_fallback: Option<String>,
 }
 
 impl ProfileReport {
@@ -95,6 +109,8 @@ impl ProfileReport {
             eval_error: None,
             retries: 0,
             resumed_from: None,
+            engine_used: None,
+            engine_fallback: None,
         }
     }
 
@@ -145,11 +161,24 @@ impl ProfileReport {
             retry: recovery.retry,
             ..EvalOptions::default()
         };
-        let result = match (&recovery.checkpoint_dir, recovery.resume) {
-            (Some(dir), true) => Evaluation::resume(analysis, funcs, &opts, dir)
-                .or_else(|_| evaluate_resumable(analysis, funcs, &tree, &opts, dir)),
-            (Some(dir), false) => evaluate_resumable(analysis, funcs, &tree, &opts, dir),
-            (None, _) => evaluate(analysis, funcs, &tree, &opts),
+        let result = if recovery.engine != EngineKind::Interpreted {
+            // Compiled engines: prepare (AOT lookup / JIT build) and run
+            // through the degradation ladder. Checkpoint/resume and the
+            // pass-level profile are interpreter-only instrumentation.
+            let engine = shared_engine(recovery.engine);
+            let prepared = engine.prepare(analysis);
+            let outcome = engine.evaluate(&prepared, analysis, funcs, &tree, &opts);
+            report.engine_used = Some(outcome.engine_used.as_str().to_string());
+            report.engine_fallback = outcome.fallback.map(|r| r.to_string());
+            outcome.result
+        } else {
+            report.engine_used = Some(EngineKind::Interpreted.as_str().to_string());
+            match (&recovery.checkpoint_dir, recovery.resume) {
+                (Some(dir), true) => Evaluation::resume(analysis, funcs, &opts, dir)
+                    .or_else(|_| evaluate_resumable(analysis, funcs, &tree, &opts, dir)),
+                (Some(dir), false) => evaluate_resumable(analysis, funcs, &tree, &opts, dir),
+                (None, _) => evaluate(analysis, funcs, &tree, &opts),
+            }
         };
         match result {
             Ok(eval) => {
@@ -231,7 +260,25 @@ impl ProfileReport {
                 let _ = writeln!(out);
                 let _ = writeln!(out, "evaluation profile unavailable: {}", e);
             }
-            (None, None) => {}
+            (None, None) => {
+                if let Some(engine) = &self.engine_used {
+                    if engine != "interpreted" {
+                        let _ = writeln!(out);
+                        let _ = writeln!(
+                            out,
+                            "evaluation ran on the {} engine over a synthetic {}-node tree \
+                             (pass-level I/O profile is interpreter-only)",
+                            engine, self.tree_nodes
+                        );
+                    }
+                }
+            }
+        }
+        if let Some(engine) = &self.engine_used {
+            let _ = writeln!(out, "engine: {}", engine);
+        }
+        if let Some(reason) = &self.engine_fallback {
+            let _ = writeln!(out, "engine fallback: {}", reason);
         }
         out
     }
@@ -308,9 +355,39 @@ impl ProfileReport {
             }
             None => out.push_str(",\"eval_error\":null"),
         }
+        match &self.engine_used {
+            Some(e) => {
+                let _ = write!(out, ",\"engine\":{}", json_str(e));
+            }
+            None => out.push_str(",\"engine\":null"),
+        }
+        match &self.engine_fallback {
+            Some(r) => {
+                let _ = write!(out, ",\"engine_fallback\":{}", json_str(r));
+            }
+            None => out.push_str(",\"engine_fallback\":null"),
+        }
         out.push('}');
         out
     }
+}
+
+/// One process-wide engine per compiled kind, so repeated profile runs
+/// (and `--batch` jobs) share the AOT registry probe and the
+/// content-hash JIT build cache instead of re-compiling per report.
+fn shared_engine(kind: EngineKind) -> &'static Engine {
+    static AOT: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+    static JIT: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+    let cell = match kind {
+        EngineKind::CompiledJit => &JIT,
+        _ => &AOT,
+    };
+    cell.get_or_init(|| {
+        Engine::new(EngineConfig {
+            kind,
+            ..EngineConfig::default()
+        })
+    })
 }
 
 /// Render an [`EvalMetrics`] profile as a JSON object — shared between

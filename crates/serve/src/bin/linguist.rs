@@ -21,6 +21,19 @@
 //!                        pass boundary into DIR (durable manifest)
 //!   --resume             resume the profiled evaluation from DIR's
 //!                        manifest (requires --checkpoint-dir)
+//!   --engine KIND        which execution engine runs the profiled
+//!                        evaluation: interpreted (default), aot
+//!                        (checked-in compiled evaluator), or jit
+//!                        (rustc-on-demand). Compiled engines degrade
+//!                        to the interpreter with a typed reason.
+//!
+//! linguist codegen GRAMMAR.lg [--out DIR] [--first-pass rl|lr]
+//!                  [--no-subsumption] [--coalesce]
+//!
+//!   Write the grammar's generated evaluator to DIR (default
+//!   `<stem>-evaluator/`) as a standalone dependency-free Rust binary
+//!   crate: boundary-0 APT on stdin, encoded root outputs on stdout.
+//!   The same source the compiled engine builds.
 //!
 //! linguist check GRAMMAR.lg [--format text|json] [--deny-warnings]
 //!                [--first-pass rl|lr] [--no-subsumption] [--coalesce]
@@ -34,7 +47,7 @@
 //!
 //! linguist serve [--socket PATH] [--tcp ADDR] [--workers N] [--queue N]
 //!                [--cache N] [--deadline-ms N] [--max-frame-bytes N]
-//!                [--idle-timeout-ms N]
+//!                [--idle-timeout-ms N] [--engine interpreted|aot|jit]
 //!
 //!   Run the resident translation service. At least one of --socket
 //!   (Unix-domain) and --tcp (loopback, e.g. 127.0.0.1:0) is required;
@@ -108,6 +121,8 @@ use linguist_ag::analysis::Config;
 use linguist_ag::lint::LintConfig;
 use linguist_ag::passes::{Direction, PassConfig};
 use linguist_ag::subsumption::GroupMode;
+use linguist_codegen::rustgen;
+use linguist_engine::EngineKind;
 use linguist_eval::aptfile::TempAptDir;
 use linguist_eval::funcs::Funcs;
 use linguist_eval::machine::{Backing, RetryPolicy};
@@ -119,7 +134,7 @@ use linguist_serve::load::{run_load, LoadConfig};
 use linguist_serve::router::{Router, RouterConfig, ShardAddr};
 use linguist_serve::server::{Server, ServerConfig};
 use linguist_support::json::Json;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -145,6 +160,7 @@ struct Cli {
     retries: u32,
     checkpoint_dir: Option<PathBuf>,
     resume: bool,
+    engine: EngineKind,
 }
 
 impl Cli {
@@ -176,6 +192,7 @@ impl Cli {
             } else {
                 Backing::Disk
             },
+            engine: self.engine,
         }
     }
 }
@@ -185,11 +202,14 @@ fn usage() -> ! {
         "usage: linguist GRAMMAR.lg [GRAMMAR2.lg ...] [--listing] [--stats] [--timings] \
          [--profile[=text|json]] [--emit pascal|rust] [--first-pass rl|lr] \
          [--no-subsumption] [--coalesce] [--batch] [--jobs N] [--retries N] \
-         [--checkpoint-dir DIR] [--resume]\n\
+         [--checkpoint-dir DIR] [--resume] [--engine interpreted|aot|jit]\n\
          \x20      linguist check GRAMMAR.lg [--format text|json] [--deny-warnings] \
          [--first-pass rl|lr] [--no-subsumption] [--coalesce]\n\
+         \x20      linguist codegen GRAMMAR.lg [--out DIR] [--first-pass rl|lr] \
+         [--no-subsumption] [--coalesce]\n\
          \x20      linguist serve [--socket PATH] [--tcp ADDR] [--workers N] [--queue N] \
-         [--cache N] [--deadline-ms N] [--max-frame-bytes N] [--idle-timeout-ms N]\n\
+         [--cache N] [--deadline-ms N] [--max-frame-bytes N] [--idle-timeout-ms N] \
+         [--engine interpreted|aot|jit]\n\
          \x20      linguist router (--socket PATH | --tcp ADDR) --shard SPEC [--shard ...] \
          [--health-interval-ms N] [--probe-timeout-ms N] [--attempt-timeout-ms N] \
          [--max-attempts N] [--breaker-threshold N] [--breaker-cooldown-ms N]\n\
@@ -219,6 +239,7 @@ fn parse_args(args: Vec<String>) -> Cli {
         retries: 0,
         checkpoint_dir: None,
         resume: false,
+        engine: EngineKind::Interpreted,
     };
     let mut args = args.into_iter().peekable();
     while let Some(a) = args.next() {
@@ -268,6 +289,10 @@ fn parse_args(args: Vec<String>) -> Cli {
                 Some("rl") => cli.first = Direction::RightToLeft,
                 Some("lr") => cli.first = Direction::LeftToRight,
                 _ => usage(),
+            },
+            "--engine" => match args.next().as_deref().and_then(EngineKind::parse) {
+                Some(kind) => cli.engine = kind,
+                None => usage(),
             },
             "--help" | "-h" => usage(),
             _ if !a.starts_with('-') => cli.paths.push(a),
@@ -393,6 +418,114 @@ fn check_main(args: Vec<String>) -> ExitCode {
     }
 }
 
+/// `linguist codegen ...`: write a grammar's generated evaluator crate
+/// to disk — a standalone Rust binary crate (no dependencies) that reads
+/// a boundary-0 APT file on stdin and writes the root's synthesized
+/// attributes on stdout. This is exactly the source the compiled engine
+/// builds, so `cargo build` in the output directory yields the same
+/// evaluator the `--engine jit` cache would.
+fn codegen_main(args: Vec<String>) -> ExitCode {
+    let mut path = None;
+    let mut out: Option<PathBuf> = None;
+    let mut first = Direction::RightToLeft;
+    let mut no_subsumption = false;
+    let mut coalesce = false;
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => match args.next() {
+                Some(d) if !d.starts_with('-') => out = Some(d.into()),
+                _ => usage(),
+            },
+            "--first-pass" => match args.next().as_deref() {
+                Some("rl") => first = Direction::RightToLeft,
+                Some("lr") => first = Direction::LeftToRight,
+                _ => usage(),
+            },
+            "--no-subsumption" => no_subsumption = true,
+            "--coalesce" => coalesce = true,
+            "--help" | "-h" => usage(),
+            _ if !a.starts_with('-') && path.is_none() => path = Some(a),
+            _ => usage(),
+        }
+    }
+    let path = path.unwrap_or_else(|| usage());
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("linguist codegen: cannot read {}: {}", path, e);
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = Config {
+        pass: PassConfig {
+            first_direction: first,
+            max_passes: 32,
+        },
+        disable_subsumption: no_subsumption,
+        group_mode: if coalesce {
+            GroupMode::CoalesceCopies
+        } else {
+            GroupMode::SameName
+        },
+        ..Config::default()
+    };
+    let analysis = match linguist_frontend::driver::analyze(&source, &config) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("linguist codegen: {}: {}", path, e);
+            return ExitCode::FAILURE;
+        }
+    };
+    // Crate name and default output directory from the grammar file stem
+    // (sanitized to a valid package name).
+    let stem = Path::new(&path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("grammar")
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect::<String>();
+    let crate_name = format!("{}-evaluator", stem.trim_matches('-'));
+    let out_dir = out.unwrap_or_else(|| PathBuf::from(&crate_name));
+    let files = rustgen::crate_files(&analysis, &crate_name, true);
+    for (rel, content) in &files {
+        let target = out_dir.join(rel);
+        if let Some(parent) = target.parent() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!(
+                    "linguist codegen: cannot create {}: {}",
+                    parent.display(),
+                    e
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = std::fs::write(&target, content) {
+            eprintln!("linguist codegen: cannot write {}: {}", target.display(), e);
+            return ExitCode::FAILURE;
+        }
+    }
+    let evaluator = rustgen::rust_source(&analysis);
+    println!(
+        "wrote {} file(s) to {} ({} evaluator lines, content hash {})",
+        files.len(),
+        out_dir.display(),
+        evaluator.lines().count(),
+        rustgen::content_hash(evaluator.as_bytes()),
+    );
+    for (rel, _content) in &files {
+        println!("  {}", out_dir.join(rel).display());
+    }
+    ExitCode::SUCCESS
+}
+
 /// `linguist serve ...`: run the resident translation service.
 fn serve_main(args: Vec<String>) -> ExitCode {
     let mut cfg = ServerConfig::default();
@@ -431,6 +564,10 @@ fn serve_main(args: Vec<String>) -> ExitCode {
                 Some(0) => cfg.idle_timeout = None,
                 Some(n) => cfg.idle_timeout = Some(Duration::from_millis(n)),
                 _ => usage(),
+            },
+            "--engine" => match args.next().as_deref().and_then(EngineKind::parse) {
+                Some(kind) => cfg.engine.kind = kind,
+                None => usage(),
             },
             _ => usage(),
         }
@@ -889,6 +1026,7 @@ fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("check") => return check_main(argv.split_off(1)),
+        Some("codegen") => return codegen_main(argv.split_off(1)),
         Some("serve") => return serve_main(argv.split_off(1)),
         Some("router") => return router_main(argv.split_off(1)),
         Some("load") => return load_main(argv.split_off(1)),
@@ -928,6 +1066,7 @@ fn main() -> ExitCode {
             ..Config::default()
         },
         target: cli.emit,
+        engine: cli.engine,
     };
 
     if !cli.batch {

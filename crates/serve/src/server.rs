@@ -25,10 +25,14 @@
 use linguist_ag::analysis::Config;
 use linguist_ag::lint::{run_lints, Finding, LintConfig};
 use linguist_ag::passes::Direction;
+use linguist_engine::{Engine as ExecEngine, EngineConfig, EngineKind};
 use linguist_eval::funcs::Funcs;
 use linguist_eval::machine::{evaluate, Backing, EvalOptions, Evaluation, Strategy};
+use linguist_eval::tree::PTree;
 use linguist_frontend::check::{check_source, CheckReport};
 use linguist_frontend::report::synthesize_tree;
+use linguist_frontend::translate::standard_intrinsics;
+use linguist_support::intern::NameTable;
 use linguist_support::json::Json;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -76,6 +80,11 @@ pub struct ServerConfig {
     pub idle_timeout: Option<Duration>,
     /// Frontend analysis configuration used for every compile.
     pub config: Config,
+    /// Execution-engine selection: interpreted (the default), AOT, or
+    /// on-demand JIT. Compiled engines resolve their route at load time
+    /// and cache it with the grammar; a route that cannot be built
+    /// degrades each job to the interpreter with a typed reason.
+    pub engine: EngineConfig,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +99,7 @@ impl Default for ServerConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             idle_timeout: Some(Duration::from_secs(60)),
             config: Config::default(),
+            engine: EngineConfig::default(),
         }
     }
 }
@@ -101,6 +111,7 @@ pub struct ServiceState {
     metrics: ServiceMetrics,
     funcs: Funcs,
     config: Config,
+    engine: ExecEngine,
     default_deadline: Option<Duration>,
     max_frame_len: usize,
     idle_timeout: Option<Duration>,
@@ -126,6 +137,17 @@ impl ServiceState {
     /// in-flight jobs still finish and `ServerHandle::wait` returns.
     pub fn begin_drain(&self) {
         request_shutdown(self);
+    }
+
+    /// The execution engine (run counters for tests and stats).
+    pub fn engine(&self) -> &ExecEngine {
+        &self.engine
+    }
+
+    /// The engine to resolve loads against, when one is configured
+    /// (interpreted services skip preparation entirely).
+    fn exec(&self) -> Option<&ExecEngine> {
+        (self.engine.config().kind != EngineKind::Interpreted).then_some(&self.engine)
     }
 }
 
@@ -169,6 +191,7 @@ impl Server {
             metrics: ServiceMetrics::new(),
             funcs: Funcs::standard(),
             config: cfg.config,
+            engine: ExecEngine::new(cfg.engine),
             default_deadline: cfg.default_deadline,
             max_frame_len: cfg.max_frame_len,
             idle_timeout: cfg.idle_timeout,
@@ -417,10 +440,28 @@ fn dispatch_line(line: &str, state: &Arc<ServiceState>) -> (Json, bool) {
         } => (handle_batch(state, &grammar, jobs, deadline_ms), false),
         Request::Check { grammar } => (handle_check(state, &grammar), false),
         Request::Ping => (ok_reply(vec![]), false),
-        Request::Stats => (
-            ok_reply(state.metrics.render(&state.store, &state.pool)),
-            false,
-        ),
+        Request::Stats => {
+            let mut fields = state.metrics.render(&state.store, &state.pool);
+            let c = state.engine.counters();
+            fields.push((
+                "engine".to_string(),
+                Json::Obj(vec![
+                    (
+                        "kind".to_string(),
+                        Json::str(state.engine.config().kind.as_str()),
+                    ),
+                    ("aot_runs".to_string(), Json::int(c.aot_runs as i64)),
+                    ("jit_runs".to_string(), Json::int(c.jit_runs as i64)),
+                    (
+                        "interpreted_runs".to_string(),
+                        Json::int(c.interpreted_runs as i64),
+                    ),
+                    ("fallbacks".to_string(), Json::int(c.fallbacks as i64)),
+                    ("jit_compiles".to_string(), Json::int(c.jit_compiles as i64)),
+                ]),
+            ));
+            (ok_reply(fields), false)
+        }
         Request::Shutdown => (ok_reply(vec![]), true),
     }
 }
@@ -432,7 +473,10 @@ fn handle_load(
     name: Option<&str>,
 ) -> Json {
     state.metrics.loads.fetch_add(1, Ordering::Relaxed);
-    match state.store.load(source, scanner, name, &state.config) {
+    match state
+        .store
+        .load_with_engine(source, scanner, name, &state.config, state.exec())
+    {
         Ok((g, cached)) => ok_reply(vec![
             ("grammar".to_string(), Json::str(&g.key)),
             ("name".to_string(), Json::str(&g.name)),
@@ -488,10 +532,13 @@ fn handle_check(state: &Arc<ServiceState>, gref: &GrammarRef) -> Json {
             }
         },
         GrammarRef::Source { source, scanner } => {
-            match state
-                .store
-                .load(source, scanner.as_deref(), None, &state.config)
-            {
+            match state.store.load_with_engine(
+                source,
+                scanner.as_deref(),
+                None,
+                &state.config,
+                state.exec(),
+            ) {
                 Ok((g, _cached)) => {
                     let report = CheckReport {
                         findings: run_lints(g.analysis(), g.spans(), &lint_cfg),
@@ -551,7 +598,13 @@ fn resolve(
         }),
         GrammarRef::Source { source, scanner } => state
             .store
-            .load(source, scanner.as_deref(), None, &state.config)
+            .load_with_engine(
+                source,
+                scanner.as_deref(),
+                None,
+                &state.config,
+                state.exec(),
+            )
             .map(|(g, _cached)| g)
             .map_err(|e| {
                 let k = load_error_kind(&e);
@@ -724,25 +777,54 @@ fn run_job(
         backing: Backing::Memory,
         ..EvalOptions::default()
     };
-    let result: Result<Evaluation, (&'static str, String)> = match work {
+    // Obtain the parse tree: scan + parse for `input` work, synthesize
+    // from the grammar for `budget` work. Splitting the tree from the
+    // evaluation lets one code path below choose the engine.
+    let tree: Result<PTree, (&'static str, String)> = match work {
         Work::Input(text) => match grammar.translator() {
-            Some(t) => t
-                .translate(text, &state.funcs, &opts)
-                .map_err(|e| (translate_error_kind(&e), e.to_string())),
+            Some(t) => {
+                let mut names = NameTable::new();
+                t.parse_input(text, &standard_intrinsics, &mut names)
+                    .map_err(|e| (translate_error_kind(&e), e.to_string()))
+            }
             None => Err((
                 kind::BAD_REQUEST,
                 "grammar was loaded without a scanner; send `budget` instead of `input`"
                     .to_string(),
             )),
         },
-        Work::Budget(n) => match synthesize_tree(&grammar.analysis().grammar, (*n).max(1)) {
-            Some(tree) => evaluate(grammar.analysis(), &state.funcs, &tree, &opts)
+        Work::Budget(n) => synthesize_tree(&grammar.analysis().grammar, (*n).max(1)).ok_or((
+            kind::BAD_REQUEST,
+            "no finite derivation exists for the start symbol".to_string(),
+        )),
+    };
+    let mut engine_used = EngineKind::Interpreted;
+    let mut engine_fallback = None;
+    let result: Result<Evaluation, (&'static str, String)> = tree.and_then(|tree| {
+        match grammar.prepared() {
+            // The compiled route resolved at load time: run it, with
+            // per-job degradation to the interpreter on any compiled-side
+            // failure (the typed reason rides along in the reply).
+            Some(p) => {
+                let outcome =
+                    state
+                        .engine
+                        .evaluate(p, grammar.analysis(), &state.funcs, &tree, &opts);
+                engine_used = outcome.engine_used;
+                engine_fallback = outcome.fallback;
+                outcome
+                    .result
+                    .map_err(|e| (eval_error_kind(&e), e.to_string()))
+            }
+            None => evaluate(grammar.analysis(), &state.funcs, &tree, &opts)
                 .map_err(|e| (eval_error_kind(&e), e.to_string())),
-            None => Err((
-                kind::BAD_REQUEST,
-                "no finite derivation exists for the start symbol".to_string(),
-            )),
-        },
+        }
+    });
+    let fallback_json = |r: &linguist_engine::FallbackReason| {
+        Json::Obj(vec![
+            ("kind".to_string(), Json::str(r.code())),
+            ("detail".to_string(), Json::str(&r.detail())),
+        ])
     };
     match result {
         Ok(eval) => {
@@ -758,23 +840,41 @@ fn run_job(
                     )
                 })
                 .collect();
-            ok_reply(vec![
+            let mut fields = vec![
                 ("grammar".to_string(), Json::str(&grammar.key)),
                 ("outputs".to_string(), Json::Obj(outputs)),
                 (
                     "passes".to_string(),
                     Json::int(eval.stats.passes.len() as i64),
                 ),
+                ("engine".to_string(), Json::str(engine_used.as_str())),
                 ("wall_ms".to_string(), Json::Num(wall.as_secs_f64() * 1e3)),
                 (
                     "queue_ms".to_string(),
                     Json::Num(waited.as_secs_f64() * 1e3),
                 ),
-            ])
+            ];
+            // A degraded job still succeeds (the interpreter answered);
+            // the typed reason is reported, and the engine's own
+            // fallback counter tracks the rate for `stats`.
+            if let Some(r) = &engine_fallback {
+                fields.push(("engine_fallback".to_string(), fallback_json(r)));
+            }
+            ok_reply(fields)
         }
         Err((k, msg)) => {
             state.metrics.record_error(k);
-            error_reply(k, &msg)
+            match &engine_fallback {
+                // The job degraded to the interpreter *and* the
+                // interpreter itself failed: the typed degradation
+                // reason rides in the error detail.
+                Some(r) => error_reply_with(
+                    k,
+                    &msg,
+                    vec![("engine_fallback".to_string(), fallback_json(r))],
+                ),
+                None => error_reply(k, &msg),
+            }
         }
     }
 }

@@ -21,6 +21,7 @@
 
 use linguist_ag::analysis::{Analysis, Config};
 use linguist_ag::lint::SpanMap;
+use linguist_engine::{Engine as ExecEngine, EngineKind, PreparedEngine};
 use linguist_frontend::driver::{analyze_with_spans, DriverError};
 use linguist_frontend::translate::{TranslateError, Translator};
 use linguist_lexgen::Scanner;
@@ -79,6 +80,10 @@ pub struct CompiledGrammar {
     /// Source spans per dense id, captured at compile time so `check`
     /// requests against a cached grammar never re-run the frontend.
     spans: SpanMap,
+    /// Compiled-engine route resolved at load time (AOT registry lookup
+    /// or JIT build), cached alongside the analysis so warm requests pay
+    /// zero preparation cost. `None` when the service runs interpreted.
+    prepared: Option<PreparedEngine>,
 }
 
 impl CompiledGrammar {
@@ -112,6 +117,12 @@ impl CompiledGrammar {
     /// Warm lookups served from this entry so far.
     pub fn hit_count(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// The compiled-engine route resolved at load time, when the
+    /// service runs a compiled engine.
+    pub fn prepared(&self) -> Option<&PreparedEngine> {
+        self.prepared.as_ref()
     }
 }
 
@@ -277,6 +288,30 @@ impl GrammarStore {
         name: Option<&str>,
         config: &Config,
     ) -> Result<(Arc<CompiledGrammar>, bool), LoadError> {
+        self.load_with_engine(source, scanner, name, config, None)
+    }
+
+    /// [`load`](GrammarStore::load), resolving the grammar against an
+    /// execution engine at compile time: the entry caches the prepared
+    /// route (AOT function pointer or JIT artifact path) alongside the
+    /// analysis, so warm translate requests pay zero engine preparation.
+    /// Preparation shares the store's single-flight — concurrent misses
+    /// on one key trigger at most one JIT build from this path (the
+    /// engine's own build cache single-flights cross-grammar collisions).
+    ///
+    /// # Errors
+    ///
+    /// See [`LoadError`]. Engine preparation itself never fails a load —
+    /// a grammar whose evaluator cannot be built degrades to the
+    /// interpreter with the typed reason recorded in the entry.
+    pub fn load_with_engine(
+        &self,
+        source: &str,
+        scanner: Option<&str>,
+        name: Option<&str>,
+        config: &Config,
+        exec: Option<&ExecEngine>,
+    ) -> Result<(Arc<CompiledGrammar>, bool), LoadError> {
         let key = grammar_key(source, scanner);
         loop {
             {
@@ -304,7 +339,7 @@ impl GrammarStore {
             }
             // This thread owns the compile for `key`; the lock is
             // released while the frontend runs.
-            let built = self.compile(source, scanner, name, config, &key);
+            let built = self.compile(source, scanner, name, config, &key, exec);
             let mut inner = self.inner.lock().expect("store poisoned");
             match built {
                 Ok(g) => {
@@ -337,10 +372,17 @@ impl GrammarStore {
         name: Option<&str>,
         config: &Config,
         key: &str,
+        exec: Option<&ExecEngine>,
     ) -> Result<CompiledGrammar, LoadError> {
         let started = Instant::now();
         self.analyses.fetch_add(1, Ordering::Relaxed);
         let (analysis, spans) = analyze_with_spans(source, config).map_err(LoadError::Compile)?;
+        // Resolve the compiled-engine route while the analysis is still
+        // in hand (a JIT build happens here, inside the load's
+        // single-flight, on the loading client's time).
+        let prepared = exec
+            .filter(|e| e.config().kind != EngineKind::Interpreted)
+            .map(|e| e.prepare(&analysis));
         let engine = match scanner {
             Some(sn) => {
                 let sc =
@@ -359,6 +401,7 @@ impl GrammarStore {
             hits: AtomicU64::new(0),
             engine,
             spans,
+            prepared,
         })
     }
 

@@ -425,3 +425,56 @@ fn sigterm_drains_the_daemon_and_it_exits_zero() {
     };
     assert!(code.success(), "drained daemon must exit 0, got {:?}", code);
 }
+
+/// `linguist codegen` is the offline face of the compiled-evaluator
+/// engine: it must emit exactly the source the AOT registry was built
+/// from. Pinning the `meta` grammar byte-for-byte against the checked-in
+/// workspace member catches any drift between the CLI path and
+/// `rustgen` (the standalone layout differs only in file name:
+/// `src/main.rs` vs the AOT crate's `src/lib.rs`).
+#[test]
+fn codegen_subcommand_emits_the_pinned_meta_evaluator() {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let grammar = manifest.join("../grammars/lg/meta.lg");
+    let pinned = manifest.join("../engine/generated/meta/src/lib.rs");
+    let out_dir = std::env::temp_dir().join(format!("linguist-cli-codegen-{}", std::process::id()));
+    let _unused = std::fs::remove_dir_all(&out_dir);
+    let out = linguist()
+        .arg("codegen")
+        .arg(&grammar)
+        .arg("--out")
+        .arg(&out_dir)
+        .output()
+        .expect("run linguist codegen");
+    assert!(
+        out.status.success(),
+        "codegen failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let emitted = std::fs::read_to_string(out_dir.join("src/main.rs")).expect("emitted source");
+    let expected = std::fs::read_to_string(&pinned).expect("checked-in AOT source");
+    assert_eq!(
+        emitted, expected,
+        "CLI codegen output drifted from the checked-in meta evaluator \
+         (rerun `cargo run --example gen_aot` if rustgen changed)"
+    );
+    // The standalone manifest must detach from the enclosing workspace
+    // so the emitted crate builds with a plain `cargo build`.
+    let manifest_out = std::fs::read_to_string(out_dir.join("Cargo.toml")).expect("manifest");
+    assert!(manifest_out.contains("[workspace]"), "{}", manifest_out);
+    let _unused = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
+fn codegen_subcommand_rejects_unanalyzable_grammars_nonzero() {
+    let bad = write_tmp(
+        "codegen-bad.lg",
+        "grammar Broken ;\nthis is not a grammar\n",
+    );
+    let out = linguist().arg("codegen").arg(&bad).output().expect("run");
+    assert!(!out.status.success(), "broken grammar must not exit 0");
+    assert!(
+        !out.stderr.is_empty(),
+        "failure must be explained on stderr"
+    );
+}

@@ -59,6 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     ..Config::default()
                 },
                 target: None,
+                ..DriverOptions::default()
             },
         )?;
         generate(&rerun.analysis, Target::Pascal)

@@ -18,8 +18,9 @@
 #      translate, and a stats round-trip, then shuts down cleanly
 #  10. lint gate: `linguist check --deny-warnings` accepts the meta
 #      grammar, and the JSON report parses and is deterministic
-#  11. fuzz smoke: a bounded run of the four-way differential oracle
-#      (generated grammars + corpus replay) under PROPTEST_CASES=12
+#  11. fuzz smoke: a bounded run of the five-way differential oracle
+#      (generated grammars + corpus replay, incl. the compiled corpus
+#      leg) under PROPTEST_CASES=12
 #  12. batch-throughput bench snapshot lands in target/ and records a
 #      lock-free owned store (plus the legacy ablation's lock count)
 #  13. scaling gates: the ignored-by-default batch scaling tier — the
@@ -33,6 +34,15 @@
 #      and hot-grammar replication into the recovered shard
 #  15. serve-resilience bench snapshot lands in target/, its 2+ shard
 #      kill legs show full success, and the committed copy parses
+#  16. compiled-engine AOT end to end: `--engine aot` profile reports
+#      the aot engine, and an `--engine aot` daemon answers a
+#      translate tagged "engine":"aot" with engine counters in stats
+#  17. compiled differential smoke: the ignored-by-default fifth-leg
+#      fuzz property under PROPTEST_CASES=8 (loudly skipped, inside
+#      the test, when rustc is absent)
+#  18. compiled-vs-interpreted bench snapshot lands in target/ and
+#      parses; the committed copy records the >=5x AOT speedup over
+#      the disk-backed interpreter
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -143,7 +153,7 @@ echo "== differential fuzz smoke =="
 # plus a replay of every pinned fixture in tests/corpus/. Deterministic —
 # the shim derives case seeds from the test's module path.
 PROPTEST_CASES=12 cargo test -q --release --test differential
-echo "differential oracle agrees across all four modes"
+echo "differential oracle agrees across all five modes"
 
 echo "== batch-throughput bench snapshot =="
 cargo bench -q -p linguist-bench --bench table_batch_throughput > /dev/null
@@ -264,5 +274,91 @@ assert floor and floor[0]["failed"] > 0, ("1-shard kill should show the outage f
 '
 python3 -m json.tool < BENCH_serve_resilience.json > /dev/null
 echo "bench snapshot parses; 2+ shard kill legs fully succeed"
+
+echo "== compiled-engine AOT end-to-end =="
+target/release/linguist crates/grammars/lg/calc.lg --profile=json --engine aot \
+  | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+assert r["engine"] == "aot", r.get("engine")
+assert r.get("engine_fallback") is None, r["engine_fallback"]
+assert r["eval_error"] is None, r["eval_error"]
+'
+AOTSOCK="$(mktemp -u /tmp/linguist-verify-aot-XXXXXX.sock)"
+target/release/linguist serve --socket "$AOTSOCK" --workers 2 --queue 8 --engine aot &
+AOT_PID=$!
+trap 'rm -rf "$CKPT"
+      for P in "$SERVE_PID" "$S1_PID" "$S2_PID" "$ROUTER_PID" "$CHAOS_PID" "$AOT_PID"; do
+        [ -n "$P" ] && kill "$P" 2>/dev/null || true
+      done
+      rm -f "$SOCK" "$RS1" "$RS2" "$FRONT" "$AOTSOCK"' EXIT
+for _ in $(seq 1 100); do
+  [ -S "$AOTSOCK" ] && break
+  sleep 0.05
+done
+[ -S "$AOTSOCK" ] || { echo "aot daemon never bound its socket"; exit 1; }
+AOTHANDLE="$(target/release/linguist client --socket "$AOTSOCK" \
+    load crates/grammars/lg/calc.lg --scanner calc --name calc \
+  | python3 -c 'import json,sys; r=json.load(sys.stdin); assert r["ok"]; print(r["grammar"])')"
+target/release/linguist client --socket "$AOTSOCK" \
+    translate "$AOTHANDLE" --input '6 * 7' \
+  | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+assert r["ok"], r
+assert r["outputs"]["V"] == "42", r["outputs"]
+assert r["engine"] == "aot", r.get("engine")
+assert "engine_fallback" not in r, r
+'
+target/release/linguist client --socket "$AOTSOCK" stats \
+  | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+assert r["ok"], r
+assert r["engine"]["kind"] == "aot", r["engine"]
+assert r["engine"]["aot_runs"] >= 1, r["engine"]
+assert r["engine"]["fallbacks"] == 0, r["engine"]
+'
+target/release/linguist client --socket "$AOTSOCK" shutdown > /dev/null
+wait "$AOT_PID" || { echo "aot daemon exited non-zero"; exit 1; }
+AOT_PID=""
+echo "aot engine serves end to end: compiled translate, tagged reply, counted in stats"
+
+echo "== compiled differential smoke =="
+if command -v rustc > /dev/null; then
+  # The ignored-by-default fifth-leg property: generated grammars must
+  # produce byte-identical output frames from their JIT-compiled
+  # evaluators. Content-hash caching means one rustc run per distinct
+  # grammar across the whole sweep.
+  PROPTEST_CASES=8 cargo test -q --release --test differential -- \
+    --ignored generated_grammars_agree_with_compiled_engine
+  echo "compiled evaluators agree with the interpreter on 8 generated grammars"
+else
+  echo "SKIP: rustc not on PATH — compiled differential smoke not run"
+fi
+
+echo "== compiled-vs-interpreted bench snapshot =="
+cargo bench -q -p linguist-bench --bench compiled_vs_interpreted > /dev/null
+test -f target/BENCH_compiled_vs_interpreted.json || { echo "no bench snapshot"; exit 1; }
+python3 -c '
+import json
+r = json.load(open("target/BENCH_compiled_vs_interpreted.json"))
+assert len(r["rows"]) == 5, r["rows"]
+for row in r["rows"]:
+    for key in ("grammar", "nodes", "interpreted_us", "file_interpreted_us",
+                "aot_us", "aot_speedup", "aot_speedup_vs_files"):
+        assert key in row, (key, row)
+# Fresh-run floor, conservative against CI noise; the committed copy
+# below carries the measured headline.
+assert r["aot_speedup_vs_files_geomean"] >= 3.0, r["aot_speedup_vs_files_geomean"]
+'
+python3 -c '
+import json
+r = json.load(open("BENCH_compiled_vs_interpreted.json"))
+assert len(r["rows"]) == 5, r["rows"]
+assert r["aot_speedup_vs_files_geomean"] >= 5.0, \
+    ("committed snapshot must document the >=5x claim", r["aot_speedup_vs_files_geomean"])
+'
+echo "bench snapshot parses; AOT >=5x over the disk-backed interpreter"
 
 echo "verify: all green"

@@ -10,11 +10,13 @@
 //! * [`linguist_ag`] — the attribute-grammar core and its analyses.
 //! * [`linguist_eval`] — the file-resident alternating-pass evaluator.
 //! * [`linguist_codegen`] — evaluator source-code generation.
+//! * [`linguist_engine`] — compiled-evaluator execution engine (AOT/JIT).
 //! * [`linguist_frontend`] — the LINGUIST input language and overlay driver.
 //! * [`linguist_grammars`] — bundled and synthetic attribute grammars.
 
 pub use linguist_ag as ag;
 pub use linguist_codegen as codegen;
+pub use linguist_engine as engine;
 pub use linguist_eval as eval;
 pub use linguist_frontend as frontend;
 pub use linguist_grammars as grammars;

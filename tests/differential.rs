@@ -369,3 +369,71 @@ fn corpus_fixtures_replay_clean() {
         );
     }
 }
+
+/// The fifth (compiled-engine) leg over every pinned fixture: each
+/// fixture's generated Rust evaluator is JIT-compiled and must emit
+/// `encoded_outputs` byte-identical to the sequential interpreter.
+/// Skips loudly when `rustc` is absent (the leg itself does the same).
+#[test]
+fn corpus_fixtures_compiled_byte_identical() {
+    use linguist_frontend::differential::{run_case_with, CaseOptions};
+
+    if !linguist86::engine::jit::rustc_available() {
+        eprintln!("SKIP: rustc not available; compiled corpus replay untestable here");
+        return;
+    }
+    let dir = Path::new(CORPUS_DIR);
+    let mut fixtures: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("tests/corpus exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "lg"))
+        .collect();
+    fixtures.sort();
+    assert!(!fixtures.is_empty());
+    let case_opts = CaseOptions { compiled: true };
+    for path in fixtures {
+        let (source, budget) = load_fixture(&path).expect("read fixture");
+        let scratch = scratch_dir("corpus-compiled");
+        let result = run_case_with(&source, budget, &scratch, &case_opts);
+        let _ = std::fs::remove_dir_all(&scratch);
+        let r = result.unwrap_or_else(|d| panic!("{}: no baseline: {}", path.display(), d));
+        let compiled: Vec<String> = r
+            .divergences
+            .iter()
+            .filter(|d| d.mode == "compiled")
+            .map(|d| d.to_string())
+            .collect();
+        assert!(
+            compiled.is_empty(),
+            "{}: compiled engine diverged:\n{}",
+            path.display(),
+            compiled.join("\n")
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Compiled-engine fuzz smoke: randomized grammars through the full
+    /// oracle *including* the fifth leg. `#[ignore]`d in the default
+    /// suite — each novel grammar costs one `rustc` build — and run
+    /// explicitly by `scripts/verify.sh` with `PROPTEST_CASES=8`.
+    #[test]
+    #[ignore = "compiled differential smoke; run explicitly (scripts/verify.sh) with PROPTEST_CASES"]
+    fn generated_grammars_agree_with_compiled_engine(params in shape_strategy()) {
+        use linguist_frontend::differential::{run_case_with, CaseOptions};
+
+        let sg = realize(&params);
+        let scratch = scratch_dir("compiled-case");
+        let result = run_case_with(&sg.source, sg.params.budget, &scratch, &CaseOptions { compiled: true });
+        let _ = std::fs::remove_dir_all(&scratch);
+        let msgs: Vec<String> = match result {
+            Err(d) => vec![d.to_string()],
+            Ok(r) => r.divergences.iter().map(|d| d.to_string()).collect(),
+        };
+        if !msgs.is_empty() {
+            fail_case(&sg, &msgs);
+        }
+    }
+}

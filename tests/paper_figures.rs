@@ -20,6 +20,7 @@ fn options(first: Direction) -> DriverOptions {
             ..Config::default()
         },
         target: None,
+        ..DriverOptions::default()
     }
 }
 
@@ -299,6 +300,7 @@ end
             ..Config::default()
         },
         target: None,
+        ..DriverOptions::default()
     };
     let out = run(src, &opts).unwrap();
     let g = &out.analysis.grammar;

@@ -152,6 +152,7 @@ end
             ..Config::default()
         },
         target: None,
+        ..DriverOptions::default()
     };
     match run(src, &opts) {
         Err(DriverError::Analysis(e)) => {
@@ -170,6 +171,7 @@ end
             ..Config::default()
         },
         target: None,
+        ..DriverOptions::default()
     };
     assert_eq!(run(src, &relaxed).unwrap().stats.passes, 2);
     assert_eq!(run(src, &DriverOptions::default()).unwrap().stats.passes, 1);
@@ -290,6 +292,7 @@ fn coalesce_mode_runs_through_the_driver() {
             ..Config::default()
         },
         target: None,
+        ..DriverOptions::default()
     };
     let out = run(meta_source(), &opts).unwrap();
     // Coalescing can only subsume at least as many copies as same-name.

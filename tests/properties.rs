@@ -251,6 +251,7 @@ fn block_translators() -> &'static [(Translator, BootStrategy)] {
                     ..Config::default()
                 },
                 target: None,
+                ..DriverOptions::default()
             };
             let out = run(block_source(), &opts).unwrap();
             (
