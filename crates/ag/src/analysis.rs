@@ -39,6 +39,12 @@ pub struct Config {
     /// Disable static subsumption entirely (the paper's "without"
     /// timing/size comparison).
     pub disable_subsumption: bool,
+    /// Run the grammar optimizer (constant folding, copy-chain
+    /// collapsing, dead-attribute elimination) before scheduling. Off
+    /// by default at the library level — the paper's figures are
+    /// reproduced on the unoptimized grammar — and switched on by the
+    /// CLI's `--opt` (whose default is on).
+    pub optimize: bool,
 }
 
 /// Everything known about an analyzed grammar.
@@ -58,6 +64,8 @@ pub struct Analysis {
     pub subsumption: Subsumption,
     /// Production-procedure plans per pass.
     pub plans: Plans,
+    /// What the optimizer did, when [`Config::optimize`] was on.
+    pub opt: Option<crate::dataflow::OptReport>,
 }
 
 /// A failure anywhere in the pipeline.
@@ -148,9 +156,22 @@ impl Analysis {
             insert_implicit_copies(&mut grammar)
         };
         check_completeness(&grammar)?;
-        let io = check_noncircular(&grammar)?;
+        let mut io = check_noncircular(&grammar)?;
+        let opt = if cfg.optimize {
+            let report = crate::dataflow::optimize(&mut grammar);
+            // The transforms only remove dependency edges, so the
+            // grammar stays non-circular; recompute the relations the
+            // scheduler and the lints will actually see.
+            io = check_noncircular(&grammar)?;
+            Some(report)
+        } else {
+            None
+        };
         let passes = assign_passes(&grammar, &cfg.pass)?;
-        let lifetimes = Lifetimes::compute(&grammar, &passes);
+        let mut lifetimes = Lifetimes::compute(&grammar, &passes);
+        if cfg.optimize {
+            lifetimes.enable_record_elision();
+        }
         let subsumption = if cfg.disable_subsumption {
             Subsumption::disabled(&grammar)
         } else {
@@ -165,6 +186,7 @@ impl Analysis {
             lifetimes,
             subsumption,
             plans,
+            opt,
         })
     }
 

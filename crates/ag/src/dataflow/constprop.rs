@@ -1,0 +1,521 @@
+//! Constant propagation and folding over attribute rules.
+//!
+//! The analysis computes, per attribute, whether *every* rule defining
+//! it yields one provably crash-free constant; the transform then
+//! materializes that constant at every use site and simplifies the
+//! rewritten expressions. Abstract evaluation mirrors the interpreter's
+//! semantics **exactly** — wrapping `i64` `+`/`-` on `Int` operands
+//! only, `AND`/`OR` on `Bool` (with the evaluator's short-circuit on
+//! the *first* operand's type check), structural `=`/`<>` on any pair,
+//! `>`/`<` on `Int` only, `if` conditions must be literal `Bool` —
+//! and external `Call`s are never folded, so an optimized grammar can
+//! never produce a value (or a crash) the unoptimized one would not.
+
+use super::graph::{AttrDepGraph, Direction, Lattice, Transfer};
+use crate::expr::{BinOp, Expr};
+use crate::grammar::{AttrClass, Grammar};
+use crate::ids::{AttrId, RuleId};
+use linguist_support::intern::Name;
+
+/// A concrete constant value, mirroring the scalar `Value` variants the
+/// evaluator can produce from literal expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConstVal {
+    /// `Expr::Int` → `Value::Int`.
+    Int(i64),
+    /// `Expr::Bool` → `Value::Bool`.
+    Bool(bool),
+    /// `Expr::Str` → `Value::Str`.
+    Str(String),
+    /// `Expr::Const` (an uninterpreted constant) → `Value::Sym`.
+    Sym(Name),
+}
+
+impl ConstVal {
+    /// The literal expression that evaluates to this value.
+    pub fn literal(&self) -> Expr {
+        match self {
+            ConstVal::Int(i) => Expr::Int(*i),
+            ConstVal::Bool(b) => Expr::Bool(*b),
+            ConstVal::Str(s) => Expr::Str(s.clone()),
+            ConstVal::Sym(n) => Expr::Const(*n),
+        }
+    }
+}
+
+/// The three-level constant lattice.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Abs {
+    /// No rule has produced a value yet (optimistic start).
+    Bottom,
+    /// Every defining rule yields exactly this value, crash-free.
+    Const(ConstVal),
+    /// Unknown, input-dependent, or possibly crashing.
+    Top,
+}
+
+impl Lattice for Abs {
+    fn bottom() -> Abs {
+        Abs::Bottom
+    }
+
+    fn join(&mut self, other: &Abs) -> bool {
+        let grown = match (&*self, other) {
+            (_, Abs::Bottom) | (Abs::Top, _) => None,
+            (Abs::Bottom, o) => Some(o.clone()),
+            (Abs::Const(a), Abs::Const(b)) if a == b => None,
+            _ => Some(Abs::Top),
+        };
+        match grown {
+            Some(v) => {
+                *self = v;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Literal view of an expression, if it is one.
+fn as_literal(e: &Expr) -> Option<ConstVal> {
+    match e {
+        Expr::Int(i) => Some(ConstVal::Int(*i)),
+        Expr::Bool(b) => Some(ConstVal::Bool(*b)),
+        Expr::Str(s) => Some(ConstVal::Str(s.clone())),
+        Expr::Const(n) => Some(ConstVal::Sym(*n)),
+        _ => None,
+    }
+}
+
+/// Structural equality between two constants, exactly as the
+/// evaluator's `Value::eq` decides it for scalar values: same-variant
+/// structural comparison, `false` across variants.
+fn const_eq(a: &ConstVal, b: &ConstVal) -> bool {
+    a == b
+}
+
+/// Fold one infix application of two constants, mirroring the
+/// evaluator's `apply_binop` — including its short-circuit: when the
+/// first `AND`/`OR` operand already decides the result, the second
+/// operand's *type* is never checked. Returns `None` where the
+/// evaluator would error.
+fn fold_binop(op: BinOp, a: &ConstVal, b: &ConstVal) -> Option<ConstVal> {
+    let int = |v: &ConstVal| match v {
+        ConstVal::Int(i) => Some(*i),
+        _ => None,
+    };
+    let boolean = |v: &ConstVal| match v {
+        ConstVal::Bool(b) => Some(*b),
+        _ => None,
+    };
+    Some(match op {
+        BinOp::Add => ConstVal::Int(int(a)?.wrapping_add(int(b)?)),
+        BinOp::Sub => ConstVal::Int(int(a)?.wrapping_sub(int(b)?)),
+        BinOp::And => ConstVal::Bool(boolean(a)? && boolean(b)?),
+        BinOp::Or => ConstVal::Bool(boolean(a)? || boolean(b)?),
+        BinOp::Eq => ConstVal::Bool(const_eq(a, b)),
+        BinOp::Ne => ConstVal::Bool(!const_eq(a, b)),
+        BinOp::Gt => ConstVal::Bool(int(a)? > int(b)?),
+        BinOp::Lt => ConstVal::Bool(int(a)? < int(b)?),
+    })
+}
+
+/// Abstract interpretation of one expression under the current facts.
+fn abs_eval(e: &Expr, facts: &[Abs]) -> Abs {
+    match e {
+        Expr::Occ(o) => facts[o.attr.0 as usize].clone(),
+        Expr::Int(_) | Expr::Bool(_) | Expr::Str(_) | Expr::Const(_) => {
+            Abs::Const(as_literal(e).expect("literal"))
+        }
+        // External functions are uninterpreted: never fold a Call.
+        Expr::Call { .. } => Abs::Top,
+        Expr::Binop { op, lhs, rhs } => abs_binop(*op, abs_eval(lhs, facts), abs_eval(rhs, facts)),
+        Expr::If {
+            branches,
+            otherwise,
+        } => abs_if(branches, otherwise, 0, facts),
+    }
+}
+
+fn abs_binop(op: BinOp, a: Abs, b: Abs) -> Abs {
+    // The evaluator's type checks short-circuit on the first operand:
+    // AND(false, _) and OR(true, _) decide without inspecting the
+    // second operand's type. (Both operands are still *evaluated*
+    // eagerly — a crash while computing `b` means no value at all,
+    // which the "value, if any" abstraction already covers.)
+    match (op, &a) {
+        (BinOp::And, Abs::Const(ConstVal::Bool(false))) => {
+            return Abs::Const(ConstVal::Bool(false))
+        }
+        (BinOp::Or, Abs::Const(ConstVal::Bool(true))) => return Abs::Const(ConstVal::Bool(true)),
+        _ => {}
+    }
+    match (a, b) {
+        (Abs::Bottom, _) | (_, Abs::Bottom) => Abs::Bottom,
+        (Abs::Const(x), Abs::Const(y)) => match fold_binop(op, &x, &y) {
+            Some(v) => Abs::Const(v),
+            None => Abs::Top,
+        },
+        _ => Abs::Top,
+    }
+}
+
+/// Abstract value of target slot `slot` of an `if`, scanning branches
+/// in evaluation order: a literally-true condition selects its arm and
+/// stops; a literally-false one is skipped; an unknown condition joins
+/// the arm and keeps scanning; a non-`Bool` constant condition crashes
+/// (no value — contributes nothing); an undecided (`Bottom`) condition
+/// defers the whole result.
+fn abs_if(branches: &[(Expr, Vec<Expr>)], otherwise: &[Expr], slot: usize, facts: &[Abs]) -> Abs {
+    let arm_val = |arm: &[Expr]| match arm.get(slot) {
+        Some(e) => abs_eval(e, facts),
+        // A missing slot is a structural error the evaluator rejects
+        // at runtime: no value.
+        None => Abs::Bottom,
+    };
+    let mut acc = Abs::Bottom;
+    for (cond, arm) in branches {
+        match abs_eval(cond, facts) {
+            Abs::Const(ConstVal::Bool(true)) => {
+                acc.join(&arm_val(arm));
+                return acc;
+            }
+            Abs::Const(ConstVal::Bool(false)) => continue,
+            Abs::Const(_) => return acc, // crashing condition: no value past here
+            Abs::Bottom => return acc,   // undecided: refine on a later visit
+            Abs::Top => {
+                acc.join(&arm_val(arm));
+            }
+        }
+    }
+    acc.join(&arm_val(otherwise));
+    acc
+}
+
+/// The constant-propagation analysis, [`Forward`](Direction::Forward)
+/// over the attribute dependency graph.
+pub struct ConstProp<'g> {
+    graph: &'g AttrDepGraph,
+}
+
+impl<'g> ConstProp<'g> {
+    /// Wrap the shared dependency graph.
+    pub fn new(graph: &'g AttrDepGraph) -> ConstProp<'g> {
+        ConstProp { graph }
+    }
+}
+
+impl Transfer for ConstProp<'_> {
+    type Fact = Abs;
+    const DIRECTION: Direction = Direction::Forward;
+
+    fn boundary(&self, g: &Grammar, a: AttrId) -> Abs {
+        // Intrinsics vary per input tree; attributes no rule defines
+        // are beyond the framework's view. Both start at ⊤.
+        if g.attr(a).class == AttrClass::Intrinsic || self.graph.defs[a.0 as usize].is_empty() {
+            Abs::Top
+        } else {
+            Abs::Bottom
+        }
+    }
+
+    fn transfer(&self, g: &Grammar, r: RuleId, _a: AttrId, slot: usize, facts: &[Abs]) -> Abs {
+        let rule = g.rule(r);
+        match &rule.expr {
+            Expr::If {
+                branches,
+                otherwise,
+            } if rule.targets.len() > 1 => abs_if(branches, otherwise, slot, facts),
+            e => abs_eval(e, facts),
+        }
+    }
+}
+
+/// What the fold transform did, for the report and the lints.
+#[derive(Clone, Debug, Default)]
+pub struct FoldOutcome {
+    /// `Occ` sites replaced by literals, per attribute read.
+    pub folded_uses: Vec<(AttrId, usize)>,
+    /// Rules whose whole right-hand side became a literal.
+    pub materialized_rules: usize,
+}
+
+/// Rewrite every use of a `Const` attribute into its literal and
+/// simplify the rewritten expressions (machine-exact folding only).
+pub fn fold_constants(g: &mut Grammar, facts: &[Abs]) -> FoldOutcome {
+    let mut out = FoldOutcome::default();
+    let mut per_attr = vec![0usize; facts.len()];
+    for ri in 0..g.rules().len() {
+        let rid = RuleId(ri as u32);
+        let was_literal = as_literal(&g.rule(rid).expr).is_some();
+        let expr = &mut g.rule_mut(rid).expr;
+        substitute(expr, facts, &mut per_attr);
+        simplify(expr);
+        if !was_literal && as_literal(&g.rule(rid).expr).is_some() {
+            out.materialized_rules += 1;
+        }
+    }
+    for (i, &n) in per_attr.iter().enumerate() {
+        if n > 0 {
+            out.folded_uses.push((AttrId(i as u32), n));
+        }
+    }
+    out
+}
+
+/// Replace `Occ` reads of `Const` attributes with their literals.
+fn substitute(e: &mut Expr, facts: &[Abs], per_attr: &mut [usize]) {
+    match e {
+        Expr::Occ(o) => {
+            if let Abs::Const(v) = &facts[o.attr.0 as usize] {
+                per_attr[o.attr.0 as usize] += 1;
+                *e = v.literal();
+            }
+        }
+        Expr::Int(_) | Expr::Bool(_) | Expr::Str(_) | Expr::Const(_) => {}
+        Expr::Call { args, .. } => {
+            for a in args {
+                substitute(a, facts, per_attr);
+            }
+        }
+        Expr::Binop { lhs, rhs, .. } => {
+            substitute(lhs, facts, per_attr);
+            substitute(rhs, facts, per_attr);
+        }
+        Expr::If {
+            branches,
+            otherwise,
+        } => {
+            for (c, arm) in branches {
+                substitute(c, facts, per_attr);
+                for a in arm {
+                    substitute(a, facts, per_attr);
+                }
+            }
+            for a in otherwise {
+                substitute(a, facts, per_attr);
+            }
+        }
+    }
+}
+
+/// Bottom-up machine-exact simplification: fold literal-operand infix
+/// applications and prune `if` branches with literal conditions. A
+/// branch is dropped only when doing so cannot suppress a runtime
+/// crash — literal conditions cannot fail to evaluate.
+fn simplify(e: &mut Expr) {
+    match e {
+        Expr::Occ(_) | Expr::Int(_) | Expr::Bool(_) | Expr::Str(_) | Expr::Const(_) => {}
+        Expr::Call { args, .. } => {
+            for a in args {
+                simplify(a);
+            }
+        }
+        Expr::Binop { op, lhs, rhs } => {
+            simplify(lhs);
+            simplify(rhs);
+            if let (Some(a), Some(b)) = (as_literal(lhs), as_literal(rhs)) {
+                if let Some(v) = fold_binop(*op, &a, &b) {
+                    *e = v.literal();
+                }
+            }
+        }
+        Expr::If {
+            branches,
+            otherwise,
+        } => {
+            for (c, arm) in branches.iter_mut() {
+                simplify(c);
+                for a in arm {
+                    simplify(a);
+                }
+            }
+            for a in otherwise.iter_mut() {
+                simplify(a);
+            }
+            // Prune in evaluation order: a literally-false condition is
+            // skipped at runtime (drop it); a literally-true one makes
+            // everything after it unreachable (it becomes the `else`).
+            let mut kept = Vec::with_capacity(branches.len());
+            for (c, arm) in branches.drain(..) {
+                match as_literal(&c) {
+                    Some(ConstVal::Bool(false)) => continue,
+                    Some(ConstVal::Bool(true)) => {
+                        *otherwise = arm;
+                        break;
+                    }
+                    // Non-Bool literal conditions crash at runtime;
+                    // keep them so the crash is preserved.
+                    _ => kept.push((c, arm)),
+                }
+            }
+            *branches = kept;
+            if branches.is_empty() && otherwise.len() == 1 {
+                *e = otherwise.remove(0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::graph::solve;
+    use crate::grammar::AgBuilder;
+    use crate::ids::AttrOcc;
+
+    fn fact(facts: &[Abs], a: AttrId) -> &Abs {
+        &facts[a.0 as usize]
+    }
+
+    #[test]
+    fn constants_propagate_through_copies_and_arithmetic() {
+        // S.A = 2; S.B = S.A + 3; S.C = S.B (copy); root.V = S.C
+        let mut b = AgBuilder::new();
+        let root = b.nonterminal("root");
+        let rv = b.synthesized(root, "V", "int");
+        let s = b.nonterminal("S");
+        let sa = b.synthesized(s, "A", "int");
+        let sb = b.synthesized(s, "B", "int");
+        let sc = b.synthesized(s, "C", "int");
+        let p0 = b.production(root, vec![s], None);
+        b.rule(p0, vec![AttrOcc::lhs(rv)], Expr::Occ(AttrOcc::rhs(0, sc)));
+        let p1 = b.production(s, vec![], None);
+        b.rule(p1, vec![AttrOcc::lhs(sa)], Expr::Int(2));
+        b.rule(
+            p1,
+            vec![AttrOcc::lhs(sb)],
+            Expr::binop(BinOp::Add, Expr::Occ(AttrOcc::lhs(sa)), Expr::Int(3)),
+        );
+        b.rule(p1, vec![AttrOcc::lhs(sc)], Expr::Occ(AttrOcc::lhs(sb)));
+        b.start(root);
+        let mut g = b.build().unwrap();
+
+        let graph = AttrDepGraph::build(&g);
+        let cp = ConstProp::new(&graph);
+        let facts = solve(&g, &graph, &cp);
+        assert_eq!(fact(&facts, sa), &Abs::Const(ConstVal::Int(2)));
+        assert_eq!(fact(&facts, sb), &Abs::Const(ConstVal::Int(5)));
+        assert_eq!(fact(&facts, sc), &Abs::Const(ConstVal::Int(5)));
+        assert_eq!(fact(&facts, rv), &Abs::Const(ConstVal::Int(5)));
+
+        let outcome = fold_constants(&mut g, &facts);
+        assert!(outcome.materialized_rules >= 2);
+        // root.V = 5, materialized.
+        assert_eq!(g.rule(crate::ids::RuleId(0)).expr, Expr::Int(5));
+    }
+
+    #[test]
+    fn intrinsics_and_calls_stay_top() {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let v = b.synthesized(s, "V", "int");
+        let w = b.synthesized(s, "W", "int");
+        let x = b.terminal("x");
+        let obj = b.intrinsic(x, "OBJ", "int");
+        let f = b.name("mk");
+        let p = b.production(s, vec![x], None);
+        b.rule(p, vec![AttrOcc::lhs(v)], Expr::Occ(AttrOcc::rhs(0, obj)));
+        b.rule(
+            p,
+            vec![AttrOcc::lhs(w)],
+            Expr::Call {
+                func: f,
+                args: vec![Expr::Int(1)],
+            },
+        );
+        b.start(s);
+        let g = b.build().unwrap();
+        let graph = AttrDepGraph::build(&g);
+        let cp = ConstProp::new(&graph);
+        let facts = solve(&g, &graph, &cp);
+        assert_eq!(fact(&facts, obj), &Abs::Top);
+        assert_eq!(fact(&facts, v), &Abs::Top);
+        assert_eq!(fact(&facts, w), &Abs::Top, "calls never fold");
+    }
+
+    #[test]
+    fn conflicting_definitions_meet_to_top() {
+        // Two productions define T.V with different constants.
+        let mut b = AgBuilder::new();
+        let root = b.nonterminal("root");
+        let rv = b.synthesized(root, "V", "int");
+        let t = b.nonterminal("T");
+        let tv = b.synthesized(t, "V", "int");
+        let p0 = b.production(root, vec![t], None);
+        b.rule(p0, vec![AttrOcc::lhs(rv)], Expr::Occ(AttrOcc::rhs(0, tv)));
+        let p1 = b.production(t, vec![], None);
+        b.rule(p1, vec![AttrOcc::lhs(tv)], Expr::Int(1));
+        let p2 = b.production(t, vec![], None);
+        b.rule(p2, vec![AttrOcc::lhs(tv)], Expr::Int(2));
+        b.start(root);
+        let g = b.build().unwrap();
+        let graph = AttrDepGraph::build(&g);
+        let cp = ConstProp::new(&graph);
+        let facts = solve(&g, &graph, &cp);
+        assert_eq!(fact(&facts, tv), &Abs::Top);
+        assert_eq!(fact(&facts, rv), &Abs::Top);
+    }
+
+    #[test]
+    fn fold_binop_matches_machine_semantics() {
+        use ConstVal::*;
+        // Wrapping arithmetic on Int only.
+        assert_eq!(
+            fold_binop(BinOp::Add, &Int(i64::MAX), &Int(1)),
+            Some(Int(i64::MIN))
+        );
+        assert_eq!(fold_binop(BinOp::Add, &Bool(true), &Int(1)), None);
+        // AND/OR short-circuit the second operand's type check.
+        assert_eq!(
+            fold_binop(BinOp::And, &Bool(false), &Int(7)),
+            Some(Bool(false))
+        );
+        assert_eq!(fold_binop(BinOp::And, &Bool(true), &Int(7)), None);
+        assert_eq!(
+            fold_binop(BinOp::Or, &Bool(true), &Int(7)),
+            Some(Bool(true))
+        );
+        assert_eq!(fold_binop(BinOp::Or, &Bool(false), &Int(7)), None);
+        // Eq/Ne are total; cross-type compares are simply unequal.
+        assert_eq!(
+            fold_binop(BinOp::Eq, &Int(1), &Bool(true)),
+            Some(Bool(false))
+        );
+        assert_eq!(fold_binop(BinOp::Ne, &Int(1), &Int(1)), Some(Bool(false)));
+        // Gt/Lt are Int-only.
+        assert_eq!(fold_binop(BinOp::Gt, &Str("a".into()), &Int(0)), None);
+    }
+
+    #[test]
+    fn simplify_prunes_literal_if_branches() {
+        let mut e = Expr::If {
+            branches: vec![
+                (Expr::Bool(false), vec![Expr::Int(1)]),
+                (Expr::Bool(true), vec![Expr::Int(2)]),
+            ],
+            otherwise: vec![Expr::Int(3)],
+        };
+        simplify(&mut e);
+        assert_eq!(e, Expr::Int(2));
+
+        // A non-literal condition blocks pruning of itself but later
+        // literally-false branches still drop.
+        let occ = Expr::Occ(AttrOcc::lhs(AttrId(0)));
+        let mut e = Expr::If {
+            branches: vec![
+                (occ.clone(), vec![Expr::Int(1)]),
+                (Expr::Bool(false), vec![Expr::Int(2)]),
+            ],
+            otherwise: vec![Expr::Int(3)],
+        };
+        simplify(&mut e);
+        assert_eq!(
+            e,
+            Expr::If {
+                branches: vec![(occ, vec![Expr::Int(1)])],
+                otherwise: vec![Expr::Int(3)],
+            }
+        );
+    }
+}

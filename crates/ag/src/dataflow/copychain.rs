@@ -1,0 +1,175 @@
+//! Copy-chain collapsing: forward transitive copies within a
+//! production.
+//!
+//! The paper's static subsumption removes copy-rules by allocating
+//! same-named attributes to one global; chains it misses (renames,
+//! mixed classes, cost-model rejections) survive as the AG004 residue.
+//! This transform attacks the residue structurally: inside one
+//! production, an occurrence defined by a copy-rule always holds the
+//! same value as the copy's source occurrence — both live on the same
+//! node instance — so every *read* of the copied occurrence can be
+//! forwarded to the chain's root. Intermediate links lose their
+//! readers and fall to dead-rule elimination; the paper's subsumption
+//! then sees shorter, more uniform chains.
+
+use crate::expr::Expr;
+use crate::grammar::Grammar;
+use crate::ids::{AttrOcc, ProdId, RuleId};
+use std::collections::HashMap;
+
+/// What the collapse did, for the report and the lints.
+#[derive(Clone, Debug, Default)]
+pub struct CollapseOutcome {
+    /// Reads forwarded past at least one copy link, per production.
+    pub forwarded: Vec<(ProdId, usize)>,
+}
+
+/// Resolve `occ` through the production's copy-definitions to the
+/// root of its chain. The visited set guards against copy cycles
+/// (rejected by the circularity check, but this transform must not
+/// rely on running after it).
+fn chain_root(mut occ: AttrOcc, copy_of: &HashMap<AttrOcc, AttrOcc>) -> AttrOcc {
+    let mut visited = vec![occ];
+    while let Some(&src) = copy_of.get(&occ) {
+        if visited.contains(&src) {
+            break;
+        }
+        occ = src;
+        visited.push(occ);
+    }
+    occ
+}
+
+/// Rewrite every occurrence read in `e` through `copy_of`, counting
+/// the reads that actually moved.
+fn forward(e: &mut Expr, copy_of: &HashMap<AttrOcc, AttrOcc>, moved: &mut usize) {
+    match e {
+        Expr::Occ(o) => {
+            let root = chain_root(*o, copy_of);
+            if root != *o {
+                *o = root;
+                *moved += 1;
+            }
+        }
+        Expr::Int(_) | Expr::Bool(_) | Expr::Str(_) | Expr::Const(_) => {}
+        Expr::Call { args, .. } => {
+            for a in args {
+                forward(a, copy_of, moved);
+            }
+        }
+        Expr::Binop { lhs, rhs, .. } => {
+            forward(lhs, copy_of, moved);
+            forward(rhs, copy_of, moved);
+        }
+        Expr::If {
+            branches,
+            otherwise,
+        } => {
+            for (c, arm) in branches {
+                forward(c, copy_of, moved);
+                for a in arm {
+                    forward(a, copy_of, moved);
+                }
+            }
+            for a in otherwise {
+                forward(a, copy_of, moved);
+            }
+        }
+    }
+}
+
+/// Collapse copy chains in every production of `g`.
+pub fn collapse_copy_chains(g: &mut Grammar) -> CollapseOutcome {
+    let mut out = CollapseOutcome::default();
+    for pi in 0..g.productions().len() {
+        let pid = ProdId(pi as u32);
+        // Map each copy-defined occurrence to its source occurrence.
+        let mut copy_of: HashMap<AttrOcc, AttrOcc> = HashMap::new();
+        for &r in &g.production(pid).rules {
+            let rule = g.rule(r);
+            if let (Some(src), [target]) = (rule.copy_source(), rule.targets.as_slice()) {
+                copy_of.insert(*target, src);
+            }
+        }
+        if copy_of.is_empty() {
+            continue;
+        }
+        let mut moved = 0usize;
+        let rule_ids: Vec<RuleId> = g.production(pid).rules.clone();
+        for r in rule_ids {
+            // A copy-rule's own read forwards too: `t = s, s = u`
+            // becomes `t = u, s = u`.
+            let expr = &mut g.rule_mut(r).expr;
+            forward(expr, &copy_of, &mut moved);
+        }
+        if moved > 0 {
+            out.forwarded.push((pid, moved));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::AgBuilder;
+    use crate::ids::AttrId;
+
+    #[test]
+    fn chains_forward_to_their_root() {
+        // One production: S.A = x.OBJ (copy), S.B = S.A (copy),
+        // S.C = S.B + 1. After collapsing, S.B reads x.OBJ and S.C
+        // reads S.B's root... i.e. x.OBJ.
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let a = b.synthesized(s, "A", "int");
+        let bb = b.synthesized(s, "B", "int");
+        let c = b.synthesized(s, "C", "int");
+        let x = b.terminal("x");
+        let obj = b.intrinsic(x, "OBJ", "int");
+        let p = b.production(s, vec![x], None);
+        b.rule(p, vec![AttrOcc::lhs(a)], Expr::Occ(AttrOcc::rhs(0, obj)));
+        b.rule(p, vec![AttrOcc::lhs(bb)], Expr::Occ(AttrOcc::lhs(a)));
+        b.rule(
+            p,
+            vec![AttrOcc::lhs(c)],
+            Expr::binop(
+                crate::expr::BinOp::Add,
+                Expr::Occ(AttrOcc::lhs(bb)),
+                Expr::Int(1),
+            ),
+        );
+        b.start(s);
+        let mut g = b.build().unwrap();
+        let outcome = collapse_copy_chains(&mut g);
+        assert_eq!(outcome.forwarded, vec![(ProdId(0), 2)]);
+        // S.B now copies straight from x.OBJ.
+        assert_eq!(g.rule(RuleId(1)).expr, Expr::Occ(AttrOcc::rhs(0, obj)));
+        // S.C's read forwarded to the chain root as well.
+        assert_eq!(
+            g.rule(RuleId(2)).expr,
+            Expr::binop(
+                crate::expr::BinOp::Add,
+                Expr::Occ(AttrOcc::rhs(0, obj)),
+                Expr::Int(1),
+            )
+        );
+    }
+
+    #[test]
+    fn copy_cycles_do_not_hang() {
+        // A <-> B copy cycle (circular, but the transform must still
+        // terminate if handed such a grammar).
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let a = b.synthesized(s, "A", "int");
+        let bb = b.synthesized(s, "B", "int");
+        let p = b.production(s, vec![], None);
+        b.rule(p, vec![AttrOcc::lhs(a)], Expr::Occ(AttrOcc::lhs(bb)));
+        b.rule(p, vec![AttrOcc::lhs(bb)], Expr::Occ(AttrOcc::lhs(a)));
+        b.start(s);
+        let mut g = b.build().unwrap();
+        let _ = collapse_copy_chains(&mut g);
+        let _ = AttrId(0);
+    }
+}

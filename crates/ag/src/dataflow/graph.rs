@@ -1,0 +1,189 @@
+//! The attribute dependency graph and the monotone worklist solver.
+//!
+//! Every analysis in this module runs over the *symbol-level* attribute
+//! dependency graph: one node per [`AttrId`], one edge per (defining
+//! rule, argument) pair. Working at symbol level — rather than over
+//! attribute *occurrences* per production — keeps every fixpoint here
+//! polynomial; Wu's exponential-time-completeness result for the full
+//! circularity problem is about the occurrence-level relation, which we
+//! deliberately never materialize.
+//!
+//! # Termination
+//!
+//! [`solve`] terminates because (1) every [`Lattice`] used here has
+//! finite height (three levels for constant propagation, two for
+//! liveness), (2) facts only move up: each recomputation joins the
+//! boundary fact with monotone per-rule transfer contributions, whose
+//! inputs only ever grow, and (3) an attribute re-enters the worklist
+//! only when a fact it depends on strictly grew. With `n` attributes
+//! and height `h`, at most `n·h` strict increases occur, each enqueuing
+//! at most the node's dependents.
+
+use crate::grammar::Grammar;
+use crate::ids::{AttrId, RuleId};
+use std::collections::VecDeque;
+
+/// Which way facts flow along dependency edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// From a rule's arguments to its targets (constant propagation).
+    Forward,
+    /// From a rule's targets back to its arguments (liveness).
+    Backward,
+}
+
+/// A join-semilattice of finite height.
+pub trait Lattice: Clone + PartialEq {
+    /// The least element every non-boundary fact starts at.
+    fn bottom() -> Self;
+    /// Least upper bound, in place. Returns whether `self` grew.
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+/// One dataflow analysis: a lattice, a direction, and a per-rule
+/// transfer function.
+pub trait Transfer {
+    /// The fact domain.
+    type Fact: Lattice;
+    /// Flow direction.
+    const DIRECTION: Direction;
+    /// The fact an attribute holds before any rule contributes:
+    /// the analysis' boundary condition (intrinsics and undefined
+    /// attributes for constants, output roots for liveness).
+    fn boundary(&self, g: &Grammar, a: AttrId) -> Self::Fact;
+    /// Forward: the contribution of defining rule `r` (with `a` in
+    /// target slot `slot`) to `a`'s fact. Backward: the contribution of
+    /// using rule `r` to argument `a`'s fact (`slot` is unused).
+    fn transfer(
+        &self,
+        g: &Grammar,
+        r: RuleId,
+        a: AttrId,
+        slot: usize,
+        facts: &[Self::Fact],
+    ) -> Self::Fact;
+}
+
+/// The symbol-level attribute dependency graph, with the per-rule
+/// argument sets the solver and the transforms share.
+#[derive(Clone, Debug)]
+pub struct AttrDepGraph {
+    /// Per attribute: the rules defining it, with the target slot.
+    pub defs: Vec<Vec<(RuleId, usize)>>,
+    /// Per attribute: the rules reading it as an argument.
+    pub uses: Vec<Vec<RuleId>>,
+    /// Per rule: its argument attributes, deduplicated.
+    pub rule_args: Vec<Vec<AttrId>>,
+}
+
+impl AttrDepGraph {
+    /// Build the graph from every semantic rule of `g`.
+    pub fn build(g: &Grammar) -> AttrDepGraph {
+        let n = g.attrs().len();
+        let mut defs = vec![Vec::new(); n];
+        let mut uses = vec![Vec::new(); n];
+        let mut rule_args = Vec::with_capacity(g.rules().len());
+        for (ri, r) in g.rules().iter().enumerate() {
+            let rid = RuleId(ri as u32);
+            for (slot, t) in r.targets.iter().enumerate() {
+                defs[t.attr.0 as usize].push((rid, slot));
+            }
+            let mut args: Vec<AttrId> = Vec::new();
+            for occ in r.arguments() {
+                if !args.contains(&occ.attr) {
+                    args.push(occ.attr);
+                }
+            }
+            for &a in &args {
+                uses[a.0 as usize].push(rid);
+            }
+            rule_args.push(args);
+        }
+        AttrDepGraph {
+            defs,
+            uses,
+            rule_args,
+        }
+    }
+}
+
+/// Run `t` to fixpoint over `graph` with a worklist, returning the
+/// final fact per [`AttrId`]. See the module docs for the termination
+/// argument.
+pub fn solve<T: Transfer>(g: &Grammar, graph: &AttrDepGraph, t: &T) -> Vec<T::Fact> {
+    let n = g.attrs().len();
+    let mut facts: Vec<T::Fact> = (0..n).map(|i| t.boundary(g, AttrId(i as u32))).collect();
+    let mut queued = vec![true; n];
+    let mut list: VecDeque<u32> = (0..n as u32).collect();
+    while let Some(ai) = list.pop_front() {
+        queued[ai as usize] = false;
+        let a = AttrId(ai);
+        let mut new = t.boundary(g, a);
+        match T::DIRECTION {
+            Direction::Forward => {
+                for &(r, slot) in &graph.defs[ai as usize] {
+                    let c = t.transfer(g, r, a, slot, &facts);
+                    new.join(&c);
+                }
+            }
+            Direction::Backward => {
+                for &r in &graph.uses[ai as usize] {
+                    let c = t.transfer(g, r, a, 0, &facts);
+                    new.join(&c);
+                }
+            }
+        }
+        if new != facts[ai as usize] {
+            facts[ai as usize] = new;
+            let enqueue = |b: AttrId, queued: &mut Vec<bool>, list: &mut VecDeque<u32>| {
+                if !queued[b.0 as usize] {
+                    queued[b.0 as usize] = true;
+                    list.push_back(b.0);
+                }
+            };
+            match T::DIRECTION {
+                Direction::Forward => {
+                    for &r in &graph.uses[ai as usize] {
+                        for tgt in &g.rule(r).targets {
+                            enqueue(tgt.attr, &mut queued, &mut list);
+                        }
+                    }
+                }
+                Direction::Backward => {
+                    for &(r, _) in &graph.defs[ai as usize] {
+                        for &b in &graph.rule_args[r.0 as usize] {
+                            enqueue(b, &mut queued, &mut list);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::grammar::AgBuilder;
+    use crate::ids::AttrOcc;
+
+    #[test]
+    fn graph_records_defs_and_uses() {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let v = b.synthesized(s, "V", "int");
+        let x = b.terminal("x");
+        let obj = b.intrinsic(x, "OBJ", "int");
+        let p = b.production(s, vec![x], None);
+        b.rule(p, vec![AttrOcc::lhs(v)], Expr::Occ(AttrOcc::rhs(0, obj)));
+        b.start(s);
+        let g = b.build().unwrap();
+        let graph = AttrDepGraph::build(&g);
+        assert_eq!(graph.defs[v.0 as usize], vec![(crate::ids::RuleId(0), 0)]);
+        assert!(graph.defs[obj.0 as usize].is_empty());
+        assert_eq!(graph.uses[obj.0 as usize], vec![crate::ids::RuleId(0)]);
+        assert_eq!(graph.rule_args[0], vec![obj]);
+    }
+}

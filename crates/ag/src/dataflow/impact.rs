@@ -1,0 +1,102 @@
+//! Per-production change-impact closures.
+//!
+//! For incremental re-translation (ROADMAP item 4), an editor-class
+//! consumer needs to know: if the subtree under a node derived by
+//! production `p` is edited, which attributes *anywhere* in the tree
+//! can change value? A subtree edit is visible to the rest of the tree
+//! only through the synthesized attributes of the subtree's root
+//! symbol, so the closure is forward reachability from `p`'s
+//! LHS-synthesized attributes over the attribute dependency graph —
+//! a pure analysis, computed on the optimized grammar and serialized
+//! with the compiled form.
+
+use super::graph::AttrDepGraph;
+use crate::grammar::{AttrClass, Grammar};
+use crate::ids::AttrId;
+
+/// The impact closure of one production.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ImpactClosure {
+    /// Attributes whose value a subtree edit can affect, sorted by id.
+    pub affected: Vec<AttrId>,
+}
+
+/// Compute the closure for every production of `g`.
+pub fn impact_closures(g: &Grammar, graph: &AttrDepGraph) -> Vec<ImpactClosure> {
+    let n = g.attrs().len();
+    g.productions()
+        .iter()
+        .map(|p| {
+            let mut reached = vec![false; n];
+            let mut stack: Vec<AttrId> = g
+                .symbol(p.lhs)
+                .attrs
+                .iter()
+                .copied()
+                .filter(|&a| g.attr(a).class == AttrClass::Synthesized)
+                .collect();
+            for &a in &stack {
+                reached[a.0 as usize] = true;
+            }
+            while let Some(a) = stack.pop() {
+                for &r in &graph.uses[a.0 as usize] {
+                    for t in &g.rule(r).targets {
+                        if !reached[t.attr.0 as usize] {
+                            reached[t.attr.0 as usize] = true;
+                            stack.push(t.attr);
+                        }
+                    }
+                }
+            }
+            let affected = (0..n as u32)
+                .map(AttrId)
+                .filter(|a| reached[a.0 as usize])
+                .collect();
+            ImpactClosure { affected }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::grammar::AgBuilder;
+    use crate::ids::AttrOcc;
+
+    #[test]
+    fn closure_reaches_upward_consumers_only() {
+        // root.V = S.V + 1; S.V = x.OBJ. Editing under S can change
+        // S.V and root.V, but never x.OBJ (intrinsics are inputs, and
+        // nothing defines them from S.V).
+        let mut b = AgBuilder::new();
+        let root = b.nonterminal("root");
+        let rv = b.synthesized(root, "V", "int");
+        let s = b.nonterminal("S");
+        let sv = b.synthesized(s, "V", "int");
+        let x = b.terminal("x");
+        let obj = b.intrinsic(x, "OBJ", "int");
+        let p0 = b.production(root, vec![s], None);
+        b.rule(
+            p0,
+            vec![AttrOcc::lhs(rv)],
+            Expr::binop(
+                crate::expr::BinOp::Add,
+                Expr::Occ(AttrOcc::rhs(0, sv)),
+                Expr::Int(1),
+            ),
+        );
+        let p1 = b.production(s, vec![x], None);
+        b.rule(p1, vec![AttrOcc::lhs(sv)], Expr::Occ(AttrOcc::rhs(0, obj)));
+        b.start(root);
+        let g = b.build().unwrap();
+        let graph = AttrDepGraph::build(&g);
+        let closures = impact_closures(&g, &graph);
+        assert_eq!(closures.len(), 2);
+        // Production 0 (root -> S): seeds are root.V only.
+        assert_eq!(closures[0].affected, vec![rv]);
+        // Production 1 (S -> x): S.V propagates into root.V.
+        assert_eq!(closures[1].affected, vec![rv, sv]);
+        let _ = obj;
+    }
+}

@@ -1,0 +1,220 @@
+//! Dead-attribute and dead-rule elimination — the teeth behind AG001.
+//!
+//! Backward liveness over the attribute dependency graph: the output
+//! attributes (the start symbol's synthesized attributes, the only
+//! external effect an evaluation has) are the roots; an attribute is
+//! live when some rule with a live target reads it. Rules with no live
+//! target are deleted; attributes no surviving rule targets — and no
+//! live rule reads — are detached from their symbol, removing them
+//! from the storage layout, the required-target sets, and the pass
+//! schedule.
+//!
+//! Granularity is the whole rule, deliberately: the evaluator computes
+//! *every* expression of a selected arm, so keeping a multi-target rule
+//! for one live target keeps all of its argument reads live too.
+//! Deleting a rule can only suppress work (and, on inputs where the
+//! unoptimized grammar would crash inside a dead rule, the crash);
+//! on every input where unoptimized evaluation succeeds, the outputs
+//! are byte-identical — the differential oracle's optimized leg holds
+//! exactly that.
+
+use super::graph::{AttrDepGraph, Direction, Lattice, Transfer};
+use crate::grammar::{AttrClass, Grammar};
+use crate::ids::{AttrId, RuleId};
+
+/// The two-point liveness lattice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Live(pub bool);
+
+impl Lattice for Live {
+    fn bottom() -> Live {
+        Live(false)
+    }
+
+    fn join(&mut self, other: &Live) -> bool {
+        let grew = !self.0 && other.0;
+        self.0 |= other.0;
+        grew
+    }
+}
+
+/// The liveness analysis, [`Backward`](Direction::Backward) over the
+/// attribute dependency graph.
+pub struct Liveness<'g> {
+    graph: &'g AttrDepGraph,
+}
+
+impl<'g> Liveness<'g> {
+    /// Wrap the shared dependency graph.
+    pub fn new(graph: &'g AttrDepGraph) -> Liveness<'g> {
+        Liveness { graph }
+    }
+}
+
+impl Transfer for Liveness<'_> {
+    type Fact = Live;
+    const DIRECTION: Direction = Direction::Backward;
+
+    fn boundary(&self, g: &Grammar, a: AttrId) -> Live {
+        let attr = g.attr(a);
+        let is_output = attr.symbol == g.start()
+            && attr.class == AttrClass::Synthesized
+            && g.symbol(g.start()).attrs.contains(&a);
+        Live(is_output)
+    }
+
+    fn transfer(&self, g: &Grammar, r: RuleId, a: AttrId, _slot: usize, facts: &[Live]) -> Live {
+        let reads_a = self.graph.rule_args[r.0 as usize].contains(&a);
+        let target_live = g.rule(r).targets.iter().any(|t| facts[t.attr.0 as usize].0);
+        Live(reads_a && target_live)
+    }
+}
+
+/// What elimination did, for the report and the lints.
+#[derive(Clone, Debug, Default)]
+pub struct ElimOutcome {
+    /// Rules deleted (no live target), with their pre-compaction ids.
+    pub deleted_rules: usize,
+    /// Attributes detached from their symbols.
+    pub detached: Vec<AttrId>,
+    /// Old-id → new-id rule remap from the compaction.
+    pub rule_remap: Vec<Option<RuleId>>,
+}
+
+/// Delete every rule without a live target and detach every attribute
+/// that is dead *and* untargeted by any surviving rule.
+pub fn eliminate_dead(g: &mut Grammar, live: &[Live]) -> ElimOutcome {
+    let keep: Vec<bool> = g
+        .rules()
+        .iter()
+        .map(|r| r.targets.iter().any(|t| live[t.attr.0 as usize].0))
+        .collect();
+    let deleted_rules = keep.iter().filter(|&&k| !k).count();
+    let rule_remap = g.retain_rules(&keep);
+
+    let mut targeted = vec![false; g.attrs().len()];
+    for r in g.rules() {
+        for t in &r.targets {
+            targeted[t.attr.0 as usize] = true;
+        }
+    }
+    let mut detached = Vec::new();
+    for sym in 0..g.symbols().len() {
+        for &a in &g.symbols()[sym].attrs.clone() {
+            if !live[a.0 as usize].0 && !targeted[a.0 as usize] {
+                g.detach_attr(a);
+                detached.push(a);
+            }
+        }
+    }
+    detached.sort_by_key(|a| a.0);
+    ElimOutcome {
+        deleted_rules,
+        detached,
+        rule_remap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::graph::solve;
+    use crate::expr::Expr;
+    use crate::grammar::AgBuilder;
+    use crate::ids::AttrOcc;
+
+    #[test]
+    fn unreferenced_attribute_chain_dies() {
+        // root.V = S.V; S.V = 1; S.DEAD1 = x.OBJ; S.DEAD2 = S.DEAD1.
+        let mut b = AgBuilder::new();
+        let root = b.nonterminal("root");
+        let rv = b.synthesized(root, "V", "int");
+        let s = b.nonterminal("S");
+        let sv = b.synthesized(s, "V", "int");
+        let d1 = b.synthesized(s, "DEAD1", "int");
+        let d2 = b.synthesized(s, "DEAD2", "int");
+        let x = b.terminal("x");
+        let obj = b.intrinsic(x, "OBJ", "int");
+        let p0 = b.production(root, vec![s], None);
+        b.rule(p0, vec![AttrOcc::lhs(rv)], Expr::Occ(AttrOcc::rhs(0, sv)));
+        let p1 = b.production(s, vec![x], None);
+        b.rule(p1, vec![AttrOcc::lhs(sv)], Expr::Int(1));
+        b.rule(p1, vec![AttrOcc::lhs(d1)], Expr::Occ(AttrOcc::rhs(0, obj)));
+        b.rule(p1, vec![AttrOcc::lhs(d2)], Expr::Occ(AttrOcc::lhs(d1)));
+        b.start(root);
+        let mut g = b.build().unwrap();
+
+        let graph = AttrDepGraph::build(&g);
+        let lv = Liveness::new(&graph);
+        let live = solve(&g, &graph, &lv);
+        assert!(live[rv.0 as usize].0);
+        assert!(live[sv.0 as usize].0);
+        assert!(!live[d1.0 as usize].0, "feeds only DEAD2");
+        assert!(!live[d2.0 as usize].0, "never read");
+        assert!(!live[obj.0 as usize].0, "read only by a dead rule");
+
+        let out = eliminate_dead(&mut g, &live);
+        assert_eq!(out.deleted_rules, 2);
+        assert_eq!(out.detached, vec![d1, d2, obj]);
+        assert_eq!(g.rules().len(), 2);
+        // Ids were remapped, not renumbered attribute-side.
+        assert_eq!(out.rule_remap[0], Some(RuleId(0)));
+        assert_eq!(out.rule_remap[2], None);
+        // The symbol no longer declares the dead attributes …
+        assert_eq!(g.symbol(s).attrs, vec![sv]);
+        // … but the attribute records (and ids) survive untouched.
+        assert_eq!(g.attrs().len(), 5);
+    }
+
+    #[test]
+    fn outputs_are_roots_and_never_die() {
+        let mut b = AgBuilder::new();
+        let s = b.nonterminal("S");
+        let v = b.synthesized(s, "V", "int");
+        let p = b.production(s, vec![], None);
+        b.rule(p, vec![AttrOcc::lhs(v)], Expr::Int(7));
+        b.start(s);
+        let mut g = b.build().unwrap();
+        let graph = AttrDepGraph::build(&g);
+        let lv = Liveness::new(&graph);
+        let live = solve(&g, &graph, &lv);
+        assert!(live[v.0 as usize].0);
+        let out = eliminate_dead(&mut g, &live);
+        assert_eq!(out.deleted_rules, 0);
+        assert!(out.detached.is_empty());
+    }
+
+    #[test]
+    fn partially_live_multi_target_rule_survives_whole() {
+        // One rule defines (S.A, S.B); only S.A reaches the output.
+        let mut b = AgBuilder::new();
+        let root = b.nonterminal("root");
+        let rv = b.synthesized(root, "V", "int");
+        let s = b.nonterminal("S");
+        let sa = b.synthesized(s, "A", "int");
+        let sb = b.synthesized(s, "B", "int");
+        let x = b.terminal("x");
+        let obj = b.intrinsic(x, "OBJ", "int");
+        let p0 = b.production(root, vec![s], None);
+        b.rule(p0, vec![AttrOcc::lhs(rv)], Expr::Occ(AttrOcc::rhs(0, sa)));
+        let p1 = b.production(s, vec![x], None);
+        b.rule(
+            p1,
+            vec![AttrOcc::lhs(sa), AttrOcc::lhs(sb)],
+            Expr::Occ(AttrOcc::rhs(0, obj)),
+        );
+        b.start(root);
+        let mut g = b.build().unwrap();
+        let graph = AttrDepGraph::build(&g);
+        let lv = Liveness::new(&graph);
+        let live = solve(&g, &graph, &lv);
+        assert!(live[sa.0 as usize].0);
+        assert!(!live[sb.0 as usize].0);
+        assert!(live[obj.0 as usize].0, "read by a rule with a live target");
+        let out = eliminate_dead(&mut g, &live);
+        assert_eq!(out.deleted_rules, 0);
+        // S.B stays attached: a surviving rule still writes it.
+        assert!(out.detached.is_empty());
+        assert_eq!(g.rules().len(), 2);
+    }
+}

@@ -544,6 +544,51 @@ impl Grammar {
         id
     }
 
+    /// Mutable access to one rule — used by the optimizer's transforms.
+    pub(crate) fn rule_mut(&mut self, r: RuleId) -> &mut SemRule {
+        &mut self.rules[r.0 as usize]
+    }
+
+    /// Drop every rule whose `keep` slot is false, compacting the global
+    /// rule vector and rewriting each production's rule list. Returns the
+    /// old-id → new-id remap so side tables indexed by `RuleId` (lint
+    /// spans) can follow the move.
+    pub(crate) fn retain_rules(&mut self, keep: &[bool]) -> Vec<Option<RuleId>> {
+        debug_assert_eq!(keep.len(), self.rules.len());
+        let mut remap: Vec<Option<RuleId>> = vec![None; self.rules.len()];
+        let mut next = 0u32;
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                remap[i] = Some(RuleId(next));
+                next += 1;
+            }
+        }
+        let mut i = 0;
+        self.rules.retain(|_| {
+            let kept = keep[i];
+            i += 1;
+            kept
+        });
+        for p in &mut self.productions {
+            p.rules = p
+                .rules
+                .iter()
+                .filter_map(|&r| remap[r.0 as usize])
+                .collect();
+        }
+        remap
+    }
+
+    /// Detach an attribute from its owning symbol's declaration list. The
+    /// `Attribute` record itself stays — `AttrId`s are never renumbered,
+    /// because serialized outputs and span tables embed the raw ids — but
+    /// a detached attribute vanishes from the storage layout, the
+    /// required-target sets, and the pass schedule.
+    pub(crate) fn detach_attr(&mut self, a: AttrId) {
+        let sym = self.attrs[a.0 as usize].symbol;
+        self.symbols[sym.0 as usize].attrs.retain(|&x| x != a);
+    }
+
     /// Every attribute occurrence a production's rules must define: all
     /// synthesized attributes of the LHS, all inherited attributes of each
     /// RHS occurrence, and all limb attributes (§I + §IV).

@@ -27,7 +27,12 @@
 //! * [`analysis`] — the orchestrator running all of the above in order;
 //! * the **lint framework** ([`lint`]) — coded `AG0xx` diagnostics
 //!   explaining what the analyses decided and why (unused attributes,
-//!   residual copy-rules, the dependencies that force each pass, …).
+//!   residual copy-rules, the dependencies that force each pass, …);
+//! * the **grammar optimizer** ([`dataflow`]) — a monotone dataflow
+//!   framework over the attribute dependency graph, with constant
+//!   folding, copy-chain collapsing, dead-attribute elimination, and
+//!   per-production change-impact closures, run before scheduling
+//!   when [`analysis::Config::optimize`] is set.
 //!
 //! # Example
 //!
@@ -56,6 +61,7 @@
 pub mod analysis;
 pub mod check;
 pub mod circularity;
+pub mod dataflow;
 pub mod expr;
 pub mod grammar;
 pub mod ids;
@@ -68,6 +74,7 @@ pub mod stats;
 pub mod subsumption;
 
 pub use analysis::{Analysis, AnalysisError, Config};
+pub use dataflow::{OptKind, OptNote, OptReport};
 pub use expr::{BinOp, Expr};
 pub use grammar::{AgBuilder, AttrClass, Attribute, Grammar, Production, SemRule, SymbolKind};
 pub use ids::{AttrId, AttrOcc, OccPos, ProdId, RuleId, SymbolId};

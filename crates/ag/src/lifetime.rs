@@ -26,6 +26,12 @@ pub struct Lifetimes {
     earliest: Vec<u16>,
     latest: Vec<u16>,
     num_passes: u16,
+    /// Whether terminal records carrying no live attributes are elided
+    /// from the intermediate files entirely (the optimizer's storage
+    /// transform; off by default so the paper-faithful record counts
+    /// are reproduced). Writers and readers share this struct, so both
+    /// sides of every boundary agree on which records exist.
+    elide_empty: bool,
 }
 
 impl Lifetimes {
@@ -59,7 +65,36 @@ impl Lifetimes {
             earliest,
             latest,
             num_passes,
+            elide_empty: false,
         }
+    }
+
+    /// Turn on terminal-record elision (see [`Lifetimes::elides`]).
+    /// Called by the analysis pipeline when the grammar optimizer ran:
+    /// dead-attribute elimination empties terminals' storage, and an
+    /// empty terminal record is pure framing the evaluator can skip.
+    pub fn enable_record_elision(&mut self) {
+        self.elide_empty = true;
+    }
+
+    /// Whether terminal-record elision is on.
+    pub fn record_elision(&self) -> bool {
+        self.elide_empty
+    }
+
+    /// Whether `sym`'s records are elided from the intermediate file at
+    /// `boundary`: elision is on, `sym` is a terminal, and none of its
+    /// stored attributes is alive across that boundary (punctuation
+    /// terminals qualify everywhere; a `NUMBER.VAL`-style carrier drops
+    /// out of the stream once its last reader has run). Nonterminals
+    /// are never elided — their records are the visit skeleton.
+    pub fn elides(&self, g: &Grammar, sym: crate::ids::SymbolId, boundary: u16) -> bool {
+        self.elide_empty
+            && g.symbol(sym).kind == crate::grammar::SymbolKind::Terminal
+            && g.symbol(sym)
+                .attrs
+                .iter()
+                .all(|&a| !self.alive_across(a, boundary))
     }
 
     /// The pass defining `a` (0 for intrinsics).

@@ -25,12 +25,18 @@
 //! | AG010 | error    | not alternating-pass evaluable |
 //! | AG011 | error    | syntax error (frontend) |
 //! | AG012 | error    | name-resolution error (frontend) |
+//! | AG013 | note     | optimizer materialized a constant attribute |
+//! | AG014 | note     | optimizer eliminated a dead attribute/rule |
+//! | AG015 | note     | optimizer collapsed a copy chain |
 //!
 //! AG011/AG012 are defined here but produced by the frontend, which
-//! owns parsing and lowering.
+//! owns parsing and lowering. AG013–AG015 fire only when the grammar
+//! optimizer ran (`--opt`, the CLI default), reporting what each
+//! transform did and where.
 
 mod convert;
 mod flow;
+mod opt;
 mod structure;
 
 pub use convert::{circularity_finding, completeness_findings, pass_error_findings};
@@ -69,6 +75,12 @@ pub mod codes {
     pub const SYNTAX: &str = "AG011";
     /// Name-resolution error (produced by the frontend).
     pub const RESOLUTION: &str = "AG012";
+    /// Optimizer: constant attribute materialized as literals.
+    pub const OPT_FOLDED: &str = "AG013";
+    /// Optimizer: dead attribute/rule eliminated.
+    pub const OPT_ELIMINATED: &str = "AG014";
+    /// Optimizer: copy chain collapsed.
+    pub const OPT_COLLAPSED: &str = "AG015";
 }
 
 /// The full code registry: (code, default severity, one-line summary).
@@ -117,6 +129,21 @@ pub const REGISTRY: &[(&str, Severity, &str)] = &[
     ),
     (codes::SYNTAX, Severity::Error, "syntax error"),
     (codes::RESOLUTION, Severity::Error, "name-resolution error"),
+    (
+        codes::OPT_FOLDED,
+        Severity::Note,
+        "optimizer materialized a constant attribute",
+    ),
+    (
+        codes::OPT_ELIMINATED,
+        Severity::Note,
+        "optimizer eliminated a dead attribute or rule",
+    ),
+    (
+        codes::OPT_COLLAPSED,
+        Severity::Note,
+        "optimizer collapsed a copy chain",
+    ),
 ];
 
 /// Source spans for every dense id of a grammar, parallel to the
@@ -171,6 +198,24 @@ impl SpanMap {
             Some(span) if span != Span::default() => span,
             _ => self.production(g.rule(r).prod),
         }
+    }
+
+    /// Follow the optimizer's dead-rule compaction: rule `old` moved
+    /// to `remap[old]` (or was deleted). Rules without a recorded span
+    /// keep the zero span, so the production-span fallback in
+    /// [`SpanMap::rule`] still applies to them.
+    pub fn remap_rules(&mut self, remap: &[Option<RuleId>]) {
+        if self.rules.is_empty() || remap.is_empty() {
+            return;
+        }
+        let new_len = remap.iter().flatten().count();
+        let mut new = vec![Span::default(); new_len];
+        for (old, slot) in remap.iter().enumerate() {
+            if let (Some(new_id), Some(span)) = (slot, self.rules.get(old)) {
+                new[new_id.0 as usize] = *span;
+            }
+        }
+        self.rules = new;
     }
 }
 
@@ -294,6 +339,7 @@ pub(crate) fn attr_name(g: &Grammar, a: AttrId) -> String {
 pub fn run_lints(a: &Analysis, spans: &SpanMap, cfg: &LintConfig) -> Vec<Finding> {
     let mut findings = structure::run(&a.grammar, spans);
     findings.extend(flow::run(a, spans, cfg));
+    findings.extend(opt::run(a, spans));
     sort_findings(&mut findings);
     findings
 }
@@ -317,7 +363,7 @@ mod tests {
         for w in REGISTRY.windows(2) {
             assert!(w[0].0 < w[1].0, "{} before {}", w[0].0, w[1].0);
         }
-        assert_eq!(REGISTRY.len(), 12);
+        assert_eq!(REGISTRY.len(), 15);
     }
 
     #[test]

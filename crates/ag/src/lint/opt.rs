@@ -1,0 +1,59 @@
+//! AG013–AG015: what the grammar optimizer did, with spans.
+//!
+//! These lints translate the [`OptReport`](crate::dataflow::OptReport)
+//! notes into coded findings: AG013 for materialized constants, AG014
+//! for eliminated dead attributes/rules, AG015 for collapsed copy
+//! chains. They fire only when the optimizer ran; `linguist check
+//! --opt=off` shows none, which is itself the ablation story.
+
+use super::{attr_name, codes, Finding, SpanMap};
+use crate::analysis::Analysis;
+use crate::dataflow::{OptKind, OptNote};
+use linguist_support::diag::Severity;
+use linguist_support::json::Json;
+
+fn code_for(kind: OptKind) -> &'static str {
+    match kind {
+        OptKind::Folded => codes::OPT_FOLDED,
+        OptKind::Eliminated => codes::OPT_ELIMINATED,
+        OptKind::Collapsed => codes::OPT_COLLAPSED,
+    }
+}
+
+fn payload(a: &Analysis, note: &OptNote) -> Json {
+    let mut obj = Vec::new();
+    if let Some(attr) = note.attr {
+        obj.push(("attr".to_string(), Json::str(&attr_name(&a.grammar, attr))));
+    }
+    if let Some(prod) = note.prod {
+        obj.push(("production".to_string(), Json::int(prod.0 as i64)));
+    }
+    Json::Obj(obj)
+}
+
+/// One finding per optimizer note. Spans anchor at the attribute
+/// declaration (productions are never deleted and attribute ids are
+/// never renumbered, so both lookups stay valid post-transform).
+pub fn run(a: &Analysis, spans: &SpanMap) -> Vec<Finding> {
+    let Some(report) = &a.opt else {
+        return Vec::new();
+    };
+    report
+        .notes
+        .iter()
+        .map(|note| {
+            let span = match (note.attr, note.prod) {
+                (Some(attr), _) => spans.attr(attr),
+                (None, Some(prod)) => spans.production(prod),
+                (None, None) => Default::default(),
+            };
+            Finding {
+                code: code_for(note.kind),
+                severity: Severity::Note,
+                span,
+                message: note.message.clone(),
+                payload: payload(a, note),
+            }
+        })
+        .collect()
+}

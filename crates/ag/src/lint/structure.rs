@@ -59,6 +59,11 @@ fn unused_attributes(g: &Grammar, spans: &SpanMap, out: &mut Vec<Finding>) {
         if attr.symbol == g.start() && attr.class == AttrClass::Synthesized {
             continue; // a translator output
         }
+        if !g.symbol(attr.symbol).attrs.contains(&a) {
+            // Detached by the optimizer's dead-attribute elimination:
+            // already reported as AG014, with the storage actually freed.
+            continue;
+        }
         let severity = if computed_defs[i] > 0 {
             Severity::Warning
         } else {

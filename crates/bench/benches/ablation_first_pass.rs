@@ -28,7 +28,7 @@ fn options(first: Direction) -> DriverOptions {
             },
             ..Config::default()
         },
-        target: None,
+        ..DriverOptions::default()
     }
 }
 

@@ -28,7 +28,7 @@ fn main() {
     };
     let memory = EvalOptions {
         backing: Backing::Memory,
-        ..disk
+        ..disk.clone()
     };
 
     println!(

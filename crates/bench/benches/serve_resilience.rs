@@ -22,7 +22,7 @@ use linguist_bench::{rule, write_snapshot};
 use linguist_serve::load::{run_load, LoadConfig};
 use linguist_serve::router::{Router, RouterConfig, RouterHandle, ShardAddr};
 use linguist_serve::server::{Server, ServerConfig, ServerHandle};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
 
@@ -41,9 +41,9 @@ fn sock_path(tag: &str) -> PathBuf {
     ))
 }
 
-fn start_shard(path: &PathBuf) -> ServerHandle {
+fn start_shard(path: &Path) -> ServerHandle {
     Server::start(ServerConfig {
-        unix_path: Some(path.clone()),
+        unix_path: Some(path.to_path_buf()),
         workers: 2,
         queue_capacity: 64,
         ..ServerConfig::default()
@@ -73,7 +73,7 @@ fn start_router(shard_paths: &[PathBuf]) -> RouterHandle {
 /// hard-stopped at ~1/3 of the run and restarted at ~2/3.
 fn leg(shards: usize, kill_one: bool) -> String {
     let paths: Vec<PathBuf> = (0..shards).map(|i| sock_path(&format!("s{}", i))).collect();
-    let mut handles: Vec<ServerHandle> = paths.iter().map(start_shard).collect();
+    let mut handles: Vec<ServerHandle> = paths.iter().map(|p| start_shard(p)).collect();
     let router = start_router(&paths);
     let target = ShardAddr::Unix(router.unix_path().expect("unix bound").to_path_buf());
     let chaos = kill_one.then(|| {

@@ -30,7 +30,7 @@ fn code_sizes(src: &str) -> (usize, usize, usize) {
                 disable_subsumption: true,
                 ..Config::default()
             },
-            target: None,
+            ..DriverOptions::default()
         },
     );
     let with_gen = generate(&with.analysis, Target::Pascal);
@@ -85,7 +85,7 @@ fn main() {
                 disable_subsumption: true,
                 ..Config::default()
             },
-            target: None,
+            ..DriverOptions::default()
         },
     );
     let t_with = Translator::new(with.analysis, meta_scanner()).expect("translator");

@@ -36,15 +36,11 @@ use std::fmt::Write as _;
 pub const RT_SOURCE: &str = include_str!("rt.rs");
 
 /// FNV-1a 64-bit content hash, rendered as 16 hex digits — the key the
-/// engine uses to match grammars to compiled artifacts (same scheme as the
-/// serve tier's grammar handles).
+/// engine uses to match grammars to compiled artifacts (same function,
+/// same rendering as the serve tier's grammar handles:
+/// `linguist_support::fnv`).
 pub fn content_hash(bytes: &[u8]) -> String {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    format!("{:016x}", h)
+    linguist_support::fnv::hex16(linguist_support::fnv::hash(bytes))
 }
 
 /// Files of a generated evaluator crate: `(relative path, contents)`.
@@ -360,7 +356,7 @@ impl<'a> Gen<'a> {
         };
         for step in &steps {
             match *step {
-                Step::Get(i) => self.emit_get(&mut frame, p, &rhs, i),
+                Step::Get(i) => self.emit_get(&mut frame, p, &rhs, i, k),
                 Step::Eval(rid) => self.emit_eval(&mut frame, rid),
                 Step::Visit(i) => self.emit_child_io(&mut frame, &rhs, i, k, true),
                 Step::Put(i) => self.emit_child_io(&mut frame, &rhs, i, k, false),
@@ -396,8 +392,19 @@ impl<'a> Gen<'a> {
         self.ln(0, "");
     }
 
-    fn emit_get(&mut self, frame: &mut Frame, p: ProdId, rhs: &[SymbolId], i: u16) {
+    fn emit_get(&mut self, frame: &mut Frame, p: ProdId, rhs: &[SymbolId], i: u16, k: u16) {
         let child = rhs[i as usize];
+        // Elided terminal: no record exists at boundary k-1 — the
+        // generated reader materializes the empty frame directly,
+        // mirroring the interpreter.
+        if self.analysis.lifetimes.elides(self.g(), child, k - 1) {
+            frame.line(&format!(
+                "c{} = Some(vec![None; {}]);",
+                i,
+                self.nslots(child)
+            ));
+            return;
+        }
         frame.line("let crec = match r.next()? {");
         frame.indent += 1;
         frame.line("Some(b) => rt::Record::decode(b)?,");
@@ -454,6 +461,10 @@ impl<'a> Gen<'a> {
         if visit {
             frame.line(&format!("visit_p{}({}u32, &mut cs, r, w)?;", k, child.0));
             frame.line(&format!("c{} = Some(cs);", i));
+        } else if self.analysis.lifetimes.elides(self.g(), child, k) {
+            // Elided at boundary k: pass k+1 will not look for this
+            // record, so don't write it.
+            frame.line("let _ = cs;");
         } else {
             frame.line(&format!(
                 "w.write(&rt::Record {{ is_prod: false, id: {}u32, values: rt::collect_alive(cs, ALIVE_S{}_P{}) }}.encode());",

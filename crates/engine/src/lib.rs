@@ -702,6 +702,35 @@ static AOT_ENTRIES: &[AotEntry] = &[
         source: include_str!("../generated/pascal/src/lib.rs"),
         func: linguist_aot_pascal::evaluate_apt,
     },
+    // The same five grammars through the grammar optimizer (the CLI's
+    // default `--opt=on` pipeline): optimized analyses generate
+    // different evaluator source, so they content-address to their own
+    // entries.
+    AotEntry {
+        name: "calc_opt",
+        source: include_str!("../generated/calc_opt/src/lib.rs"),
+        func: linguist_aot_calc_opt::evaluate_apt,
+    },
+    AotEntry {
+        name: "knuth_opt",
+        source: include_str!("../generated/knuth_opt/src/lib.rs"),
+        func: linguist_aot_knuth_opt::evaluate_apt,
+    },
+    AotEntry {
+        name: "block_opt",
+        source: include_str!("../generated/block_opt/src/lib.rs"),
+        func: linguist_aot_block_opt::evaluate_apt,
+    },
+    AotEntry {
+        name: "meta_opt",
+        source: include_str!("../generated/meta_opt/src/lib.rs"),
+        func: linguist_aot_meta_opt::evaluate_apt,
+    },
+    AotEntry {
+        name: "pascal_opt",
+        source: include_str!("../generated/pascal_opt/src/lib.rs"),
+        func: linguist_aot_pascal_opt::evaluate_apt,
+    },
 ];
 
 fn aot_hashes() -> &'static Vec<String> {

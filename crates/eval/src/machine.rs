@@ -855,11 +855,21 @@ impl<'a> Machine<'a> {
         for step in &plan.steps {
             match *step {
                 Step::Get(i) => {
+                    let want = g.production(prod).rhs[i as usize];
+                    // An elided terminal has no record in the input
+                    // file: materialize its (empty) state directly.
+                    if lt.elides(g, want, self.pass - 1) {
+                        children[i as usize] = Some(NodeState {
+                            sym: want,
+                            values: HashMap::new(),
+                            charged: 0,
+                        });
+                        continue;
+                    }
                     let rec = reader.next()?.ok_or_else(|| {
                         EvalError::Corrupt("APT file ended before child record".to_owned())
                     })?;
                     let child = NodeState::from_record(rec)?;
-                    let want = g.production(prod).rhs[i as usize];
                     if child.sym != want {
                         return Err(EvalError::Corrupt(format!(
                             "child {} of production {}: expected {}, found {}",
@@ -903,6 +913,11 @@ impl<'a> Machine<'a> {
                     let child = children[i as usize]
                         .as_mut()
                         .ok_or_else(|| EvalError::Missing(format!("child {} state", i)))?;
+                    // Symmetric with Get: the next pass will not look
+                    // for this record, so don't write it.
+                    if lt.elides(g, child.sym, self.pass) {
+                        continue;
+                    }
                     // Merge this frame's definitions for the child into its
                     // record before writing.
                     for (occ, v) in &locals {

@@ -159,6 +159,10 @@ impl PTree {
                 body: RecordBody::Prod(*prod),
                 values: Vec::new(),
             })?;
+        } else if lt.elides(g, self.symbol(g), 0) {
+            // Attribute-free terminal under record elision: pass 1 will
+            // not look for this record.
+            return Ok(());
         }
         w.write(&self.sym_record(g, lt))
     }
@@ -175,6 +179,9 @@ impl PTree {
         lt: &Lifetimes,
         w: &mut AptWriter,
     ) -> Result<(), AptError> {
+        if matches!(self, PTree::Leaf { .. }) && lt.elides(g, self.symbol(g), 0) {
+            return Ok(());
+        }
         w.write(&self.sym_record(g, lt))?;
         if let PTree::Node { prod, children } = self {
             w.write(&Record {

@@ -140,7 +140,7 @@ pub fn check_source(source: &str, config: &Config, lint: &LintConfig) -> CheckRe
     };
 
     // Stage 2: lower (AG012).
-    let (mut grammar, spans) = match lower_with_spans(&file) {
+    let (mut grammar, mut spans) = match lower_with_spans(&file) {
         Ok(pair) => pair,
         Err(errs) => {
             let mut findings: Vec<Finding> = errs
@@ -175,7 +175,7 @@ pub fn check_source(source: &str, config: &Config, lint: &LintConfig) -> CheckRe
         findings.extend(completeness_findings(&grammar, &spans, &errs));
         well_formed = false;
     }
-    let io = match check_noncircular(&grammar) {
+    let mut io = match check_noncircular(&grammar) {
         Ok(io) => Some(io),
         Err(c) => {
             findings.push(circularity_finding(&grammar, &spans, &c));
@@ -183,6 +183,23 @@ pub fn check_source(source: &str, config: &Config, lint: &LintConfig) -> CheckRe
             None
         }
     };
+
+    // Stage 3.5: the grammar optimizer — only on well-formed grammars
+    // (its soundness argument assumes completeness and non-circularity
+    // already hold). Its AG013–AG015 notes surface through run_lints.
+    let mut opt = None;
+    if well_formed && config.optimize {
+        let report = linguist_ag::dataflow::optimize(&mut grammar);
+        spans.remap_rules(&report.rule_remap);
+        match check_noncircular(&grammar) {
+            Ok(new_io) => io = Some(new_io),
+            Err(c) => {
+                findings.push(circularity_finding(&grammar, &spans, &c));
+                well_formed = false;
+            }
+        }
+        opt = Some(report);
+    }
 
     // Stage 4: pass assignment (AG010) and the flow lints — only for
     // well-formed grammars; a completeness gap would make the pass
@@ -192,7 +209,10 @@ pub fn check_source(source: &str, config: &Config, lint: &LintConfig) -> CheckRe
         match assign_passes(&grammar, &config.pass) {
             Ok(passes) => {
                 passes_count = Some(passes.num_passes());
-                let lifetimes = Lifetimes::compute(&grammar, &passes);
+                let mut lifetimes = Lifetimes::compute(&grammar, &passes);
+                if config.optimize {
+                    lifetimes.enable_record_elision();
+                }
                 let subsumption = if config.disable_subsumption {
                     Subsumption::disabled(&grammar)
                 } else {
@@ -208,6 +228,7 @@ pub fn check_source(source: &str, config: &Config, lint: &LintConfig) -> CheckRe
                             lifetimes,
                             subsumption,
                             plans,
+                            opt,
                         };
                         findings.extend(run_lints(&analysis, &spans, &lint));
                         sort_findings(&mut findings);

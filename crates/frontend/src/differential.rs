@@ -22,7 +22,12 @@
 //! [`CaseOptions::compiled`]), a fifth mode: the grammar's generated
 //! Rust evaluator, JIT-compiled by the `linguist-engine` build cache and
 //! required to reproduce the baseline's `encoded_outputs` byte for byte
-//! — and reports any disagreement as a [`Divergence`] naming the mode,
+//! — plus, default-on (`LINGUIST_DIFF_OPT=0` disables,
+//! [`CaseOptions::optimized`]), a sixth mode: the same source
+//! re-analyzed with the grammar optimizer on and evaluated over the
+//! baseline's tree, required to be byte-identical *and* to never
+//! increase the pass count or records written —
+//! and reports any disagreement as a [`Divergence`] naming the mode,
 //! the first offending attribute, and the pass that computes it. It also
 //! checks the [`EvalMetrics`] conservation laws (pass N+1 reads exactly
 //! what pass N wrote) and the subsumption-transparency invariant
@@ -180,7 +185,7 @@ fn failure(mode: &str, detail: String) -> Divergence {
 }
 
 /// Optional oracle legs for [`run_case_with`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct CaseOptions {
     /// Run the compiled-engine leg: JIT-compile the grammar's generated
     /// Rust evaluator and require its raw output bytes to equal the
@@ -188,16 +193,39 @@ pub struct CaseOptions {
     /// novel grammar costs one `rustc` invocation — and skipped loudly
     /// (not failed) when `rustc` is unavailable.
     pub compiled: bool,
+    /// Run the optimized-grammar leg: re-analyze the same source with
+    /// the grammar optimizer on, evaluate over the *baseline's* tree,
+    /// and require byte-identical `encoded_outputs` plus the work
+    /// conservation law (the optimizer must never increase the pass
+    /// count or the records written). On by default — it is pure
+    /// interpretation, no `rustc` involved.
+    pub optimized: bool,
+}
+
+impl Default for CaseOptions {
+    fn default() -> CaseOptions {
+        CaseOptions {
+            compiled: false,
+            optimized: true,
+        }
+    }
 }
 
 impl CaseOptions {
     /// Environment-driven default: `LINGUIST_DIFF_COMPILED=1` turns the
-    /// compiled leg on for callers going through [`run_case`].
+    /// compiled leg on for callers going through [`run_case`];
+    /// `LINGUIST_DIFF_OPT=0` turns the (default-on) optimized leg off.
     pub fn from_env() -> CaseOptions {
         let compiled = std::env::var("LINGUIST_DIFF_COMPILED")
             .map(|v| !v.is_empty() && v != "0")
             .unwrap_or(false);
-        CaseOptions { compiled }
+        let optimized = std::env::var("LINGUIST_DIFF_OPT")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(true);
+        CaseOptions {
+            compiled,
+            optimized,
+        }
     }
 }
 
@@ -297,6 +325,14 @@ pub fn run_case_with(
         divergences.extend(compiled_divergences(&analysis, &tree, &opts, &baseline));
     }
 
+    // Mode 6 (default-on): the optimized grammar. Constant folding,
+    // copy-chain collapsing, dead-attribute elimination and record
+    // elision together must be semantics-preserving: same source, same
+    // tree, byte-identical outputs, never more work.
+    if case_opts.optimized {
+        divergences.extend(optimized_divergences(source, &tree, &funcs, &baseline));
+    }
+
     Ok(CaseResult {
         analysis,
         tree,
@@ -366,6 +402,69 @@ fn compiled_divergences(
             }
         }
     }
+}
+
+/// Mode 6: re-derive the analysis with the grammar optimizer on and
+/// evaluate over the baseline's tree (the optimizer never renumbers
+/// symbols, productions, or attributes, so the tree is valid under both
+/// analyses). The optimized run must reproduce the baseline's
+/// `encoded_outputs` byte for byte, satisfy the same metrics
+/// conservation laws, and obey the work-conservation law: neither the
+/// pass count nor the total records written may increase.
+fn optimized_divergences(
+    source: &str,
+    tree: &PTree,
+    funcs: &Funcs,
+    baseline: &Evaluation,
+) -> Vec<Divergence> {
+    let cfg = Config {
+        optimize: true,
+        ..Config::default()
+    };
+    let analysis = match analyze(source, &cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            return vec![failure(
+                "optimized",
+                format!("optimized analyze failed where baseline analyzed: {}", e),
+            )]
+        }
+    };
+    let opts = eval_opts(&analysis);
+    let eval = match evaluate(&analysis, funcs, tree, &opts) {
+        Ok(e) => e,
+        Err(e) => {
+            return vec![failure(
+                "optimized",
+                format!("optimized evaluation failed: {}", e),
+            )]
+        }
+    };
+    let mut out = Vec::new();
+    if let Some(d) = compare(&analysis, "optimized", baseline, &eval) {
+        out.push(d);
+    }
+    out.extend(metrics_violations(&eval).into_iter().map(|mut d| {
+        d.mode = "optimized-metrics".into();
+        d
+    }));
+    if let (Some(bm), Some(om)) = (&baseline.metrics, &eval.metrics) {
+        let base_written: u64 = bm.passes.iter().map(|p| p.records_written).sum();
+        let opt_written: u64 = om.passes.iter().map(|p| p.records_written).sum();
+        if om.passes.len() > bm.passes.len() || opt_written > base_written {
+            out.push(failure(
+                "optimized",
+                format!(
+                    "optimizer increased work: {} -> {} passes, {} -> {} records written",
+                    bm.passes.len(),
+                    om.passes.len(),
+                    base_written,
+                    opt_written
+                ),
+            ));
+        }
+    }
+    out
 }
 
 /// The metrics conservation laws on a profiled evaluation: pass 1 reads

@@ -250,7 +250,7 @@ fn analyze_timed(
 
     // Overlay 2: dictionary building (lowering).
     let t = Instant::now();
-    let (mut grammar, spans) = lower_with_spans(&file).map_err(DriverError::Lower)?;
+    let (mut grammar, mut spans) = lower_with_spans(&file).map_err(DriverError::Lower)?;
     timings.semantic1 = t.elapsed();
 
     // Overlay 3: implicit copy-rules + completeness.
@@ -265,11 +265,27 @@ fn analyze_timed(
 
     // Overlay 4: evaluability.
     let t = Instant::now();
-    let io = check_noncircular(&grammar)
+    let mut io = check_noncircular(&grammar)
         .map_err(|e| DriverError::Analysis(AnalysisError::Circular(e)))?;
+    // Grammar optimizer: rewrite before any scheduling so pass
+    // assignment, lifetimes, and subsumption all see the smaller rule
+    // set. Runs only on grammars that already passed completeness and
+    // circularity; its transforms only remove dependency edges.
+    let opt = if config.optimize {
+        let report = linguist_ag::dataflow::optimize(&mut grammar);
+        spans.remap_rules(&report.rule_remap);
+        io = check_noncircular(&grammar)
+            .map_err(|e| DriverError::Analysis(AnalysisError::Circular(e)))?;
+        Some(report)
+    } else {
+        None
+    };
     let passes = assign_passes(&grammar, &config.pass)
         .map_err(|e| DriverError::Analysis(AnalysisError::Pass(e)))?;
-    let lifetimes = Lifetimes::compute(&grammar, &passes);
+    let mut lifetimes = Lifetimes::compute(&grammar, &passes);
+    if config.optimize {
+        lifetimes.enable_record_elision();
+    }
     let subsumption = if config.disable_subsumption {
         Subsumption::disabled(&grammar)
     } else {
@@ -285,6 +301,7 @@ fn analyze_timed(
         lifetimes,
         subsumption,
         plans,
+        opt,
     };
     timings.evaluability = t.elapsed();
     Ok((analysis, spans, timings))

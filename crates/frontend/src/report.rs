@@ -96,6 +96,21 @@ pub struct ProfileReport {
     /// Typed degradation reason when a compiled engine was requested but
     /// the interpreter answered (`code: detail`).
     pub engine_fallback: Option<String>,
+    /// What the grammar optimizer did, when it ran (`--opt=on`):
+    /// `None` means the analysis was unoptimized.
+    pub optimizer: Option<OptimizerSummary>,
+}
+
+/// The optimizer's headline counters, mirrored into the JSON report and
+/// the serve tier's `Stats` reply under the same three keys.
+#[derive(Clone, Copy, Debug)]
+pub struct OptimizerSummary {
+    /// Constant occurrences folded into literals.
+    pub folded: usize,
+    /// Dead rules plus dead attributes eliminated.
+    pub eliminated: usize,
+    /// Copy-chain hops collapsed to their source.
+    pub collapsed: usize,
 }
 
 impl ProfileReport {
@@ -111,6 +126,11 @@ impl ProfileReport {
             resumed_from: None,
             engine_used: None,
             engine_fallback: None,
+            optimizer: analysis.opt.as_ref().map(|r| OptimizerSummary {
+                folded: r.folded_uses,
+                eliminated: r.eliminated_rules + r.eliminated_attrs,
+                collapsed: r.collapsed_copies,
+            }),
         }
     }
 
@@ -197,6 +217,14 @@ impl ProfileReport {
         let mut out = String::new();
         let _ = writeln!(out, "=== profile: {} ===", self.name);
         let _ = writeln!(out, "{}", self.grammar);
+        if let Some(o) = &self.optimizer {
+            let _ = writeln!(
+                out,
+                "optimizer: {} constant use(s) folded, {} dead rule(s)/attr(s) \
+                 eliminated, {} copy hop(s) collapsed",
+                o.folded, o.eliminated, o.collapsed
+            );
+        }
         match (&self.eval, &self.eval_error) {
             (Some(m), _) => {
                 let _ = writeln!(out);
@@ -336,6 +364,16 @@ impl ProfileReport {
         );
         out.push('}');
         let _ = write!(out, ",\"tree_nodes\":{}", self.tree_nodes);
+        match &self.optimizer {
+            Some(o) => {
+                let _ = write!(
+                    out,
+                    ",\"optimizer\":{{\"folded\":{},\"eliminated\":{},\"collapsed\":{}}}",
+                    o.folded, o.eliminated, o.collapsed
+                );
+            }
+            None => out.push_str(",\"optimizer\":null"),
+        }
         let _ = write!(out, ",\"recovery\":{{\"retries\":{}", self.retries);
         match self.resumed_from {
             Some(b) => {

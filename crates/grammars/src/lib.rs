@@ -184,6 +184,24 @@ pub fn analyze(source: &str) -> Result<DriverOutput, linguist_frontend::DriverEr
     run(source, &DriverOptions::default())
 }
 
+/// [`analyze`] with the grammar optimizer on — the analysis the CLI's
+/// default (`--opt=on`) produces, and the one the `*_opt` AOT evaluator
+/// crates are generated from.
+///
+/// # Errors
+///
+/// Propagates the driver's error.
+pub fn analyze_optimized(source: &str) -> Result<DriverOutput, linguist_frontend::DriverError> {
+    let opts = DriverOptions {
+        config: linguist_ag::analysis::Config {
+            optimize: true,
+            ..Default::default()
+        },
+        ..DriverOptions::default()
+    };
+    run(source, &opts)
+}
+
 /// Generate a Pascal-subset program with `vars` declarations and
 /// `stmts` statements (used by throughput and memory sweeps).
 pub fn pascal_program(vars: usize, stmts: usize) -> String {

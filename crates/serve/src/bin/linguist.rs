@@ -11,6 +11,10 @@
 //!                        on; FMT is text (default) or json
 //!   --emit pascal|rust   print the generated evaluator source
 //!   --first-pass rl|lr   bootstrap strategy (default rl, like the paper)
+//!   --opt[=on|off]       run the grammar optimizer (constant folding,
+//!                        copy-chain collapsing, dead-attribute
+//!                        elimination) before scheduling; default on,
+//!                        `--opt=off` is the ablation
 //!   --no-subsumption     disable static subsumption
 //!   --coalesce           use the cross-name coalescing extension
 //!   --batch              process the grammars as a parallel batch
@@ -28,15 +32,18 @@
 //!                        to the interpreter with a typed reason.
 //!
 //! linguist codegen GRAMMAR.lg [--out DIR] [--first-pass rl|lr]
-//!                  [--no-subsumption] [--coalesce]
+//!                  [--opt[=on|off]] [--no-subsumption] [--coalesce]
 //!
 //!   Write the grammar's generated evaluator to DIR (default
 //!   `<stem>-evaluator/`) as a standalone dependency-free Rust binary
 //!   crate: boundary-0 APT on stdin, encoded root outputs on stdout.
-//!   The same source the compiled engine builds.
+//!   The same source the compiled engine builds. When the optimizer is
+//!   on (the default), a `impact.json` sidecar records the
+//!   per-production change-impact closures for incremental consumers.
 //!
 //! linguist check GRAMMAR.lg [--format text|json] [--deny-warnings]
-//!                [--first-pass rl|lr] [--no-subsumption] [--coalesce]
+//!                [--first-pass rl|lr] [--opt[=on|off]]
+//!                [--no-subsumption] [--coalesce]
 //!
 //!   Run the static-analysis lints and print every coded `AG0xx`
 //!   finding with its source position. `--format json` prints one
@@ -48,6 +55,7 @@
 //! linguist serve [--socket PATH] [--tcp ADDR] [--workers N] [--queue N]
 //!                [--cache N] [--deadline-ms N] [--max-frame-bytes N]
 //!                [--idle-timeout-ms N] [--engine interpreted|aot|jit]
+//!                [--opt[=on|off]]
 //!
 //!   Run the resident translation service. At least one of --socket
 //!   (Unix-domain) and --tcp (loopback, e.g. 127.0.0.1:0) is required;
@@ -153,6 +161,7 @@ struct Cli {
     profile: Option<ProfileFmt>,
     emit: Option<TargetOpt>,
     first: Direction,
+    optimize: bool,
     no_subsumption: bool,
     coalesce: bool,
     batch: bool,
@@ -201,15 +210,15 @@ fn usage() -> ! {
     eprintln!(
         "usage: linguist GRAMMAR.lg [GRAMMAR2.lg ...] [--listing] [--stats] [--timings] \
          [--profile[=text|json]] [--emit pascal|rust] [--first-pass rl|lr] \
-         [--no-subsumption] [--coalesce] [--batch] [--jobs N] [--retries N] \
+         [--opt[=on|off]] [--no-subsumption] [--coalesce] [--batch] [--jobs N] [--retries N] \
          [--checkpoint-dir DIR] [--resume] [--engine interpreted|aot|jit]\n\
          \x20      linguist check GRAMMAR.lg [--format text|json] [--deny-warnings] \
-         [--first-pass rl|lr] [--no-subsumption] [--coalesce]\n\
+         [--first-pass rl|lr] [--opt[=on|off]] [--no-subsumption] [--coalesce]\n\
          \x20      linguist codegen GRAMMAR.lg [--out DIR] [--first-pass rl|lr] \
-         [--no-subsumption] [--coalesce]\n\
+         [--opt[=on|off]] [--no-subsumption] [--coalesce]\n\
          \x20      linguist serve [--socket PATH] [--tcp ADDR] [--workers N] [--queue N] \
          [--cache N] [--deadline-ms N] [--max-frame-bytes N] [--idle-timeout-ms N] \
-         [--engine interpreted|aot|jit]\n\
+         [--engine interpreted|aot|jit] [--opt[=on|off]]\n\
          \x20      linguist router (--socket PATH | --tcp ADDR) --shard SPEC [--shard ...] \
          [--health-interval-ms N] [--probe-timeout-ms N] [--attempt-timeout-ms N] \
          [--max-attempts N] [--breaker-threshold N] [--breaker-cooldown-ms N]\n\
@@ -232,6 +241,7 @@ fn parse_args(args: Vec<String>) -> Cli {
         profile: None,
         emit: None,
         first: Direction::RightToLeft,
+        optimize: true,
         no_subsumption: false,
         coalesce: false,
         batch: false,
@@ -264,6 +274,8 @@ fn parse_args(args: Vec<String>) -> Cli {
                 }
             }
             "--profile=json" => cli.profile = Some(ProfileFmt::Json),
+            "--opt" | "--opt=on" => cli.optimize = true,
+            "--opt=off" => cli.optimize = false,
             "--no-subsumption" => cli.no_subsumption = true,
             "--coalesce" => cli.coalesce = true,
             "--batch" => cli.batch = true,
@@ -354,6 +366,7 @@ fn check_main(args: Vec<String>) -> ExitCode {
     let mut json = false;
     let mut deny_warnings = false;
     let mut first = Direction::RightToLeft;
+    let mut optimize = true;
     let mut no_subsumption = false;
     let mut coalesce = false;
     let mut args = args.into_iter();
@@ -372,6 +385,8 @@ fn check_main(args: Vec<String>) -> ExitCode {
                 Some("lr") => first = Direction::LeftToRight,
                 _ => usage(),
             },
+            "--opt" | "--opt=on" => optimize = true,
+            "--opt=off" => optimize = false,
             "--no-subsumption" => no_subsumption = true,
             "--coalesce" => coalesce = true,
             "--help" | "-h" => usage(),
@@ -392,6 +407,7 @@ fn check_main(args: Vec<String>) -> ExitCode {
             first_direction: first,
             max_passes: 32,
         },
+        optimize,
         disable_subsumption: no_subsumption,
         group_mode: if coalesce {
             GroupMode::CoalesceCopies
@@ -428,6 +444,7 @@ fn codegen_main(args: Vec<String>) -> ExitCode {
     let mut path = None;
     let mut out: Option<PathBuf> = None;
     let mut first = Direction::RightToLeft;
+    let mut optimize = true;
     let mut no_subsumption = false;
     let mut coalesce = false;
     let mut args = args.into_iter();
@@ -442,6 +459,8 @@ fn codegen_main(args: Vec<String>) -> ExitCode {
                 Some("lr") => first = Direction::LeftToRight,
                 _ => usage(),
             },
+            "--opt" | "--opt=on" => optimize = true,
+            "--opt=off" => optimize = false,
             "--no-subsumption" => no_subsumption = true,
             "--coalesce" => coalesce = true,
             "--help" | "-h" => usage(),
@@ -462,6 +481,7 @@ fn codegen_main(args: Vec<String>) -> ExitCode {
             first_direction: first,
             max_passes: 32,
         },
+        optimize,
         disable_subsumption: no_subsumption,
         group_mode: if coalesce {
             GroupMode::CoalesceCopies
@@ -512,10 +532,54 @@ fn codegen_main(args: Vec<String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // With the optimizer on, serialize the per-production change-impact
+    // closures next to the crate: which attributes can change when a
+    // subtree rooted at each production is re-translated — the substrate
+    // incremental consumers key invalidation off.
+    let mut extra_files: Vec<PathBuf> = Vec::new();
+    if let Some(report) = &analysis.opt {
+        let g = &analysis.grammar;
+        let impact = Json::Arr(
+            report
+                .impact
+                .iter()
+                .enumerate()
+                .map(|(p, closure)| {
+                    let affected: Vec<Json> = closure
+                        .affected
+                        .iter()
+                        .map(|&a| {
+                            Json::str(&format!(
+                                "{}.{}",
+                                g.symbol_name(g.attr(a).symbol),
+                                g.attr_name(a)
+                            ))
+                        })
+                        .collect();
+                    Json::Obj(vec![
+                        ("production".to_string(), Json::int(p as i64)),
+                        (
+                            "lhs".to_string(),
+                            Json::str(
+                                g.symbol_name(g.production(linguist_ag::ProdId(p as u32)).lhs),
+                            ),
+                        ),
+                        ("affected".to_string(), Json::Arr(affected)),
+                    ])
+                })
+                .collect(),
+        );
+        let target = out_dir.join("impact.json");
+        if let Err(e) = std::fs::write(&target, format!("{}\n", impact)) {
+            eprintln!("linguist codegen: cannot write {}: {}", target.display(), e);
+            return ExitCode::FAILURE;
+        }
+        extra_files.push(target);
+    }
     let evaluator = rustgen::rust_source(&analysis);
     println!(
         "wrote {} file(s) to {} ({} evaluator lines, content hash {})",
-        files.len(),
+        files.len() + extra_files.len(),
         out_dir.display(),
         evaluator.lines().count(),
         rustgen::content_hash(evaluator.as_bytes()),
@@ -523,12 +587,18 @@ fn codegen_main(args: Vec<String>) -> ExitCode {
     for (rel, _content) in &files {
         println!("  {}", out_dir.join(rel).display());
     }
+    for target in &extra_files {
+        println!("  {}", target.display());
+    }
     ExitCode::SUCCESS
 }
 
 /// `linguist serve ...`: run the resident translation service.
 fn serve_main(args: Vec<String>) -> ExitCode {
     let mut cfg = ServerConfig::default();
+    // The CLI defaults the optimizer ON (the library default is off so
+    // the paper's figures stay reproducible programmatically).
+    cfg.config.optimize = true;
     let mut args = args.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -569,6 +639,8 @@ fn serve_main(args: Vec<String>) -> ExitCode {
                 Some(kind) => cfg.engine.kind = kind,
                 None => usage(),
             },
+            "--opt" | "--opt=on" => cfg.config.optimize = true,
+            "--opt=off" => cfg.config.optimize = false,
             _ => usage(),
         }
     }
@@ -1057,6 +1129,7 @@ fn main() -> ExitCode {
                 first_direction: cli.first,
                 max_passes: 32,
             },
+            optimize: cli.optimize,
             disable_subsumption: cli.no_subsumption,
             group_mode: if cli.coalesce {
                 GroupMode::CoalesceCopies

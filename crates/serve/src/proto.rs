@@ -567,7 +567,7 @@ mod tests {
     fn frame_reader_rejects_oversized_frames_without_buffering_them() {
         // 64 bytes of limit, a 200-byte line: the reader must fail long
         // before a newline ever shows up.
-        let data = vec![b'a'; 200];
+        let data = [b'a'; 200];
         let mut r = FrameReader::new(&data[..], 64);
         assert!(matches!(
             r.read_frame().unwrap_err(),

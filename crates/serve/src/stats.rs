@@ -145,6 +145,14 @@ impl ServiceMetrics {
                     ("capacity".to_string(), Json::int(s.capacity as i64)),
                 ]),
             ),
+            (
+                "optimizer".to_string(),
+                Json::Obj(vec![
+                    ("folded".to_string(), Json::int(s.opt_folded as i64)),
+                    ("eliminated".to_string(), Json::int(s.opt_eliminated as i64)),
+                    ("collapsed".to_string(), Json::int(s.opt_collapsed as i64)),
+                ]),
+            ),
             ("grammars".to_string(), Json::Arr(grammars)),
             (
                 "queue".to_string(),

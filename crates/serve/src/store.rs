@@ -31,27 +31,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// FNV-1a 64-bit, the workspace's stock content hash (no dependencies,
-/// stable across runs and platforms). Also the router's ring hash.
-pub(crate) fn fnv1a(chunks: &[&[u8]]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for chunk in chunks {
-        for &b in *chunk {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    h
-}
+/// The workspace's stock content hash (shared with the codegen artifact
+/// keys and the router's ring — see `linguist_support::fnv`).
+pub(crate) use linguist_support::fnv::hash_chunks as fnv1a;
 
 /// Cache key for a grammar: hash of the source text and the scanner
 /// binding, rendered as 16 hex digits (what the wire protocol calls the
 /// *grammar handle*).
 pub fn grammar_key(source: &str, scanner: Option<&str>) -> String {
-    format!(
-        "{:016x}",
-        fnv1a(&[source.as_bytes(), b"\0", scanner.unwrap_or("").as_bytes()])
-    )
+    linguist_support::fnv::hex16(fnv1a(&[
+        source.as_bytes(),
+        b"\0",
+        scanner.unwrap_or("").as_bytes(),
+    ]))
 }
 
 /// How a compiled grammar can be exercised.
@@ -191,6 +183,14 @@ pub struct StoreStats {
     pub entries: usize,
     /// The LRU bound.
     pub capacity: usize,
+    /// Optimizer effect, cumulative over every compile this store
+    /// performed (all zero when the service runs with `--opt=off`):
+    /// constant reads materialized as literals.
+    pub opt_folded: u64,
+    /// Dead attributes detached plus dead rules deleted.
+    pub opt_eliminated: u64,
+    /// Reads forwarded past copy chains.
+    pub opt_collapsed: u64,
 }
 
 enum Slot {
@@ -224,6 +224,9 @@ pub struct GrammarStore {
     misses: AtomicU64,
     evictions: AtomicU64,
     analyses: AtomicU64,
+    opt_folded: AtomicU64,
+    opt_eliminated: AtomicU64,
+    opt_collapsed: AtomicU64,
 }
 
 impl GrammarStore {
@@ -241,6 +244,9 @@ impl GrammarStore {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             analyses: AtomicU64::new(0),
+            opt_folded: AtomicU64::new(0),
+            opt_eliminated: AtomicU64::new(0),
+            opt_collapsed: AtomicU64::new(0),
         }
     }
 
@@ -377,6 +383,16 @@ impl GrammarStore {
         let started = Instant::now();
         self.analyses.fetch_add(1, Ordering::Relaxed);
         let (analysis, spans) = analyze_with_spans(source, config).map_err(LoadError::Compile)?;
+        if let Some(report) = &analysis.opt {
+            self.opt_folded
+                .fetch_add(report.folded_uses as u64, Ordering::Relaxed);
+            self.opt_eliminated.fetch_add(
+                (report.eliminated_rules + report.eliminated_attrs) as u64,
+                Ordering::Relaxed,
+            );
+            self.opt_collapsed
+                .fetch_add(report.collapsed_copies as u64, Ordering::Relaxed);
+        }
         // Resolve the compiled-engine route while the analysis is still
         // in hand (a JIT build happens here, inside the load's
         // single-flight, on the loading client's time).
@@ -415,6 +431,9 @@ impl GrammarStore {
             analyses: self.analyses.load(Ordering::Relaxed),
             entries: inner.order.len(),
             capacity: self.capacity,
+            opt_folded: self.opt_folded.load(Ordering::Relaxed),
+            opt_eliminated: self.opt_eliminated.load(Ordering::Relaxed),
+            opt_collapsed: self.opt_collapsed.load(Ordering::Relaxed),
         }
     }
 

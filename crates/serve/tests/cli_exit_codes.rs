@@ -156,8 +156,15 @@ fn check_clean_grammar_exits_zero_in_both_formats() {
 
 #[test]
 fn check_deny_warnings_flips_the_exit_code() {
+    // The paper-faithful pipeline (--opt=off) reports the unused
+    // attribute as an AG001 warning, and --deny-warnings makes that
+    // warning fatal.
     let warny = write_tmp("check-warny.lg", WARNY);
-    let out = linguist().arg("check").arg(&warny).output().expect("run");
+    let out = linguist()
+        .args(["check", "--opt=off"])
+        .arg(&warny)
+        .output()
+        .expect("run");
     assert!(
         out.status.success(),
         "warnings alone should not fail a plain check: {}",
@@ -165,11 +172,26 @@ fn check_deny_warnings_flips_the_exit_code() {
     );
     assert!(String::from_utf8_lossy(&out.stdout).contains("warning[AG001]"));
     let out = linguist()
-        .args(["check", "--deny-warnings"])
+        .args(["check", "--opt=off", "--deny-warnings"])
         .arg(&warny)
         .output()
         .expect("run");
     assert_eq!(out.status.code(), Some(1), "--deny-warnings must exit 1");
+    // Under the default optimizer the dead attribute is *eliminated*
+    // rather than warned about: AG014 is a note, and notes never flip
+    // the exit code.
+    let out = linguist()
+        .args(["check", "--deny-warnings"])
+        .arg(&warny)
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "the optimizer eliminates the dead attribute, so --deny-warnings \
+         has nothing to deny: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("note[AG014]"));
 }
 
 #[test]
@@ -436,33 +458,54 @@ fn sigterm_drains_the_daemon_and_it_exits_zero() {
 fn codegen_subcommand_emits_the_pinned_meta_evaluator() {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     let grammar = manifest.join("../grammars/lg/meta.lg");
-    let pinned = manifest.join("../engine/generated/meta/src/lib.rs");
-    let out_dir = std::env::temp_dir().join(format!("linguist-cli-codegen-{}", std::process::id()));
-    let _unused = std::fs::remove_dir_all(&out_dir);
-    let out = linguist()
-        .arg("codegen")
-        .arg(&grammar)
-        .arg("--out")
-        .arg(&out_dir)
-        .output()
-        .expect("run linguist codegen");
-    assert!(
-        out.status.success(),
-        "codegen failed: {}",
-        String::from_utf8_lossy(&out.stderr)
-    );
-    let emitted = std::fs::read_to_string(out_dir.join("src/main.rs")).expect("emitted source");
-    let expected = std::fs::read_to_string(&pinned).expect("checked-in AOT source");
-    assert_eq!(
-        emitted, expected,
-        "CLI codegen output drifted from the checked-in meta evaluator \
-         (rerun `cargo run --example gen_aot` if rustgen changed)"
-    );
-    // The standalone manifest must detach from the enclosing workspace
-    // so the emitted crate builds with a plain `cargo build`.
-    let manifest_out = std::fs::read_to_string(out_dir.join("Cargo.toml")).expect("manifest");
-    assert!(manifest_out.contains("[workspace]"), "{}", manifest_out);
-    let _unused = std::fs::remove_dir_all(&out_dir);
+    // Default (--opt=on) output must match the checked-in optimized AOT
+    // variant; the --opt=off ablation must match the paper-faithful one.
+    let cases = [
+        (vec!["codegen"], "../engine/generated/meta_opt/src/lib.rs"),
+        (
+            vec!["codegen", "--opt=off"],
+            "../engine/generated/meta/src/lib.rs",
+        ),
+    ];
+    for (i, (args, pinned_rel)) in cases.iter().enumerate() {
+        let pinned = manifest.join(pinned_rel);
+        let out_dir =
+            std::env::temp_dir().join(format!("linguist-cli-codegen-{}-{}", std::process::id(), i));
+        let _unused = std::fs::remove_dir_all(&out_dir);
+        let out = linguist()
+            .args(args)
+            .arg(&grammar)
+            .arg("--out")
+            .arg(&out_dir)
+            .output()
+            .expect("run linguist codegen");
+        assert!(
+            out.status.success(),
+            "codegen failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let emitted = std::fs::read_to_string(out_dir.join("src/main.rs")).expect("emitted source");
+        let expected = std::fs::read_to_string(&pinned).expect("checked-in AOT source");
+        assert_eq!(
+            emitted, expected,
+            "CLI codegen output drifted from the checked-in meta evaluator \
+             (rerun `cargo run --example gen_aot` if rustgen changed)"
+        );
+        // The standalone manifest must detach from the enclosing workspace
+        // so the emitted crate builds with a plain `cargo build`.
+        let manifest_out = std::fs::read_to_string(out_dir.join("Cargo.toml")).expect("manifest");
+        assert!(manifest_out.contains("[workspace]"), "{}", manifest_out);
+        // With the optimizer on, the change-impact closures ride along
+        // as a sidecar; the ablation must not emit one.
+        let impact = out_dir.join("impact.json");
+        if args.contains(&"--opt=off") {
+            assert!(!impact.exists(), "--opt=off must not write impact.json");
+        } else {
+            let text = std::fs::read_to_string(&impact).expect("impact.json sidecar");
+            assert!(text.contains("\"production\""), "{}", text);
+        }
+        let _unused = std::fs::remove_dir_all(&out_dir);
+    }
 }
 
 #[test]

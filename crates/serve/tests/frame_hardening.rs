@@ -14,6 +14,8 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
 
+const PING: &str = r#"{"op":"ping"}"#;
+
 fn sock_path(tag: &str) -> PathBuf {
     static NEXT: AtomicU32 = AtomicU32::new(0);
     std::env::temp_dir().join(format!(
@@ -78,7 +80,7 @@ fn oversized_request_line_gets_frame_too_large_and_the_connection_closes() {
     }
     // And it still serves well-behaved clients.
     let mut good = raw(&handle);
-    writeln!(good, "{}", r#"{"op":"ping"}"#).expect("write");
+    writeln!(good, "{}", PING).expect("write");
     let mut line = String::new();
     BufReader::new(good).read_line(&mut line).expect("reply");
     let reply = Json::parse(line.trim_end()).expect("reply is JSON");
@@ -108,7 +110,7 @@ fn a_stalled_half_written_request_frees_its_slot() {
     );
     // The slot is free: a new connection is accepted and served.
     let mut good = raw(&handle);
-    writeln!(good, "{}", r#"{"op":"ping"}"#).expect("write");
+    writeln!(good, "{}", PING).expect("write");
     let mut line = String::new();
     BufReader::new(good).read_line(&mut line).expect("reply");
     let reply = Json::parse(line.trim_end()).expect("reply is JSON");
@@ -121,7 +123,7 @@ fn an_idle_connection_between_requests_is_closed_silently() {
     let handle = start("idle", 4 * 1024 * 1024, Some(Duration::from_millis(150)));
     let mut conn = raw(&handle);
     // A complete request first, so the idle period is *between* frames.
-    writeln!(conn, "{}", r#"{"op":"ping"}"#).expect("write");
+    writeln!(conn, "{}", PING).expect("write");
     let mut reader = BufReader::new(conn.try_clone().expect("clone"));
     let mut line = String::new();
     reader.read_line(&mut line).expect("reply");

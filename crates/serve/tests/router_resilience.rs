@@ -24,7 +24,7 @@ use linguist_serve::load::{grammar_variant, run_load, LoadConfig};
 use linguist_serve::router::{Router, RouterConfig, RouterHandle, ShardAddr};
 use linguist_serve::server::{Server, ServerConfig, ServerHandle};
 use linguist_support::json::Json;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::{Duration, Instant};
 
@@ -38,9 +38,9 @@ fn sock_path(tag: &str) -> PathBuf {
     ))
 }
 
-fn start_shard(path: &PathBuf) -> ServerHandle {
+fn start_shard(path: &Path) -> ServerHandle {
     Server::start(ServerConfig {
-        unix_path: Some(path.clone()),
+        unix_path: Some(path.to_path_buf()),
         workers: 2,
         queue_capacity: 64,
         ..ServerConfig::default()

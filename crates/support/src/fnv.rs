@@ -1,0 +1,73 @@
+//! FNV-1a 64-bit — the workspace's single stock content hash.
+//!
+//! Dependency-free, stable across runs and platforms, and shared by
+//! every layer that needs content addressing so their keys are
+//! comparable by construction:
+//!
+//! * the serve tier's grammar handles ([`hash_chunks`] over source +
+//!   scanner binding, rendered by [`hex16`]),
+//! * the router's consistent-hash ring (node and key points),
+//! * the code generator's artifact hash (the engine matches generated
+//!   evaluator source to compiled artifacts by this key).
+//!
+//! One implementation means one set of constants: the 64-bit FNV offset
+//! basis and prime below are the only copies in the tree.
+
+/// The FNV-1a 64-bit offset basis.
+pub const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV-1a 64-bit prime.
+pub const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hash one byte string.
+pub fn hash(bytes: &[u8]) -> u64 {
+    fold(OFFSET_BASIS, bytes)
+}
+
+/// Hash a concatenation of chunks without materializing it:
+/// `hash_chunks(&[a, b]) == hash(a ++ b)`.
+pub fn hash_chunks(chunks: &[&[u8]]) -> u64 {
+    chunks.iter().fold(OFFSET_BASIS, |h, c| fold(h, c))
+}
+
+/// Continue an FNV-1a hash from state `h` over `bytes` (streaming use).
+pub fn fold(h: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(h, |h, &b| (h ^ b as u64).wrapping_mul(PRIME))
+}
+
+/// The workspace's canonical rendering of a 64-bit content hash: 16
+/// lowercase hex digits (grammar handles, compiled-artifact keys).
+pub fn hex16(h: u64) -> String {
+    format!("{:016x}", h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference values for the classic FNV-1a 64 test strings.
+        assert_eq!(hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn chunking_is_transparent() {
+        assert_eq!(hash_chunks(&[b"foo", b"bar"]), hash(b"foobar"));
+        assert_eq!(hash_chunks(&[b"", b"foobar", b""]), hash(b"foobar"));
+        assert_eq!(hash_chunks(&[]), hash(b""));
+    }
+
+    #[test]
+    fn hex_rendering_is_16_lowercase_digits() {
+        let h = hex16(hash(b"grammar"));
+        assert_eq!(h.len(), 16);
+        assert!(h
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+    }
+}

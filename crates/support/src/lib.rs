@@ -20,6 +20,9 @@
 //! * [`json`] — the workspace's single hand-rolled JSON implementation
 //!   (escape/render/parse), shared by the `--profile=json` report, the
 //!   benchmark snapshots, and the `linguist-serve` wire protocol.
+//! * [`fnv`] — the workspace's single FNV-1a 64-bit content hash,
+//!   shared by the serve tier's grammar handles, the router's hash
+//!   ring, and the code generator's compiled-artifact keys.
 //!
 //! # Example
 //!
@@ -36,6 +39,7 @@
 //! ```
 
 pub mod diag;
+pub mod fnv;
 pub mod intern;
 pub mod json;
 pub mod list;

@@ -43,6 +43,14 @@
 #  18. compiled-vs-interpreted bench snapshot lands in target/ and
 #      parses; the committed copy records the >=5x AOT speedup over
 #      the disk-backed interpreter
+#  19. optimizer identity gate: meta and pascal translated by an
+#      `--opt=on` daemon and an `--opt=off` daemon over the same
+#      synthesized derivation produce byte-identical outputs, and the
+#      optimized daemon's stats report nonzero fold/eliminate counters
+#  20. opt-effect bench snapshot lands in target/ and parses; both the
+#      fresh run and the committed copy show records-written reduced on
+#      >=3 bundled grammars with pass counts never increasing, and no
+#      grammar pays a >2% wall-time regression
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -360,5 +368,93 @@ assert r["aot_speedup_vs_files_geomean"] >= 5.0, \
     ("committed snapshot must document the >=5x claim", r["aot_speedup_vs_files_geomean"])
 '
 echo "bench snapshot parses; AOT >=5x over the disk-backed interpreter"
+
+echo "== optimizer identity gate =="
+# The same grammars, the same budget-synthesized derivation, one daemon
+# with the optimizer on (the default) and one with it off. The outputs
+# must be byte-for-byte identical — the optimizer is only allowed to
+# change how the translation is computed, never what it computes. The
+# optimized daemon must also account for its transforms in stats.
+ONSOCK="$(mktemp -u /tmp/linguist-verify-opton-XXXXXX.sock)"
+OFFSOCK="$(mktemp -u /tmp/linguist-verify-optoff-XXXXXX.sock)"
+target/release/linguist serve --socket "$ONSOCK" --workers 2 --queue 8 --opt=on &
+ON_PID=$!
+target/release/linguist serve --socket "$OFFSOCK" --workers 2 --queue 8 --opt=off &
+OFF_PID=$!
+trap 'rm -rf "$CKPT"
+      for P in "$SERVE_PID" "$S1_PID" "$S2_PID" "$ROUTER_PID" "$CHAOS_PID" "$AOT_PID" "$ON_PID" "$OFF_PID"; do
+        [ -n "$P" ] && kill "$P" 2>/dev/null || true
+      done
+      rm -f "$SOCK" "$RS1" "$RS2" "$FRONT" "$AOTSOCK" "$ONSOCK" "$OFFSOCK"' EXIT
+for _ in $(seq 1 100); do
+  [ -S "$ONSOCK" ] && [ -S "$OFFSOCK" ] && break
+  sleep 0.05
+done
+[ -S "$ONSOCK" ] && [ -S "$OFFSOCK" ] || { echo "opt daemons never bound"; exit 1; }
+for G in meta pascal; do
+  ON_HANDLE="$(target/release/linguist client --socket "$ONSOCK" \
+      load "crates/grammars/lg/$G.lg" --scanner "$G" --name "$G" \
+    | python3 -c 'import json,sys; r=json.load(sys.stdin); assert r["ok"], r; print(r["grammar"])')"
+  OFF_HANDLE="$(target/release/linguist client --socket "$OFFSOCK" \
+      load "crates/grammars/lg/$G.lg" --scanner "$G" --name "$G" \
+    | python3 -c 'import json,sys; r=json.load(sys.stdin); assert r["ok"], r; print(r["grammar"])')"
+  ON_OUT="$(target/release/linguist client --socket "$ONSOCK" translate "$ON_HANDLE" --budget 200 \
+    | python3 -c 'import json,sys; r=json.load(sys.stdin); assert r["ok"], r; print(json.dumps(r["outputs"], sort_keys=True))')"
+  OFF_OUT="$(target/release/linguist client --socket "$OFFSOCK" translate "$OFF_HANDLE" --budget 200 \
+    | python3 -c 'import json,sys; r=json.load(sys.stdin); assert r["ok"], r; print(json.dumps(r["outputs"], sort_keys=True))')"
+  [ "$ON_OUT" = "$OFF_OUT" ] || {
+    echo "$G: optimized outputs diverge from unoptimized"
+    echo "  on:  $ON_OUT"
+    echo "  off: $OFF_OUT"
+    exit 1
+  }
+done
+target/release/linguist client --socket "$ONSOCK" stats \
+  | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+o = r["optimizer"]
+assert o["folded"] > 0 and o["eliminated"] > 0, ("optimized daemon folded nothing", o)
+'
+target/release/linguist client --socket "$OFFSOCK" stats \
+  | python3 -c '
+import json, sys
+o = json.load(sys.stdin)["optimizer"]
+assert o == {"folded": 0, "eliminated": 0, "collapsed": 0}, ("opt=off daemon optimized", o)
+'
+target/release/linguist client --socket "$ONSOCK" shutdown > /dev/null
+wait "$ON_PID" || { echo "opt=on daemon exited non-zero"; exit 1; }
+ON_PID=""
+target/release/linguist client --socket "$OFFSOCK" shutdown > /dev/null
+wait "$OFF_PID" || { echo "opt=off daemon exited non-zero"; exit 1; }
+OFF_PID=""
+echo "meta + pascal byte-identical across --opt=on/off; stats counters accounted"
+
+echo "== opt-effect bench snapshot =="
+cargo bench -q -p linguist-bench --bench opt_effect > /dev/null
+test -f target/BENCH_opt_effect.json || { echo "no bench snapshot"; exit 1; }
+# Structural invariants hold on any run; the wall-time gate is strict
+# (<=2% regression) on the committed copy, which carries the measured
+# numbers, and conservative (<=10%) on the fresh run to absorb CI noise.
+for SNAP in "target/BENCH_opt_effect.json 1.10" "BENCH_opt_effect.json 1.02"; do
+  python3 -c '
+import json, sys
+snap, slack = sys.argv[1], float(sys.argv[2])
+r = json.load(open(snap))
+g = r["grammars"]
+assert len(g) == 5, sorted(g)
+reduced = 0
+for name, rows in g.items():
+    off, on = rows["off"], rows["on"]
+    assert on["passes"] <= off["passes"], (snap, name, "optimizer added a pass")
+    assert on["records_written"] <= off["records_written"], (snap, name, "optimizer added records")
+    assert on["aot_source_bytes"] < off["aot_source_bytes"], (snap, name, "optimizer grew the evaluator")
+    assert on["wall_us"] <= off["wall_us"] * slack, (snap, name, off["wall_us"], on["wall_us"])
+    if on["records_written"] < off["records_written"]:
+        reduced += 1
+assert reduced >= 3, (snap, "records-written must shrink on >=3 grammars", reduced)
+' $SNAP
+done
+echo "bench snapshot parses; records-written shrinks, no wall-time regression"
 
 echo "verify: all green"

@@ -336,6 +336,63 @@ fn corpus_fixtures_batch_byte_identical_to_sequential() {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The optimizer oracle, isolated: for each generated shape, the
+    /// grammar-optimizer analysis must reproduce the unoptimized
+    /// sequential baseline's `encoded_outputs` byte for byte over the
+    /// same tree, and must never increase the pass count or the total
+    /// records written (record elision only ever *removes* traffic).
+    #[test]
+    fn optimizer_is_byte_identical_and_never_adds_work(params in shape_strategy()) {
+        use linguist_eval::machine::evaluate;
+        use linguist_frontend::differential::{encoded_outputs, eval_opts};
+        use linguist_frontend::{analyze, synthesize_tree};
+
+        let sg = realize(&params);
+        let funcs = linguist_eval::Funcs::standard();
+        let base = match analyze(&sg.source, &Config::default()) {
+            Ok(a) => a,
+            Err(_) => return, // not analyzable: nothing to compare
+        };
+        let Some(tree) = synthesize_tree(&base.grammar, sg.params.budget.max(1)) else {
+            return;
+        };
+        let base_opts = eval_opts(&base);
+        let Ok(baseline) = evaluate(&base, &funcs, &tree, &base_opts) else {
+            return; // runtime failures belong to the four-way oracle
+        };
+
+        let opt_cfg = Config { optimize: true, ..Config::default() };
+        let opt = analyze(&sg.source, &opt_cfg)
+            .unwrap_or_else(|e| panic!("{}: optimized analyze failed: {}", sg.name, e));
+        let opt_opts = eval_opts(&opt);
+        let opted = evaluate(&opt, &funcs, &tree, &opt_opts)
+            .unwrap_or_else(|e| panic!("{}: optimized evaluation failed: {}", sg.name, e));
+
+        prop_assert_eq!(
+            encoded_outputs(&opted),
+            encoded_outputs(&baseline),
+            "{}: optimized outputs not byte-identical", sg.name
+        );
+        let bm = baseline.metrics.as_ref().expect("baseline profiled");
+        let om = opted.metrics.as_ref().expect("optimized profiled");
+        prop_assert!(
+            om.passes.len() <= bm.passes.len(),
+            "{}: optimizer raised pass count {} -> {}",
+            sg.name, bm.passes.len(), om.passes.len()
+        );
+        let base_written: u64 = bm.passes.iter().map(|p| p.records_written).sum();
+        let opt_written: u64 = om.passes.iter().map(|p| p.records_written).sum();
+        prop_assert!(
+            opt_written <= base_written,
+            "{}: optimizer raised records written {} -> {}",
+            sg.name, base_written, opt_written
+        );
+    }
+}
+
 /// Every fixture under `tests/corpus/` — seed regressions plus anything
 /// the fuzzer ever persisted — replays through the full four-way oracle.
 #[test]
@@ -390,7 +447,10 @@ fn corpus_fixtures_compiled_byte_identical() {
         .collect();
     fixtures.sort();
     assert!(!fixtures.is_empty());
-    let case_opts = CaseOptions { compiled: true };
+    let case_opts = CaseOptions {
+        compiled: true,
+        ..CaseOptions::default()
+    };
     for path in fixtures {
         let (source, budget) = load_fixture(&path).expect("read fixture");
         let scratch = scratch_dir("corpus-compiled");
@@ -426,7 +486,7 @@ proptest! {
 
         let sg = realize(&params);
         let scratch = scratch_dir("compiled-case");
-        let result = run_case_with(&sg.source, sg.params.budget, &scratch, &CaseOptions { compiled: true });
+        let result = run_case_with(&sg.source, sg.params.budget, &scratch, &CaseOptions { compiled: true, ..CaseOptions::default() });
         let _ = std::fs::remove_dir_all(&scratch);
         let msgs: Vec<String> = match result {
             Err(d) => vec![d.to_string()],

@@ -93,19 +93,32 @@ fn fresh_cache(tag: &str) -> PathBuf {
 #[test]
 fn aot_sources_are_fresh() {
     for (name, src) in bundled() {
-        let analysis = analyze(src).expect("bundled grammar analyzes").analysis;
-        let want = rustgen::rust_source(&analysis);
-        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-            .join("crates/engine/generated")
-            .join(name)
-            .join("src/lib.rs");
-        let got = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("{}: read {}: {}", name, path.display(), e));
-        assert_eq!(
-            got, want,
-            "{}: checked-in AOT source is stale; rerun `cargo run --example gen_aot`",
-            name
-        );
+        for optimized in [false, true] {
+            let analysis = if optimized {
+                linguist86::grammars::analyze_optimized(src)
+            } else {
+                analyze(src)
+            }
+            .expect("bundled grammar analyzes")
+            .analysis;
+            let want = rustgen::rust_source(&analysis);
+            let dir_name = if optimized {
+                format!("{}_opt", name)
+            } else {
+                name.to_string()
+            };
+            let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("crates/engine/generated")
+                .join(&dir_name)
+                .join("src/lib.rs");
+            let got = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{}: read {}: {}", dir_name, path.display(), e));
+            assert_eq!(
+                got, want,
+                "{}: checked-in AOT source is stale; rerun `cargo run --example gen_aot`",
+                dir_name
+            );
+        }
     }
 }
 
@@ -161,6 +174,54 @@ fn aot_byte_identity_all_bundled_grammars() {
         }
     }
     assert!(engine.counters().aot_runs > 0);
+    assert_eq!(engine.counters().fallbacks, 0);
+}
+
+/// The `*_opt` AOT entries: every bundled grammar's *optimized* analysis
+/// must resolve to its own checked-in AOT evaluator (the CLI's default
+/// `--opt=on` path), and that evaluator's output bytes must equal the
+/// **unoptimized** interpreter's — the optimizer is semantics-preserving
+/// all the way through codegen.
+#[test]
+fn aot_byte_identity_optimized_variants() {
+    let engine = Engine::new(EngineConfig {
+        kind: EngineKind::CompiledAot,
+        ..EngineConfig::default()
+    });
+    let funcs = Funcs::standard();
+    for (name, src) in bundled() {
+        let base = analyze(src).expect("analyzes").analysis;
+        let opt = linguist86::grammars::analyze_optimized(src)
+            .expect("analyzes optimized")
+            .analysis;
+        let prepared = engine.prepare(&opt);
+        assert_eq!(
+            prepared.effective(),
+            EngineKind::CompiledAot,
+            "{}_opt: expected AOT route, got fallback {:?}",
+            name,
+            prepared.fallback()
+        );
+        let trees = trees_for(name, &base);
+        assert!(!trees.is_empty(), "{}: no synthesized trees", name);
+        for (i, tree) in trees.iter().enumerate() {
+            let interp = linguist86::eval::machine::evaluate(&base, &funcs, tree, &opts_for(&base))
+                .unwrap_or_else(|e| panic!("{}: interpreter failed on tree {}: {:?}", name, i, e));
+            let raw = engine
+                .compiled_output_bytes(&prepared, &opt, tree, &opts_for(&opt))
+                .unwrap_or_else(|e| {
+                    panic!("{}_opt: compiled run failed on tree {}: {}", name, i, e)
+                });
+            assert_eq!(
+                raw,
+                encoded_outputs(&interp.outputs),
+                "{}_opt: optimized compiled output diverges from the \
+                 unoptimized interpreter on tree {}",
+                name,
+                i
+            );
+        }
+    }
     assert_eq!(engine.counters().fallbacks, 0);
 }
 
@@ -396,13 +457,36 @@ fn broken_generated_source_degrades_typed() {
     let _ = std::fs::remove_dir_all(&cache);
 }
 
-/// The AOT registry exposes all five bundled grammars.
+/// The AOT registry exposes all five bundled grammars, in both the
+/// paper-faithful and optimizer variants, under distinct hashes.
 #[test]
 fn aot_registry_lists_bundled() {
     let reg = linguist86::engine::aot_registry();
     let names: Vec<&str> = reg.iter().map(|(n, _)| *n).collect();
-    assert_eq!(names, vec!["calc", "knuth", "block", "meta", "pascal"]);
+    assert_eq!(
+        names,
+        vec![
+            "calc",
+            "knuth",
+            "block",
+            "meta",
+            "pascal",
+            "calc_opt",
+            "knuth_opt",
+            "block_opt",
+            "meta_opt",
+            "pascal_opt",
+        ]
+    );
     for (_, hash) in &reg {
         assert_eq!(hash.len(), 16);
     }
+    let mut hashes: Vec<&String> = reg.iter().map(|(_, h)| h).collect();
+    hashes.sort();
+    hashes.dedup();
+    assert_eq!(
+        hashes.len(),
+        reg.len(),
+        "optimized variants must content-address apart"
+    );
 }

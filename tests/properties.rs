@@ -299,3 +299,26 @@ proptest! {
         }
     }
 }
+
+/// One FNV to rule them all: the serve tier's grammar handles, the code
+/// generator's compiled-artifact keys, and `linguist_support::fnv` must
+/// agree byte for byte on the same payload — they are advertised as the
+/// *same* content-address scheme, and the engine's artifact lookup
+/// depends on it.
+#[test]
+fn content_hash_schemes_agree_across_crates() {
+    use linguist86::support::fnv;
+
+    let src = calc_source();
+    // grammar_key(source, None) hashes `source ++ "\0" ++ ""`.
+    let want = fnv::hex16(fnv::hash_chunks(&[src.as_bytes(), b"\0", b""]));
+    assert_eq!(linguist_serve::store::grammar_key(src, None), want);
+    let mut payload = src.as_bytes().to_vec();
+    payload.push(0);
+    assert_eq!(linguist86::codegen::rustgen::content_hash(&payload), want);
+    // Chunked and contiguous hashing are the same function.
+    assert_eq!(
+        fnv::hash(&payload),
+        fnv::hash_chunks(&[src.as_bytes(), b"\0"])
+    );
+}
